@@ -1,0 +1,24 @@
+//! Wall-clock benchmarks of the dataset generators (Table 5/7 families).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use graphbig::datagen::bayes::{self, BayesConfig};
+use graphbig::prelude::*;
+
+fn bench_generators(c: &mut Criterion) {
+    let n = 10_000usize;
+    let mut group = c.benchmark_group("datagen_10k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for d in Dataset::ALL {
+        group.bench_function(d.short_name(), |b| {
+            b.iter(|| black_box(d.generate_with_vertices(n)))
+        });
+    }
+    group.bench_function("munin_bayes_net", |b| {
+        b.iter(|| black_box(bayes::generate(&BayesConfig::munin_like())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

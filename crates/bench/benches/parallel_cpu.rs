@@ -1,0 +1,49 @@
+//! Wall-clock benchmarks of the parallel CPU variants against their
+//! sequential framework counterparts — the multi-threaded side of the
+//! paper's 16-core runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphbig::framework::csr::Csr;
+use graphbig::prelude::*;
+use graphbig::workloads::parallel;
+
+fn bench_parallel(c: &mut Criterion) {
+    let g = Dataset::Ldbc.generate_with_vertices(10_000);
+    let csr = Csr::from_graph(&g);
+    let mut sym = csr.symmetrize();
+    sym.sort_adjacency();
+
+    let mut group = c.benchmark_group("parallel_bfs_10k");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let pool = ThreadPool::new(t);
+            b.iter(|| black_box(parallel::bfs(&pool, &csr, 0)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("parallel_tc_10k");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let pool = ThreadPool::new(t);
+            b.iter(|| black_box(parallel::tc(&pool, &sym)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("parallel_ccomp_10k");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let pool = ThreadPool::new(t);
+            let s = csr.symmetrize();
+            b.iter(|| black_box(parallel::ccomp(&pool, &s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

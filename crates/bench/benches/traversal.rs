@@ -1,0 +1,53 @@
+//! Wall-clock benchmarks of the traversal workloads (BFS, DFS, SPath) on
+//! the LDBC dataset — the paper's Table 4 "graph traversal" category.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphbig::prelude::*;
+use graphbig::workloads::{bfs, dfs, spath};
+
+fn bench_traversal(c: &mut Criterion) {
+    for n in [2_000usize, 10_000] {
+        let base = Dataset::Ldbc.generate_with_vertices(n);
+        let arcs = base.num_arcs() as u64;
+        let mut group = c.benchmark_group("traversal");
+        group.throughput(Throughput::Elements(arcs));
+        group.sample_size(20);
+
+        group.bench_with_input(BenchmarkId::new("bfs", n), &n, |b, _| {
+            b.iter_batched(
+                || base_clone(&base),
+                |mut g| black_box(bfs::run(&mut g, 0)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("dfs", n), &n, |b, _| {
+            b.iter_batched(
+                || base_clone(&base),
+                |mut g| black_box(dfs::run(&mut g, 0)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("spath", n), &n, |b, _| {
+            b.iter_batched(
+                || base_clone(&base),
+                |mut g| black_box(spath::run(&mut g, 0)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+fn base_clone(g: &PropertyGraph) -> PropertyGraph {
+    let mut out = PropertyGraph::with_capacity(g.num_vertices());
+    for &id in g.vertex_ids() {
+        out.add_vertex_with_id(id).unwrap();
+    }
+    for (u, e) in g.arcs() {
+        out.add_edge(u, e.target, e.weight).unwrap();
+    }
+    out
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

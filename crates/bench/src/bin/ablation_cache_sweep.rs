@@ -1,0 +1,46 @@
+//! Ablation: L3 capacity sweep over one recorded BFS trace.
+//!
+//! Records the BFS event stream once (trace-driven simulation), then
+//! replays it through machine models whose L3 ranges from 1 MB to 64 MB —
+//! showing where the working set's knee sits and why the paper's 20 MB L3
+//! still misses ("L2 and L3 caches indeed show extremely low hit rates").
+//!
+//! Usage: `ablation_cache_sweep [--scale 0.01]`
+
+use graphbig::datagen::Dataset;
+use graphbig::framework::trace::RecordingTracer;
+use graphbig::machine::{CoreModel, CpuConfig};
+use graphbig::profile::Table;
+use graphbig::workloads::bfs;
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.01);
+    let mut g = Dataset::Ldbc.generate(scale);
+    let root = g.vertex_ids()[0];
+
+    eprintln!("recording BFS trace ...");
+    let mut rec = RecordingTracer::new();
+    bfs::run_t(&mut g, root, &mut rec);
+    eprintln!("  {} events", rec.events.len());
+
+    let mut table = Table::new(
+        &format!("Ablation: L3 capacity sweep, one BFS trace (LDBC scale {scale})"),
+        &["L3 size", "L3 MPKI", "L3 hit %", "IPC"],
+    );
+    for mb in [1usize, 4, 8, 20, 64] {
+        let mut cfg = CpuConfig::xeon_e5();
+        cfg.l3.size_bytes = mb * 1024 * 1024;
+        let mut core = CoreModel::new(cfg);
+        rec.replay(&mut core);
+        let c = core.finish();
+        table.row(vec![
+            format!("{mb} MB"),
+            Table::f(c.l3_mpki()),
+            Table::pct(c.l3.hit_rate()),
+            Table::f(c.ipc()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expected: MPKI falls monotonically with capacity; the graph's scattered footprint keeps the knee far right.");
+}

@@ -1,0 +1,43 @@
+//! Ablation: what the paper's future-work platform would buy — replaying
+//! each workload's measured profile on a modeled near-data-processing unit
+//! (Section 6: "we will also extend GraphBIG to other platforms, such as
+//! near-data processing (NDP) units").
+//!
+//! Memory-bound CompStruct workloads should gain; the compute-bound
+//! CompProp workloads should not.
+//!
+//! Usage: `ablation_ndp [--scale 0.02]`
+
+use graphbig::datagen::Dataset;
+use graphbig::machine::ndp::{self, NdpConfig};
+use graphbig::machine::CpuConfig;
+use graphbig::profile::Table;
+use graphbig::workloads::Workload;
+use graphbig_bench::cpu_char::{figure_params, profile_workload};
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.02);
+    let params = figure_params(scale);
+    let cpu = CpuConfig::xeon_e5();
+    let ndp_cfg = NdpConfig::hmc_class();
+    let mut table = Table::new(
+        &format!("Ablation: NDP-unit replay of CPU profiles (LDBC scale {scale})"),
+        &["workload", "type", "CPU backend %", "NDP memory %", "NDP speedup"],
+    );
+    for w in Workload::ALL {
+        let p = profile_workload(w, Dataset::Ldbc, scale, &params);
+        let (_, _, _, backend) = p.counters.cycles.fractions();
+        let est = ndp::evaluate(&ndp_cfg, &p.counters);
+        let speedup = ndp::speedup_vs_cpu(&ndp_cfg, &p.counters, cpu.cores, cpu.frequency_ghz);
+        table.row(vec![
+            w.short_name().to_string(),
+            w.meta().computation_type.to_string(),
+            Table::pct(backend),
+            Table::pct(est.memory_fraction),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expected: CompStruct (memory-bound) gains most; CompProp gains least.");
+}

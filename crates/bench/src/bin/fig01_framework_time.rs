@@ -1,0 +1,37 @@
+//! Figure 1: execution time spent inside the framework.
+//!
+//! The paper profiles typical workloads on the System G framework and finds
+//! that on average 76% of execution is in-framework, highest for traversal-
+//! based workloads. We measure the instruction-level split between
+//! framework primitives and user code.
+//!
+//! Usage: `fig01_framework_time [--scale 0.03]`
+
+use graphbig::profile::Table;
+use graphbig::workloads::Workload;
+use graphbig_bench::cpu_char::{figure_params, profile_workload};
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.03);
+    let params = figure_params(scale);
+    let mut table = Table::new(
+        &format!("Figure 1: in-framework execution time (LDBC scale {scale})"),
+        &["workload", "framework %", "user %"],
+    );
+    let mut sum = 0.0;
+    for w in Workload::ALL {
+        let p = profile_workload(w, graphbig::datagen::Dataset::Ldbc, scale, &params);
+        let f = p.counting.framework_fraction();
+        sum += f;
+        table.row(vec![
+            w.short_name().to_string(),
+            Table::pct(f),
+            Table::pct(1.0 - f),
+        ]);
+    }
+    let avg = sum / Workload::ALL.len() as f64;
+    table.row(vec!["average".into(), Table::pct(avg), Table::pct(1.0 - avg)]);
+    println!("{}", table.render());
+    println!("paper: average in-framework time 76%; ours: {}", Table::pct(avg));
+}

@@ -1,0 +1,48 @@
+//! Figure 1 companion: *which* framework primitives the in-framework time
+//! goes to, per workload — the per-region breakdown behind the headline
+//! 76% number ("elementary graph operations, such as find-vertex and
+//! add-edge ... account for a large portion of the total execution time",
+//! Section 1).
+//!
+//! Usage: `fig01b_primitives [--scale 0.01]`
+
+use graphbig::framework::trace::Region;
+use graphbig::profile::Table;
+use graphbig::workloads::Workload;
+use graphbig_bench::cpu_char::{figure_params, profile_workload};
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.01);
+    let params = figure_params(scale);
+    let shown = [
+        Region::FindVertex,
+        Region::TraverseNeighbors,
+        Region::TraverseParents,
+        Region::PropertyAccess,
+        Region::AddVertex,
+        Region::AddEdge,
+        Region::DeleteVertex,
+        Region::UserCode,
+    ];
+    let mut headers: Vec<&str> = vec!["workload"];
+    headers.extend([
+        "find", "neighbors", "parents", "props", "addV", "addE", "delV", "user",
+    ]);
+    let mut table = Table::new(
+        &format!("Figure 1 companion: instruction share by primitive (LDBC scale {scale})"),
+        &headers,
+    );
+    for w in Workload::ALL {
+        let p = profile_workload(w, graphbig::datagen::Dataset::Ldbc, scale, &params);
+        let total: u64 = p.counting.region_instructions.iter().sum();
+        let mut row = vec![w.short_name().to_string()];
+        for r in shown {
+            let share = p.counting.region_instructions[r.index()] as f64 / total.max(1) as f64;
+            row.push(Table::pct(share));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!("traversal workloads live in find-vertex/neighbor-scan/property primitives; CompDyn in add/delete.");
+}

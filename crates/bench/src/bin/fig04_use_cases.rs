@@ -1,0 +1,33 @@
+//! Figure 4: real-world use-case analysis — use-case count per workload
+//! (A) and the distribution of the 21 use cases over six categories (B).
+
+use graphbig::profile::Table;
+use graphbig::workloads::registry::USE_CASE_CATEGORIES;
+use graphbig::workloads::Workload;
+
+fn main() {
+    let mut a = Table::new(
+        "Figure 4(A): # of use cases (of 21) using each workload",
+        &["workload", "use cases", "category", "computation type"],
+    );
+    for w in Workload::ALL {
+        let m = w.meta();
+        a.row(vec![
+            m.short_name.to_string(),
+            m.use_cases.to_string(),
+            m.category.name().to_string(),
+            m.computation_type.to_string(),
+        ]);
+    }
+    println!("{}", a.render());
+
+    let mut b = Table::new(
+        "Figure 4(B): distribution of the 21 use cases over categories",
+        &["category", "share"],
+    );
+    for (name, share) in USE_CASE_CATEGORIES {
+        b.row(vec![name.to_string(), Table::pct(share)]);
+    }
+    println!("{}", b.render());
+    println!("paper anchors: BFS used by 10 use cases (most), TC by 4 (least).");
+}

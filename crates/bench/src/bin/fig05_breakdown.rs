@@ -1,0 +1,34 @@
+//! Figure 5: execution-cycle breakdown (Frontend / BadSpeculation /
+//! Retiring / Backend) of the 13 CPU workloads on LDBC, grouped by
+//! computation type.
+//!
+//! Paper shape: backend dominates most workloads (>90% for kCore and GUp);
+//! CompProp workloads sit near 50% backend.
+//!
+//! Usage: `fig05_breakdown [--scale 0.03]`
+
+use graphbig::profile::Table;
+use graphbig_bench::cpu_char::{figure_params, profile_suite};
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.03);
+    let profiles = profile_suite(scale, &figure_params(scale));
+    let mut table = Table::new(
+        &format!("Figure 5: execution cycle breakdown (LDBC scale {scale})"),
+        &["workload", "type", "retiring", "bad spec", "frontend", "backend"],
+    );
+    for p in &profiles {
+        let (ret, bad, fe, be) = p.counters.cycles.fractions();
+        table.row(vec![
+            p.workload.short_name().to_string(),
+            p.workload.meta().computation_type.to_string(),
+            Table::pct(ret),
+            Table::pct(bad),
+            Table::pct(fe),
+            Table::pct(be),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper shape: Backend >90% for kCore/GUp; CompProp ~50% backend.");
+}

@@ -1,0 +1,40 @@
+//! Figure 6: DTLB penalty, ICache MPKI, and branch miss rate of the CPU
+//! workloads on LDBC.
+//!
+//! Paper anchors: DTLB penalty avg 12.4% (CComp 21.1%, TC 3.9%, Gibbs 1%);
+//! ICache MPKI < 0.7 everywhere; branch miss rate < 5% except TC at 10.7%.
+//!
+//! Usage: `fig06_core [--scale 0.03]`
+
+use graphbig::profile::Table;
+use graphbig_bench::cpu_char::{figure_params, profile_suite};
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.03);
+    let profiles = profile_suite(scale, &figure_params(scale));
+    let mut table = Table::new(
+        &format!("Figure 6: DTLB penalty / ICache MPKI / branch miss (LDBC scale {scale})"),
+        &["workload", "type", "DTLB penalty %", "ICache MPKI", "branch miss %"],
+    );
+    let mut dtlb_sum = 0.0;
+    for p in &profiles {
+        dtlb_sum += p.counters.dtlb_penalty_fraction();
+        table.row(vec![
+            p.workload.short_name().to_string(),
+            p.workload.meta().computation_type.to_string(),
+            Table::pct(p.counters.dtlb_penalty_fraction()),
+            Table::f3(p.counters.icache_mpki()),
+            Table::pct(p.counters.branch_miss_rate()),
+        ]);
+    }
+    table.row(vec![
+        "average".into(),
+        "".into(),
+        Table::pct(dtlb_sum / profiles.len() as f64),
+        "".into(),
+        "".into(),
+    ]);
+    println!("{}", table.render());
+    println!("paper anchors: DTLB avg 12.4% (CComp 21.1, TC 3.9, Gibbs 1.0); ICache MPKI < 0.7; branch miss: TC 10.7%, others < 5%.");
+}

@@ -1,0 +1,42 @@
+//! Figure 7: L1D/L2/L3 cache MPKI of the CPU workloads on LDBC.
+//!
+//! Paper anchors: L3 MPKI avg 48.77; DCentr 145.9 and CComp 101.3 highest;
+//! CompProp tiny; CompDyn ranges 6.3–27.5 with GCons lowest (immediate
+//! reuse after insertion).
+//!
+//! Usage: `fig07_cache [--scale 0.03]`
+
+use graphbig::profile::Table;
+use graphbig_bench::cpu_char::{figure_params, profile_suite};
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.03);
+    let profiles = profile_suite(scale, &figure_params(scale));
+    let mut table = Table::new(
+        &format!("Figure 7: cache MPKI (LDBC scale {scale})"),
+        &["workload", "type", "L1D MPKI", "L2 MPKI", "L3 MPKI", "L1D hit %"],
+    );
+    let mut l3_sum = 0.0;
+    for p in &profiles {
+        l3_sum += p.counters.l3_mpki();
+        table.row(vec![
+            p.workload.short_name().to_string(),
+            p.workload.meta().computation_type.to_string(),
+            Table::f(p.counters.l1d_mpki()),
+            Table::f(p.counters.l2_mpki()),
+            Table::f(p.counters.l3_mpki()),
+            Table::pct(p.counters.l1d_hit_rate()),
+        ]);
+    }
+    table.row(vec![
+        "average".into(),
+        "".into(),
+        "".into(),
+        "".into(),
+        Table::f(l3_sum / profiles.len() as f64),
+        "".into(),
+    ]);
+    println!("{}", table.render());
+    println!("paper anchors: L3 MPKI avg 48.77; DCentr 145.9; CComp 101.3; CompProp lowest; CompDyn 6.3-27.5.");
+}

@@ -1,0 +1,39 @@
+//! Figure 8: average architectural behavior per computation type.
+//!
+//! Paper shape: CompStruct has the highest MPKI/DTLB penalty and lowest
+//! IPC; CompProp the opposite; CompDyn sits between.
+//!
+//! Usage: `fig08_comptype [--scale 0.03]`
+
+use graphbig::framework::ComputationType;
+use graphbig::profile::Table;
+use graphbig_bench::cpu_char::{figure_params, profile_suite};
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.03);
+    let profiles = profile_suite(scale, &figure_params(scale));
+    let mut table = Table::new(
+        &format!("Figure 8: average behavior by computation type (LDBC scale {scale})"),
+        &["type", "L3 MPKI", "DTLB penalty %", "branch miss %", "IPC"],
+    );
+    for ct in ComputationType::ALL {
+        let group: Vec<_> = profiles
+            .iter()
+            .filter(|p| p.workload.meta().computation_type == ct)
+            .collect();
+        let n = group.len() as f64;
+        let avg = |f: &dyn Fn(&graphbig::machine::PerfCounters) -> f64| {
+            group.iter().map(|p| f(&p.counters)).sum::<f64>() / n
+        };
+        table.row(vec![
+            ct.to_string(),
+            Table::f(avg(&|c| c.l3_mpki())),
+            Table::pct(avg(&|c| c.dtlb_penalty_fraction())),
+            Table::pct(avg(&|c| c.branch_miss_rate())),
+            Table::f(avg(&|c| c.ipc())),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper shape: IPC CompProp > CompDyn > CompStruct; MPKI/DTLB highest for CompStruct.");
+}

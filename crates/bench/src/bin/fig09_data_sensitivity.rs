@@ -1,0 +1,49 @@
+//! Figure 9: CPU data sensitivity — L1D hit rate, DTLB penalty and IPC of
+//! the dataset-portable workloads across all five datasets.
+//!
+//! Paper shape: L1D hit rates stay high everywhere except DCentr; the
+//! Twitter graph has the worst DTLB penalty and mostly the lowest IPC;
+//! behavior is visibly data-dependent.
+//!
+//! Usage: `fig09_data_sensitivity [--scale 0.01]`
+
+use graphbig::datagen::Dataset;
+use graphbig::profile::Table;
+use graphbig_bench::cpu_char::{dataset_portable_workloads, figure_params, profile_workload};
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.01);
+    let params = figure_params(scale);
+    let mut l1 = Table::new(
+        &format!("Figure 9a: L1D hit rate by dataset (scale {scale})"),
+        &["workload", "twitter", "knowledge", "watson", "roadnet", "ldbc"],
+    );
+    let mut tlb = Table::new(
+        &format!("Figure 9b: DTLB penalty %% by dataset (scale {scale})"),
+        &["workload", "twitter", "knowledge", "watson", "roadnet", "ldbc"],
+    );
+    let mut ipc = Table::new(
+        &format!("Figure 9c: IPC by dataset (scale {scale})"),
+        &["workload", "twitter", "knowledge", "watson", "roadnet", "ldbc"],
+    );
+    for w in dataset_portable_workloads() {
+        let mut l1_row = vec![w.short_name().to_string()];
+        let mut tlb_row = vec![w.short_name().to_string()];
+        let mut ipc_row = vec![w.short_name().to_string()];
+        for d in Dataset::ALL {
+            eprintln!("  {w} on {d} ...");
+            let p = profile_workload(w, d, scale, &params);
+            l1_row.push(Table::pct(p.counters.l1d_hit_rate()));
+            tlb_row.push(Table::pct(p.counters.dtlb_penalty_fraction()));
+            ipc_row.push(Table::f(p.counters.ipc()));
+        }
+        l1.row(l1_row);
+        tlb.row(tlb_row);
+        ipc.row(ipc_row);
+    }
+    println!("{}", l1.render());
+    println!("{}", tlb.render());
+    println!("{}", ipc.render());
+    println!("paper shape: high L1D hit rates except DCentr; twitter worst DTLB/IPC in most workloads.");
+}

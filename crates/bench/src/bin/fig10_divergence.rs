@@ -1,0 +1,37 @@
+//! Figure 10: branch vs memory divergence of the 8 GPU workloads on LDBC.
+//!
+//! Paper shape: kCore lower-left (MDR 0.25, low BDR); DCentr upper-right
+//! (MDR 0.87, high BDR); GColor/BCentr branch-heavy; CComp/TC low BDR with
+//! memory-side divergence only.
+//!
+//! Usage: `fig10_divergence [--scale 0.03]`
+
+use graphbig::datagen::Dataset;
+use graphbig::profile::Table;
+use graphbig_bench::gpu_char::profile_gpu_suite;
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.03);
+    let results = profile_gpu_suite(Dataset::Ldbc, scale);
+    let mut table = Table::new(
+        &format!("Figure 10: GPU branch/memory divergence (LDBC scale {scale})"),
+        &["workload", "BDR", "MDR", "issued", "replayed"],
+    );
+    for r in &results {
+        table.row(vec![
+            r.workload.short_name().to_string(),
+            Table::f3(r.metrics.bdr),
+            Table::f3(r.metrics.mdr),
+            r.metrics.issued_instructions.to_string(),
+            r.metrics.replayed_instructions.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    let points: Vec<(f64, f64, &str)> = results
+        .iter()
+        .map(|r| (r.metrics.mdr, r.metrics.bdr, r.workload.short_name()))
+        .collect();
+    println!("{}", graphbig::profile::report::scatter_plot(&points, 48, 14));
+    println!("paper shape: kCore low/low; DCentr high/high (MDR 0.87); GColor/BCentr high BDR; CComp/TC low BDR.");
+}

@@ -1,0 +1,33 @@
+//! Figure 11: GPU device-memory throughput and IPC on LDBC.
+//!
+//! Paper anchors: CComp reads 89.9 GB/s (highest; K40 peak is 288);
+//! DCentr 75.2 GB/s but atomics cap its IPC; TC reads only 2.0 GB/s yet
+//! posts the highest IPC.
+//!
+//! Usage: `fig11_throughput [--scale 0.03]`
+
+use graphbig::datagen::Dataset;
+use graphbig::profile::Table;
+use graphbig_bench::gpu_char::profile_gpu_suite;
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let scale = scale_arg(0.03);
+    let results = profile_gpu_suite(Dataset::Ldbc, scale);
+    let mut table = Table::new(
+        &format!("Figure 11: GPU memory throughput and IPC (LDBC scale {scale})"),
+        &["workload", "read GB/s", "write GB/s", "IPC", "atomics", "time ms"],
+    );
+    for r in &results {
+        table.row(vec![
+            r.workload.short_name().to_string(),
+            Table::f(r.metrics.read_throughput_gbps),
+            Table::f(r.metrics.write_throughput_gbps),
+            Table::f3(r.metrics.ipc),
+            r.metrics.atomic_ops.to_string(),
+            Table::f3(r.metrics.time_ms),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper anchors: CComp 89.9 GB/s read (max); DCentr 75.2; TC 2.0 GB/s but highest IPC.");
+}

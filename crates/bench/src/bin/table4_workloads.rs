@@ -1,0 +1,27 @@
+//! Table 4: the GraphBIG workload summary.
+
+use graphbig::profile::Table;
+use graphbig::workloads::Workload;
+
+fn main() {
+    let mut table = Table::new(
+        "Table 4: GraphBIG workload summary",
+        &["workload", "category", "computation type", "algorithm", "GPU"],
+    );
+    for w in Workload::ALL {
+        let m = w.meta();
+        table.row(vec![
+            m.short_name.to_string(),
+            m.category.name().to_string(),
+            m.computation_type.to_string(),
+            m.algorithm.to_string(),
+            if m.on_gpu { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} CPU workloads, {} GPU workloads (paper: 12 CPU + Gibbs listed separately; 8 GPU).",
+        Workload::ALL.len(),
+        Workload::gpu_workloads().len()
+    );
+}

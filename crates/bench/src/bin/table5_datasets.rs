@@ -1,0 +1,55 @@
+//! Tables 5 and 7: dataset inventory (full-size and experiment sizes), and
+//! the measured statistics of this repository's scaled generators.
+//!
+//! Usage: `table5_datasets [--scale 0.01]`
+
+use graphbig::datagen::Dataset;
+use graphbig::framework::prelude::GraphStats;
+use graphbig::profile::Table;
+use graphbig_bench::harness::scale_arg;
+
+fn main() {
+    let mut t5 = Table::new(
+        "Table 5: graph data set summary (paper full sizes)",
+        &["data set", "type", "vertices", "edges"],
+    );
+    for d in Dataset::ALL {
+        let s = d.spec();
+        t5.row(vec![
+            s.name.to_string(),
+            s.source.type_label().to_string(),
+            s.vertices.to_string(),
+            s.edges.to_string(),
+        ]);
+    }
+    println!("{}", t5.render());
+
+    let mut t7 = Table::new(
+        "Table 7: graph data in the experiments (paper sizes)",
+        &["data set", "vertices", "edges"],
+    );
+    for d in Dataset::ALL {
+        let s = d.experiment_spec();
+        t7.row(vec![s.name.to_string(), s.vertices.to_string(), s.edges.to_string()]);
+    }
+    println!("{}", t7.render());
+
+    let scale = scale_arg(0.01);
+    let mut gen = Table::new(
+        &format!("Generated datasets at scale {scale}"),
+        &["data set", "vertices", "arcs", "avg deg", "max deg", "degree cv"],
+    );
+    for d in Dataset::ALL {
+        let g = d.generate(scale);
+        let s = GraphStats::compute(&g);
+        gen.row(vec![
+            d.short_name().to_string(),
+            s.num_vertices.to_string(),
+            s.num_arcs.to_string(),
+            Table::f(s.avg_degree),
+            s.max_degree.to_string(),
+            Table::f(s.degree_cv()),
+        ]);
+    }
+    println!("{}", gen.render());
+}

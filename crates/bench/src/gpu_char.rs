@@ -1,0 +1,45 @@
+//! Shared GPU characterization runner for Figures 10–13.
+
+use graphbig::datagen::Dataset;
+use graphbig::framework::csr::Csr;
+use graphbig::gpu::registry::{run_gpu_workload, GpuRunParams, GpuRunResult};
+use graphbig::simt::GpuConfig;
+use graphbig::workloads::Workload;
+
+/// Run one GPU workload on one dataset at `scale`.
+///
+/// The device L2 is scaled with the dataset (see
+/// `GpuConfig::tesla_k40_scaled`) so that state arrays that exceed the K40's
+/// 1.5 MB L2 at the paper's sizes also exceed it here.
+pub fn profile_gpu_workload(w: Workload, dataset: Dataset, scale: f64) -> GpuRunResult {
+    let g = dataset.generate(scale);
+    let csr = Csr::from_graph(&g);
+    let cfg = GpuConfig::tesla_k40_scaled(scale);
+    run_gpu_workload(w, &cfg, &csr, &GpuRunParams::default())
+}
+
+/// Run all 8 GPU workloads on one dataset.
+pub fn profile_gpu_suite(dataset: Dataset, scale: f64) -> Vec<GpuRunResult> {
+    let g = dataset.generate(scale);
+    let csr = Csr::from_graph(&g);
+    let cfg = GpuConfig::tesla_k40_scaled(scale);
+    Workload::gpu_workloads()
+        .into_iter()
+        .map(|w| {
+            eprintln!("  gpu {w} on {dataset} ...");
+            run_gpu_workload(w, &cfg, &csr, &GpuRunParams::default())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_profile_runs() {
+        let r = profile_gpu_workload(Workload::Bfs, Dataset::Ldbc, 0.0003);
+        assert!(r.metrics.issued_instructions > 0);
+        assert!((0.0..=1.0).contains(&r.metrics.bdr));
+    }
+}

@@ -1,0 +1,54 @@
+//! Shared command-line helpers for the figure/table binaries.
+
+/// Parse `--scale <f64>` from argv; `default` otherwise.
+///
+/// `scale` multiplies each dataset's Table 7 vertex count; 1.0 reproduces
+/// the paper's experiment sizes, the defaults in each binary are chosen so
+/// the whole suite regenerates in minutes on a laptop.
+pub fn scale_arg(default: f64) -> f64 {
+    arg_value("--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parse `--threads <usize>`; `default` otherwise.
+pub fn threads_arg(default: usize) -> usize {
+    arg_value("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Look up the value following a flag in argv.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Render one row of a fixed-width table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:>w$}  ", w = w));
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_is_right_aligned() {
+        let r = row(&["ab".into(), "1.5".into()], &[5, 6]);
+        assert_eq!(r, "   ab     1.5");
+    }
+
+    #[test]
+    fn missing_flag_yields_default() {
+        assert_eq!(scale_arg(0.25), 0.25);
+        assert_eq!(threads_arg(4), 4);
+    }
+}

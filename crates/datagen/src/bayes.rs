@@ -1,0 +1,271 @@
+//! Bayesian-network generator — the input of the Gibbs inference workload.
+//!
+//! The paper uses the MUNIN expert-EMG network: "1041 vertices, 1397 edges,
+//! and 80592 parameters" (Section 5.1). MUNIN itself ships under a
+//! restrictive license, so [`BayesConfig::munin_like`] generates a network
+//! with exactly those vertex/edge counts and a parameter total within 1% of
+//! MUNIN's, with similar structure (sparse DAG, small parent sets, mixed
+//! arities). Gibbs sampling only interacts with the DAG shape and the CPT
+//! tables, so this preserves the workload's behavior: heavy numeric reads of
+//! per-vertex probability tables — the defining CompProp pattern.
+//!
+//! Each vertex carries:
+//! * `CPT` — a `Property::Vector` of length `arity × Π parent arities`,
+//!   where each consecutive block of `arity` entries is a normalized
+//!   conditional distribution for one parent configuration;
+//! * `STATUS` — the variable's arity as an integer;
+//! * `SAMPLE` — the current sampled state (initialized to 0).
+
+use graphbig_framework::property::{keys, Property};
+use graphbig_framework::{PropertyGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dag::{self, DagConfig};
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct BayesConfig {
+    /// Number of variables.
+    pub vertices: usize,
+    /// Number of parent->child edges.
+    pub edges: usize,
+    /// Target total CPT parameter count.
+    pub target_parameters: usize,
+    /// Maximum variable arity.
+    pub max_arity: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BayesConfig {
+    /// The MUNIN-shaped default: 1041 vertices, 1397 edges, ≈80 592
+    /// parameters.
+    pub fn munin_like() -> Self {
+        BayesConfig {
+            vertices: 1041,
+            edges: 1397,
+            target_parameters: 80_592,
+            max_arity: 21,
+            seed: 0xb8e5,
+        }
+    }
+
+    /// A scaled variant keeping MUNIN's edge/vertex and parameter/vertex
+    /// ratios.
+    pub fn with_vertices(vertices: usize) -> Self {
+        let scale = vertices as f64 / 1041.0;
+        BayesConfig {
+            vertices,
+            edges: (1397.0 * scale) as usize,
+            target_parameters: (80_592.0 * scale) as usize,
+            max_arity: 21,
+            seed: 0xb8e5,
+        }
+    }
+}
+
+/// A generated Bayesian network: the property graph plus arity metadata.
+#[derive(Debug)]
+pub struct BayesNet {
+    /// The DAG with CPT/arity/sample properties attached to every vertex.
+    pub graph: PropertyGraph,
+    /// Arity per vertex id (also stored in the `STATUS` property).
+    pub arities: Vec<usize>,
+    /// Total CPT parameters across all vertices.
+    pub total_parameters: usize,
+}
+
+/// Generate a Bayesian network per `cfg`.
+pub fn generate(cfg: &BayesConfig) -> BayesNet {
+    let n = cfg.vertices;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // 1. Structure: a layered DAG trimmed/padded to the exact edge count.
+    let dag_cfg = DagConfig {
+        vertices: n,
+        layers: (n as f64).sqrt().ceil() as usize,
+        max_parents: 3,
+        seed: cfg.seed,
+    };
+    let mut edges = dag::generate_edges(&dag_cfg);
+    edges.truncate(cfg.edges);
+    // Pad with forward edges if the DAG came up short.
+    let mut attempts = 0;
+    while edges.len() < cfg.edges && n >= 2 && attempts < cfg.edges * 20 {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u64 - 1);
+        let v = rng.gen_range(u + 1..n as u64);
+        if !edges.iter().any(|&(a, b, _)| a == u && b == v) {
+            edges.push((u, v, 1.0));
+        }
+    }
+    let mut graph = crate::graph_from_edges(n, &edges, false);
+
+    // 2. Arities: start at 2, then grow random vertices until the total CPT
+    //    parameter count reaches the target.
+    let mut arities = vec![2usize; n];
+    let parents_of: Vec<Vec<VertexId>> = (0..n as u64)
+        .map(|v| graph.parents(v).collect())
+        .collect();
+    let cpt_size = |arities: &[usize], v: usize| -> usize {
+        let mut size = arities[v];
+        for &p in &parents_of[v] {
+            size = size.saturating_mul(arities[p as usize]);
+        }
+        size
+    };
+    let mut total: usize = (0..n).map(|v| cpt_size(&arities, v)).collect::<Vec<_>>().iter().sum();
+    let mut stall = 0;
+    while total < cfg.target_parameters && stall < 100_000 {
+        let v = rng.gen_range(0..n);
+        if arities[v] >= cfg.max_arity {
+            stall += 1;
+            continue;
+        }
+        // Growing v's arity changes v's own CPT and every child's CPT.
+        let mut delta = 0isize;
+        delta -= cpt_size(&arities, v) as isize;
+        let children: Vec<usize> = graph.neighbors(v as u64).map(|e| e.target as usize).collect();
+        for &c in &children {
+            delta -= cpt_size(&arities, c) as isize;
+        }
+        arities[v] += 1;
+        delta += cpt_size(&arities, v) as isize;
+        for &c in &children {
+            delta += cpt_size(&arities, c) as isize;
+        }
+        let new_total = (total as isize + delta) as usize;
+        if new_total > cfg.target_parameters + cfg.target_parameters / 100 {
+            arities[v] -= 1; // overshoot: revert and try another vertex
+            stall += 1;
+        } else {
+            total = new_total;
+            stall = 0;
+        }
+    }
+
+    // 3. Attach CPTs: random positive entries, normalized per parent
+    //    configuration.
+    for v in 0..n {
+        let size = cpt_size(&arities, v);
+        let arity = arities[v];
+        let mut cpt = Vec::with_capacity(size);
+        let configs = size / arity;
+        for _ in 0..configs {
+            let mut block: Vec<f64> = (0..arity).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let sum: f64 = block.iter().sum();
+            for x in block.iter_mut() {
+                *x /= sum;
+            }
+            cpt.extend(block);
+        }
+        graph
+            .set_vertex_prop(v as u64, keys::CPT, Property::Vector(cpt))
+            .expect("vertex exists");
+        graph
+            .set_vertex_prop(v as u64, keys::STATUS, Property::Int(arity as i64))
+            .expect("vertex exists");
+        graph
+            .set_vertex_prop(v as u64, keys::SAMPLE, Property::Int(0))
+            .expect("vertex exists");
+    }
+
+    BayesNet {
+        graph,
+        arities,
+        total_parameters: total,
+    }
+}
+
+/// Index into a CPT: the probability block for a given parent-state
+/// configuration starts at `config_index * arity`, where `config_index` is
+/// the mixed-radix number formed by the parent states (in parent-list
+/// order).
+pub fn cpt_block_offset(parent_states: &[usize], parent_arities: &[usize], arity: usize) -> usize {
+    debug_assert_eq!(parent_states.len(), parent_arities.len());
+    let mut idx = 0usize;
+    for (s, a) in parent_states.iter().zip(parent_arities) {
+        debug_assert!(s < a);
+        idx = idx * a + s;
+    }
+    idx * arity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::is_acyclic;
+
+    #[test]
+    fn munin_like_matches_paper_counts() {
+        let net = generate(&BayesConfig::munin_like());
+        assert_eq!(net.graph.num_vertices(), 1041);
+        assert_eq!(net.graph.num_arcs(), 1397);
+        let target = 80_592f64;
+        let got = net.total_parameters as f64;
+        assert!(
+            (got - target).abs() / target < 0.02,
+            "parameters {got} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn network_is_acyclic() {
+        let net = generate(&BayesConfig::with_vertices(300));
+        assert!(is_acyclic(&net.graph));
+    }
+
+    #[test]
+    fn cpt_blocks_are_normalized() {
+        let net = generate(&BayesConfig::with_vertices(200));
+        for v in 0..200u64 {
+            let arity = net.arities[v as usize];
+            let cpt = net
+                .graph
+                .get_vertex_prop(v, keys::CPT)
+                .unwrap()
+                .as_vector()
+                .unwrap();
+            assert_eq!(cpt.len() % arity, 0);
+            for block in cpt.chunks(arity) {
+                let sum: f64 = block.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "block sums to {sum}");
+                assert!(block.iter().all(|&p| p > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn cpt_size_matches_parent_arities() {
+        let net = generate(&BayesConfig::with_vertices(200));
+        for v in 0..200u64 {
+            let mut expect = net.arities[v as usize];
+            for p in net.graph.parents(v) {
+                expect *= net.arities[p as usize];
+            }
+            let cpt = net
+                .graph
+                .get_vertex_prop(v, keys::CPT)
+                .unwrap()
+                .as_vector()
+                .unwrap();
+            assert_eq!(cpt.len(), expect);
+        }
+    }
+
+    #[test]
+    fn block_offset_mixed_radix() {
+        // parents with arities [2, 3], states [1, 2] -> config 1*3+2 = 5
+        assert_eq!(cpt_block_offset(&[1, 2], &[2, 3], 4), 20);
+        assert_eq!(cpt_block_offset(&[], &[], 3), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&BayesConfig::with_vertices(150));
+        let b = generate(&BayesConfig::with_vertices(150));
+        assert_eq!(a.arities, b.arities);
+        assert_eq!(a.total_parameters, b.total_parameters);
+    }
+}

@@ -1,0 +1,163 @@
+//! Random layered DAG generator — the input of the TMorph workload
+//! ("generates an undirected moral graph from a directed-acyclic graph").
+
+use graphbig_framework::PropertyGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph_from_edges;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct DagConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of layers; edges always go from a lower to a higher layer.
+    pub layers: usize,
+    /// Maximum number of parents per vertex.
+    pub max_parents: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DagConfig {
+    /// Layered DAG with `vertices` vertices and defaults suitable for
+    /// moralization workloads.
+    pub fn with_vertices(vertices: usize) -> Self {
+        DagConfig {
+            vertices,
+            layers: (vertices as f64).sqrt().ceil() as usize,
+            max_parents: 3,
+            seed: 0xda6,
+        }
+    }
+}
+
+/// Generate the DAG: every edge goes from an earlier layer to a later one,
+/// so the result is acyclic by construction.
+pub fn generate(cfg: &DagConfig) -> PropertyGraph {
+    graph_from_edges(cfg.vertices, &generate_edges(cfg), false)
+}
+
+/// Generate the raw edge list.
+pub fn generate_edges(cfg: &DagConfig) -> Vec<(u64, u64, f32)> {
+    let n = cfg.vertices;
+    if n < 2 {
+        return Vec::new();
+    }
+    let layers = cfg.layers.clamp(2, n);
+    let per_layer = n.div_ceil(layers);
+    let layer_of = |v: usize| v / per_layer;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut edges = Vec::new();
+    let mut parents: Vec<u64> = Vec::with_capacity(cfg.max_parents);
+    for v in per_layer..n {
+        let lv = layer_of(v);
+        let n_parents = rng.gen_range(1..=cfg.max_parents.max(1));
+        parents.clear();
+        for _ in 0..n_parents {
+            // Parent from any strictly earlier layer, biased to the previous.
+            let pl = if rng.gen_range(0.0..1.0) < 0.7 {
+                lv - 1
+            } else {
+                rng.gen_range(0..lv)
+            };
+            let lo = pl * per_layer;
+            let hi = ((pl + 1) * per_layer).min(n);
+            let p = rng.gen_range(lo..hi) as u64;
+            if !parents.contains(&p) {
+                parents.push(p);
+                edges.push((p, v as u64, 1.0));
+            }
+        }
+    }
+    edges
+}
+
+/// Check that a graph is a DAG via Kahn's algorithm (test/diagnostic aid).
+pub fn is_acyclic(g: &PropertyGraph) -> bool {
+    let ids: Vec<u64> = g.vertex_ids().to_vec();
+    let mut indeg: std::collections::HashMap<u64, usize> =
+        ids.iter().map(|&id| (id, 0)).collect();
+    for (_, e) in g.arcs() {
+        *indeg.get_mut(&e.target).expect("target exists") += 1;
+    }
+    let mut queue: Vec<u64> = ids
+        .iter()
+        .copied()
+        .filter(|id| indeg[id] == 0)
+        .collect();
+    let mut seen = 0usize;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for e in g.neighbors(u) {
+            let d = indeg.get_mut(&e.target).expect("target exists");
+            *d -= 1;
+            if *d == 0 {
+                queue.push(e.target);
+            }
+        }
+    }
+    seen == ids.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DagConfig {
+        DagConfig::with_vertices(2_000)
+    }
+
+    #[test]
+    fn generated_graph_is_acyclic() {
+        let g = generate(&cfg());
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn edges_point_forward_in_vertex_order() {
+        // With per-layer blocks of consecutive ids, every edge goes from a
+        // smaller block; in particular no edge is a self-loop.
+        let g = generate(&cfg());
+        for (u, e) in g.arcs() {
+            assert_ne!(u, e.target);
+        }
+    }
+
+    #[test]
+    fn most_vertices_have_parents() {
+        let c = cfg();
+        let g = generate(&c);
+        let with_parents = g.vertices().filter(|v| v.in_degree() > 0).count();
+        assert!(with_parents > c.vertices / 2);
+    }
+
+    #[test]
+    fn max_parents_is_respected_roughly() {
+        let c = DagConfig {
+            max_parents: 2,
+            ..cfg()
+        };
+        let g = generate(&c);
+        // duplicates allowed early on; in-degree stays small regardless
+        let max_in = g.vertices().map(|v| v.in_degree()).max().unwrap();
+        assert!(max_in <= 16, "max in-degree {max_in}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_edges(&cfg()), generate_edges(&cfg()));
+    }
+
+    #[test]
+    fn is_acyclic_detects_cycles() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        g.add_edge(a, b, 1.0).unwrap();
+        assert!(is_acyclic(&g));
+        g.add_edge(b, a, 1.0).unwrap();
+        assert!(!is_acyclic(&g));
+    }
+}

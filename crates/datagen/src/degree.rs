@@ -1,0 +1,165 @@
+//! Degree-distribution utilities shared by the topology generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Sample from a discrete power law `P(d) ∝ d^-alpha` on `[dmin, dmax]` via
+/// inverse-transform sampling of the continuous law, floored.
+pub fn power_law_degree(rng: &mut SmallRng, alpha: f64, dmin: usize, dmax: usize) -> usize {
+    debug_assert!(alpha > 1.0, "power law needs alpha > 1");
+    debug_assert!(dmin >= 1 && dmax >= dmin);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let a = 1.0 - alpha;
+    let lo = (dmin as f64).powf(a);
+    let hi = ((dmax + 1) as f64).powf(a);
+    let x = (lo + u * (hi - lo)).powf(1.0 / a);
+    (x as usize).clamp(dmin, dmax)
+}
+
+/// Sample a full degree sequence with a target mean: degrees are drawn from
+/// the power law and then scaled stochastically so the sequence's mean is
+/// close to `target_mean`.
+pub fn degree_sequence(
+    rng: &mut SmallRng,
+    n: usize,
+    alpha: f64,
+    dmin: usize,
+    dmax: usize,
+    target_mean: f64,
+) -> Vec<usize> {
+    let mut degrees: Vec<usize> = (0..n)
+        .map(|_| power_law_degree(rng, alpha, dmin, dmax))
+        .collect();
+    let sum: usize = degrees.iter().sum();
+    if sum == 0 || n == 0 {
+        return degrees;
+    }
+    let factor = target_mean * n as f64 / sum as f64;
+    if (factor - 1.0).abs() > 0.01 {
+        for d in degrees.iter_mut() {
+            let scaled = *d as f64 * factor;
+            let base = scaled.floor();
+            let frac = scaled - base;
+            *d = base as usize + usize::from(rng.gen_range(0.0..1.0) < frac);
+            *d = (*d).min(dmax.max(1));
+        }
+    }
+    degrees
+}
+
+/// Zipf sampler over `0..n` with exponent `s`, using precomputed cumulative
+/// weights (O(log n) per sample). Rank 0 is the most popular item.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the normalized CDF for `n` items.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero items (never true by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn power_law_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let d = power_law_degree(&mut r, 2.2, 1, 100);
+            assert!((1..=100).contains(&d));
+        }
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed() {
+        let mut r = rng();
+        let samples: Vec<usize> = (0..50_000)
+            .map(|_| power_law_degree(&mut r, 2.0, 1, 10_000))
+            .collect();
+        let ones = samples.iter().filter(|&&d| d == 1).count();
+        let big = samples.iter().filter(|&&d| d > 100).count();
+        // most mass at the bottom, but a real tail exists
+        assert!(ones > samples.len() / 3);
+        assert!(big > 0);
+    }
+
+    #[test]
+    fn degree_sequence_hits_target_mean() {
+        let mut r = rng();
+        let seq = degree_sequence(&mut r, 20_000, 2.3, 1, 1000, 8.0);
+        let mean = seq.iter().sum::<usize>() as f64 / seq.len() as f64;
+        assert!((mean - 8.0).abs() < 1.0, "mean {mean} too far from 8");
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_popular() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999] * 5);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(7, 1.2);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 7);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let sa: Vec<usize> = (0..100).map(|_| power_law_degree(&mut a, 2.1, 1, 50)).collect();
+        let sb: Vec<usize> = (0..100).map(|_| power_law_degree(&mut b, 2.1, 1, 50)).collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text edge-list I/O (SNAP-style), so users can load real datasets —
+//! e.g. the actual CA road network from SNAP — in place of the generators.
+//!
+//! Format: one `src dst [weight]` triple per line, whitespace-separated;
+//! lines starting with `#` or `%` are comments. Vertices are created on
+//! first mention.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use graphbig_framework::error::{GraphError, Result};
+use graphbig_framework::PropertyGraph;
+
+/// Parse an edge list from a reader into a directed [`PropertyGraph`].
+pub fn read_graph<R: Read>(reader: R) -> Result<PropertyGraph> {
+    let edges = read_edges(reader)?;
+    let mut g = PropertyGraph::new();
+    for &(u, v, w) in &edges {
+        if g.find_vertex(u).is_none() {
+            g.add_vertex_with_id(u).expect("first mention");
+        }
+        if g.find_vertex(v).is_none() {
+            g.add_vertex_with_id(v).expect("first mention");
+        }
+        g.add_edge(u, v, w).expect("endpoints exist");
+    }
+    Ok(g)
+}
+
+/// Parse an edge list into raw tuples.
+pub fn read_edges<R: Read>(reader: R) -> Result<Vec<(u64, u64, f32)>> {
+    let mut edges = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| GraphError::MalformedInput(format!("I/O error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<u64> {
+            tok.ok_or_else(|| {
+                GraphError::MalformedInput(format!("line {}: missing {what}", lineno + 1))
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::MalformedInput(format!("line {}: {e}", lineno + 1)))
+        };
+        let u = parse(it.next(), "source")?;
+        let v = parse(it.next(), "target")?;
+        let w = match it.next() {
+            None => 1.0f32,
+            Some(tok) => tok.parse::<f32>().map_err(|e| {
+                GraphError::MalformedInput(format!("line {}: bad weight: {e}", lineno + 1))
+            })?,
+        };
+        edges.push((u, v, w));
+    }
+    Ok(edges)
+}
+
+/// Write a graph as an edge list (weights included when ≠ 1.0).
+pub fn write_graph<W: Write>(g: &PropertyGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "# GraphBIG-RS edge list: {} vertices, {} arcs", g.num_vertices(), g.num_arcs())?;
+    for (u, e) in g.arcs() {
+        if (e.weight - 1.0).abs() < f32::EPSILON {
+            writeln!(writer, "{u} {}", e.target)?;
+        } else {
+            writeln!(writer, "{u} {} {}", e.target, e.weight)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_edge_list() {
+        let text = "# comment\n0 1\n1 2 2.5\n\n% another comment\n2 0\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 3);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.find_vertex(1).unwrap().find_edge(2).unwrap().weight, 2.5);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_edges("0\n".as_bytes()).is_err());
+        assert!(read_edges("a b\n".as_bytes()).is_err());
+        assert!(read_edges("0 1 xyz\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_mentions_line_number() {
+        let err = read_edges("0 1\nbroken\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let mut g = PropertyGraph::new();
+        for _ in 0..5 {
+            g.add_vertex();
+        }
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 3.5).unwrap();
+        g.add_edge(4, 0, 1.0).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices() - 1); // vertex 3 isolated, not mentioned
+        assert_eq!(g2.num_arcs(), 3);
+        assert_eq!(g2.find_vertex(1).unwrap().find_edge(2).unwrap().weight, 3.5);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_graph("".as_bytes()).unwrap();
+        assert!(g.is_empty());
+    }
+}

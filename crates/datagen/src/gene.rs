@@ -1,0 +1,153 @@
+//! Gene-network-like generator (Table 2, Type 3 "nature network").
+//!
+//! Stands in for the IBM Watson Gene graph: "representing the relationships
+//! between gene, chemical, and drug" (Section 4.3). Nature networks per
+//! Table 2 have *structured topology* and *complex properties*:
+//!
+//! * vertices are grouped into functional modules with dense intra-module
+//!   and sparse inter-module connectivity (the structured topology that
+//!   gives Watson-gene its "small-size local subgraphs" in Section 5.3);
+//! * every vertex carries a rich `PAYLOAD` vector property (expression
+//!   levels / affinity profiles) and a `LABEL` naming its entity class.
+
+use graphbig_framework::property::{keys, Property};
+use graphbig_framework::PropertyGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph_from_edges;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GeneConfig {
+    /// Number of vertices; Table 7's Watson Gene graph has 2M.
+    pub vertices: usize,
+    /// Target mean degree; Table 7's ratio is 12.2M/2M = 6.1.
+    pub avg_degree: f64,
+    /// Mean module (pathway) size.
+    pub module_size: usize,
+    /// Fraction of edges that stay inside the module.
+    pub module_bias: f64,
+    /// Length of the per-vertex payload vector.
+    pub payload_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneConfig {
+    /// Gene-network-like graph with `vertices` vertices.
+    pub fn with_vertices(vertices: usize) -> Self {
+        GeneConfig {
+            vertices,
+            avg_degree: 6.1,
+            module_size: 48,
+            module_bias: 0.85,
+            payload_len: 16,
+            seed: 0x9e4e,
+        }
+    }
+}
+
+/// Entity classes cycled over vertex ids.
+const CLASSES: [&str; 3] = ["gene", "chemical", "drug"];
+
+/// Generate the module-structured undirected graph with rich properties.
+pub fn generate(cfg: &GeneConfig) -> PropertyGraph {
+    let mut g = graph_from_edges(cfg.vertices, &generate_edges(cfg), true);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xfeed);
+    let ids: Vec<u64> = g.vertex_ids().to_vec();
+    for id in ids {
+        let class = CLASSES[(id % 3) as usize];
+        let payload: Vec<f64> = (0..cfg.payload_len).map(|_| rng.gen_range(0.0..1.0)).collect();
+        g.set_vertex_prop(id, keys::LABEL, Property::Text(class.into()))
+            .expect("vertex exists");
+        g.set_vertex_prop(id, keys::PAYLOAD, Property::Vector(payload))
+            .expect("vertex exists");
+    }
+    g
+}
+
+/// Generate the raw undirected edge list (each pair once).
+pub fn generate_edges(cfg: &GeneConfig) -> Vec<(u64, u64, f32)> {
+    let n = cfg.vertices;
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let msize = cfg.module_size.max(2);
+    // `avg_degree` counts unique undirected edges per vertex (Table 7's
+    // 12.2M/2M); each stored twice, total degree is 2x this.
+    let m_target = (n as f64 * cfg.avg_degree) as usize;
+    let mut edges = Vec::with_capacity(m_target);
+    while edges.len() < m_target {
+        let u = rng.gen_range(0..n as u64);
+        let module = u as usize / msize;
+        let v = if rng.gen_range(0.0..1.0) < cfg.module_bias {
+            let lo = (module * msize) as u64;
+            let hi = ((module + 1) * msize).min(n) as u64;
+            rng.gen_range(lo..hi)
+        } else {
+            rng.gen_range(0..n as u64)
+        };
+        if u != v {
+            edges.push((u, v, 1.0));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GeneConfig {
+        GeneConfig::with_vertices(6_000)
+    }
+
+    #[test]
+    fn degree_matches_watson_ratio() {
+        let g = generate(&cfg());
+        // undirected edges stored as two arcs -> arcs/V ~ 2 * avg_degree
+        let ratio = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!((ratio - 12.2).abs() < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn topology_is_modular() {
+        let c = cfg();
+        let g = generate(&c);
+        let m = c.module_size as u64;
+        let local = g
+            .arcs()
+            .filter(|(u, e)| u / m == e.target / m)
+            .count();
+        let frac = local as f64 / g.num_arcs() as f64;
+        assert!(frac > 0.7, "intra-module fraction {frac}");
+    }
+
+    #[test]
+    fn vertices_carry_rich_properties() {
+        let c = cfg();
+        let g = generate(&c);
+        for id in [0u64, 1, 2, 100] {
+            let label = g.get_vertex_prop(id, keys::LABEL).unwrap().as_text().unwrap();
+            assert!(CLASSES.contains(&label));
+            let payload = g.get_vertex_prop(id, keys::PAYLOAD).unwrap().as_vector().unwrap();
+            assert_eq!(payload.len(), c.payload_len);
+            assert!(payload.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let g = generate(&cfg());
+        for (u, e) in g.arcs().take(500) {
+            assert!(g.has_edge(e.target, u), "missing reverse of {u}->{}", e.target);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_edges(&cfg()), generate_edges(&cfg()));
+    }
+}

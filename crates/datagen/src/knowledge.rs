@@ -1,0 +1,158 @@
+//! Knowledge-repository-like bipartite graph generator (Table 2, Type 2).
+//!
+//! Stands in for IBM Knowledge Repo: "two types of vertices, users and
+//! documents, form up a bipartite graph; an edge represents a particular
+//! document is accessed by a user" (Section 4.3). Information-network
+//! features per Table 2: large vertex degrees and large two-hop
+//! neighbourhoods — produced here by Zipf-popular documents that connect
+//! many users to each other at distance two.
+//!
+//! Vertices carry a `LABEL` property marking their side ("user"/"doc").
+
+use graphbig_framework::property::{keys, Property};
+use graphbig_framework::PropertyGraph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::degree::{power_law_degree, Zipf};
+use crate::graph_from_edges;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct KnowledgeConfig {
+    /// Total vertices (users + documents); Table 7 has 154K.
+    pub vertices: usize,
+    /// Fraction of vertices that are documents.
+    pub doc_fraction: f64,
+    /// Target mean degree over all vertices; Table 7's ratio is ≈11.2.
+    pub avg_degree: f64,
+    /// Zipf exponent of document popularity.
+    pub popularity_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KnowledgeConfig {
+    /// Knowledge-repo-like graph with `vertices` total vertices.
+    pub fn with_vertices(vertices: usize) -> Self {
+        KnowledgeConfig {
+            vertices,
+            doc_fraction: 0.4,
+            avg_degree: 1_720.0 / 154.0,
+            popularity_exponent: 0.9,
+            seed: 0x5e9c,
+        }
+    }
+
+    /// Number of user vertices (ids `0..num_users`).
+    pub fn num_users(&self) -> usize {
+        self.vertices - self.num_docs()
+    }
+
+    /// Number of document vertices (ids `num_users..vertices`).
+    pub fn num_docs(&self) -> usize {
+        ((self.vertices as f64 * self.doc_fraction) as usize).clamp(1, self.vertices.saturating_sub(1).max(1))
+    }
+}
+
+/// Generate the bipartite access graph (undirected user — document access
+/// edges, stored as arc pairs) with `LABEL` properties on every vertex.
+pub fn generate(cfg: &KnowledgeConfig) -> PropertyGraph {
+    let mut g = graph_from_edges(cfg.vertices, &generate_edges(cfg), true);
+    let users = cfg.num_users() as u64;
+    let ids: Vec<u64> = g.vertex_ids().to_vec();
+    for id in ids {
+        let label = if id < users { "user" } else { "doc" };
+        g.set_vertex_prop(id, keys::LABEL, Property::Text(label.into()))
+            .expect("vertex exists");
+    }
+    g
+}
+
+/// Generate the raw edge list: `(user, doc, weight)` tuples with documents
+/// numbered after users.
+pub fn generate_edges(cfg: &KnowledgeConfig) -> Vec<(u64, u64, f32)> {
+    if cfg.vertices < 2 {
+        return Vec::new();
+    }
+    let users = cfg.num_users();
+    let docs = cfg.num_docs();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(docs, cfg.popularity_exponent);
+    let m_target = (cfg.vertices as f64 * cfg.avg_degree) as usize;
+    let mut edges = Vec::with_capacity(m_target);
+    let mut u = 0usize;
+    while edges.len() < m_target {
+        // Each user accesses a power-law number of documents.
+        let d = power_law_degree(&mut rng, 1.8, 1, 400).min(m_target - edges.len());
+        for _ in 0..d {
+            let doc = users + zipf.sample(&mut rng);
+            edges.push((u as u64, doc as u64, 1.0));
+        }
+        u = (u + 1) % users.max(1);
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> KnowledgeConfig {
+        KnowledgeConfig::with_vertices(10_000)
+    }
+
+    #[test]
+    fn graph_is_bipartite() {
+        let c = cfg();
+        let g = generate(&c);
+        let users = c.num_users() as u64;
+        for (u, e) in g.arcs() {
+            assert!(
+                (u < users) != (e.target < users),
+                "arc {u}->{} must connect a user and a doc",
+                e.target
+            );
+        }
+    }
+
+    #[test]
+    fn labels_mark_both_sides() {
+        let c = cfg();
+        let g = generate(&c);
+        let users = c.num_users() as u64;
+        assert_eq!(
+            g.get_vertex_prop(0, keys::LABEL).unwrap().as_text(),
+            Some("user")
+        );
+        assert_eq!(
+            g.get_vertex_prop(users, keys::LABEL).unwrap().as_text(),
+            Some("doc")
+        );
+    }
+
+    #[test]
+    fn popular_documents_have_large_in_degree() {
+        let c = cfg();
+        let g = generate(&c);
+        let users = c.num_users() as u64;
+        // document rank 0 (vertex `users`) should dominate
+        let top = g.find_vertex(users).unwrap().in_degree();
+        let mid = g.find_vertex(users + (c.num_docs() / 2) as u64).unwrap().in_degree();
+        assert!(top > mid * 3, "top {top}, mid {mid}");
+    }
+
+    #[test]
+    fn edge_volume_matches_ratio() {
+        // undirected: each access stored as two arcs
+        let c = cfg();
+        let g = generate(&c);
+        let ratio = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!((ratio - 2.0 * c.avg_degree).abs() < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_edges(&cfg()), generate_edges(&cfg()));
+    }
+}

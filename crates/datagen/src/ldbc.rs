@@ -1,0 +1,177 @@
+//! LDBC-like synthetic social network generator.
+//!
+//! The paper uses the LDBC (S3G2) data generator because it produces graphs
+//! of *arbitrary size* that keep "the same features as a facebook-like
+//! social network" (Section 4.3), and because its degree imbalance is spread
+//! over many vertices — the property the paper blames for LDBC's
+//! highest-of-all warp divergence in Figure 13.
+//!
+//! This generator reproduces those class features:
+//!
+//! * power-law out-degrees with a moderate exponent, so imbalance involves
+//!   *many* vertices (unlike the Twitter generator's few extreme hubs);
+//! * community structure: most edges stay inside a vertex's community
+//!   (correlated neighborhoods, as S3G2 correlates friends);
+//! * a configurable mean degree, defaulting to the ≈28.8 edges/vertex of the
+//!   paper's LDBC-1M dataset (Table 7).
+
+use graphbig_framework::PropertyGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::degree::degree_sequence;
+use crate::graph_from_edges;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct LdbcConfig {
+    /// Number of vertices (persons).
+    pub vertices: usize,
+    /// Target mean out-degree; Table 7's LDBC-1M has 28.82.
+    pub avg_degree: f64,
+    /// Power-law exponent of the degree distribution.
+    pub alpha: f64,
+    /// Mean community size.
+    pub community_size: usize,
+    /// Fraction of edges that stay within the community.
+    pub community_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LdbcConfig {
+    /// LDBC-like graph with `vertices` persons and paper-default parameters.
+    pub fn with_vertices(vertices: usize) -> Self {
+        LdbcConfig {
+            vertices,
+            avg_degree: 28.82,
+            alpha: 2.3,
+            community_size: 64,
+            community_bias: 0.6,
+            seed: 0x1dbc_u64,
+        }
+    }
+}
+
+/// Generate the social graph as a directed [`PropertyGraph`].
+pub fn generate(cfg: &LdbcConfig) -> PropertyGraph {
+    graph_from_edges(cfg.vertices, &generate_edges(cfg), false)
+}
+
+/// Generate the raw edge list (useful for CSR-only consumers).
+pub fn generate_edges(cfg: &LdbcConfig) -> Vec<(u64, u64, f32)> {
+    let n = cfg.vertices;
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let dmax = (n / 4).clamp(2, 10_000);
+    let degrees = degree_sequence(&mut rng, n, cfg.alpha, 1, dmax, cfg.avg_degree);
+
+    // Preferential-attachment pool: vertex u appears deg(u)+1 times, so
+    // global edges favor already-popular vertices.
+    let mut pool: Vec<u64> = Vec::with_capacity(degrees.iter().sum::<usize>() + n);
+    for (u, &d) in degrees.iter().enumerate() {
+        for _ in 0..(d + 1).min(64) {
+            pool.push(u as u64);
+        }
+    }
+
+    let csize = cfg.community_size.max(2);
+    let mut edges = Vec::with_capacity(degrees.iter().sum());
+    for (u, &d) in degrees.iter().enumerate() {
+        let community = u / csize;
+        let clo = (community * csize) as u64;
+        let chi = (((community + 1) * csize).min(n)) as u64;
+        for _ in 0..d {
+            let v = if rng.gen_range(0.0..1.0) < cfg.community_bias {
+                rng.gen_range(clo..chi)
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            if v != u as u64 {
+                edges.push((u as u64, v, 1.0));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbig_framework::prelude::GraphStats;
+
+    fn small_cfg() -> LdbcConfig {
+        LdbcConfig {
+            vertices: 4000,
+            avg_degree: 12.0,
+            alpha: 2.3,
+            community_size: 64,
+            community_bias: 0.6,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn target_size_is_met() {
+        let cfg = small_cfg();
+        let g = generate(&cfg);
+        assert_eq!(g.num_vertices(), 4000);
+        let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!((avg - cfg.avg_degree).abs() < cfg.avg_degree * 0.25, "avg {avg}");
+    }
+
+    #[test]
+    fn degree_distribution_is_unbalanced_across_many_vertices() {
+        let g = generate(&small_cfg());
+        let s = GraphStats::compute(&g);
+        assert!(s.degree_cv() > 0.8, "cv {}", s.degree_cv());
+        // imbalance is not just a couple of hubs: count vertices with degree
+        // above twice the mean
+        let heavy = g
+            .vertices()
+            .filter(|v| v.out_degree() as f64 > 2.0 * s.avg_degree)
+            .count();
+        assert!(heavy > g.num_vertices() / 200, "heavy {heavy}");
+    }
+
+    #[test]
+    fn community_bias_keeps_edges_local() {
+        let cfg = small_cfg();
+        let g = generate(&cfg);
+        let csize = cfg.community_size as u64;
+        let local = g
+            .arcs()
+            .filter(|(u, e)| u / csize == e.target / csize)
+            .count();
+        let frac = local as f64 / g.num_arcs() as f64;
+        assert!(frac > 0.45, "local fraction {frac}");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate(&small_cfg());
+        assert!(g.arcs().all(|(u, e)| u != e.target));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let e1 = generate_edges(&small_cfg());
+        let e2 = generate_edges(&small_cfg());
+        assert_eq!(e1, e2);
+        let mut other = small_cfg();
+        other.seed += 1;
+        assert_ne!(e1, generate_edges(&other));
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_panic() {
+        for n in 0..4 {
+            let mut cfg = small_cfg();
+            cfg.vertices = n;
+            let g = generate(&cfg);
+            assert_eq!(g.num_vertices(), n);
+        }
+    }
+}

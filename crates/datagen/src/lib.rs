@@ -1,0 +1,62 @@
+//! # graphbig-datagen
+//!
+//! Deterministic dataset generators covering the paper's four graph
+//! data-source types (Table 2) and its dataset inventory (Tables 5 and 7):
+//!
+//! * [`twitter`] — Type 1 social network: hub-heavy power law, small paths,
+//!   one large connected component (stands in for the sampled Twitter graph).
+//! * [`knowledge`] — Type 2 information network: bipartite user–document
+//!   graph with Zipf document popularity (stands in for IBM Knowledge Repo).
+//! * [`gene`] — Type 3 nature network: modular topology with rich vector
+//!   properties (stands in for the IBM Watson Gene graph).
+//! * [`road`] — Type 4 man-made network: perturbed planar grid, degree ≈ 2.9
+//!   (stands in for the CA road network).
+//! * [`ldbc`] — synthetic social network with LDBC-like features and
+//!   arbitrary scale.
+//! * [`dag`] — random layered DAGs (TMorph input).
+//! * [`bayes`] — Bayesian networks with CPTs (Gibbs input; the default
+//!   configuration reproduces MUNIN's 1041 vertices / 1397 edges / ~80 592
+//!   parameters).
+//!
+//! All generators take an explicit seed and are fully deterministic; every
+//! dataset can be produced at any scale through [`registry::Dataset`], which
+//! preserves each dataset's edge/vertex ratio from Table 7.
+
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod dag;
+pub mod degree;
+pub mod edgelist;
+pub mod gene;
+pub mod knowledge;
+pub mod ldbc;
+pub mod registry;
+pub mod road;
+pub mod twitter;
+
+pub use registry::{Dataset, DatasetSpec};
+
+use graphbig_framework::PropertyGraph;
+
+/// Build a [`PropertyGraph`] from dense edge tuples over `n` auto-id
+/// vertices. Shared by the generators.
+pub(crate) fn graph_from_edges(
+    n: usize,
+    edges: &[(u64, u64, f32)],
+    undirected: bool,
+) -> PropertyGraph {
+    let mut g = PropertyGraph::with_capacity(n);
+    for _ in 0..n {
+        g.add_vertex();
+    }
+    for &(u, v, w) in edges {
+        if undirected {
+            g.add_edge_undirected(u, v, w)
+                .expect("generator edge endpoints exist");
+        } else {
+            g.add_edge(u, v, w).expect("generator edge endpoints exist");
+        }
+    }
+    g
+}

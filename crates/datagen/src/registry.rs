@@ -1,0 +1,210 @@
+//! The dataset registry: Tables 5 and 7 of the paper, scalable.
+//!
+//! [`Dataset`] enumerates the five experiment datasets. [`Dataset::spec`]
+//! returns the paper's full-size inventory (Table 5) and
+//! [`Dataset::experiment_spec`] the sizes actually used in the paper's
+//! experiments (Table 7). [`Dataset::generate`] produces a graph at any
+//! scale, preserving the dataset's Table 7 edge/vertex ratio and its
+//! topology class.
+
+use graphbig_framework::{DataSource, PropertyGraph};
+use serde::{Deserialize, Serialize};
+
+use crate::{gene, knowledge, ldbc, road, twitter};
+
+/// One row of the paper's dataset tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset display name.
+    pub name: &'static str,
+    /// Data-source family (Table 2 type).
+    pub source: DataSource,
+    /// Vertex count.
+    pub vertices: u64,
+    /// Edge count.
+    pub edges: u64,
+}
+
+/// The five datasets used in the paper's characterization (Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// Sampled Twitter transaction graph (Type 1).
+    Twitter,
+    /// IBM Knowledge Repo bipartite user/document graph (Type 2).
+    KnowledgeRepo,
+    /// IBM Watson Gene graph (Type 3).
+    WatsonGene,
+    /// California road network (Type 4).
+    CaRoad,
+    /// LDBC synthetic social graph.
+    Ldbc,
+}
+
+impl Dataset {
+    /// All five datasets in Table 7 order.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::Twitter,
+        Dataset::KnowledgeRepo,
+        Dataset::WatsonGene,
+        Dataset::CaRoad,
+        Dataset::Ldbc,
+    ];
+
+    /// Table 5: the full-size dataset inventory.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Twitter => DatasetSpec {
+                name: "Twitter Graph",
+                source: DataSource::Social,
+                vertices: 120_000_000,
+                edges: 1_900_000_000,
+            },
+            Dataset::KnowledgeRepo => DatasetSpec {
+                name: "IBM Knowledge Repo",
+                source: DataSource::Information,
+                vertices: 154_000,
+                edges: 1_720_000,
+            },
+            Dataset::WatsonGene => DatasetSpec {
+                name: "IBM Watson Gene Graph",
+                source: DataSource::Nature,
+                vertices: 2_000_000,
+                edges: 12_200_000,
+            },
+            Dataset::CaRoad => DatasetSpec {
+                name: "CA Road Network",
+                source: DataSource::ManMade,
+                vertices: 1_900_000,
+                edges: 2_800_000,
+            },
+            Dataset::Ldbc => DatasetSpec {
+                name: "LDBC Graph",
+                source: DataSource::Synthetic,
+                vertices: 1_000_000,
+                edges: 28_820_000,
+            },
+        }
+    }
+
+    /// Table 7: the sizes used in the paper's experiments (Twitter sampled
+    /// down to 11M/85M; LDBC generated at 1M).
+    pub fn experiment_spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Twitter => DatasetSpec {
+                name: "Twitter Graph (sampled)",
+                source: DataSource::Social,
+                vertices: 11_000_000,
+                edges: 85_000_000,
+            },
+            Dataset::Ldbc => DatasetSpec {
+                name: "LDBC Graph",
+                source: DataSource::Synthetic,
+                vertices: 1_000_000,
+                edges: 28_820_000,
+            },
+            other => other.spec(),
+        }
+    }
+
+    /// Short lower-case name used in figure labels ("twitter", "knowledge",
+    /// "watson", "roadnet", "ldbc").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Dataset::Twitter => "twitter",
+            Dataset::KnowledgeRepo => "knowledge",
+            Dataset::WatsonGene => "watson",
+            Dataset::CaRoad => "roadnet",
+            Dataset::Ldbc => "ldbc",
+        }
+    }
+
+    /// Whether the underlying graph is undirected (stored as arc pairs).
+    pub fn is_undirected(self) -> bool {
+        matches!(self, Dataset::WatsonGene | Dataset::CaRoad | Dataset::KnowledgeRepo)
+    }
+
+    /// Generate the dataset scaled so that its vertex count is
+    /// `scale ×` the Table 7 experiment size, preserving the edge/vertex
+    /// ratio and topology class. `scale = 1.0` reproduces Table 7 sizes.
+    pub fn generate(self, scale: f64) -> PropertyGraph {
+        let v = ((self.experiment_spec().vertices as f64 * scale) as usize).max(16);
+        self.generate_with_vertices(v)
+    }
+
+    /// Generate the dataset with an explicit vertex count.
+    pub fn generate_with_vertices(self, vertices: usize) -> PropertyGraph {
+        match self {
+            Dataset::Twitter => twitter::generate(&twitter::TwitterConfig::with_vertices(vertices)),
+            Dataset::KnowledgeRepo => {
+                knowledge::generate(&knowledge::KnowledgeConfig::with_vertices(vertices))
+            }
+            Dataset::WatsonGene => gene::generate(&gene::GeneConfig::with_vertices(vertices)),
+            Dataset::CaRoad => road::generate(&road::RoadConfig::with_vertices(vertices)),
+            Dataset::Ldbc => ldbc::generate(&ldbc::LdbcConfig::with_vertices(vertices)),
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_counts_match_paper() {
+        assert_eq!(Dataset::Twitter.spec().vertices, 120_000_000);
+        assert_eq!(Dataset::Twitter.spec().edges, 1_900_000_000);
+        assert_eq!(Dataset::KnowledgeRepo.spec().vertices, 154_000);
+        assert_eq!(Dataset::WatsonGene.spec().edges, 12_200_000);
+        assert_eq!(Dataset::CaRoad.spec().vertices, 1_900_000);
+        assert_eq!(Dataset::Ldbc.spec().edges, 28_820_000);
+    }
+
+    #[test]
+    fn table7_samples_twitter() {
+        let t = Dataset::Twitter.experiment_spec();
+        assert_eq!(t.vertices, 11_000_000);
+        assert_eq!(t.edges, 85_000_000);
+        // the others match Table 5
+        assert_eq!(
+            Dataset::CaRoad.experiment_spec(),
+            Dataset::CaRoad.spec()
+        );
+    }
+
+    #[test]
+    fn each_dataset_has_distinct_source() {
+        let sources: Vec<_> = Dataset::ALL.iter().map(|d| d.spec().source).collect();
+        for i in 0..sources.len() {
+            for j in (i + 1)..sources.len() {
+                assert_ne!(sources[i], sources[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_preserves_edge_ratio() {
+        for d in Dataset::ALL {
+            let g = d.generate_with_vertices(5_000);
+            let spec = d.experiment_spec();
+            let want_ratio = spec.edges as f64 / spec.vertices as f64
+                * if d.is_undirected() { 2.0 } else { 1.0 };
+            let got_ratio = g.num_arcs() as f64 / g.num_vertices() as f64;
+            assert!(
+                (got_ratio - want_ratio).abs() / want_ratio < 0.35,
+                "{d}: arc ratio {got_ratio} vs paper {want_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_parameter_controls_size() {
+        let g = Dataset::Ldbc.generate(0.001); // 0.1% of 1M
+        assert!((900..1100).contains(&g.num_vertices()), "{}", g.num_vertices());
+    }
+}

@@ -1,0 +1,156 @@
+//! Road-network-like generator (Table 2, Type 4 "man-made technology
+//! network").
+//!
+//! Stands in for the SNAP CA road network: "intersections and endpoints are
+//! represented by nodes and the roads connecting \[them\] by undirected edges"
+//! (Section 4.3). Man-made network features per Table 2 — regular topology,
+//! small vertex degrees — come from a perturbed planar grid:
+//!
+//! * vertices sit on a √n × √n lattice; edges connect lattice neighbors;
+//! * a fraction of lattice edges is deleted (rivers, mountains) and a few
+//!   diagonal shortcuts added (highways), landing the mean degree at the CA
+//!   network's ≈2.9 (2×2.8M/1.9M arcs per vertex) with a huge diameter;
+//! * edge weights are Euclidean-ish road lengths, giving SPath a meaningful
+//!   metric.
+
+use graphbig_framework::PropertyGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph_from_edges;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct RoadConfig {
+    /// Number of intersections; Table 7's CA network has 1.9M.
+    pub vertices: usize,
+    /// Probability that a lattice edge exists (deletion models obstacles).
+    pub keep_probability: f64,
+    /// Probability of adding a diagonal shortcut at each cell.
+    pub shortcut_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RoadConfig {
+    /// Road-like network with `vertices` intersections; defaults land the
+    /// undirected mean degree near CA's ≈2.9.
+    pub fn with_vertices(vertices: usize) -> Self {
+        RoadConfig {
+            vertices,
+            keep_probability: 0.73,
+            shortcut_probability: 0.02,
+            seed: 0x40ad,
+        }
+    }
+
+    /// Lattice side length.
+    pub fn side(&self) -> usize {
+        (self.vertices as f64).sqrt().ceil() as usize
+    }
+}
+
+/// Generate the undirected road graph.
+pub fn generate(cfg: &RoadConfig) -> PropertyGraph {
+    graph_from_edges(cfg.vertices, &generate_edges(cfg), true)
+}
+
+/// Generate the raw undirected edge list (each road once).
+pub fn generate_edges(cfg: &RoadConfig) -> Vec<(u64, u64, f32)> {
+    let n = cfg.vertices;
+    if n < 2 {
+        return Vec::new();
+    }
+    let side = cfg.side();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut edges = Vec::with_capacity(n * 2);
+    let index = |x: usize, y: usize| (y * side + x) as u64;
+    for y in 0..side {
+        for x in 0..side {
+            let u = index(x, y);
+            if u as usize >= n {
+                continue;
+            }
+            // Road lengths vary a little around the unit grid spacing.
+            let mut road = |v: u64, len: f32, rng: &mut SmallRng| {
+                if (v as usize) < n {
+                    let w = len * rng.gen_range(0.8..1.2);
+                    edges.push((u, v, w));
+                }
+            };
+            if x + 1 < side && rng.gen_range(0.0..1.0) < cfg.keep_probability {
+                road(index(x + 1, y), 1.0, &mut rng);
+            }
+            if y + 1 < side && rng.gen_range(0.0..1.0) < cfg.keep_probability {
+                road(index(x, y + 1), 1.0, &mut rng);
+            }
+            if x + 1 < side && y + 1 < side && rng.gen_range(0.0..1.0) < cfg.shortcut_probability {
+                road(index(x + 1, y + 1), std::f32::consts::SQRT_2, &mut rng);
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbig_framework::prelude::GraphStats;
+
+    fn cfg() -> RoadConfig {
+        RoadConfig::with_vertices(10_000)
+    }
+
+    #[test]
+    fn degrees_are_small_and_regular() {
+        let g = generate(&cfg());
+        let s = GraphStats::compute(&g);
+        // CA road network: mean degree ~2.9 (counting arcs per vertex)
+        assert!((s.avg_degree - 2.9).abs() < 0.5, "avg degree {}", s.avg_degree);
+        assert!(s.max_degree <= 8, "max degree {}", s.max_degree);
+        assert!(s.degree_cv() < 0.5, "cv {}", s.degree_cv());
+    }
+
+    #[test]
+    fn edges_are_between_lattice_neighbors() {
+        let c = cfg();
+        let side = c.side() as i64;
+        let g = generate(&c);
+        for (u, e) in g.arcs() {
+            let (ux, uy) = ((u as i64) % side, (u as i64) / side);
+            let (vx, vy) = ((e.target as i64) % side, (e.target as i64) / side);
+            assert!((ux - vx).abs() <= 1 && (uy - vy).abs() <= 1, "{u}->{}", e.target);
+        }
+    }
+
+    #[test]
+    fn weights_look_like_road_lengths() {
+        let g = generate(&cfg());
+        for (_, e) in g.arcs().take(1000) {
+            assert!(e.weight > 0.5 && e.weight < 2.0, "weight {}", e.weight);
+        }
+    }
+
+    #[test]
+    fn graph_is_undirected() {
+        let g = generate(&cfg());
+        for (u, e) in g.arcs().take(500) {
+            assert!(g.has_edge(e.target, u));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_edges(&cfg()), generate_edges(&cfg()));
+    }
+
+    #[test]
+    fn tiny_and_nonsquare_sizes_ok() {
+        for n in [0usize, 1, 2, 3, 7, 10] {
+            let mut c = cfg();
+            c.vertices = n;
+            let g = generate(&c);
+            assert_eq!(g.num_vertices(), n);
+        }
+    }
+}

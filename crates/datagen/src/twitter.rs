@@ -1,0 +1,139 @@
+//! Twitter-like social graph generator (Table 2, Type 1).
+//!
+//! Stands in for the paper's sampled Twitter graph (11M vertices / 85M edges
+//! in Table 7). The class features the paper relies on — and that this
+//! generator reproduces at any scale — are:
+//!
+//! * "a few vertices with extremely higher degree" (Section 5.3's contrast
+//!   with LDBC): a small celebrity set receives a huge share of edges;
+//! * small shortest-path lengths and one large connected component;
+//! * directed twit/retwit edges.
+
+use graphbig_framework::PropertyGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::degree::{power_law_degree, Zipf};
+use crate::graph_from_edges;
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct TwitterConfig {
+    /// Number of users.
+    pub vertices: usize,
+    /// Target mean out-degree; Table 7's sampled Twitter has ≈7.7.
+    pub avg_degree: f64,
+    /// Fraction of vertices that are celebrities (absorb most in-edges).
+    pub celebrity_fraction: f64,
+    /// Fraction of edges pointed at the celebrity set.
+    pub celebrity_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TwitterConfig {
+    /// Twitter-like graph with `vertices` users and paper-default parameters.
+    pub fn with_vertices(vertices: usize) -> Self {
+        TwitterConfig {
+            vertices,
+            avg_degree: 85.0 / 11.0,
+            celebrity_fraction: 0.001,
+            celebrity_bias: 0.35,
+            seed: 0x0771_77e4,
+        }
+    }
+}
+
+/// Generate the directed follow/retweet graph.
+pub fn generate(cfg: &TwitterConfig) -> PropertyGraph {
+    graph_from_edges(cfg.vertices, &generate_edges(cfg), false)
+}
+
+/// Generate the raw edge list.
+pub fn generate_edges(cfg: &TwitterConfig) -> Vec<(u64, u64, f32)> {
+    let n = cfg.vertices;
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n_celebs = ((n as f64 * cfg.celebrity_fraction) as usize).clamp(1, n / 2);
+    // Celebrity popularity itself is Zipf-distributed: celebrity 0 dwarfs
+    // celebrity 100, producing the "few extreme hubs" profile.
+    let celeb_zipf = Zipf::new(n_celebs, 1.1);
+
+    let m_target = (n as f64 * cfg.avg_degree) as usize;
+    let mut edges = Vec::with_capacity(m_target);
+    let mut u = 0usize;
+    while edges.len() < m_target {
+        // Out-degrees are power-law too, but bounded: ordinary users.
+        let d = power_law_degree(&mut rng, 2.1, 1, 500).min(m_target - edges.len());
+        for _ in 0..d {
+            let v = if rng.gen_range(0.0..1.0) < cfg.celebrity_bias {
+                celeb_zipf.sample(&mut rng) as u64
+            } else {
+                rng.gen_range(0..n as u64)
+            };
+            if v != u as u64 {
+                edges.push((u as u64, v, 1.0));
+            }
+        }
+        u = (u + 1) % n;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbig_framework::prelude::GraphStats;
+
+    fn cfg() -> TwitterConfig {
+        TwitterConfig::with_vertices(20_000)
+    }
+
+    #[test]
+    fn edge_count_tracks_table7_ratio() {
+        let g = generate(&cfg());
+        let ratio = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!((ratio - 85.0 / 11.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn a_few_extreme_hubs_exist() {
+        let g = generate(&cfg());
+        // In-degree concentration: the top vertex absorbs far more than its
+        // share. Use the parents list as in-degree.
+        let mut indeg: Vec<usize> = g.vertices().map(|v| v.in_degree()).collect();
+        indeg.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = indeg.iter().sum();
+        let top10: usize = indeg.iter().take(10).sum();
+        assert!(
+            top10 as f64 > total as f64 * 0.10,
+            "top-10 vertices hold {top10}/{total} in-edges"
+        );
+        // ... while out-degrees stay moderate (users, not hubs)
+        let s = GraphStats::compute(&g);
+        assert!(s.max_degree < g.num_vertices() / 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate_edges(&cfg()), generate_edges(&cfg()));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate(&cfg());
+        assert!(g.arcs().all(|(u, e)| u != e.target));
+    }
+
+    #[test]
+    fn tiny_graphs_ok() {
+        for n in 0..4 {
+            let mut c = cfg();
+            c.vertices = n;
+            let g = generate(&c);
+            assert_eq!(g.num_vertices(), n);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Coordinate-list (COO) representation.
+//!
+//! COO "replaces the vertex array in CSR with an array of source vertices of
+//! each edge" (Section 2). Edge-centric GPU kernels — TC and CComp in the
+//! paper, which partition work *by edge* to balance warps — iterate COO.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::Csr;
+
+/// Edge-array representation: parallel `src`/`dst`/`weight` vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coo {
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    weights: Vec<f32>,
+    num_vertices: usize,
+}
+
+impl Coo {
+    /// Expand a CSR into its COO form (same dense vertex space, same edge
+    /// order).
+    pub fn from_csr(csr: &Csr) -> Self {
+        let n = csr.num_vertices();
+        let m = csr.num_edges();
+        let mut src = Vec::with_capacity(m);
+        let mut dst = Vec::with_capacity(m);
+        let mut weights = Vec::with_capacity(m);
+        for u in 0..n as u32 {
+            let ws = csr.edge_weights(u);
+            for (i, &v) in csr.neighbors(u).iter().enumerate() {
+                src.push(u);
+                dst.push(v);
+                weights.push(ws[i]);
+            }
+        }
+        Coo {
+            src,
+            dst,
+            weights,
+            num_vertices: n,
+        }
+    }
+
+    /// Build from raw parallel arrays.
+    pub fn from_arrays(num_vertices: usize, src: Vec<u32>, dst: Vec<u32>, weights: Vec<f32>) -> Self {
+        assert_eq!(src.len(), dst.len());
+        assert_eq!(src.len(), weights.len());
+        Coo {
+            src,
+            dst,
+            weights,
+            num_vertices,
+        }
+    }
+
+    /// Number of vertices in the dense space.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Edge `i` as `(src, dst, weight)`.
+    #[inline]
+    pub fn edge(&self, i: usize) -> (u32, u32, f32) {
+        (self.src[i], self.dst[i], self.weights[i])
+    }
+
+    /// Source array.
+    #[inline]
+    pub fn src(&self) -> &[u32] {
+        &self.src
+    }
+
+    /// Destination array.
+    #[inline]
+    pub fn dst(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// Weight array.
+    #[inline]
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Approximate device-resident size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.src.len() * 4 + self.dst.len() * 4 + self.weights.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_csr_preserves_edges() {
+        let csr = Csr::from_edges(3, &[(0, 1, 1.5), (0, 2, 2.5), (2, 1, 3.5)]);
+        let coo = Coo::from_csr(&csr);
+        assert_eq!(coo.num_vertices(), 3);
+        assert_eq!(coo.num_edges(), 3);
+        let mut edges: Vec<_> = (0..3).map(|i| coo.edge(i)).collect();
+        edges.sort_by_key(|e| (e.0, e.1));
+        assert_eq!(edges, vec![(0, 1, 1.5), (0, 2, 2.5), (2, 1, 3.5)]);
+    }
+
+    #[test]
+    fn from_arrays_validates_lengths() {
+        let coo = Coo::from_arrays(2, vec![0], vec![1], vec![1.0]);
+        assert_eq!(coo.edge(0), (0, 1, 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_arrays_panic() {
+        let _ = Coo::from_arrays(2, vec![0, 1], vec![1], vec![1.0]);
+    }
+
+    #[test]
+    fn byte_size_is_12_per_edge() {
+        let coo = Coo::from_arrays(4, vec![0, 1], vec![1, 2], vec![1.0, 1.0]);
+        assert_eq!(coo.byte_size(), 24);
+    }
+
+    #[test]
+    fn empty_coo() {
+        let coo = Coo::from_csr(&Csr::from_edges(0, &[]));
+        assert_eq!(coo.num_edges(), 0);
+        assert_eq!(coo.num_vertices(), 0);
+    }
+}

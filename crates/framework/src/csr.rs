@@ -1,0 +1,395 @@
+//! Compressed Sparse Row representation (Figure 2(b)).
+//!
+//! CSR packs the graph into three flat arrays — row offsets, column indices
+//! and weights — giving the compact, cache-friendly but *static* layout the
+//! paper contrasts with the vertex-centric structure. In GraphBIG the GPU
+//! side always computes on CSR: the "graph populating" step converts the
+//! dynamic CPU-side graph ([`Csr::from_graph`]) exactly as the paper
+//! describes transferring data to GPU memory.
+//!
+//! Vertices are renumbered into a dense `0..n` space; `ids` maps dense
+//! indices back to external [`VertexId`]s and [`Csr::dense_of`] goes the
+//! other way.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::PropertyGraph;
+use crate::trace::{addr_of, NullTracer, Region, Tracer};
+use crate::types::VertexId;
+
+/// A static CSR view of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    /// `row_offsets[u]..row_offsets[u+1]` indexes `col`/`weights` for dense
+    /// vertex `u`; length `n + 1`.
+    row_offsets: Vec<u64>,
+    /// Dense target index per edge.
+    col: Vec<u32>,
+    /// Weight per edge (parallel to `col`).
+    weights: Vec<f32>,
+    /// Dense index -> external vertex id.
+    ids: Vec<VertexId>,
+    /// Sorted `(external id, dense index)` pairs for reverse lookup.
+    id_map: Vec<(VertexId, u32)>,
+}
+
+impl Csr {
+    /// Build a CSR snapshot of a dynamic graph (the populating step). Dense
+    /// indices follow the graph's deterministic vertex order.
+    pub fn from_graph(g: &PropertyGraph) -> Self {
+        Self::from_graph_t(g, &mut NullTracer)
+    }
+
+    /// Traced variant of [`Csr::from_graph`].
+    pub fn from_graph_t<T: Tracer>(g: &PropertyGraph, t: &mut T) -> Self {
+        t.enter_framework();
+        t.region(Region::CsrScan);
+        let n = g.num_vertices();
+        let ids: Vec<VertexId> = g.vertex_ids().to_vec();
+        let mut id_map: Vec<(VertexId, u32)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        id_map.sort_unstable();
+
+        let dense_of = |id: VertexId| -> u32 {
+            let pos = id_map
+                .binary_search_by_key(&id, |&(k, _)| k)
+                .expect("edge target must be a live vertex");
+            id_map[pos].1
+        };
+
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut col = Vec::new();
+        let mut weights = Vec::new();
+        row_offsets.push(0u64);
+        for &id in &ids {
+            let v = g.find_vertex(id).expect("id from order vector is live");
+            t.load(addr_of(v), 32);
+            for e in &v.out {
+                t.load(addr_of(e), 16);
+                col.push(dense_of(e.target));
+                weights.push(e.weight);
+                t.store(addr_of(col.last().unwrap()), 8);
+                t.alu(3); // binary-search step amortized
+            }
+            row_offsets.push(col.len() as u64);
+        }
+        t.exit_framework();
+        Csr {
+            row_offsets,
+            col,
+            weights,
+            ids,
+            id_map,
+        }
+    }
+
+    /// Build directly from dense edges `(u, v, w)` over `n` vertices with
+    /// identity id mapping. Edges need not be sorted.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f32)]) -> Self {
+        let mut degree = vec![0u64; n];
+        for &(u, _, _) in edges {
+            degree[u as usize] += 1;
+        }
+        let mut row_offsets = vec![0u64; n + 1];
+        for u in 0..n {
+            row_offsets[u + 1] = row_offsets[u] + degree[u];
+        }
+        let m = edges.len();
+        let mut col = vec![0u32; m];
+        let mut weights = vec![0f32; m];
+        let mut cursor = row_offsets.clone();
+        for &(u, v, w) in edges {
+            let p = cursor[u as usize] as usize;
+            col[p] = v;
+            weights[p] = w;
+            cursor[u as usize] += 1;
+        }
+        let ids: Vec<VertexId> = (0..n as VertexId).collect();
+        let id_map: Vec<(VertexId, u32)> = (0..n).map(|i| (i as VertexId, i as u32)).collect();
+        Csr {
+            row_offsets,
+            col,
+            weights,
+            ids,
+            id_map,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of stored arcs.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Out-degree of dense vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> u32 {
+        (self.row_offsets[u as usize + 1] - self.row_offsets[u as usize]) as u32
+    }
+
+    /// Neighbor slice of dense vertex `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let lo = self.row_offsets[u as usize] as usize;
+        let hi = self.row_offsets[u as usize + 1] as usize;
+        &self.col[lo..hi]
+    }
+
+    /// Weight slice parallel to [`Csr::neighbors`].
+    #[inline]
+    pub fn edge_weights(&self, u: u32) -> &[f32] {
+        let lo = self.row_offsets[u as usize] as usize;
+        let hi = self.row_offsets[u as usize + 1] as usize;
+        &self.weights[lo..hi]
+    }
+
+    /// Raw row-offset array (for kernels that index edges globally).
+    #[inline]
+    pub fn row_offsets(&self) -> &[u64] {
+        &self.row_offsets
+    }
+
+    /// Raw column array.
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col
+    }
+
+    /// Raw weight array.
+    #[inline]
+    pub fn weight_values(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// External id of dense vertex `u`.
+    #[inline]
+    pub fn id_of(&self, u: u32) -> VertexId {
+        self.ids[u as usize]
+    }
+
+    /// Dense index of external id, if present.
+    pub fn dense_of(&self, id: VertexId) -> Option<u32> {
+        self.id_map
+            .binary_search_by_key(&id, |&(k, _)| k)
+            .ok()
+            .map(|p| self.id_map[p].1)
+    }
+
+    /// Reverse every edge (used to get in-edges on static graphs).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for u in 0..n as u32 {
+            for (i, &v) in self.neighbors(u).iter().enumerate() {
+                edges.push((v, u, self.edge_weights(u)[i]));
+            }
+        }
+        let mut t = Csr::from_edges(n, &edges);
+        t.ids = self.ids.clone();
+        t.id_map = self.id_map.clone();
+        t
+    }
+
+    /// Symmetrize: ensure `v in N(u)  =>  u in N(v)`, deduplicating edges.
+    /// Self-loops are dropped. Used by undirected GPU kernels (kCore, TC).
+    pub fn symmetrize(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(self.num_edges() * 2);
+        for u in 0..n as u32 {
+            for &v in self.neighbors(u) {
+                if u != v {
+                    pairs.push((u, v));
+                    pairs.push((v, u));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let edges: Vec<(u32, u32, f32)> = pairs.into_iter().map(|(u, v)| (u, v, 1.0)).collect();
+        let mut s = Csr::from_edges(n, &edges);
+        s.ids = self.ids.clone();
+        s.id_map = self.id_map.clone();
+        s
+    }
+
+    /// Sort each adjacency list ascending (required by intersection-based
+    /// kernels like Schank's triangle counting).
+    pub fn sort_adjacency(&mut self) {
+        for u in 0..self.num_vertices() {
+            let lo = self.row_offsets[u] as usize;
+            let hi = self.row_offsets[u + 1] as usize;
+            // sort col and weights together
+            let mut pair: Vec<(u32, f32)> = self.col[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.weights[lo..hi].iter().copied())
+                .collect();
+            pair.sort_unstable_by_key(|&(c, _)| c);
+            for (k, (c, w)) in pair.into_iter().enumerate() {
+                self.col[lo + k] = c;
+                self.weights[lo + k] = w;
+            }
+        }
+    }
+
+    /// Traced sequential scan over a row (CPU-side CSR baseline accesses).
+    pub fn visit_neighbors_t<T: Tracer>(&self, u: u32, t: &mut T, mut f: impl FnMut(u32, f32, &mut T)) {
+        t.enter_framework();
+        t.region(Region::CsrScan);
+        t.load(addr_of(&self.row_offsets[u as usize]), 16);
+        let lo = self.row_offsets[u as usize] as usize;
+        let hi = self.row_offsets[u as usize + 1] as usize;
+        for i in lo..hi {
+            t.load(addr_of(&self.col[i]), 4);
+            t.branch(line!() as usize, true);
+            f(self.col[i], self.weights[i], t);
+        }
+        t.branch(line!() as usize, false);
+        t.exit_framework();
+    }
+
+    /// Approximate device-resident size in bytes (row offsets + columns +
+    /// weights), the quantity that must fit in GPU memory.
+    pub fn byte_size(&self) -> usize {
+        self.row_offsets.len() * 8 + self.col.len() * 4 + self.weights.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let vs: Vec<_> = (0..4).map(|_| g.add_vertex()).collect();
+        g.add_edge(vs[0], vs[1], 1.0).unwrap();
+        g.add_edge(vs[0], vs[2], 2.0).unwrap();
+        g.add_edge(vs[1], vs[3], 3.0).unwrap();
+        g.add_edge(vs[2], vs[3], 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn from_graph_matches_topology() {
+        let g = diamond_graph();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(3), 0);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.edge_weights(1), &[3.0]);
+    }
+
+    #[test]
+    fn id_mapping_round_trips() {
+        let mut g = PropertyGraph::new();
+        g.add_vertex_with_id(100).unwrap();
+        g.add_vertex_with_id(7).unwrap();
+        g.add_vertex_with_id(55).unwrap();
+        g.add_edge(100, 7, 1.0).unwrap();
+        let csr = Csr::from_graph(&g);
+        for u in 0..3u32 {
+            assert_eq!(csr.dense_of(csr.id_of(u)), Some(u));
+        }
+        assert_eq!(csr.dense_of(9999), None);
+        // edge 100 -> 7 survives renumbering
+        let u = csr.dense_of(100).unwrap();
+        let v = csr.dense_of(7).unwrap();
+        assert_eq!(csr.neighbors(u), &[v]);
+    }
+
+    #[test]
+    fn from_edges_handles_unsorted_input() {
+        let edges = [(2u32, 0u32, 1.0f32), (0, 1, 2.0), (2, 1, 3.0), (0, 2, 4.0)];
+        let csr = Csr::from_edges(3, &edges);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 0);
+        assert_eq!(csr.degree(2), 2);
+        let mut n0 = csr.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond_graph();
+        let csr = Csr::from_graph(&g);
+        let t = csr.transpose();
+        assert_eq!(t.num_edges(), csr.num_edges());
+        assert_eq!(t.degree(0), 0);
+        assert_eq!(t.degree(3), 2);
+        let mut p3 = t.neighbors(3).to_vec();
+        p3.sort_unstable();
+        assert_eq!(p3, vec![1, 2]);
+    }
+
+    #[test]
+    fn symmetrize_makes_edges_bidirectional_and_deduped() {
+        let edges = [(0u32, 1u32, 1.0f32), (1, 0, 1.0), (1, 2, 1.0), (2, 2, 1.0)];
+        let s = Csr::from_edges(3, &edges).symmetrize();
+        // 0-1 deduped to one pair each way, 1-2 symmetrized, self-loop dropped
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.neighbors(1), &[0, 2]);
+        assert_eq!(s.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn sort_adjacency_orders_columns_and_keeps_weights() {
+        let edges = [(0u32, 3u32, 3.0f32), (0, 1, 1.0), (0, 2, 2.0)];
+        let mut csr = Csr::from_edges(4, &edges);
+        csr.sort_adjacency();
+        assert_eq!(csr.neighbors(0), &[1, 2, 3]);
+        assert_eq!(csr.edge_weights(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_csr() {
+        let g = PropertyGraph::new();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.row_offsets(), &[0]);
+    }
+
+    #[test]
+    fn traced_scan_reports_row_reads() {
+        use crate::trace::CountingTracer;
+        let g = diamond_graph();
+        let csr = Csr::from_graph(&g);
+        let mut t = CountingTracer::new();
+        let mut cnt = 0;
+        csr.visit_neighbors_t(0, &mut t, |_, _, _| cnt += 1);
+        assert_eq!(cnt, 2);
+        assert!(t.loads >= 3); // row offsets + 2 columns
+    }
+
+    #[test]
+    fn byte_size_accounts_for_all_arrays() {
+        let csr = Csr::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(csr.byte_size(), 4 * 8 + 2 * 4 + 2 * 4);
+    }
+
+    #[test]
+    fn csr_reflects_graph_after_mutation() {
+        // CSR is a snapshot: rebuilding after a deletion reflects the change.
+        let mut g = diamond_graph();
+        let before = Csr::from_graph(&g);
+        assert_eq!(before.num_edges(), 4);
+        let ids = g.vertex_ids().to_vec();
+        g.delete_vertex(ids[1]).unwrap();
+        let after = Csr::from_graph(&g);
+        assert_eq!(after.num_vertices(), 3);
+        assert_eq!(after.num_edges(), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type shared by all framework operations.
+
+use crate::types::VertexId;
+
+/// Errors produced by framework primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The referenced vertex does not exist (anymore).
+    VertexNotFound(VertexId),
+    /// The referenced edge does not exist.
+    EdgeNotFound {
+        /// Source vertex of the missing edge.
+        from: VertexId,
+        /// Target vertex of the missing edge.
+        to: VertexId,
+    },
+    /// Attempted to insert a vertex id that already exists.
+    DuplicateVertex(VertexId),
+    /// Attempted to insert a parallel edge where the graph forbids it.
+    DuplicateEdge {
+        /// Source vertex of the duplicate edge.
+        from: VertexId,
+        /// Target vertex of the duplicate edge.
+        to: VertexId,
+    },
+    /// A property with the requested key is not present on the element.
+    PropertyNotFound(u32),
+    /// A property exists but has a different type than requested.
+    PropertyTypeMismatch(u32),
+    /// Input data was malformed (loader errors).
+    MalformedInput(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexNotFound(v) => write!(f, "vertex {v} not found"),
+            GraphError::EdgeNotFound { from, to } => write!(f, "edge {from}->{to} not found"),
+            GraphError::DuplicateVertex(v) => write!(f, "vertex {v} already exists"),
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "edge {from}->{to} already exists")
+            }
+            GraphError::PropertyNotFound(k) => write!(f, "property key {k} not found"),
+            GraphError::PropertyTypeMismatch(k) => {
+                write!(f, "property key {k} has a different type")
+            }
+            GraphError::MalformedInput(msg) => write!(f, "malformed input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Framework-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(GraphError::VertexNotFound(7).to_string(), "vertex 7 not found");
+        assert_eq!(
+            GraphError::EdgeNotFound { from: 1, to: 2 }.to_string(),
+            "edge 1->2 not found"
+        );
+        assert!(GraphError::MalformedInput("bad line".into())
+            .to_string()
+            .contains("bad line"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GraphError::DuplicateVertex(1));
+    }
+}

@@ -1,0 +1,870 @@
+//! [`PropertyGraph`]: the dynamic, vertex-centric property graph at the heart
+//! of the framework.
+//!
+//! All structural primitives — find/add/delete vertex/edge, neighbor and
+//! parent traversal, property update — are offered in two forms: a plain
+//! method (`add_edge`) and a traced method (`add_edge_t`) that reports every
+//! memory access, branch and code-region switch to a [`Tracer`]. The plain
+//! form simply calls the traced form with [`NullTracer`], so there is exactly
+//! one implementation of each primitive.
+
+use crate::error::{GraphError, Result};
+use crate::index::VertexIndex;
+use crate::property::{Property, PropertyKey};
+use crate::trace::{addr_of, NullTracer, Region, Tracer};
+use crate::types::VertexId;
+use crate::vertex::{Edge, Vertex};
+
+/// A dynamic directed property graph with vertex-centric storage.
+///
+/// Undirected graphs are represented by storing each edge in both
+/// directions ([`PropertyGraph::add_edge_undirected`]); [`PropertyGraph::num_arcs`]
+/// counts stored directed arcs.
+pub struct PropertyGraph {
+    index: VertexIndex,
+    /// Deterministic user-facing iteration order (insertion order with
+    /// swap-remove on deletion).
+    order: Vec<VertexId>,
+    num_arcs: usize,
+    next_id: VertexId,
+}
+
+impl PropertyGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        PropertyGraph {
+            index: VertexIndex::new(),
+            order: Vec::new(),
+            num_arcs: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Empty graph pre-sized for about `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        PropertyGraph {
+            index: VertexIndex::with_capacity(n),
+            order: Vec::with_capacity(n),
+            num_arcs: 0,
+            next_id: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // size queries
+    // ------------------------------------------------------------------
+
+    /// Number of live vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of stored directed arcs (an undirected edge counts twice).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Whether the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // vertex primitives
+    // ------------------------------------------------------------------
+
+    /// Add a vertex with an automatically assigned id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.add_vertex_t(&mut NullTracer)
+    }
+
+    /// Traced variant of [`PropertyGraph::add_vertex`].
+    pub fn add_vertex_t<T: Tracer>(&mut self, t: &mut T) -> VertexId {
+        loop {
+            let id = self.next_id;
+            self.next_id += 1;
+            if self.add_vertex_with_id_t(id, t).is_ok() {
+                return id;
+            }
+        }
+    }
+
+    /// Add a vertex with a caller-chosen id.
+    pub fn add_vertex_with_id(&mut self, id: VertexId) -> Result<()> {
+        self.add_vertex_with_id_t(id, &mut NullTracer)
+    }
+
+    /// Traced variant of [`PropertyGraph::add_vertex_with_id`].
+    pub fn add_vertex_with_id_t<T: Tracer>(&mut self, id: VertexId, t: &mut T) -> Result<()> {
+        t.enter_framework();
+        t.region(Region::AddVertex);
+        t.alu(4); // id bookkeeping + box setup
+        let mut v = Box::new(Vertex::new(id));
+        v.order_idx = self.order.len() as u32;
+        let r = match self.index.insert_t(v, t) {
+            Ok(()) => {
+                self.order.push(id);
+                t.store(addr_of(self.order.last().unwrap()), 8);
+                if id >= self.next_id {
+                    self.next_id = id + 1;
+                }
+                Ok(())
+            }
+            Err(_) => Err(GraphError::DuplicateVertex(id)),
+        };
+        t.exit_framework();
+        r
+    }
+
+    /// Find a vertex by id.
+    #[inline]
+    pub fn find_vertex(&self, id: VertexId) -> Option<&Vertex> {
+        self.index.get(id)
+    }
+
+    /// Traced vertex lookup (the `find_vertex` primitive of Figure 1).
+    pub fn find_vertex_t<T: Tracer>(&self, id: VertexId, t: &mut T) -> Option<&Vertex> {
+        t.enter_framework();
+        t.region(Region::FindVertex);
+        t.alu(2); // hash computation
+        let r = self.index.get_t(id, t);
+        t.exit_framework();
+        r
+    }
+
+    /// Mutable vertex lookup.
+    #[inline]
+    pub fn find_vertex_mut(&mut self, id: VertexId) -> Option<&mut Vertex> {
+        self.index.get_mut(id)
+    }
+
+    /// Traced mutable vertex lookup.
+    pub fn find_vertex_mut_t<T: Tracer>(&mut self, id: VertexId, t: &mut T) -> Option<&mut Vertex> {
+        t.enter_framework();
+        t.region(Region::FindVertex);
+        t.alu(2);
+        let r = self.index.get_mut_t(id, t);
+        t.exit_framework();
+        r
+    }
+
+    /// Delete a vertex and all incident edges (in both directions).
+    pub fn delete_vertex(&mut self, id: VertexId) -> Result<()> {
+        self.delete_vertex_t(id, &mut NullTracer)
+    }
+
+    /// Traced variant of [`PropertyGraph::delete_vertex`].
+    pub fn delete_vertex_t<T: Tracer>(&mut self, id: VertexId, t: &mut T) -> Result<()> {
+        t.enter_framework();
+        t.region(Region::DeleteVertex);
+        let Some(v) = self.index.remove_t(id, t) else {
+            t.exit_framework();
+            return Err(GraphError::VertexNotFound(id));
+        };
+
+        // Detach outgoing edges: remove `id` from each target's parent list.
+        for e in v.out.iter() {
+            t.load(addr_of(e), 16);
+            if e.target == id {
+                continue; // self-loop; vertex is already gone
+            }
+            if let Some(tv) = self.index.get_mut_t(e.target, t) {
+                if let Some(pos) = traced_position(&tv.parents, id, t) {
+                    tv.parents.swap_remove(pos);
+                    t.store(addr_of(&tv.parents), 8);
+                }
+            }
+        }
+        self.num_arcs -= v.out.len();
+
+        // Detach incoming edges: remove arcs parent->id from each parent.
+        for &p in v.parents.iter() {
+            t.load(addr_of(&p), 8);
+            if p == id {
+                continue;
+            }
+            if let Some(pv) = self.index.get_mut_t(p, t) {
+                let before = pv.out.len();
+                for e in pv.out.iter() {
+                    t.load(addr_of(e), 16);
+                    t.branch(line!() as usize, e.target == id);
+                }
+                pv.out.retain(|e| e.target != id);
+                let removed = before - pv.out.len();
+                t.store(addr_of(&pv.out), 8);
+                self.num_arcs -= removed;
+            }
+        }
+
+        // Maintain deterministic order with a swap-remove.
+        let idx = v.order_idx as usize;
+        debug_assert_eq!(self.order[idx], id);
+        self.order.swap_remove(idx);
+        t.store(addr_of(&self.order), 8);
+        if idx < self.order.len() {
+            let moved = self.order[idx];
+            if let Some(mv) = self.index.get_mut_t(moved, t) {
+                mv.order_idx = idx as u32;
+            }
+        }
+        t.exit_framework();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // edge primitives
+    // ------------------------------------------------------------------
+
+    /// Add a directed edge `from -> to`. Parallel edges are allowed.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId, weight: f32) -> Result<()> {
+        self.add_edge_t(from, to, weight, &mut NullTracer)
+    }
+
+    /// Traced variant of [`PropertyGraph::add_edge`].
+    pub fn add_edge_t<T: Tracer>(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        weight: f32,
+        t: &mut T,
+    ) -> Result<()> {
+        t.enter_framework();
+        t.region(Region::AddEdge);
+        if self.index.get_t(to, t).is_none() {
+            t.exit_framework();
+            return Err(GraphError::VertexNotFound(to));
+        }
+        {
+            let Some(src) = self.index.get_mut_t(from, t) else {
+                t.exit_framework();
+                return Err(GraphError::VertexNotFound(from));
+            };
+            src.out.push(Edge::weighted(to, weight));
+            t.store(addr_of(src.out.last().unwrap()), 16);
+        }
+        let dst = self
+            .index
+            .get_mut_t(to, t)
+            .expect("target vertex verified above");
+        dst.parents.push(from);
+        t.store(addr_of(dst.parents.last().unwrap()), 8);
+        self.num_arcs += 1;
+        t.exit_framework();
+        Ok(())
+    }
+
+    /// Add a directed edge only if no `from -> to` edge exists yet.
+    pub fn add_edge_unique(&mut self, from: VertexId, to: VertexId, weight: f32) -> Result<()> {
+        self.add_edge_unique_t(from, to, weight, &mut NullTracer)
+    }
+
+    /// Traced variant of [`PropertyGraph::add_edge_unique`].
+    pub fn add_edge_unique_t<T: Tracer>(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        weight: f32,
+        t: &mut T,
+    ) -> Result<()> {
+        {
+            t.enter_framework();
+            t.region(Region::AddEdge);
+            let exists = match self.index.get_t(from, t) {
+                Some(v) => v.find_edge_t(to, t).is_some(),
+                None => {
+                    t.exit_framework();
+                    return Err(GraphError::VertexNotFound(from));
+                }
+            };
+            t.exit_framework();
+            if exists {
+                return Err(GraphError::DuplicateEdge { from, to });
+            }
+        }
+        self.add_edge_t(from, to, weight, t)
+    }
+
+    /// Add an undirected edge (stored as two arcs).
+    pub fn add_edge_undirected(&mut self, a: VertexId, b: VertexId, weight: f32) -> Result<()> {
+        self.add_edge_undirected_t(a, b, weight, &mut NullTracer)
+    }
+
+    /// Traced variant of [`PropertyGraph::add_edge_undirected`].
+    pub fn add_edge_undirected_t<T: Tracer>(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+        weight: f32,
+        t: &mut T,
+    ) -> Result<()> {
+        self.add_edge_t(a, b, weight, t)?;
+        if a != b {
+            self.add_edge_t(b, a, weight, t)?;
+        }
+        Ok(())
+    }
+
+    /// Delete one `from -> to` arc.
+    pub fn delete_edge(&mut self, from: VertexId, to: VertexId) -> Result<()> {
+        self.delete_edge_t(from, to, &mut NullTracer)
+    }
+
+    /// Traced variant of [`PropertyGraph::delete_edge`].
+    pub fn delete_edge_t<T: Tracer>(&mut self, from: VertexId, to: VertexId, t: &mut T) -> Result<()> {
+        t.enter_framework();
+        t.region(Region::DeleteEdge);
+        {
+            let Some(src) = self.index.get_mut_t(from, t) else {
+                t.exit_framework();
+                return Err(GraphError::VertexNotFound(from));
+            };
+            let Some(pos) = traced_edge_position(&src.out, to, t) else {
+                t.exit_framework();
+                return Err(GraphError::EdgeNotFound { from, to });
+            };
+            src.out.swap_remove(pos);
+            t.store(addr_of(&src.out), 16);
+        }
+        if let Some(dst) = self.index.get_mut_t(to, t) {
+            if let Some(pos) = traced_position(&dst.parents, from, t) {
+                dst.parents.swap_remove(pos);
+                t.store(addr_of(&dst.parents), 8);
+            }
+        }
+        self.num_arcs -= 1;
+        t.exit_framework();
+        Ok(())
+    }
+
+    /// Whether a `from -> to` arc exists.
+    pub fn has_edge(&self, from: VertexId, to: VertexId) -> bool {
+        self.find_vertex(from)
+            .map(|v| v.find_edge(to).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Out-degree of `id`, if the vertex exists.
+    pub fn out_degree(&self, id: VertexId) -> Option<usize> {
+        self.find_vertex(id).map(|v| v.out_degree())
+    }
+
+    // ------------------------------------------------------------------
+    // traversal primitives
+    // ------------------------------------------------------------------
+
+    /// Visit each outgoing edge of `id`, tracing the neighbor-list walk.
+    ///
+    /// Returns `false` if the vertex does not exist.
+    pub fn visit_neighbors_t<T: Tracer>(
+        &self,
+        id: VertexId,
+        t: &mut T,
+        mut f: impl FnMut(&Edge, &mut T),
+    ) -> bool {
+        t.enter_framework();
+        t.region(Region::TraverseNeighbors);
+        let Some(v) = self.index.get_t(id, t) else {
+            t.exit_framework();
+            return false;
+        };
+        t.load(addr_of(&v.out), 24); // Vec header
+        for e in v.out.iter() {
+            t.load(addr_of(e), 16);
+            t.branch(line!() as usize, true); // loop back-edge, taken per element
+            f(e, t);
+        }
+        t.branch(line!() as usize, false); // loop exit
+        t.exit_framework();
+        true
+    }
+
+    /// Visit each parent (in-neighbor) id of `id`, traced.
+    pub fn visit_parents_t<T: Tracer>(
+        &self,
+        id: VertexId,
+        t: &mut T,
+        mut f: impl FnMut(VertexId, &mut T),
+    ) -> bool {
+        t.enter_framework();
+        t.region(Region::TraverseParents);
+        let Some(v) = self.index.get_t(id, t) else {
+            t.exit_framework();
+            return false;
+        };
+        t.load(addr_of(&v.parents), 24);
+        for &p in v.parents.iter() {
+            t.load(addr_of(&p), 8);
+            t.branch(line!() as usize, true);
+            f(p, t);
+        }
+        t.branch(line!() as usize, false);
+        t.exit_framework();
+        true
+    }
+
+    /// Untraced neighbor iterator.
+    pub fn neighbors(&self, id: VertexId) -> impl Iterator<Item = &Edge> + '_ {
+        self.find_vertex(id)
+            .map(|v| v.out.iter())
+            .unwrap_or_else(|| [].iter())
+    }
+
+    /// Untraced parent-id iterator.
+    pub fn parents(&self, id: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.find_vertex(id)
+            .map(|v| v.parents.iter().copied())
+            .unwrap_or_else(|| [].iter().copied())
+    }
+
+    // ------------------------------------------------------------------
+    // property primitives
+    // ------------------------------------------------------------------
+
+    /// Set a property on a vertex through the framework.
+    pub fn set_vertex_prop(&mut self, id: VertexId, key: PropertyKey, value: Property) -> Result<()> {
+        self.set_vertex_prop_t(id, key, value, &mut NullTracer)
+    }
+
+    /// Traced property update (the `update properties` primitive).
+    pub fn set_vertex_prop_t<T: Tracer>(
+        &mut self,
+        id: VertexId,
+        key: PropertyKey,
+        value: Property,
+        t: &mut T,
+    ) -> Result<()> {
+        t.enter_framework();
+        t.region(Region::PropertyAccess);
+        let r = match self.index.get_mut_t(id, t) {
+            Some(v) => {
+                v.props.set_t(key, value, t);
+                Ok(())
+            }
+            None => Err(GraphError::VertexNotFound(id)),
+        };
+        t.exit_framework();
+        r
+    }
+
+    /// Read a property from a vertex through the framework.
+    pub fn get_vertex_prop(&self, id: VertexId, key: PropertyKey) -> Option<&Property> {
+        self.find_vertex(id).and_then(|v| v.props.get(key))
+    }
+
+    /// Traced property read.
+    pub fn get_vertex_prop_t<T: Tracer>(
+        &self,
+        id: VertexId,
+        key: PropertyKey,
+        t: &mut T,
+    ) -> Option<&Property> {
+        t.enter_framework();
+        t.region(Region::PropertyAccess);
+        let r = self.index.get_t(id, t).and_then(|v| v.props.get_t(key, t));
+        t.exit_framework();
+        r
+    }
+
+    /// Set a property on the first `from -> to` edge through the framework.
+    pub fn set_edge_prop(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        key: PropertyKey,
+        value: Property,
+    ) -> Result<()> {
+        self.set_edge_prop_t(from, to, key, value, &mut NullTracer)
+    }
+
+    /// Traced edge-property update.
+    pub fn set_edge_prop_t<T: Tracer>(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        key: PropertyKey,
+        value: Property,
+        t: &mut T,
+    ) -> Result<()> {
+        t.enter_framework();
+        t.region(Region::PropertyAccess);
+        let r = (|| {
+            let Some(src) = self.index.get_mut_t(from, t) else {
+                return Err(GraphError::VertexNotFound(from));
+            };
+            let Some(pos) = traced_edge_position(&src.out, to, t) else {
+                return Err(GraphError::EdgeNotFound { from, to });
+            };
+            src.out[pos].props.set_t(key, value, t);
+            Ok(())
+        })();
+        t.exit_framework();
+        r
+    }
+
+    /// Read a property from the first `from -> to` edge.
+    pub fn get_edge_prop(&self, from: VertexId, to: VertexId, key: PropertyKey) -> Option<&Property> {
+        self.find_vertex(from)
+            .and_then(|v| v.find_edge(to))
+            .and_then(|e| e.props.get(key))
+    }
+
+    /// Traced edge-property read.
+    pub fn get_edge_prop_t<T: Tracer>(
+        &self,
+        from: VertexId,
+        to: VertexId,
+        key: PropertyKey,
+        t: &mut T,
+    ) -> Option<&Property> {
+        t.enter_framework();
+        t.region(Region::PropertyAccess);
+        let r = self
+            .index
+            .get_t(from, t)
+            .and_then(|v| v.find_edge_t(to, t))
+            .and_then(|e| e.props.get_t(key, t));
+        t.exit_framework();
+        r
+    }
+
+    /// Remove property `key` from every vertex (workload state reset).
+    pub fn clear_prop(&mut self, key: PropertyKey) {
+        let ids: Vec<VertexId> = self.order.clone();
+        for id in ids {
+            if let Some(v) = self.index.get_mut(id) {
+                v.props.remove(key);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // iteration
+    // ------------------------------------------------------------------
+
+    /// Vertex ids in deterministic order (insertion order, perturbed only by
+    /// swap-removes on deletion).
+    #[inline]
+    pub fn vertex_ids(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Iterate over vertices in deterministic order.
+    pub fn vertices(&self) -> impl Iterator<Item = &Vertex> + '_ {
+        self.order.iter().filter_map(move |&id| self.index.get(id))
+    }
+
+    /// Iterate `(source, edge)` over all arcs in deterministic order.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, &Edge)> + '_ {
+        self.vertices()
+            .flat_map(|v| v.out.iter().map(move |e| (v.id, e)))
+    }
+
+    /// The id that [`PropertyGraph::add_vertex`] would assign next.
+    #[inline]
+    pub fn peek_next_id(&self) -> VertexId {
+        self.next_id
+    }
+}
+
+impl Default for PropertyGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for PropertyGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PropertyGraph")
+            .field("vertices", &self.num_vertices())
+            .field("arcs", &self.num_arcs)
+            .finish()
+    }
+}
+
+/// Traced scan for a vertex id inside a parent list.
+fn traced_position<T: Tracer>(list: &[VertexId], needle: VertexId, t: &mut T) -> Option<usize> {
+    for (i, &x) in list.iter().enumerate() {
+        t.load(addr_of(&x), 8);
+        t.branch(line!() as usize, x == needle);
+        if x == needle {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Traced scan for an edge with a given target.
+fn traced_edge_position<T: Tracer>(list: &[Edge], target: VertexId, t: &mut T) -> Option<usize> {
+    for (i, e) in list.iter().enumerate() {
+        t.load(addr_of(e), 16);
+        t.branch(line!() as usize, e.target == target);
+        if e.target == target {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::keys;
+    use crate::trace::CountingTracer;
+
+    fn diamond() -> (PropertyGraph, [VertexId; 4]) {
+        // a -> b, a -> c, b -> d, c -> d
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        let c = g.add_vertex();
+        let d = g.add_vertex();
+        g.add_edge(a, b, 1.0).unwrap();
+        g.add_edge(a, c, 1.0).unwrap();
+        g.add_edge(b, d, 1.0).unwrap();
+        g.add_edge(c, d, 1.0).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn build_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.out_degree(a), Some(2));
+        assert_eq!(g.out_degree(d), Some(0));
+        assert!(g.has_edge(b, d));
+        assert!(!g.has_edge(d, b));
+        let parents: Vec<_> = g.parents(d).collect();
+        assert_eq!(parents.len(), 2);
+        assert!(parents.contains(&b) && parents.contains(&c));
+    }
+
+    #[test]
+    fn add_edge_to_missing_vertex_fails() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex();
+        assert_eq!(g.add_edge(a, 99, 1.0), Err(GraphError::VertexNotFound(99)));
+        assert_eq!(g.add_edge(99, a, 1.0), Err(GraphError::VertexNotFound(99)));
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn delete_vertex_removes_incident_arcs() {
+        let (mut g, [a, b, c, d]) = diamond();
+        g.delete_vertex(b).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_arcs(), 2); // a->c, c->d remain
+        assert_eq!(g.out_degree(a), Some(1));
+        let parents: Vec<_> = g.parents(d).collect();
+        assert_eq!(parents, vec![c]);
+        assert!(g.find_vertex(b).is_none());
+        assert_eq!(g.delete_vertex(b), Err(GraphError::VertexNotFound(b)));
+    }
+
+    #[test]
+    fn delete_edge_updates_both_sides() {
+        let (mut g, [a, b, _c, d]) = diamond();
+        g.delete_edge(a, b).unwrap();
+        assert!(!g.has_edge(a, b));
+        assert_eq!(g.num_arcs(), 3);
+        assert!(g.parents(b).next().is_none());
+        assert_eq!(
+            g.delete_edge(a, b),
+            Err(GraphError::EdgeNotFound { from: a, to: b })
+        );
+        // unrelated edges untouched
+        assert!(g.has_edge(b, d));
+    }
+
+    #[test]
+    fn self_loop_add_and_delete_vertex() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex();
+        g.add_edge(a, a, 1.0).unwrap();
+        assert_eq!(g.num_arcs(), 1);
+        assert_eq!(g.out_degree(a), Some(1));
+        g.delete_vertex(a).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn undirected_edge_stores_two_arcs() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        g.add_edge_undirected(a, b, 2.0).unwrap();
+        assert_eq!(g.num_arcs(), 2);
+        assert!(g.has_edge(a, b) && g.has_edge(b, a));
+        // self-loop stored once
+        g.add_edge_undirected(a, a, 1.0).unwrap();
+        assert_eq!(g.num_arcs(), 3);
+    }
+
+    #[test]
+    fn unique_edge_rejects_duplicates() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        g.add_edge_unique(a, b, 1.0).unwrap();
+        assert_eq!(
+            g.add_edge_unique(a, b, 1.0),
+            Err(GraphError::DuplicateEdge { from: a, to: b })
+        );
+        // plain add_edge allows the parallel edge
+        g.add_edge(a, b, 1.0).unwrap();
+        assert_eq!(g.out_degree(a), Some(2));
+    }
+
+    #[test]
+    fn explicit_ids_coexist_with_auto_ids() {
+        let mut g = PropertyGraph::new();
+        g.add_vertex_with_id(100).unwrap();
+        let auto = g.add_vertex();
+        assert_eq!(auto, 101, "auto ids continue past explicit ids");
+        assert_eq!(
+            g.add_vertex_with_id(100),
+            Err(GraphError::DuplicateVertex(100))
+        );
+    }
+
+    #[test]
+    fn vertex_ids_order_is_insertion_order() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.vertex_ids(), &[a, b, c, d]);
+    }
+
+    #[test]
+    fn order_stays_consistent_after_deletions() {
+        let (mut g, [a, b, c, d]) = diamond();
+        g.delete_vertex(a).unwrap();
+        // swap-remove moved d into slot 0
+        assert_eq!(g.vertex_ids(), &[d, b, c]);
+        // every id in order must resolve, and order_idx must round-trip
+        for (i, &id) in g.vertex_ids().iter().enumerate() {
+            assert_eq!(g.find_vertex(id).unwrap().order_idx as usize, i);
+        }
+        g.delete_vertex(c).unwrap();
+        assert_eq!(g.vertex_ids(), &[d, b]);
+    }
+
+    #[test]
+    fn properties_through_framework() {
+        let (mut g, [a, ..]) = diamond();
+        g.set_vertex_prop(a, keys::STATUS, Property::Int(7)).unwrap();
+        assert_eq!(
+            g.get_vertex_prop(a, keys::STATUS).unwrap().as_int(),
+            Some(7)
+        );
+        g.clear_prop(keys::STATUS);
+        assert!(g.get_vertex_prop(a, keys::STATUS).is_none());
+        assert_eq!(
+            g.set_vertex_prop(999, keys::STATUS, Property::Int(0)),
+            Err(GraphError::VertexNotFound(999))
+        );
+    }
+
+    #[test]
+    fn edge_properties_through_framework() {
+        let (mut g, [a, b, ..]) = diamond();
+        g.set_edge_prop(a, b, keys::LABEL, Property::Text("follows".into()))
+            .unwrap();
+        assert_eq!(
+            g.get_edge_prop(a, b, keys::LABEL).unwrap().as_text(),
+            Some("follows")
+        );
+        assert!(g.get_edge_prop(b, a, keys::LABEL).is_none(), "no reverse edge");
+        assert_eq!(
+            g.set_edge_prop(a, 999, keys::LABEL, Property::Int(0)),
+            Err(GraphError::EdgeNotFound { from: a, to: 999 })
+        );
+        assert_eq!(
+            g.set_edge_prop(999, a, keys::LABEL, Property::Int(0)),
+            Err(GraphError::VertexNotFound(999))
+        );
+        assert_eq!(
+            g.set_edge_prop(b, a, keys::LABEL, Property::Int(0)),
+            Err(GraphError::EdgeNotFound { from: b, to: a })
+        );
+        // traced read reports framework work
+        let mut t = CountingTracer::new();
+        assert!(g.get_edge_prop_t(a, b, keys::LABEL, &mut t).is_some());
+        assert!(t.framework_instructions > 0);
+    }
+
+    #[test]
+    fn visit_neighbors_traced_covers_all_edges() {
+        let (g, [a, ..]) = diamond();
+        let mut t = CountingTracer::new();
+        let mut seen = Vec::new();
+        assert!(g.visit_neighbors_t(a, &mut t, |e, _| seen.push(e.target)));
+        assert_eq!(seen.len(), 2);
+        assert!(t.framework_instructions > 0);
+        assert!(!g.visit_neighbors_t(1234, &mut t, |_, _| {}));
+    }
+
+    #[test]
+    fn visit_parents_traced() {
+        let (g, [_, b, c, d]) = diamond();
+        let mut t = CountingTracer::new();
+        let mut seen = Vec::new();
+        assert!(g.visit_parents_t(d, &mut t, |p, _| seen.push(p)));
+        seen.sort_unstable();
+        let mut expect = vec![b, c];
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn arcs_iterator_enumerates_all() {
+        let (g, _) = diamond();
+        assert_eq!(g.arcs().count(), 4);
+    }
+
+    #[test]
+    fn framework_fraction_dominates_for_primitive_heavy_code() {
+        // A traversal-style loop spends almost all instructions inside
+        // framework primitives — the Figure 1 effect.
+        let (g, [a, ..]) = diamond();
+        let mut t = CountingTracer::new();
+        for _ in 0..100 {
+            g.find_vertex_t(a, &mut t);
+            g.visit_neighbors_t(a, &mut t, |_, _| {});
+            t.alu(2); // tiny amount of user work
+        }
+        assert!(t.framework_fraction() > 0.6, "got {}", t.framework_fraction());
+    }
+
+    #[test]
+    fn larger_random_graph_maintains_arc_count() {
+        let mut g = PropertyGraph::new();
+        let n = 500u64;
+        for _ in 0..n {
+            g.add_vertex();
+        }
+        let mut arcs = 0usize;
+        for i in 0..n {
+            for j in 1..=3 {
+                let to = (i * 7 + j * 13) % n;
+                g.add_edge(i, to, 1.0).unwrap();
+                arcs += 1;
+            }
+        }
+        assert_eq!(g.num_arcs(), arcs);
+        // delete a third of the vertices
+        for i in (0..n).step_by(3) {
+            g.delete_vertex(i).unwrap();
+        }
+        // recount arcs by iteration; counter must agree
+        let recount = g.arcs().count();
+        assert_eq!(g.num_arcs(), recount);
+        // all remaining arcs reference live vertices
+        for (src, e) in g.arcs() {
+            assert!(g.find_vertex(src).is_some());
+            assert!(g.find_vertex(e.target).is_some());
+        }
+    }
+}

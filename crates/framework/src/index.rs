@@ -1,0 +1,422 @@
+//! The vertex hash index: an open-addressing table mapping [`VertexId`] to
+//! individually boxed [`Vertex`] structures.
+//!
+//! This is the "adjacency list with indices" of the vertex-centric
+//! representation (Figure 2(c)). It is written from scratch rather than on
+//! `std::collections::HashMap` for two reasons:
+//!
+//! 1. **Deterministic behavior** — the probe sequence uses a fixed SplitMix64
+//!    hash, so runs are reproducible across processes (no `RandomState`).
+//! 2. **Honest instrumentation** — `find_vertex` is one of the hottest
+//!    framework primitives, and the paper's cache/TLB observations depend on
+//!    how the index probes memory. With our own table, traced loads hit the
+//!    *actual* slot array and the *actual* boxed vertices.
+//!
+//! Deletions use tombstones; the table rehashes when occupancy (live +
+//! tombstones) crosses 70% of capacity.
+
+use crate::trace::{addr_of, Tracer};
+use crate::types::VertexId;
+use crate::vertex::Vertex;
+
+/// SplitMix64 finalizer: a strong, cheap, deterministic id hash.
+#[inline]
+pub fn hash_id(id: VertexId) -> u64 {
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+enum Slot {
+    Empty,
+    Tombstone,
+    Occupied(Box<Vertex>),
+}
+
+/// Open-addressing hash index owning all vertex structures of a graph.
+pub struct VertexIndex {
+    slots: Vec<Slot>,
+    mask: usize,
+    live: usize,
+    tombstones: usize,
+}
+
+const MIN_CAPACITY: usize = 16;
+const MAX_LOAD_PERCENT: usize = 70;
+
+impl VertexIndex {
+    /// Empty index with the minimum capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(MIN_CAPACITY)
+    }
+
+    /// Empty index pre-sized for about `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n.max(MIN_CAPACITY) * 100 / MAX_LOAD_PERCENT + 1)
+            .next_power_of_two()
+            .max(MIN_CAPACITY);
+        VertexIndex {
+            slots: (0..cap).map(|_| Slot::Empty).collect(),
+            mask: cap - 1,
+            live: 0,
+            tombstones: 0,
+        }
+    }
+
+    /// Number of live vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the index holds no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Current slot-array capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert a vertex. Returns `false` (and drops nothing, the box is given
+    /// back via `Err`) if the id already exists.
+    pub fn insert(&mut self, v: Box<Vertex>) -> Result<(), Box<Vertex>> {
+        self.insert_t(v, &mut crate::trace::NullTracer)
+    }
+
+    /// Traced variant of [`VertexIndex::insert`].
+    pub fn insert_t<T: Tracer>(&mut self, v: Box<Vertex>, t: &mut T) -> Result<(), Box<Vertex>> {
+        if (self.live + self.tombstones + 1) * 100 >= self.slots.len() * MAX_LOAD_PERCENT {
+            self.grow(t);
+        }
+        let id = v.id;
+        let mut i = hash_id(id) as usize & self.mask;
+        let mut first_tombstone: Option<usize> = None;
+        loop {
+            t.alu(3);
+            t.load(addr_of(&self.slots[i]), 16);
+            match &self.slots[i] {
+                Slot::Empty => {
+                    let dest = first_tombstone.unwrap_or(i);
+                    if first_tombstone.is_some() {
+                        self.tombstones -= 1;
+                    }
+                    self.slots[dest] = Slot::Occupied(v);
+                    t.store(addr_of(&self.slots[dest]), 16);
+                    self.live += 1;
+                    return Ok(());
+                }
+                Slot::Tombstone => {
+                    if first_tombstone.is_none() {
+                        first_tombstone = Some(i);
+                    }
+                }
+                Slot::Occupied(existing) => {
+                    t.alu(2);
+                    if existing.id == id {
+                        t.branch(line!() as usize, true);
+                        return Err(v);
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Find a vertex by id.
+    #[inline]
+    pub fn get(&self, id: VertexId) -> Option<&Vertex> {
+        self.get_t(id, &mut crate::trace::NullTracer)
+    }
+
+    /// Traced variant of [`VertexIndex::get`]: each probe reads the slot, a
+    /// hit additionally reads the vertex header through the pointer — the
+    /// pointer-chase that defines the vertex-centric layout.
+    pub fn get_t<T: Tracer>(&self, id: VertexId, t: &mut T) -> Option<&Vertex> {
+        let mut i = hash_id(id) as usize & self.mask;
+        let mut probes = 0u32;
+        t.alu(4); // hash finalization + slot address computation
+        loop {
+            probes += 1;
+            t.load(addr_of(&self.slots[i]), 16);
+            t.alu(2); // tag compare is branch-free (group-probe style)
+            match &self.slots[i] {
+                Slot::Empty => {
+                    // one well-biased branch per lookup: "resolved within
+                    // the first probe group(s)", as in SIMD group-probe tables
+                    t.branch(line!() as usize, probes <= 8);
+                    return None;
+                }
+                Slot::Tombstone => {}
+                Slot::Occupied(v) => {
+                    if v.id == id {
+                        t.branch(line!() as usize, probes <= 8);
+                        t.load(addr_of(v.as_ref()), 32);
+                        return Some(v);
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: VertexId) -> Option<&mut Vertex> {
+        self.get_mut_t(id, &mut crate::trace::NullTracer)
+    }
+
+    /// Traced mutable lookup.
+    pub fn get_mut_t<T: Tracer>(&mut self, id: VertexId, t: &mut T) -> Option<&mut Vertex> {
+        let mut i = hash_id(id) as usize & self.mask;
+        let mut probes = 0u32;
+        t.alu(4);
+        loop {
+            probes += 1;
+            t.load(addr_of(&self.slots[i]), 16);
+            t.alu(2);
+            match &self.slots[i] {
+                Slot::Empty => {
+                    t.branch(line!() as usize, probes <= 8);
+                    return None;
+                }
+                Slot::Tombstone => {}
+                Slot::Occupied(v) => {
+                    if v.id == id {
+                        t.branch(line!() as usize, probes <= 8);
+                        break;
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+        match &mut self.slots[i] {
+            Slot::Occupied(v) => {
+                t.load(addr_of(v.as_ref()), 32);
+                Some(v.as_mut())
+            }
+            _ => unreachable!("probe loop exits only on occupied match"),
+        }
+    }
+
+    /// Remove a vertex, returning its box.
+    pub fn remove(&mut self, id: VertexId) -> Option<Box<Vertex>> {
+        self.remove_t(id, &mut crate::trace::NullTracer)
+    }
+
+    /// Traced removal; leaves a tombstone.
+    pub fn remove_t<T: Tracer>(&mut self, id: VertexId, t: &mut T) -> Option<Box<Vertex>> {
+        let mut i = hash_id(id) as usize & self.mask;
+        let mut probes = 0u32;
+        t.alu(4);
+        loop {
+            probes += 1;
+            t.load(addr_of(&self.slots[i]), 16);
+            t.alu(2);
+            match &self.slots[i] {
+                Slot::Empty => {
+                    t.branch(line!() as usize, probes <= 8);
+                    return None;
+                }
+                Slot::Tombstone => {}
+                Slot::Occupied(v) => {
+                    if v.id == id {
+                        t.branch(line!() as usize, probes <= 8);
+                        let taken = std::mem::replace(&mut self.slots[i], Slot::Tombstone);
+                        t.store(addr_of(&self.slots[i]), 16);
+                        self.live -= 1;
+                        self.tombstones += 1;
+                        match taken {
+                            Slot::Occupied(b) => return Some(b),
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Iterate over live vertices in slot order (deterministic for a given
+    /// operation history, but *not* insertion order — use the graph's order
+    /// vector for user-facing iteration).
+    pub fn iter(&self) -> impl Iterator<Item = &Vertex> {
+        self.slots.iter().filter_map(|s| match s {
+            Slot::Occupied(v) => Some(v.as_ref()),
+            _ => None,
+        })
+    }
+
+    fn grow<T: Tracer>(&mut self, t: &mut T) {
+        let new_cap = (self.slots.len() * 2).max(MIN_CAPACITY);
+        let old = std::mem::replace(
+            &mut self.slots,
+            (0..new_cap).map(|_| Slot::Empty).collect(),
+        );
+        self.mask = new_cap - 1;
+        self.tombstones = 0;
+        for slot in old {
+            if let Slot::Occupied(v) = slot {
+                // Re-insert without load-factor checks: capacity is sufficient.
+                let mut i = hash_id(v.id) as usize & self.mask;
+                while slot_occupied(&self.slots[i]) {
+                    i = (i + 1) & self.mask;
+                }
+                t.store(addr_of(&self.slots[i]), 16);
+                self.slots[i] = Slot::Occupied(v);
+            }
+        }
+    }
+}
+
+#[inline]
+fn slot_occupied(s: &Slot) -> bool {
+    matches!(s, Slot::Occupied(_))
+}
+
+impl Default for VertexIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for VertexIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VertexIndex")
+            .field("live", &self.live)
+            .field("tombstones", &self.tombstones)
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(id: VertexId) -> Box<Vertex> {
+        Box::new(Vertex::new(id))
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut idx = VertexIndex::new();
+        for id in 0..100 {
+            idx.insert(boxed(id)).unwrap();
+        }
+        assert_eq!(idx.len(), 100);
+        for id in 0..100 {
+            assert_eq!(idx.get(id).unwrap().id, id);
+        }
+        assert!(idx.get(1000).is_none());
+        for id in (0..100).step_by(2) {
+            assert_eq!(idx.remove(id).unwrap().id, id);
+        }
+        assert_eq!(idx.len(), 50);
+        for id in 0..100 {
+            assert_eq!(idx.get(id).is_some(), id % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_returns_box() {
+        let mut idx = VertexIndex::new();
+        idx.insert(boxed(5)).unwrap();
+        let err = idx.insert(boxed(5)).unwrap_err();
+        assert_eq!(err.id, 5);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut idx = VertexIndex::with_capacity(16);
+        let initial_cap = idx.capacity();
+        for id in 0..10_000 {
+            idx.insert(boxed(id)).unwrap();
+        }
+        assert!(idx.capacity() > initial_cap);
+        assert_eq!(idx.len(), 10_000);
+        for id in 0..10_000 {
+            assert!(idx.get(id).is_some());
+        }
+    }
+
+    #[test]
+    fn tombstones_do_not_break_probe_chains() {
+        let mut idx = VertexIndex::with_capacity(16);
+        // Insert enough ids to force collisions, delete some in the middle of
+        // chains, then verify lookups behind tombstones still succeed.
+        for id in 0..40 {
+            idx.insert(boxed(id)).unwrap();
+        }
+        for id in 10..20 {
+            idx.remove(id).unwrap();
+        }
+        for id in 20..40 {
+            assert!(idx.get(id).is_some(), "id {id} lost behind tombstone");
+        }
+        // Re-insert into tombstoned region.
+        for id in 10..20 {
+            idx.insert(boxed(id)).unwrap();
+        }
+        assert_eq!(idx.len(), 40);
+    }
+
+    #[test]
+    fn get_mut_allows_mutation() {
+        let mut idx = VertexIndex::new();
+        idx.insert(boxed(1)).unwrap();
+        idx.get_mut(1).unwrap().out.push(crate::vertex::Edge::new(2));
+        assert_eq!(idx.get(1).unwrap().out_degree(), 1);
+    }
+
+    #[test]
+    fn iter_yields_all_live_vertices() {
+        let mut idx = VertexIndex::new();
+        for id in 0..50 {
+            idx.insert(boxed(id)).unwrap();
+        }
+        for id in 0..25 {
+            idx.remove(id);
+        }
+        let mut ids: Vec<_> = idx.iter().map(|v| v.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (25..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash_id(12345), hash_id(12345));
+        assert_ne!(hash_id(1), hash_id(2));
+    }
+
+    #[test]
+    fn traced_get_emits_probe_loads() {
+        use crate::trace::CountingTracer;
+        let mut idx = VertexIndex::new();
+        idx.insert(boxed(3)).unwrap();
+        let mut t = CountingTracer::new();
+        idx.get_t(3, &mut t).unwrap();
+        assert!(t.loads >= 2); // at least slot probe + vertex header
+    }
+
+    #[test]
+    fn heavy_churn_preserves_consistency() {
+        let mut idx = VertexIndex::new();
+        for round in 0u64..20 {
+            for id in 0..500 {
+                idx.insert(boxed(round * 1000 + id)).unwrap();
+            }
+            for id in 0..500 {
+                if id % 3 != 0 {
+                    idx.remove(round * 1000 + id).unwrap();
+                }
+            }
+        }
+        let expected = 20 * 500usize.div_ceil(3);
+        assert_eq!(idx.len(), expected);
+    }
+}

@@ -1,0 +1,315 @@
+//! Rich properties on vertices and edges.
+//!
+//! In industrial graph systems the data attached to vertices and edges is as
+//! important as the topology: the paper lists meta-data (user profiles),
+//! program states (BFS status, colors) and complex probability tables
+//! (Bayesian inference) as typical property payloads. [`Property`] covers
+//! those shapes and [`PropertyMap`] stores them inline in the owning vertex
+//! structure — the defining trait of the vertex-centric representation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GraphError, Result};
+use crate::trace::{addr_of, Tracer};
+
+/// Property keys are small integers. Workloads and applications agree on key
+/// constants; a handful of well-known ones are predefined.
+pub type PropertyKey = u32;
+
+/// Well-known property keys used across the suite.
+pub mod keys {
+    use super::PropertyKey;
+
+    /// Traversal/algorithm status word (BFS level, visited flag, ...).
+    pub const STATUS: PropertyKey = 0;
+    /// Distance value (SPath).
+    pub const DISTANCE: PropertyKey = 1;
+    /// Color (GColor).
+    pub const COLOR: PropertyKey = 2;
+    /// Core number (kCore).
+    pub const CORE: PropertyKey = 3;
+    /// Component label (CComp).
+    pub const COMPONENT: PropertyKey = 4;
+    /// Centrality score (DCentr / BCentr).
+    pub const CENTRALITY: PropertyKey = 5;
+    /// Triangle count (TC).
+    pub const TRIANGLES: PropertyKey = 6;
+    /// Conditional probability table (Gibbs).
+    pub const CPT: PropertyKey = 7;
+    /// Sampled state (Gibbs).
+    pub const SAMPLE: PropertyKey = 8;
+    /// Free-form label / meta-data.
+    pub const LABEL: PropertyKey = 9;
+    /// Application payload (rich-property workloads).
+    pub const PAYLOAD: PropertyKey = 10;
+    /// First key guaranteed free for applications.
+    pub const USER_BASE: PropertyKey = 64;
+}
+
+/// A single property value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Property {
+    /// Signed integer payload (status words, counters, labels).
+    Int(i64),
+    /// Floating-point payload (distances, centrality scores).
+    Float(f64),
+    /// Textual meta-data (user profiles, names).
+    Text(String),
+    /// Numeric table (probability tables, feature vectors).
+    Vector(Vec<f64>),
+}
+
+impl Property {
+    /// Approximate in-memory footprint in bytes, used by tracers when a
+    /// property is read or written wholesale.
+    pub fn byte_size(&self) -> u32 {
+        match self {
+            Property::Int(_) => 8,
+            Property::Float(_) => 8,
+            Property::Text(s) => s.len().min(u32::MAX as usize) as u32 + 16,
+            Property::Vector(v) => (v.len() * 8).min(u32::MAX as usize) as u32 + 16,
+        }
+    }
+
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Property::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float payload, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Property::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Text payload, if this is a `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Property::Text(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Vector payload, if this is a `Vector`.
+    pub fn as_vector(&self) -> Option<&[f64]> {
+        match self {
+            Property::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// An inline key→value map, stored as a compact vector.
+///
+/// Real property sets on graph elements are small (a few entries), so linear
+/// probing over a dense vector beats a hash map both in speed and in the
+/// memory behavior we want to expose to tracers: reading a property touches
+/// the vertex's own heap block, giving the in-vertex locality the paper
+/// credits for CompProp's regular access pattern.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PropertyMap {
+    entries: Vec<(PropertyKey, Property)>,
+}
+
+impl PropertyMap {
+    /// Empty map (no allocation until first insert).
+    pub fn new() -> Self {
+        PropertyMap { entries: Vec::new() }
+    }
+
+    /// Number of properties stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn set(&mut self, key: PropertyKey, value: Property) -> Option<Property> {
+        self.set_t(key, value, &mut crate::trace::NullTracer)
+    }
+
+    /// Traced variant of [`PropertyMap::set`].
+    pub fn set_t<T: Tracer>(
+        &mut self,
+        key: PropertyKey,
+        value: Property,
+        t: &mut T,
+    ) -> Option<Property> {
+        let bytes = value.byte_size();
+        for entry in self.entries.iter_mut() {
+            t.load(addr_of(entry), 8);
+            t.branch(line!() as usize ^ ((key as usize) << 8), entry.0 == key);
+            if entry.0 == key {
+                t.store(addr_of(entry), bytes);
+                return Some(std::mem::replace(&mut entry.1, value));
+            }
+        }
+        self.entries.push((key, value));
+        t.store(addr_of(self.entries.last().unwrap()), bytes + 8);
+        None
+    }
+
+    /// Look up a property.
+    pub fn get(&self, key: PropertyKey) -> Option<&Property> {
+        self.get_t(key, &mut crate::trace::NullTracer)
+    }
+
+    /// Traced variant of [`PropertyMap::get`].
+    pub fn get_t<T: Tracer>(&self, key: PropertyKey, t: &mut T) -> Option<&Property> {
+        for entry in self.entries.iter() {
+            t.load(addr_of(entry), 8);
+            t.branch(line!() as usize ^ ((key as usize) << 8), entry.0 == key);
+            if entry.0 == key {
+                // Trace the value header (and small payloads); consumers of
+                // large vector payloads trace their own element reads.
+                t.load(addr_of(&entry.1), entry.1.byte_size().min(64));
+                return Some(&entry.1);
+            }
+        }
+        None
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: PropertyKey) -> Option<&mut Property> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Remove a property, returning it.
+    pub fn remove(&mut self, key: PropertyKey) -> Option<Property> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        Some(self.entries.swap_remove(pos).1)
+    }
+
+    /// Typed integer read.
+    pub fn get_int(&self, key: PropertyKey) -> Result<i64> {
+        match self.get(key) {
+            None => Err(GraphError::PropertyNotFound(key)),
+            Some(Property::Int(v)) => Ok(*v),
+            Some(_) => Err(GraphError::PropertyTypeMismatch(key)),
+        }
+    }
+
+    /// Typed float read.
+    pub fn get_float(&self, key: PropertyKey) -> Result<f64> {
+        match self.get(key) {
+            None => Err(GraphError::PropertyNotFound(key)),
+            Some(Property::Float(v)) => Ok(*v),
+            Some(_) => Err(GraphError::PropertyTypeMismatch(key)),
+        }
+    }
+
+    /// Iterate over `(key, value)` pairs in insertion order (modulo removals).
+    pub fn iter(&self) -> impl Iterator<Item = (PropertyKey, &Property)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total approximate byte footprint of all stored properties.
+    pub fn byte_size(&self) -> u32 {
+        self.entries
+            .iter()
+            .map(|(_, v)| v.byte_size() + 8)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_get_round_trips() {
+        let mut m = PropertyMap::new();
+        assert!(m.is_empty());
+        m.set(keys::STATUS, Property::Int(3));
+        m.set(keys::DISTANCE, Property::Float(1.5));
+        m.set(keys::LABEL, Property::Text("hub".into()));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get_int(keys::STATUS).unwrap(), 3);
+        assert_eq!(m.get_float(keys::DISTANCE).unwrap(), 1.5);
+        assert_eq!(m.get(keys::LABEL).unwrap().as_text(), Some("hub"));
+    }
+
+    #[test]
+    fn set_replaces_and_returns_previous() {
+        let mut m = PropertyMap::new();
+        assert_eq!(m.set(keys::STATUS, Property::Int(1)), None);
+        let prev = m.set(keys::STATUS, Property::Int(2));
+        assert_eq!(prev, Some(Property::Int(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get_int(keys::STATUS).unwrap(), 2);
+    }
+
+    #[test]
+    fn typed_reads_report_missing_and_mismatched() {
+        let mut m = PropertyMap::new();
+        m.set(keys::STATUS, Property::Int(1));
+        assert_eq!(
+            m.get_float(keys::STATUS),
+            Err(GraphError::PropertyTypeMismatch(keys::STATUS))
+        );
+        assert_eq!(
+            m.get_int(keys::COLOR),
+            Err(GraphError::PropertyNotFound(keys::COLOR))
+        );
+    }
+
+    #[test]
+    fn remove_deletes_entry() {
+        let mut m = PropertyMap::new();
+        m.set(1, Property::Int(10));
+        m.set(2, Property::Int(20));
+        assert_eq!(m.remove(1), Some(Property::Int(10)));
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(1), None);
+    }
+
+    #[test]
+    fn byte_sizes_reflect_payload() {
+        assert_eq!(Property::Int(0).byte_size(), 8);
+        assert_eq!(Property::Float(0.0).byte_size(), 8);
+        assert_eq!(Property::Text("abcd".into()).byte_size(), 20);
+        assert_eq!(Property::Vector(vec![0.0; 4]).byte_size(), 48);
+    }
+
+    #[test]
+    fn traced_get_emits_loads() {
+        use crate::trace::CountingTracer;
+        let mut m = PropertyMap::new();
+        m.set(5, Property::Int(7));
+        m.set(9, Property::Int(8));
+        let mut t = CountingTracer::new();
+        let v = m.get_t(9, &mut t).unwrap().as_int();
+        assert_eq!(v, Some(8));
+        // scans two entries (one key miss, one hit) + payload load
+        assert_eq!(t.loads, 3);
+        assert_eq!(t.branches, 2);
+    }
+
+    #[test]
+    fn vector_property_accessor() {
+        let p = Property::Vector(vec![0.25, 0.75]);
+        assert_eq!(p.as_vector(), Some(&[0.25, 0.75][..]));
+        assert_eq!(p.as_int(), None);
+    }
+
+    #[test]
+    fn map_byte_size_sums_entries() {
+        let mut m = PropertyMap::new();
+        m.set(1, Property::Int(0)); // 8 + 8 overhead
+        m.set(2, Property::Vector(vec![0.0; 2])); // 32 + 8
+        assert_eq!(m.byte_size(), 16 + 40);
+    }
+}

@@ -1,0 +1,170 @@
+//! Topology statistics used to check that generated datasets exhibit the
+//! Table 2 features of their data-source family.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::PropertyGraph;
+
+/// Degree/topology summary of a graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Stored arc count.
+    pub num_arcs: usize,
+    /// Minimum out-degree.
+    pub min_degree: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Population variance of out-degree — social networks have high degree
+    /// variance, road networks very low (Table 2).
+    pub degree_variance: f64,
+    /// Histogram over log2 degree buckets: `bucket[i]` counts vertices with
+    /// out-degree in `[2^i, 2^(i+1))`; bucket 0 additionally holds degree 0.
+    pub degree_histogram: Vec<usize>,
+}
+
+impl GraphStats {
+    /// Compute stats over a dynamic graph.
+    pub fn compute(g: &PropertyGraph) -> Self {
+        let degrees: Vec<usize> = g.vertices().map(|v| v.out_degree()).collect();
+        Self::from_degrees(&degrees, g.num_arcs())
+    }
+
+    /// Compute stats from a degree vector (also used for CSR graphs).
+    pub fn from_degrees(degrees: &[usize], num_arcs: usize) -> Self {
+        let n = degrees.len();
+        if n == 0 {
+            return GraphStats {
+                num_vertices: 0,
+                num_arcs: 0,
+                min_degree: 0,
+                max_degree: 0,
+                avg_degree: 0.0,
+                degree_variance: 0.0,
+                degree_histogram: Vec::new(),
+            };
+        }
+        let min = degrees.iter().copied().min().unwrap();
+        let max = degrees.iter().copied().max().unwrap();
+        let sum: usize = degrees.iter().sum();
+        let avg = sum as f64 / n as f64;
+        let var = degrees
+            .iter()
+            .map(|&d| {
+                let diff = d as f64 - avg;
+                diff * diff
+            })
+            .sum::<f64>()
+            / n as f64;
+        let buckets = if max == 0 {
+            1
+        } else {
+            (usize::BITS - max.leading_zeros()) as usize
+        };
+        let mut hist = vec![0usize; buckets];
+        for &d in degrees {
+            let b = if d == 0 {
+                0
+            } else {
+                (usize::BITS - d.leading_zeros()) as usize - 1
+            };
+            hist[b] += 1;
+        }
+        GraphStats {
+            num_vertices: n,
+            num_arcs,
+            min_degree: min,
+            max_degree: max,
+            avg_degree: avg,
+            degree_variance: var,
+            degree_histogram: hist,
+        }
+    }
+
+    /// Coefficient of variation of degree (stddev / mean); a scale-free
+    /// social graph scores far above a road network.
+    pub fn degree_cv(&self) -> f64 {
+        if self.avg_degree == 0.0 {
+            0.0
+        } else {
+            self.degree_variance.sqrt() / self.avg_degree
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} arcs={} degree min/avg/max = {}/{:.2}/{} (cv {:.2})",
+            self.num_vertices,
+            self.num_arcs,
+            self.min_degree,
+            self.avg_degree,
+            self.max_degree,
+            self.degree_cv()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_star_graph() {
+        let mut g = PropertyGraph::new();
+        let hub = g.add_vertex();
+        for _ in 0..9 {
+            let leaf = g.add_vertex();
+            g.add_edge(hub, leaf, 1.0).unwrap();
+        }
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_arcs, 9);
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.min_degree, 0);
+        assert!((s.avg_degree - 0.9).abs() < 1e-9);
+        assert!(s.degree_cv() > 2.0, "star graph is extremely skewed");
+    }
+
+    #[test]
+    fn stats_of_cycle_are_uniform() {
+        let mut g = PropertyGraph::new();
+        let ids: Vec<_> = (0..8).map(|_| g.add_vertex()).collect();
+        for i in 0..8 {
+            g.add_edge(ids[i], ids[(i + 1) % 8], 1.0).unwrap();
+        }
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 1);
+        assert_eq!(s.degree_variance, 0.0);
+        assert_eq!(s.degree_cv(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        // degrees: 0, 1, 2, 3, 4 -> buckets 0:{0,1}=2, 1:{2,3}=2, 2:{4}=1
+        let s = GraphStats::from_degrees(&[0, 1, 2, 3, 4], 10);
+        assert_eq!(s.degree_histogram, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = GraphStats::compute(&PropertyGraph::new());
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert!(s.degree_histogram.is_empty());
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = GraphStats::from_degrees(&[1, 1], 2);
+        let text = s.to_string();
+        assert!(text.contains("|V|=2"));
+        assert!(text.contains("arcs=2"));
+    }
+}

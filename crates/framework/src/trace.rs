@@ -1,0 +1,643 @@
+//! Instrumentation layer: the [`Tracer`] trait and its basic implementations.
+//!
+//! The paper characterizes graph computing by attaching hardware performance
+//! counters to workloads running *inside* a framework. We reproduce that by
+//! making every framework primitive (and every workload) report its dynamic
+//! behavior — loads, stores, ALU work, conditional branches, code-region
+//! switches, and framework entry/exit — to a [`Tracer`].
+//!
+//! Three kinds of tracers exist:
+//!
+//! * [`NullTracer`] — a zero-sized type whose callbacks are empty `#[inline]`
+//!   functions. Workloads are generic over `T: Tracer`, so runs with
+//!   `NullTracer` monomorphize to uninstrumented code. Criterion benches use
+//!   this.
+//! * [`CountingTracer`] — counts events and framework/user time split; this
+//!   is what regenerates Figure 1 (in-framework execution time).
+//! * The CPU and GPU hardware models in `graphbig-machine` and
+//!   `graphbig-simt` implement `Tracer` to simulate caches, TLBs, branch
+//!   predictors and warp divergence from the same event stream.
+//!
+//! Addresses passed to tracers are **real addresses** of the underlying Rust
+//! objects (vertex structures, edge vectors, property slots, CSR arrays,
+//! workload-local queues). The memory-locality structure the paper measures
+//! is therefore genuine; only the hardware reacting to it is modeled.
+
+/// Code regions used for ICache modeling and Figure 1 attribution.
+///
+/// Each region stands for a compiled code area (a framework primitive or a
+/// workload's own kernel). The paper's observation that GraphBIG has a low
+/// ICache miss rate stems from its *flat* code hierarchy — few regions, small
+/// footprints — which this enum makes explicit.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum Region {
+    /// Workload-private code (queues, numeric kernels, ...). The default
+    /// region: execution starts in user code.
+    #[default]
+    UserCode = 9,
+    /// Vertex lookup in the hash index (`find_vertex`).
+    FindVertex = 0,
+    /// Vertex insertion (`add_vertex`).
+    AddVertex = 1,
+    /// Vertex removal including incident edges (`delete_vertex`).
+    DeleteVertex = 2,
+    /// Edge insertion (`add_edge`).
+    AddEdge = 3,
+    /// Edge removal (`delete_edge`).
+    DeleteEdge = 4,
+    /// Out-neighbor iteration.
+    TraverseNeighbors = 5,
+    /// In-neighbor (parent) iteration.
+    TraverseParents = 6,
+    /// Property read/update on vertices or edges.
+    PropertyAccess = 7,
+    /// CSR/COO construction and array scans.
+    CsrScan = 8,
+    /// Memory allocation paths inside the framework.
+    Alloc = 10,
+}
+
+impl Region {
+    /// Number of distinct regions (for table sizing).
+    pub const COUNT: usize = 11;
+
+    /// Stable index of this region.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as u16 as usize
+    }
+
+    /// Static footprint of the region in "instructions" — used by the ICache
+    /// model to synthesize fetch addresses. The flat framework keeps these
+    /// small, which is why the paper observes ICache MPKI below 0.7.
+    pub fn code_footprint(self) -> u32 {
+        match self {
+            Region::FindVertex => 48,
+            Region::AddVertex => 96,
+            Region::DeleteVertex => 160,
+            Region::AddEdge => 80,
+            Region::DeleteEdge => 96,
+            Region::TraverseNeighbors => 40,
+            Region::TraverseParents => 40,
+            Region::PropertyAccess => 56,
+            Region::CsrScan => 64,
+            Region::UserCode => 320,
+            Region::Alloc => 128,
+        }
+    }
+
+    /// Whether the region counts as framework code for Figure 1 attribution.
+    pub fn is_framework(self) -> bool {
+        !matches!(self, Region::UserCode)
+    }
+
+    /// All regions, in `index()` order.
+    pub const ALL: [Region; Region::COUNT] = [
+        Region::FindVertex,
+        Region::AddVertex,
+        Region::DeleteVertex,
+        Region::AddEdge,
+        Region::DeleteEdge,
+        Region::TraverseNeighbors,
+        Region::TraverseParents,
+        Region::PropertyAccess,
+        Region::CsrScan,
+        Region::UserCode,
+        Region::Alloc,
+    ];
+}
+
+/// Receiver of dynamic-execution events.
+///
+/// All methods have empty default bodies so tracers only override what they
+/// model. Implementations must be cheap: these callbacks sit on the hottest
+/// paths of every workload.
+pub trait Tracer {
+    /// A load of `bytes` bytes at `addr`.
+    #[inline]
+    fn load(&mut self, addr: usize, bytes: u32) {
+        let _ = (addr, bytes);
+    }
+
+    /// A store of `bytes` bytes at `addr`.
+    #[inline]
+    fn store(&mut self, addr: usize, bytes: u32) {
+        let _ = (addr, bytes);
+    }
+
+    /// An atomic read-modify-write at `addr` (GPU kernels, parallel CPU code).
+    #[inline]
+    fn atomic(&mut self, addr: usize, bytes: u32) {
+        let _ = (addr, bytes);
+    }
+
+    /// `n` non-memory, non-branch instructions (address arithmetic, compares,
+    /// numeric property work, ...).
+    #[inline]
+    fn alu(&mut self, n: u32) {
+        let _ = n;
+    }
+
+    /// A conditional branch. `site` identifies the static branch (for the
+    /// predictor's history tables); `taken` is its dynamic outcome.
+    #[inline]
+    fn branch(&mut self, site: usize, taken: bool) {
+        let _ = (site, taken);
+    }
+
+    /// Execution moved to code region `region`.
+    #[inline]
+    fn region(&mut self, region: Region) {
+        let _ = region;
+    }
+
+    /// Entered a framework primitive (paired with [`Tracer::exit_framework`]).
+    #[inline]
+    fn enter_framework(&mut self) {}
+
+    /// Left a framework primitive.
+    #[inline]
+    fn exit_framework(&mut self) {}
+}
+
+/// The do-nothing tracer; zero-sized, all callbacks empty.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {}
+
+/// Address of a referenced object, for feeding to tracers.
+#[inline]
+pub fn addr_of<T: ?Sized>(x: &T) -> usize {
+    x as *const T as *const u8 as usize
+}
+
+/// RAII guard that brackets a framework primitive with
+/// `enter_framework`/`exit_framework` events.
+///
+/// Nested primitives are handled by the tracer (e.g. [`CountingTracer`]
+/// keeps a depth counter so only the outermost pair toggles attribution).
+pub struct FrameworkScope<'a, T: Tracer> {
+    tracer: &'a mut T,
+}
+
+impl<'a, T: Tracer> FrameworkScope<'a, T> {
+    /// Enter a framework primitive in region `region`.
+    #[inline]
+    pub fn new(tracer: &'a mut T, region: Region) -> Self {
+        tracer.enter_framework();
+        tracer.region(region);
+        FrameworkScope { tracer }
+    }
+
+    /// Access the wrapped tracer for events inside the primitive.
+    #[inline]
+    pub fn t(&mut self) -> &mut T {
+        self.tracer
+    }
+}
+
+impl<T: Tracer> Drop for FrameworkScope<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.tracer.exit_framework();
+    }
+}
+
+/// Event-counting tracer: total instruction mix plus the framework/user
+/// split that regenerates Figure 1.
+///
+/// "Instructions" here follow the event model: each load/store/atomic/branch
+/// is one instruction and `alu(n)` contributes `n`.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CountingTracer {
+    /// Number of load events.
+    pub loads: u64,
+    /// Number of store events.
+    pub stores: u64,
+    /// Number of atomic events.
+    pub atomics: u64,
+    /// Number of ALU instructions.
+    pub alu_ops: u64,
+    /// Number of conditional branches.
+    pub branches: u64,
+    /// Taken branches among `branches`.
+    pub taken_branches: u64,
+    /// Instructions attributed to framework code.
+    pub framework_instructions: u64,
+    /// Instructions attributed to user (workload) code.
+    pub user_instructions: u64,
+    /// Per-region instruction counts, indexed by [`Region::index`].
+    pub region_instructions: [u64; Region::COUNT],
+    /// Nesting depth of framework primitives (>0 means "inside framework").
+    depth: u32,
+    current_region: Region,
+}
+
+impl CountingTracer {
+    /// Fresh tracer with all counters at zero.
+    pub fn new() -> Self {
+        CountingTracer {
+            current_region: Region::UserCode,
+            ..Default::default()
+        }
+    }
+
+    /// Total dynamic instructions observed.
+    pub fn instructions(&self) -> u64 {
+        self.loads + self.stores + self.atomics + self.alu_ops + self.branches
+    }
+
+    /// Fraction of instructions spent inside framework primitives (the
+    /// quantity plotted in Figure 1).
+    pub fn framework_fraction(&self) -> f64 {
+        let total = self.framework_instructions + self.user_instructions;
+        if total == 0 {
+            0.0
+        } else {
+            self.framework_instructions as f64 / total as f64
+        }
+    }
+
+    /// Memory instructions (loads + stores + atomics).
+    pub fn memory_instructions(&self) -> u64 {
+        self.loads + self.stores + self.atomics
+    }
+
+    #[inline]
+    fn account(&mut self, n: u64) {
+        if self.depth > 0 {
+            self.framework_instructions += n;
+        } else {
+            self.user_instructions += n;
+        }
+        self.region_instructions[self.current_region.index()] += n;
+    }
+}
+
+impl Tracer for CountingTracer {
+    #[inline]
+    fn load(&mut self, _addr: usize, _bytes: u32) {
+        self.loads += 1;
+        self.account(1);
+    }
+
+    #[inline]
+    fn store(&mut self, _addr: usize, _bytes: u32) {
+        self.stores += 1;
+        self.account(1);
+    }
+
+    #[inline]
+    fn atomic(&mut self, _addr: usize, _bytes: u32) {
+        self.atomics += 1;
+        self.account(1);
+    }
+
+    #[inline]
+    fn alu(&mut self, n: u32) {
+        self.alu_ops += n as u64;
+        self.account(n as u64);
+    }
+
+    #[inline]
+    fn branch(&mut self, _site: usize, taken: bool) {
+        self.branches += 1;
+        self.taken_branches += taken as u64;
+        self.account(1);
+    }
+
+    #[inline]
+    fn region(&mut self, region: Region) {
+        self.current_region = region;
+    }
+
+    #[inline]
+    fn enter_framework(&mut self) {
+        self.depth += 1;
+    }
+
+    #[inline]
+    fn exit_framework(&mut self) {
+        debug_assert!(self.depth > 0, "unbalanced exit_framework");
+        self.depth = self.depth.saturating_sub(1);
+        if self.depth == 0 {
+            self.current_region = Region::UserCode;
+        }
+    }
+}
+
+/// One recorded event (see [`RecordingTracer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A load.
+    Load {
+        /// Byte address.
+        addr: usize,
+        /// Width in bytes.
+        bytes: u32,
+    },
+    /// A store.
+    Store {
+        /// Byte address.
+        addr: usize,
+        /// Width in bytes.
+        bytes: u32,
+    },
+    /// An atomic RMW.
+    Atomic {
+        /// Byte address.
+        addr: usize,
+        /// Width in bytes.
+        bytes: u32,
+    },
+    /// `n` ALU instructions.
+    Alu(u32),
+    /// A conditional branch.
+    Branch {
+        /// Static branch site.
+        site: usize,
+        /// Dynamic outcome.
+        taken: bool,
+    },
+    /// A code-region switch.
+    Region(Region),
+    /// Framework entry.
+    Enter,
+    /// Framework exit.
+    Exit,
+}
+
+/// A tracer that records the full event stream for later replay.
+///
+/// Record once, replay many times: this is how the cache-geometry ablation
+/// sweeps L3 sizes without re-executing the workload — classic trace-driven
+/// simulation. Traces are large (one enum per dynamic instruction); record
+/// at reduced scale.
+#[derive(Debug, Default)]
+pub struct RecordingTracer {
+    /// The recorded stream, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RecordingTracer {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replay the recorded stream into another tracer.
+    pub fn replay<T: Tracer>(&self, t: &mut T) {
+        for &ev in &self.events {
+            match ev {
+                TraceEvent::Load { addr, bytes } => t.load(addr, bytes),
+                TraceEvent::Store { addr, bytes } => t.store(addr, bytes),
+                TraceEvent::Atomic { addr, bytes } => t.atomic(addr, bytes),
+                TraceEvent::Alu(n) => t.alu(n),
+                TraceEvent::Branch { site, taken } => t.branch(site, taken),
+                TraceEvent::Region(r) => t.region(r),
+                TraceEvent::Enter => t.enter_framework(),
+                TraceEvent::Exit => t.exit_framework(),
+            }
+        }
+    }
+}
+
+impl Tracer for RecordingTracer {
+    #[inline]
+    fn load(&mut self, addr: usize, bytes: u32) {
+        self.events.push(TraceEvent::Load { addr, bytes });
+    }
+    #[inline]
+    fn store(&mut self, addr: usize, bytes: u32) {
+        self.events.push(TraceEvent::Store { addr, bytes });
+    }
+    #[inline]
+    fn atomic(&mut self, addr: usize, bytes: u32) {
+        self.events.push(TraceEvent::Atomic { addr, bytes });
+    }
+    #[inline]
+    fn alu(&mut self, n: u32) {
+        self.events.push(TraceEvent::Alu(n));
+    }
+    #[inline]
+    fn branch(&mut self, site: usize, taken: bool) {
+        self.events.push(TraceEvent::Branch { site, taken });
+    }
+    #[inline]
+    fn region(&mut self, region: Region) {
+        self.events.push(TraceEvent::Region(region));
+    }
+    #[inline]
+    fn enter_framework(&mut self) {
+        self.events.push(TraceEvent::Enter);
+    }
+    #[inline]
+    fn exit_framework(&mut self) {
+        self.events.push(TraceEvent::Exit);
+    }
+}
+
+/// A tracer that forwards every event to two tracers.
+///
+/// Lets the harness combine, e.g., a `CountingTracer` (Figure 1) with the
+/// CPU machine model (Figures 5–9) in a single run.
+#[derive(Debug, Default)]
+pub struct TeeTracer<A, B> {
+    /// First receiver.
+    pub a: A,
+    /// Second receiver.
+    pub b: B,
+}
+
+impl<A: Tracer, B: Tracer> TeeTracer<A, B> {
+    /// Combine two tracers.
+    pub fn new(a: A, b: B) -> Self {
+        TeeTracer { a, b }
+    }
+}
+
+impl<A: Tracer, B: Tracer> Tracer for TeeTracer<A, B> {
+    #[inline]
+    fn load(&mut self, addr: usize, bytes: u32) {
+        self.a.load(addr, bytes);
+        self.b.load(addr, bytes);
+    }
+    #[inline]
+    fn store(&mut self, addr: usize, bytes: u32) {
+        self.a.store(addr, bytes);
+        self.b.store(addr, bytes);
+    }
+    #[inline]
+    fn atomic(&mut self, addr: usize, bytes: u32) {
+        self.a.atomic(addr, bytes);
+        self.b.atomic(addr, bytes);
+    }
+    #[inline]
+    fn alu(&mut self, n: u32) {
+        self.a.alu(n);
+        self.b.alu(n);
+    }
+    #[inline]
+    fn branch(&mut self, site: usize, taken: bool) {
+        self.a.branch(site, taken);
+        self.b.branch(site, taken);
+    }
+    #[inline]
+    fn region(&mut self, region: Region) {
+        self.a.region(region);
+        self.b.region(region);
+    }
+    #[inline]
+    fn enter_framework(&mut self) {
+        self.a.enter_framework();
+        self.b.enter_framework();
+    }
+    #[inline]
+    fn exit_framework(&mut self) {
+        self.a.exit_framework();
+        self.b.exit_framework();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NullTracer>(), 0);
+    }
+
+    #[test]
+    fn counting_tracer_counts_instruction_mix() {
+        let mut t = CountingTracer::new();
+        t.load(0x1000, 8);
+        t.store(0x2000, 8);
+        t.alu(5);
+        t.branch(1, true);
+        t.branch(2, false);
+        assert_eq!(t.loads, 1);
+        assert_eq!(t.stores, 1);
+        assert_eq!(t.alu_ops, 5);
+        assert_eq!(t.branches, 2);
+        assert_eq!(t.taken_branches, 1);
+        assert_eq!(t.instructions(), 9);
+        assert_eq!(t.memory_instructions(), 2);
+    }
+
+    #[test]
+    fn framework_attribution_splits_user_and_framework() {
+        let mut t = CountingTracer::new();
+        t.alu(10); // user code
+        {
+            let mut scope = FrameworkScope::new(&mut t, Region::FindVertex);
+            scope.t().load(0x1000, 8);
+            scope.t().alu(2);
+        }
+        t.alu(10); // user code again
+        assert_eq!(t.user_instructions, 20);
+        assert_eq!(t.framework_instructions, 3);
+        let frac = t.framework_fraction();
+        assert!((frac - 3.0 / 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_framework_scopes_attribute_to_framework_once() {
+        let mut t = CountingTracer::new();
+        t.enter_framework();
+        t.enter_framework();
+        t.alu(4);
+        t.exit_framework();
+        t.alu(4); // still depth 1 -> framework
+        t.exit_framework();
+        t.alu(4); // depth 0 -> user
+        assert_eq!(t.framework_instructions, 8);
+        assert_eq!(t.user_instructions, 4);
+    }
+
+    #[test]
+    fn region_instruction_attribution() {
+        let mut t = CountingTracer::new();
+        {
+            let mut s = FrameworkScope::new(&mut t, Region::AddEdge);
+            s.t().alu(7);
+        }
+        assert_eq!(t.region_instructions[Region::AddEdge.index()], 7);
+        // after scope exit, region resets to user code
+        t.alu(1);
+        assert_eq!(t.region_instructions[Region::UserCode.index()], 1);
+    }
+
+    #[test]
+    fn framework_fraction_of_empty_trace_is_zero() {
+        assert_eq!(CountingTracer::new().framework_fraction(), 0.0);
+    }
+
+    #[test]
+    fn recording_tracer_replays_identically() {
+        let mut rec = RecordingTracer::new();
+        rec.enter_framework();
+        rec.region(Region::FindVertex);
+        rec.load(0x1000, 8);
+        rec.alu(3);
+        rec.branch(7, true);
+        rec.store(0x2000, 4);
+        rec.exit_framework();
+        assert_eq!(rec.events.len(), 7);
+
+        let mut direct = CountingTracer::new();
+        direct.enter_framework();
+        direct.region(Region::FindVertex);
+        direct.load(0x1000, 8);
+        direct.alu(3);
+        direct.branch(7, true);
+        direct.store(0x2000, 4);
+        direct.exit_framework();
+
+        let mut replayed = CountingTracer::new();
+        rec.replay(&mut replayed);
+        assert_eq!(replayed, direct);
+    }
+
+    #[test]
+    fn recording_tracer_replays_twice_without_consuming() {
+        let mut rec = RecordingTracer::new();
+        rec.load(0x10, 8);
+        let mut a = CountingTracer::new();
+        let mut b = CountingTracer::new();
+        rec.replay(&mut a);
+        rec.replay(&mut b);
+        assert_eq!(a.loads, 1);
+        assert_eq!(b.loads, 1);
+    }
+
+    #[test]
+    fn tee_tracer_forwards_to_both() {
+        let mut t = TeeTracer::new(CountingTracer::new(), CountingTracer::new());
+        t.load(0x10, 8);
+        t.branch(0, true);
+        assert_eq!(t.a.loads, 1);
+        assert_eq!(t.b.loads, 1);
+        assert_eq!(t.a.branches, 1);
+        assert_eq!(t.b.branches, 1);
+    }
+
+    #[test]
+    fn region_footprints_are_flat() {
+        // The paper attributes GraphBIG's low ICache MPKI to its flat code
+        // hierarchy; keep the total footprint under a typical 32KB ICache
+        // (instructions modeled at 4 bytes each).
+        let total: u32 = Region::ALL.iter().map(|r| r.code_footprint()).sum();
+        assert!(total * 4 < 32 * 1024);
+    }
+
+    #[test]
+    fn addr_of_matches_reference_identity() {
+        let x = 42u64;
+        let a1 = addr_of(&x);
+        let a2 = &x as *const u64 as usize;
+        assert_eq!(a1, a2);
+    }
+}

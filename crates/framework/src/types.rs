@@ -1,0 +1,150 @@
+//! Core identifier types and the paper's two taxonomies (Tables 1 and 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex in a [`crate::PropertyGraph`].
+///
+/// Vertex ids are stable across structural updates: deleting a vertex never
+/// renumbers the others, which is what lets workloads on *dynamic* graphs
+/// (the paper's CompDyn category) hold ids across mutations.
+pub type VertexId = u64;
+
+/// Graph computation types, Table 1 of the paper.
+///
+/// Every workload in `graphbig-workloads` is tagged with one of these; the
+/// Figure 5–8 harnesses group results by this tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ComputationType {
+    /// Computation on the graph structure: irregular access pattern, heavy
+    /// read accesses (e.g. BFS traversal).
+    CompStruct,
+    /// Computation on graphs with rich properties: heavy numeric operations
+    /// on properties (e.g. belief propagation, Gibbs inference).
+    CompProp,
+    /// Computation on dynamic graphs: structural updates, dynamic memory
+    /// footprint (e.g. streaming graph construction).
+    CompDyn,
+}
+
+impl ComputationType {
+    /// Short name used in the paper's figures.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ComputationType::CompStruct => "CompStruct",
+            ComputationType::CompProp => "CompProp",
+            ComputationType::CompDyn => "CompDyn",
+        }
+    }
+
+    /// All three types in presentation order.
+    pub const ALL: [ComputationType; 3] = [
+        ComputationType::CompStruct,
+        ComputationType::CompProp,
+        ComputationType::CompDyn,
+    ];
+}
+
+impl std::fmt::Display for ComputationType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Graph data sources, Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataSource {
+    /// Type 1: social/economic/political network — large connected
+    /// components, small shortest-path lengths (e.g. the Twitter graph).
+    Social,
+    /// Type 2: information/knowledge network — large vertex degrees, large
+    /// small-hop neighbourhoods (e.g. a knowledge graph).
+    Information,
+    /// Type 3: nature/bio/cognitive network — complex properties, structured
+    /// topology (e.g. a gene network).
+    Nature,
+    /// Type 4: man-made technology network — regular topology, small vertex
+    /// degrees (e.g. a road network).
+    ManMade,
+    /// Synthetic data with tunable size (e.g. the LDBC generator output).
+    Synthetic,
+}
+
+impl DataSource {
+    /// The paper's "Type N" label (synthetic graphs have no number).
+    pub fn type_label(self) -> &'static str {
+        match self {
+            DataSource::Social => "Type 1",
+            DataSource::Information => "Type 2",
+            DataSource::Nature => "Type 3",
+            DataSource::ManMade => "Type 4",
+            DataSource::Synthetic => "Synthetic",
+        }
+    }
+
+    /// Human-readable source-family name.
+    pub fn family(self) -> &'static str {
+        match self {
+            DataSource::Social => "Social(/economic/political) network",
+            DataSource::Information => "Information(/knowledge) network",
+            DataSource::Nature => "Nature(/bio/cognitive) network",
+            DataSource::ManMade => "Man-made technology network",
+            DataSource::Synthetic => "Synthetic data",
+        }
+    }
+
+    /// The key topological/property feature the paper attributes to this
+    /// source family (Table 2, "Feature" column).
+    pub fn feature(self) -> &'static str {
+        match self {
+            DataSource::Social => "Large connected components, small shortest path lengths",
+            DataSource::Information => "Large vertex degrees, large small-hop neighbourhoods",
+            DataSource::Nature => "Complex properties, structured topology",
+            DataSource::ManMade => "Regular topology, small vertex degrees",
+            DataSource::Synthetic => "Arbitrary size, social-network-like features",
+        }
+    }
+
+    /// All five sources in Table 2 order (synthetic last).
+    pub const ALL: [DataSource; 5] = [
+        DataSource::Social,
+        DataSource::Information,
+        DataSource::Nature,
+        DataSource::ManMade,
+        DataSource::Synthetic,
+    ];
+}
+
+impl std::fmt::Display for DataSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.type_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computation_types_are_distinct() {
+        let all = ComputationType::ALL;
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn data_source_labels_match_paper_numbering() {
+        assert_eq!(DataSource::Social.type_label(), "Type 1");
+        assert_eq!(DataSource::Information.type_label(), "Type 2");
+        assert_eq!(DataSource::Nature.type_label(), "Type 3");
+        assert_eq!(DataSource::ManMade.type_label(), "Type 4");
+    }
+
+    #[test]
+    fn display_uses_short_names() {
+        assert_eq!(ComputationType::CompStruct.to_string(), "CompStruct");
+        assert_eq!(DataSource::Synthetic.to_string(), "Synthetic");
+    }
+}

@@ -1,0 +1,176 @@
+//! The vertex-centric storage unit: [`Vertex`] and its inline [`Edge`] list.
+//!
+//! In the representation of Figure 2(c), "the vertex property and the
+//! outgoing edges stay within the same vertex structure". A [`Vertex`] here
+//! is exactly that structure: its property map and its out-edge vector live
+//! in the same heap block (the vector's buffer is a satellite allocation,
+//! as in System G). Each vertex is boxed individually by the
+//! [`crate::index::VertexIndex`], so distinct vertices land on scattered
+//! heap addresses — the locality profile the paper measures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::property::{Property, PropertyKey, PropertyMap};
+use crate::trace::{addr_of, Tracer};
+use crate::types::VertexId;
+
+/// An outgoing edge stored inside its source vertex.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Target vertex id.
+    pub target: VertexId,
+    /// Edge weight; 1.0 for unweighted graphs. Kept inline because nearly
+    /// every analytics workload reads it.
+    pub weight: f32,
+    /// Further edge properties (labels, timestamps, ...).
+    pub props: PropertyMap,
+}
+
+impl Edge {
+    /// Unit-weight edge with no extra properties.
+    pub fn new(target: VertexId) -> Self {
+        Edge {
+            target,
+            weight: 1.0,
+            props: PropertyMap::new(),
+        }
+    }
+
+    /// Weighted edge with no extra properties.
+    pub fn weighted(target: VertexId, weight: f32) -> Self {
+        Edge {
+            target,
+            weight,
+            props: PropertyMap::new(),
+        }
+    }
+}
+
+/// A vertex structure: id, properties, out-edge adjacency list, and the
+/// in-neighbor (parent) list needed for deletions and moralization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vertex {
+    /// Stable external id.
+    pub id: VertexId,
+    /// Rich properties attached to this vertex.
+    pub props: PropertyMap,
+    /// Outgoing edges (the inner adjacency list of Figure 2(c)).
+    pub out: Vec<Edge>,
+    /// Ids of vertices with an edge *into* this vertex. Maintained by the
+    /// graph so vertex deletion and parent traversal (TMorph moralization)
+    /// do not require a full scan.
+    pub parents: Vec<VertexId>,
+    /// Position of this vertex in the graph's deterministic iteration order;
+    /// maintained by [`crate::graph::PropertyGraph`].
+    pub(crate) order_idx: u32,
+}
+
+impl Vertex {
+    /// Fresh vertex with no edges or properties.
+    pub fn new(id: VertexId) -> Self {
+        Vertex {
+            id,
+            props: PropertyMap::new(),
+            out: Vec::new(),
+            parents: Vec::new(),
+            order_idx: u32::MAX,
+        }
+    }
+
+    /// Out-degree of the vertex.
+    #[inline]
+    pub fn out_degree(&self) -> usize {
+        self.out.len()
+    }
+
+    /// In-degree of the vertex.
+    #[inline]
+    pub fn in_degree(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Find the outgoing edge to `target`, tracing the scan.
+    pub fn find_edge_t<T: Tracer>(&self, target: VertexId, t: &mut T) -> Option<&Edge> {
+        for e in self.out.iter() {
+            t.load(addr_of(e), 16);
+            t.branch(line!() as usize, e.target == target);
+            if e.target == target {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Untraced edge lookup.
+    pub fn find_edge(&self, target: VertexId) -> Option<&Edge> {
+        self.out.iter().find(|e| e.target == target)
+    }
+
+    /// Set a vertex property, tracing the access.
+    pub fn set_prop_t<T: Tracer>(&mut self, key: PropertyKey, value: Property, t: &mut T) {
+        t.load(addr_of(self), 16);
+        self.props.set_t(key, value, t);
+    }
+
+    /// Read a vertex property, tracing the access.
+    pub fn get_prop_t<'s, T: Tracer>(&'s self, key: PropertyKey, t: &mut T) -> Option<&'s Property> {
+        t.load(addr_of(self), 16);
+        self.props.get_t(key, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::keys;
+    use crate::trace::CountingTracer;
+
+    #[test]
+    fn new_vertex_is_isolated() {
+        let v = Vertex::new(42);
+        assert_eq!(v.id, 42);
+        assert_eq!(v.out_degree(), 0);
+        assert_eq!(v.in_degree(), 0);
+        assert!(v.props.is_empty());
+    }
+
+    #[test]
+    fn find_edge_scans_out_list() {
+        let mut v = Vertex::new(0);
+        v.out.push(Edge::new(1));
+        v.out.push(Edge::weighted(2, 3.5));
+        assert_eq!(v.find_edge(2).unwrap().weight, 3.5);
+        assert!(v.find_edge(9).is_none());
+    }
+
+    #[test]
+    fn traced_find_edge_reports_scan_length() {
+        let mut v = Vertex::new(0);
+        for i in 1..=5 {
+            v.out.push(Edge::new(i));
+        }
+        let mut t = CountingTracer::new();
+        assert!(v.find_edge_t(5, &mut t).is_some());
+        assert_eq!(t.loads, 5); // scanned all five entries
+        let mut t2 = CountingTracer::new();
+        assert!(v.find_edge_t(77, &mut t2).is_none());
+        assert_eq!(t2.loads, 5);
+    }
+
+    #[test]
+    fn vertex_properties_round_trip() {
+        let mut v = Vertex::new(3);
+        let mut t = CountingTracer::new();
+        v.set_prop_t(keys::COLOR, Property::Int(2), &mut t);
+        assert_eq!(
+            v.get_prop_t(keys::COLOR, &mut t).unwrap().as_int(),
+            Some(2)
+        );
+        assert!(t.stores >= 1);
+    }
+
+    #[test]
+    fn default_edge_weight_is_one() {
+        assert_eq!(Edge::new(7).weight, 1.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Model-based property tests: the from-scratch substrates (vertex index,
+//! dynamic graph, snapshot format) checked against `std` reference models
+//! under arbitrary operation sequences.
+
+use std::collections::{HashMap, HashSet};
+
+use graphbig_framework::index::VertexIndex;
+use graphbig_framework::prelude::*;
+use graphbig_framework::snapshot;
+use graphbig_framework::vertex::Vertex;
+use proptest::prelude::*;
+
+/// Operations on the vertex index.
+#[derive(Debug, Clone)]
+enum IndexOp {
+    Insert(u64),
+    Remove(u64),
+    Lookup(u64),
+}
+
+fn index_ops() -> impl Strategy<Value = Vec<IndexOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..200).prop_map(IndexOp::Insert),
+            (0u64..200).prop_map(IndexOp::Remove),
+            (0u64..200).prop_map(IndexOp::Lookup),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vertex_index_behaves_like_a_hash_map(ops in index_ops()) {
+        let mut idx = VertexIndex::new();
+        let mut model: HashSet<u64> = HashSet::new();
+        for op in ops {
+            match op {
+                IndexOp::Insert(id) => {
+                    let ours = idx.insert(Box::new(Vertex::new(id))).is_ok();
+                    let model_ok = model.insert(id);
+                    prop_assert_eq!(ours, model_ok, "insert {}", id);
+                }
+                IndexOp::Remove(id) => {
+                    let ours = idx.remove(id).is_some();
+                    let model_ok = model.remove(&id);
+                    prop_assert_eq!(ours, model_ok, "remove {}", id);
+                }
+                IndexOp::Lookup(id) => {
+                    prop_assert_eq!(idx.get(id).is_some(), model.contains(&id), "lookup {}", id);
+                }
+            }
+            prop_assert_eq!(idx.len(), model.len());
+        }
+        // final sweep: every model element is found, iteration matches
+        for &id in &model {
+            prop_assert!(idx.get(id).is_some());
+        }
+        let mut seen: Vec<u64> = idx.iter().map(|v| v.id).collect();
+        seen.sort_unstable();
+        let mut want: Vec<u64> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(seen, want);
+    }
+}
+
+/// Operations on the dynamic graph.
+#[derive(Debug, Clone)]
+enum GraphOp {
+    AddVertex(u64),
+    DeleteVertex(u64),
+    AddEdge(u64, u64),
+    DeleteEdge(u64, u64),
+}
+
+fn graph_ops() -> impl Strategy<Value = Vec<GraphOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..60).prop_map(GraphOp::AddVertex),
+            (0u64..60).prop_map(GraphOp::DeleteVertex),
+            (0u64..60, 0u64..60).prop_map(|(a, b)| GraphOp::AddEdge(a, b)),
+            (0u64..60, 0u64..60).prop_map(|(a, b)| GraphOp::DeleteEdge(a, b)),
+        ],
+        0..300,
+    )
+}
+
+/// Reference model: adjacency as multiset of arcs.
+#[derive(Default)]
+struct ModelGraph {
+    vertices: HashSet<u64>,
+    arcs: Vec<(u64, u64)>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn property_graph_matches_reference_model(ops in graph_ops()) {
+        let mut g = PropertyGraph::new();
+        let mut m = ModelGraph::default();
+        for op in ops {
+            match op {
+                GraphOp::AddVertex(id) => {
+                    let ours = g.add_vertex_with_id(id).is_ok();
+                    let model_ok = m.vertices.insert(id);
+                    prop_assert_eq!(ours, model_ok);
+                }
+                GraphOp::DeleteVertex(id) => {
+                    let ours = g.delete_vertex(id).is_ok();
+                    let model_ok = m.vertices.remove(&id);
+                    prop_assert_eq!(ours, model_ok);
+                    if model_ok {
+                        m.arcs.retain(|&(a, b)| a != id && b != id);
+                    }
+                }
+                GraphOp::AddEdge(a, b) => {
+                    let ours = g.add_edge(a, b, 1.0).is_ok();
+                    let model_ok = m.vertices.contains(&a) && m.vertices.contains(&b);
+                    prop_assert_eq!(ours, model_ok);
+                    if model_ok {
+                        m.arcs.push((a, b));
+                    }
+                }
+                GraphOp::DeleteEdge(a, b) => {
+                    let ours = g.delete_edge(a, b).is_ok();
+                    let pos = m.arcs.iter().position(|&(x, y)| x == a && y == b);
+                    prop_assert_eq!(ours, pos.is_some());
+                    if let Some(p) = pos {
+                        m.arcs.swap_remove(p);
+                    }
+                }
+            }
+            prop_assert_eq!(g.num_vertices(), m.vertices.len());
+            prop_assert_eq!(g.num_arcs(), m.arcs.len());
+        }
+        // arc multiset equality
+        let mut ours: Vec<(u64, u64)> = g.arcs().map(|(u, e)| (u, e.target)).collect();
+        let mut want = m.arcs.clone();
+        ours.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(ours, want);
+        // parent lists mirror arcs exactly
+        let mut parent_pairs: Vec<(u64, u64)> = Vec::new();
+        for &id in g.vertex_ids() {
+            for p in g.parents(id) {
+                parent_pairs.push((p, id));
+            }
+        }
+        parent_pairs.sort_unstable();
+        let mut want2 = m.arcs;
+        want2.sort_unstable();
+        prop_assert_eq!(parent_pairs, want2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_arbitrary_graphs(ops in graph_ops(), labels in proptest::collection::vec("[a-z]{0,8}", 0..10)) {
+        let mut g = PropertyGraph::new();
+        for op in ops {
+            match op {
+                GraphOp::AddVertex(id) => { let _ = g.add_vertex_with_id(id); }
+                GraphOp::DeleteVertex(id) => { let _ = g.delete_vertex(id); }
+                GraphOp::AddEdge(a, b) => { let _ = g.add_edge(a, b, 1.5); }
+                GraphOp::DeleteEdge(a, b) => { let _ = g.delete_edge(a, b); }
+            }
+        }
+        for (i, label) in labels.iter().enumerate() {
+            let ids: Vec<u64> = g.vertex_ids().to_vec();
+            if let Some(&id) = ids.get(i) {
+                g.set_vertex_prop(id, 9, Property::Text(label.clone())).unwrap();
+                g.set_vertex_prop(id, 10, Property::Vector(vec![i as f64; 3])).unwrap();
+            }
+        }
+        let bytes = snapshot::save(&g);
+        let g2 = snapshot::load(&bytes).unwrap();
+        prop_assert_eq!(g2.num_vertices(), g.num_vertices());
+        prop_assert_eq!(g2.num_arcs(), g.num_arcs());
+        let props = |gr: &PropertyGraph| -> HashMap<u64, Option<String>> {
+            gr.vertex_ids()
+                .iter()
+                .map(|&id| {
+                    (
+                        id,
+                        gr.get_vertex_prop(id, 9)
+                            .and_then(|p| p.as_text())
+                            .map(str::to_string),
+                    )
+                })
+                .collect()
+        };
+        prop_assert_eq!(props(&g2), props(&g));
+    }
+}

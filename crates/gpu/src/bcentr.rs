@@ -1,0 +1,209 @@
+//! GPU betweenness centrality: Brandes with level-synchronous forward BFS
+//! and reverse dependency accumulation over compacted per-level worklists,
+//! thread-centric with atomic sigma/delta updates — heavy per-edge
+//! computation, one of Figure 10's high-BDR workloads.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use graphbig_framework::csr::Csr;
+use graphbig_simt::kernel::Device;
+use graphbig_simt::{GpuConfig, GpuMetrics, Lane};
+
+/// Result of a GPU betweenness run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuBCentrResult {
+    /// Accumulated betweenness per dense vertex.
+    pub centrality: Vec<f64>,
+    /// Sources processed.
+    pub sources: u32,
+    /// Device metrics.
+    pub metrics: GpuMetrics,
+}
+
+/// Atomic f64 add via CAS on the bit pattern (GPU `atomicAdd(double)`),
+/// recorded as one atomic event by the caller.
+fn atomic_f64_add(cell: &AtomicU64, inc: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + inc).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Run Brandes from the first `sources` dense vertices.
+pub fn run(cfg: &GpuConfig, csr: &Csr, sources: usize) -> GpuBCentrResult {
+    let n = csr.num_vertices();
+    let centrality: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mut dev = Device::new(cfg.clone());
+    let row = csr.row_offsets();
+    let used = sources.min(n);
+
+    for s in 0..used {
+        let dist: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(-1)).collect();
+        let sigma: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+        let delta: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0f64.to_bits())).collect();
+        dist[s].store(0, Ordering::Relaxed);
+        sigma[s].store(1f64.to_bits(), Ordering::Relaxed);
+
+        // Forward phase: level-synchronous sigma accumulation over the
+        // compacted frontier of each level.
+        let mut level_lists: Vec<Vec<u32>> = vec![vec![s as u32]];
+        let mut level = 0i64;
+        loop {
+            let current = level_lists.last().expect("at least the source level");
+            if current.is_empty() {
+                level_lists.pop();
+                break;
+            }
+            let next = Mutex::new(Vec::<u32>::new());
+            let forward = |tid: usize, lane: &mut Lane| {
+                lane.load(&current[tid], 4); // coalesced frontier fetch
+                let u = current[tid] as usize;
+                lane.load(&row[u], 16);
+                let my_sigma = f64::from_bits(sigma[u].load(Ordering::Relaxed));
+                lane.load(&sigma[u], 8);
+                for v_ref in csr.neighbors(u as u32) {
+                    lane.branch(true); // per-edge loop
+                    lane.load(v_ref, 4);
+                    let v = *v_ref as usize;
+                    lane.load(&dist[v], 8);
+                    let dv = dist[v].load(Ordering::Relaxed);
+                    lane.branch(dv == -1);
+                    if dv == -1
+                        && dist[v]
+                            .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                    {
+                        lane.atomic(&dist[v], 8);
+                        next.lock().unwrap().push(v as u32);
+                    }
+                    if dist[v].load(Ordering::Relaxed) == level + 1 {
+                        atomic_f64_add(&sigma[v], my_sigma);
+                        lane.atomic(&sigma[v], 8);
+                    }
+                    lane.alu(2);
+                }
+                lane.branch(false);
+            };
+            dev.launch(current.len(), &forward);
+            let mut next = next.into_inner().unwrap();
+            next.sort_unstable();
+            level_lists.push(next);
+            level += 1;
+        }
+
+        // Backward phase: accumulate dependencies level by level, deepest
+        // first, over the recorded level lists.
+        for lvl in (0..level_lists.len()).rev() {
+            let current = &level_lists[lvl];
+            let back_level = lvl as i64;
+            let backward = |tid: usize, lane: &mut Lane| {
+                lane.load(&current[tid], 4);
+                let u = current[tid] as usize;
+                let my_sigma = f64::from_bits(sigma[u].load(Ordering::Relaxed));
+                lane.load(&sigma[u], 8);
+                let mut acc = 0.0;
+                for v_ref in csr.neighbors(u as u32) {
+                    lane.branch(true);
+                    lane.load(v_ref, 4);
+                    let v = *v_ref as usize;
+                    lane.load(&dist[v], 8);
+                    let is_succ = dist[v].load(Ordering::Relaxed) == back_level + 1;
+                    lane.branch(is_succ);
+                    if is_succ {
+                        let sv = f64::from_bits(sigma[v].load(Ordering::Relaxed));
+                        let dv = f64::from_bits(delta[v].load(Ordering::Relaxed));
+                        lane.load(&sigma[v], 8);
+                        lane.load(&delta[v], 8);
+                        lane.alu(4);
+                        if sv > 0.0 {
+                            acc += my_sigma / sv * (1.0 + dv);
+                        }
+                    }
+                }
+                lane.branch(false);
+                if acc != 0.0 {
+                    atomic_f64_add(&delta[u], acc);
+                    lane.atomic(&delta[u], 8);
+                    if u != s {
+                        atomic_f64_add(&centrality[u], acc);
+                        lane.atomic(&centrality[u], 8);
+                    }
+                }
+            };
+            dev.launch(current.len(), &backward);
+        }
+    }
+
+    GpuBCentrResult {
+        centrality: centrality
+            .iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+            .collect(),
+        sources: used as u32,
+        metrics: dev.metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_k40()
+    }
+
+    #[test]
+    fn path_middle_vertices_accumulate() {
+        // undirected path 0-1-2-3
+        let edges = [
+            (0u32, 1u32, 1.0f32),
+            (1, 0, 1.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 3, 1.0),
+            (3, 2, 1.0),
+        ];
+        let csr = Csr::from_edges(4, &edges);
+        let r = run(&cfg(), &csr, 4);
+        assert_eq!(r.centrality[1], 4.0);
+        assert_eq!(r.centrality[2], 4.0);
+        assert_eq!(r.centrality[0], 0.0);
+    }
+
+    #[test]
+    fn matches_cpu_brandes() {
+        let mut g = graphbig_datagen::Dataset::CaRoad.generate_with_vertices(150);
+        let csr = Csr::from_graph(&g);
+        let gpu = run(&cfg(), &csr, 150);
+        graphbig_workloads::bcentr::run(&mut g, usize::MAX);
+        for u in 0..csr.num_vertices() {
+            let id = csr.id_of(u as u32);
+            let cpu = graphbig_workloads::bcentr::centrality_of(&g, id).unwrap();
+            assert!(
+                (gpu.centrality[u] - cpu).abs() < 1e-6,
+                "vertex {id}: {} vs {cpu}",
+                gpu.centrality[u]
+            );
+        }
+    }
+
+    #[test]
+    fn source_cap_limits_work() {
+        let csr = Csr::from_edges(10, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let r = run(&cfg(), &csr, 3);
+        assert_eq!(r.sources, 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(0, &[]);
+        let r = run(&cfg(), &csr, 5);
+        assert!(r.centrality.is_empty());
+        assert_eq!(r.sources, 0);
+    }
+}

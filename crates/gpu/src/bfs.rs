@@ -1,0 +1,170 @@
+//! GPU BFS: thread-centric over a compacted frontier queue, one launch per
+//! level.
+//!
+//! Each thread takes one *frontier* vertex (fetched coalesced from the
+//! frontier array) and claims its unvisited neighbors with a CAS, appending
+//! them to the next frontier through an atomic tail counter. Per-thread
+//! work scales with the vertex's degree — the warp imbalance behind BFS's
+//! branch divergence on social graphs (Figures 10/13) and its "varying
+//! working set size" speedup penalty in Figure 12.
+
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use graphbig_framework::csr::Csr;
+use graphbig_simt::kernel::Device;
+use graphbig_simt::{GpuConfig, GpuMetrics, Lane};
+
+/// Result of a GPU BFS run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuBfsResult {
+    /// Vertices reached.
+    pub visited: u64,
+    /// Levels executed.
+    pub levels: u32,
+    /// Final per-vertex levels (-1 = unreached).
+    pub level: Vec<i64>,
+    /// Device metrics.
+    pub metrics: GpuMetrics,
+}
+
+/// Run BFS from dense vertex `source`.
+pub fn run(cfg: &GpuConfig, csr: &Csr, source: u32) -> GpuBfsResult {
+    let n = csr.num_vertices();
+    if n == 0 || source as usize >= n {
+        return GpuBfsResult {
+            visited: 0,
+            levels: 0,
+            level: Vec::new(),
+            metrics: GpuMetrics::default(),
+        };
+    }
+    let levels: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(-1)).collect();
+    levels[source as usize].store(0, Ordering::Relaxed);
+    let row = csr.row_offsets();
+    let queue_tail = AtomicU32::new(0); // modeled device queue counter
+
+    let mut dev = Device::new(cfg.clone());
+    let mut frontier: Vec<u32> = vec![source];
+    let mut depth = 0i64;
+    while !frontier.is_empty() {
+        let next = Mutex::new(Vec::<u32>::new());
+        let frontier_ref = &frontier;
+        let kernel = |tid: usize, lane: &mut Lane| {
+            lane.load(&frontier_ref[tid], 4); // coalesced frontier fetch
+            let u = frontier_ref[tid] as usize;
+            lane.load(&row[u], 16);
+            for v_ref in csr.neighbors(u as u32) {
+                lane.branch(true); // per-edge loop: trip count = degree
+                lane.load(v_ref, 4);
+                let v = *v_ref as usize;
+                lane.load(&levels[v], 8);
+                let unvisited = levels[v].load(Ordering::Relaxed) == -1;
+                lane.branch(unvisited);
+                if unvisited
+                    && levels[v]
+                        .compare_exchange(-1, depth + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    lane.atomic(&levels[v], 8);
+                    // append to the device frontier queue
+                    lane.atomic(&queue_tail, 4);
+                    next.lock().unwrap().push(v as u32);
+                }
+            }
+            lane.branch(false); // loop exit
+        };
+        dev.launch(frontier.len(), &kernel);
+        let mut next = next.into_inner().unwrap();
+        next.sort_unstable(); // deterministic frontier order
+        frontier = next;
+        depth += 1;
+    }
+
+    let level: Vec<i64> = levels.into_iter().map(|a| a.into_inner()).collect();
+    GpuBfsResult {
+        visited: level.iter().filter(|&&l| l >= 0).count() as u64,
+        levels: depth as u32,
+        level,
+        metrics: dev.metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_k40()
+    }
+
+    fn chain_csr() -> Csr {
+        Csr::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)])
+    }
+
+    #[test]
+    fn visits_reachable_vertices() {
+        let csr = chain_csr();
+        let r = run(&cfg(), &csr, 0);
+        assert_eq!(r.visited, 4, "vertex 4 is isolated");
+        assert!(r.metrics.issued_instructions > 0);
+    }
+
+    #[test]
+    fn levels_match_hop_counts() {
+        let csr = chain_csr();
+        let r = run(&cfg(), &csr, 0);
+        assert_eq!(r.level, vec![0, 1, 2, 1, -1]); // 0->3 shortcut wins
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let csr = Csr::from_edges(0, &[]);
+        let r = run(&cfg(), &csr, 0);
+        assert_eq!(r.visited, 0);
+    }
+
+    #[test]
+    fn matches_cpu_bfs_on_dataset() {
+        let mut g = graphbig_datagen::Dataset::Ldbc.generate_with_vertices(500);
+        let csr = Csr::from_graph(&g);
+        let gpu = run(&cfg(), &csr, 0);
+        let root = csr.id_of(0);
+        let cpu = graphbig_workloads::bfs::run(&mut g, root);
+        assert_eq!(gpu.visited, cpu.visited);
+        for u in 0..csr.num_vertices() {
+            let id = csr.id_of(u as u32);
+            let cpu_level = graphbig_workloads::bfs::level_of(&g, id)
+                .map(|l| l as i64)
+                .unwrap_or(-1);
+            assert_eq!(gpu.level[u], cpu_level, "vertex {id}");
+        }
+    }
+
+    #[test]
+    fn degree_imbalance_raises_bdr() {
+        // Two trees with identical frontier sizes; only the degree balance
+        // of the second level differs.
+        let balanced = two_level_tree(|_| 4);
+        let skewed = two_level_tree(|i| if i % 16 == 0 { 49 } else { 1 });
+        let b = run(&cfg(), &balanced, 0).metrics.bdr;
+        let s = run(&cfg(), &skewed, 0).metrics.bdr;
+        assert!(
+            s > b,
+            "degree-imbalanced frontier should diverge more: skewed {s} vs balanced {b}"
+        );
+    }
+
+    /// Root -> 64 children; child i gets `deg(i)` unique grandchildren.
+    fn two_level_tree(deg: impl Fn(u32) -> u32) -> Csr {
+        let mut edges: Vec<(u32, u32, f32)> = (1..=64).map(|i| (0, i, 1.0)).collect();
+        let mut next = 65u32;
+        for i in 1..=64u32 {
+            for _ in 0..deg(i) {
+                edges.push((i, next, 1.0));
+                next += 1;
+            }
+        }
+        Csr::from_edges(next as usize, &edges)
+    }
+}

@@ -1,0 +1,29 @@
+//! # graphbig-gpu
+//!
+//! The 8 GraphBIG GPU workloads (Table 3's "8 GPU workloads") as SIMT
+//! kernels over CSR/COO, executed by the `graphbig-simt` model:
+//!
+//! * thread-centric (one thread per vertex): [`bfs`], [`spath`], [`kcore`],
+//!   [`gcolor`], [`dcentr`], [`bcentr`] — their per-thread work scales with
+//!   vertex degree, the source of branch divergence (Figure 10);
+//! * edge-centric (one thread per edge): [`ccomp`] (Soman's algorithm),
+//!   [`tc`] — balanced per-thread work, hence the low BDR the paper
+//!   observes for both.
+//!
+//! Device state is held in atomic arrays (the GPU's global memory); kernels
+//! record every global access with its *real* buffer address so coalescing
+//! reflects the actual CSR layout, as on hardware.
+
+#![warn(missing_docs)]
+
+pub mod bcentr;
+pub mod bfs;
+pub mod ccomp;
+pub mod dcentr;
+pub mod gcolor;
+pub mod kcore;
+pub mod registry;
+pub mod spath;
+pub mod tc;
+
+pub use registry::{run_gpu_workload, GpuRunResult};

@@ -1,0 +1,266 @@
+//! Conditional-branch predictor (tournament: bimodal + gshare).
+//!
+//! Figure 6 reports branch miss-prediction rates below 5% for most GraphBIG
+//! workloads with one outlier: TC reaches 10.7% because its sorted-list
+//! intersections take data-dependent branches that history cannot learn.
+//! A tournament predictor reproduces exactly that split: the bimodal side
+//! captures the strong biases of traversal checks (most neighbors are
+//! already visited), the gshare side captures loop patterns, and a per-site
+//! chooser arbitrates — but neither side can learn TC's value-dependent
+//! compare outcomes.
+
+use serde::{Deserialize, Serialize};
+
+/// Which prediction scheme to run (the tournament is the default; the
+/// single-component schemes exist for the predictor ablation study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PredictorKind {
+    /// Bimodal + gshare with a per-site chooser.
+    #[default]
+    Tournament,
+    /// History-indexed two-bit counters only.
+    Gshare,
+    /// Site-indexed two-bit counters only.
+    Bimodal,
+}
+
+/// Predictor geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchConfig {
+    /// log2 of the pattern-history-table size.
+    pub table_bits: u32,
+    /// Global-history length in bits (≤ `table_bits`).
+    pub history_bits: u32,
+    /// Prediction scheme.
+    pub kind: PredictorKind,
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        BranchConfig {
+            table_bits: 14,
+            history_bits: 12,
+            kind: PredictorKind::Tournament,
+        }
+    }
+}
+
+/// Branch statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchStats {
+    /// Conditional branches predicted.
+    pub branches: u64,
+    /// Mispredictions among `branches`.
+    pub mispredictions: u64,
+}
+
+impl BranchStats {
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+}
+
+/// The tournament predictor.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    cfg: BranchConfig,
+    /// gshare pattern-history table: two-bit counters, ≥2 predicts taken.
+    gshare: Vec<u8>,
+    /// Bimodal (site-indexed) table of two-bit counters.
+    bimodal: Vec<u8>,
+    /// Per-site chooser: ≥2 prefers gshare.
+    chooser: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    table_mask: u64,
+    stats: BranchStats,
+}
+
+impl BranchPredictor {
+    /// Build a predictor from its configuration.
+    pub fn new(cfg: BranchConfig) -> Self {
+        assert!(cfg.history_bits <= cfg.table_bits);
+        let size = 1usize << cfg.table_bits;
+        BranchPredictor {
+            cfg,
+            gshare: vec![1u8; size],  // weakly not-taken
+            bimodal: vec![1u8; size],
+            chooser: vec![1u8; size], // weakly prefer bimodal
+            history: 0,
+            history_mask: (1u64 << cfg.history_bits) - 1,
+            table_mask: (1u64 << cfg.table_bits) - 1,
+            stats: BranchStats::default(),
+        }
+    }
+
+    /// Predict and train on one branch outcome; returns `true` if the
+    /// prediction was correct.
+    pub fn predict_and_train(&mut self, site: usize, taken: bool) -> bool {
+        self.stats.branches += 1;
+        let site_idx = (site as u64 & self.table_mask) as usize;
+        let gs_idx =
+            ((site as u64 ^ (self.history & self.history_mask)) & self.table_mask) as usize;
+
+        let gs_pred = self.gshare[gs_idx] >= 2;
+        let bi_pred = self.bimodal[site_idx] >= 2;
+        let use_gshare = self.chooser[site_idx] >= 2;
+        let predicted = match self.cfg.kind {
+            PredictorKind::Tournament => {
+                if use_gshare {
+                    gs_pred
+                } else {
+                    bi_pred
+                }
+            }
+            PredictorKind::Gshare => gs_pred,
+            PredictorKind::Bimodal => bi_pred,
+        };
+        let correct = predicted == taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+
+        // Train the chooser toward whichever component was right (only when
+        // they disagree).
+        if gs_pred != bi_pred {
+            let c = &mut self.chooser[site_idx];
+            if gs_pred == taken {
+                *c = (*c + 1).min(3);
+            } else {
+                *c = c.saturating_sub(1);
+            }
+        }
+        for (table, idx) in [(&mut self.gshare, gs_idx), (&mut self.bimodal, site_idx)] {
+            let counter = &mut table[idx];
+            *counter = if taken {
+                (*counter + 1).min(3)
+            } else {
+                counter.saturating_sub(1)
+            };
+        }
+        self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+        correct
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BranchStats {
+        self.stats
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> BranchConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp() -> BranchPredictor {
+        BranchPredictor::new(BranchConfig::default())
+    }
+
+    #[test]
+    fn tournament_beats_gshare_on_biased_noise() {
+        // a strongly biased branch with pseudo-random exceptions: bimodal
+        // (and therefore the tournament) captures the bias; pure gshare
+        // spreads it across history entries and mispredicts more.
+        let run = |kind: PredictorKind| {
+            let mut p = BranchPredictor::new(BranchConfig {
+                kind,
+                ..BranchConfig::default()
+            });
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for _ in 0..50_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let taken = (x % 10) != 0; // 90% taken
+                p.predict_and_train(0x44, taken);
+            }
+            p.stats().miss_rate()
+        };
+        let tournament = run(PredictorKind::Tournament);
+        let gshare = run(PredictorKind::Gshare);
+        assert!(
+            tournament < gshare,
+            "tournament {tournament} should beat gshare {gshare} on biased noise"
+        );
+        assert!(tournament < 0.15, "tournament {tournament}");
+    }
+
+    #[test]
+    fn learns_a_constant_branch() {
+        let mut p = bp();
+        for _ in 0..1000 {
+            p.predict_and_train(0x40, true);
+        }
+        assert!(p.stats().miss_rate() < 0.05, "rate {}", p.stats().miss_rate());
+    }
+
+    #[test]
+    fn learns_a_short_loop_pattern() {
+        // taken,taken,taken,not-taken — a 4-iteration loop
+        let mut p = bp();
+        for _ in 0..500 {
+            for i in 0..4 {
+                p.predict_and_train(0x80, i != 3);
+            }
+        }
+        assert!(
+            p.stats().miss_rate() < 0.10,
+            "loop pattern rate {}",
+            p.stats().miss_rate()
+        );
+    }
+
+    #[test]
+    fn random_branches_stay_unpredictable() {
+        let mut p = bp();
+        let mut x = 0x12345678u64;
+        let mut outcomes = Vec::new();
+        for _ in 0..20_000 {
+            // xorshift pseudo-random outcome, uncorrelated with history
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            outcomes.push(x & 1 == 1);
+        }
+        for &o in &outcomes {
+            p.predict_and_train(0x100, o);
+        }
+        let rate = p.stats().miss_rate();
+        assert!(rate > 0.35, "random outcomes should mispredict ~50%, got {rate}");
+    }
+
+    #[test]
+    fn distinct_sites_do_not_destructively_alias() {
+        let mut p = bp();
+        for _ in 0..2000 {
+            p.predict_and_train(0x11, true);
+            p.predict_and_train(0x22, false);
+        }
+        assert!(p.stats().miss_rate() < 0.1, "rate {}", p.stats().miss_rate());
+    }
+
+    #[test]
+    fn stats_count_all_branches() {
+        let mut p = bp();
+        for i in 0..100 {
+            p.predict_and_train(i, i % 2 == 0);
+        }
+        assert_eq!(p.stats().branches, 100);
+        assert!(p.stats().mispredictions <= 100);
+    }
+
+    #[test]
+    fn empty_stats_rate_is_zero() {
+        assert_eq!(BranchStats::default().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! The modeled CPU (Table 6's Xeon test machine).
+
+use serde::{Deserialize, Serialize};
+
+use crate::branch::BranchConfig;
+use crate::cache::CacheConfig;
+use crate::tlb::TlbConfig;
+
+/// Full machine description: geometry, latencies, and the analytical
+/// cycle-model factors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Human-readable model name.
+    pub name: String,
+    /// Core count (the paper's machine runs 16 cores).
+    pub cores: usize,
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Superscalar issue width.
+    pub issue_width: u32,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// L2 cache geometry.
+    pub l2: CacheConfig,
+    /// Last-level cache geometry.
+    pub l3: CacheConfig,
+    /// Instruction cache geometry.
+    pub icache: CacheConfig,
+    /// Data TLB configuration.
+    pub tlb: TlbConfig,
+    /// Branch predictor configuration.
+    pub branch: BranchConfig,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u64,
+    /// L3 hit latency in cycles.
+    pub l3_latency: u64,
+    /// Memory latency in cycles.
+    pub mem_latency: u64,
+    /// Pipeline flush penalty per branch misprediction.
+    pub branch_penalty: u64,
+    /// Frontend stall per ICache miss.
+    pub icache_penalty: u64,
+    /// Memory-level parallelism divisor applied to L2/L3 hit stalls.
+    pub mlp_near: f64,
+    /// Memory-level parallelism divisor applied to memory-bound stalls.
+    pub mlp_far: f64,
+    /// Baseline backend (execution-dependency) cycles per instruction.
+    pub backend_base_cpi: f64,
+    /// Baseline frontend (fetch/decode bandwidth) cycles per instruction.
+    pub frontend_base_cpi: f64,
+}
+
+impl CpuConfig {
+    /// An Ivy-Bridge-class Xeon E5 approximating the paper's test machine:
+    /// 16 cores, 32 KB L1D, 256 KB L2, 20 MB shared L3, 64-entry DTLB.
+    pub fn xeon_e5() -> Self {
+        CpuConfig {
+            name: "Intel Xeon E5-class (modeled)".into(),
+            cores: 16,
+            frequency_ghz: 2.6,
+            issue_width: 4,
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l3: CacheConfig {
+                size_bytes: 20 * 1024 * 1024,
+                line_bytes: 64,
+                ways: 20,
+            },
+            icache: CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            tlb: TlbConfig::default(),
+            branch: BranchConfig::default(),
+            l2_latency: 12,
+            l3_latency: 36,
+            mem_latency: 210,
+            branch_penalty: 15,
+            icache_penalty: 20,
+            mlp_near: 2.0,
+            mlp_far: 3.5,
+            backend_base_cpi: 0.15,
+            frontend_base_cpi: 0.02,
+        }
+    }
+
+    /// A reduced configuration for fast unit tests and tiny experiments:
+    /// same shape, smaller caches so locality effects show at small scale.
+    pub fn small() -> Self {
+        let mut cfg = Self::xeon_e5();
+        cfg.name = "small test machine".into();
+        cfg.l1d.size_bytes = 8 * 1024;
+        cfg.l2.size_bytes = 64 * 1024;
+        cfg.l3.size_bytes = 1024 * 1024;
+        cfg.l3.ways = 16;
+        cfg.tlb.l1_entries = 16;
+        cfg.tlb.l2_entries = 64;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_geometry_is_power_of_two_sets() {
+        let c = CpuConfig::xeon_e5();
+        assert!(c.l1d.sets().is_power_of_two());
+        assert!(c.l2.sets().is_power_of_two());
+        assert!(c.l3.sets().is_power_of_two());
+        assert!(c.icache.sets().is_power_of_two());
+    }
+
+    #[test]
+    fn xeon_matches_paper_class() {
+        let c = CpuConfig::xeon_e5();
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l3.size_bytes, 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn small_config_is_smaller() {
+        let s = CpuConfig::small();
+        let x = CpuConfig::xeon_e5();
+        assert!(s.l3.size_bytes < x.l3.size_bytes);
+        assert!(s.tlb.l1_entries < x.tlb.l1_entries);
+    }
+
+    #[test]
+    fn config_clones_and_compares() {
+        let c = CpuConfig::xeon_e5();
+        assert_eq!(c, c.clone());
+        assert_ne!(c, CpuConfig::small());
+    }
+}

@@ -1,0 +1,260 @@
+//! [`CoreModel`]: the `Tracer` implementation that drives the whole CPU
+//! model from a workload's event stream.
+
+use graphbig_framework::trace::{Region, Tracer};
+
+use crate::branch::BranchPredictor;
+use crate::cache::{Hierarchy, HitLevel};
+use crate::config::CpuConfig;
+use crate::counters::PerfCounters;
+use crate::cycles::{breakdown, CycleInputs};
+use crate::icache::ICache;
+use crate::tlb::Tlb;
+
+/// One modeled core: every traced event updates the caches, DTLB, branch
+/// predictor and ICache; [`CoreModel::finish`] runs the cycle model and
+/// returns the full counter set.
+pub struct CoreModel {
+    cfg: CpuConfig,
+    data: Hierarchy,
+    tlb: Tlb,
+    bp: BranchPredictor,
+    icache: ICache,
+    instructions: u64,
+    loads: u64,
+    stores: u64,
+    atomics: u64,
+    branches: u64,
+    l2_hits: u64,
+    l3_hits: u64,
+    mem_accesses: u64,
+}
+
+impl CoreModel {
+    /// Build a core from a machine configuration.
+    pub fn new(cfg: CpuConfig) -> Self {
+        CoreModel {
+            data: Hierarchy::new(cfg.l1d, cfg.l2, cfg.l3),
+            tlb: Tlb::new(cfg.tlb),
+            bp: BranchPredictor::new(cfg.branch),
+            icache: ICache::new(cfg.icache),
+            cfg,
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            atomics: 0,
+            branches: 0,
+            l2_hits: 0,
+            l3_hits: 0,
+            mem_accesses: 0,
+        }
+    }
+
+    /// Core with the paper-class Xeon configuration.
+    pub fn xeon() -> Self {
+        Self::new(CpuConfig::xeon_e5())
+    }
+
+    /// Instructions observed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    fn data_access(&mut self, addr: usize, bytes: u32) {
+        // A wide access (bulk property read/write) is really a sequence of
+        // word-sized instructions; count them so MPKI stays per-instruction.
+        let extra_words = (bytes.saturating_sub(1) / 8) as u64;
+        self.instructions += extra_words;
+        self.icache.fetch(extra_words as u32);
+        self.tlb.access(addr);
+        match self.data.access(addr, bytes) {
+            HitLevel::L1 => {}
+            HitLevel::L2 => self.l2_hits += 1,
+            HitLevel::L3 => self.l3_hits += 1,
+            HitLevel::Memory => self.mem_accesses += 1,
+        }
+    }
+
+    /// Run the cycle model over everything observed and produce the counter
+    /// readout. The core can keep tracing afterwards; `finish` is a
+    /// snapshot.
+    pub fn finish(&self) -> PerfCounters {
+        let inputs = CycleInputs {
+            instructions: self.instructions,
+            branch_mispredictions: self.bp.stats().mispredictions,
+            icache_misses: self.icache.stats().misses,
+            l2_hits: self.l2_hits,
+            l3_hits: self.l3_hits,
+            mem_accesses: self.mem_accesses,
+            tlb_penalty_cycles: self.tlb.stats().penalty_cycles,
+        };
+        PerfCounters {
+            instructions: self.instructions,
+            loads: self.loads,
+            stores: self.stores,
+            atomics: self.atomics,
+            branches: self.branches,
+            branch: self.bp.stats(),
+            l1d: self.data.l1d.stats(),
+            l2: self.data.l2.stats(),
+            l3: self.data.l3.stats(),
+            icache: self.icache.stats(),
+            tlb: self.tlb.stats(),
+            cycles: breakdown(&self.cfg, &inputs),
+        }
+    }
+}
+
+impl Tracer for CoreModel {
+    #[inline]
+    fn load(&mut self, addr: usize, bytes: u32) {
+        self.instructions += 1;
+        self.loads += 1;
+        self.icache.fetch(1);
+        self.data_access(addr, bytes);
+    }
+
+    #[inline]
+    fn store(&mut self, addr: usize, bytes: u32) {
+        self.instructions += 1;
+        self.stores += 1;
+        self.icache.fetch(1);
+        self.data_access(addr, bytes);
+    }
+
+    #[inline]
+    fn atomic(&mut self, addr: usize, bytes: u32) {
+        self.instructions += 1;
+        self.atomics += 1;
+        self.icache.fetch(1);
+        self.data_access(addr, bytes);
+    }
+
+    #[inline]
+    fn alu(&mut self, n: u32) {
+        self.instructions += n as u64;
+        self.icache.fetch(n);
+    }
+
+    #[inline]
+    fn branch(&mut self, site: usize, taken: bool) {
+        self.instructions += 1;
+        self.branches += 1;
+        self.icache.fetch(1);
+        self.bp.predict_and_train(site, taken);
+    }
+
+    #[inline]
+    fn region(&mut self, region: Region) {
+        self.icache.switch_region(region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbig_framework::trace::addr_of;
+
+    fn small_core() -> CoreModel {
+        CoreModel::new(CpuConfig::small())
+    }
+
+    #[test]
+    fn sequential_scan_is_cache_friendly() {
+        let mut core = small_core();
+        let data = vec![0u64; 64 * 1024];
+        for x in &data {
+            core.load(addr_of(x), 8);
+        }
+        let c = core.finish();
+        // 8 u64 per 64B line -> ~1/8 of loads miss L1 at most
+        assert!(c.l1d_hit_rate() > 0.8, "hit rate {}", c.l1d_hit_rate());
+        assert!(c.dtlb_penalty_fraction() < 0.4);
+    }
+
+    #[test]
+    fn pointer_chase_misses_everywhere() {
+        let mut core = small_core();
+        // scattered boxes, random order: graph-like pointer chasing
+        let boxes: Vec<Box<[u8; 256]>> = (0..20_000).map(|_| Box::new([0u8; 256])).collect();
+        let mut idx = 7usize;
+        for _ in 0..60_000 {
+            idx = (idx * 2654435761 + 1) % boxes.len();
+            core.load(addr_of(&*boxes[idx]), 8);
+            core.alu(2);
+        }
+        let c = core.finish();
+        assert!(c.l3_mpki() > 20.0, "l3 mpki {}", c.l3_mpki());
+        let (_, _, _, backend) = c.cycles.fractions();
+        assert!(backend > 0.7, "backend fraction {backend}");
+        assert!(c.ipc() < 1.0);
+    }
+
+    #[test]
+    fn property_crunching_is_compute_bound() {
+        let mut core = small_core();
+        let block = vec![0f64; 512];
+        for _ in 0..2_000 {
+            for x in &block {
+                core.load(addr_of(x), 8);
+                core.alu(6); // numeric work per element
+            }
+        }
+        let c = core.finish();
+        let (retiring, _, _, backend) = c.cycles.fractions();
+        assert!(retiring > 0.4, "retiring {retiring}");
+        assert!(backend < 0.6, "backend {backend}");
+        assert!(c.ipc() > 1.0, "ipc {}", c.ipc());
+    }
+
+    #[test]
+    fn icache_mpki_stays_low_for_flat_regions() {
+        let mut core = small_core();
+        for _ in 0..1000 {
+            core.region(Region::FindVertex);
+            core.alu(48);
+            core.region(Region::TraverseNeighbors);
+            core.alu(40);
+            core.region(Region::UserCode);
+            core.alu(100);
+        }
+        let c = core.finish();
+        assert!(c.icache_mpki() < 0.7, "icache mpki {}", c.icache_mpki());
+    }
+
+    #[test]
+    fn counters_count_instruction_classes() {
+        let mut core = small_core();
+        core.load(0x1000, 8);
+        core.store(0x2000, 8);
+        core.atomic(0x3000, 8);
+        core.alu(5);
+        core.branch(1, true);
+        let c = core.finish();
+        assert_eq!(c.instructions, 9);
+        assert_eq!(c.loads, 1);
+        assert_eq!(c.stores, 1);
+        assert_eq!(c.atomics, 1);
+        assert_eq!(c.branches, 1);
+    }
+
+    #[test]
+    fn hit_level_accounting_is_consistent() {
+        let mut core = small_core();
+        let data = vec![0u8; 4 * 1024 * 1024];
+        let mut idx = 3usize;
+        for _ in 0..50_000 {
+            idx = (idx * 1103515245 + 12345) % data.len();
+            core.load(addr_of(&data[idx]), 1);
+        }
+        let c = core.finish();
+        // every L1 miss is serviced by exactly one deeper level
+        let serviced = core.l2_hits + core.l3_hits + core.mem_accesses;
+        assert_eq!(serviced, c.l1d.misses);
+    }
+}

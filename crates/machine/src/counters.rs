@@ -1,0 +1,207 @@
+//! The "hardware counter" readout: raw event counts plus every derived
+//! metric the paper's Section 5.1 methodology lists for CPUs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::branch::BranchStats;
+use crate::cache::CacheStats;
+use crate::cycles::CycleBreakdown;
+use crate::tlb::TlbStats;
+
+/// Complete profiling result of one workload run on the core model.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// Atomic read-modify-writes.
+    pub atomics: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Branch statistics from the predictor.
+    pub branch: BranchStats,
+    /// L1D statistics.
+    pub l1d: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// L3 statistics.
+    pub l3: CacheStats,
+    /// ICache statistics (accesses are line fetches).
+    pub icache: CacheStats,
+    /// DTLB statistics.
+    pub tlb: TlbStats,
+    /// Top-down cycle breakdown.
+    pub cycles: CycleBreakdown,
+}
+
+impl PerfCounters {
+    /// L1D misses per kilo-instruction (Figure 7).
+    pub fn l1d_mpki(&self) -> f64 {
+        self.l1d.mpki(self.instructions)
+    }
+
+    /// L2 misses per kilo-instruction (Figure 7).
+    pub fn l2_mpki(&self) -> f64 {
+        self.l2.mpki(self.instructions)
+    }
+
+    /// L3 misses per kilo-instruction (Figure 7).
+    pub fn l3_mpki(&self) -> f64 {
+        self.l3.mpki(self.instructions)
+    }
+
+    /// ICache misses per kilo-instruction (Figure 6).
+    pub fn icache_mpki(&self) -> f64 {
+        self.icache.mpki(self.instructions)
+    }
+
+    /// L1D hit rate (Figure 9).
+    pub fn l1d_hit_rate(&self) -> f64 {
+        self.l1d.hit_rate()
+    }
+
+    /// Branch miss-prediction rate (Figure 6).
+    pub fn branch_miss_rate(&self) -> f64 {
+        self.branch.miss_rate()
+    }
+
+    /// Fraction of total cycles lost to DTLB misses (Figure 6).
+    pub fn dtlb_penalty_fraction(&self) -> f64 {
+        let total = self.cycles.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.tlb.penalty_cycles as f64 / total
+        }
+    }
+
+    /// Instructions per cycle (Figures 8 and 9).
+    pub fn ipc(&self) -> f64 {
+        self.cycles.ipc(self.instructions)
+    }
+
+    /// Total modeled cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.cycles.total()
+    }
+
+    /// Memory instructions (loads + stores + atomics).
+    pub fn memory_instructions(&self) -> u64 {
+        self.loads + self.stores + self.atomics
+    }
+
+    /// Element-wise accumulation (merging per-thread counter sets).
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.atomics += other.atomics;
+        self.branches += other.branches;
+        self.branch.branches += other.branch.branches;
+        self.branch.mispredictions += other.branch.mispredictions;
+        for (a, b) in [
+            (&mut self.l1d, &other.l1d),
+            (&mut self.l2, &other.l2),
+            (&mut self.l3, &other.l3),
+            (&mut self.icache, &other.icache),
+        ] {
+            a.accesses += b.accesses;
+            a.misses += b.misses;
+        }
+        self.tlb.accesses += other.tlb.accesses;
+        self.tlb.l1_misses += other.tlb.l1_misses;
+        self.tlb.walks += other.tlb.walks;
+        self.tlb.penalty_cycles += other.tlb.penalty_cycles;
+        self.cycles.retiring += other.cycles.retiring;
+        self.cycles.bad_speculation += other.cycles.bad_speculation;
+        self.cycles.frontend += other.cycles.frontend;
+        self.cycles.backend += other.cycles.backend;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfCounters {
+        PerfCounters {
+            instructions: 10_000,
+            loads: 3_000,
+            stores: 1_000,
+            atomics: 10,
+            branches: 1_500,
+            branch: BranchStats {
+                branches: 1_500,
+                mispredictions: 75,
+            },
+            l1d: CacheStats {
+                accesses: 4_010,
+                misses: 400,
+            },
+            l2: CacheStats {
+                accesses: 400,
+                misses: 300,
+            },
+            l3: CacheStats {
+                accesses: 300,
+                misses: 200,
+            },
+            icache: CacheStats {
+                accesses: 700,
+                misses: 2,
+            },
+            tlb: TlbStats {
+                accesses: 4_010,
+                l1_misses: 500,
+                walks: 100,
+                penalty_cycles: 6_300,
+            },
+            cycles: CycleBreakdown {
+                retiring: 2_500.0,
+                bad_speculation: 1_125.0,
+                frontend: 40.0,
+                backend: 26_335.0,
+            },
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let c = sample();
+        assert_eq!(c.l1d_mpki(), 40.0);
+        assert_eq!(c.l2_mpki(), 30.0);
+        assert_eq!(c.l3_mpki(), 20.0);
+        assert_eq!(c.icache_mpki(), 0.2);
+        assert!((c.branch_miss_rate() - 0.05).abs() < 1e-12);
+        assert!((c.l1d_hit_rate() - (1.0 - 400.0 / 4010.0)).abs() < 1e-12);
+        assert!((c.dtlb_penalty_fraction() - 6_300.0 / 30_000.0).abs() < 1e-12);
+        assert!((c.ipc() - 10_000.0 / 30_000.0).abs() < 1e-12);
+        assert_eq!(c.memory_instructions(), 4_010);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = sample();
+        a.merge(&sample());
+        let s = sample();
+        assert_eq!(a.instructions, 2 * s.instructions);
+        assert_eq!(a.l3.misses, 2 * s.l3.misses);
+        assert_eq!(a.tlb.penalty_cycles, 2 * s.tlb.penalty_cycles);
+        assert_eq!(a.cycles.total(), 2.0 * s.cycles.total());
+        // rates are unchanged by homogeneous merging
+        assert!((a.branch_miss_rate() - s.branch_miss_rate()).abs() < 1e-12);
+        assert!((a.ipc() - s.ipc()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_have_safe_metrics() {
+        let c = PerfCounters::default();
+        assert_eq!(c.l3_mpki(), 0.0);
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.dtlb_penalty_fraction(), 0.0);
+        assert_eq!(c.l1d_hit_rate(), 1.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Top-down cycle accounting (Figure 5's four categories).
+//!
+//! The paper breaks execution cycles into **Frontend** (fetch/decode
+//! stalls), **BadSpeculation** (wrong-path work), **Retiring** (useful
+//! work), and **Backend** (execution + memory stalls). This module turns the
+//! simulated miss/misprediction counts into that breakdown with a simple
+//! analytical model:
+//!
+//! * retiring: `instructions / issue_width`;
+//! * bad speculation: mispredictions × flush penalty;
+//! * frontend: ICache misses × fetch penalty;
+//! * backend: a base dependency CPI plus memory stalls — per-level miss
+//!   counts × latency, divided by a memory-level-parallelism factor — plus
+//!   the DTLB's page-walk cycles.
+//!
+//! Fixed MLP divisors keep the model analytical; the workload-to-workload
+//! *differences* all come from the real traces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CpuConfig;
+
+/// Raw inputs to the cycle model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleInputs {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Branch mispredictions.
+    pub branch_mispredictions: u64,
+    /// ICache misses.
+    pub icache_misses: u64,
+    /// Accesses that missed L1D but hit L2.
+    pub l2_hits: u64,
+    /// Accesses that missed L2 but hit L3.
+    pub l3_hits: u64,
+    /// Accesses that went to memory.
+    pub mem_accesses: u64,
+    /// DTLB penalty cycles.
+    pub tlb_penalty_cycles: u64,
+}
+
+/// The four-way breakdown plus totals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Useful-work cycles.
+    pub retiring: f64,
+    /// Wrong-speculation cycles.
+    pub bad_speculation: f64,
+    /// Fetch/decode stall cycles.
+    pub frontend: f64,
+    /// Execution + memory stall cycles.
+    pub backend: f64,
+}
+
+impl CycleBreakdown {
+    /// Total modeled cycles.
+    pub fn total(&self) -> f64 {
+        self.retiring + self.bad_speculation + self.frontend + self.backend
+    }
+
+    /// Fractions in `[0,1]` in `(retiring, bad_spec, frontend, backend)`
+    /// order; all zeros for an empty run.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t == 0.0 {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            (
+                self.retiring / t,
+                self.bad_speculation / t,
+                self.frontend / t,
+                self.backend / t,
+            )
+        }
+    }
+
+    /// Instructions per cycle for a given instruction count.
+    pub fn ipc(&self, instructions: u64) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            instructions as f64 / t
+        }
+    }
+}
+
+/// Evaluate the analytical model.
+pub fn breakdown(cfg: &CpuConfig, inp: &CycleInputs) -> CycleBreakdown {
+    let retiring = inp.instructions as f64 / cfg.issue_width as f64;
+    let bad_speculation = inp.branch_mispredictions as f64 * cfg.branch_penalty as f64;
+    let frontend = inp.icache_misses as f64 * cfg.icache_penalty as f64
+        + inp.instructions as f64 * cfg.frontend_base_cpi;
+    let mem_stall = inp.l2_hits as f64 * cfg.l2_latency as f64 / cfg.mlp_near
+        + inp.l3_hits as f64 * cfg.l3_latency as f64 / cfg.mlp_near
+        + inp.mem_accesses as f64 * cfg.mem_latency as f64 / cfg.mlp_far;
+    let backend =
+        inp.instructions as f64 * cfg.backend_base_cpi + mem_stall + inp.tlb_penalty_cycles as f64;
+    CycleBreakdown {
+        retiring,
+        bad_speculation,
+        frontend,
+        backend,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CpuConfig {
+        CpuConfig::xeon_e5()
+    }
+
+    #[test]
+    fn clean_run_is_mostly_retiring() {
+        let inp = CycleInputs {
+            instructions: 1_000_000,
+            ..Default::default()
+        };
+        let b = breakdown(&cfg(), &inp);
+        let (ret, bad, fe, be) = b.fractions();
+        assert!(ret > 0.55, "retiring {ret}");
+        assert_eq!(bad, 0.0);
+        assert!(fe < 0.1, "frontend base only: {fe}");
+        assert!(be < 0.4); // only the base CPI
+    }
+
+    #[test]
+    fn memory_bound_run_is_backend_dominated() {
+        // graph-traversal profile: ~5% of instructions miss to memory
+        let inp = CycleInputs {
+            instructions: 1_000_000,
+            mem_accesses: 50_000,
+            tlb_penalty_cycles: 500_000,
+            ..Default::default()
+        };
+        let b = breakdown(&cfg(), &inp);
+        let (_, _, _, be) = b.fractions();
+        assert!(be > 0.85, "backend {be}");
+        assert!(b.ipc(inp.instructions) < 1.0);
+    }
+
+    #[test]
+    fn branchy_run_shows_bad_speculation() {
+        // TC-like profile: 10% of instructions are branches, 10% mispredict
+        let inp = CycleInputs {
+            instructions: 1_000_000,
+            branch_mispredictions: 10_000,
+            ..Default::default()
+        };
+        let b = breakdown(&cfg(), &inp);
+        let (_, bad, _, _) = b.fractions();
+        assert!(bad > 0.2, "bad speculation {bad}");
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let inp = CycleInputs {
+            instructions: 12345,
+            branch_mispredictions: 17,
+            icache_misses: 3,
+            l2_hits: 100,
+            l3_hits: 50,
+            mem_accesses: 25,
+            tlb_penalty_cycles: 99,
+        };
+        let (a, b_, c, d) = breakdown(&cfg(), &inp).fractions();
+        assert!((a + b_ + c + d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_zero_cycles() {
+        let b = breakdown(&cfg(), &CycleInputs::default());
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.ipc(0), 0.0);
+        assert_eq!(b.fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn ipc_cannot_exceed_issue_width() {
+        let inp = CycleInputs {
+            instructions: 1000,
+            ..Default::default()
+        };
+        let b = breakdown(&cfg(), &inp);
+        assert!(b.ipc(1000) <= cfg().issue_width as f64 + 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! # graphbig-machine
+//!
+//! A CPU architecture model that stands in for the hardware performance
+//! counters the paper reads on its Xeon test machine (Table 6). The model is
+//! driven by the *real* memory/branch/instruction event stream of the
+//! workloads (via the framework's `Tracer` interface) and produces the ~30
+//! counters and derived metrics of Section 5.1:
+//!
+//! * [`cache`] — set-associative L1D/L2/L3 hierarchy with LRU replacement →
+//!   cache MPKI and hit rates (Figures 7 and 9);
+//! * [`tlb`] — two-level DTLB with page-walk penalties → DTLB miss-cycle
+//!   percentage (Figure 6);
+//! * [`branch`] — gshare conditional-branch predictor → branch miss rate
+//!   (Figure 6);
+//! * [`icache`] — instruction cache fed by code-region fetch streams →
+//!   ICache MPKI (Figure 6);
+//! * [`cycles`] — top-down cycle accounting (Frontend / Backend / Retiring /
+//!   BadSpeculation) → execution breakdown and IPC (Figures 5 and 8);
+//! * [`core`] — [`core::CoreModel`], the `Tracer` implementation wiring all
+//!   of the above together;
+//! * [`config`] — the modeled machine ([`config::CpuConfig::xeon_e5`]
+//!   approximates the paper's dual-socket 16-core Xeon).
+//!
+//! The model is deliberately *analytical* in its cycle attribution (fixed
+//! latencies, fixed memory-level parallelism factors): the paper's findings
+//! are about the *relative* shape of these metrics across workloads and
+//! datasets, which is carried by the genuine traces, not by cycle-exact
+//! simulation.
+
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod config;
+pub mod core;
+pub mod counters;
+pub mod cycles;
+pub mod icache;
+pub mod ndp;
+pub mod tlb;
+
+pub use crate::core::CoreModel;
+pub use config::CpuConfig;
+pub use counters::PerfCounters;

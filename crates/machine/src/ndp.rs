@@ -1,0 +1,179 @@
+//! Near-data-processing (NDP) first-order model — the paper's stated future
+//! work ("we will also extend GraphBIG to other platforms, such as
+//! near-data processing (NDP) units", Section 6, citing the MICRO-46 NDP
+//! workshop report).
+//!
+//! The motivating observation of Section 5.2 is that graph workloads waste
+//! most of their cycles in the memory hierarchy (low L2/L3 hit rates, heavy
+//! DTLB penalties). An NDP unit sits next to the memory stack: simple cores
+//! with no deep cache hierarchy, a short flat path to DRAM, and abundant
+//! internal bandwidth. This model re-evaluates a workload's already-measured
+//! counter profile under that organization, answering "what would this
+//! trace cost near memory?" — the ablation the `ablation_ndp` binary prints.
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::PerfCounters;
+
+/// NDP organization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NdpConfig {
+    /// Display name.
+    pub name: String,
+    /// In-stack cores.
+    pub cores: usize,
+    /// Clock in GHz (thermal budget in-stack is tight).
+    pub clock_ghz: f64,
+    /// Issue width of the simple in-order cores.
+    pub issue_width: u32,
+    /// Flat access latency to the local DRAM stack, in cycles.
+    pub mem_latency: u64,
+    /// Memory-level parallelism the simple core can sustain.
+    pub mlp: f64,
+    /// Fraction of memory accesses that still hit a small scratch buffer
+    /// (task queues, frontier) near the core.
+    pub scratch_hit_rate: f64,
+}
+
+impl NdpConfig {
+    /// An HMC-class NDP configuration: one simple core per vault in the
+    /// logic layer (32 vaults), short in-stack access path.
+    pub fn hmc_class() -> Self {
+        NdpConfig {
+            name: "HMC-class NDP unit (modeled)".into(),
+            cores: 32,
+            clock_ghz: 1.0,
+            issue_width: 2,
+            mem_latency: 30,
+            mlp: 8.0,
+            scratch_hit_rate: 0.6,
+        }
+    }
+}
+
+/// Modeled outcome of replaying a counter profile on the NDP unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NdpEstimate {
+    /// Single-core NDP cycles.
+    pub cycles: f64,
+    /// Wall-clock seconds on all cores (linear scaling — NDP workloads
+    /// partition by memory vault).
+    pub seconds: f64,
+    /// Memory-stall share of the cycles.
+    pub memory_fraction: f64,
+}
+
+/// Evaluate a measured workload profile under the NDP organization.
+///
+/// The instruction stream is identical; what changes is the memory system:
+/// every off-scratch memory instruction pays the flat stack latency
+/// (overlapped by `mlp`) instead of the cache/TLB gauntlet.
+pub fn evaluate(cfg: &NdpConfig, c: &PerfCounters) -> NdpEstimate {
+    let issue = c.instructions as f64 / cfg.issue_width as f64;
+    let mem_ops = c.memory_instructions() as f64 * (1.0 - cfg.scratch_hit_rate);
+    let mem_stall = mem_ops * cfg.mem_latency as f64 / cfg.mlp;
+    // simple cores still flush on mispredicts, with a shorter pipeline
+    let bad_spec = c.branch.mispredictions as f64 * 6.0;
+    let cycles = issue + mem_stall + bad_spec;
+    NdpEstimate {
+        cycles,
+        seconds: cycles / (cfg.clock_ghz * 1e9) / cfg.cores as f64,
+        memory_fraction: if cycles > 0.0 { mem_stall / cycles } else { 0.0 },
+    }
+}
+
+/// Speedup of the NDP estimate over the host-CPU profile (both at their
+/// full core counts, assuming the same parallel efficiency cancels out).
+pub fn speedup_vs_cpu(cfg: &NdpConfig, c: &PerfCounters, cpu_cores: usize, cpu_ghz: f64) -> f64 {
+    let cpu_seconds = c.total_cycles() / (cpu_ghz * 1e9) / cpu_cores as f64;
+    let ndp = evaluate(cfg, c);
+    if ndp.seconds > 0.0 {
+        cpu_seconds / ndp.seconds
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::BranchStats;
+    use crate::cache::CacheStats;
+    use crate::cycles::CycleBreakdown;
+    use crate::tlb::TlbStats;
+
+    fn memory_bound_profile() -> PerfCounters {
+        PerfCounters {
+            instructions: 1_000_000,
+            loads: 350_000,
+            stores: 50_000,
+            branches: 150_000,
+            branch: BranchStats {
+                branches: 150_000,
+                mispredictions: 3_000,
+            },
+            l3: CacheStats {
+                accesses: 120_000,
+                misses: 60_000,
+            },
+            tlb: TlbStats {
+                accesses: 400_000,
+                l1_misses: 120_000,
+                walks: 60_000,
+                penalty_cycles: 2_340_000,
+            },
+            cycles: CycleBreakdown {
+                retiring: 250_000.0,
+                bad_speculation: 45_000.0,
+                frontend: 20_000.0,
+                backend: 6_000_000.0,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn compute_bound_profile() -> PerfCounters {
+        PerfCounters {
+            instructions: 1_000_000,
+            loads: 100_000,
+            stores: 10_000,
+            cycles: CycleBreakdown {
+                retiring: 250_000.0,
+                bad_speculation: 10_000.0,
+                frontend: 20_000.0,
+                backend: 200_000.0,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ndp_accelerates_memory_bound_graph_profiles() {
+        let cfg = NdpConfig::hmc_class();
+        let s = speedup_vs_cpu(&cfg, &memory_bound_profile(), 16, 2.6);
+        assert!(s > 1.5, "NDP should win on memory-bound traces: {s}");
+    }
+
+    #[test]
+    fn ndp_does_not_help_compute_bound_profiles() {
+        let cfg = NdpConfig::hmc_class();
+        let s = speedup_vs_cpu(&cfg, &compute_bound_profile(), 16, 2.6);
+        assert!(s < 1.5, "compute-bound traces gain little near memory: {s}");
+    }
+
+    #[test]
+    fn estimate_components_are_consistent() {
+        let cfg = NdpConfig::hmc_class();
+        let e = evaluate(&cfg, &memory_bound_profile());
+        assert!(e.cycles > 0.0);
+        assert!((0.0..=1.0).contains(&e.memory_fraction));
+        assert!(e.seconds > 0.0);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let e = evaluate(&NdpConfig::hmc_class(), &PerfCounters::default());
+        assert_eq!(e.cycles, 0.0);
+        assert_eq!(e.memory_fraction, 0.0);
+    }
+}

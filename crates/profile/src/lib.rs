@@ -1,0 +1,12 @@
+//! # graphbig-profile
+//!
+//! Report plumbing for the characterization harness: ASCII/CSV tables,
+//! JSON export, and the paper's reference values for side-by-side
+//! comparison in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod report;
+
+pub use report::Table;

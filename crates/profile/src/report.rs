@@ -1,0 +1,206 @@
+//! Fixed-width ASCII tables and CSV/JSON export for figure regeneration.
+
+use serde::Serialize;
+
+/// A simple column-oriented table builder.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Table {
+    /// Table title printed above the header.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Format a float cell with 2 decimals.
+    pub fn f(x: f64) -> String {
+        format!("{x:.2}")
+    }
+
+    /// Format a float cell with 3 decimals (rates).
+    pub fn f3(x: f64) -> String {
+        format!("{x:.3}")
+    }
+
+    /// Format a percentage cell.
+    pub fn pct(x: f64) -> String {
+        format!("{:.1}%", x * 100.0)
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let hdr: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        out.push_str(&hdr.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+/// Render labeled points as an ASCII scatter plot (the Figure 10/13
+/// presentation): x and y in `[0, 1]`, one letter per point placed on a
+/// `width × height` grid, with a legend below.
+pub fn scatter_plot(points: &[(f64, f64, &str)], width: usize, height: usize) -> String {
+    let width = width.max(10);
+    let height = height.max(5);
+    let mut grid = vec![vec![' '; width]; height];
+    let mut legend = String::new();
+    for (i, &(x, y, label)) in points.iter().enumerate() {
+        let marker = (b'A' + (i % 26) as u8) as char;
+        let cx = ((x.clamp(0.0, 1.0)) * (width - 1) as f64).round() as usize;
+        let cy = ((1.0 - y.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+        // collisions: keep the first marker, note both in the legend
+        if grid[cy][cx] == ' ' {
+            grid[cy][cx] = marker;
+        }
+        legend.push_str(&format!("  {marker} = {label} ({x:.2}, {y:.2})\n"));
+    }
+    let mut out = String::new();
+    out.push_str(&format!("BDR\n1.0 ┤{}\n", "".to_string()));
+    for (row_idx, row) in grid.iter().enumerate() {
+        let prefix = if row_idx == height - 1 { "0.0 └" } else { "    │" };
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{prefix}{line}\n"));
+    }
+    out.push_str(&format!(
+        "     0.0{}1.0  MDR\n",
+        "-".repeat(width.saturating_sub(6))
+    ));
+    out.push_str(&legend);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["workload", "mpki"]);
+        t.row(vec!["BFS".into(), Table::f(48.773)]);
+        t.row(vec!["DCentr".into(), Table::f(145.9)]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("workload"));
+        let lines: Vec<&str> = text.lines().collect();
+        // all data lines end aligned at the same width
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "workload,mpki");
+        assert_eq!(lines[1], "BFS,48.77");
+    }
+
+    #[test]
+    fn json_round_trips_shape() {
+        let json = sample().to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["headers"][1], "mpki");
+        assert_eq!(v["rows"][1][0], "DCentr");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("t", &["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(Table::f(1.005), "1.00");
+        assert_eq!(Table::f3(0.1234), "0.123");
+        assert_eq!(Table::pct(0.211), "21.1%");
+    }
+
+    #[test]
+    fn scatter_places_extremes_in_corners() {
+        let plot = scatter_plot(
+            &[(0.0, 0.0, "low"), (1.0, 1.0, "high")],
+            20,
+            8,
+        );
+        let lines: Vec<&str> = plot.lines().collect();
+        // grid rows are lines[2..2+height]; top row (y=1.0) ends with 'B'
+        assert!(lines[2].trim_end().ends_with('B'), "{plot}");
+        // bottom grid row carries the 'A' marker
+        assert!(lines[9].contains('A'), "{plot}");
+        assert!(plot.contains("A = low"));
+        assert!(plot.contains("B = high"));
+    }
+
+    #[test]
+    fn scatter_clamps_out_of_range_points() {
+        let plot = scatter_plot(&[(-5.0, 7.0, "wild")], 12, 6);
+        assert!(plot.contains("A = wild"));
+    }
+}

@@ -1,0 +1,132 @@
+//! A centralized sense-reversing barrier.
+//!
+//! Level-synchronous graph algorithms (parallel BFS, Luby–Jones coloring
+//! rounds) separate phases with barriers. This is the textbook
+//! sense-reversing design from *Rust Atomics and Locks* territory: one
+//! atomic counter plus a global "sense" flag, with each thread keeping its
+//! local sense — reusable without reinitialization, no ABA between
+//! generations.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Reusable barrier for a fixed number of participants.
+pub struct Barrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    sense: AtomicBool,
+}
+
+/// Per-thread handle carrying the thread's local sense.
+pub struct BarrierToken {
+    local_sense: bool,
+}
+
+impl Barrier {
+    /// Barrier for `parties` threads (at least one).
+    pub fn new(parties: usize) -> Self {
+        Barrier {
+            parties: parties.max(1),
+            arrived: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Create the per-thread token; one per participating thread.
+    pub fn token(&self) -> BarrierToken {
+        BarrierToken { local_sense: false }
+    }
+
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Block until all `parties` threads have called `wait` this generation.
+    /// Returns `true` for exactly one thread per generation (the "leader").
+    pub fn wait(&self, token: &mut BarrierToken) -> bool {
+        token.local_sense = !token.local_sense;
+        // AcqRel: arriving threads' prior writes must be visible to the
+        // thread that releases the generation, and vice versa.
+        let pos = self.arrived.fetch_add(1, Ordering::AcqRel);
+        if pos + 1 == self.parties {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.sense.store(token.local_sense, Ordering::Release);
+            true
+        } else {
+            while self.sense.load(Ordering::Acquire) != token.local_sense {
+                std::hint::spin_loop();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = Barrier::new(1);
+        let mut tok = b.token();
+        for _ in 0..10 {
+            assert!(b.wait(&mut tok), "single participant is always leader");
+        }
+    }
+
+    #[test]
+    fn phases_are_ordered_across_threads() {
+        const THREADS: usize = 4;
+        const PHASES: usize = 20;
+        let b = Barrier::new(THREADS);
+        let phase_sums: Vec<AtomicU64> = (0..PHASES).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    let mut tok = b.token();
+                    for (p, slot) in phase_sums.iter().enumerate() {
+                        slot.fetch_add(1, Ordering::Relaxed);
+                        b.wait(&mut tok);
+                        // after the barrier, everyone must see all THREADS
+                        // contributions to this phase
+                        assert_eq!(
+                            slot.load(Ordering::Relaxed),
+                            THREADS as u64,
+                            "phase {p} incomplete after barrier"
+                        );
+                        b.wait(&mut tok);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        const THREADS: usize = 8;
+        let b = Barrier::new(THREADS);
+        let leaders = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    let mut tok = b.token();
+                    for _ in 0..10 {
+                        if b.wait(&mut tok) {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn zero_parties_clamps_to_one() {
+        let b = Barrier::new(0);
+        assert_eq!(b.parties(), 1);
+        let mut tok = b.token();
+        assert!(b.wait(&mut tok));
+    }
+}

@@ -1,0 +1,170 @@
+//! Dynamically scheduled parallel loops over index ranges.
+//!
+//! Graph workloads have wildly unbalanced per-vertex work (the degree
+//! imbalance at the center of the paper's divergence analysis), so static
+//! partitioning starves. [`parallel_for`] instead hands out fixed-size
+//! chunks from a shared atomic cursor — classic dynamic (guided-ish)
+//! scheduling.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool::ThreadPool;
+
+/// Run `body(i)` for every `i` in `range`, distributing chunks of
+/// `grain` indices dynamically across the pool's workers.
+pub fn parallel_for<F>(pool: &ThreadPool, range: Range<usize>, grain: usize, body: F)
+where
+    F: Fn(usize) + Send + Sync,
+{
+    parallel_for_chunks(pool, range, grain, |chunk| {
+        for i in chunk {
+            body(i);
+        }
+    });
+}
+
+/// Like [`parallel_for`] but hands whole chunks to `body`, letting callers
+/// hoist per-chunk state (thread-local buffers, tracers).
+pub fn parallel_for_chunks<F>(pool: &ThreadPool, range: Range<usize>, grain: usize, body: F)
+where
+    F: Fn(Range<usize>) + Send + Sync,
+{
+    let grain = grain.max(1);
+    let start = range.start;
+    let end = range.end;
+    if start >= end {
+        return;
+    }
+    let cursor = AtomicUsize::new(start);
+    pool.broadcast(|_worker| loop {
+        let lo = cursor.fetch_add(grain, Ordering::Relaxed);
+        if lo >= end {
+            break;
+        }
+        let hi = (lo + grain).min(end);
+        body(lo..hi);
+    });
+}
+
+/// Parallel map-reduce over a range: `map(i)` produces a value per index,
+/// combined per worker with `fold` and across workers with `fold` again
+/// starting from `identity`.
+pub fn parallel_reduce<A, M, F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    grain: usize,
+    identity: A,
+    map: M,
+    fold: F,
+) -> A
+where
+    A: Clone + Send + Sync,
+    M: Fn(usize) -> A + Send + Sync,
+    F: Fn(A, A) -> A + Send + Sync,
+{
+    let partials: Vec<parking_lot::Mutex<A>> = (0..pool.threads())
+        .map(|_| parking_lot::Mutex::new(identity.clone()))
+        .collect();
+    let grain = grain.max(1);
+    let start = range.start;
+    let end = range.end;
+    if start < end {
+        let cursor = AtomicUsize::new(start);
+        pool.broadcast(|worker| {
+            let mut local = identity.clone();
+            loop {
+                let lo = cursor.fetch_add(grain, Ordering::Relaxed);
+                if lo >= end {
+                    break;
+                }
+                let hi = (lo + grain).min(end);
+                for i in lo..hi {
+                    local = fold(local, map(i));
+                }
+            }
+            let mut slot = partials[worker].lock();
+            *slot = fold(slot.clone(), local);
+        });
+    }
+    partials
+        .into_iter()
+        .map(parking_lot::Mutex::into_inner)
+        .fold(identity, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(&pool, 0..n, 64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_a_no_op() {
+        let pool = ThreadPool::new(2);
+        let count = AtomicU64::new(0);
+        parallel_for(&pool, 5..5, 16, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn chunks_partition_the_range() {
+        let pool = ThreadPool::new(3);
+        let seen = parking_lot::Mutex::new(Vec::new());
+        parallel_for_chunks(&pool, 10..55, 10, |chunk| {
+            seen.lock().push(chunk);
+        });
+        let mut chunks = seen.into_inner();
+        chunks.sort_by_key(|c| c.start);
+        let mut expect_start = 10;
+        for c in &chunks {
+            assert_eq!(c.start, expect_start);
+            expect_start = c.end;
+        }
+        assert_eq!(expect_start, 55);
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let pool = ThreadPool::new(4);
+        let sum = parallel_reduce(&pool, 0..1001, 32, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(sum, 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn reduce_with_max_operator() {
+        let pool = ThreadPool::new(2);
+        let max = parallel_reduce(
+            &pool,
+            0..500,
+            7,
+            0usize,
+            |i| (i * 2654435761) % 1013,
+            |a, b| a.max(b),
+        );
+        let expect = (0..500).map(|i| (i * 2654435761) % 1013).max().unwrap();
+        assert_eq!(max, expect);
+    }
+
+    #[test]
+    fn grain_zero_clamps() {
+        let pool = ThreadPool::new(2);
+        let count = AtomicU64::new(0);
+        parallel_for(&pool, 0..10, 0, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! Memory-transaction coalescing.
+//!
+//! On the modeled K40, one warp memory instruction is serviced by one
+//! 128-byte transaction *if* every active lane's access falls in the same
+//! 128-byte block; otherwise the instruction is **replayed** once per extra
+//! block (the paper: "a load or store instruction would be replayed if
+//! there is a bank conflict or the warp accesses more than one 128-byte
+//! block"). MDR counts those replays.
+
+/// The distinct transaction blocks needed to service the given accesses,
+/// where each access covers `[addr, addr + bytes)`. Sorted ascending.
+pub fn transaction_blocks(accesses: &[(u64, u32)], transaction_bytes: usize) -> Vec<u64> {
+    debug_assert!(transaction_bytes.is_power_of_two());
+    let shift = transaction_bytes.trailing_zeros();
+    let mut blocks: Vec<u64> = Vec::with_capacity(accesses.len() * 2);
+    for &(addr, bytes) in accesses {
+        let first = addr >> shift;
+        let last = (addr + bytes.saturating_sub(1) as u64) >> shift;
+        for b in first..=last {
+            blocks.push(b);
+        }
+    }
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks
+}
+
+/// Count the distinct transactions needed to service the given accesses.
+pub fn transactions(accesses: &[(u64, u32)], transaction_bytes: usize) -> usize {
+    transaction_blocks(accesses, transaction_bytes).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_warp_needs_one_transaction() {
+        // 32 lanes × 4-byte accesses, consecutive: one 128-byte block
+        let accesses: Vec<(u64, u32)> = (0..32).map(|i| (i * 4, 4)).collect();
+        assert_eq!(transactions(&accesses, 128), 1);
+    }
+
+    #[test]
+    fn strided_warp_needs_many_transactions() {
+        // stride 128: every lane its own block
+        let accesses: Vec<(u64, u32)> = (0..32).map(|i| (i * 128, 4)).collect();
+        assert_eq!(transactions(&accesses, 128), 32);
+    }
+
+    #[test]
+    fn duplicate_addresses_coalesce() {
+        let accesses = vec![(0u64, 4u32); 32];
+        assert_eq!(transactions(&accesses, 128), 1);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_blocks() {
+        let accesses = vec![(120u64, 16u32)]; // crosses the 128 boundary
+        assert_eq!(transactions(&accesses, 128), 2);
+    }
+
+    #[test]
+    fn empty_access_list_needs_none() {
+        assert_eq!(transactions(&[], 128), 0);
+    }
+
+    #[test]
+    fn transaction_count_is_bounded_by_lane_count_times_span() {
+        // each 4-byte access touches 1 block, or 2 when straddling a
+        // boundary: 1 <= t <= 2 * lanes
+        let accesses: Vec<(u64, u32)> = (0..32).map(|i| (i * 977, 4)).collect();
+        let t = transactions(&accesses, 128);
+        assert!((1..=64).contains(&t), "t = {t}");
+    }
+}

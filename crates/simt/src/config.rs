@@ -1,0 +1,95 @@
+//! The modeled GPU device.
+
+use serde::{Deserialize, Serialize};
+
+/// GPU device description used by the SIMT model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Device display name.
+    pub name: String,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Warp instructions an SM can issue per cycle.
+    pub issue_per_sm: f64,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Memory-transaction granularity in bytes (the paper's "128-byte
+    /// block" replay rule).
+    pub transaction_bytes: usize,
+    /// Peak device-memory bandwidth in GB/s.
+    pub peak_bandwidth_gbps: f64,
+    /// Effective issue cost (in cycles) of one DRAM transaction — one per
+    /// cycle is the irregular-access ceiling, which puts the achievable
+    /// random-access bandwidth near the ~90 GB/s the paper's best kernel
+    /// reaches on the K40.
+    pub transaction_cycles: f64,
+    /// Device L2 capacity in bytes (K40: 1.5 MB).
+    pub l2_bytes: usize,
+    /// Device L2 associativity.
+    pub l2_ways: usize,
+    /// Effective issue cost of a transaction that hits in L2 (K40 kernels
+    /// route reused read-only data through the per-SM texture/read-only
+    /// caches, so cached transactions are close to free).
+    pub l2_hit_cycles: f64,
+    /// Extra serialization cycles per atomic operation (atomics on the K40
+    /// serialize conflicting lanes).
+    pub atomic_cycles: f64,
+}
+
+impl GpuConfig {
+    /// The paper's Tesla K40: 15 SMs, 288 GB/s, 128-byte transactions.
+    pub fn tesla_k40() -> Self {
+        GpuConfig {
+            name: "Nvidia Tesla K40 (modeled)".into(),
+            warp_size: 32,
+            sms: 15,
+            issue_per_sm: 2.0,
+            clock_ghz: 0.745,
+            transaction_bytes: 128,
+            peak_bandwidth_gbps: 288.0,
+            transaction_cycles: 1.0,
+            l2_bytes: 1_536 * 1024,
+            l2_ways: 16,
+            l2_hit_cycles: 0.05,
+            atomic_cycles: 4.0,
+        }
+    }
+
+    /// The K40 with its L2 scaled by `scale`, for experiments on scaled-down
+    /// datasets: working sets shrink with the dataset, so an unscaled L2
+    /// would cache state arrays that exceed it at the paper's sizes and
+    /// erase the memory-bound behavior being measured.
+    pub fn tesla_k40_scaled(scale: f64) -> Self {
+        let mut cfg = Self::tesla_k40();
+        cfg.l2_bytes = ((cfg.l2_bytes as f64 * scale) as usize).max(64 * 1024);
+        cfg.name = format!("Nvidia Tesla K40 (modeled, L2 x{scale})");
+        cfg
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::tesla_k40()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40_matches_paper_specs() {
+        let g = GpuConfig::tesla_k40();
+        assert_eq!(g.warp_size, 32);
+        assert_eq!(g.transaction_bytes, 128);
+        assert_eq!(g.peak_bandwidth_gbps, 288.0);
+        assert_eq!(g.sms, 15);
+    }
+
+    #[test]
+    fn default_is_k40() {
+        assert_eq!(GpuConfig::default(), GpuConfig::tesla_k40());
+    }
+}

@@ -1,0 +1,160 @@
+//! Device-memory timing: turns transaction/issue counts into modeled
+//! cycles, achieved bandwidth, and kernel time.
+//!
+//! The device is modeled as a throughput machine: compute issue and the
+//! memory pipeline proceed concurrently, so kernel cycles are the maximum
+//! of the two, plus atomic serialization. One transaction per cycle is the
+//! effective ceiling for irregular (non-streaming) access — which is why
+//! the paper's best-achieving kernel (CComp) reads ≈90 GB/s of the K40's
+//! 288 GB/s peak.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::GpuConfig;
+use crate::warp::WarpStats;
+
+/// Modeled timing of one kernel (or a sequence of launches).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Timing {
+    /// Cycles the compute pipelines need.
+    pub compute_cycles: f64,
+    /// Cycles the memory pipeline needs.
+    pub memory_cycles: f64,
+    /// Additional serialization cycles from atomics.
+    pub atomic_cycles: f64,
+    /// Modeled total kernel cycles.
+    pub total_cycles: f64,
+}
+
+/// Evaluate the timing model for accumulated warp statistics.
+pub fn timing(cfg: &GpuConfig, s: &WarpStats) -> Timing {
+    // Replays occupy the memory pipeline (accounted as transactions), not
+    // the ALU issue slots.
+    let compute = s.issued as f64 / (cfg.issue_per_sm * cfg.sms as f64);
+    let memory = s.dram_transactions() as f64 * cfg.transaction_cycles
+        + s.l2_hits as f64 * cfg.l2_hit_cycles;
+    // Non-conflicting atomics pipeline like stores; conflicting ones
+    // serialize at full cost.
+    let atomic = (s.atomic_conflicts as f64 * cfg.atomic_cycles
+        + s.atomic_ops as f64 * 0.5)
+        / cfg.sms as f64;
+    let total = compute.max(memory + atomic).max(1.0);
+    Timing {
+        compute_cycles: compute,
+        memory_cycles: memory,
+        atomic_cycles: atomic,
+        total_cycles: total,
+    }
+}
+
+impl Timing {
+    /// Kernel time in milliseconds at the configured clock.
+    pub fn time_ms(&self, cfg: &GpuConfig) -> f64 {
+        self.total_cycles / (cfg.clock_ghz * 1e9) * 1e3
+    }
+
+    /// Achieved read throughput in GB/s.
+    pub fn read_throughput_gbps(&self, cfg: &GpuConfig, s: &WarpStats) -> f64 {
+        throughput_gbps(cfg, self.total_cycles, s.bytes_read)
+    }
+
+    /// Achieved write throughput in GB/s.
+    pub fn write_throughput_gbps(&self, cfg: &GpuConfig, s: &WarpStats) -> f64 {
+        throughput_gbps(cfg, self.total_cycles, s.bytes_written)
+    }
+}
+
+fn throughput_gbps(cfg: &GpuConfig, cycles: f64, bytes: u64) -> f64 {
+    if cycles == 0.0 {
+        return 0.0;
+    }
+    let seconds = cycles / (cfg.clock_ghz * 1e9);
+    bytes as f64 / seconds / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_k40()
+    }
+
+    #[test]
+    fn memory_bound_kernel_is_limited_by_transactions() {
+        let s = WarpStats {
+            issued: 1000,
+            transactions: 100_000,
+            bytes_read: 100_000 * 128,
+            ..Default::default()
+        };
+        let t = timing(&cfg(), &s);
+        assert!(t.memory_cycles > t.compute_cycles);
+        assert_eq!(t.total_cycles, t.memory_cycles);
+        // at 1 transaction/cycle the ceiling is 128 B/cycle ≈ 95 GB/s
+        let bw = t.read_throughput_gbps(&cfg(), &s);
+        assert!((bw - 95.36).abs() < 1.0, "bw {bw}");
+    }
+
+    #[test]
+    fn compute_bound_kernel_has_low_throughput() {
+        let s = WarpStats {
+            issued: 10_000_000,
+            transactions: 1_000,
+            bytes_read: 1_000 * 128,
+            ..Default::default()
+        };
+        let t = timing(&cfg(), &s);
+        assert_eq!(t.total_cycles, t.compute_cycles);
+        let bw = t.read_throughput_gbps(&cfg(), &s);
+        assert!(bw < 1.0, "bw {bw}");
+    }
+
+    #[test]
+    fn atomics_extend_memory_time() {
+        let base = WarpStats {
+            issued: 100,
+            transactions: 1000,
+            ..Default::default()
+        };
+        let with_atomics = WarpStats {
+            atomic_ops: 100_000,
+            ..base
+        };
+        let t0 = timing(&cfg(), &base);
+        let t1 = timing(&cfg(), &with_atomics);
+        assert!(t1.total_cycles > t0.total_cycles);
+    }
+
+    #[test]
+    fn achieved_bandwidth_never_exceeds_model_ceiling() {
+        let s = WarpStats {
+            issued: 10,
+            transactions: 123_456,
+            bytes_read: 123_456 * 128,
+            ..Default::default()
+        };
+        let t = timing(&cfg(), &s);
+        let bw = t.read_throughput_gbps(&cfg(), &s);
+        assert!(bw <= cfg().peak_bandwidth_gbps);
+    }
+
+    #[test]
+    fn empty_stats_have_minimal_cycles() {
+        let t = timing(&cfg(), &WarpStats::default());
+        assert_eq!(t.total_cycles, 1.0);
+        assert_eq!(t.read_throughput_gbps(&cfg(), &WarpStats::default()), 0.0);
+    }
+
+    #[test]
+    fn time_ms_scales_with_clock() {
+        let s = WarpStats {
+            issued: 1,
+            transactions: 745_000,
+            ..Default::default()
+        };
+        let t = timing(&cfg(), &s);
+        // 745k cycles at 0.745 GHz = 1 ms
+        assert!((t.time_ms(&cfg()) - 1.0).abs() < 1e-9);
+    }
+}

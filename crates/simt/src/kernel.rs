@@ -1,0 +1,184 @@
+//! Grid launch machinery.
+//!
+//! A [`Kernel`] is a per-thread body; [`launch`] runs it over `n` threads,
+//! packing consecutive thread ids into warps of 32 (the CUDA convention the
+//! paper's kernels follow) and replaying each warp through the lockstep
+//! model. [`launch_iterative`] repeats launches until the kernel reports a
+//! fixpoint — the host-side loop of level-synchronous GPU algorithms.
+
+use crate::config::GpuConfig;
+use crate::l2::DeviceL2;
+use crate::lane::Lane;
+use crate::metrics::GpuMetrics;
+use crate::warp::{execute_warp, WarpStats};
+
+/// A GPU kernel: the per-thread body records its instruction stream into
+/// the lane.
+pub trait Kernel {
+    /// Execute thread `tid`, recording events.
+    fn thread(&self, tid: usize, lane: &mut Lane);
+}
+
+impl<F: Fn(usize, &mut Lane)> Kernel for F {
+    fn thread(&self, tid: usize, lane: &mut Lane) {
+        self(tid, lane)
+    }
+}
+
+/// A device context: configuration, L2 state and accumulated statistics.
+///
+/// One `Device` spans one workload run, so the L2 stays warm across the
+/// host loop's successive launches — as it does on hardware.
+pub struct Device {
+    cfg: GpuConfig,
+    l2: DeviceL2,
+    lanes: Vec<Lane>,
+    stats: WarpStats,
+}
+
+impl Device {
+    /// Fresh device with a cold L2.
+    pub fn new(cfg: GpuConfig) -> Self {
+        let l2 = DeviceL2::new(cfg.l2_bytes, cfg.l2_ways, cfg.transaction_bytes);
+        let lanes = (0..cfg.warp_size.max(1)).map(|_| Lane::new()).collect();
+        Device {
+            cfg,
+            l2,
+            lanes,
+            stats: WarpStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Launch `k` over `num_threads` threads, accumulating statistics.
+    pub fn launch<K: Kernel>(&mut self, num_threads: usize, k: &K) {
+        let ws = self.cfg.warp_size.max(1);
+        let mut base = 0usize;
+        while base < num_threads {
+            let width = ws.min(num_threads - base);
+            for (i, lane) in self.lanes.iter_mut().enumerate().take(width) {
+                lane.reset();
+                k.thread(base + i, lane);
+            }
+            execute_warp(&self.cfg, &self.lanes[..width], &mut self.stats, &mut self.l2);
+            base += width;
+        }
+    }
+
+    /// Accumulated warp statistics.
+    pub fn stats(&self) -> &WarpStats {
+        &self.stats
+    }
+
+    /// The `nvprof`-style readout over everything launched so far.
+    pub fn metrics(&self) -> GpuMetrics {
+        GpuMetrics::from_stats(&self.cfg, &self.stats)
+    }
+}
+
+/// One-shot launch on a fresh (cold-L2) device; returns the warp
+/// statistics. Convenience for tests and single-kernel workloads.
+pub fn launch<K: Kernel>(cfg: &GpuConfig, num_threads: usize, k: &K) -> WarpStats {
+    let mut dev = Device::new(cfg.clone());
+    dev.launch(num_threads, k);
+    dev.stats
+}
+
+/// Repeatedly launch `k` over `num_threads` until `converged` returns true
+/// (checked after every launch) or `max_iterations` is hit. Returns the
+/// merged metrics and the number of launches.
+pub fn launch_iterative<K: Kernel>(
+    cfg: &GpuConfig,
+    num_threads: usize,
+    max_iterations: usize,
+    k: &K,
+    mut converged: impl FnMut() -> bool,
+) -> (GpuMetrics, usize) {
+    let mut dev = Device::new(cfg.clone());
+    let mut iters = 0usize;
+    while iters < max_iterations {
+        dev.launch(num_threads, k);
+        iters += 1;
+        if converged() {
+            break;
+        }
+    }
+    (dev.metrics(), iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_k40()
+    }
+
+    #[test]
+    fn launch_covers_all_threads() {
+        let seen: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let kernel = |tid: usize, lane: &mut Lane| {
+            seen[tid].fetch_add(1, Ordering::Relaxed);
+            lane.alu(1);
+        };
+        let s = launch(&cfg(), 100, &kernel);
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+        assert_eq!(s.thread_instructions, 100);
+        // 100 threads = 3 full warps + 1 warp of 4
+        assert_eq!(s.warps, 4);
+    }
+
+    #[test]
+    fn partial_last_warp_counts_inactive_slots() {
+        let kernel = |_tid: usize, lane: &mut Lane| lane.alu(1);
+        let s = launch(&cfg(), 33, &kernel);
+        // warp 2 has 1 active lane out of 32
+        assert_eq!(s.issued, 2);
+        assert_eq!(s.inactive_slots, 31);
+    }
+
+    #[test]
+    fn zero_threads_is_a_noop() {
+        let kernel = |_tid: usize, lane: &mut Lane| lane.alu(1);
+        let s = launch(&cfg(), 0, &kernel);
+        assert_eq!(s, WarpStats::default());
+    }
+
+    #[test]
+    fn iterative_launch_stops_at_fixpoint() {
+        let counter = AtomicU32::new(0);
+        let kernel = |_tid: usize, lane: &mut Lane| {
+            lane.alu(1);
+        };
+        let (metrics, iters) = launch_iterative(&cfg(), 32, 100, &kernel, || {
+            counter.fetch_add(1, Ordering::Relaxed) + 1 >= 5
+        });
+        assert_eq!(iters, 5);
+        assert!(metrics.issued_instructions > 0);
+    }
+
+    #[test]
+    fn iterative_launch_respects_max_iterations() {
+        let kernel = |_tid: usize, lane: &mut Lane| lane.alu(1);
+        let (_, iters) = launch_iterative(&cfg(), 32, 7, &kernel, || false);
+        assert_eq!(iters, 7);
+    }
+
+    #[test]
+    fn closure_kernels_capture_buffers() {
+        let data: Vec<u32> = (0..64).collect();
+        let out: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        let kernel = |tid: usize, lane: &mut Lane| {
+            lane.load(&data[tid], 4);
+            out[tid].store(data[tid] * 2, Ordering::Relaxed);
+            lane.store(&out[tid], 4);
+        };
+        launch(&cfg(), 64, &kernel);
+        assert_eq!(out[10].load(Ordering::Relaxed), 20);
+    }
+}

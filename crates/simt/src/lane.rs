@@ -1,0 +1,213 @@
+//! Per-thread event recording.
+//!
+//! A GPU kernel in this suite is plain Rust executed once per thread; the
+//! thread body records what it *would* issue — ALU ops, loads/stores/atomics
+//! with real buffer addresses, conditional branches — into a [`Lane`]. The
+//! warp layer then replays 32 lanes in lockstep.
+
+/// One dynamic instruction of a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneEvent {
+    /// A non-memory, non-branch instruction.
+    Alu,
+    /// A conditional branch with its direction.
+    Branch(bool),
+    /// A global-memory load.
+    Load {
+        /// Byte address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u32,
+    },
+    /// A global-memory store.
+    Store {
+        /// Byte address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u32,
+    },
+    /// An atomic read-modify-write.
+    Atomic {
+        /// Byte address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u32,
+    },
+}
+
+impl LaneEvent {
+    /// Discriminant used for lockstep grouping: events of different kinds
+    /// (or branch directions) at the same step cannot issue together.
+    #[inline]
+    pub fn group_key(&self) -> u8 {
+        match self {
+            LaneEvent::Alu => 0,
+            LaneEvent::Branch(false) => 1,
+            LaneEvent::Branch(true) => 2,
+            LaneEvent::Load { .. } => 3,
+            LaneEvent::Store { .. } => 4,
+            LaneEvent::Atomic { .. } => 5,
+        }
+    }
+
+    /// Whether the event touches global memory.
+    #[inline]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            LaneEvent::Load { .. } | LaneEvent::Store { .. } | LaneEvent::Atomic { .. }
+        )
+    }
+}
+
+/// The per-thread recorder handed to kernel bodies.
+#[derive(Debug, Default)]
+pub struct Lane {
+    events: Vec<LaneEvent>,
+}
+
+impl Lane {
+    /// Fresh empty lane.
+    pub fn new() -> Self {
+        Lane { events: Vec::new() }
+    }
+
+    /// Record `n` ALU instructions.
+    #[inline]
+    pub fn alu(&mut self, n: u32) {
+        for _ in 0..n {
+            self.events.push(LaneEvent::Alu);
+        }
+    }
+
+    /// Record a conditional branch.
+    #[inline]
+    pub fn branch(&mut self, taken: bool) {
+        self.events.push(LaneEvent::Branch(taken));
+    }
+
+    /// Record a global load of `bytes` at the address of `r`.
+    ///
+    /// Every global access is preceded by one address-arithmetic
+    /// instruction (`IMAD`/`IADD` on real hardware) — this keeps the
+    /// issued-instruction denominator of MDR honest.
+    #[inline]
+    pub fn load<T: ?Sized>(&mut self, r: &T, bytes: u32) {
+        self.load_addr(r as *const T as *const u8 as u64, bytes);
+    }
+
+    /// Record a global load at a raw address.
+    #[inline]
+    pub fn load_addr(&mut self, addr: u64, bytes: u32) {
+        self.events.push(LaneEvent::Alu);
+        self.events.push(LaneEvent::Load { addr, bytes });
+    }
+
+    /// Record a global store at the address of `r`.
+    #[inline]
+    pub fn store<T: ?Sized>(&mut self, r: &T, bytes: u32) {
+        self.store_addr(r as *const T as *const u8 as u64, bytes);
+    }
+
+    /// Record a global store at a raw address.
+    #[inline]
+    pub fn store_addr(&mut self, addr: u64, bytes: u32) {
+        self.events.push(LaneEvent::Alu);
+        self.events.push(LaneEvent::Store { addr, bytes });
+    }
+
+    /// Record an atomic RMW at the address of `r`.
+    #[inline]
+    pub fn atomic<T: ?Sized>(&mut self, r: &T, bytes: u32) {
+        self.events.push(LaneEvent::Alu);
+        self.events.push(LaneEvent::Atomic {
+            addr: r as *const T as *const u8 as u64,
+            bytes,
+        });
+    }
+
+    /// Number of recorded instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the lane recorded nothing (thread was idle).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded event stream.
+    #[inline]
+    pub fn events(&self) -> &[LaneEvent] {
+        &self.events
+    }
+
+    /// Clear for reuse by the next thread (keeps the allocation).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut l = Lane::new();
+        l.alu(2);
+        l.branch(true);
+        l.load_addr(0x100, 4);
+        l.store_addr(0x200, 4);
+        // loads/stores carry an implicit address-arithmetic Alu each
+        assert_eq!(l.len(), 7);
+        assert_eq!(l.events()[0], LaneEvent::Alu);
+        assert_eq!(l.events()[2], LaneEvent::Branch(true));
+        assert_eq!(l.events()[3], LaneEvent::Alu);
+        assert!(matches!(l.events()[4], LaneEvent::Load { addr: 0x100, bytes: 4 }));
+    }
+
+    #[test]
+    fn load_of_reference_captures_its_address() {
+        let x = 7u32;
+        let mut l = Lane::new();
+        l.load(&x, 4);
+        match l.events()[1] {
+            LaneEvent::Load { addr, bytes } => {
+                assert_eq!(addr, &x as *const u32 as u64);
+                assert_eq!(bytes, 4);
+            }
+            _ => panic!("expected load"),
+        }
+    }
+
+    #[test]
+    fn group_keys_separate_kinds_and_directions() {
+        let a = LaneEvent::Branch(true).group_key();
+        let b = LaneEvent::Branch(false).group_key();
+        let c = LaneEvent::Alu.group_key();
+        let d = LaneEvent::Load { addr: 0, bytes: 4 }.group_key();
+        assert!(a != b && a != c && a != d && b != c);
+    }
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut l = Lane::new();
+        l.alu(100);
+        let cap = l.events.capacity();
+        l.reset();
+        assert!(l.is_empty());
+        assert_eq!(l.events.capacity(), cap);
+    }
+
+    #[test]
+    fn is_memory_classifies() {
+        assert!(LaneEvent::Load { addr: 0, bytes: 1 }.is_memory());
+        assert!(LaneEvent::Atomic { addr: 0, bytes: 1 }.is_memory());
+        assert!(!LaneEvent::Alu.is_memory());
+        assert!(!LaneEvent::Branch(true).is_memory());
+    }
+}

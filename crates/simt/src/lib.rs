@@ -1,0 +1,41 @@
+//! # graphbig-simt
+//!
+//! A GPU SIMT execution model standing in for the paper's Tesla K40 +
+//! `nvprof` measurements. GPU kernels (in `graphbig-gpu`) are ordinary Rust
+//! functions executed once per thread against a [`lane::Lane`] recorder;
+//! this crate groups 32 lanes into warps and replays them in lockstep:
+//!
+//! * [`warp`] — per-step active masks over the lane traces → **branch
+//!   divergence rate** (BDR), the paper's "inactive threads per warp /
+//!   warp size";
+//! * [`coalesce`] — 128-byte transaction coalescing per memory instruction →
+//!   instruction replays → **memory divergence rate** (MDR), the paper's
+//!   "replayed instructions / issued instructions";
+//! * [`devmem`] — device-memory traffic and achieved throughput
+//!   (Figure 11);
+//! * [`kernel`] — grid launch machinery: run a kernel over N threads,
+//!   collect warp metrics, iterate to fixpoint;
+//! * [`metrics`] — the `nvprof`-style readout (BDR, MDR, throughput, IPC,
+//!   modeled cycles);
+//! * [`config`] — the modeled device ([`config::GpuConfig::tesla_k40`]).
+//!
+//! The divergence metrics are *defined arithmetically* in the paper
+//! (Section 5.1); this model executes real kernel code and applies those
+//! definitions, so thread-centric vs edge-centric kernel designs produce
+//! the same divergence contrasts they produce on silicon.
+
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod config;
+pub mod devmem;
+pub mod kernel;
+pub mod l2;
+pub mod lane;
+pub mod metrics;
+pub mod warp;
+
+pub use config::GpuConfig;
+pub use kernel::{launch, launch_iterative, Device, Kernel};
+pub use lane::{Lane, LaneEvent};
+pub use metrics::GpuMetrics;

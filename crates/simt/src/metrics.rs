@@ -1,0 +1,122 @@
+//! The `nvprof`-style readout: everything the paper's GPU figures plot.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::GpuConfig;
+use crate::devmem::{timing, Timing};
+use crate::warp::WarpStats;
+
+/// Final metrics of a GPU workload run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuMetrics {
+    /// Warp instructions issued.
+    pub issued_instructions: u64,
+    /// Replayed memory instructions.
+    pub replayed_instructions: u64,
+    /// Branch divergence rate in `[0, 1]` (Figures 10 and 13).
+    pub bdr: f64,
+    /// Memory divergence rate in `[0, 1]` (Figures 10 and 13).
+    pub mdr: f64,
+    /// Device-memory read throughput in GB/s (Figure 11).
+    pub read_throughput_gbps: f64,
+    /// Device-memory write throughput in GB/s (Figure 11).
+    pub write_throughput_gbps: f64,
+    /// Per-SM instructions per cycle (Figure 11).
+    pub ipc: f64,
+    /// Modeled kernel cycles.
+    pub cycles: f64,
+    /// Modeled kernel time in milliseconds (Figure 12's GPU side).
+    pub time_ms: f64,
+    /// Atomic operations executed.
+    pub atomic_ops: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Warps executed.
+    pub warps: u64,
+}
+
+impl GpuMetrics {
+    /// Derive the full readout from accumulated warp statistics.
+    pub fn from_stats(cfg: &GpuConfig, s: &WarpStats) -> Self {
+        let t: Timing = timing(cfg, s);
+        GpuMetrics {
+            issued_instructions: s.issued,
+            replayed_instructions: s.replays,
+            bdr: s.bdr(cfg.warp_size),
+            mdr: s.mdr(),
+            read_throughput_gbps: t.read_throughput_gbps(cfg, s),
+            write_throughput_gbps: t.write_throughput_gbps(cfg, s),
+            ipc: if t.total_cycles > 0.0 {
+                s.issued as f64 / t.total_cycles / cfg.sms as f64
+            } else {
+                0.0
+            },
+            cycles: t.total_cycles,
+            time_ms: t.time_ms(cfg),
+            atomic_ops: s.atomic_ops,
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+            warps: s.warps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_bounded() {
+        let s = WarpStats {
+            issued: 100,
+            inactive_slots: 1600,
+            replays: 80,
+            transactions: 180,
+            bytes_read: 180 * 128,
+            thread_instructions: 1600,
+            warps: 10,
+            ..Default::default()
+        };
+        let m = GpuMetrics::from_stats(&GpuConfig::tesla_k40(), &s);
+        assert!((0.0..=1.0).contains(&m.bdr));
+        assert!((0.0..=1.0).contains(&m.mdr));
+        assert!(m.ipc <= GpuConfig::tesla_k40().issue_per_sm);
+        assert!(m.read_throughput_gbps <= 288.0);
+        assert!(m.time_ms > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_give_zero_metrics() {
+        let m = GpuMetrics::from_stats(&GpuConfig::tesla_k40(), &WarpStats::default());
+        assert_eq!(m.bdr, 0.0);
+        assert_eq!(m.mdr, 0.0);
+        assert_eq!(m.issued_instructions, 0);
+    }
+
+    #[test]
+    fn bdr_matches_paper_definition() {
+        // 50 issued instructions with half the lanes inactive
+        let s = WarpStats {
+            issued: 50,
+            inactive_slots: 50 * 16,
+            ..Default::default()
+        };
+        let m = GpuMetrics::from_stats(&GpuConfig::tesla_k40(), &s);
+        assert!((m.bdr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mdr_matches_paper_definition() {
+        let s = WarpStats {
+            issued: 200,
+            replays: 50,
+            transactions: 250,
+            ..Default::default()
+        };
+        let m = GpuMetrics::from_stats(&GpuConfig::tesla_k40(), &s);
+        // replays / (issued + replays), the nvprof convention
+        assert!((m.mdr - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,338 @@
+//! Lockstep warp execution over recorded lane traces.
+//!
+//! The 32 lanes of a warp advance step-by-step. At step `s`, the lanes whose
+//! traces still have an event are *candidates*; candidates are grouped by
+//! event kind (and branch direction), and each distinct group issues as one
+//! warp instruction — divergent groups serialize, exactly as post-branch
+//! reconvergence serializes path bundles on hardware.
+//!
+//! Two paper metrics fall directly out of this replay:
+//!
+//! * **Branch divergence**: every issued instruction with fewer than 32
+//!   active lanes contributes inactive slots; `BDR = inactive / (32 ×
+//!   issued)`. Lanes whose traces ended early (degree imbalance!) count as
+//!   inactive for the remainder of the warp — the dominant effect in
+//!   thread-centric graph kernels.
+//! * **Memory divergence**: each memory group is coalesced into 128-byte
+//!   transactions; `replays = transactions − 1` per issued memory
+//!   instruction; `MDR = replayed / issued`.
+
+use crate::coalesce::transaction_blocks;
+use crate::config::GpuConfig;
+use crate::l2::DeviceL2;
+use crate::lane::{Lane, LaneEvent};
+
+/// Counters accumulated while replaying warps.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WarpStats {
+    /// Warp instructions issued (divergent groups and replays included in
+    /// their respective counters, not here).
+    pub issued: u64,
+    /// Inactive lane-slots across all issued instructions.
+    pub inactive_slots: u64,
+    /// Replayed memory instructions (extra transactions beyond the first).
+    pub replays: u64,
+    /// Total memory transactions (L2 hits included).
+    pub transactions: u64,
+    /// Transactions serviced by the device L2 (never reach DRAM).
+    pub l2_hits: u64,
+    /// Bytes read from DRAM (transaction-granular, L2 misses only).
+    pub bytes_read: u64,
+    /// Bytes written toward DRAM (transaction-granular, L2 misses only).
+    pub bytes_written: u64,
+    /// Atomic operations executed (lane-granular).
+    pub atomic_ops: u64,
+    /// Atomic operations that hit the same address as another lane in the
+    /// same instruction (these serialize on hardware).
+    pub atomic_conflicts: u64,
+    /// Thread-level instructions retired (sum of lane trace lengths).
+    pub thread_instructions: u64,
+    /// Warps replayed.
+    pub warps: u64,
+}
+
+impl WarpStats {
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, o: &WarpStats) {
+        self.issued += o.issued;
+        self.inactive_slots += o.inactive_slots;
+        self.replays += o.replays;
+        self.transactions += o.transactions;
+        self.l2_hits += o.l2_hits;
+        self.bytes_read += o.bytes_read;
+        self.bytes_written += o.bytes_written;
+        self.atomic_ops += o.atomic_ops;
+        self.atomic_conflicts += o.atomic_conflicts;
+        self.thread_instructions += o.thread_instructions;
+        self.warps += o.warps;
+    }
+
+    /// Branch divergence rate: average inactive threads per warp / warp
+    /// size (Section 5.1).
+    pub fn bdr(&self, warp_size: usize) -> f64 {
+        let slots = self.issued * warp_size as u64;
+        if slots == 0 {
+            0.0
+        } else {
+            self.inactive_slots as f64 / slots as f64
+        }
+    }
+
+    /// Memory divergence rate: replayed / issued instructions (Section
+    /// 5.1). As in `nvprof`, the issued count includes the replays
+    /// themselves (a replay is an issue slot), so the rate is naturally
+    /// bounded by 1.
+    pub fn mdr(&self) -> f64 {
+        let issued_with_replays = self.issued + self.replays;
+        if issued_with_replays == 0 {
+            0.0
+        } else {
+            self.replays as f64 / issued_with_replays as f64
+        }
+    }
+}
+
+/// DRAM transactions (total minus L2 hits).
+impl WarpStats {
+    /// Transactions that actually reached DRAM.
+    pub fn dram_transactions(&self) -> u64 {
+        self.transactions - self.l2_hits
+    }
+}
+
+/// Replay one warp's worth of lanes (≤ 32) in lockstep and accumulate into
+/// `stats`, filtering transactions through the device `l2`.
+pub fn execute_warp(cfg: &GpuConfig, lanes: &[Lane], stats: &mut WarpStats, l2: &mut DeviceL2) {
+    let ws = cfg.warp_size;
+    debug_assert!(lanes.len() <= ws);
+    if lanes.iter().all(|l| l.is_empty()) {
+        return;
+    }
+    stats.warps += 1;
+    let max_len = lanes.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut mem_group: Vec<(u64, u32)> = Vec::with_capacity(ws);
+
+    for step in 0..max_len {
+        // Distinct event-kind groups present at this step.
+        let mut kinds: [bool; 6] = [false; 6];
+        for lane in lanes {
+            if let Some(ev) = lane.events().get(step) {
+                kinds[ev.group_key() as usize] = true;
+                stats.thread_instructions += 1;
+            }
+        }
+        for key in 0..6u8 {
+            if !kinds[key as usize] {
+                continue;
+            }
+            // This group issues one warp instruction.
+            stats.issued += 1;
+            let mut active = 0u64;
+            mem_group.clear();
+            let mut is_atomic = false;
+            let mut is_store = false;
+            for lane in lanes {
+                match lane.events().get(step) {
+                    Some(ev) if ev.group_key() == key => {
+                        active += 1;
+                        match *ev {
+                            LaneEvent::Load { addr, bytes } => mem_group.push((addr, bytes)),
+                            LaneEvent::Store { addr, bytes } => {
+                                is_store = true;
+                                mem_group.push((addr, bytes));
+                            }
+                            LaneEvent::Atomic { addr, bytes } => {
+                                is_atomic = true;
+                                mem_group.push((addr, bytes));
+                            }
+                            _ => {}
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            stats.inactive_slots += ws as u64 - active;
+            if !mem_group.is_empty() {
+                let blocks = transaction_blocks(&mem_group, cfg.transaction_bytes);
+                let t = blocks.len() as u64;
+                stats.transactions += t;
+                stats.replays += t.saturating_sub(1);
+                let mut dram_blocks = 0u64;
+                for b in blocks {
+                    if l2.access(b) {
+                        stats.l2_hits += 1;
+                    } else {
+                        dram_blocks += 1;
+                    }
+                }
+                let bytes = dram_blocks * cfg.transaction_bytes as u64;
+                if is_store {
+                    stats.bytes_written += bytes;
+                } else {
+                    stats.bytes_read += bytes;
+                }
+                if is_atomic {
+                    stats.atomic_ops += active;
+                    // conflicting lanes (same target address) serialize
+                    let mut addrs: Vec<u64> = mem_group.iter().map(|&(a, _)| a).collect();
+                    addrs.sort_unstable();
+                    addrs.dedup();
+                    stats.atomic_conflicts += active - addrs.len() as u64;
+                    // Kepler-class atomics are read-modify-WRITE at the L2
+                    // atomic units: the write-back doubles the transactions,
+                    // and lanes serialize per address.
+                    stats.transactions += t;
+                    stats.replays += active;
+                    // atomics also write their block back
+                    stats.bytes_written += bytes;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::tesla_k40()
+    }
+
+    fn l2() -> DeviceL2 {
+        let c = cfg();
+        DeviceL2::new(c.l2_bytes, c.l2_ways, c.transaction_bytes)
+    }
+
+    fn full_warp(trip: impl Fn(usize) -> usize) -> Vec<Lane> {
+        (0..32)
+            .map(|tid| {
+                let mut l = Lane::new();
+                for i in 0..trip(tid) {
+                    l.alu(1);
+                    l.load_addr((tid * 4 + i * 128) as u64, 4);
+                }
+                l
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_warp_has_zero_bdr() {
+        let lanes = full_warp(|_| 5);
+        let mut s = WarpStats::default();
+        execute_warp(&cfg(), &lanes, &mut s, &mut l2());
+        assert_eq!(s.bdr(32), 0.0);
+        assert_eq!(s.warps, 1);
+        // 5 iterations × (1 alu + [addr-alu + load]) = 15 issued
+        assert_eq!(s.issued, 15);
+    }
+
+    #[test]
+    fn degree_imbalance_creates_bdr() {
+        // lane 0 runs 32 iterations, everyone else 1 — thread-centric
+        // kernel over a hub vertex
+        let lanes = full_warp(|tid| if tid == 0 { 32 } else { 1 });
+        let mut s = WarpStats::default();
+        execute_warp(&cfg(), &lanes, &mut s, &mut l2());
+        let bdr = s.bdr(32);
+        assert!(bdr > 0.8, "hub-dominated warp should be mostly inactive: {bdr}");
+    }
+
+    #[test]
+    fn coalesced_loads_have_zero_mdr() {
+        let lanes: Vec<Lane> = (0..32)
+            .map(|tid| {
+                let mut l = Lane::new();
+                l.load_addr(tid as u64 * 4, 4); // consecutive words
+                l
+            })
+            .collect();
+        let mut s = WarpStats::default();
+        execute_warp(&cfg(), &lanes, &mut s, &mut l2());
+        assert_eq!(s.transactions, 1);
+        assert_eq!(s.replays, 0);
+        assert_eq!(s.mdr(), 0.0);
+    }
+
+    #[test]
+    fn scattered_loads_have_high_mdr() {
+        // NB: MDR denominator includes the replays themselves (nvprof
+        // convention), so 31 replays over (2 issued + 31) ~ 0.94.
+        let lanes: Vec<Lane> = (0..32)
+            .map(|tid| {
+                let mut l = Lane::new();
+                l.load_addr(tid as u64 * 4096, 4); // one block per lane
+                l
+            })
+            .collect();
+        let mut s = WarpStats::default();
+        execute_warp(&cfg(), &lanes, &mut s, &mut l2());
+        assert_eq!(s.transactions, 32);
+        assert_eq!(s.replays, 31);
+        // address-arithmetic alu + the load itself
+        assert_eq!(s.issued, 2);
+        assert!((s.mdr() - 31.0 / 33.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergent_branches_serialize() {
+        let lanes: Vec<Lane> = (0..32)
+            .map(|tid| {
+                let mut l = Lane::new();
+                l.branch(tid % 2 == 0);
+                l
+            })
+            .collect();
+        let mut s = WarpStats::default();
+        execute_warp(&cfg(), &lanes, &mut s, &mut l2());
+        // two direction groups, each issuing separately with 16 active
+        assert_eq!(s.issued, 2);
+        assert_eq!(s.inactive_slots, 32);
+        assert_eq!(s.bdr(32), 0.5);
+    }
+
+    #[test]
+    fn atomics_count_per_lane_and_write_back() {
+        let lanes: Vec<Lane> = (0..4)
+            .map(|_| {
+                let mut l = Lane::new();
+                l.atomic(&0u32, 4);
+                l
+            })
+            .collect();
+        let mut s = WarpStats::default();
+        execute_warp(&cfg(), &lanes, &mut s, &mut l2());
+        assert_eq!(s.atomic_ops, 4);
+        assert!(s.bytes_written > 0);
+    }
+
+    #[test]
+    fn empty_warp_is_skipped() {
+        let lanes: Vec<Lane> = (0..32).map(|_| Lane::new()).collect();
+        let mut s = WarpStats::default();
+        execute_warp(&cfg(), &lanes, &mut s, &mut l2());
+        assert_eq!(s, WarpStats::default());
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let lanes = full_warp(|_| 2);
+        let mut a = WarpStats::default();
+        execute_warp(&cfg(), &lanes, &mut a, &mut l2());
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.issued, 2 * a.issued);
+        assert_eq!(b.transactions, 2 * a.transactions);
+        assert_eq!(b.bdr(32), a.bdr(32));
+    }
+
+    #[test]
+    fn thread_instructions_sum_lane_lengths() {
+        let lanes = full_warp(|tid| tid % 3);
+        let expect: u64 = lanes.iter().map(|l| l.len() as u64).sum();
+        let mut s = WarpStats::default();
+        execute_warp(&cfg(), &lanes, &mut s, &mut l2());
+        assert_eq!(s.thread_instructions, expect);
+    }
+}

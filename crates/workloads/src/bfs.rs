@@ -1,0 +1,259 @@
+//! Breadth-first search — the most-used workload of the suite (10 of 21
+//! use cases, Figure 4) and the canonical CompStruct kernel.
+//!
+//! Levels are recorded in the `STATUS` vertex property *through the
+//! framework* (find-vertex + property update per touched vertex), exactly
+//! the structure whose in-framework cost Figure 1 measures. The frontier
+//! queue is workload-private ("UserCode") — the small, hot structure the
+//! paper credits for graph workloads' surprisingly high L1D hit rates.
+
+use std::collections::VecDeque;
+
+use graphbig_framework::property::{keys, Property};
+use graphbig_framework::trace::{addr_of, NullTracer, Tracer};
+use graphbig_framework::{PropertyGraph, VertexId};
+
+/// Outcome of a BFS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsResult {
+    /// Vertices reached (including the source).
+    pub visited: u64,
+    /// Depth of the deepest reached vertex.
+    pub max_level: u32,
+}
+
+/// Untraced convenience wrapper.
+pub fn run(g: &mut PropertyGraph, source: VertexId) -> BfsResult {
+    run_t(g, source, &mut NullTracer)
+}
+
+/// Traced BFS from `source`. Vertices whose `STATUS` property is already
+/// set are treated as visited (clear with `g.clear_prop(keys::STATUS)` to
+/// rerun).
+pub fn run_t<T: Tracer>(g: &mut PropertyGraph, source: VertexId, t: &mut T) -> BfsResult {
+    if g.find_vertex_t(source, t).is_none() {
+        return BfsResult {
+            visited: 0,
+            max_level: 0,
+        };
+    }
+    let mut queue: VecDeque<(VertexId, u32)> = VecDeque::new();
+    let mut scratch: Vec<VertexId> = Vec::new();
+    g.set_vertex_prop_t(source, keys::STATUS, Property::Int(0), t)
+        .expect("source exists");
+    queue.push_back((source, 0));
+    t.store(addr_of(queue.back().unwrap()), 12);
+
+    let mut visited = 1u64;
+    let mut max_level = 0u32;
+    while let Some((u, level)) = queue.pop_front() {
+        t.load(addr_of(&u), 12);
+        t.branch(line!() as usize, true); // loop continues
+        max_level = max_level.max(level);
+        t.alu(2);
+
+        scratch.clear();
+        g.visit_neighbors_t(u, t, |e, t| {
+            t.alu(1);
+            scratch.push(e.target);
+        });
+        for &v in &scratch {
+            t.load(addr_of(&v), 8);
+            let seen = g.get_vertex_prop_t(v, keys::STATUS, t).is_some();
+            t.branch(line!() as usize, seen);
+            if !seen {
+                g.set_vertex_prop_t(v, keys::STATUS, Property::Int(level as i64 + 1), t)
+                    .expect("neighbor exists");
+                queue.push_back((v, level + 1));
+                t.store(addr_of(queue.back().unwrap()), 12);
+                visited += 1;
+            }
+        }
+    }
+    t.branch(line!() as usize, false); // loop exit
+    BfsResult { visited, max_level }
+}
+
+/// Traced BFS over a static CSR snapshot — the representation ablation's
+/// counterpart to [`run_t`].
+///
+/// Same algorithm, but neighbors come from the compact column array and
+/// levels live in a dense vector instead of per-vertex properties: the
+/// locality profile Section 2 credits to CSR ("the compact format of CSR
+/// may bring better locality and lead to better cache performance"), at
+/// the cost of supporting no structural updates.
+pub fn run_on_csr_t<T: Tracer>(
+    csr: &graphbig_framework::csr::Csr,
+    source: u32,
+    t: &mut T,
+) -> (Vec<i64>, BfsResult) {
+    let n = csr.num_vertices();
+    if n == 0 || source as usize >= n {
+        return (
+            Vec::new(),
+            BfsResult {
+                visited: 0,
+                max_level: 0,
+            },
+        );
+    }
+    let mut level = vec![-1i64; n];
+    level[source as usize] = 0;
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(source);
+    t.store(addr_of(queue.back().unwrap()), 4);
+    let mut visited = 1u64;
+    let mut max_level = 0u32;
+    while let Some(u) = queue.pop_front() {
+        t.load(addr_of(&u), 4);
+        t.branch(line!() as usize, true);
+        let lu = level[u as usize];
+        t.load(addr_of(&level[u as usize]), 8);
+        max_level = max_level.max(lu as u32);
+        let mut next: Vec<u32> = Vec::new();
+        csr.visit_neighbors_t(u, t, |v, _, t| {
+            t.alu(1);
+            next.push(v);
+        });
+        for v in next {
+            t.load(addr_of(&level[v as usize]), 8);
+            let seen = level[v as usize] >= 0;
+            t.branch(line!() as usize, seen);
+            if !seen {
+                level[v as usize] = lu + 1;
+                t.store(addr_of(&level[v as usize]), 8);
+                queue.push_back(v);
+                t.store(addr_of(&v), 4);
+                visited += 1;
+            }
+        }
+    }
+    t.branch(line!() as usize, false);
+    (level, BfsResult { visited, max_level })
+}
+
+/// Read back the level of a vertex after a run (`None` if unreached).
+pub fn level_of(g: &PropertyGraph, v: VertexId) -> Option<u32> {
+    g.get_vertex_prop(v, keys::STATUS)
+        .and_then(|p| p.as_int())
+        .map(|l| l as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbig_framework::trace::CountingTracer;
+
+    /// 0 -> 1 -> 2 -> 3 chain plus 0 -> 2 shortcut.
+    fn chain_with_shortcut() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for _ in 0..4 {
+            g.add_vertex();
+        }
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn levels_are_shortest_hop_counts() {
+        let mut g = chain_with_shortcut();
+        let r = run(&mut g, 0);
+        assert_eq!(r.visited, 4);
+        assert_eq!(r.max_level, 2);
+        assert_eq!(level_of(&g, 0), Some(0));
+        assert_eq!(level_of(&g, 1), Some(1));
+        assert_eq!(level_of(&g, 2), Some(1), "shortcut wins");
+        assert_eq!(level_of(&g, 3), Some(2));
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unmarked() {
+        let mut g = chain_with_shortcut();
+        let iso = g.add_vertex();
+        let r = run(&mut g, 0);
+        assert_eq!(r.visited, 4);
+        assert_eq!(level_of(&g, iso), None);
+    }
+
+    #[test]
+    fn missing_source_returns_empty() {
+        let mut g = chain_with_shortcut();
+        let r = run(&mut g, 999);
+        assert_eq!(r.visited, 0);
+    }
+
+    #[test]
+    fn rerun_after_clear_matches() {
+        let mut g = chain_with_shortcut();
+        let r1 = run(&mut g, 0);
+        g.clear_prop(keys::STATUS);
+        let r2 = run(&mut g, 0);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn directed_edges_are_not_followed_backwards() {
+        let mut g = PropertyGraph::new();
+        for _ in 0..3 {
+            g.add_vertex();
+        }
+        g.add_edge(1, 0, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        let r = run(&mut g, 0);
+        assert_eq!(r.visited, 1, "vertex 0 has no out-edges");
+    }
+
+    #[test]
+    fn trace_is_framework_dominated() {
+        let mut g = chain_with_shortcut();
+        let mut t = CountingTracer::new();
+        run_t(&mut g, 0, &mut t);
+        assert!(
+            t.framework_fraction() > 0.5,
+            "BFS through primitives should be framework-heavy: {}",
+            t.framework_fraction()
+        );
+    }
+
+    #[test]
+    fn csr_bfs_matches_vertex_centric_bfs() {
+        let mut g = graphbig_datagen::Dataset::Ldbc.generate_with_vertices(400);
+        let csr = graphbig_framework::csr::Csr::from_graph(&g);
+        let root = g.vertex_ids()[0];
+        let seq = run(&mut g, root);
+        let (levels, r) = run_on_csr_t(&csr, 0, &mut graphbig_framework::trace::NullTracer);
+        assert_eq!(r.visited, seq.visited);
+        assert_eq!(r.max_level, seq.max_level);
+        for (dense, &l) in levels.iter().enumerate() {
+            let id = csr.id_of(dense as u32);
+            let want = level_of(&g, id).map(|x| x as i64).unwrap_or(-1);
+            assert_eq!(l, want, "vertex {id}");
+        }
+    }
+
+    #[test]
+    fn csr_bfs_on_empty_graph() {
+        let csr = graphbig_framework::csr::Csr::from_edges(0, &[]);
+        let (levels, r) = run_on_csr_t(&csr, 0, &mut graphbig_framework::trace::NullTracer);
+        assert!(levels.is_empty());
+        assert_eq!(r.visited, 0);
+    }
+
+    #[test]
+    fn larger_cycle_graph_visits_everything() {
+        let mut g = PropertyGraph::new();
+        let n = 500;
+        for _ in 0..n {
+            g.add_vertex();
+        }
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, 1.0).unwrap();
+        }
+        let r = run(&mut g, 0);
+        assert_eq!(r.visited, n);
+        assert_eq!(r.max_level, (n - 1) as u32);
+    }
+}

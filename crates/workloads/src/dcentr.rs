@@ -1,0 +1,114 @@
+//! Degree centrality (Section 4.2's social-analysis representative,
+//! following Kang et al.'s centrality formulation).
+//!
+//! Deceptively simple — one pass reading every vertex structure — which
+//! makes it the paper's most memory-hostile workload: nothing is reused, so
+//! DCentr posts the highest L3 MPKI of the whole suite (145.9, Figure 7)
+//! and, on GPUs, the highest divergence (Figure 10).
+
+use graphbig_framework::property::{keys, Property};
+use graphbig_framework::trace::{NullTracer, Tracer};
+use graphbig_framework::{PropertyGraph, VertexId};
+
+/// Outcome of a degree-centrality run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DCentrResult {
+    /// Highest normalized centrality.
+    pub max_centrality: f64,
+    /// Vertex achieving it.
+    pub max_vertex: VertexId,
+}
+
+/// Untraced convenience wrapper.
+pub fn run(g: &mut PropertyGraph) -> DCentrResult {
+    run_t(g, &mut NullTracer)
+}
+
+/// Traced degree centrality: `(in + out) / (n - 1)` per vertex, stored in
+/// the `CENTRALITY` property.
+pub fn run_t<T: Tracer>(g: &mut PropertyGraph, t: &mut T) -> DCentrResult {
+    let ids: Vec<VertexId> = g.vertex_ids().to_vec();
+    let n = ids.len();
+    let denom = (n.saturating_sub(1)).max(1) as f64;
+    let mut best = DCentrResult {
+        max_centrality: -1.0,
+        max_vertex: 0,
+    };
+    for &id in &ids {
+        // Read the vertex structure through the framework; degree = header
+        // reads only, no payload reuse.
+        let (out_d, in_d) = match g.find_vertex_t(id, t) {
+            Some(v) => (v.out_degree(), v.in_degree()),
+            None => continue,
+        };
+        t.alu(3);
+        let c = (out_d + in_d) as f64 / denom;
+        g.set_vertex_prop_t(id, keys::CENTRALITY, Property::Float(c), t)
+            .expect("vertex exists");
+        t.branch(line!() as usize, c > best.max_centrality);
+        if c > best.max_centrality {
+            best = DCentrResult {
+                max_centrality: c,
+                max_vertex: id,
+            };
+        }
+    }
+    best
+}
+
+/// Centrality of a vertex after a run.
+pub fn centrality_of(g: &PropertyGraph, v: VertexId) -> Option<f64> {
+    g.get_vertex_prop(v, keys::CENTRALITY).and_then(|p| p.as_float())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_of_star_has_max_centrality() {
+        let mut g = PropertyGraph::new();
+        let hub = g.add_vertex();
+        for _ in 0..9 {
+            let leaf = g.add_vertex();
+            g.add_edge(hub, leaf, 1.0).unwrap();
+        }
+        let r = run(&mut g);
+        assert_eq!(r.max_vertex, hub);
+        assert!((r.max_centrality - 1.0).abs() < 1e-12, "9 edges / 9 possible");
+        assert!((centrality_of(&g, 1).unwrap() - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_and_out_degrees_both_count() {
+        let mut g = PropertyGraph::new();
+        for _ in 0..3 {
+            g.add_vertex();
+        }
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(2, 1, 1.0).unwrap();
+        run(&mut g);
+        assert_eq!(centrality_of(&g, 1), Some(1.0)); // 2 incident / 2
+        assert_eq!(centrality_of(&g, 0), Some(0.5));
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let mut g = PropertyGraph::new();
+        g.add_vertex();
+        let r = run(&mut g);
+        assert_eq!(r.max_centrality, 0.0);
+        assert_eq!(centrality_of(&g, 0), Some(0.0));
+    }
+
+    #[test]
+    fn every_vertex_is_scored() {
+        let mut g = graphbig_datagen::ldbc::generate(
+            &graphbig_datagen::ldbc::LdbcConfig::with_vertices(500),
+        );
+        run(&mut g);
+        for &id in g.vertex_ids() {
+            assert!(centrality_of(&g, id).is_some());
+        }
+    }
+}

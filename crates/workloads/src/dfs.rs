@@ -1,0 +1,155 @@
+//! Depth-first search (iterative, explicit stack).
+//!
+//! Like BFS a pure CompStruct traversal, but the LIFO discipline produces a
+//! different reuse pattern: recently pushed vertices are revisited quickly,
+//! which slightly helps cache locality on community-structured graphs.
+
+use graphbig_framework::property::{keys, Property};
+use graphbig_framework::trace::{addr_of, NullTracer, Tracer};
+use graphbig_framework::{PropertyGraph, VertexId};
+
+/// Outcome of a DFS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsResult {
+    /// Vertices reached (including the source).
+    pub visited: u64,
+    /// Maximum stack depth observed (≈ deepest discovery path).
+    pub max_depth: u32,
+}
+
+/// Untraced convenience wrapper.
+pub fn run(g: &mut PropertyGraph, source: VertexId) -> DfsResult {
+    run_t(g, source, &mut NullTracer)
+}
+
+/// Traced DFS from `source`. Discovery order is recorded in the `STATUS`
+/// property (0-based preorder index). Vertices with `STATUS` set are
+/// treated as visited.
+pub fn run_t<T: Tracer>(g: &mut PropertyGraph, source: VertexId, t: &mut T) -> DfsResult {
+    if g.find_vertex_t(source, t).is_none() {
+        return DfsResult {
+            visited: 0,
+            max_depth: 0,
+        };
+    }
+    let mut stack: Vec<(VertexId, u32)> = Vec::new();
+    let mut scratch: Vec<VertexId> = Vec::new();
+    let mut order = 0i64;
+    let mut visited = 0u64;
+    let mut max_depth = 0u32;
+
+    stack.push((source, 0));
+    t.store(addr_of(stack.last().unwrap()), 12);
+    // Mark at push (placeholder -1) to avoid duplicates; assign the real
+    // preorder index at pop.
+    g.set_vertex_prop_t(source, keys::STATUS, Property::Int(-1), t)
+        .expect("source exists");
+    visited += 1;
+
+    while let Some((u, depth)) = stack.pop() {
+        t.load(addr_of(&u), 12);
+        t.branch(line!() as usize, true);
+        max_depth = max_depth.max(depth);
+        g.set_vertex_prop_t(u, keys::STATUS, Property::Int(order), t)
+            .expect("popped vertex exists");
+        order += 1;
+        t.alu(2);
+
+        scratch.clear();
+        g.visit_neighbors_t(u, t, |e, t| {
+            t.alu(1);
+            scratch.push(e.target);
+        });
+        // Push in reverse so the first-listed neighbor is explored first.
+        for &v in scratch.iter().rev() {
+            t.load(addr_of(&v), 8);
+            let seen = g.get_vertex_prop_t(v, keys::STATUS, t).is_some();
+            t.branch(line!() as usize, seen);
+            if !seen {
+                g.set_vertex_prop_t(v, keys::STATUS, Property::Int(-1), t)
+                    .expect("neighbor exists");
+                visited += 1;
+                stack.push((v, depth + 1));
+                t.store(addr_of(stack.last().unwrap()), 12);
+            }
+        }
+    }
+    t.branch(line!() as usize, false);
+    DfsResult { visited, max_depth }
+}
+
+/// Discovery (preorder) index of a vertex after a run.
+pub fn discovery_of(g: &PropertyGraph, v: VertexId) -> Option<i64> {
+    g.get_vertex_prop(v, keys::STATUS).and_then(|p| p.as_int())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary_tree(depth: u32) -> PropertyGraph {
+        let n = (1u64 << (depth + 1)) - 1;
+        let mut g = PropertyGraph::new();
+        for _ in 0..n {
+            g.add_vertex();
+        }
+        for i in 0..n {
+            for c in [2 * i + 1, 2 * i + 2] {
+                if c < n {
+                    g.add_edge(i, c, 1.0).unwrap();
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn visits_whole_tree() {
+        let mut g = binary_tree(4);
+        let r = run(&mut g, 0);
+        assert_eq!(r.visited, 31);
+        assert_eq!(r.max_depth, 4);
+    }
+
+    #[test]
+    fn preorder_explores_first_child_first() {
+        let mut g = binary_tree(2);
+        run(&mut g, 0);
+        // preorder on the 7-node tree: 0,1,3,4,2,5,6
+        assert_eq!(discovery_of(&g, 0), Some(0));
+        assert_eq!(discovery_of(&g, 1), Some(1));
+        assert_eq!(discovery_of(&g, 3), Some(2));
+        assert_eq!(discovery_of(&g, 4), Some(3));
+        assert_eq!(discovery_of(&g, 2), Some(4));
+        assert_eq!(discovery_of(&g, 5), Some(5));
+        assert_eq!(discovery_of(&g, 6), Some(6));
+    }
+
+    #[test]
+    fn dfs_and_bfs_visit_the_same_set() {
+        let mut g1 = binary_tree(3);
+        let mut g2 = binary_tree(3);
+        let d = run(&mut g1, 0);
+        let b = crate::bfs::run(&mut g2, 0);
+        assert_eq!(d.visited, b.visited);
+    }
+
+    #[test]
+    fn missing_source_is_empty() {
+        let mut g = binary_tree(1);
+        assert_eq!(run(&mut g, 77).visited, 0);
+    }
+
+    #[test]
+    fn handles_cycles_without_livelock() {
+        let mut g = PropertyGraph::new();
+        for _ in 0..3 {
+            g.add_vertex();
+        }
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(2, 0, 1.0).unwrap();
+        let r = run(&mut g, 0);
+        assert_eq!(r.visited, 3);
+    }
+}

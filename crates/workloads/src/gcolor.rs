@@ -1,0 +1,213 @@
+//! Graph coloring "following Luby-Jones' proposal" (Section 4.2) — the
+//! Jones–Plassmann/Luby independent-set scheme: in each round, every
+//! uncolored vertex whose random priority beats all uncolored neighbors
+//! picks the smallest color unused in its neighborhood.
+//!
+//! The CPU version executes the rounds sequentially but keeps the parallel
+//! algorithm's structure (and its determinism: priorities are a fixed hash
+//! of the vertex id), so CPU and GPU produce identical colorings.
+
+use graphbig_framework::index::hash_id;
+use graphbig_framework::property::{keys, Property};
+use graphbig_framework::trace::{NullTracer, Tracer};
+use graphbig_framework::{PropertyGraph, VertexId};
+
+/// Outcome of a coloring run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GColorResult {
+    /// Colors used (chromatic upper bound).
+    pub colors: u32,
+    /// Rounds until fixpoint.
+    pub rounds: u32,
+}
+
+/// Untraced convenience wrapper.
+pub fn run(g: &mut PropertyGraph) -> GColorResult {
+    run_t(g, &mut NullTracer)
+}
+
+/// Traced Luby–Jones coloring over the undirected view (neighbors =
+/// out-neighbors ∪ parents); colors land in the `COLOR` property.
+pub fn run_t<T: Tracer>(g: &mut PropertyGraph, t: &mut T) -> GColorResult {
+    let mut uncolored: Vec<VertexId> = g.vertex_ids().to_vec();
+    let mut rounds = 0u32;
+    let mut max_color = -1i64;
+    let mut nbrs: Vec<VertexId> = Vec::new();
+
+    while !uncolored.is_empty() {
+        rounds += 1;
+        let mut winners: Vec<VertexId> = Vec::new();
+        for &v in &uncolored {
+            t.alu(1);
+            let pv = hash_id(v);
+            nbrs.clear();
+            g.visit_neighbors_t(v, t, |e, _| nbrs.push(e.target));
+            g.visit_parents_t(v, t, |p, _| nbrs.push(p));
+            let mut is_max = true;
+            for &u in &nbrs {
+                t.alu(1);
+                if u == v {
+                    continue;
+                }
+                let colored = g.get_vertex_prop_t(u, keys::COLOR, t).is_some();
+                t.branch(line!() as usize, colored);
+                if !colored {
+                    // ties broken by id so the set is truly independent
+                    let pu = hash_id(u);
+                    let loses = pu > pv || (pu == pv && u > v);
+                    t.branch(line!() as usize, loses);
+                    if loses {
+                        is_max = false;
+                        break;
+                    }
+                }
+            }
+            t.branch(line!() as usize, is_max);
+            if is_max {
+                winners.push(v);
+            }
+        }
+        debug_assert!(!winners.is_empty(), "Luby-Jones always makes progress");
+        for &v in &winners {
+            // smallest color not used by any (colored) neighbor
+            nbrs.clear();
+            g.visit_neighbors_t(v, t, |e, _| nbrs.push(e.target));
+            g.visit_parents_t(v, t, |p, _| nbrs.push(p));
+            let mut used: Vec<i64> = nbrs
+                .iter()
+                .filter_map(|&u| {
+                    g.get_vertex_prop_t(u, keys::COLOR, t)
+                        .and_then(|p| p.as_int())
+                })
+                .collect();
+            used.sort_unstable();
+            used.dedup();
+            let mut color = 0i64;
+            for &c in &used {
+                t.alu(1);
+                if c == color {
+                    color += 1;
+                } else if c > color {
+                    break;
+                }
+            }
+            g.set_vertex_prop_t(v, keys::COLOR, Property::Int(color), t)
+                .expect("vertex exists");
+            max_color = max_color.max(color);
+        }
+        uncolored.retain(|&v| g.get_vertex_prop(v, keys::COLOR).is_none());
+    }
+    GColorResult {
+        colors: (max_color + 1).max(0) as u32,
+        rounds,
+    }
+}
+
+/// Color of a vertex after a run.
+pub fn color_of(g: &PropertyGraph, v: VertexId) -> Option<i64> {
+    g.get_vertex_prop(v, keys::COLOR).and_then(|p| p.as_int())
+}
+
+/// Check that no edge joins same-colored endpoints (validation aid).
+pub fn is_valid_coloring(g: &PropertyGraph) -> bool {
+    g.arcs().all(|(u, e)| {
+        u == e.target || color_of(g, u) != color_of(g, e.target)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(edges: &[(u64, u64)], n: u64) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for _ in 0..n {
+            g.add_vertex();
+        }
+        for &(a, b) in edges {
+            g.add_edge_undirected(a, b, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_needs_three_colors() {
+        let mut g = undirected(&[(0, 1), (1, 2), (0, 2)], 3);
+        let r = run(&mut g);
+        assert_eq!(r.colors, 3);
+        assert!(is_valid_coloring(&g));
+    }
+
+    #[test]
+    fn path_needs_two_colors() {
+        let mut g = undirected(&[(0, 1), (1, 2), (2, 3)], 4);
+        let r = run(&mut g);
+        assert!(r.colors <= 3, "greedy bound on a path: {}", r.colors);
+        assert!(r.colors >= 2);
+        assert!(is_valid_coloring(&g));
+    }
+
+    #[test]
+    fn coloring_is_valid_on_random_graph() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 300u64;
+        let mut edges = Vec::new();
+        for _ in 0..900 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                edges.push((a, b));
+            }
+        }
+        let mut g = undirected(&edges, n);
+        let r = run(&mut g);
+        assert!(is_valid_coloring(&g));
+        // greedy-with-max-degree bound
+        let max_deg = g.vertices().map(|v| v.out_degree()).max().unwrap();
+        assert!(r.colors as usize <= max_deg + 1);
+    }
+
+    #[test]
+    fn isolated_vertices_all_take_color_zero() {
+        let mut g = undirected(&[], 5);
+        let r = run(&mut g);
+        assert_eq!(r.colors, 1);
+        assert_eq!(r.rounds, 1);
+        for v in 0..5 {
+            assert_eq!(color_of(&g, v), Some(0));
+        }
+    }
+
+    #[test]
+    fn deterministic_colors() {
+        let build = || undirected(&[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], 4);
+        let mut g1 = build();
+        let mut g2 = build();
+        run(&mut g1);
+        run(&mut g2);
+        for v in 0..4 {
+            assert_eq!(color_of(&g1, v), color_of(&g2, v));
+        }
+    }
+
+    #[test]
+    fn directed_edges_also_constrain() {
+        let mut g = PropertyGraph::new();
+        for _ in 0..2 {
+            g.add_vertex();
+        }
+        g.add_edge(0, 1, 1.0).unwrap(); // one direction only
+        run(&mut g);
+        assert_ne!(color_of(&g, 0), color_of(&g, 1));
+    }
+
+    #[test]
+    fn empty_graph_uses_no_colors() {
+        let mut g = PropertyGraph::new();
+        let r = run(&mut g);
+        assert_eq!(r.colors, 0);
+        assert_eq!(r.rounds, 0);
+    }
+}

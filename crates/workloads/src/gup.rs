@@ -1,0 +1,130 @@
+//! Graph update (GUp) — "deletes a given list of vertices and related edges
+//! from an existing graph" (Section 4.2).
+//!
+//! The destructive CompDyn pattern: deletions hit vertices "in a random
+//! manner", touching scattered vertex structures and their neighbors'
+//! edge lists — the opposite locality profile of GCons.
+
+use graphbig_framework::trace::{NullTracer, Tracer};
+use graphbig_framework::{PropertyGraph, VertexId};
+
+/// Outcome of an update run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GUpResult {
+    /// Vertices deleted.
+    pub deleted_vertices: u64,
+    /// Arcs removed as a side effect.
+    pub deleted_arcs: u64,
+}
+
+/// Untraced convenience wrapper.
+pub fn run(g: &mut PropertyGraph, victims: &[VertexId]) -> GUpResult {
+    run_t(g, victims, &mut NullTracer)
+}
+
+/// Traced deletion of `victims` (ids not present are skipped).
+pub fn run_t<T: Tracer>(g: &mut PropertyGraph, victims: &[VertexId], t: &mut T) -> GUpResult {
+    let mut deleted = 0u64;
+    let arcs_before = g.num_arcs() as u64;
+    for &v in victims {
+        t.alu(1);
+        let ok = g.delete_vertex_t(v, t).is_ok();
+        t.branch(line!() as usize, ok);
+        if ok {
+            deleted += 1;
+        }
+    }
+    GUpResult {
+        deleted_vertices: deleted,
+        deleted_arcs: arcs_before - g.num_arcs() as u64,
+    }
+}
+
+/// Pick a deterministic pseudo-random sample of `count` victim ids from the
+/// graph (the paper's "random manner" deletions, reproducibly).
+pub fn pick_victims(g: &PropertyGraph, count: usize, seed: u64) -> Vec<VertexId> {
+    let ids = g.vertex_ids();
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut x = seed | 1;
+    let mut seen = std::collections::HashSet::new();
+    while out.len() < count.min(ids.len()) {
+        // xorshift64*
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let idx = (x.wrapping_mul(0x2545F4914F6CDD1D) as usize) % ids.len();
+        if seen.insert(ids[idx]) {
+            out.push(ids[idx]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u64) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for _ in 0..n {
+            g.add_vertex();
+        }
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn deletes_vertices_and_incident_arcs() {
+        let mut g = ring(10);
+        let r = run(&mut g, &[0, 5]);
+        assert_eq!(r.deleted_vertices, 2);
+        assert_eq!(r.deleted_arcs, 4); // each ring vertex has 1 in + 1 out
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_arcs(), 6);
+    }
+
+    #[test]
+    fn missing_victims_are_skipped() {
+        let mut g = ring(4);
+        let r = run(&mut g, &[99, 0, 99]);
+        assert_eq!(r.deleted_vertices, 1);
+    }
+
+    #[test]
+    fn graph_stays_consistent_after_heavy_deletion() {
+        let mut g = ring(100);
+        let victims: Vec<u64> = (0..100).step_by(2).collect();
+        run(&mut g, &victims);
+        assert_eq!(g.num_vertices(), 50);
+        // remaining arcs reference only live vertices
+        for (u, e) in g.arcs() {
+            assert!(g.find_vertex(u).is_some());
+            assert!(g.find_vertex(e.target).is_some());
+        }
+    }
+
+    #[test]
+    fn pick_victims_is_deterministic_and_unique() {
+        let g = ring(50);
+        let a = pick_victims(&g, 10, 7);
+        let b = pick_victims(&g, 10, 7);
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert_ne!(a, pick_victims(&g, 10, 8));
+    }
+
+    #[test]
+    fn pick_victims_caps_at_graph_size() {
+        let g = ring(5);
+        assert_eq!(pick_victims(&g, 50, 1).len(), 5);
+        assert!(pick_victims(&PropertyGraph::new(), 3, 1).is_empty());
+    }
+}

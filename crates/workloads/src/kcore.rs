@@ -1,0 +1,241 @@
+//! k-core decomposition using Matula & Beck's smallest-last peeling
+//! (Section 4.2's stated algorithm).
+//!
+//! Vertices are repeatedly removed in order of (current) smallest degree;
+//! the core number of a vertex is the largest k such that it survives into
+//! a subgraph of minimum degree k. Degrees count both directions (cores are
+//! defined on the undirected view). Results land in the `CORE` property.
+
+use graphbig_framework::property::{keys, Property};
+use graphbig_framework::trace::{addr_of, NullTracer, Tracer};
+use graphbig_framework::{PropertyGraph, VertexId};
+
+/// Outcome of a k-core run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KCoreResult {
+    /// Largest core number found (the graph's degeneracy).
+    pub max_core: u32,
+    /// Vertices in the maximum core.
+    pub max_core_size: u64,
+}
+
+/// Untraced convenience wrapper.
+pub fn run(g: &mut PropertyGraph) -> KCoreResult {
+    run_t(g, &mut NullTracer)
+}
+
+/// Traced peeling; stores each vertex's core number in `CORE`.
+pub fn run_t<T: Tracer>(g: &mut PropertyGraph, t: &mut T) -> KCoreResult {
+    let ids: Vec<VertexId> = g.vertex_ids().to_vec();
+    let n = ids.len();
+    if n == 0 {
+        return KCoreResult {
+            max_core: 0,
+            max_core_size: 0,
+        };
+    }
+    // Dense index over current ids (sorted for binary search).
+    let mut sorted: Vec<VertexId> = ids.clone();
+    sorted.sort_unstable();
+    let dense = |id: VertexId| -> usize {
+        sorted.binary_search(&id).expect("live vertex")
+    };
+
+    // Simple-undirected-view degrees via framework traversal (cores are
+    // defined on the deduplicated undirected graph; parallel arcs and
+    // self-loops do not count).
+    let mut degree: Vec<u32> = vec![0; n];
+    let mut nbrs = std::collections::BTreeSet::new();
+    for &id in &ids {
+        nbrs.clear();
+        g.visit_neighbors_t(id, t, |e, t| {
+            t.alu(1);
+            if e.target != id {
+                nbrs.insert(e.target);
+            }
+        });
+        g.visit_parents_t(id, t, |p, t| {
+            t.alu(1);
+            if p != id {
+                nbrs.insert(p);
+            }
+        });
+        degree[dense(id)] = nbrs.len() as u32;
+    }
+
+    // Bucket queue over degrees (Matula & Beck runs in O(V + E)).
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d as usize].push(v);
+    }
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut current_core = 0u32;
+    let mut processed = 0usize;
+    let mut cursor = 0usize;
+    while processed < n {
+        // find the lowest non-empty bucket from `cursor`
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let v = buckets[cursor].pop().expect("non-empty bucket");
+        t.load(addr_of(&buckets[cursor]), 8);
+        if removed[v] {
+            continue;
+        }
+        if degree[v] as usize != cursor {
+            // stale entry: re-bucket at the current degree
+            buckets[degree[v] as usize].push(v);
+            cursor = cursor.min(degree[v] as usize);
+            continue;
+        }
+        removed[v] = true;
+        processed += 1;
+        current_core = current_core.max(degree[v]);
+        core[v] = current_core;
+        t.alu(4);
+
+        // decrement neighbors (both directions = undirected view)
+        let id = sorted[v];
+        let mut nbr_set: std::collections::BTreeSet<VertexId> = std::collections::BTreeSet::new();
+        g.visit_neighbors_t(id, t, |e, _| {
+            nbr_set.insert(e.target);
+        });
+        g.visit_parents_t(id, t, |p, _| {
+            nbr_set.insert(p);
+        });
+        for nb in nbr_set {
+            let u = dense(nb);
+            t.alu(4); // dense-index binary search step + bounds math
+            t.branch(line!() as usize, removed[u]);
+            if !removed[u] && degree[u] > degree[v] {
+                degree[u] -= 1;
+                t.store(addr_of(&degree[u]), 4);
+                buckets[degree[u] as usize].push(u);
+                if (degree[u] as usize) < cursor {
+                    cursor = degree[u] as usize;
+                }
+            }
+        }
+    }
+
+    // Publish core numbers as properties through the framework.
+    let mut max_core = 0u32;
+    for (v, &c) in core.iter().enumerate() {
+        g.set_vertex_prop_t(sorted[v], keys::CORE, Property::Int(c as i64), t)
+            .expect("vertex exists");
+        max_core = max_core.max(c);
+    }
+    let max_core_size = core.iter().filter(|&&c| c == max_core).count() as u64;
+    KCoreResult {
+        max_core,
+        max_core_size,
+    }
+}
+
+/// Core number of a vertex after a run.
+pub fn core_of(g: &PropertyGraph, v: VertexId) -> Option<u32> {
+    g.get_vertex_prop(v, keys::CORE)
+        .and_then(|p| p.as_int())
+        .map(|c| c as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn undirected(edges: &[(u64, u64)], n: u64) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for _ in 0..n {
+            g.add_vertex();
+        }
+        for &(a, b) in edges {
+            g.add_edge_undirected(a, b, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_with_tail_has_core_2_and_1() {
+        // triangle 0-1-2 plus tail 2-3
+        let mut g = undirected(&[(0, 1), (1, 2), (0, 2), (2, 3)], 4);
+        let r = run(&mut g);
+        assert_eq!(r.max_core, 2);
+        assert_eq!(core_of(&g, 0), Some(2));
+        assert_eq!(core_of(&g, 1), Some(2));
+        assert_eq!(core_of(&g, 2), Some(2));
+        assert_eq!(core_of(&g, 3), Some(1));
+        assert_eq!(r.max_core_size, 3);
+    }
+
+    #[test]
+    fn clique_core_is_size_minus_one() {
+        let mut edges = Vec::new();
+        for i in 0..5u64 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let mut g = undirected(&edges, 5);
+        let r = run(&mut g);
+        assert_eq!(r.max_core, 4);
+        assert_eq!(r.max_core_size, 5);
+    }
+
+    #[test]
+    fn path_graph_is_1_core() {
+        let mut g = undirected(&[(0, 1), (1, 2), (2, 3)], 4);
+        let r = run(&mut g);
+        assert_eq!(r.max_core, 1);
+        for v in 0..4 {
+            assert_eq!(core_of(&g, v), Some(1));
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let mut g = undirected(&[(0, 1)], 3);
+        run(&mut g);
+        assert_eq!(core_of(&g, 2), Some(0));
+    }
+
+    #[test]
+    fn core_invariant_holds_on_random_graph() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 120u64;
+        let mut edges = Vec::new();
+        for _ in 0..400 {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && !edges.contains(&(a.min(b), a.max(b))) {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        let mut g = undirected(&edges, n);
+        let r = run(&mut g);
+        // Invariant: within the subgraph of vertices with core >= k, every
+        // vertex has at least k neighbors in that subgraph (check k = max).
+        let k = r.max_core;
+        let members: Vec<u64> = (0..n).filter(|&v| core_of(&g, v) == Some(k)).collect();
+        for &v in &members {
+            let inside = g
+                .neighbors(v)
+                .filter(|e| core_of(&g, e.target).map(|c| c >= k).unwrap_or(false))
+                .count();
+            assert!(
+                inside as u32 >= k,
+                "vertex {v} has only {inside} same-core neighbors (k={k})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_zero_core() {
+        let mut g = PropertyGraph::new();
+        let r = run(&mut g);
+        assert_eq!(r.max_core, 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # graphbig-workloads
+//!
+//! The 13 GraphBIG CPU workloads (Table 4), implemented over the
+//! vertex-centric framework primitives and generic over the
+//! [`Tracer`](graphbig_framework::trace::Tracer) so the same code runs
+//! uninstrumented (Criterion benches) or through the CPU machine model
+//! (the paper's Figures 5–9).
+//!
+//! | Category | Workloads | Computation type |
+//! |---|---|---|
+//! | Graph traversal | [`bfs`], [`dfs`] | CompStruct |
+//! | Graph construction/update | [`gcons`], [`gup`], [`tmorph`] | CompDyn |
+//! | Graph analytics | [`spath`] (Dijkstra), [`kcore`] (Matula–Beck), [`ccomp`] (BFS-based), [`gcolor`] (Luby–Jones), [`tc`] (Schank), [`gibbs`] | CompStruct / CompProp |
+//! | Social analysis | [`dcentr`], [`bcentr`] (Brandes) | CompStruct |
+//!
+//! Algorithm state lives in vertex *properties* (BFS levels, colors, core
+//! numbers, ...) updated through framework primitives — exactly the
+//! industrial-framework structure whose cost Figure 1 measures.
+
+#![warn(missing_docs)]
+
+pub mod bcentr;
+pub mod bfs;
+pub mod ccomp;
+pub mod dcentr;
+pub mod dfs;
+pub mod gcolor;
+pub mod gcons;
+pub mod gibbs;
+pub mod gup;
+pub mod harness;
+pub mod kcore;
+pub mod parallel;
+pub mod registry;
+pub mod spath;
+pub mod tc;
+pub mod tmorph;
+
+pub use registry::{Workload, WorkloadCategory, WorkloadMeta};
+
+/// Common imports for workload users.
+pub mod prelude {
+    pub use crate::harness::{run_traced, RunOutcome, RunParams};
+    pub use crate::registry::{Workload, WorkloadCategory, WorkloadMeta};
+}

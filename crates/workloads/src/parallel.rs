@@ -1,0 +1,375 @@
+//! Parallel CPU variants of key workloads, mirroring the paper's 16-thread
+//! runs (Section 5.1 pins one thread per core).
+//!
+//! These run on the static [`Csr`] snapshot with atomic per-vertex state —
+//! the standard shared-memory formulations — and are validated against the
+//! sequential framework implementations in tests. They power the Criterion
+//! wall-clock benches and the CPU side of the Figure 12 speedup comparison.
+
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use graphbig_framework::csr::Csr;
+use graphbig_runtime::{parfor, ThreadPool};
+
+/// Level-synchronous parallel BFS over a CSR; returns per-vertex levels
+/// (`-1` = unreached) and the number of visited vertices.
+pub fn bfs(pool: &ThreadPool, csr: &Csr, source: u32) -> (Vec<i64>, u64) {
+    let n = csr.num_vertices();
+    if n == 0 || source as usize >= n {
+        return (Vec::new(), 0);
+    }
+    let levels: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(-1)).collect();
+    levels[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    let mut level = 0i64;
+    let visited = AtomicU64::new(1);
+
+    while !frontier.is_empty() {
+        let next: Vec<std::sync::Mutex<Vec<u32>>> = (0..pool.threads())
+            .map(|_| std::sync::Mutex::new(Vec::new()))
+            .collect();
+        let frontier_ref = &frontier;
+        let levels_ref = &levels;
+        let next_ref = &next;
+        let visited_ref = &visited;
+        let cursor = AtomicUsize::new(0);
+        pool.broadcast(|worker| {
+            let mut local = Vec::new();
+            loop {
+                let lo = cursor.fetch_add(64, Ordering::Relaxed);
+                if lo >= frontier_ref.len() {
+                    break;
+                }
+                let hi = (lo + 64).min(frontier_ref.len());
+                for &u in &frontier_ref[lo..hi] {
+                    for &v in csr.neighbors(u) {
+                        if levels_ref[v as usize]
+                            .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            local.push(v);
+                            visited_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            next_ref[worker].lock().unwrap().append(&mut local);
+        });
+        frontier = next.into_iter().flat_map(|m| m.into_inner().unwrap()).collect();
+        frontier.sort_unstable(); // deterministic order across thread counts
+        level += 1;
+    }
+    (
+        levels.into_iter().map(|a| a.into_inner()).collect(),
+        visited.into_inner(),
+    )
+}
+
+/// Parallel degree centrality over a CSR (using out-degree + in-degree via
+/// the transpose); returns normalized scores.
+pub fn dcentr(pool: &ThreadPool, csr: &Csr) -> Vec<f64> {
+    let n = csr.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let transpose = csr.transpose();
+    let scores: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let denom = (n.saturating_sub(1)).max(1) as f64;
+    parfor::parallel_for(pool, 0..n, 256, |u| {
+        let d = csr.degree(u as u32) + transpose.degree(u as u32);
+        let c = d as f64 / denom;
+        scores[u].store(c.to_bits(), Ordering::Relaxed);
+    });
+    scores
+        .into_iter()
+        .map(|a| f64::from_bits(a.into_inner()))
+        .collect()
+}
+
+/// Parallel connected components via min-label propagation (undirected
+/// view; symmetrize the CSR first for directed graphs). Returns per-vertex
+/// labels.
+pub fn ccomp(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
+    let n = csr.num_vertices();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    loop {
+        let changed = AtomicU64::new(0);
+        parfor::parallel_for(pool, 0..n, 256, |u| {
+            let mut best = labels[u].load(Ordering::Relaxed);
+            for &v in csr.neighbors(u as u32) {
+                let lv = labels[v as usize].load(Ordering::Relaxed);
+                if lv < best {
+                    best = lv;
+                }
+            }
+            let prev = labels[u].load(Ordering::Relaxed);
+            if best < prev {
+                labels[u].store(best, Ordering::Relaxed);
+                changed.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        if changed.load(Ordering::Relaxed) == 0 {
+            break;
+        }
+    }
+    // Pointer-jump to the root label so every member carries its
+    // component's minimum id.
+    let raw: Vec<u32> = labels.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let mut out = raw.clone();
+    for u in 0..n {
+        let mut l = out[u];
+        while out[l as usize] != l {
+            l = out[l as usize];
+        }
+        out[u] = l;
+    }
+    out
+}
+
+/// Parallel SSSP via round-synchronous Bellman-Ford relaxation (the
+/// shared-memory analogue of the GPU kernel); returns per-vertex distances
+/// (`f32::INFINITY` = unreached).
+pub fn spath(pool: &ThreadPool, csr: &Csr, source: u32) -> Vec<f32> {
+    let n = csr.num_vertices();
+    if n == 0 || source as usize >= n {
+        return Vec::new();
+    }
+    let dist: Vec<AtomicU32> = (0..n)
+        .map(|_| AtomicU32::new(f32::INFINITY.to_bits()))
+        .collect();
+    dist[source as usize].store(0f32.to_bits(), Ordering::Relaxed);
+    for _round in 0..n {
+        let changed = AtomicU64::new(0);
+        parfor::parallel_for(pool, 0..n, 128, |u| {
+            let du = f32::from_bits(dist[u].load(Ordering::Relaxed));
+            if !du.is_finite() {
+                return;
+            }
+            let ws = csr.edge_weights(u as u32);
+            for (i, &v) in csr.neighbors(u as u32).iter().enumerate() {
+                let cand = (du + ws[i]).to_bits();
+                // non-negative f32 bits compare like the floats themselves
+                if dist[v as usize].fetch_min(cand, Ordering::Relaxed) > cand {
+                    changed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        if changed.load(Ordering::Relaxed) == 0 {
+            break;
+        }
+    }
+    dist.into_iter()
+        .map(|a| f32::from_bits(a.into_inner()))
+        .collect()
+}
+
+/// Parallel Luby–Jones coloring over a (symmetrized) CSR; identical colors
+/// to the sequential and GPU implementations (same `hash_id` priorities).
+/// Returns per-vertex colors.
+pub fn gcolor(pool: &ThreadPool, csr: &Csr) -> Vec<i64> {
+    use graphbig_framework::index::hash_id;
+    let n = csr.num_vertices();
+    let color: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(-1)).collect();
+    let mut remaining = n;
+    while remaining > 0 {
+        let colored_this_round = AtomicU64::new(0);
+        parfor::parallel_for(pool, 0..n, 128, |u| {
+            if color[u].load(Ordering::Relaxed) >= 0 {
+                return;
+            }
+            let my_id = csr.id_of(u as u32);
+            let my_pri = hash_id(my_id);
+            let mut is_max = true;
+            for &v in csr.neighbors(u as u32) {
+                if v as usize == u || color[v as usize].load(Ordering::Relaxed) >= 0 {
+                    continue;
+                }
+                let vid = csr.id_of(v);
+                let vp = hash_id(vid);
+                if vp > my_pri || (vp == my_pri && vid > my_id) {
+                    is_max = false;
+                    break;
+                }
+            }
+            if is_max {
+                let mut used: Vec<i64> = csr
+                    .neighbors(u as u32)
+                    .iter()
+                    .filter_map(|&v| {
+                        let c = color[v as usize].load(Ordering::Relaxed);
+                        (c >= 0).then_some(c)
+                    })
+                    .collect();
+                used.sort_unstable();
+                used.dedup();
+                let mut pick = 0i64;
+                for c in used {
+                    if c == pick {
+                        pick += 1;
+                    } else if c > pick {
+                        break;
+                    }
+                }
+                color[u].store(pick, Ordering::Relaxed);
+                colored_this_round.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let done = colored_this_round.load(Ordering::Relaxed) as usize;
+        assert!(done > 0, "Luby-Jones always makes progress");
+        remaining -= done;
+    }
+    color.into_iter().map(|c| c.into_inner()).collect()
+}
+
+/// Parallel triangle count over a symmetrized, adjacency-sorted CSR.
+pub fn tc(pool: &ThreadPool, csr: &Csr) -> u64 {
+    let n = csr.num_vertices();
+    parfor::parallel_reduce(
+        pool,
+        0..n,
+        64,
+        0u64,
+        |u| {
+            let u = u as u32;
+            let mut count = 0u64;
+            for &v in csr.neighbors(u) {
+                if v <= u {
+                    continue;
+                }
+                // merge-intersect N(u) and N(v) above v
+                let (a, b) = (csr.neighbors(u), csr.neighbors(v));
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            if a[i] > v {
+                                count += 1;
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            count
+        },
+        |a, b| a + b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbig_datagen::Dataset;
+    use graphbig_framework::PropertyGraph;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    fn ldbc(n: usize) -> (PropertyGraph, Csr) {
+        let g = Dataset::Ldbc.generate_with_vertices(n);
+        let csr = Csr::from_graph(&g);
+        (g, csr)
+    }
+
+    #[test]
+    fn parallel_bfs_matches_sequential_levels() {
+        let (mut g, csr) = ldbc(400);
+        let (levels, visited) = bfs(&pool(), &csr, 0);
+        let root = g.vertex_ids()[0];
+        let seq = crate::bfs::run(&mut g, root);
+        assert_eq!(visited, seq.visited);
+        for (dense, &l) in levels.iter().enumerate() {
+            let id = csr.id_of(dense as u32);
+            let seq_level = crate::bfs::level_of(&g, id).map(|x| x as i64).unwrap_or(-1);
+            assert_eq!(l, seq_level, "vertex {id}");
+        }
+    }
+
+    #[test]
+    fn parallel_dcentr_matches_sequential() {
+        let (mut g, csr) = ldbc(300);
+        let scores = dcentr(&pool(), &csr);
+        crate::dcentr::run(&mut g);
+        for (dense, &s) in scores.iter().enumerate() {
+            let id = csr.id_of(dense as u32);
+            let want = crate::dcentr::centrality_of(&g, id).unwrap();
+            assert!((s - want).abs() < 1e-12, "vertex {id}: {s} vs {want}");
+        }
+    }
+
+    #[test]
+    fn parallel_ccomp_matches_sequential_count() {
+        let (mut g, csr) = ldbc(300);
+        let sym = csr.symmetrize();
+        let labels = ccomp(&pool(), &sym);
+        let mut distinct: Vec<u32> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let seq = crate::ccomp::run(&mut g);
+        assert_eq!(distinct.len() as u64, seq.components);
+    }
+
+    #[test]
+    fn parallel_tc_matches_sequential() {
+        let (mut g, csr) = ldbc(200);
+        let mut sym = csr.symmetrize();
+        sym.sort_adjacency();
+        let par = tc(&pool(), &sym);
+        let seq = crate::tc::run(&mut g);
+        assert_eq!(par, seq.triangles);
+    }
+
+    #[test]
+    fn parallel_spath_matches_sequential_dijkstra() {
+        let (mut g, csr) = ldbc(250);
+        let dist = spath(&pool(), &csr, 0);
+        let root = csr.id_of(0);
+        crate::spath::run(&mut g, root);
+        for (dense, &d) in dist.iter().enumerate() {
+            let id = csr.id_of(dense as u32);
+            match crate::spath::distance_of(&g, id) {
+                Some(want) => assert!((d as f64 - want).abs() < 1e-4, "vertex {id}"),
+                None => assert!(d.is_infinite(), "vertex {id}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gcolor_matches_sequential_colors() {
+        let g = Dataset::WatsonGene.generate_with_vertices(300);
+        let csr = Csr::from_graph(&g);
+        let colors = gcolor(&pool(), &csr);
+        let mut g2 = Dataset::WatsonGene.generate_with_vertices(300);
+        crate::gcolor::run(&mut g2);
+        for (dense, &c) in colors.iter().enumerate() {
+            let id = csr.id_of(dense as u32);
+            assert_eq!(Some(c), crate::gcolor::color_of(&g2, id), "vertex {id}");
+        }
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let (_, csr) = ldbc(250);
+        let one = ThreadPool::new(1);
+        let eight = ThreadPool::new(8);
+        assert_eq!(bfs(&one, &csr, 0).0, bfs(&eight, &csr, 0).0);
+        let sym = csr.symmetrize();
+        assert_eq!(ccomp(&one, &sym), ccomp(&eight, &sym));
+    }
+
+    #[test]
+    fn empty_csr_is_handled() {
+        let csr = Csr::from_edges(0, &[]);
+        assert_eq!(bfs(&pool(), &csr, 0).1, 0);
+        assert!(dcentr(&pool(), &csr).is_empty());
+        assert!(ccomp(&pool(), &csr).is_empty());
+        assert_eq!(tc(&pool(), &csr), 0);
+    }
+}

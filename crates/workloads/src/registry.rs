@@ -1,0 +1,225 @@
+//! Workload metadata: Table 4 (categories and computation types) and the
+//! Figure 4 use-case analysis.
+
+use graphbig_framework::ComputationType;
+use serde::{Deserialize, Serialize};
+
+/// High-level workload grouping of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadCategory {
+    /// Fundamental traversal operations.
+    GraphTraversal,
+    /// Computations on dynamic graphs.
+    GraphUpdate,
+    /// Topological analysis and path/flow analytics.
+    GraphAnalytics,
+    /// Centrality-style social analysis.
+    SocialAnalysis,
+}
+
+impl WorkloadCategory {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadCategory::GraphTraversal => "Graph traversal",
+            WorkloadCategory::GraphUpdate => "Graph construction/update",
+            WorkloadCategory::GraphAnalytics => "Graph analytics",
+            WorkloadCategory::SocialAnalysis => "Social analysis",
+        }
+    }
+}
+
+/// The 13 GraphBIG CPU workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Workload {
+    /// Breadth-first search.
+    Bfs,
+    /// Depth-first search.
+    Dfs,
+    /// Graph construction.
+    GCons,
+    /// Graph update (vertex deletion).
+    GUp,
+    /// Topology morphing (DAG moralization).
+    TMorph,
+    /// Shortest path (Dijkstra).
+    SPath,
+    /// k-core decomposition (Matula & Beck).
+    KCore,
+    /// Connected components (BFS-based on CPU).
+    CComp,
+    /// Graph coloring (Luby–Jones).
+    GColor,
+    /// Triangle count (Schank).
+    Tc,
+    /// Gibbs inference on Bayesian networks.
+    Gibbs,
+    /// Degree centrality.
+    DCentr,
+    /// Betweenness centrality (Brandes).
+    BCentr,
+}
+
+/// Static description of one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMeta {
+    /// The workload.
+    pub workload: Workload,
+    /// Short name used in figures.
+    pub short_name: &'static str,
+    /// Table 4 category.
+    pub category: WorkloadCategory,
+    /// Table 1 computation type.
+    pub computation_type: ComputationType,
+    /// Number of the 21 analyzed use cases employing this workload
+    /// (Figure 4(A); the paper states the endpoints — BFS 10, TC 4 — the
+    /// intermediate counts are estimated from the figure).
+    pub use_cases: u32,
+    /// Whether the paper also ships a GPU version (8 of 13 do).
+    pub on_gpu: bool,
+    /// Algorithm reference as given in Section 4.2.
+    pub algorithm: &'static str,
+}
+
+impl Workload {
+    /// All 13 workloads in the paper's figure order.
+    pub const ALL: [Workload; 13] = [
+        Workload::Bfs,
+        Workload::Dfs,
+        Workload::GCons,
+        Workload::GUp,
+        Workload::TMorph,
+        Workload::SPath,
+        Workload::KCore,
+        Workload::CComp,
+        Workload::GColor,
+        Workload::Tc,
+        Workload::Gibbs,
+        Workload::DCentr,
+        Workload::BCentr,
+    ];
+
+    /// Static metadata for this workload.
+    pub fn meta(self) -> WorkloadMeta {
+        use ComputationType::*;
+        use Workload::*;
+        use WorkloadCategory::*;
+        let (short_name, category, computation_type, use_cases, on_gpu, algorithm) = match self {
+            Bfs => ("BFS", GraphTraversal, CompStruct, 10, true, "frontier BFS"),
+            Dfs => ("DFS", GraphTraversal, CompStruct, 8, false, "iterative stack DFS"),
+            GCons => ("GCons", GraphUpdate, CompDyn, 7, false, "incremental construction"),
+            GUp => ("GUp", GraphUpdate, CompDyn, 6, false, "vertex deletion"),
+            TMorph => ("TMorph", GraphUpdate, CompDyn, 5, false, "DAG moralization"),
+            SPath => ("SPath", GraphAnalytics, CompStruct, 8, true, "Dijkstra"),
+            KCore => ("kCore", GraphAnalytics, CompStruct, 5, true, "Matula & Beck"),
+            CComp => ("CComp", GraphAnalytics, CompStruct, 7, true, "BFS labeling / Soman (GPU)"),
+            GColor => ("GColor", GraphAnalytics, CompStruct, 5, true, "Luby-Jones"),
+            Tc => ("TC", GraphAnalytics, CompProp, 4, true, "Schank"),
+            Gibbs => ("Gibbs", GraphAnalytics, CompProp, 5, false, "Gibbs sampling"),
+            DCentr => ("DCentr", SocialAnalysis, CompStruct, 9, true, "degree centrality"),
+            BCentr => ("BCentr", SocialAnalysis, CompStruct, 7, true, "Brandes"),
+        };
+        WorkloadMeta {
+            workload: self,
+            short_name,
+            category,
+            computation_type,
+            use_cases,
+            on_gpu,
+            algorithm,
+        }
+    }
+
+    /// Short figure label.
+    pub fn short_name(self) -> &'static str {
+        self.meta().short_name
+    }
+
+    /// The workloads with GPU implementations (Table 3's "8 GPU workloads").
+    pub fn gpu_workloads() -> Vec<Workload> {
+        Self::ALL.iter().copied().filter(|w| w.meta().on_gpu).collect()
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// The six use-case categories of Figure 4(B) with their share of the 21
+/// analyzed use cases.
+pub const USE_CASE_CATEGORIES: [(&str, f64); 6] = [
+    ("Cognitive Computing", 0.24),
+    ("Exploration and Science", 0.24),
+    ("Data Warehouse Augmentation", 0.14),
+    ("Operations Analysis", 0.14),
+    ("Security / 360 Degree View", 0.14),
+    ("Data Exploration", 0.10),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_cpu_workloads_eight_on_gpu() {
+        assert_eq!(Workload::ALL.len(), 13);
+        assert_eq!(Workload::gpu_workloads().len(), 8);
+    }
+
+    #[test]
+    fn figure4_endpoints_match_paper() {
+        assert_eq!(Workload::Bfs.meta().use_cases, 10, "BFS is the most used");
+        assert_eq!(Workload::Tc.meta().use_cases, 4, "TC is the least used");
+        for w in Workload::ALL {
+            let u = w.meta().use_cases;
+            assert!((4..=10).contains(&u), "{w}: {u}");
+        }
+    }
+
+    #[test]
+    fn all_computation_types_are_covered() {
+        use graphbig_framework::ComputationType;
+        for ct in ComputationType::ALL {
+            assert!(
+                Workload::ALL.iter().any(|w| w.meta().computation_type == ct),
+                "no workload covers {ct}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_categories_are_covered() {
+        for cat in [
+            WorkloadCategory::GraphTraversal,
+            WorkloadCategory::GraphUpdate,
+            WorkloadCategory::GraphAnalytics,
+            WorkloadCategory::SocialAnalysis,
+        ] {
+            assert!(Workload::ALL.iter().any(|w| w.meta().category == cat));
+        }
+    }
+
+    #[test]
+    fn use_case_category_shares_sum_to_one() {
+        let sum: f64 = USE_CASE_CATEGORIES.iter().map(|&(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_workloads_are_compdyn() {
+        use graphbig_framework::ComputationType::CompDyn;
+        for w in [Workload::GCons, Workload::GUp, Workload::TMorph] {
+            assert_eq!(w.meta().computation_type, CompDyn);
+        }
+    }
+
+    #[test]
+    fn property_workloads_are_compprop() {
+        use graphbig_framework::ComputationType::CompProp;
+        for w in [Workload::Tc, Workload::Gibbs] {
+            assert_eq!(w.meta().computation_type, CompProp);
+        }
+    }
+}

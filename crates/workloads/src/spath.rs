@@ -1,0 +1,212 @@
+//! Single-source shortest paths — Dijkstra's algorithm, the paper's
+//! graph-path/flow analytics representative.
+//!
+//! Distances live in the `DISTANCE` vertex property; the priority queue is
+//! workload-private. Non-negative edge weights are required (road-network
+//! weights are road lengths; unit weights elsewhere).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use graphbig_framework::property::{keys, Property};
+use graphbig_framework::trace::{addr_of, NullTracer, Tracer};
+use graphbig_framework::{PropertyGraph, VertexId};
+
+/// Outcome of a shortest-path run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SPathResult {
+    /// Vertices with a finite distance.
+    pub reached: u64,
+    /// Largest finite distance.
+    pub max_distance: f64,
+}
+
+/// Untraced convenience wrapper.
+pub fn run(g: &mut PropertyGraph, source: VertexId) -> SPathResult {
+    run_t(g, source, &mut NullTracer)
+}
+
+/// Traced Dijkstra from `source`; distances land in `DISTANCE` properties.
+pub fn run_t<T: Tracer>(g: &mut PropertyGraph, source: VertexId, t: &mut T) -> SPathResult {
+    if g.find_vertex_t(source, t).is_none() {
+        return SPathResult {
+            reached: 0,
+            max_distance: 0.0,
+        };
+    }
+    // Keyed by total-order bits of the f64 distance (all weights ≥ 0).
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    let mut scratch: Vec<(VertexId, f32)> = Vec::new();
+
+    g.set_vertex_prop_t(source, keys::DISTANCE, Property::Float(0.0), t)
+        .expect("source exists");
+    heap.push(Reverse((0u64, source)));
+
+    let mut reached = 0u64;
+    let mut max_distance = 0.0f64;
+    while let Some(Reverse((dist_bits, u))) = heap.pop() {
+        t.load(addr_of(&u), 16);
+        t.branch(line!() as usize, true);
+        let dist = f64::from_bits(dist_bits);
+        // Lazy deletion: skip stale heap entries.
+        let stored = g
+            .get_vertex_prop_t(u, keys::DISTANCE, t)
+            .and_then(|p| p.as_float())
+            .unwrap_or(f64::INFINITY);
+        t.branch(line!() as usize, dist > stored);
+        if dist > stored {
+            continue;
+        }
+        reached += 1;
+        max_distance = max_distance.max(dist);
+        t.alu(2);
+
+        scratch.clear();
+        g.visit_neighbors_t(u, t, |e, t| {
+            t.alu(1);
+            scratch.push((e.target, e.weight));
+        });
+        for &(v, w) in &scratch {
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let cand = dist + w as f64;
+            t.alu(2);
+            let current = g
+                .get_vertex_prop_t(v, keys::DISTANCE, t)
+                .and_then(|p| p.as_float())
+                .unwrap_or(f64::INFINITY);
+            let improves = cand < current;
+            t.branch(line!() as usize, improves);
+            if improves {
+                g.set_vertex_prop_t(v, keys::DISTANCE, Property::Float(cand), t)
+                    .expect("neighbor exists");
+                heap.push(Reverse((cand.to_bits(), v)));
+                t.store(addr_of(&v), 16);
+            }
+        }
+    }
+    t.branch(line!() as usize, false);
+    SPathResult {
+        reached,
+        max_distance,
+    }
+}
+
+/// Distance of a vertex after a run (`None` if unreached).
+pub fn distance_of(g: &PropertyGraph, v: VertexId) -> Option<f64> {
+    g.get_vertex_prop(v, keys::DISTANCE).and_then(|p| p.as_float())
+}
+
+/// Bellman–Ford reference implementation for validation (untraced, O(VE)).
+pub fn bellman_ford_reference(g: &PropertyGraph, source: VertexId) -> Vec<(VertexId, f64)> {
+    let ids: Vec<VertexId> = g.vertex_ids().to_vec();
+    let mut dist: std::collections::HashMap<VertexId, f64> =
+        ids.iter().map(|&id| (id, f64::INFINITY)).collect();
+    if let Some(d) = dist.get_mut(&source) {
+        *d = 0.0;
+    }
+    for _ in 0..ids.len() {
+        let mut changed = false;
+        for &u in &ids {
+            let du = dist[&u];
+            if du.is_infinite() {
+                continue;
+            }
+            for e in g.neighbors(u) {
+                let cand = du + e.weight as f64;
+                if cand < dist[&e.target] {
+                    *dist.get_mut(&e.target).unwrap() = cand;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    ids.into_iter()
+        .map(|id| (id, dist[&id]))
+        .filter(|(_, d)| d.is_finite())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_diamond() -> PropertyGraph {
+        // 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (1), 2 -> 3 (1), 1 -> 3 (5)
+        let mut g = PropertyGraph::new();
+        for _ in 0..4 {
+            g.add_vertex();
+        }
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(0, 2, 4.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        g.add_edge(1, 3, 5.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn finds_shortest_distances() {
+        let mut g = weighted_diamond();
+        let r = run(&mut g, 0);
+        assert_eq!(r.reached, 4);
+        assert_eq!(distance_of(&g, 1), Some(1.0));
+        assert_eq!(distance_of(&g, 2), Some(2.0), "via vertex 1");
+        assert_eq!(distance_of(&g, 3), Some(3.0), "via 1 then 2");
+        assert_eq!(r.max_distance, 3.0);
+    }
+
+    #[test]
+    fn matches_bellman_ford_on_random_graph() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut g = PropertyGraph::new();
+        let n = 200u64;
+        for _ in 0..n {
+            g.add_vertex();
+        }
+        for _ in 0..1000 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                g.add_edge(u, v, rng.gen_range(0.1..5.0)).unwrap();
+            }
+        }
+        let reference = bellman_ford_reference(&g, 0);
+        run(&mut g, 0);
+        for (id, want) in reference {
+            let got = distance_of(&g, id).expect("reachable in reference");
+            assert!((got - want).abs() < 1e-6, "vertex {id}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_have_no_distance() {
+        let mut g = weighted_diamond();
+        let iso = g.add_vertex();
+        run(&mut g, 0);
+        assert_eq!(distance_of(&g, iso), None);
+    }
+
+    #[test]
+    fn missing_source_is_empty() {
+        let mut g = weighted_diamond();
+        assert_eq!(run(&mut g, 42).reached, 0);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_fine() {
+        let mut g = PropertyGraph::new();
+        for _ in 0..3 {
+            g.add_vertex();
+        }
+        g.add_edge(0, 1, 0.0).unwrap();
+        g.add_edge(1, 2, 0.0).unwrap();
+        let r = run(&mut g, 0);
+        assert_eq!(r.reached, 3);
+        assert_eq!(r.max_distance, 0.0);
+    }
+}

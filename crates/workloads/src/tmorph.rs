@@ -1,0 +1,186 @@
+//! Topology morphing (TMorph) — "generates an undirected moral graph from a
+//! directed-acyclic graph. It involves graph construction, graph traversal,
+//! and graph update operations" (Section 4.2).
+//!
+//! Moralization (the preprocessing step of exact Bayesian inference):
+//! 1. *marry* the parents of every vertex — connect each pair of co-parents;
+//! 2. drop edge directions.
+//!
+//! The output is a fresh undirected [`PropertyGraph`] built through
+//! framework primitives, so the workload exercises all three CompDyn
+//! operation classes the paper lists.
+
+use graphbig_framework::trace::{NullTracer, Tracer};
+use graphbig_framework::{PropertyGraph, VertexId};
+
+/// Outcome of a moralization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TMorphResult {
+    /// Vertices in the moral graph (same as the input DAG).
+    pub vertices: u64,
+    /// Undirected edges in the moral graph.
+    pub moral_edges: u64,
+    /// Marriage edges added between co-parents.
+    pub marriages: u64,
+}
+
+/// Untraced convenience wrapper.
+pub fn run(dag: &PropertyGraph) -> (PropertyGraph, TMorphResult) {
+    run_t(dag, &mut NullTracer)
+}
+
+/// Traced moralization of `dag` into a new undirected graph.
+pub fn run_t<T: Tracer>(dag: &PropertyGraph, t: &mut T) -> (PropertyGraph, TMorphResult) {
+    let mut moral = PropertyGraph::with_capacity(dag.num_vertices());
+    for &id in dag.vertex_ids() {
+        t.alu(1);
+        moral
+            .add_vertex_with_id_t(id, t)
+            .expect("DAG ids are unique");
+    }
+
+    let mut moral_edges = 0u64;
+    let mut marriages = 0u64;
+    let mut parents: Vec<VertexId> = Vec::new();
+    for &v in dag.vertex_ids() {
+        // Undirect the original in-edges (each DAG edge handled once, at its
+        // head).
+        parents.clear();
+        dag.visit_parents_t(v, t, |p, t| {
+            t.alu(1);
+            parents.push(p);
+        });
+        for &p in &parents {
+            if add_undirected_unique(&mut moral, p, v, t) {
+                moral_edges += 1;
+            }
+        }
+        // Marry each pair of parents.
+        for i in 0..parents.len() {
+            for j in (i + 1)..parents.len() {
+                t.alu(2);
+                let (a, b) = (parents[i], parents[j]);
+                t.branch(line!() as usize, a != b);
+                if a != b && add_undirected_unique(&mut moral, a, b, t) {
+                    moral_edges += 1;
+                    marriages += 1;
+                }
+            }
+        }
+    }
+    let r = TMorphResult {
+        vertices: moral.num_vertices() as u64,
+        moral_edges,
+        marriages,
+    };
+    (moral, r)
+}
+
+/// Add `a — b` if absent; returns whether an edge was added.
+fn add_undirected_unique<T: Tracer>(
+    g: &mut PropertyGraph,
+    a: VertexId,
+    b: VertexId,
+    t: &mut T,
+) -> bool {
+    // The whole find-vertex + find-edge probe is one framework primitive
+    // (the edge-existence check of the add-edge-unique interface).
+    t.enter_framework();
+    let exists = g
+        .find_vertex_t(a, t)
+        .map(|v| v.find_edge_t(b, t).is_some())
+        .unwrap_or(true);
+    t.exit_framework();
+    t.branch(line!() as usize, exists);
+    if exists {
+        return false;
+    }
+    g.add_edge_undirected_t(a, b, 1.0, t)
+        .expect("both endpoints exist");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic v-structure: a -> c <- b.
+    fn v_structure() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for _ in 0..3 {
+            g.add_vertex();
+        }
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn v_structure_marries_the_parents() {
+        let (moral, r) = run(&v_structure());
+        assert_eq!(r.vertices, 3);
+        assert_eq!(r.moral_edges, 3); // 0-2, 1-2, plus marriage 0-1
+        assert_eq!(r.marriages, 1);
+        assert!(moral.has_edge(0, 1) && moral.has_edge(1, 0));
+        assert!(moral.has_edge(0, 2) && moral.has_edge(2, 0));
+    }
+
+    #[test]
+    fn chain_needs_no_marriages() {
+        let mut g = PropertyGraph::new();
+        for _ in 0..4 {
+            g.add_vertex();
+        }
+        for i in 0..3 {
+            g.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let (_, r) = run(&g);
+        assert_eq!(r.marriages, 0);
+        assert_eq!(r.moral_edges, 3);
+    }
+
+    #[test]
+    fn marriage_duplicates_are_not_double_added() {
+        // two children share the same parent pair: only one marriage edge
+        let mut g = PropertyGraph::new();
+        for _ in 0..4 {
+            g.add_vertex();
+        }
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(0, 3, 1.0).unwrap();
+        g.add_edge(1, 3, 1.0).unwrap();
+        let (_, r) = run(&g);
+        assert_eq!(r.marriages, 1);
+        assert_eq!(r.moral_edges, 5);
+    }
+
+    #[test]
+    fn moral_graph_is_symmetric() {
+        let dag = graphbig_datagen::dag::generate(&graphbig_datagen::dag::DagConfig::with_vertices(300));
+        let (moral, _) = run(&dag);
+        for (u, e) in moral.arcs() {
+            assert!(moral.has_edge(e.target, u), "{u} — {} not symmetric", e.target);
+        }
+    }
+
+    #[test]
+    fn three_parents_marry_pairwise() {
+        let mut g = PropertyGraph::new();
+        for _ in 0..4 {
+            g.add_vertex();
+        }
+        for p in 0..3 {
+            g.add_edge(p, 3, 1.0).unwrap();
+        }
+        let (_, r) = run(&g);
+        assert_eq!(r.marriages, 3); // C(3,2)
+    }
+
+    #[test]
+    fn empty_dag_morphs_to_empty_graph() {
+        let (moral, r) = run(&PropertyGraph::new());
+        assert!(moral.is_empty());
+        assert_eq!(r.moral_edges, 0);
+    }
+}

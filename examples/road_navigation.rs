@@ -1,0 +1,71 @@
+//! Route planning on a road network: the paper's man-made-network use case
+//! with the SPath (Dijkstra) workload.
+//!
+//! Generates a CA-road-like perturbed grid, computes shortest routes from a
+//! depot intersection, and reports reachability and route lengths — then
+//! morphs a DAG view of the network (TMorph) to show the dynamic-graph
+//! pipeline.
+//!
+//! Run with: `cargo run --release --example road_navigation [vertices]`
+
+use graphbig::prelude::*;
+use graphbig::workloads::harness::orient_to_dag;
+use graphbig::workloads::{spath, tmorph};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    println!("generating road network with {n} intersections ...");
+    let mut g = Dataset::CaRoad.generate_with_vertices(n);
+    let stats = GraphStats::compute(&g);
+    println!("  {stats}");
+
+    // -- single-source shortest routes --------------------------------------
+    let depot = g.vertex_ids()[0];
+    let r = spath::run(&mut g, depot);
+    println!(
+        "\nDijkstra from depot {depot}: {} intersections reachable, farthest route {:.1} km",
+        r.reached, r.max_distance
+    );
+
+    // route length distribution
+    let mut reached: Vec<f64> = g
+        .vertex_ids()
+        .iter()
+        .filter_map(|&v| spath::distance_of(&g, v))
+        .collect();
+    reached.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if !reached.is_empty() {
+        let pct = |p: f64| reached[((reached.len() - 1) as f64 * p) as usize];
+        println!(
+            "route length percentiles: p50 {:.1}  p90 {:.1}  p99 {:.1}",
+            pct(0.50),
+            pct(0.90),
+            pct(0.99)
+        );
+    }
+
+    // -- find the best-connected interchange --------------------------------
+    let hub = g
+        .vertex_ids()
+        .iter()
+        .copied()
+        .max_by_key(|&v| g.out_degree(v).unwrap_or(0))
+        .unwrap();
+    println!(
+        "\nbusiest interchange: {hub} with {} roads",
+        g.out_degree(hub).unwrap()
+    );
+
+    // -- TMorph: moralize a one-way (DAG) view of the network ---------------
+    let dag = orient_to_dag(&g);
+    let (moral, m) = tmorph::run(&dag);
+    println!(
+        "\nTMorph on the one-way DAG view: {} moral edges ({} parent marriages), {} vertices",
+        m.moral_edges,
+        m.marriages,
+        moral.num_vertices()
+    );
+}

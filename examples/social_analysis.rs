@@ -1,0 +1,64 @@
+//! Social-network analysis on an LDBC-like graph: the paper's "social
+//! analysis" category end to end.
+//!
+//! Generates a synthetic social network, then finds influencers (degree +
+//! betweenness centrality), communities (weakly connected components) and a
+//! schedule coloring — all through the framework API.
+//!
+//! Run with: `cargo run --release --example social_analysis [vertices]`
+
+use graphbig::prelude::*;
+use graphbig::workloads::{bcentr, ccomp, dcentr, gcolor};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000);
+    println!("generating LDBC-like social graph with {n} persons ...");
+    let mut g = Dataset::Ldbc.generate_with_vertices(n);
+    println!("  {:?}", g);
+    let stats = GraphStats::compute(&g);
+    println!("  {stats}");
+
+    // -- influencers -------------------------------------------------------
+    let d = dcentr::run(&mut g);
+    println!(
+        "\nmost connected person: vertex {} (degree centrality {:.4})",
+        d.max_vertex, d.max_centrality
+    );
+    let b = bcentr::run(&mut g, 16);
+    println!(
+        "most *between* person (16-source Brandes): vertex {} (score {:.1})",
+        b.max_vertex, b.max_centrality
+    );
+
+    // -- communities --------------------------------------------------------
+    let c = ccomp::run(&mut g);
+    println!(
+        "\ncommunities: {} weakly connected components, largest has {} members ({:.1}% of the network)",
+        c.components,
+        c.largest,
+        c.largest as f64 / n as f64 * 100.0
+    );
+
+    // -- conflict-free scheduling ------------------------------------------
+    let col = gcolor::run(&mut g);
+    println!(
+        "\nLuby-Jones coloring: {} colors in {} rounds (schedule any same-color set concurrently)",
+        col.colors, col.rounds
+    );
+    assert!(gcolor::is_valid_coloring(&g), "coloring must be proper");
+
+    // -- top-5 by degree centrality -----------------------------------------
+    let mut scored: Vec<(VertexId, f64)> = g
+        .vertex_ids()
+        .iter()
+        .filter_map(|&v| dcentr::centrality_of(&g, v).map(|c| (v, c)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\ntop-5 influencers by degree centrality:");
+    for (v, c) in scored.iter().take(5) {
+        println!("  vertex {v}: {c:.4}");
+    }
+}

@@ -1,0 +1,4 @@
+//! GraphBIG-RS workspace root. This crate exists to host the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`);
+//! the library surface lives in the `graphbig` umbrella crate.
+pub use graphbig;

@@ -1,0 +1,172 @@
+//! Cross-crate integration tests: the full pipeline from dataset generation
+//! through workloads to the CPU/GPU architecture models.
+
+use graphbig::framework::csr::Csr;
+use graphbig::framework::trace::CountingTracer;
+use graphbig::gpu::registry::{run_gpu_workload, GpuRunParams};
+use graphbig::machine::{CoreModel, CpuConfig};
+use graphbig::prelude::*;
+use graphbig::workloads::harness::{run_traced, RunParams};
+use graphbig::workloads::Workload;
+
+fn small_params() -> RunParams {
+    RunParams {
+        gibbs_scale: 0.1,
+        gibbs_sweeps: 2,
+        bcentr_sources: 4,
+        ..RunParams::default()
+    }
+}
+
+#[test]
+fn every_workload_runs_on_every_dataset_through_the_machine_model() {
+    for d in Dataset::ALL {
+        for w in Workload::ALL {
+            let mut g = d.generate_with_vertices(150);
+            let mut core = CoreModel::new(CpuConfig::small());
+            let out = run_traced(w, &mut g, &small_params(), &mut core);
+            let c = core.finish();
+            assert!(c.instructions > 0, "{w} on {d} traced nothing");
+            assert!(c.total_cycles() > 0.0, "{w} on {d} has no cycles");
+            let (a, b, f, e) = c.cycles.fractions();
+            assert!((a + b + f + e - 1.0).abs() < 1e-9, "{w} on {d} fractions");
+            assert!(!out.description.is_empty());
+        }
+    }
+}
+
+#[test]
+fn cpu_and_gpu_agree_on_shared_workload_results() {
+    let g0 = Dataset::WatsonGene.generate_with_vertices(250);
+    let csr = Csr::from_graph(&g0);
+    let cfg = GpuConfig::tesla_k40();
+    let p = GpuRunParams::default();
+
+    // BFS reachability
+    let mut g = g0.clone_topology();
+    let cpu_bfs = graphbig::workloads::bfs::run(&mut g, csr.id_of(0));
+    let gpu_bfs = run_gpu_workload(Workload::Bfs, &cfg, &csr, &p);
+    assert_eq!(cpu_bfs.visited as f64, gpu_bfs.primary_metric);
+
+    // Components
+    let mut g = g0.clone_topology();
+    let cpu_cc = graphbig::workloads::ccomp::run(&mut g);
+    let gpu_cc = run_gpu_workload(Workload::CComp, &cfg, &csr, &p);
+    assert_eq!(cpu_cc.components as f64, gpu_cc.primary_metric);
+
+    // Triangles
+    let mut g = g0.clone_topology();
+    let cpu_tc = graphbig::workloads::tc::run(&mut g);
+    let gpu_tc = run_gpu_workload(Workload::Tc, &cfg, &csr, &p);
+    assert_eq!(cpu_tc.triangles as f64, gpu_tc.primary_metric);
+
+    // Core decomposition
+    let mut g = g0.clone_topology();
+    let cpu_kc = graphbig::workloads::kcore::run(&mut g);
+    let gpu_kc = run_gpu_workload(Workload::KCore, &cfg, &csr, &p);
+    assert_eq!(cpu_kc.max_core as f64, gpu_kc.primary_metric);
+
+    // Coloring
+    let mut g = g0.clone_topology();
+    let cpu_gc = graphbig::workloads::gcolor::run(&mut g);
+    let gpu_gc = run_gpu_workload(Workload::GColor, &cfg, &csr, &p);
+    assert_eq!(cpu_gc.colors as f64, gpu_gc.primary_metric);
+}
+
+#[test]
+fn profiled_runs_are_deterministic() {
+    // The event *stream* is deterministic (instructions, branches); cache
+    // and TLB figures depend on real heap addresses, which shift between
+    // allocations, so those are only required to be close.
+    let run_once = || {
+        let mut g = Dataset::Ldbc.generate_with_vertices(300);
+        let mut core = CoreModel::new(CpuConfig::small());
+        run_traced(Workload::Bfs, &mut g, &small_params(), &mut core);
+        core.finish()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.branches, b.branches);
+    assert_eq!(a.branch.mispredictions, b.branch.mispredictions);
+    assert_eq!(a.loads, b.loads);
+    let rel = (a.l3.misses as f64 - b.l3.misses as f64).abs() / a.l3.misses.max(1) as f64;
+    assert!(rel < 0.15, "L3 misses drifted {rel}: {} vs {}", a.l3.misses, b.l3.misses);
+}
+
+#[test]
+fn framework_fraction_matches_figure1_band() {
+    // The paper reports an average of 76% in-framework time; traversal
+    // workloads through the primitives should land in that neighbourhood.
+    let mut g = Dataset::Ldbc.generate_with_vertices(500);
+    let mut t = CountingTracer::new();
+    run_traced(Workload::Bfs, &mut g, &small_params(), &mut t);
+    let f = t.framework_fraction();
+    assert!(f > 0.55 && f < 0.98, "framework fraction {f}");
+}
+
+#[test]
+fn computation_type_ipc_ordering_holds() {
+    // Figure 8's headline: IPC(CompProp) > IPC(CompStruct).
+    let params = small_params();
+    let ipc_of = |w: Workload| {
+        let mut g = Dataset::Ldbc.generate_with_vertices(400);
+        let mut core = CoreModel::new(CpuConfig::small());
+        run_traced(w, &mut g, &params, &mut core);
+        core.finish().ipc()
+    };
+    let gibbs = ipc_of(Workload::Gibbs);
+    let bfs = ipc_of(Workload::Bfs);
+    let dcentr = ipc_of(Workload::DCentr);
+    assert!(
+        gibbs > bfs && gibbs > dcentr,
+        "CompProp should retire fastest: gibbs {gibbs}, bfs {bfs}, dcentr {dcentr}"
+    );
+}
+
+#[test]
+fn gpu_divergence_structure_holds_on_ldbc() {
+    let g = Dataset::Ldbc.generate_with_vertices(1_500);
+    let csr = Csr::from_graph(&g);
+    let cfg = GpuConfig::tesla_k40();
+    let p = GpuRunParams::default();
+    let bdr_of = |w| run_gpu_workload(w, &cfg, &csr, &p).metrics.bdr;
+    let kcore = bdr_of(Workload::KCore);
+    let ccomp = bdr_of(Workload::CComp);
+    let bfs = bdr_of(Workload::Bfs);
+    let gcolor = bdr_of(Workload::GColor);
+    assert!(kcore < bfs, "kCore {kcore} should stay below BFS {bfs}");
+    assert!(ccomp < bfs, "edge-centric CComp {ccomp} below BFS {bfs}");
+    assert!(gcolor > ccomp, "GColor {gcolor} is branch-heavy vs CComp {ccomp}");
+}
+
+#[test]
+fn edge_list_io_round_trips_a_generated_dataset() {
+    let g = Dataset::CaRoad.generate_with_vertices(200);
+    let mut buf = Vec::new();
+    graphbig::datagen::edgelist::write_graph(&g, &mut buf).unwrap();
+    let g2 = graphbig::datagen::edgelist::read_graph(buf.as_slice()).unwrap();
+    assert_eq!(g2.num_arcs(), g.num_arcs());
+    for (u, e) in g.arcs() {
+        assert!(g2.has_edge(u, e.target), "lost {u}->{}", e.target);
+    }
+}
+
+/// Clone-the-topology helper: regenerate a fresh graph with identical
+/// structure (properties from workloads are not copied).
+trait CloneTopology {
+    fn clone_topology(&self) -> PropertyGraph;
+}
+
+impl CloneTopology for PropertyGraph {
+    fn clone_topology(&self) -> PropertyGraph {
+        let mut g = PropertyGraph::with_capacity(self.num_vertices());
+        for &id in self.vertex_ids() {
+            g.add_vertex_with_id(id).unwrap();
+        }
+        for (u, e) in self.arcs() {
+            g.add_edge(u, e.target, e.weight).unwrap();
+        }
+        g
+    }
+}
