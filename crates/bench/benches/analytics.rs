@@ -25,11 +25,7 @@ fn bench_analytics(c: &mut Criterion) {
     macro_rules! wl {
         ($name:literal, $f:expr) => {
             group.bench_function($name, |b| {
-                b.iter_batched(
-                    || clone_graph(&base),
-                    $f,
-                    criterion::BatchSize::LargeInput,
-                )
+                b.iter_batched(|| clone_graph(&base), $f, criterion::BatchSize::LargeInput)
             });
         };
     }

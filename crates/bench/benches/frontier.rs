@@ -1,0 +1,41 @@
+//! Frontier-engine benchmark: classic top-down BFS vs the
+//! direction-optimizing hybrid on social-network-shaped graphs.
+//!
+//! The LDBC generator at 2^16 vertices is the headline comparison (the
+//! direction switch pays off on low-diameter, hub-heavy graphs where the
+//! middle levels sweep most of the edge set bottom-up); the Twitter
+//! generator checks the same effect on a power-law degree distribution.
+//! Baseline numbers live in `results/BENCH_frontier.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphbig::framework::csr::{BiCsr, Csr};
+use graphbig::prelude::*;
+use graphbig::workloads::parallel;
+
+fn bench_frontier(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    for (name, dataset, n) in [
+        ("ldbc_64k", Dataset::Ldbc, 1usize << 16),
+        ("twitter_32k", Dataset::Twitter, 1usize << 15),
+    ] {
+        let g = dataset.generate_with_vertices(n);
+        let csr = Csr::from_graph(&g);
+        let bi = BiCsr::directed(csr.clone());
+        let pool = ThreadPool::new(threads);
+
+        let mut group = c.benchmark_group(format!("frontier_{name}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("top_down", threads), &(), |b, _| {
+            b.iter(|| black_box(parallel::bfs(&pool, &csr, 0)))
+        });
+        group.bench_with_input(BenchmarkId::new("dir_opt", threads), &(), |b, _| {
+            b.iter(|| black_box(parallel::bfs_dir_opt(&pool, &bi, 0)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_frontier);
+criterion_main!(benches);

@@ -27,9 +27,20 @@ fn main() {
 
     let mut table = Table::new(
         &format!("Ablation: GPU L2 on/off (LDBC scale {scale})"),
-        &["workload", "read GB/s (L2)", "read GB/s (no L2)", "time ms (L2)", "time ms (no L2)"],
+        &[
+            "workload",
+            "read GB/s (L2)",
+            "read GB/s (no L2)",
+            "time ms (L2)",
+            "time ms (no L2)",
+        ],
     );
-    for w in [Workload::Tc, Workload::CComp, Workload::Bfs, Workload::DCentr] {
+    for w in [
+        Workload::Tc,
+        Workload::CComp,
+        Workload::Bfs,
+        Workload::DCentr,
+    ] {
         let a = run_gpu_workload(w, &with_l2, &csr, &params);
         let b = run_gpu_workload(w, &no_l2, &csr, &params);
         table.row(vec![
@@ -41,5 +52,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("expected: TC slows most without L2 (hot-list reuse); streaming kernels change least.");
+    println!(
+        "expected: TC slows most without L2 (hot-list reuse); streaming kernels change least."
+    );
 }

@@ -23,7 +23,13 @@ fn main() {
     let ndp_cfg = NdpConfig::hmc_class();
     let mut table = Table::new(
         &format!("Ablation: NDP-unit replay of CPU profiles (LDBC scale {scale})"),
-        &["workload", "type", "CPU backend %", "NDP memory %", "NDP speedup"],
+        &[
+            "workload",
+            "type",
+            "CPU backend %",
+            "NDP memory %",
+            "NDP speedup",
+        ],
     );
     for w in Workload::ALL {
         let p = profile_workload(w, Dataset::Ldbc, scale, &params);

@@ -22,7 +22,12 @@ fn main() {
         ("gshare", PredictorKind::Gshare),
         ("bimodal", PredictorKind::Bimodal),
     ];
-    let workloads = [Workload::Bfs, Workload::CComp, Workload::Tc, Workload::KCore];
+    let workloads = [
+        Workload::Bfs,
+        Workload::CComp,
+        Workload::Tc,
+        Workload::KCore,
+    ];
     let mut table = Table::new(
         &format!("Ablation: branch miss rate by predictor (LDBC scale {scale})"),
         &["workload", "tournament", "gshare", "bimodal"],
@@ -40,5 +45,7 @@ fn main() {
         table.row(row);
     }
     println!("{}", table.render());
-    println!("expected: tournament <= min(gshare, bimodal) everywhere; TC stays high under all three.");
+    println!(
+        "expected: tournament <= min(gshare, bimodal) everywhere; TC stays high under all three."
+    );
 }

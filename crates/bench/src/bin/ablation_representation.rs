@@ -33,7 +33,15 @@ fn main() {
 
     let mut table = Table::new(
         &format!("Ablation: BFS on vertex-centric vs CSR (LDBC scale {scale})"),
-        &["representation", "instructions", "L1D MPKI", "L3 MPKI", "DTLB penalty %", "IPC", "cycles"],
+        &[
+            "representation",
+            "instructions",
+            "L1D MPKI",
+            "L3 MPKI",
+            "DTLB penalty %",
+            "IPC",
+            "cycles",
+        ],
     );
     for (name, c) in [("vertex-centric", &vc_counters), ("CSR", &csr_counters)] {
         table.row(vec![

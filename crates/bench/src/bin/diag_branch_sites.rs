@@ -16,7 +16,9 @@ impl Tracer for SiteTracer {
         let correct = self.bp.predict_and_train(site, taken);
         let e = self.per_site.entry(site).or_insert((0, 0));
         e.0 += 1;
-        if !correct { e.1 += 1; }
+        if !correct {
+            e.1 += 1;
+        }
     }
     fn region(&mut self, _r: Region) {}
 }
@@ -28,11 +30,26 @@ fn main() {
         _ => Workload::Bfs,
     };
     let mut g = graphbig::datagen::Dataset::Ldbc.generate_with_vertices(5_000);
-    let mut t = SiteTracer { bp: BranchPredictor::new(BranchConfig::default()), per_site: HashMap::new() };
-    run_traced(w, &mut g, &RunParams { gibbs_scale: 0.2, gibbs_sweeps: 5, ..Default::default() }, &mut t);
+    let mut t = SiteTracer {
+        bp: BranchPredictor::new(BranchConfig::default()),
+        per_site: HashMap::new(),
+    };
+    run_traced(
+        w,
+        &mut g,
+        &RunParams {
+            gibbs_scale: 0.2,
+            gibbs_sweeps: 5,
+            ..Default::default()
+        },
+        &mut t,
+    );
     let mut v: Vec<_> = t.per_site.into_iter().collect();
     v.sort_by_key(|&(_, (_, m))| std::cmp::Reverse(m));
     for (site, (n, m)) in v.iter().take(12) {
-        println!("site {site}: {n} branches, {m} misses ({:.1}%)", *m as f64 / *n as f64 * 100.0);
+        println!(
+            "site {site}: {n} branches, {m} misses ({:.1}%)",
+            *m as f64 / *n as f64 * 100.0
+        );
     }
 }

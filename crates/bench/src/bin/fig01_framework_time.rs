@@ -31,7 +31,14 @@ fn main() {
         ]);
     }
     let avg = sum / Workload::ALL.len() as f64;
-    table.row(vec!["average".into(), Table::pct(avg), Table::pct(1.0 - avg)]);
+    table.row(vec![
+        "average".into(),
+        Table::pct(avg),
+        Table::pct(1.0 - avg),
+    ]);
     println!("{}", table.render());
-    println!("paper: average in-framework time 76%; ours: {}", Table::pct(avg));
+    println!(
+        "paper: average in-framework time 76%; ours: {}",
+        Table::pct(avg)
+    );
 }

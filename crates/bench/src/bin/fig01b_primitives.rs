@@ -27,7 +27,14 @@ fn main() {
     ];
     let mut headers: Vec<&str> = vec!["workload"];
     headers.extend([
-        "find", "neighbors", "parents", "props", "addV", "addE", "delV", "user",
+        "find",
+        "neighbors",
+        "parents",
+        "props",
+        "addV",
+        "addE",
+        "delV",
+        "user",
     ]);
     let mut table = Table::new(
         &format!("Figure 1 companion: instruction share by primitive (LDBC scale {scale})"),

@@ -16,7 +16,9 @@ fn main() {
     let profiles = profile_suite(scale, &figure_params(scale));
     let mut table = Table::new(
         &format!("Figure 5: execution cycle breakdown (LDBC scale {scale})"),
-        &["workload", "type", "retiring", "bad spec", "frontend", "backend"],
+        &[
+            "workload", "type", "retiring", "bad spec", "frontend", "backend",
+        ],
     );
     for p in &profiles {
         let (ret, bad, fe, be) = p.counters.cycles.fractions();

@@ -15,7 +15,13 @@ fn main() {
     let profiles = profile_suite(scale, &figure_params(scale));
     let mut table = Table::new(
         &format!("Figure 6: DTLB penalty / ICache MPKI / branch miss (LDBC scale {scale})"),
-        &["workload", "type", "DTLB penalty %", "ICache MPKI", "branch miss %"],
+        &[
+            "workload",
+            "type",
+            "DTLB penalty %",
+            "ICache MPKI",
+            "branch miss %",
+        ],
     );
     let mut dtlb_sum = 0.0;
     for p in &profiles {

@@ -15,7 +15,14 @@ fn main() {
     let profiles = profile_suite(scale, &figure_params(scale));
     let mut table = Table::new(
         &format!("Figure 7: cache MPKI (LDBC scale {scale})"),
-        &["workload", "type", "L1D MPKI", "L2 MPKI", "L3 MPKI", "L1D hit %"],
+        &[
+            "workload",
+            "type",
+            "L1D MPKI",
+            "L2 MPKI",
+            "L3 MPKI",
+            "L1D hit %",
+        ],
     );
     let mut l3_sum = 0.0;
     for p in &profiles {

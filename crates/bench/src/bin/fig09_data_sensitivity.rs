@@ -17,15 +17,36 @@ fn main() {
     let params = figure_params(scale);
     let mut l1 = Table::new(
         &format!("Figure 9a: L1D hit rate by dataset (scale {scale})"),
-        &["workload", "twitter", "knowledge", "watson", "roadnet", "ldbc"],
+        &[
+            "workload",
+            "twitter",
+            "knowledge",
+            "watson",
+            "roadnet",
+            "ldbc",
+        ],
     );
     let mut tlb = Table::new(
         &format!("Figure 9b: DTLB penalty %% by dataset (scale {scale})"),
-        &["workload", "twitter", "knowledge", "watson", "roadnet", "ldbc"],
+        &[
+            "workload",
+            "twitter",
+            "knowledge",
+            "watson",
+            "roadnet",
+            "ldbc",
+        ],
     );
     let mut ipc = Table::new(
         &format!("Figure 9c: IPC by dataset (scale {scale})"),
-        &["workload", "twitter", "knowledge", "watson", "roadnet", "ldbc"],
+        &[
+            "workload",
+            "twitter",
+            "knowledge",
+            "watson",
+            "roadnet",
+            "ldbc",
+        ],
     );
     for w in dataset_portable_workloads() {
         let mut l1_row = vec![w.short_name().to_string()];
@@ -45,5 +66,7 @@ fn main() {
     println!("{}", l1.render());
     println!("{}", tlb.render());
     println!("{}", ipc.render());
-    println!("paper shape: high L1D hit rates except DCentr; twitter worst DTLB/IPC in most workloads.");
+    println!(
+        "paper shape: high L1D hit rates except DCentr; twitter worst DTLB/IPC in most workloads."
+    );
 }

@@ -32,6 +32,9 @@ fn main() {
         .iter()
         .map(|r| (r.metrics.mdr, r.metrics.bdr, r.workload.short_name()))
         .collect();
-    println!("{}", graphbig::profile::report::scatter_plot(&points, 48, 14));
+    println!(
+        "{}",
+        graphbig::profile::report::scatter_plot(&points, 48, 14)
+    );
     println!("paper shape: kCore low/low; DCentr high/high (MDR 0.87); GColor/BCentr high BDR; CComp/TC low BDR.");
 }

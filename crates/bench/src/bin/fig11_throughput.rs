@@ -16,7 +16,14 @@ fn main() {
     let results = profile_gpu_suite(Dataset::Ldbc, scale);
     let mut table = Table::new(
         &format!("Figure 11: GPU memory throughput and IPC (LDBC scale {scale})"),
-        &["workload", "read GB/s", "write GB/s", "IPC", "atomics", "time ms"],
+        &[
+            "workload",
+            "read GB/s",
+            "write GB/s",
+            "IPC",
+            "atomics",
+            "time ms",
+        ],
     );
     for r in &results {
         table.row(vec![
@@ -29,5 +36,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("paper anchors: CComp 89.9 GB/s read (max); DCentr 75.2; TC 2.0 GB/s but highest IPC.");
+    println!(
+        "paper anchors: CComp 89.9 GB/s read (max); DCentr 75.2; TC 2.0 GB/s but highest IPC."
+    );
 }

@@ -10,14 +10,24 @@
 //! Paper shape: GPU wins broadly (CComp up to 121x, ~20x typical); BFS and
 //! SPath lower; TC lowest.
 //!
-//! Usage: `fig12_speedup [--scale 0.01]`
+//! With `--measured` the CPU side is the *wall-clock* of the real parallel
+//! kernels (`workloads::parallel`, BFS direction-optimized) on a
+//! `--threads`-wide pool (default 16, the paper's core count) instead of
+//! the modeled cycles-over-efficiency estimate; BCentr has no parallel
+//! kernel yet and keeps the model.
+//!
+//! Usage: `fig12_speedup [--scale 0.01] [--measured] [--threads 16]`
+
+use std::time::Instant;
 
 use graphbig::datagen::Dataset;
+use graphbig::framework::csr::{BiCsr, Csr};
 use graphbig::profile::Table;
-use graphbig::workloads::Workload;
+use graphbig::runtime::{ThreadPool, PAPER_CORES};
+use graphbig::workloads::{parallel, Workload};
 use graphbig_bench::cpu_char::{figure_params, profile_workload};
 use graphbig_bench::gpu_char::profile_gpu_workload;
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, threads_arg};
 
 /// Parallel efficiency of the 16-core CPU baseline, per workload class.
 ///
@@ -41,23 +51,99 @@ fn cpu_parallel_efficiency(w: Workload) -> f64 {
     }
 }
 
+/// Wall-clock the real parallel kernel for `w` on `d` at `scale`; `None`
+/// when no parallel CPU implementation exists (falls back to the model).
+/// Best of two runs — the first warms the allocator and page cache.
+fn measured_cpu_seconds(w: Workload, d: Dataset, scale: f64, pool: &ThreadPool) -> Option<f64> {
+    let g = d.generate(scale);
+    let csr = Csr::from_graph(&g);
+    if csr.num_vertices() == 0 {
+        return None;
+    }
+    let run: Box<dyn Fn()> = match w {
+        Workload::Bfs => {
+            let bi = BiCsr::directed(csr);
+            Box::new(move || {
+                parallel::bfs_dir_opt(pool, &bi, 0);
+            })
+        }
+        Workload::SPath => Box::new(move || {
+            parallel::spath(pool, &csr, 0);
+        }),
+        Workload::CComp => {
+            let sym = csr.symmetrize();
+            Box::new(move || {
+                parallel::ccomp(pool, &sym);
+            })
+        }
+        Workload::KCore => {
+            let sym = csr.symmetrize();
+            Box::new(move || {
+                parallel::kcore(pool, &sym);
+            })
+        }
+        Workload::GColor => Box::new(move || {
+            parallel::gcolor(pool, &csr);
+        }),
+        Workload::Tc => {
+            let mut sym = csr.symmetrize();
+            sym.sort_adjacency();
+            Box::new(move || {
+                parallel::tc(pool, &sym);
+            })
+        }
+        Workload::DCentr => Box::new(move || {
+            parallel::dcentr(pool, &csr);
+        }),
+        _ => return None,
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Some(best)
+}
+
 fn main() {
     let scale = scale_arg(0.01);
+    let measured = std::env::args().any(|a| a == "--measured");
+    let threads = threads_arg(PAPER_CORES);
+    let pool = ThreadPool::new(threads);
     let params = figure_params(scale);
     let cpu_cfg = graphbig::machine::CpuConfig::xeon_e5();
     let datasets = Dataset::ALL;
+    let title = if measured {
+        format!("Figure 12: GPU speedup over measured {threads}-thread CPU (scale {scale})")
+    } else {
+        format!("Figure 12: GPU speedup over 16-core CPU (scale {scale})")
+    };
     let mut table = Table::new(
-        &format!("Figure 12: GPU speedup over 16-core CPU (scale {scale})"),
-        &["workload", "twitter", "knowledge", "watson", "roadnet", "ldbc"],
+        &title,
+        &[
+            "workload",
+            "twitter",
+            "knowledge",
+            "watson",
+            "roadnet",
+            "ldbc",
+        ],
     );
     for w in Workload::gpu_workloads() {
         let mut row = vec![w.short_name().to_string()];
         for d in datasets {
             eprintln!("  {w} on {d} ...");
-            let cpu = profile_workload(w, d, scale, &params);
-            let cpu_seconds = cpu.counters.total_cycles()
-                / (cpu_cfg.frequency_ghz * 1e9)
-                / (cpu_cfg.cores as f64 * cpu_parallel_efficiency(w));
+            let cpu_seconds = match measured {
+                true => measured_cpu_seconds(w, d, scale, &pool),
+                false => None,
+            }
+            .unwrap_or_else(|| {
+                let cpu = profile_workload(w, d, scale, &params);
+                cpu.counters.total_cycles()
+                    / (cpu_cfg.frequency_ghz * 1e9)
+                    / (cpu_cfg.cores as f64 * cpu_parallel_efficiency(w))
+            });
             let gpu = profile_gpu_workload(w, d, scale);
             let gpu_seconds = gpu.metrics.time_ms / 1e3;
             let speedup = if gpu_seconds > 0.0 {

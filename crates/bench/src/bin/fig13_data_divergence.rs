@@ -19,11 +19,25 @@ fn main() {
     let scale = scale_arg(0.01);
     let mut bdr = Table::new(
         &format!("Figure 13a: BDR by dataset (scale {scale})"),
-        &["workload", "twitter", "knowledge", "watson", "roadnet", "ldbc"],
+        &[
+            "workload",
+            "twitter",
+            "knowledge",
+            "watson",
+            "roadnet",
+            "ldbc",
+        ],
     );
     let mut mdr = Table::new(
         &format!("Figure 13b: MDR by dataset (scale {scale})"),
-        &["workload", "twitter", "knowledge", "watson", "roadnet", "ldbc"],
+        &[
+            "workload",
+            "twitter",
+            "knowledge",
+            "watson",
+            "roadnet",
+            "ldbc",
+        ],
     );
     for w in Workload::gpu_workloads() {
         let mut b_row = vec![w.short_name().to_string()];
@@ -39,5 +53,7 @@ fn main() {
     }
     println!("{}", bdr.render());
     println!("{}", mdr.render());
-    println!("paper shape: CComp/TC/kCore stable BDR; roadnet lowest divergence; LDBC highest MDR.");
+    println!(
+        "paper shape: CComp/TC/kCore stable BDR; roadnet lowest divergence; LDBC highest MDR."
+    );
 }

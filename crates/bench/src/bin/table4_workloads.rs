@@ -6,7 +6,13 @@ use graphbig::workloads::Workload;
 fn main() {
     let mut table = Table::new(
         "Table 4: GraphBIG workload summary",
-        &["workload", "category", "computation type", "algorithm", "GPU"],
+        &[
+            "workload",
+            "category",
+            "computation type",
+            "algorithm",
+            "GPU",
+        ],
     );
     for w in Workload::ALL {
         let m = w.meta();

@@ -30,14 +30,25 @@ fn main() {
     );
     for d in Dataset::ALL {
         let s = d.experiment_spec();
-        t7.row(vec![s.name.to_string(), s.vertices.to_string(), s.edges.to_string()]);
+        t7.row(vec![
+            s.name.to_string(),
+            s.vertices.to_string(),
+            s.edges.to_string(),
+        ]);
     }
     println!("{}", t7.render());
 
     let scale = scale_arg(0.01);
     let mut gen = Table::new(
         &format!("Generated datasets at scale {scale}"),
-        &["data set", "vertices", "arcs", "avg deg", "max deg", "degree cv"],
+        &[
+            "data set",
+            "vertices",
+            "arcs",
+            "avg deg",
+            "max deg",
+            "degree cv",
+        ],
     );
     for d in Dataset::ALL {
         let g = d.generate(scale);

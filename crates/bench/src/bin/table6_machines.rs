@@ -9,14 +9,43 @@ fn main() {
     let mut t = Table::new("Table 6: modeled CPU", &["parameter", "value"]);
     t.row(vec!["model".into(), cpu.name.clone()]);
     t.row(vec!["cores".into(), cpu.cores.to_string()]);
-    t.row(vec!["frequency".into(), format!("{} GHz", cpu.frequency_ghz)]);
+    t.row(vec![
+        "frequency".into(),
+        format!("{} GHz", cpu.frequency_ghz),
+    ]);
     t.row(vec!["issue width".into(), cpu.issue_width.to_string()]);
-    t.row(vec!["L1D".into(), format!("{} KB / {}-way", cpu.l1d.size_bytes / 1024, cpu.l1d.ways)]);
-    t.row(vec!["L2".into(), format!("{} KB / {}-way", cpu.l2.size_bytes / 1024, cpu.l2.ways)]);
-    t.row(vec!["L3".into(), format!("{} MB / {}-way", cpu.l3.size_bytes / 1024 / 1024, cpu.l3.ways)]);
-    t.row(vec!["ICache".into(), format!("{} KB / {}-way", cpu.icache.size_bytes / 1024, cpu.icache.ways)]);
-    t.row(vec!["DTLB".into(), format!("{} + {} entries", cpu.tlb.l1_entries, cpu.tlb.l2_entries)]);
-    t.row(vec!["memory latency".into(), format!("{} cycles", cpu.mem_latency)]);
+    t.row(vec![
+        "L1D".into(),
+        format!("{} KB / {}-way", cpu.l1d.size_bytes / 1024, cpu.l1d.ways),
+    ]);
+    t.row(vec![
+        "L2".into(),
+        format!("{} KB / {}-way", cpu.l2.size_bytes / 1024, cpu.l2.ways),
+    ]);
+    t.row(vec![
+        "L3".into(),
+        format!(
+            "{} MB / {}-way",
+            cpu.l3.size_bytes / 1024 / 1024,
+            cpu.l3.ways
+        ),
+    ]);
+    t.row(vec![
+        "ICache".into(),
+        format!(
+            "{} KB / {}-way",
+            cpu.icache.size_bytes / 1024,
+            cpu.icache.ways
+        ),
+    ]);
+    t.row(vec![
+        "DTLB".into(),
+        format!("{} + {} entries", cpu.tlb.l1_entries, cpu.tlb.l2_entries),
+    ]);
+    t.row(vec![
+        "memory latency".into(),
+        format!("{} cycles", cpu.mem_latency),
+    ]);
     println!("{}", t.render());
 
     let gpu = GpuConfig::tesla_k40();
@@ -25,8 +54,17 @@ fn main() {
     g.row(vec!["SMs".into(), gpu.sms.to_string()]);
     g.row(vec!["warp size".into(), gpu.warp_size.to_string()]);
     g.row(vec!["clock".into(), format!("{} GHz", gpu.clock_ghz)]);
-    g.row(vec!["peak bandwidth".into(), format!("{} GB/s", gpu.peak_bandwidth_gbps)]);
-    g.row(vec!["transaction".into(), format!("{} B", gpu.transaction_bytes)]);
-    g.row(vec!["L2".into(), format!("{} KB / {}-way", gpu.l2_bytes / 1024, gpu.l2_ways)]);
+    g.row(vec![
+        "peak bandwidth".into(),
+        format!("{} GB/s", gpu.peak_bandwidth_gbps),
+    ]);
+    g.row(vec![
+        "transaction".into(),
+        format!("{} B", gpu.transaction_bytes),
+    ]);
+    g.row(vec![
+        "L2".into(),
+        format!("{} KB / {}-way", gpu.l2_bytes / 1024, gpu.l2_ways),
+    ]);
     println!("{}", g.render());
 }

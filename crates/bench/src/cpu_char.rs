@@ -99,12 +99,7 @@ mod tests {
 
     #[test]
     fn profile_produces_nonzero_counters() {
-        let p = profile_workload(
-            Workload::Bfs,
-            Dataset::Ldbc,
-            0.0005,
-            &RunParams::default(),
-        );
+        let p = profile_workload(Workload::Bfs, Dataset::Ldbc, 0.0005, &RunParams::default());
         assert!(p.counters.instructions > 1000);
         assert!(p.counters.total_cycles() > 0.0);
         assert!(p.counting.framework_fraction() > 0.0);

@@ -105,9 +105,8 @@ pub fn generate(cfg: &BayesConfig) -> BayesNet {
     // 2. Arities: start at 2, then grow random vertices until the total CPT
     //    parameter count reaches the target.
     let mut arities = vec![2usize; n];
-    let parents_of: Vec<Vec<VertexId>> = (0..n as u64)
-        .map(|v| graph.parents(v).collect())
-        .collect();
+    let parents_of: Vec<Vec<VertexId>> =
+        (0..n as u64).map(|v| graph.parents(v).collect()).collect();
     let cpt_size = |arities: &[usize], v: usize| -> usize {
         let mut size = arities[v];
         for &p in &parents_of[v] {
@@ -115,7 +114,11 @@ pub fn generate(cfg: &BayesConfig) -> BayesNet {
         }
         size
     };
-    let mut total: usize = (0..n).map(|v| cpt_size(&arities, v)).collect::<Vec<_>>().iter().sum();
+    let mut total: usize = (0..n)
+        .map(|v| cpt_size(&arities, v))
+        .collect::<Vec<_>>()
+        .iter()
+        .sum();
     let mut stall = 0;
     while total < cfg.target_parameters && stall < 100_000 {
         let v = rng.gen_range(0..n);
@@ -126,7 +129,10 @@ pub fn generate(cfg: &BayesConfig) -> BayesNet {
         // Growing v's arity changes v's own CPT and every child's CPT.
         let mut delta = 0isize;
         delta -= cpt_size(&arities, v) as isize;
-        let children: Vec<usize> = graph.neighbors(v as u64).map(|e| e.target as usize).collect();
+        let children: Vec<usize> = graph
+            .neighbors(v as u64)
+            .map(|e| e.target as usize)
+            .collect();
         for &c in &children {
             delta -= cpt_size(&arities, c) as isize;
         }

@@ -77,16 +77,11 @@ pub fn generate_edges(cfg: &DagConfig) -> Vec<(u64, u64, f32)> {
 /// Check that a graph is a DAG via Kahn's algorithm (test/diagnostic aid).
 pub fn is_acyclic(g: &PropertyGraph) -> bool {
     let ids: Vec<u64> = g.vertex_ids().to_vec();
-    let mut indeg: std::collections::HashMap<u64, usize> =
-        ids.iter().map(|&id| (id, 0)).collect();
+    let mut indeg: std::collections::HashMap<u64, usize> = ids.iter().map(|&id| (id, 0)).collect();
     for (_, e) in g.arcs() {
         *indeg.get_mut(&e.target).expect("target exists") += 1;
     }
-    let mut queue: Vec<u64> = ids
-        .iter()
-        .copied()
-        .filter(|id| indeg[id] == 0)
-        .collect();
+    let mut queue: Vec<u64> = ids.iter().copied().filter(|id| indeg[id] == 0).collect();
     let mut seen = 0usize;
     while let Some(u) = queue.pop() {
         seen += 1;

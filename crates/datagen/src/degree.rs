@@ -158,8 +158,12 @@ mod tests {
     fn generators_are_deterministic() {
         let mut a = SmallRng::seed_from_u64(7);
         let mut b = SmallRng::seed_from_u64(7);
-        let sa: Vec<usize> = (0..100).map(|_| power_law_degree(&mut a, 2.1, 1, 50)).collect();
-        let sb: Vec<usize> = (0..100).map(|_| power_law_degree(&mut b, 2.1, 1, 50)).collect();
+        let sa: Vec<usize> = (0..100)
+            .map(|_| power_law_degree(&mut a, 2.1, 1, 50))
+            .collect();
+        let sb: Vec<usize> = (0..100)
+            .map(|_| power_law_degree(&mut b, 2.1, 1, 50))
+            .collect();
         assert_eq!(sa, sb);
     }
 }

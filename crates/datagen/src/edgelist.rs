@@ -58,7 +58,12 @@ pub fn read_edges<R: Read>(reader: R) -> Result<Vec<(u64, u64, f32)>> {
 
 /// Write a graph as an edge list (weights included when ≠ 1.0).
 pub fn write_graph<W: Write>(g: &PropertyGraph, mut writer: W) -> std::io::Result<()> {
-    writeln!(writer, "# GraphBIG-RS edge list: {} vertices, {} arcs", g.num_vertices(), g.num_arcs())?;
+    writeln!(
+        writer,
+        "# GraphBIG-RS edge list: {} vertices, {} arcs",
+        g.num_vertices(),
+        g.num_arcs()
+    )?;
     for (u, e) in g.arcs() {
         if (e.weight - 1.0).abs() < f32::EPSILON {
             writeln!(writer, "{u} {}", e.target)?;

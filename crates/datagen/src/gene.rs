@@ -58,7 +58,9 @@ pub fn generate(cfg: &GeneConfig) -> PropertyGraph {
     let ids: Vec<u64> = g.vertex_ids().to_vec();
     for id in ids {
         let class = CLASSES[(id % 3) as usize];
-        let payload: Vec<f64> = (0..cfg.payload_len).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let payload: Vec<f64> = (0..cfg.payload_len)
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
         g.set_vertex_prop(id, keys::LABEL, Property::Text(class.into()))
             .expect("vertex exists");
         g.set_vertex_prop(id, keys::PAYLOAD, Property::Vector(payload))
@@ -117,10 +119,7 @@ mod tests {
         let c = cfg();
         let g = generate(&c);
         let m = c.module_size as u64;
-        let local = g
-            .arcs()
-            .filter(|(u, e)| u / m == e.target / m)
-            .count();
+        let local = g.arcs().filter(|(u, e)| u / m == e.target / m).count();
         let frac = local as f64 / g.num_arcs() as f64;
         assert!(frac > 0.7, "intra-module fraction {frac}");
     }
@@ -130,9 +129,17 @@ mod tests {
         let c = cfg();
         let g = generate(&c);
         for id in [0u64, 1, 2, 100] {
-            let label = g.get_vertex_prop(id, keys::LABEL).unwrap().as_text().unwrap();
+            let label = g
+                .get_vertex_prop(id, keys::LABEL)
+                .unwrap()
+                .as_text()
+                .unwrap();
             assert!(CLASSES.contains(&label));
-            let payload = g.get_vertex_prop(id, keys::PAYLOAD).unwrap().as_vector().unwrap();
+            let payload = g
+                .get_vertex_prop(id, keys::PAYLOAD)
+                .unwrap()
+                .as_vector()
+                .unwrap();
             assert_eq!(payload.len(), c.payload_len);
             assert!(payload.iter().all(|x| (0.0..1.0).contains(x)));
         }
@@ -142,7 +149,11 @@ mod tests {
     fn edges_are_symmetric() {
         let g = generate(&cfg());
         for (u, e) in g.arcs().take(500) {
-            assert!(g.has_edge(e.target, u), "missing reverse of {u}->{}", e.target);
+            assert!(
+                g.has_edge(e.target, u),
+                "missing reverse of {u}->{}",
+                e.target
+            );
         }
     }
 

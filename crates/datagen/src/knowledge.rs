@@ -51,7 +51,8 @@ impl KnowledgeConfig {
 
     /// Number of document vertices (ids `num_users..vertices`).
     pub fn num_docs(&self) -> usize {
-        ((self.vertices as f64 * self.doc_fraction) as usize).clamp(1, self.vertices.saturating_sub(1).max(1))
+        ((self.vertices as f64 * self.doc_fraction) as usize)
+            .clamp(1, self.vertices.saturating_sub(1).max(1))
     }
 }
 
@@ -138,7 +139,10 @@ mod tests {
         let users = c.num_users() as u64;
         // document rank 0 (vertex `users`) should dominate
         let top = g.find_vertex(users).unwrap().in_degree();
-        let mid = g.find_vertex(users + (c.num_docs() / 2) as u64).unwrap().in_degree();
+        let mid = g
+            .find_vertex(users + (c.num_docs() / 2) as u64)
+            .unwrap()
+            .in_degree();
         assert!(top > mid * 3, "top {top}, mid {mid}");
     }
 

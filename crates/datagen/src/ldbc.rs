@@ -119,7 +119,10 @@ mod tests {
         let g = generate(&cfg);
         assert_eq!(g.num_vertices(), 4000);
         let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
-        assert!((avg - cfg.avg_degree).abs() < cfg.avg_degree * 0.25, "avg {avg}");
+        assert!(
+            (avg - cfg.avg_degree).abs() < cfg.avg_degree * 0.25,
+            "avg {avg}"
+        );
     }
 
     #[test]

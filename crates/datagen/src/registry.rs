@@ -120,7 +120,10 @@ impl Dataset {
 
     /// Whether the underlying graph is undirected (stored as arc pairs).
     pub fn is_undirected(self) -> bool {
-        matches!(self, Dataset::WatsonGene | Dataset::CaRoad | Dataset::KnowledgeRepo)
+        matches!(
+            self,
+            Dataset::WatsonGene | Dataset::CaRoad | Dataset::KnowledgeRepo
+        )
     }
 
     /// Generate the dataset scaled so that its vertex count is
@@ -171,10 +174,7 @@ mod tests {
         assert_eq!(t.vertices, 11_000_000);
         assert_eq!(t.edges, 85_000_000);
         // the others match Table 5
-        assert_eq!(
-            Dataset::CaRoad.experiment_spec(),
-            Dataset::CaRoad.spec()
-        );
+        assert_eq!(Dataset::CaRoad.experiment_spec(), Dataset::CaRoad.spec());
     }
 
     #[test]
@@ -205,6 +205,10 @@ mod tests {
     #[test]
     fn scale_parameter_controls_size() {
         let g = Dataset::Ldbc.generate(0.001); // 0.1% of 1M
-        assert!((900..1100).contains(&g.num_vertices()), "{}", g.num_vertices());
+        assert!(
+            (900..1100).contains(&g.num_vertices()),
+            "{}",
+            g.num_vertices()
+        );
     }
 }

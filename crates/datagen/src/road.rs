@@ -106,7 +106,11 @@ mod tests {
         let g = generate(&cfg());
         let s = GraphStats::compute(&g);
         // CA road network: mean degree ~2.9 (counting arcs per vertex)
-        assert!((s.avg_degree - 2.9).abs() < 0.5, "avg degree {}", s.avg_degree);
+        assert!(
+            (s.avg_degree - 2.9).abs() < 0.5,
+            "avg degree {}",
+            s.avg_degree
+        );
         assert!(s.max_degree <= 8, "max degree {}", s.max_degree);
         assert!(s.degree_cv() < 0.5, "cv {}", s.degree_cv());
     }
@@ -119,7 +123,11 @@ mod tests {
         for (u, e) in g.arcs() {
             let (ux, uy) = ((u as i64) % side, (u as i64) / side);
             let (vx, vy) = ((e.target as i64) % side, (e.target as i64) / side);
-            assert!((ux - vx).abs() <= 1 && (uy - vy).abs() <= 1, "{u}->{}", e.target);
+            assert!(
+                (ux - vx).abs() <= 1 && (uy - vy).abs() <= 1,
+                "{u}->{}",
+                e.target
+            );
         }
     }
 

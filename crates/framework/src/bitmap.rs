@@ -1,0 +1,230 @@
+//! Lock-free atomic bitmap — the dense frontier representation used by the
+//! direction-optimizing parallel kernels.
+//!
+//! The GAP Benchmark Suite's direction-optimizing BFS keeps the frontier as
+//! a shared bitmap during bottom-up steps so that membership tests are one
+//! load and insertions are one `fetch_or`. The bitmap here is word-addressed
+//! (64 bits per word) and exposes cache-line geometry ([`AtomicBitmap::CACHE_LINE_BITS`])
+//! so parallel loops can align their chunk boundaries to whole cache lines
+//! and avoid false sharing between workers scanning adjacent regions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bits per storage word.
+pub const WORD_BITS: usize = 64;
+
+/// A fixed-size bitmap with atomic set/test, sized at construction.
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    bits: usize,
+}
+
+impl AtomicBitmap {
+    /// Bits covered by one 64-byte cache line of bitmap words.
+    pub const CACHE_LINE_BITS: usize = 512;
+
+    /// An all-zero bitmap covering `bits` positions.
+    pub fn new(bits: usize) -> Self {
+        let nwords = bits.div_ceil(WORD_BITS);
+        AtomicBitmap {
+            words: (0..nwords).map(|_| AtomicU64::new(0)).collect(),
+            bits,
+        }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// True when the bitmap covers zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Atomically set bit `i`; returns `true` if this call flipped it
+    /// (i.e. the bit was previously clear). The `fetch_or` makes concurrent
+    /// duplicate insertions resolve to exactly one winner.
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        let mask = 1u64 << (i % WORD_BITS);
+        let prev = self.words[i / WORD_BITS].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Read bit `i` (relaxed; callers synchronize via their parallel region).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        let mask = 1u64 << (i % WORD_BITS);
+        self.words[i / WORD_BITS].load(Ordering::Relaxed) & mask != 0
+    }
+
+    /// Clear every bit. Cheap enough to call once per BFS level; for very
+    /// large bitmaps prefer [`AtomicBitmap::clear_range`] under a parallel loop.
+    pub fn clear(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Clear the words fully covering the bit range `lo..hi` (both rounded
+    /// out to word boundaries). Intended for parallel clears where each
+    /// worker owns a cache-line-aligned slice.
+    pub fn clear_range(&self, lo: usize, hi: usize) {
+        let lo_w = lo / WORD_BITS;
+        let hi_w = hi.div_ceil(WORD_BITS).min(self.words.len());
+        for w in &self.words[lo_w..hi_w] {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Population count over the whole bitmap.
+    pub fn count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Population count over words covering `lo..hi` (word-rounded, so the
+    /// caller must pass word-aligned boundaries for exact partial counts).
+    pub fn count_range(&self, lo: usize, hi: usize) -> usize {
+        let lo_w = lo / WORD_BITS;
+        let hi_w = hi.div_ceil(WORD_BITS).min(self.words.len());
+        self.words[lo_w..hi_w]
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Visit every set bit in ascending order (word-at-a-time popcount walk).
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut bits = w.load(Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                f(wi * WORD_BITS + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Visit set bits within the word-aligned range `lo..hi`, ascending.
+    pub fn for_each_set_in(&self, lo: usize, hi: usize, mut f: impl FnMut(usize)) {
+        debug_assert!(lo.is_multiple_of(WORD_BITS), "range must be word-aligned");
+        let lo_w = lo / WORD_BITS;
+        let hi_w = hi.div_ceil(WORD_BITS).min(self.words.len());
+        for wi in lo_w..hi_w {
+            let mut bits = self.words[wi].load(Ordering::Relaxed);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                let i = wi * WORD_BITS + b;
+                if i >= hi {
+                    break;
+                }
+                f(i);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Collect all set bits ascending into a vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count());
+        self.for_each_set(|i| out.push(i as u32));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_reports_first_insertion_only() {
+        let b = AtomicBitmap::new(130);
+        assert!(b.set(0));
+        assert!(!b.set(0));
+        assert!(b.set(64));
+        assert!(b.set(129));
+        assert!(!b.set(129));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn get_tracks_set() {
+        let b = AtomicBitmap::new(100);
+        assert!(!b.get(77));
+        b.set(77);
+        assert!(b.get(77));
+        assert!(!b.get(78));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let b = AtomicBitmap::new(200);
+        for i in (0..200).step_by(3) {
+            b.set(i);
+        }
+        b.clear();
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn for_each_set_ascending() {
+        let b = AtomicBitmap::new(300);
+        let want = [1usize, 63, 64, 65, 128, 255, 299];
+        for &i in &want {
+            b.set(i);
+        }
+        let mut got = Vec::new();
+        b.for_each_set(|i| got.push(i));
+        assert_eq!(got, want);
+        assert_eq!(
+            b.to_vec(),
+            want.iter().map(|&i| i as u32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranged_ops_cover_word_slices() {
+        let b = AtomicBitmap::new(512);
+        b.set(10);
+        b.set(100);
+        b.set(300);
+        assert_eq!(b.count_range(64, 256), 1);
+        let mut got = Vec::new();
+        b.for_each_set_in(64, 512, |i| got.push(i));
+        assert_eq!(got, vec![100, 300]);
+        b.clear_range(64, 320);
+        assert_eq!(b.to_vec(), vec![10]);
+    }
+
+    #[test]
+    fn empty_bitmap_is_fine() {
+        let b = AtomicBitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        b.clear();
+    }
+
+    #[test]
+    fn concurrent_set_dedups() {
+        use std::sync::Arc;
+        let b = Arc::new(AtomicBitmap::new(10_000));
+        let wins: Vec<std::thread::JoinHandle<usize>> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || (0..10_000).filter(|&i| b.set(i)).count())
+            })
+            .collect();
+        let total: usize = wins.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 10_000, "each bit must have exactly one winner");
+        assert_eq!(b.count(), 10_000);
+    }
+}

@@ -43,7 +43,12 @@ impl Coo {
     }
 
     /// Build from raw parallel arrays.
-    pub fn from_arrays(num_vertices: usize, src: Vec<u32>, dst: Vec<u32>, weights: Vec<f32>) -> Self {
+    pub fn from_arrays(
+        num_vertices: usize,
+        src: Vec<u32>,
+        dst: Vec<u32>,
+        weights: Vec<f32>,
+    ) -> Self {
         assert_eq!(src.len(), dst.len());
         assert_eq!(src.len(), weights.len());
         Coo {

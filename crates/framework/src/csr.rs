@@ -13,9 +13,56 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::{GraphError, Result};
 use crate::graph::PropertyGraph;
 use crate::trace::{addr_of, NullTracer, Region, Tracer};
 use crate::types::VertexId;
+
+/// Reverse id→dense lookup used during the populating step.
+///
+/// When external ids are reasonably dense (`max_id` within a small constant
+/// factor of `n`) a direct-indexed table makes each edge translation O(1),
+/// turning [`Csr::from_graph`] into an O(n + m) pass. Sparse id spaces fall
+/// back to binary search over the sorted map (O(m log n), the old behavior).
+enum DenseLookup<'a> {
+    Table(Vec<u32>),
+    Sorted(&'a [(VertexId, u32)]),
+}
+
+/// Sentinel for "id not present" in the table variant.
+const ABSENT: u32 = u32::MAX;
+
+impl<'a> DenseLookup<'a> {
+    fn build(ids: &[VertexId], id_map: &'a [(VertexId, u32)]) -> Self {
+        let n = ids.len();
+        let max_id = ids.iter().copied().max().unwrap_or(0);
+        // Direct table only when the id space is bounded: 8x the vertex count
+        // plus slack keeps worst-case memory at ~32 bytes/vertex.
+        if (max_id as usize) < 8 * n + 1024 {
+            let mut table = vec![ABSENT; max_id as usize + 1];
+            for (dense, &id) in ids.iter().enumerate() {
+                table[id as usize] = dense as u32;
+            }
+            DenseLookup::Table(table)
+        } else {
+            DenseLookup::Sorted(id_map)
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: VertexId) -> Option<u32> {
+        match self {
+            DenseLookup::Table(t) => match t.get(id as usize) {
+                Some(&d) if d != ABSENT => Some(d),
+                _ => None,
+            },
+            DenseLookup::Sorted(m) => m
+                .binary_search_by_key(&id, |&(k, _)| k)
+                .ok()
+                .map(|p| m[p].1),
+        }
+    }
+}
 
 /// A static CSR view of a graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,17 +78,44 @@ pub struct Csr {
     ids: Vec<VertexId>,
     /// Sorted `(external id, dense index)` pairs for reverse lookup.
     id_map: Vec<(VertexId, u32)>,
+    /// Edges whose target was not a live vertex, dropped during a lenient
+    /// populating pass. Absent in snapshots written before this field existed.
+    #[serde(default)]
+    dangling_skipped: u64,
 }
 
 impl Csr {
     /// Build a CSR snapshot of a dynamic graph (the populating step). Dense
     /// indices follow the graph's deterministic vertex order.
+    ///
+    /// Edges whose target is not a live vertex (possible only when edge
+    /// lists are mutated outside the [`PropertyGraph`] API) are skipped and
+    /// counted in [`Csr::dangling_skipped`]; use [`Csr::try_from_graph`] to
+    /// treat them as errors instead.
     pub fn from_graph(g: &PropertyGraph) -> Self {
         Self::from_graph_t(g, &mut NullTracer)
     }
 
     /// Traced variant of [`Csr::from_graph`].
     pub fn from_graph_t<T: Tracer>(g: &PropertyGraph, t: &mut T) -> Self {
+        Self::build_from_graph(g, t, false).expect("lenient build is infallible")
+    }
+
+    /// Like [`Csr::from_graph`] but returns [`GraphError::VertexNotFound`]
+    /// for the first edge whose target is not a live vertex.
+    pub fn try_from_graph(g: &PropertyGraph) -> Result<Self> {
+        Self::try_from_graph_t(g, &mut NullTracer)
+    }
+
+    /// Traced variant of [`Csr::try_from_graph`].
+    pub fn try_from_graph_t<T: Tracer>(g: &PropertyGraph, t: &mut T) -> Result<Self> {
+        Self::build_from_graph(g, t, true)
+    }
+
+    /// Shared populating pass. One O(n) table build plus one O(1) lookup per
+    /// edge when the id space is dense (see [`DenseLookup`]), so the whole
+    /// conversion is O(n + m) instead of the previous O(m log n).
+    fn build_from_graph<T: Tracer>(g: &PropertyGraph, t: &mut T, strict: bool) -> Result<Self> {
         t.enter_framework();
         t.region(Region::CsrScan);
         let n = g.num_vertices();
@@ -52,38 +126,50 @@ impl Csr {
             .map(|(i, &id)| (id, i as u32))
             .collect();
         id_map.sort_unstable();
-
-        let dense_of = |id: VertexId| -> u32 {
-            let pos = id_map
-                .binary_search_by_key(&id, |&(k, _)| k)
-                .expect("edge target must be a live vertex");
-            id_map[pos].1
-        };
+        let lookup = DenseLookup::build(&ids, &id_map);
 
         let mut row_offsets = Vec::with_capacity(n + 1);
         let mut col = Vec::new();
         let mut weights = Vec::new();
+        let mut dangling_skipped = 0u64;
         row_offsets.push(0u64);
         for &id in &ids {
             let v = g.find_vertex(id).expect("id from order vector is live");
             t.load(addr_of(v), 32);
             for e in &v.out {
                 t.load(addr_of(e), 16);
-                col.push(dense_of(e.target));
-                weights.push(e.weight);
-                t.store(addr_of(col.last().unwrap()), 8);
-                t.alu(3); // binary-search step amortized
+                match lookup.get(e.target) {
+                    Some(dense) => {
+                        col.push(dense);
+                        weights.push(e.weight);
+                        t.store(addr_of(col.last().unwrap()), 8);
+                        t.alu(1); // table lookup
+                    }
+                    None if strict => {
+                        t.exit_framework();
+                        return Err(GraphError::VertexNotFound(e.target));
+                    }
+                    None => dangling_skipped += 1,
+                }
             }
             row_offsets.push(col.len() as u64);
         }
         t.exit_framework();
-        Csr {
+        Ok(Csr {
             row_offsets,
             col,
             weights,
             ids,
             id_map,
-        }
+            dangling_skipped,
+        })
+    }
+
+    /// Edges dropped by the lenient populating pass because their target was
+    /// not a live vertex. Zero for graphs mutated only through the API.
+    #[inline]
+    pub fn dangling_skipped(&self) -> u64 {
+        self.dangling_skipped
     }
 
     /// Build directly from dense edges `(u, v, w)` over `n` vertices with
@@ -115,6 +201,7 @@ impl Csr {
             weights,
             ids,
             id_map,
+            dangling_skipped: 0,
         }
     }
 
@@ -242,7 +329,12 @@ impl Csr {
     }
 
     /// Traced sequential scan over a row (CPU-side CSR baseline accesses).
-    pub fn visit_neighbors_t<T: Tracer>(&self, u: u32, t: &mut T, mut f: impl FnMut(u32, f32, &mut T)) {
+    pub fn visit_neighbors_t<T: Tracer>(
+        &self,
+        u: u32,
+        t: &mut T,
+        mut f: impl FnMut(u32, f32, &mut T),
+    ) {
         t.enter_framework();
         t.region(Region::CsrScan);
         t.load(addr_of(&self.row_offsets[u as usize]), 16);
@@ -261,6 +353,63 @@ impl Csr {
     /// weights), the quantity that must fit in GPU memory.
     pub fn byte_size(&self) -> usize {
         self.row_offsets.len() * 8 + self.col.len() * 4 + self.weights.len() * 4
+    }
+}
+
+/// A CSR paired with its in-edge (transposed) view.
+///
+/// Direction-optimizing traversals need both directions: top-down steps
+/// expand out-edges of the frontier while bottom-up steps scan the
+/// *in*-edges of unvisited vertices looking for a visited parent. For
+/// symmetric graphs the two views coincide, so [`BiCsr::symmetric`] stores
+/// the adjacency once and serves it for both directions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiCsr {
+    out: Csr,
+    /// `None` means the graph is symmetric and `out` doubles as the in-view.
+    inc: Option<Csr>,
+}
+
+impl BiCsr {
+    /// Pair a directed CSR with its transpose (built here, O(n + m)).
+    pub fn directed(out: Csr) -> Self {
+        let inc = out.transpose();
+        BiCsr {
+            out,
+            inc: Some(inc),
+        }
+    }
+
+    /// Wrap an already-symmetric CSR; no transpose is materialized.
+    pub fn symmetric(csr: Csr) -> Self {
+        BiCsr {
+            out: csr,
+            inc: None,
+        }
+    }
+
+    /// Out-edge view.
+    #[inline]
+    pub fn out(&self) -> &Csr {
+        &self.out
+    }
+
+    /// In-edge view (the out view itself for symmetric graphs).
+    #[inline]
+    pub fn inc(&self) -> &Csr {
+        self.inc.as_ref().unwrap_or(&self.out)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of stored arcs in the out view.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
     }
 }
 
@@ -378,6 +527,89 @@ mod tests {
     fn byte_size_accounts_for_all_arrays() {
         let csr = Csr::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
         assert_eq!(csr.byte_size(), 4 * 8 + 2 * 4 + 2 * 4);
+    }
+
+    /// Build a graph that contains a dangling edge: `delete_vertex` cleans up
+    /// both directions, so the stale edge is injected through the public
+    /// `Vertex::out` field afterwards — the only way to produce one.
+    fn graph_with_dangling_edge() -> (PropertyGraph, VertexId) {
+        use crate::vertex::Edge;
+        let mut g = PropertyGraph::new();
+        let a = g.add_vertex();
+        let b = g.add_vertex();
+        let dead = g.add_vertex();
+        g.add_edge(a, b, 1.0).unwrap();
+        g.delete_vertex(dead).unwrap();
+        g.find_vertex_mut(a).unwrap().out.push(Edge::new(dead));
+        (g, dead)
+    }
+
+    #[test]
+    fn dangling_edge_is_skipped_and_counted() {
+        // Regression: this used to panic ("edge target must be a live vertex").
+        let (g, _) = graph_with_dangling_edge();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.num_vertices(), 2);
+        assert_eq!(csr.num_edges(), 1, "only the live edge survives");
+        assert_eq!(csr.dangling_skipped(), 1);
+        // The surviving topology is exactly a -> b.
+        let a = csr.dense_of(csr.id_of(0)).unwrap();
+        assert_eq!(csr.degree(a), 1);
+    }
+
+    #[test]
+    fn try_from_graph_reports_dangling_edge() {
+        let (g, dead) = graph_with_dangling_edge();
+        match Csr::try_from_graph(&g) {
+            Err(GraphError::VertexNotFound(id)) => assert_eq!(id, dead),
+            other => panic!("expected VertexNotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_from_graph_succeeds_on_clean_graph() {
+        let g = diamond_graph();
+        let csr = Csr::try_from_graph(&g).unwrap();
+        assert_eq!(csr, Csr::from_graph(&g));
+        assert_eq!(csr.dangling_skipped(), 0);
+    }
+
+    #[test]
+    fn sparse_id_space_uses_fallback_lookup() {
+        // Ids far beyond 8n force the binary-search path; topology must match
+        // what the dense-table path produces for equivalent structure.
+        let mut g = PropertyGraph::new();
+        g.add_vertex_with_id(1_000_000).unwrap();
+        g.add_vertex_with_id(2_000_000).unwrap();
+        g.add_vertex_with_id(5).unwrap();
+        g.add_edge(1_000_000, 2_000_000, 1.0).unwrap();
+        g.add_edge(2_000_000, 5, 2.0).unwrap();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.num_edges(), 2);
+        let u = csr.dense_of(1_000_000).unwrap();
+        let v = csr.dense_of(2_000_000).unwrap();
+        assert_eq!(csr.neighbors(u), &[v]);
+    }
+
+    #[test]
+    fn bicsr_directed_pairs_out_with_transpose() {
+        let g = diamond_graph();
+        let bi = BiCsr::directed(Csr::from_graph(&g));
+        assert_eq!(bi.num_vertices(), 4);
+        assert_eq!(bi.num_edges(), 4);
+        assert_eq!(bi.out().degree(0), 2);
+        assert_eq!(bi.inc().degree(0), 0);
+        let mut parents = bi.inc().neighbors(3).to_vec();
+        parents.sort_unstable();
+        assert_eq!(parents, vec![1, 2]);
+    }
+
+    #[test]
+    fn bicsr_symmetric_shares_one_view() {
+        let s = Csr::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).symmetrize();
+        let bi = BiCsr::symmetric(s.clone());
+        assert_eq!(bi.out(), &s);
+        assert_eq!(bi.inc(), &s);
     }
 
     #[test]

@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(GraphError::VertexNotFound(7).to_string(), "vertex 7 not found");
+        assert_eq!(
+            GraphError::VertexNotFound(7).to_string(),
+            "vertex 7 not found"
+        );
         assert_eq!(
             GraphError::EdgeNotFound { from: 1, to: 2 }.to_string(),
             "edge 1->2 not found"

@@ -313,7 +313,12 @@ impl PropertyGraph {
     }
 
     /// Traced variant of [`PropertyGraph::delete_edge`].
-    pub fn delete_edge_t<T: Tracer>(&mut self, from: VertexId, to: VertexId, t: &mut T) -> Result<()> {
+    pub fn delete_edge_t<T: Tracer>(
+        &mut self,
+        from: VertexId,
+        to: VertexId,
+        t: &mut T,
+    ) -> Result<()> {
         t.enter_framework();
         t.region(Region::DeleteEdge);
         {
@@ -424,7 +429,12 @@ impl PropertyGraph {
     // ------------------------------------------------------------------
 
     /// Set a property on a vertex through the framework.
-    pub fn set_vertex_prop(&mut self, id: VertexId, key: PropertyKey, value: Property) -> Result<()> {
+    pub fn set_vertex_prop(
+        &mut self,
+        id: VertexId,
+        key: PropertyKey,
+        value: Property,
+    ) -> Result<()> {
         self.set_vertex_prop_t(id, key, value, &mut NullTracer)
     }
 
@@ -505,7 +515,12 @@ impl PropertyGraph {
     }
 
     /// Read a property from the first `from -> to` edge.
-    pub fn get_edge_prop(&self, from: VertexId, to: VertexId, key: PropertyKey) -> Option<&Property> {
+    pub fn get_edge_prop(
+        &self,
+        from: VertexId,
+        to: VertexId,
+        key: PropertyKey,
+    ) -> Option<&Property> {
         self.find_vertex(from)
             .and_then(|v| v.find_edge(to))
             .and_then(|e| e.props.get(key))
@@ -754,7 +769,8 @@ mod tests {
     #[test]
     fn properties_through_framework() {
         let (mut g, [a, ..]) = diamond();
-        g.set_vertex_prop(a, keys::STATUS, Property::Int(7)).unwrap();
+        g.set_vertex_prop(a, keys::STATUS, Property::Int(7))
+            .unwrap();
         assert_eq!(
             g.get_vertex_prop(a, keys::STATUS).unwrap().as_int(),
             Some(7)
@@ -776,7 +792,10 @@ mod tests {
             g.get_edge_prop(a, b, keys::LABEL).unwrap().as_text(),
             Some("follows")
         );
-        assert!(g.get_edge_prop(b, a, keys::LABEL).is_none(), "no reverse edge");
+        assert!(
+            g.get_edge_prop(b, a, keys::LABEL).is_none(),
+            "no reverse edge"
+        );
         assert_eq!(
             g.set_edge_prop(a, 999, keys::LABEL, Property::Int(0)),
             Err(GraphError::EdgeNotFound { from: a, to: 999 })
@@ -835,7 +854,11 @@ mod tests {
             g.visit_neighbors_t(a, &mut t, |_, _| {});
             t.alu(2); // tiny amount of user work
         }
-        assert!(t.framework_fraction() > 0.6, "got {}", t.framework_fraction());
+        assert!(
+            t.framework_fraction() > 0.6,
+            "got {}",
+            t.framework_fraction()
+        );
     }
 
     #[test]

@@ -252,10 +252,7 @@ impl VertexIndex {
 
     fn grow<T: Tracer>(&mut self, t: &mut T) {
         let new_cap = (self.slots.len() * 2).max(MIN_CAPACITY);
-        let old = std::mem::replace(
-            &mut self.slots,
-            (0..new_cap).map(|_| Slot::Empty).collect(),
-        );
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| Slot::Empty).collect());
         self.mask = new_cap - 1;
         self.tombstones = 0;
         for slot in old {
@@ -369,7 +366,10 @@ mod tests {
     fn get_mut_allows_mutation() {
         let mut idx = VertexIndex::new();
         idx.insert(boxed(1)).unwrap();
-        idx.get_mut(1).unwrap().out.push(crate::vertex::Edge::new(2));
+        idx.get_mut(1)
+            .unwrap()
+            .out
+            .push(crate::vertex::Edge::new(2));
         assert_eq!(idx.get(1).unwrap().out_degree(), 1);
     }
 

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod coo;
 pub mod csr;
 pub mod error;
@@ -54,8 +55,9 @@ pub use types::{ComputationType, DataSource, VertexId};
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
+    pub use crate::bitmap::AtomicBitmap;
     pub use crate::coo::Coo;
-    pub use crate::csr::Csr;
+    pub use crate::csr::{BiCsr, Csr};
     pub use crate::error::GraphError;
     pub use crate::graph::PropertyGraph;
     pub use crate::property::{Property, PropertyKey, PropertyMap};

@@ -119,7 +119,9 @@ pub struct PropertyMap {
 impl PropertyMap {
     /// Empty map (no allocation until first insert).
     pub fn new() -> Self {
-        PropertyMap { entries: Vec::new() }
+        PropertyMap {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of properties stored.
@@ -217,10 +219,7 @@ impl PropertyMap {
 
     /// Total approximate byte footprint of all stored properties.
     pub fn byte_size(&self) -> u32 {
-        self.entries
-            .iter()
-            .map(|(_, v)| v.byte_size() + 8)
-            .sum()
+        self.entries.iter().map(|(_, v)| v.byte_size() + 8).sum()
     }
 }
 

@@ -206,7 +206,8 @@ mod tests {
         g.add_edge(c, a, 0.5).unwrap();
         g.set_vertex_prop(a, keys::LABEL, Property::Text("alice".into()))
             .unwrap();
-        g.set_vertex_prop(b, keys::STATUS, Property::Int(-7)).unwrap();
+        g.set_vertex_prop(b, keys::STATUS, Property::Int(-7))
+            .unwrap();
         g.set_vertex_prop(c, keys::PAYLOAD, Property::Vector(vec![0.25, 0.75]))
             .unwrap();
         g.set_vertex_prop(c, keys::DISTANCE, Property::Float(3.25))
@@ -232,7 +233,10 @@ mod tests {
             g2.get_vertex_prop(0, keys::LABEL).unwrap().as_text(),
             Some("alice")
         );
-        assert_eq!(g2.get_vertex_prop(1, keys::STATUS).unwrap().as_int(), Some(-7));
+        assert_eq!(
+            g2.get_vertex_prop(1, keys::STATUS).unwrap().as_int(),
+            Some(-7)
+        );
         assert_eq!(
             g2.get_vertex_prop(2, keys::PAYLOAD).unwrap().as_vector(),
             Some(&[0.25, 0.75][..])

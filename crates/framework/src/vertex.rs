@@ -113,7 +113,11 @@ impl Vertex {
     }
 
     /// Read a vertex property, tracing the access.
-    pub fn get_prop_t<'s, T: Tracer>(&'s self, key: PropertyKey, t: &mut T) -> Option<&'s Property> {
+    pub fn get_prop_t<'s, T: Tracer>(
+        &'s self,
+        key: PropertyKey,
+        t: &mut T,
+    ) -> Option<&'s Property> {
         t.load(addr_of(self), 16);
         self.props.get_t(key, t)
     }
@@ -162,10 +166,7 @@ mod tests {
         let mut v = Vertex::new(3);
         let mut t = CountingTracer::new();
         v.set_prop_t(keys::COLOR, Property::Int(2), &mut t);
-        assert_eq!(
-            v.get_prop_t(keys::COLOR, &mut t).unwrap().as_int(),
-            Some(2)
-        );
+        assert_eq!(v.get_prop_t(keys::COLOR, &mut t).unwrap().as_int(), Some(2));
         assert!(t.stores >= 1);
     }
 

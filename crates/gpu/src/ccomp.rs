@@ -152,7 +152,11 @@ mod tests {
         let csr = Csr::from_graph(&g);
         let coo = Coo::from_csr(&csr);
         let r = run(&cfg(), &coo);
-        assert!(r.metrics.bdr < 0.35, "edge-centric hooking stays balanced: {}", r.metrics.bdr);
+        assert!(
+            r.metrics.bdr < 0.35,
+            "edge-centric hooking stays balanced: {}",
+            r.metrics.bdr
+        );
         let _ = &mut g;
     }
 

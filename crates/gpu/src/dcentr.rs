@@ -99,7 +99,11 @@ mod tests {
         let g = graphbig_datagen::Dataset::Ldbc.generate_with_vertices(3_000);
         let csr = Csr::from_graph(&g);
         let r = run(&cfg(), &csr);
-        assert!(r.metrics.mdr > 0.5, "DCentr should be divergence-heavy: {}", r.metrics.mdr);
+        assert!(
+            r.metrics.mdr > 0.5,
+            "DCentr should be divergence-heavy: {}",
+            r.metrics.mdr
+        );
         assert!(r.metrics.atomic_ops > 0);
     }
 

@@ -101,13 +101,21 @@ pub fn run(cfg: &GpuConfig, csr: &Csr) -> GpuGColorResult {
                 }
             };
             dev.launch(worklist.len(), &kernel);
-            debug_assert!(progressed.load(Ordering::Relaxed), "Luby-Jones always progresses");
+            debug_assert!(
+                progressed.load(Ordering::Relaxed),
+                "Luby-Jones always progresses"
+            );
         }
         worklist.retain(|&v| color[v as usize].load(Ordering::Relaxed) < 0);
     }
 
     let color: Vec<i64> = color.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-    let colors = color.iter().copied().max().map(|m| (m + 1) as u32).unwrap_or(0);
+    let colors = color
+        .iter()
+        .copied()
+        .max()
+        .map(|m| (m + 1) as u32)
+        .unwrap_or(0);
     GpuGColorResult {
         colors,
         color,
@@ -166,7 +174,11 @@ mod tests {
         let g = graphbig_datagen::Dataset::Ldbc.generate_with_vertices(3_000);
         let csr = graphbig_framework::csr::Csr::from_graph(&g).symmetrize();
         let r = run(&cfg(), &csr);
-        assert!(r.metrics.bdr > 0.3, "GColor is branch-heavy: {}", r.metrics.bdr);
+        assert!(
+            r.metrics.bdr > 0.3,
+            "GColor is branch-heavy: {}",
+            r.metrics.bdr
+        );
     }
 
     #[test]

@@ -183,7 +183,10 @@ pub fn decompose(cfg: &GpuConfig, csr: &Csr) -> GpuKCoreDecomposition {
     }
     GpuKCoreDecomposition {
         degeneracy,
-        core: core.iter().map(|c| c.load(Ordering::Relaxed) as u32).collect(),
+        core: core
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as u32)
+            .collect(),
         metrics: dev.metrics(),
     }
 }
@@ -269,7 +272,11 @@ mod tests {
         let g = graphbig_datagen::Dataset::Ldbc.generate_with_vertices(3_000);
         let csr = graphbig_framework::csr::Csr::from_graph(&g).symmetrize();
         let r = decompose(&cfg(), &csr);
-        assert!(r.metrics.bdr < 0.4, "kCore should stay uniform: {}", r.metrics.bdr);
+        assert!(
+            r.metrics.bdr < 0.4,
+            "kCore should stay uniform: {}",
+            r.metrics.bdr
+        );
     }
 
     #[test]

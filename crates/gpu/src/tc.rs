@@ -110,7 +110,10 @@ mod tests {
 
     #[test]
     fn k4_has_four() {
-        assert_eq!(tc_of(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]), 4);
+        assert_eq!(
+            tc_of(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+            4
+        );
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl BranchPredictor {
         let size = 1usize << cfg.table_bits;
         BranchPredictor {
             cfg,
-            gshare: vec![1u8; size],  // weakly not-taken
+            gshare: vec![1u8; size], // weakly not-taken
             bimodal: vec![1u8; size],
             chooser: vec![1u8; size], // weakly prefer bimodal
             history: 0,
@@ -181,7 +181,7 @@ mod tests {
                 x ^= x << 13;
                 x ^= x >> 7;
                 x ^= x << 17;
-                let taken = (x % 10) != 0; // 90% taken
+                let taken = !x.is_multiple_of(10); // 90% taken
                 p.predict_and_train(0x44, taken);
             }
             p.stats().miss_rate()
@@ -201,7 +201,11 @@ mod tests {
         for _ in 0..1000 {
             p.predict_and_train(0x40, true);
         }
-        assert!(p.stats().miss_rate() < 0.05, "rate {}", p.stats().miss_rate());
+        assert!(
+            p.stats().miss_rate() < 0.05,
+            "rate {}",
+            p.stats().miss_rate()
+        );
     }
 
     #[test]
@@ -236,7 +240,10 @@ mod tests {
             p.predict_and_train(0x100, o);
         }
         let rate = p.stats().miss_rate();
-        assert!(rate > 0.35, "random outcomes should mispredict ~50%, got {rate}");
+        assert!(
+            rate > 0.35,
+            "random outcomes should mispredict ~50%, got {rate}"
+        );
     }
 
     #[test]
@@ -246,7 +253,11 @@ mod tests {
             p.predict_and_train(0x11, true);
             p.predict_and_train(0x22, false);
         }
-        assert!(p.stats().miss_rate() < 0.1, "rate {}", p.stats().miss_rate());
+        assert!(
+            p.stats().miss_rate() < 0.1,
+            "rate {}",
+            p.stats().miss_rate()
+        );
     }
 
     #[test]

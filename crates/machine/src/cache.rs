@@ -272,7 +272,10 @@ mod tests {
             for l in 0..lines {
                 let hit = c.access_line(l);
                 if round > 0 {
-                    assert!(!hit, "cyclic scan over 4x capacity must always miss under LRU");
+                    assert!(
+                        !hit,
+                        "cyclic scan over 4x capacity must always miss under LRU"
+                    );
                 }
             }
         }

@@ -110,7 +110,10 @@ mod tests {
         }
         let s = ic.stats();
         let miss_rate = s.misses as f64 / s.accesses as f64;
-        assert!(miss_rate < 0.05, "flat framework should hit, rate {miss_rate}");
+        assert!(
+            miss_rate < 0.05,
+            "flat framework should hit, rate {miss_rate}"
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub fn evaluate(cfg: &NdpConfig, c: &PerfCounters) -> NdpEstimate {
     NdpEstimate {
         cycles,
         seconds: cycles / (cfg.clock_ghz * 1e9) / cfg.cores as f64,
-        memory_fraction: if cycles > 0.0 { mem_stall / cycles } else { 0.0 },
+        memory_fraction: if cycles > 0.0 {
+            mem_stall / cycles
+        } else {
+            0.0
+        },
     }
 }
 

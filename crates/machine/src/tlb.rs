@@ -198,6 +198,9 @@ mod tests {
                 walks += 1;
             }
         }
-        assert!(walks > 900, "random pages should walk nearly always, got {walks}");
+        assert!(
+            walks > 900,
+            "random pages should walk nearly always, got {walks}"
+        );
     }
 }

@@ -2,12 +2,12 @@
 //! invariants against reference implementations, TLB/LRU laws, and cycle
 //! accounting consistency under arbitrary access streams.
 
+use graphbig_framework::trace::Tracer;
 use graphbig_machine::branch::{BranchConfig, BranchPredictor};
 use graphbig_machine::cache::{Cache, CacheConfig, Hierarchy};
 use graphbig_machine::config::CpuConfig;
 use graphbig_machine::core::CoreModel;
 use graphbig_machine::tlb::{Tlb, TlbConfig};
-use graphbig_framework::trace::Tracer;
 use proptest::prelude::*;
 
 fn addresses() -> impl Strategy<Value = Vec<usize>> {

@@ -20,26 +20,126 @@ pub struct PaperValue {
 
 /// Numeric values stated in Section 5's prose.
 pub const PAPER_VALUES: &[PaperValue] = &[
-    PaperValue { figure: "Fig1", metric: "in-framework time fraction", workload: "avg", value: 0.76 },
-    PaperValue { figure: "Fig6", metric: "DTLB penalty fraction", workload: "avg", value: 0.124 },
-    PaperValue { figure: "Fig6", metric: "DTLB penalty fraction", workload: "CComp", value: 0.211 },
-    PaperValue { figure: "Fig6", metric: "DTLB penalty fraction", workload: "TC", value: 0.039 },
-    PaperValue { figure: "Fig6", metric: "DTLB penalty fraction", workload: "Gibbs", value: 0.01 },
-    PaperValue { figure: "Fig6", metric: "ICache MPKI ceiling", workload: "all", value: 0.7 },
-    PaperValue { figure: "Fig6", metric: "branch miss rate", workload: "TC", value: 0.107 },
-    PaperValue { figure: "Fig6", metric: "branch miss rate ceiling", workload: "others", value: 0.05 },
-    PaperValue { figure: "Fig7", metric: "L3 MPKI", workload: "avg", value: 48.77 },
-    PaperValue { figure: "Fig7", metric: "L3 MPKI", workload: "DCentr", value: 145.9 },
-    PaperValue { figure: "Fig7", metric: "L3 MPKI", workload: "CComp", value: 101.3 },
-    PaperValue { figure: "Fig7", metric: "L3 MPKI CompDyn low", workload: "CompDyn", value: 6.3 },
-    PaperValue { figure: "Fig7", metric: "L3 MPKI CompDyn high", workload: "CompDyn", value: 27.5 },
-    PaperValue { figure: "Fig10", metric: "MDR", workload: "kCore", value: 0.25 },
-    PaperValue { figure: "Fig10", metric: "MDR", workload: "DCentr", value: 0.87 },
-    PaperValue { figure: "Fig11", metric: "read throughput GB/s", workload: "CComp", value: 89.9 },
-    PaperValue { figure: "Fig11", metric: "read throughput GB/s", workload: "DCentr", value: 75.2 },
-    PaperValue { figure: "Fig11", metric: "read throughput GB/s", workload: "TC", value: 2.0 },
-    PaperValue { figure: "Fig12", metric: "GPU speedup", workload: "CComp", value: 121.0 },
-    PaperValue { figure: "Fig12", metric: "GPU speedup typical", workload: "many", value: 20.0 },
+    PaperValue {
+        figure: "Fig1",
+        metric: "in-framework time fraction",
+        workload: "avg",
+        value: 0.76,
+    },
+    PaperValue {
+        figure: "Fig6",
+        metric: "DTLB penalty fraction",
+        workload: "avg",
+        value: 0.124,
+    },
+    PaperValue {
+        figure: "Fig6",
+        metric: "DTLB penalty fraction",
+        workload: "CComp",
+        value: 0.211,
+    },
+    PaperValue {
+        figure: "Fig6",
+        metric: "DTLB penalty fraction",
+        workload: "TC",
+        value: 0.039,
+    },
+    PaperValue {
+        figure: "Fig6",
+        metric: "DTLB penalty fraction",
+        workload: "Gibbs",
+        value: 0.01,
+    },
+    PaperValue {
+        figure: "Fig6",
+        metric: "ICache MPKI ceiling",
+        workload: "all",
+        value: 0.7,
+    },
+    PaperValue {
+        figure: "Fig6",
+        metric: "branch miss rate",
+        workload: "TC",
+        value: 0.107,
+    },
+    PaperValue {
+        figure: "Fig6",
+        metric: "branch miss rate ceiling",
+        workload: "others",
+        value: 0.05,
+    },
+    PaperValue {
+        figure: "Fig7",
+        metric: "L3 MPKI",
+        workload: "avg",
+        value: 48.77,
+    },
+    PaperValue {
+        figure: "Fig7",
+        metric: "L3 MPKI",
+        workload: "DCentr",
+        value: 145.9,
+    },
+    PaperValue {
+        figure: "Fig7",
+        metric: "L3 MPKI",
+        workload: "CComp",
+        value: 101.3,
+    },
+    PaperValue {
+        figure: "Fig7",
+        metric: "L3 MPKI CompDyn low",
+        workload: "CompDyn",
+        value: 6.3,
+    },
+    PaperValue {
+        figure: "Fig7",
+        metric: "L3 MPKI CompDyn high",
+        workload: "CompDyn",
+        value: 27.5,
+    },
+    PaperValue {
+        figure: "Fig10",
+        metric: "MDR",
+        workload: "kCore",
+        value: 0.25,
+    },
+    PaperValue {
+        figure: "Fig10",
+        metric: "MDR",
+        workload: "DCentr",
+        value: 0.87,
+    },
+    PaperValue {
+        figure: "Fig11",
+        metric: "read throughput GB/s",
+        workload: "CComp",
+        value: 89.9,
+    },
+    PaperValue {
+        figure: "Fig11",
+        metric: "read throughput GB/s",
+        workload: "DCentr",
+        value: 75.2,
+    },
+    PaperValue {
+        figure: "Fig11",
+        metric: "read throughput GB/s",
+        workload: "TC",
+        value: 2.0,
+    },
+    PaperValue {
+        figure: "Fig12",
+        metric: "GPU speedup",
+        workload: "CComp",
+        value: 121.0,
+    },
+    PaperValue {
+        figure: "Fig12",
+        metric: "GPU speedup typical",
+        workload: "many",
+        value: 20.0,
+    },
 ];
 
 /// Look up a paper value.
@@ -62,14 +162,39 @@ pub struct ShapeExpectation {
 
 /// Shape claims the reproduction must preserve.
 pub const SHAPE_EXPECTATIONS: &[ShapeExpectation] = &[
-    ShapeExpectation { figure: "Fig5", expectation: "backend stall dominates CompStruct (kCore/GUp > 90%); CompProp ~50%" },
-    ShapeExpectation { figure: "Fig7", expectation: "CompStruct MPKI high; CompProp lowest; CompDyn in between; GCons < GUp" },
-    ShapeExpectation { figure: "Fig8", expectation: "IPC: CompProp > CompDyn > CompStruct" },
-    ShapeExpectation { figure: "Fig9", expectation: "L1D hit rate high for all datasets except DCentr; data sensitivity visible" },
-    ShapeExpectation { figure: "Fig10", expectation: "kCore lower-left; DCentr upper-right; GColor/BCentr branch-heavy; CComp/TC memory-only" },
-    ShapeExpectation { figure: "Fig11", expectation: "CComp highest read throughput; TC lowest throughput but highest IPC" },
-    ShapeExpectation { figure: "Fig12", expectation: "GPU wins broadly; CComp largest; TC/BFS/SPath smallest" },
-    ShapeExpectation { figure: "Fig13", expectation: "CComp/TC stable BDR across datasets; road lowest BDR; LDBC highest MDR" },
+    ShapeExpectation {
+        figure: "Fig5",
+        expectation: "backend stall dominates CompStruct (kCore/GUp > 90%); CompProp ~50%",
+    },
+    ShapeExpectation {
+        figure: "Fig7",
+        expectation: "CompStruct MPKI high; CompProp lowest; CompDyn in between; GCons < GUp",
+    },
+    ShapeExpectation {
+        figure: "Fig8",
+        expectation: "IPC: CompProp > CompDyn > CompStruct",
+    },
+    ShapeExpectation {
+        figure: "Fig9",
+        expectation: "L1D hit rate high for all datasets except DCentr; data sensitivity visible",
+    },
+    ShapeExpectation {
+        figure: "Fig10",
+        expectation:
+            "kCore lower-left; DCentr upper-right; GColor/BCentr branch-heavy; CComp/TC memory-only",
+    },
+    ShapeExpectation {
+        figure: "Fig11",
+        expectation: "CComp highest read throughput; TC lowest throughput but highest IPC",
+    },
+    ShapeExpectation {
+        figure: "Fig12",
+        expectation: "GPU wins broadly; CComp largest; TC/BFS/SPath smallest",
+    },
+    ShapeExpectation {
+        figure: "Fig13",
+        expectation: "CComp/TC stable BDR across datasets; road lowest BDR; LDBC highest MDR",
+    },
 ];
 
 #[cfg(test)]

@@ -65,7 +65,9 @@ impl Table {
             .collect();
         out.push_str(&hdr.join("  "));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             let line: Vec<String> = row
@@ -116,9 +118,13 @@ pub fn scatter_plot(points: &[(f64, f64, &str)], width: usize, height: usize) ->
         legend.push_str(&format!("  {marker} = {label} ({x:.2}, {y:.2})\n"));
     }
     let mut out = String::new();
-    out.push_str(&format!("BDR\n1.0 ┤{}\n", "".to_string()));
+    out.push_str("BDR\n1.0 ┤\n");
     for (row_idx, row) in grid.iter().enumerate() {
-        let prefix = if row_idx == height - 1 { "0.0 └" } else { "    │" };
+        let prefix = if row_idx == height - 1 {
+            "0.0 └"
+        } else {
+            "    │"
+        };
         let line: String = row.iter().collect();
         out.push_str(&format!("{prefix}{line}\n"));
     }
@@ -184,11 +190,7 @@ mod tests {
 
     #[test]
     fn scatter_places_extremes_in_corners() {
-        let plot = scatter_plot(
-            &[(0.0, 0.0, "low"), (1.0, 1.0, "high")],
-            20,
-            8,
-        );
+        let plot = scatter_plot(&[(0.0, 0.0, "low"), (1.0, 1.0, "high")], 20, 8);
         let lines: Vec<&str> = plot.lines().collect();
         // grid rows are lines[2..2+height]; top row (y=1.0) ends with 'B'
         assert!(lines[2].trim_end().ends_with('B'), "{plot}");

@@ -1,0 +1,339 @@
+//! Hybrid sparse/dense frontier engine for level-synchronous graph kernels.
+//!
+//! A frontier is the active vertex set of one superstep. Two representations
+//! trade off against each other exactly as in Ligra and the GAP direction-
+//! optimizing BFS:
+//!
+//! * **sparse** — an ordered `Vec<u32>` of vertices. Cheap to iterate when
+//!   the frontier is a sliver of the graph; membership tests are impossible
+//!   without a scan.
+//! * **dense** — an [`AtomicBitmap`] over the whole vertex universe. O(1)
+//!   membership (what bottom-up steps need), insertion dedup for free via
+//!   `fetch_or`, but iteration always walks `n/64` words.
+//!
+//! [`Frontier`] switches between the two by occupancy: past
+//! 1/[`DENSE_FRACTION`] of the universe the bitmap is smaller *and* faster
+//! than the queue. [`ChunkedSink`] is the deterministic gather side: workers
+//! emit per-chunk segments, and the merge orders segments by chunk index —
+//! a total order fixed by the (thread-count-independent) chunk
+//! decomposition — then compacts them with a prefix-sum copy. The result is
+//! byte-identical output for any worker count or interleaving, without the
+//! O(f log f) per-level vertex sort the first parallel BFS used.
+
+use graphbig_framework::bitmap::AtomicBitmap;
+use parking_lot::Mutex;
+
+/// A frontier goes dense past `universe / DENSE_FRACTION` members: at 5%
+/// occupancy the bitmap (n bits) is far smaller than the queue (32n bits
+/// worst case) and bottom-up scans start to pay off.
+pub const DENSE_FRACTION: usize = 20;
+
+/// Decide the representation for a frontier of `len` vertices drawn from a
+/// `universe`-vertex graph.
+#[inline]
+pub fn should_be_dense(len: usize, universe: usize) -> bool {
+    len * DENSE_FRACTION > universe
+}
+
+/// Active vertex set of one superstep, in whichever representation fits.
+#[derive(Debug)]
+pub enum Frontier {
+    /// Vertex queue in deterministic (chunk-merge or ascending) order.
+    Sparse(Vec<u32>),
+    /// Membership bitmap plus its cached population count.
+    Dense {
+        /// One bit per vertex in the universe.
+        bits: AtomicBitmap,
+        /// Number of set bits (maintained by the producer).
+        count: usize,
+    },
+}
+
+impl Frontier {
+    /// A frontier holding exactly the source vertex.
+    pub fn singleton(v: u32) -> Self {
+        Frontier::Sparse(vec![v])
+    }
+
+    /// Wrap a produced queue, converting to a bitmap if occupancy warrants.
+    pub fn from_queue(queue: Vec<u32>, universe: usize) -> Self {
+        if should_be_dense(queue.len(), universe) {
+            let bits = AtomicBitmap::new(universe);
+            for &v in &queue {
+                bits.set(v as usize);
+            }
+            Frontier::Dense {
+                count: queue.len(),
+                bits,
+            }
+        } else {
+            Frontier::Sparse(queue)
+        }
+    }
+
+    /// Wrap a produced bitmap, converting to a queue if occupancy is low.
+    /// The sparse order is ascending vertex id — deterministic by
+    /// construction.
+    pub fn from_bitmap(bits: AtomicBitmap, count: usize) -> Self {
+        if should_be_dense(count, bits.len()) {
+            Frontier::Dense { bits, count }
+        } else {
+            Frontier::Sparse(bits.to_vec())
+        }
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            Frontier::Sparse(q) => q.len(),
+            Frontier::Dense { count, .. } => *count,
+        }
+    }
+
+    /// True when no vertex is active (traversal finished).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True in the bitmap representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, Frontier::Dense { .. })
+    }
+
+    /// The queue, when sparse.
+    pub fn as_sparse(&self) -> Option<&[u32]> {
+        match self {
+            Frontier::Sparse(q) => Some(q),
+            Frontier::Dense { .. } => None,
+        }
+    }
+
+    /// The bitmap, when dense.
+    pub fn as_dense(&self) -> Option<&AtomicBitmap> {
+        match self {
+            Frontier::Sparse(_) => None,
+            Frontier::Dense { bits, .. } => Some(bits),
+        }
+    }
+
+    /// Force the dense representation (bottom-up steps need O(1) membership
+    /// regardless of occupancy). `universe` sizes the bitmap when converting.
+    pub fn ensure_dense(&mut self, universe: usize) {
+        if let Frontier::Sparse(q) = self {
+            let bits = AtomicBitmap::new(universe);
+            for &v in q.iter() {
+                bits.set(v as usize);
+            }
+            *self = Frontier::Dense {
+                count: q.len(),
+                bits,
+            };
+        }
+    }
+
+    /// Membership test; O(1) dense, O(len) sparse.
+    pub fn contains(&self, v: u32) -> bool {
+        match self {
+            Frontier::Sparse(q) => q.contains(&v),
+            Frontier::Dense { bits, .. } => bits.get(v as usize),
+        }
+    }
+
+    /// Visit every active vertex in the representation's deterministic
+    /// order (queue order / ascending bit order).
+    pub fn for_each(&self, mut f: impl FnMut(u32)) {
+        match self {
+            Frontier::Sparse(q) => q.iter().for_each(|&v| f(v)),
+            Frontier::Dense { bits, .. } => bits.for_each_set(|i| f(i as u32)),
+        }
+    }
+
+    /// Materialize the active set as a queue in deterministic order.
+    pub fn to_queue(&self) -> Vec<u32> {
+        match self {
+            Frontier::Sparse(q) => q.clone(),
+            Frontier::Dense { bits, .. } => bits.to_vec(),
+        }
+    }
+}
+
+/// Per-chunk segment buffers with a deterministic prefix-sum merge.
+///
+/// Each worker processing chunk `c` collects its discoveries in a private
+/// `Vec` and commits it as the segment for `c`. Chunks are processed exactly
+/// once, so segment chunk indices are unique; sorting the O(#chunks)
+/// segment list by chunk index and compacting via prefix sums reproduces
+/// the order a sequential chunk-by-chunk run would emit — independent of
+/// which worker ran which chunk, and far cheaper than sorting the O(f)
+/// vertices themselves.
+///
+/// Segment vectors are recycled across levels (`spare` pool) so steady-state
+/// traversal allocates nothing.
+#[derive(Debug)]
+pub struct ChunkedSink {
+    slots: Vec<Mutex<SinkSlot>>,
+}
+
+#[derive(Debug, Default)]
+struct SinkSlot {
+    segments: Vec<(u32, Vec<u32>)>,
+    spare: Vec<Vec<u32>>,
+}
+
+impl ChunkedSink {
+    /// A sink with one contention-free slot per worker.
+    pub fn new(workers: usize) -> Self {
+        ChunkedSink {
+            slots: (0..workers.max(1)).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    /// Check out a (possibly recycled) buffer for `worker` to fill.
+    pub fn take_buffer(&self, worker: usize) -> Vec<u32> {
+        self.slots[worker].lock().spare.pop().unwrap_or_default()
+    }
+
+    /// Commit `buf` as the segment for `chunk`. Empty buffers go straight
+    /// back to the spare pool.
+    pub fn commit(&self, worker: usize, chunk: usize, buf: Vec<u32>) {
+        let mut slot = self.slots[worker].lock();
+        if buf.is_empty() {
+            slot.spare.push(buf);
+        } else {
+            slot.segments.push((chunk as u32, buf));
+        }
+    }
+
+    /// Merge all committed segments into `out` in chunk order and recycle
+    /// the segment buffers. Returns the number of items merged.
+    pub fn drain_into(&self, out: &mut Vec<u32>) -> usize {
+        let mut segments: Vec<(u32, Vec<u32>)> = Vec::new();
+        for slot in &self.slots {
+            segments.append(&mut slot.lock().segments);
+        }
+        segments.sort_unstable_by_key(|&(c, _)| c);
+        // Prefix-sum compaction: pre-size once, then copy each segment into
+        // its exclusive window.
+        let base = out.len();
+        let mut offsets = Vec::with_capacity(segments.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for (_, seg) in &segments {
+            total += seg.len();
+            offsets.push(total);
+        }
+        out.resize(base + total, 0);
+        for (k, (_, seg)) in segments.iter().enumerate() {
+            out[base + offsets[k]..base + offsets[k + 1]].copy_from_slice(seg);
+        }
+        // Recycle buffers round-robin over the slots.
+        for (k, (_, mut seg)) in segments.into_iter().enumerate() {
+            seg.clear();
+            self.slots[k % self.slots.len()].lock().spare.push(seg);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_under_threshold_stays_sparse() {
+        let f = Frontier::from_queue(vec![3, 1, 2], 1000);
+        assert!(!f.is_dense());
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.as_sparse().unwrap(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn queue_over_threshold_goes_dense() {
+        let q: Vec<u32> = (0..100).collect();
+        let f = Frontier::from_queue(q, 1000);
+        assert!(f.is_dense());
+        assert_eq!(f.len(), 100);
+        assert!(f.contains(42));
+        assert!(!f.contains(100));
+    }
+
+    #[test]
+    fn bitmap_under_threshold_goes_sparse_ascending() {
+        let bits = AtomicBitmap::new(1000);
+        bits.set(500);
+        bits.set(7);
+        let f = Frontier::from_bitmap(bits, 2);
+        assert!(!f.is_dense());
+        assert_eq!(f.as_sparse().unwrap(), &[7, 500]);
+    }
+
+    #[test]
+    fn ensure_dense_converts_and_preserves_members() {
+        let mut f = Frontier::from_queue(vec![9, 4], 640);
+        f.ensure_dense(640);
+        assert!(f.is_dense());
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(9) && f.contains(4) && !f.contains(5));
+        let mut seen = Vec::new();
+        f.for_each(|v| seen.push(v));
+        assert_eq!(seen, vec![4, 9]);
+    }
+
+    #[test]
+    fn singleton_is_sparse() {
+        let f = Frontier::singleton(8);
+        assert_eq!(f.to_queue(), vec![8]);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn sink_merges_in_chunk_order_regardless_of_commit_order() {
+        let sink = ChunkedSink::new(3);
+        // Commit chunks out of order from different workers.
+        let mut b2 = sink.take_buffer(2);
+        b2.extend([20, 21]);
+        sink.commit(2, 2, b2);
+        let mut b0 = sink.take_buffer(0);
+        b0.extend([1, 2, 3]);
+        sink.commit(0, 0, b0);
+        let mut b1 = sink.take_buffer(1);
+        b1.push(10);
+        sink.commit(1, 1, b1);
+        let mut out = Vec::new();
+        assert_eq!(sink.drain_into(&mut out), 6);
+        assert_eq!(out, vec![1, 2, 3, 10, 20, 21]);
+    }
+
+    #[test]
+    fn sink_recycles_buffers() {
+        let sink = ChunkedSink::new(1);
+        let mut b = sink.take_buffer(0);
+        b.push(5);
+        sink.commit(0, 0, b);
+        let mut out = Vec::new();
+        sink.drain_into(&mut out);
+        // The committed buffer is back in the spare pool with capacity.
+        let b2 = sink.take_buffer(0);
+        assert!(b2.capacity() >= 1);
+        assert!(b2.is_empty());
+    }
+
+    #[test]
+    fn sink_drain_appends_after_existing_items() {
+        let sink = ChunkedSink::new(2);
+        let mut b = sink.take_buffer(0);
+        b.extend([7, 8]);
+        sink.commit(0, 4, b);
+        let mut out = vec![99];
+        sink.drain_into(&mut out);
+        assert_eq!(out, vec![99, 7, 8]);
+    }
+
+    #[test]
+    fn empty_sink_drains_nothing() {
+        let sink = ChunkedSink::new(2);
+        let mut out = Vec::new();
+        assert_eq!(sink.drain_into(&mut out), 0);
+        assert!(out.is_empty());
+    }
+}

@@ -18,10 +18,12 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod frontier;
 pub mod parfor;
 pub mod pool;
 
 pub use barrier::Barrier;
+pub use frontier::{ChunkedSink, Frontier};
 pub use pool::ThreadPool;
 
 /// Default worker count mirroring the paper's 16-core test machine.

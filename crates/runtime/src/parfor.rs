@@ -47,6 +47,61 @@ where
     });
 }
 
+/// Split `0..n` into contiguous chunks of roughly `target` total weight,
+/// where `weight_of(i)` is the cost of index `i` (for graph loops: the
+/// vertex degree plus a constant). Unlike fixed-`grain` chunking this keeps
+/// hub-heavy chunks small and leaf-only chunks large, so workers stealing
+/// from the cursor see comparable work per grab.
+///
+/// Every index lands in exactly one chunk; a single over-weight index gets a
+/// chunk of its own. The decomposition depends only on `n`, `target` and the
+/// weights — never on thread count — which is what keeps chunk-indexed
+/// merges deterministic.
+pub fn weighted_chunks(
+    n: usize,
+    target: u64,
+    weight_of: impl Fn(usize) -> u64,
+) -> Vec<Range<usize>> {
+    let target = target.max(1);
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc += weight_of(i);
+        if acc >= target {
+            chunks.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        chunks.push(start..n);
+    }
+    chunks
+}
+
+/// Run `body(worker, chunk_idx, range)` for every chunk in `chunks`,
+/// handing chunks out dynamically from a shared cursor. The chunk index
+/// lets callers tag per-chunk output for deterministic,
+/// schedule-independent merging; the worker index selects contention-free
+/// per-worker buffers.
+pub fn parallel_for_chunk_list<F>(pool: &ThreadPool, chunks: &[Range<usize>], body: F)
+where
+    F: Fn(usize, usize, Range<usize>) + Send + Sync,
+{
+    if chunks.is_empty() {
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    pool.broadcast(|worker| loop {
+        let c = cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= chunks.len() {
+            break;
+        }
+        body(worker, c, chunks[c].clone());
+    });
+}
+
 /// Parallel map-reduce over a range: `map(i)` produces a value per index,
 /// combined per worker with `fold` and across workers with `fold` again
 /// starting from `identity`.
@@ -156,6 +211,46 @@ mod tests {
         );
         let expect = (0..500).map(|i| (i * 2654435761) % 1013).max().unwrap();
         assert_eq!(max, expect);
+    }
+
+    #[test]
+    fn weighted_chunks_partition_and_balance() {
+        // Degrees: one hub of weight 100 among unit-weight leaves.
+        let w = |i: usize| if i == 5 { 100 } else { 1 };
+        let chunks = weighted_chunks(20, 10, w);
+        // Partition: contiguous, exhaustive, disjoint.
+        let mut expect = 0;
+        for c in &chunks {
+            assert_eq!(c.start, expect);
+            expect = c.end;
+        }
+        assert_eq!(expect, 20);
+        // The hub terminates its own chunk instead of dragging neighbors in.
+        let hub_chunk = chunks.iter().find(|c| c.contains(&5)).unwrap();
+        assert_eq!(hub_chunk.end, 6);
+    }
+
+    #[test]
+    fn weighted_chunks_depend_only_on_weights() {
+        let a = weighted_chunks(1000, 64, |i| (i % 7) as u64);
+        let b = weighted_chunks(1000, 64, |i| (i % 7) as u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunk_list_runs_every_chunk_once() {
+        let pool = ThreadPool::new(4);
+        let chunks = weighted_chunks(5000, 100, |_| 3);
+        let hits: Vec<AtomicU64> = (0..5000).map(|_| AtomicU64::new(0)).collect();
+        let chunk_hits: Vec<AtomicU64> = (0..chunks.len()).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_chunk_list(&pool, &chunks, |_w, ci, range| {
+            chunk_hits[ci].fetch_add(1, Ordering::Relaxed);
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(chunk_hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

@@ -35,8 +35,7 @@ pub fn timing(cfg: &GpuConfig, s: &WarpStats) -> Timing {
         + s.l2_hits as f64 * cfg.l2_hit_cycles;
     // Non-conflicting atomics pipeline like stores; conflicting ones
     // serialize at full cost.
-    let atomic = (s.atomic_conflicts as f64 * cfg.atomic_cycles
-        + s.atomic_ops as f64 * 0.5)
+    let atomic = (s.atomic_conflicts as f64 * cfg.atomic_cycles + s.atomic_ops as f64 * 0.5)
         / cfg.sms as f64;
     let total = compute.max(memory + atomic).max(1.0);
     Timing {

@@ -64,7 +64,12 @@ impl Device {
                 lane.reset();
                 k.thread(base + i, lane);
             }
-            execute_warp(&self.cfg, &self.lanes[..width], &mut self.stats, &mut self.l2);
+            execute_warp(
+                &self.cfg,
+                &self.lanes[..width],
+                &mut self.stats,
+                &mut self.l2,
+            );
             base += width;
         }
     }

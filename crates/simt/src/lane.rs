@@ -167,7 +167,13 @@ mod tests {
         assert_eq!(l.events()[0], LaneEvent::Alu);
         assert_eq!(l.events()[2], LaneEvent::Branch(true));
         assert_eq!(l.events()[3], LaneEvent::Alu);
-        assert!(matches!(l.events()[4], LaneEvent::Load { addr: 0x100, bytes: 4 }));
+        assert!(matches!(
+            l.events()[4],
+            LaneEvent::Load {
+                addr: 0x100,
+                bytes: 4
+            }
+        ));
     }
 
     #[test]

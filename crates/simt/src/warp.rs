@@ -236,7 +236,10 @@ mod tests {
         let mut s = WarpStats::default();
         execute_warp(&cfg(), &lanes, &mut s, &mut l2());
         let bdr = s.bdr(32);
-        assert!(bdr > 0.8, "hub-dominated warp should be mostly inactive: {bdr}");
+        assert!(
+            bdr > 0.8,
+            "hub-dominated warp should be mostly inactive: {bdr}"
+        );
     }
 
     #[test]

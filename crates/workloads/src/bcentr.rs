@@ -137,7 +137,8 @@ pub fn run_t<T: Tracer>(g: &mut PropertyGraph, sources: usize, t: &mut T) -> BCe
 
 /// Betweenness of a vertex after a run.
 pub fn centrality_of(g: &PropertyGraph, v: VertexId) -> Option<f64> {
-    g.get_vertex_prop(v, keys::CENTRALITY).and_then(|p| p.as_float())
+    g.get_vertex_prop(v, keys::CENTRALITY)
+        .and_then(|p| p.as_float())
 }
 
 #[cfg(test)]

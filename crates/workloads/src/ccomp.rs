@@ -77,7 +77,8 @@ pub fn run_t<T: Tracer>(g: &mut PropertyGraph, t: &mut T) -> CCompResult {
 
 /// Component label of a vertex after a run.
 pub fn component_of(g: &PropertyGraph, v: VertexId) -> Option<i64> {
-    g.get_vertex_prop(v, keys::COMPONENT).and_then(|p| p.as_int())
+    g.get_vertex_prop(v, keys::COMPONENT)
+        .and_then(|p| p.as_int())
 }
 
 #[cfg(test)]
@@ -124,7 +125,9 @@ mod tests {
 
     #[test]
     fn labels_partition_the_vertex_set() {
-        let g0 = graphbig_datagen::road::generate(&graphbig_datagen::road::RoadConfig::with_vertices(400));
+        let g0 = graphbig_datagen::road::generate(
+            &graphbig_datagen::road::RoadConfig::with_vertices(400),
+        );
         let mut g = g0;
         let r = run(&mut g);
         let mut sizes = std::collections::HashMap::new();
@@ -143,8 +146,9 @@ mod tests {
 
     #[test]
     fn social_graph_has_one_giant_component() {
-        let mut g =
-            graphbig_datagen::ldbc::generate(&graphbig_datagen::ldbc::LdbcConfig::with_vertices(2_000));
+        let mut g = graphbig_datagen::ldbc::generate(
+            &graphbig_datagen::ldbc::LdbcConfig::with_vertices(2_000),
+        );
         let r = run(&mut g);
         assert!(
             r.largest as f64 > 0.9 * g.num_vertices() as f64,

@@ -58,7 +58,8 @@ pub fn run_t<T: Tracer>(g: &mut PropertyGraph, t: &mut T) -> DCentrResult {
 
 /// Centrality of a vertex after a run.
 pub fn centrality_of(g: &PropertyGraph, v: VertexId) -> Option<f64> {
-    g.get_vertex_prop(v, keys::CENTRALITY).and_then(|p| p.as_float())
+    g.get_vertex_prop(v, keys::CENTRALITY)
+        .and_then(|p| p.as_float())
 }
 
 #[cfg(test)]
@@ -75,7 +76,10 @@ mod tests {
         }
         let r = run(&mut g);
         assert_eq!(r.max_vertex, hub);
-        assert!((r.max_centrality - 1.0).abs() < 1e-12, "9 edges / 9 possible");
+        assert!(
+            (r.max_centrality - 1.0).abs() < 1e-12,
+            "9 edges / 9 possible"
+        );
         assert!((centrality_of(&g, 1).unwrap() - 1.0 / 9.0).abs() < 1e-12);
     }
 

@@ -110,9 +110,8 @@ pub fn color_of(g: &PropertyGraph, v: VertexId) -> Option<i64> {
 
 /// Check that no edge joins same-colored endpoints (validation aid).
 pub fn is_valid_coloring(g: &PropertyGraph) -> bool {
-    g.arcs().all(|(u, e)| {
-        u == e.target || color_of(g, u) != color_of(g, e.target)
-    })
+    g.arcs()
+        .all(|(u, e)| u == e.target || color_of(g, u) != color_of(g, e.target))
 }
 
 #[cfg(test)]

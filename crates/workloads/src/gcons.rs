@@ -76,7 +76,8 @@ mod tests {
 
     #[test]
     fn construction_is_almost_entirely_framework_time() {
-        let edges: Vec<(u64, u64, f32)> = (0..500).map(|i| (i % 50, (i * 7 + 1) % 50, 1.0)).collect();
+        let edges: Vec<(u64, u64, f32)> =
+            (0..500).map(|i| (i % 50, (i * 7 + 1) % 50, 1.0)).collect();
         let mut t = CountingTracer::new();
         run_t(50, &edges, &mut t);
         assert!(

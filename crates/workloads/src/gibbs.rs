@@ -50,8 +50,7 @@ pub fn run_t<T: Tracer>(net: &mut BayesNet, sweeps: usize, seed: u64, t: &mut T)
             // Own CPT: block selected by the parents' current states.
             {
                 let parents: Vec<VertexId> = net.graph.parents(v).collect();
-                let pstates: Vec<usize> =
-                    parents.iter().map(|&p| state_of(net, p, t)).collect();
+                let pstates: Vec<usize> = parents.iter().map(|&p| state_of(net, p, t)).collect();
                 let parities: Vec<usize> =
                     parents.iter().map(|&p| net.arities[p as usize]).collect();
                 let off = cpt_block_offset(&pstates, &parities, arity);
@@ -69,8 +68,7 @@ pub fn run_t<T: Tracer>(net: &mut BayesNet, sweeps: usize, seed: u64, t: &mut T)
 
             // Children's CPTs: likelihood of each child's state under each
             // candidate value of v.
-            let children: Vec<VertexId> =
-                net.graph.neighbors(v).map(|e| e.target).collect();
+            let children: Vec<VertexId> = net.graph.neighbors(v).map(|e| e.target).collect();
             for c in children {
                 let c_arity = net.arities[c as usize];
                 let c_state = state_of(net, c, t);
@@ -201,7 +199,8 @@ mod tests {
         g.add_vertex();
         g.set_vertex_prop(0, keys::CPT, Property::Vector(vec![0.8, 0.2]))
             .unwrap();
-        g.set_vertex_prop(0, keys::SAMPLE, Property::Int(0)).unwrap();
+        g.set_vertex_prop(0, keys::SAMPLE, Property::Int(0))
+            .unwrap();
         let mut net = BayesNet {
             graph: g,
             arities: vec![2],

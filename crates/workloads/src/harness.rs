@@ -81,12 +81,20 @@ pub fn run_traced<T: Tracer>(
         Workload::Bfs => {
             g.clear_prop(keys::STATUS);
             let r = bfs::run_t(g, source, t);
-            outcome(w, r.visited as f64, format!("visited {} (depth {})", r.visited, r.max_level))
+            outcome(
+                w,
+                r.visited as f64,
+                format!("visited {} (depth {})", r.visited, r.max_level),
+            )
         }
         Workload::Dfs => {
             g.clear_prop(keys::STATUS);
             let r = dfs::run_t(g, source, t);
-            outcome(w, r.visited as f64, format!("visited {} (max depth {})", r.visited, r.max_depth))
+            outcome(
+                w,
+                r.visited as f64,
+                format!("visited {} (max depth {})", r.visited, r.max_depth),
+            )
         }
         Workload::GCons => {
             let n = g.num_vertices();
@@ -101,7 +109,11 @@ pub fn run_traced<T: Tracer>(
                 .map(|(u, e)| (dense[&u], dense[&e.target], e.weight))
                 .collect();
             let (_, r) = gcons::run_t(n, &edges, t);
-            outcome(w, r.arcs as f64, format!("built {} vertices / {} arcs", r.vertices, r.arcs))
+            outcome(
+                w,
+                r.arcs as f64,
+                format!("built {} vertices / {} arcs", r.vertices, r.arcs),
+            )
         }
         Workload::GUp => {
             let count = ((g.num_vertices() as f64 * params.gup_fraction) as usize).max(1);
@@ -110,7 +122,10 @@ pub fn run_traced<T: Tracer>(
             outcome(
                 w,
                 r.deleted_vertices as f64,
-                format!("deleted {} vertices / {} arcs", r.deleted_vertices, r.deleted_arcs),
+                format!(
+                    "deleted {} vertices / {} arcs",
+                    r.deleted_vertices, r.deleted_arcs
+                ),
             )
         }
         Workload::TMorph => {
@@ -119,28 +134,47 @@ pub fn run_traced<T: Tracer>(
             outcome(
                 w,
                 r.moral_edges as f64,
-                format!("moral graph: {} edges ({} marriages)", r.moral_edges, r.marriages),
+                format!(
+                    "moral graph: {} edges ({} marriages)",
+                    r.moral_edges, r.marriages
+                ),
             )
         }
         Workload::SPath => {
             g.clear_prop(keys::DISTANCE);
             let r = spath::run_t(g, source, t);
-            outcome(w, r.reached as f64, format!("reached {} (max dist {:.2})", r.reached, r.max_distance))
+            outcome(
+                w,
+                r.reached as f64,
+                format!("reached {} (max dist {:.2})", r.reached, r.max_distance),
+            )
         }
         Workload::KCore => {
             g.clear_prop(keys::CORE);
             let r = kcore::run_t(g, t);
-            outcome(w, r.max_core as f64, format!("degeneracy {} (core size {})", r.max_core, r.max_core_size))
+            outcome(
+                w,
+                r.max_core as f64,
+                format!("degeneracy {} (core size {})", r.max_core, r.max_core_size),
+            )
         }
         Workload::CComp => {
             g.clear_prop(keys::COMPONENT);
             let r = ccomp::run_t(g, t);
-            outcome(w, r.components as f64, format!("{} components (largest {})", r.components, r.largest))
+            outcome(
+                w,
+                r.components as f64,
+                format!("{} components (largest {})", r.components, r.largest),
+            )
         }
         Workload::GColor => {
             g.clear_prop(keys::COLOR);
             let r = gcolor::run_t(g, t);
-            outcome(w, r.colors as f64, format!("{} colors in {} rounds", r.colors, r.rounds))
+            outcome(
+                w,
+                r.colors as f64,
+                format!("{} colors in {} rounds", r.colors, r.rounds),
+            )
         }
         Workload::Tc => {
             g.clear_prop(keys::TRIANGLES);
@@ -155,12 +189,20 @@ pub fn run_traced<T: Tracer>(
             };
             let mut net = bayes::generate(&cfg);
             let r = gibbs::run_t(&mut net, params.gibbs_sweeps, params.seed, t);
-            outcome(w, r.samples as f64, format!("{} samples (flip rate {:.2})", r.samples, r.flip_rate))
+            outcome(
+                w,
+                r.samples as f64,
+                format!("{} samples (flip rate {:.2})", r.samples, r.flip_rate),
+            )
         }
         Workload::DCentr => {
             g.clear_prop(keys::CENTRALITY);
             let r = dcentr::run_t(g, t);
-            outcome(w, r.max_centrality, format!("max centrality {:.4} at {}", r.max_centrality, r.max_vertex))
+            outcome(
+                w,
+                r.max_centrality,
+                format!("max centrality {:.4} at {}", r.max_centrality, r.max_vertex),
+            )
         }
         Workload::BCentr => {
             g.clear_prop(keys::CENTRALITY);
@@ -168,7 +210,10 @@ pub fn run_traced<T: Tracer>(
             outcome(
                 w,
                 r.max_centrality,
-                format!("max betweenness {:.1} at {} ({} sources)", r.max_centrality, r.max_vertex, r.sources_used),
+                format!(
+                    "max betweenness {:.1} at {} ({} sources)",
+                    r.max_centrality, r.max_vertex, r.sources_used
+                ),
             )
         }
     }
@@ -197,7 +242,8 @@ pub fn orient_to_dag(g: &PropertyGraph) -> PropertyGraph {
     }
     for (u, e) in g.arcs() {
         if pos[&u] < pos[&e.target] && !dag.has_edge(u, e.target) {
-            dag.add_edge(u, e.target, e.weight).expect("endpoints exist");
+            dag.add_edge(u, e.target, e.weight)
+                .expect("endpoints exist");
         }
     }
     dag
@@ -258,7 +304,7 @@ mod tests {
     }
 
     #[test]
-    fn framework_time_dominates_traversal(){
+    fn framework_time_dominates_traversal() {
         let mut g = Dataset::Ldbc.generate_with_vertices(400);
         let mut t = CountingTracer::new();
         run_traced(Workload::Bfs, &mut g, &RunParams::default(), &mut t);

@@ -37,9 +37,7 @@ pub fn run_t<T: Tracer>(g: &mut PropertyGraph, t: &mut T) -> KCoreResult {
     // Dense index over current ids (sorted for binary search).
     let mut sorted: Vec<VertexId> = ids.clone();
     sorted.sort_unstable();
-    let dense = |id: VertexId| -> usize {
-        sorted.binary_search(&id).expect("live vertex")
-    };
+    let dense = |id: VertexId| -> usize { sorted.binary_search(&id).expect("live vertex") };
 
     // Simple-undirected-view degrees via framework traversal (cores are
     // defined on the deduplicated undirected graph; parallel arcs and

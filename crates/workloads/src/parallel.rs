@@ -5,63 +5,276 @@
 //! the standard shared-memory formulations — and are validated against the
 //! sequential framework implementations in tests. They power the Criterion
 //! wall-clock benches and the CPU side of the Figure 12 speedup comparison.
+//!
+//! The traversal kernels ([`bfs`], [`bfs_dir_opt`], [`ccomp`], [`kcore`])
+//! run on the runtime's frontier engine: degree-weighted chunks feed a
+//! dynamic scheduler, workers emit discoveries into chunk-tagged buffers
+//! ([`ChunkedSink`]), and the merge is a prefix-sum compaction in chunk
+//! order — schedule-independent, so results are bit-identical for any
+//! thread count without sorting the frontier.
+//! [`bfs_dir_opt`] additionally switches between top-down and bottom-up
+//! traversal with the GAP alpha/beta heuristic (see DESIGN.md).
 
-use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
 
-use graphbig_framework::csr::Csr;
+use graphbig_framework::bitmap::AtomicBitmap;
+use graphbig_framework::csr::{BiCsr, Csr};
+use graphbig_runtime::frontier::{ChunkedSink, Frontier};
 use graphbig_runtime::{parfor, ThreadPool};
 
-/// Level-synchronous parallel BFS over a CSR; returns per-vertex levels
-/// (`-1` = unreached) and the number of visited vertices.
+/// Target edge weight per scheduling chunk: large enough to amortize the
+/// cursor fetch_add, small enough that a hub vertex doesn't serialize a
+/// level.
+const CHUNK_WEIGHT: u64 = 2048;
+
+/// Switch top-down -> bottom-up when the frontier's out-edges exceed
+/// 1/ALPHA of the unexplored edges (GAP's tuned default).
+const ALPHA: u64 = 15;
+
+/// Switch bottom-up -> top-down when the frontier shrinks below 1/BETA of
+/// the vertices (GAP's tuned default).
+const BETA: usize = 18;
+
+/// Reusable per-traversal state: one atomic level array sized once and
+/// reset between runs, so repeated traversals (benches, betweenness-style
+/// multi-source loops) allocate nothing after the first.
+pub struct BfsState {
+    levels: Vec<AtomicI64>,
+}
+
+impl BfsState {
+    /// State for an `n`-vertex graph, all levels unreached.
+    pub fn new(n: usize) -> Self {
+        BfsState {
+            levels: (0..n).map(|_| AtomicI64::new(-1)).collect(),
+        }
+    }
+
+    /// Reset every level to unreached (parallel, cheap relative to a level).
+    fn reset(&mut self, pool: &ThreadPool) {
+        let levels = &self.levels;
+        parfor::parallel_for(pool, 0..levels.len(), 4096, |i| {
+            levels[i].store(-1, Ordering::Relaxed);
+        });
+    }
+
+    /// Extract the level array, consuming the state.
+    fn into_levels(self) -> Vec<i64> {
+        self.levels.into_iter().map(|a| a.into_inner()).collect()
+    }
+}
+
+/// One top-down expansion: relax out-edges of `frontier` (a queue), CAS
+/// unreached vertices to `level + 1`, and gather discoveries in
+/// deterministic chunk order into `next`. Returns the sum of out-degrees of
+/// the discovered vertices (the scout count for the direction heuristic).
+fn top_down_step(
+    pool: &ThreadPool,
+    csr: &Csr,
+    levels: &[AtomicI64],
+    frontier: &[u32],
+    level: i64,
+    sink: &ChunkedSink,
+    next: &mut Vec<u32>,
+) -> u64 {
+    // Serial fast path: one worker, or a frontier small enough for a single
+    // chunk. Emits in frontier order — exactly what the chunk-ordered merge
+    // would produce — while skipping the chunking and sink bookkeeping.
+    let serial = pool.threads() == 1;
+    let chunks = if serial {
+        Vec::new()
+    } else {
+        parfor::weighted_chunks(frontier.len(), CHUNK_WEIGHT, |i| {
+            csr.degree(frontier[i]) as u64 + 1
+        })
+    };
+    if serial || chunks.len() == 1 {
+        next.clear();
+        let mut scout = 0u64;
+        for &u in frontier {
+            for &v in csr.neighbors(u) {
+                if levels[v as usize]
+                    .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    next.push(v);
+                    scout += csr.degree(v) as u64;
+                }
+            }
+        }
+        return scout;
+    }
+    let scout = AtomicU64::new(0);
+    parfor::parallel_for_chunk_list(pool, &chunks, |worker, chunk, range| {
+        let mut buf = sink.take_buffer(worker);
+        let mut local_scout = 0u64;
+        for i in range {
+            let u = frontier[i];
+            for &v in csr.neighbors(u) {
+                if levels[v as usize]
+                    .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    buf.push(v);
+                    local_scout += csr.degree(v) as u64;
+                }
+            }
+        }
+        scout.fetch_add(local_scout, Ordering::Relaxed);
+        sink.commit(worker, chunk, buf);
+    });
+    next.clear();
+    sink.drain_into(next);
+    scout.into_inner()
+}
+
+/// Level-synchronous parallel BFS over a CSR (always top-down); returns
+/// per-vertex levels (`-1` = unreached) and the number of visited vertices.
+///
+/// Per-level output is merged from chunk-tagged worker buffers by prefix-sum
+/// compaction, so the merge is schedule-independent (frontier order depends
+/// only on which chunk discovered each vertex, never on worker timing) and
+/// the level array is bit-identical for every thread count — with no
+/// per-level sort.
 pub fn bfs(pool: &ThreadPool, csr: &Csr, source: u32) -> (Vec<i64>, u64) {
     let n = csr.num_vertices();
     if n == 0 || source as usize >= n {
         return (Vec::new(), 0);
     }
-    let levels: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(-1)).collect();
-    levels[source as usize].store(0, Ordering::Relaxed);
-    let mut frontier = vec![source];
-    let mut level = 0i64;
-    let visited = AtomicU64::new(1);
+    let mut state = BfsState::new(n);
+    let visited = bfs_with_state(pool, csr, source, &mut state);
+    (state.into_levels(), visited)
+}
 
+/// [`bfs`] against caller-owned [`BfsState`]; reuses the level allocation
+/// across calls. Returns the visited count; levels stay in `state`.
+pub fn bfs_with_state(pool: &ThreadPool, csr: &Csr, source: u32, state: &mut BfsState) -> u64 {
+    state.reset(pool);
+    let levels = &state.levels;
+    levels[source as usize].store(0, Ordering::Relaxed);
+    let sink = ChunkedSink::new(pool.threads());
+    let mut frontier = vec![source];
+    let mut next: Vec<u32> = Vec::new();
+    let mut level = 0i64;
+    let mut visited = 1u64;
     while !frontier.is_empty() {
-        let next: Vec<std::sync::Mutex<Vec<u32>>> = (0..pool.threads())
-            .map(|_| std::sync::Mutex::new(Vec::new()))
-            .collect();
-        let frontier_ref = &frontier;
-        let levels_ref = &levels;
-        let next_ref = &next;
-        let visited_ref = &visited;
-        let cursor = AtomicUsize::new(0);
-        pool.broadcast(|worker| {
-            let mut local = Vec::new();
-            loop {
-                let lo = cursor.fetch_add(64, Ordering::Relaxed);
-                if lo >= frontier_ref.len() {
-                    break;
-                }
-                let hi = (lo + 64).min(frontier_ref.len());
-                for &u in &frontier_ref[lo..hi] {
-                    for &v in csr.neighbors(u) {
-                        if levels_ref[v as usize]
-                            .compare_exchange(-1, level + 1, Ordering::Relaxed, Ordering::Relaxed)
-                            .is_ok()
-                        {
-                            local.push(v);
-                            visited_ref.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            }
-            next_ref[worker].lock().unwrap().append(&mut local);
-        });
-        frontier = next.into_iter().flat_map(|m| m.into_inner().unwrap()).collect();
-        frontier.sort_unstable(); // deterministic order across thread counts
+        top_down_step(pool, csr, levels, &frontier, level, &sink, &mut next);
+        visited += next.len() as u64;
+        std::mem::swap(&mut frontier, &mut next);
         level += 1;
     }
+    visited
+}
+
+/// One bottom-up step: every unreached vertex scans its *in*-edges for a
+/// parent in the (dense) frontier and adopts `level + 1` on the first hit.
+/// Returns (next-frontier bitmap, awake count).
+fn bottom_up_step(
+    pool: &ThreadPool,
+    bi: &BiCsr,
+    levels: &[AtomicI64],
+    frontier: &AtomicBitmap,
+    level: i64,
+) -> (AtomicBitmap, usize) {
+    let n = levels.len();
+    let inc = bi.inc();
+    let next = AtomicBitmap::new(n);
+    let awake = AtomicU64::new(0);
+    let chunks = parfor::weighted_chunks(n, CHUNK_WEIGHT, |v| inc.degree(v as u32) as u64 + 1);
+    parfor::parallel_for_chunk_list(pool, &chunks, |_worker, _chunk, range| {
+        let mut local_awake = 0u64;
+        for v in range {
+            if levels[v].load(Ordering::Relaxed) != -1 {
+                continue;
+            }
+            for &u in inc.neighbors(v as u32) {
+                if frontier.get(u as usize) {
+                    levels[v].store(level + 1, Ordering::Relaxed);
+                    next.set(v);
+                    local_awake += 1;
+                    break;
+                }
+            }
+        }
+        awake.fetch_add(local_awake, Ordering::Relaxed);
+    });
+    (next, awake.into_inner() as usize)
+}
+
+/// Direction-optimizing parallel BFS (Beamer's hybrid as tuned in the GAP
+/// benchmark suite): top-down while the frontier is small, bottom-up once
+/// the frontier's out-edges dominate the unexplored edges, back to top-down
+/// when the frontier collapses. Returns per-vertex levels (`-1` =
+/// unreached) and the visited count — identical output to [`bfs`].
+pub fn bfs_dir_opt(pool: &ThreadPool, bi: &BiCsr, source: u32) -> (Vec<i64>, u64) {
+    let n = bi.num_vertices();
+    if n == 0 || source as usize >= n {
+        return (Vec::new(), 0);
+    }
+    let m = bi.num_edges() as u64;
+    let out = bi.out();
+    let levels: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(-1)).collect();
+    levels[source as usize].store(0, Ordering::Relaxed);
+    let sink = ChunkedSink::new(pool.threads());
+    let mut frontier = Frontier::singleton(source);
+    let mut scout = out.degree(source) as u64;
+    let mut edges_to_check = m;
+    let mut level = 0i64;
+    let mut next_queue: Vec<u32> = Vec::new();
+
+    while !frontier.is_empty() {
+        if scout > edges_to_check / ALPHA {
+            // Bottom-up phase: stay here while the frontier is still growing
+            // or still a large fraction of the graph.
+            frontier.ensure_dense(n);
+            loop {
+                let before = frontier.len();
+                let (bits, awake) = bottom_up_step(
+                    pool,
+                    bi,
+                    &levels,
+                    frontier.as_dense().expect("ensured dense"),
+                    level,
+                );
+                level += 1;
+                frontier = Frontier::Dense { bits, count: awake };
+                if awake == 0 || (awake < before && awake * BETA < n) {
+                    break;
+                }
+            }
+            // Back to top-down: recompute the scout count for the (possibly
+            // sparse) surviving frontier.
+            let mut s = 0u64;
+            frontier.for_each(|v| s += out.degree(v) as u64);
+            scout = s;
+            if let Frontier::Dense { bits, count } = frontier {
+                frontier = Frontier::from_bitmap(bits, count);
+            }
+        } else {
+            edges_to_check = edges_to_check.saturating_sub(scout);
+            // The frontier may still be occupancy-dense even when the
+            // heuristic picks top-down; materialize a queue in that case.
+            let materialized;
+            let queue: &[u32] = match &frontier {
+                Frontier::Sparse(q) => q,
+                Frontier::Dense { bits, .. } => {
+                    materialized = bits.to_vec();
+                    &materialized
+                }
+            };
+            scout = top_down_step(pool, out, &levels, queue, level, &sink, &mut next_queue);
+            level += 1;
+            let produced = std::mem::take(&mut next_queue);
+            frontier = Frontier::from_queue(produced, n);
+        }
+    }
+    let visited = levels
+        .iter()
+        .filter(|l| l.load(Ordering::Relaxed) >= 0)
+        .count() as u64;
     (
         levels.into_iter().map(|a| a.into_inner()).collect(),
-        visited.into_inner(),
+        visited,
     )
 }
 
@@ -86,47 +299,161 @@ pub fn dcentr(pool: &ThreadPool, csr: &Csr) -> Vec<f64> {
         .collect()
 }
 
-/// Parallel connected components via min-label propagation (undirected
-/// view; symmetrize the CSR first for directed graphs). Returns per-vertex
-/// labels.
+/// Parallel connected components via frontier-driven min-label propagation
+/// (undirected view; symmetrize the CSR first for directed graphs).
+/// Returns per-vertex labels — the minimum dense id in each component.
+///
+/// Unlike the earlier whole-graph pull sweep repeated until fixpoint, only
+/// vertices whose label just improved push to their neighbors, so late
+/// rounds touch a shrinking active set instead of all `n` vertices. Labels
+/// converge to the per-component minimum — a unique fixed point, hence
+/// deterministic for any schedule.
 pub fn ccomp(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
     let n = csr.num_vertices();
-    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     if n == 0 {
         return Vec::new();
     }
-    loop {
-        let changed = AtomicU64::new(0);
-        parfor::parallel_for(pool, 0..n, 256, |u| {
-            let mut best = labels[u].load(Ordering::Relaxed);
-            for &v in csr.neighbors(u as u32) {
-                let lv = labels[v as usize].load(Ordering::Relaxed);
-                if lv < best {
-                    best = lv;
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    // Round 0: every vertex is active.
+    let mut frontier = Frontier::from_queue((0..n as u32).collect(), n);
+    while !frontier.is_empty() {
+        let next = AtomicBitmap::new(n);
+        let awake = AtomicU64::new(0);
+        let relax = |u: u32, local_awake: &mut u64| {
+            let lu = labels[u as usize].load(Ordering::Relaxed);
+            for &v in csr.neighbors(u) {
+                if labels[v as usize].fetch_min(lu, Ordering::Relaxed) > lu && next.set(v as usize)
+                {
+                    *local_awake += 1;
                 }
             }
-            let prev = labels[u].load(Ordering::Relaxed);
-            if best < prev {
-                labels[u].store(best, Ordering::Relaxed);
-                changed.fetch_add(1, Ordering::Relaxed);
+        };
+        match &frontier {
+            Frontier::Sparse(q) => {
+                let chunks =
+                    parfor::weighted_chunks(q.len(), CHUNK_WEIGHT, |i| csr.degree(q[i]) as u64 + 1);
+                parfor::parallel_for_chunk_list(pool, &chunks, |_w, _c, range| {
+                    let mut local = 0u64;
+                    for i in range {
+                        relax(q[i], &mut local);
+                    }
+                    awake.fetch_add(local, Ordering::Relaxed);
+                });
             }
+            Frontier::Dense { bits, .. } => {
+                let chunks =
+                    parfor::weighted_chunks(n, CHUNK_WEIGHT, |v| csr.degree(v as u32) as u64 + 1);
+                parfor::parallel_for_chunk_list(pool, &chunks, |_w, _c, range| {
+                    let mut local = 0u64;
+                    for v in range {
+                        if bits.get(v) {
+                            relax(v as u32, &mut local);
+                        }
+                    }
+                    awake.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        }
+        frontier = Frontier::from_bitmap(next, awake.into_inner() as usize);
+    }
+    labels.into_iter().map(|a| a.into_inner()).collect()
+}
+
+/// Parallel k-core decomposition over a **symmetrized, deduplicated** CSR
+/// (build with [`Csr::symmetrize`], which also drops self-loops — the same
+/// undirected view the sequential Matula–Beck peeler uses). Returns each
+/// vertex's core number.
+///
+/// ParK-style level-synchronous peeling: all vertices of the current
+/// minimum degree `k` peel together; each removal decrements neighbor
+/// degrees with a clamp at `k` (`fetch_update`), and exactly the thread
+/// that observes the `k + 1 -> k` transition enqueues the neighbor for this
+/// level's next wave. Core numbers are a graph invariant, so the output is
+/// deterministic for any schedule.
+pub fn kcore(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
+    let n = csr.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    const UNPEELED: u32 = u32::MAX;
+    let deg: Vec<AtomicU32> = (0..n)
+        .map(|v| AtomicU32::new(csr.degree(v as u32)))
+        .collect();
+    let core: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNPEELED)).collect();
+    let sink = ChunkedSink::new(pool.threads());
+    let mut remaining = n;
+    let mut k = 0u32;
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut next: Vec<u32> = Vec::new();
+    while remaining > 0 {
+        // Seed this level: alive vertices whose degree has reached k.
+        // (Alive vertices always have degree >= k here, see the clamp.)
+        let chunks = parfor::weighted_chunks(n, CHUNK_WEIGHT, |_| 1);
+        parfor::parallel_for_chunk_list(pool, &chunks, |worker, chunk, range| {
+            let mut buf = sink.take_buffer(worker);
+            for v in range {
+                if core[v].load(Ordering::Relaxed) == UNPEELED
+                    && deg[v].load(Ordering::Relaxed) <= k
+                {
+                    buf.push(v as u32);
+                }
+            }
+            sink.commit(worker, chunk, buf);
         });
-        if changed.load(Ordering::Relaxed) == 0 {
-            break;
+        frontier.clear();
+        sink.drain_into(&mut frontier);
+        if frontier.is_empty() {
+            // Nothing at this k: jump straight to the smallest alive degree.
+            k = parfor::parallel_reduce(
+                pool,
+                0..n,
+                4096,
+                u32::MAX,
+                |v| {
+                    if core[v].load(Ordering::Relaxed) == UNPEELED {
+                        deg[v].load(Ordering::Relaxed)
+                    } else {
+                        u32::MAX
+                    }
+                },
+                |a, b| a.min(b),
+            );
+            continue;
         }
-    }
-    // Pointer-jump to the root label so every member carries its
-    // component's minimum id.
-    let raw: Vec<u32> = labels.iter().map(|a| a.load(Ordering::Relaxed)).collect();
-    let mut out = raw.clone();
-    for u in 0..n {
-        let mut l = out[u];
-        while out[l as usize] != l {
-            l = out[l as usize];
+        // Peel waves at this k until no more degrees collapse to k.
+        while !frontier.is_empty() {
+            remaining -= frontier.len();
+            let chunks = parfor::weighted_chunks(frontier.len(), CHUNK_WEIGHT, |i| {
+                csr.degree(frontier[i]) as u64 + 1
+            });
+            let f = &frontier;
+            parfor::parallel_for_chunk_list(pool, &chunks, |worker, chunk, range| {
+                let mut buf = sink.take_buffer(worker);
+                for i in range {
+                    let v = f[i];
+                    core[v as usize].store(k, Ordering::Relaxed);
+                    for &u in csr.neighbors(v) {
+                        // Decrement, clamped at k: peeled/at-k neighbors stay
+                        // untouched, and exactly one decrementer sees k+1.
+                        let prev = deg[u as usize].fetch_update(
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                            |d| if d > k { Some(d - 1) } else { None },
+                        );
+                        if prev == Ok(k + 1) {
+                            buf.push(u);
+                        }
+                    }
+                }
+                sink.commit(worker, chunk, buf);
+            });
+            next.clear();
+            sink.drain_into(&mut next);
+            std::mem::swap(&mut frontier, &mut next);
         }
-        out[u] = l;
+        k += 1;
     }
-    out
+    core.into_iter().map(|a| a.into_inner()).collect()
 }
 
 /// Parallel SSSP via round-synchronous Bellman-Ford relaxation (the
@@ -355,21 +682,118 @@ mod tests {
     }
 
     #[test]
+    fn dir_opt_bfs_matches_sequential_levels() {
+        let (mut g, csr) = ldbc(400);
+        let bi = BiCsr::directed(csr.clone());
+        let (levels, visited) = bfs_dir_opt(&pool(), &bi, 0);
+        let root = g.vertex_ids()[0];
+        let seq = crate::bfs::run(&mut g, root);
+        assert_eq!(visited, seq.visited);
+        for (dense, &l) in levels.iter().enumerate() {
+            let id = csr.id_of(dense as u32);
+            let seq_level = crate::bfs::level_of(&g, id).map(|x| x as i64).unwrap_or(-1);
+            assert_eq!(l, seq_level, "vertex {id}");
+        }
+    }
+
+    #[test]
+    fn dir_opt_bfs_matches_top_down_everywhere() {
+        // Dense enough that the heuristic actually goes bottom-up.
+        for n in [64usize, 300, 900] {
+            let (_, csr) = ldbc(n);
+            let bi = BiCsr::directed(csr.clone());
+            let (td, tv) = bfs(&pool(), &csr, 0);
+            let (opt, ov) = bfs_dir_opt(&pool(), &bi, 0);
+            assert_eq!(td, opt, "n={n}");
+            assert_eq!(tv, ov, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dir_opt_bfs_on_symmetric_view() {
+        let (_, csr) = ldbc(300);
+        let sym = csr.symmetrize();
+        let (td, _) = bfs(&pool(), &sym, 0);
+        let bi = BiCsr::symmetric(sym);
+        let (opt, _) = bfs_dir_opt(&pool(), &bi, 0);
+        assert_eq!(td, opt);
+    }
+
+    #[test]
+    fn bfs_state_reuse_matches_fresh_runs() {
+        let (_, csr) = ldbc(200);
+        let p = pool();
+        let mut state = BfsState::new(csr.num_vertices());
+        let v0 = bfs_with_state(&p, &csr, 0, &mut state);
+        let first: Vec<i64> = state
+            .levels
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        // Run from another source, then back: state must fully reset.
+        bfs_with_state(&p, &csr, 5, &mut state);
+        let v2 = bfs_with_state(&p, &csr, 0, &mut state);
+        let again: Vec<i64> = state
+            .levels
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        assert_eq!(v0, v2);
+        assert_eq!(first, again);
+        assert_eq!((first, v0), bfs(&p, &csr, 0));
+    }
+
+    #[test]
+    fn parallel_kcore_matches_sequential() {
+        let (mut g, csr) = ldbc(300);
+        let sym = csr.symmetrize();
+        let cores = kcore(&pool(), &sym);
+        crate::kcore::run(&mut g);
+        for (dense, &c) in cores.iter().enumerate() {
+            let id = csr.id_of(dense as u32);
+            let want = crate::kcore::core_of(&g, id).expect("vertex exists");
+            assert_eq!(c, want, "vertex {id}");
+        }
+    }
+
+    #[test]
+    fn kcore_handles_disconnected_and_isolated() {
+        // Two triangles joined by a bridge, plus an isolated vertex.
+        let edges = [
+            (0u32, 1u32, 1.0f32),
+            (1, 2, 1.0),
+            (2, 0, 1.0),
+            (3, 4, 1.0),
+            (4, 5, 1.0),
+            (5, 3, 1.0),
+            (0, 3, 1.0),
+        ];
+        let sym = Csr::from_edges(7, &edges).symmetrize();
+        let cores = kcore(&pool(), &sym);
+        assert_eq!(cores, vec![2, 2, 2, 2, 2, 2, 0]);
+    }
+
+    #[test]
     fn results_independent_of_thread_count() {
         let (_, csr) = ldbc(250);
         let one = ThreadPool::new(1);
         let eight = ThreadPool::new(8);
         assert_eq!(bfs(&one, &csr, 0).0, bfs(&eight, &csr, 0).0);
+        let bi = BiCsr::directed(csr.clone());
+        assert_eq!(bfs_dir_opt(&one, &bi, 0), bfs_dir_opt(&eight, &bi, 0));
         let sym = csr.symmetrize();
         assert_eq!(ccomp(&one, &sym), ccomp(&eight, &sym));
+        assert_eq!(kcore(&one, &sym), kcore(&eight, &sym));
     }
 
     #[test]
     fn empty_csr_is_handled() {
         let csr = Csr::from_edges(0, &[]);
         assert_eq!(bfs(&pool(), &csr, 0).1, 0);
+        assert_eq!(bfs_dir_opt(&pool(), &BiCsr::directed(csr.clone()), 0).1, 0);
         assert!(dcentr(&pool(), &csr).is_empty());
         assert!(ccomp(&pool(), &csr).is_empty());
+        assert!(kcore(&pool(), &csr).is_empty());
         assert_eq!(tc(&pool(), &csr), 0);
     }
 }

@@ -106,17 +106,59 @@ impl Workload {
         use WorkloadCategory::*;
         let (short_name, category, computation_type, use_cases, on_gpu, algorithm) = match self {
             Bfs => ("BFS", GraphTraversal, CompStruct, 10, true, "frontier BFS"),
-            Dfs => ("DFS", GraphTraversal, CompStruct, 8, false, "iterative stack DFS"),
-            GCons => ("GCons", GraphUpdate, CompDyn, 7, false, "incremental construction"),
+            Dfs => (
+                "DFS",
+                GraphTraversal,
+                CompStruct,
+                8,
+                false,
+                "iterative stack DFS",
+            ),
+            GCons => (
+                "GCons",
+                GraphUpdate,
+                CompDyn,
+                7,
+                false,
+                "incremental construction",
+            ),
             GUp => ("GUp", GraphUpdate, CompDyn, 6, false, "vertex deletion"),
             TMorph => ("TMorph", GraphUpdate, CompDyn, 5, false, "DAG moralization"),
             SPath => ("SPath", GraphAnalytics, CompStruct, 8, true, "Dijkstra"),
-            KCore => ("kCore", GraphAnalytics, CompStruct, 5, true, "Matula & Beck"),
-            CComp => ("CComp", GraphAnalytics, CompStruct, 7, true, "BFS labeling / Soman (GPU)"),
+            KCore => (
+                "kCore",
+                GraphAnalytics,
+                CompStruct,
+                5,
+                true,
+                "Matula & Beck",
+            ),
+            CComp => (
+                "CComp",
+                GraphAnalytics,
+                CompStruct,
+                7,
+                true,
+                "BFS labeling / Soman (GPU)",
+            ),
             GColor => ("GColor", GraphAnalytics, CompStruct, 5, true, "Luby-Jones"),
             Tc => ("TC", GraphAnalytics, CompProp, 4, true, "Schank"),
-            Gibbs => ("Gibbs", GraphAnalytics, CompProp, 5, false, "Gibbs sampling"),
-            DCentr => ("DCentr", SocialAnalysis, CompStruct, 9, true, "degree centrality"),
+            Gibbs => (
+                "Gibbs",
+                GraphAnalytics,
+                CompProp,
+                5,
+                false,
+                "Gibbs sampling",
+            ),
+            DCentr => (
+                "DCentr",
+                SocialAnalysis,
+                CompStruct,
+                9,
+                true,
+                "degree centrality",
+            ),
             BCentr => ("BCentr", SocialAnalysis, CompStruct, 7, true, "Brandes"),
         };
         WorkloadMeta {
@@ -137,7 +179,11 @@ impl Workload {
 
     /// The workloads with GPU implementations (Table 3's "8 GPU workloads").
     pub fn gpu_workloads() -> Vec<Workload> {
-        Self::ALL.iter().copied().filter(|w| w.meta().on_gpu).collect()
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|w| w.meta().on_gpu)
+            .collect()
     }
 }
 
@@ -183,7 +229,9 @@ mod tests {
         use graphbig_framework::ComputationType;
         for ct in ComputationType::ALL {
             assert!(
-                Workload::ALL.iter().any(|w| w.meta().computation_type == ct),
+                Workload::ALL
+                    .iter()
+                    .any(|w| w.meta().computation_type == ct),
                 "no workload covers {ct}"
             );
         }

@@ -93,7 +93,8 @@ pub fn run_t<T: Tracer>(g: &mut PropertyGraph, source: VertexId, t: &mut T) -> S
 
 /// Distance of a vertex after a run (`None` if unreached).
 pub fn distance_of(g: &PropertyGraph, v: VertexId) -> Option<f64> {
-    g.get_vertex_prop(v, keys::DISTANCE).and_then(|p| p.as_float())
+    g.get_vertex_prop(v, keys::DISTANCE)
+        .and_then(|p| p.as_float())
 }
 
 /// Bellman–Ford reference implementation for validation (untraced, O(VE)).

@@ -33,9 +33,8 @@ pub fn run_t<T: Tracer>(g: &mut PropertyGraph, t: &mut T) -> TcResult {
     }
     let mut sorted_ids = ids.clone();
     sorted_ids.sort_unstable();
-    let dense = |id: VertexId| -> u32 {
-        sorted_ids.binary_search(&id).expect("live vertex") as u32
-    };
+    let dense =
+        |id: VertexId| -> u32 { sorted_ids.binary_search(&id).expect("live vertex") as u32 };
 
     // Gather the undirected adjacency through framework traversal, dedup,
     // then orient each edge from its lower-degree endpoint — Schank's

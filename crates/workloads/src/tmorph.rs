@@ -157,10 +157,15 @@ mod tests {
 
     #[test]
     fn moral_graph_is_symmetric() {
-        let dag = graphbig_datagen::dag::generate(&graphbig_datagen::dag::DagConfig::with_vertices(300));
+        let dag =
+            graphbig_datagen::dag::generate(&graphbig_datagen::dag::DagConfig::with_vertices(300));
         let (moral, _) = run(&dag);
         for (u, e) in moral.arcs() {
-            assert!(moral.has_edge(e.target, u), "{u} — {} not symmetric", e.target);
+            assert!(
+                moral.has_edge(e.target, u),
+                "{u} — {} not symmetric",
+                e.target
+            );
         }
     }
 

@@ -45,5 +45,7 @@ fn main() {
         );
     }
     println!("\nhigh BDR = warp lanes idled by degree imbalance; high MDR = scattered 128-byte transactions.");
-    println!("Compare thread-centric (BFS, DCentr, GColor) against edge-centric (CComp, TC) designs.");
+    println!(
+        "Compare thread-centric (BFS, DCentr, GColor) against edge-centric (CComp, TC) designs."
+    );
 }

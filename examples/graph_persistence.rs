@@ -49,14 +49,14 @@ fn main() {
     // -- text edge list: topology-only interchange ------------------------
     let mut text = Vec::new();
     edgelist::write_graph(&g, &mut text).expect("write edge list");
-    println!(
-        "\ntext edge list: {} bytes; first lines:",
-        text.len()
-    );
+    println!("\ntext edge list: {} bytes; first lines:", text.len());
     for line in String::from_utf8_lossy(&text).lines().take(4) {
         println!("  {line}");
     }
     let reparsed = edgelist::read_graph(text.as_slice()).expect("parse edge list");
     assert_eq!(reparsed.num_arcs(), g.num_arcs());
-    println!("re-parsed {} arcs — ready for exchange with SNAP-style tools.", reparsed.num_arcs());
+    println!(
+        "re-parsed {} arcs — ready for exchange with SNAP-style tools.",
+        reparsed.num_arcs()
+    );
 }

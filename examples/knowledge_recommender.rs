@@ -37,10 +37,7 @@ fn main() {
         .max_by_key(|&v| g.out_degree(v).unwrap_or(0))
         .expect("graph has users");
     let my_docs: Vec<VertexId> = g.neighbors(user).map(|e| e.target).collect();
-    println!(
-        "\ntarget user {user} accessed {} documents",
-        my_docs.len()
-    );
+    println!("\ntarget user {user} accessed {} documents", my_docs.len());
 
     // two-hop co-access scoring: my docs -> their other readers -> docs
     let mut scores: HashMap<VertexId, u64> = HashMap::new();
@@ -68,10 +65,8 @@ fn main() {
     }
 
     // information-network feature check (Table 2): large 2-hop neighborhoods
-    let two_hop: std::collections::HashSet<VertexId> = my_docs
-        .iter()
-        .flat_map(|&d| g.parents(d))
-        .collect();
+    let two_hop: std::collections::HashSet<VertexId> =
+        my_docs.iter().flat_map(|&d| g.parents(d)).collect();
     println!(
         "\nthe user's 2-hop neighborhood spans {} other readers — the 'large small-hop neighbourhood' feature of information networks",
         two_hop.len()

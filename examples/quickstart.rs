@@ -17,10 +17,18 @@ fn main() {
     let carol = g.add_vertex();
     let dave = g.add_vertex();
 
-    g.set_vertex_prop(alice, graphbig::framework::property::keys::LABEL, Property::Text("alice".into()))
-        .unwrap();
-    g.set_vertex_prop(bob, graphbig::framework::property::keys::LABEL, Property::Text("bob".into()))
-        .unwrap();
+    g.set_vertex_prop(
+        alice,
+        graphbig::framework::property::keys::LABEL,
+        Property::Text("alice".into()),
+    )
+    .unwrap();
+    g.set_vertex_prop(
+        bob,
+        graphbig::framework::property::keys::LABEL,
+        Property::Text("bob".into()),
+    )
+    .unwrap();
 
     g.add_edge(alice, bob, 1.0).unwrap();
     g.add_edge(alice, carol, 2.0).unwrap();
@@ -29,10 +37,7 @@ fn main() {
 
     println!("built {:?}", g);
     println!("alice's out-degree: {}", g.out_degree(alice).unwrap());
-    println!(
-        "dave's parents: {:?}",
-        g.parents(dave).collect::<Vec<_>>()
-    );
+    println!("dave's parents: {:?}", g.parents(dave).collect::<Vec<_>>());
 
     // -- the vertex-centric representation (Figure 2c) -------------------
     println!("\nvertex-centric layout (per-vertex structures):");
@@ -43,7 +48,12 @@ fn main() {
             .and_then(|p| p.as_text())
             .unwrap_or("-");
         let out: Vec<_> = v.out.iter().map(|e| e.target).collect();
-        println!("  vertex {} [{label}]: out {:?}, in-degree {}", v.id, out, v.in_degree());
+        println!(
+            "  vertex {} [{label}]: out {:?}, in-degree {}",
+            v.id,
+            out,
+            v.in_degree()
+        );
     }
 
     // -- the CSR snapshot (Figure 2b) -------------------------------------
@@ -54,7 +64,10 @@ fn main() {
 
     // -- run a workload ----------------------------------------------------
     let r = graphbig::workloads::bfs::run(&mut g, alice);
-    println!("\nBFS from alice: visited {} vertices, depth {}", r.visited, r.max_level);
+    println!(
+        "\nBFS from alice: visited {} vertices, depth {}",
+        r.visited, r.max_level
+    );
     for v in [alice, bob, carol, dave] {
         println!(
             "  level of {v}: {:?}",
@@ -66,5 +79,8 @@ fn main() {
     g.delete_vertex(bob).unwrap();
     println!("\nafter deleting bob: {:?}", g);
     assert!(g.parents(dave).all(|p| p != bob));
-    println!("dave's remaining parents: {:?}", g.parents(dave).collect::<Vec<_>>());
+    println!(
+        "dave's remaining parents: {:?}",
+        g.parents(dave).collect::<Vec<_>>()
+    );
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, test, lint, format.
+#
+# Usage: scripts/ci.sh [--offline]
+#   --offline is forwarded to every cargo invocation (vendored/patched
+#   dependency environments).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if [[ "${1:-}" == "--offline" ]]; then
+  OFFLINE=(--offline)
+fi
+
+echo "==> cargo build --release"
+cargo build "${OFFLINE[@]}" --workspace --release
+
+echo "==> cargo test -q"
+cargo test "${OFFLINE[@]}" --workspace -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI OK"

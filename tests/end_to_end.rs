@@ -91,7 +91,12 @@ fn profiled_runs_are_deterministic() {
     assert_eq!(a.branch.mispredictions, b.branch.mispredictions);
     assert_eq!(a.loads, b.loads);
     let rel = (a.l3.misses as f64 - b.l3.misses as f64).abs() / a.l3.misses.max(1) as f64;
-    assert!(rel < 0.15, "L3 misses drifted {rel}: {} vs {}", a.l3.misses, b.l3.misses);
+    assert!(
+        rel < 0.15,
+        "L3 misses drifted {rel}: {} vs {}",
+        a.l3.misses,
+        b.l3.misses
+    );
 }
 
 #[test]
@@ -137,7 +142,10 @@ fn gpu_divergence_structure_holds_on_ldbc() {
     let gcolor = bdr_of(Workload::GColor);
     assert!(kcore < bfs, "kCore {kcore} should stay below BFS {bfs}");
     assert!(ccomp < bfs, "edge-centric CComp {ccomp} below BFS {bfs}");
-    assert!(gcolor > ccomp, "GColor {gcolor} is branch-heavy vs CComp {ccomp}");
+    assert!(
+        gcolor > ccomp,
+        "GColor {gcolor} is branch-heavy vs CComp {ccomp}"
+    );
 }
 
 #[test]

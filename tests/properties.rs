@@ -24,6 +24,87 @@ fn build(n: u64, edges: &[(u64, u64)]) -> PropertyGraph {
     g
 }
 
+/// Direction-optimizing BFS levels equal the sequential framework BFS on a
+/// random graph, for 1-, 2- and 8-thread pools.
+fn check_dir_opt_bfs_matches_sequential(n: u64, edges: &[(u64, u64)]) {
+    use graphbig::framework::csr::BiCsr;
+    use graphbig::runtime::ThreadPool;
+    use graphbig::workloads::parallel;
+
+    let mut g = build(n, edges);
+    let csr = Csr::from_graph(&g);
+    let source = csr.dense_of(0).expect("vertex 0 exists");
+    graphbig::workloads::bfs::run(&mut g, 0);
+    let seq: Vec<i64> = (0..csr.num_vertices() as u32)
+        .map(|u| {
+            graphbig::workloads::bfs::level_of(&g, csr.id_of(u))
+                .map(|x| x as i64)
+                .unwrap_or(-1)
+        })
+        .collect();
+    let bi = BiCsr::directed(csr);
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let (levels, _) = parallel::bfs_dir_opt(&pool, &bi, source);
+        assert_eq!(levels, seq, "{threads} threads");
+        let (td, _) = parallel::bfs(&pool, bi.out(), source);
+        assert_eq!(td, seq, "top-down, {threads} threads");
+    }
+}
+
+/// Parallel ccomp labels induce the same partition as sequential ccomp on a
+/// random graph, for 1-, 2- and 8-thread pools.
+fn check_parallel_ccomp_matches_sequential(n: u64, edges: &[(u64, u64)]) {
+    use graphbig::runtime::ThreadPool;
+    use graphbig::workloads::parallel;
+
+    let mut g = build(n, edges);
+    let csr = Csr::from_graph(&g);
+    let sym = csr.symmetrize();
+    graphbig::workloads::ccomp::run(&mut g);
+    let seq: Vec<i64> = (0..csr.num_vertices() as u32)
+        .map(|u| graphbig::workloads::ccomp::component_of(&g, csr.id_of(u)).unwrap())
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let par = parallel::ccomp(&pool, &sym);
+        // Same partition: pairs agree on "same component" both ways.
+        let mut seq_to_par = std::collections::HashMap::new();
+        let mut par_to_seq = std::collections::HashMap::new();
+        for (i, (&s, &p)) in seq.iter().zip(par.iter()).enumerate() {
+            assert_eq!(
+                *seq_to_par.entry(s).or_insert(p),
+                p,
+                "vertex {i}, {threads} threads"
+            );
+            assert_eq!(
+                *par_to_seq.entry(p).or_insert(s),
+                s,
+                "vertex {i}, {threads} threads"
+            );
+        }
+    }
+}
+
+/// Parallel kcore numbers equal the sequential Matula–Beck peeler on a
+/// random graph, for 1-, 2- and 8-thread pools.
+fn check_parallel_kcore_matches_sequential(n: u64, edges: &[(u64, u64)]) {
+    use graphbig::runtime::ThreadPool;
+    use graphbig::workloads::parallel;
+
+    let mut g = build(n, edges);
+    let csr = Csr::from_graph(&g);
+    let sym = csr.symmetrize();
+    graphbig::workloads::kcore::run(&mut g);
+    let seq: Vec<u32> = (0..csr.num_vertices() as u32)
+        .map(|u| graphbig::workloads::kcore::core_of(&g, csr.id_of(u)).unwrap())
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        assert_eq!(parallel::kcore(&pool, &sym), seq, "{threads} threads");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -150,6 +231,21 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&r.metrics.mdr));
         prop_assert!(r.metrics.read_throughput_gbps <= cfg.peak_bandwidth_gbps);
         prop_assert!(r.metrics.ipc <= cfg.issue_per_sm + 1e-9);
+    }
+
+    #[test]
+    fn dir_opt_bfs_matches_sequential_on_random_graphs((n, edges) in edges_strategy(50, 250)) {
+        check_dir_opt_bfs_matches_sequential(n, &edges);
+    }
+
+    #[test]
+    fn parallel_ccomp_partition_matches_sequential((n, edges) in edges_strategy(50, 200)) {
+        check_parallel_ccomp_matches_sequential(n, &edges);
+    }
+
+    #[test]
+    fn parallel_kcore_matches_sequential_on_random_graphs((n, edges) in edges_strategy(40, 180)) {
+        check_parallel_kcore_matches_sequential(n, &edges);
     }
 
     #[test]
