@@ -1,0 +1,55 @@
+//! Telemetry overhead benchmark: the zero-cost claim, measured.
+//!
+//! Runs direction-optimizing BFS over the LDBC generator at 2^16 vertices
+//! three ways:
+//!
+//! * `runtime_off` — spans compiled in (this crate's default `telemetry`
+//!   feature) but the runtime gate closed: the recording path is a single
+//!   relaxed atomic load per span site.
+//! * `runtime_on` — gate open, spans buffered per thread; the budget is
+//!   <2% over `runtime_off` (a handful of spans per BFS level).
+//! * building with `--no-default-features` turns the whole crate into
+//!   no-ops and makes `runtime_on`/`runtime_off` identical — compare that
+//!   run's numbers against a default build to verify the compile-time
+//!   claim.
+//!
+//! Baseline numbers live in `results/BENCH_telemetry_overhead.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphbig::framework::csr::{BiCsr, Csr};
+use graphbig::prelude::*;
+use graphbig::telemetry;
+use graphbig::workloads::parallel;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    let g = Dataset::Ldbc.generate_with_vertices(1usize << 16);
+    let bi = BiCsr::directed(Csr::from_graph(&g));
+    let pool = ThreadPool::new(threads);
+
+    let mut group = c.benchmark_group("telemetry_overhead_ldbc_64k");
+    group.sample_size(10);
+
+    telemetry::disable();
+    group.bench_function("bfs_dir_opt/runtime_off", |b| {
+        b.iter(|| black_box(parallel::bfs_dir_opt(&pool, &bi, 0)))
+    });
+
+    telemetry::enable();
+    group.bench_function("bfs_dir_opt/runtime_on", |b| {
+        b.iter(|| {
+            let r = black_box(parallel::bfs_dir_opt(&pool, &bi, 0));
+            // Drain per-thread buffers so memory stays flat across samples
+            // and each iteration pays the same recording cost.
+            drop(telemetry::take_trace());
+            r
+        })
+    });
+    telemetry::disable();
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -5,17 +5,20 @@
 //! showing where the working set's knee sits and why the paper's 20 MB L3
 //! still misses ("L2 and L3 caches indeed show extremely low hit rates").
 //!
-//! Usage: `ablation_cache_sweep [--scale 0.01]`
+//! Usage: `ablation_cache_sweep [--scale 0.01] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::framework::trace::RecordingTracer;
 use graphbig::machine::{CoreModel, CpuConfig};
 use graphbig::profile::Table;
 use graphbig::workloads::bfs;
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.01);
+    let mut rep = Reporter::new("ablation_cache_sweep");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let mut g = Dataset::Ldbc.generate(scale);
     let root = g.vertex_ids()[0];
 
@@ -23,6 +26,7 @@ fn main() {
     let mut rec = RecordingTracer::new();
     bfs::run_t(&mut g, root, &mut rec);
     eprintln!("  {} events", rec.events.len());
+    rep.counter("ablation.trace.events", rec.events.len() as u64);
 
     let mut table = Table::new(
         &format!("Ablation: L3 capacity sweep, one BFS trace (LDBC scale {scale})"),
@@ -41,6 +45,7 @@ fn main() {
             Table::f(c.ipc()),
         ]);
     }
-    println!("{}", table.render());
-    println!("expected: MPKI falls monotonically with capacity; the graph's scattered footprint keeps the knee far right.");
+    rep.table(&table);
+    rep.note("expected: MPKI falls monotonically with capacity; the graph's scattered footprint keeps the knee far right.");
+    rep.finish();
 }

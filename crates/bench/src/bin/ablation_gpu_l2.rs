@@ -4,7 +4,7 @@
 //! (TC's hot forward lists) look memory-bound; with it, the Figure 11
 //! contrast between streaming (CComp) and reuse-heavy (TC) kernels appears.
 //!
-//! Usage: `ablation_gpu_l2 [--scale 0.02]`
+//! Usage: `ablation_gpu_l2 [--scale 0.02] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::framework::csr::Csr;
@@ -12,10 +12,13 @@ use graphbig::gpu::registry::{run_gpu_workload, GpuRunParams};
 use graphbig::profile::Table;
 use graphbig::simt::GpuConfig;
 use graphbig::workloads::Workload;
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.02);
+    let mut rep = Reporter::new("ablation_gpu_l2");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let g = Dataset::Ldbc.generate(scale);
     let csr = Csr::from_graph(&g);
     let params = GpuRunParams::default();
@@ -51,8 +54,9 @@ fn main() {
             Table::f3(b.metrics.time_ms),
         ]);
     }
-    println!("{}", table.render());
-    println!(
-        "expected: TC slows most without L2 (hot-list reuse); streaming kernels change least."
+    rep.table(&table);
+    rep.note(
+        "expected: TC slows most without L2 (hot-list reuse); streaming kernels change least.",
     );
+    rep.finish();
 }

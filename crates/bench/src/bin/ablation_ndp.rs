@@ -6,7 +6,7 @@
 //! Memory-bound CompStruct workloads should gain; the compute-bound
 //! CompProp workloads should not.
 //!
-//! Usage: `ablation_ndp [--scale 0.02]`
+//! Usage: `ablation_ndp [--scale 0.02] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::machine::ndp::{self, NdpConfig};
@@ -14,10 +14,13 @@ use graphbig::machine::CpuConfig;
 use graphbig::profile::Table;
 use graphbig::workloads::Workload;
 use graphbig_bench::cpu_char::{figure_params, profile_workload};
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.02);
+    let mut rep = Reporter::new("ablation_ndp");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let params = figure_params(scale);
     let cpu = CpuConfig::xeon_e5();
     let ndp_cfg = NdpConfig::hmc_class();
@@ -44,6 +47,7 @@ fn main() {
             format!("{speedup:.1}x"),
         ]);
     }
-    println!("{}", table.render());
-    println!("expected: CompStruct (memory-bound) gains most; CompProp gains least.");
+    rep.table(&table);
+    rep.note("expected: CompStruct (memory-bound) gains most; CompProp gains least.");
+    rep.finish();
 }

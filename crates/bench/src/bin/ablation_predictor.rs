@@ -5,7 +5,7 @@
 //! which a bimodal component captures and pure history-indexed prediction
 //! does not; TC's value-dependent compares defeat all three.
 //!
-//! Usage: `ablation_predictor [--scale 0.01]`
+//! Usage: `ablation_predictor [--scale 0.01] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::machine::branch::PredictorKind;
@@ -13,10 +13,13 @@ use graphbig::machine::{CoreModel, CpuConfig};
 use graphbig::profile::Table;
 use graphbig::workloads::harness::{run_traced, RunParams};
 use graphbig::workloads::Workload;
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.01);
+    let mut rep = Reporter::new("ablation_predictor");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let kinds = [
         ("tournament", PredictorKind::Tournament),
         ("gshare", PredictorKind::Gshare),
@@ -44,8 +47,9 @@ fn main() {
         }
         table.row(row);
     }
-    println!("{}", table.render());
-    println!(
-        "expected: tournament <= min(gshare, bimodal) everywhere; TC stays high under all three."
+    rep.table(&table);
+    rep.note(
+        "expected: tournament <= min(gshare, bimodal) everywhere; TC stays high under all three.",
     );
+    rep.finish();
 }

@@ -6,17 +6,20 @@
 //! requirement". This binary runs the *same* BFS on both representations
 //! through the machine model and prints the cache/TLB cost of flexibility.
 //!
-//! Usage: `ablation_representation [--scale 0.03]`
+//! Usage: `ablation_representation [--scale 0.03] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::framework::csr::Csr;
 use graphbig::machine::{CoreModel, CpuConfig};
 use graphbig::profile::Table;
 use graphbig::workloads::bfs;
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.03);
+    let mut rep = Reporter::new("ablation_representation");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let mut g = Dataset::Ldbc.generate(scale);
     let csr = Csr::from_graph(&g);
     let root = g.vertex_ids()[0];
@@ -54,10 +57,12 @@ fn main() {
             format!("{:.0}", c.total_cycles()),
         ]);
     }
-    println!("{}", table.render());
+    rep.table(&table);
     let ratio = vc_counters.total_cycles() / csr_counters.total_cycles().max(1.0);
-    println!(
+    rep.gauge("ablation.representation.flexibility_tax", ratio);
+    rep.note(&format!(
         "flexibility tax: the dynamic vertex-centric layout costs {ratio:.1}x the cycles of the static CSR \
          (paper, Section 2: CSR has better locality but supports no structural updates)."
-    );
+    ));
+    rep.finish();
 }

@@ -1,10 +1,13 @@
 //! Diagnostic tool: per-site branch misprediction breakdown for one
-//! workload (usage: diag_branch_sites [bfs|gibbs|dcentr]). Useful when
-//! tuning the predictor or a workload instruction mix.
+//! workload (usage: diag_branch_sites [bfs|gibbs|dcentr] [--emit <path>]
+//! [--quiet]). Useful when tuning the predictor or a workload instruction
+//! mix.
 use graphbig::framework::trace::{Region, Tracer};
 use graphbig::machine::branch::{BranchConfig, BranchPredictor};
+use graphbig::profile::Table;
 use graphbig::workloads::harness::{run_traced, RunParams};
 use graphbig::workloads::Workload;
+use graphbig_bench::harness::Reporter;
 use std::collections::HashMap;
 
 struct SiteTracer {
@@ -29,6 +32,9 @@ fn main() {
         Some("dcentr") => Workload::DCentr,
         _ => Workload::Bfs,
     };
+    let mut rep = Reporter::new("diag_branch_sites");
+    rep.workload(w.short_name());
+    rep.dataset("LDBC");
     let mut g = graphbig::datagen::Dataset::Ldbc.generate_with_vertices(5_000);
     let mut t = SiteTracer {
         bp: BranchPredictor::new(BranchConfig::default()),
@@ -46,10 +52,18 @@ fn main() {
     );
     let mut v: Vec<_> = t.per_site.into_iter().collect();
     v.sort_by_key(|&(_, (_, m))| std::cmp::Reverse(m));
+    let mut table = Table::new(
+        &format!("Branch sites by misses ({w})"),
+        &["site", "branches", "misses", "miss %"],
+    );
     for (site, (n, m)) in v.iter().take(12) {
-        println!(
-            "site {site}: {n} branches, {m} misses ({:.1}%)",
-            *m as f64 / *n as f64 * 100.0
-        );
+        table.row(vec![
+            site.to_string(),
+            n.to_string(),
+            m.to_string(),
+            Table::pct(*m as f64 / (*n).max(1) as f64),
+        ]);
     }
+    rep.table(&table);
+    rep.finish();
 }

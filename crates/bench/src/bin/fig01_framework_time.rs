@@ -5,15 +5,18 @@
 //! based workloads. We measure the instruction-level split between
 //! framework primitives and user code.
 //!
-//! Usage: `fig01_framework_time [--scale 0.03]`
+//! Usage: `fig01_framework_time [--scale 0.03] [--emit <path>] [--quiet]`
 
 use graphbig::profile::Table;
 use graphbig::workloads::Workload;
 use graphbig_bench::cpu_char::{figure_params, profile_workload};
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.03);
+    let mut rep = Reporter::new("fig01_framework_time");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let params = figure_params(scale);
     let mut table = Table::new(
         &format!("Figure 1: in-framework execution time (LDBC scale {scale})"),
@@ -36,9 +39,11 @@ fn main() {
         Table::pct(avg),
         Table::pct(1.0 - avg),
     ]);
-    println!("{}", table.render());
-    println!(
+    rep.gauge("fig01.framework_fraction.avg", avg);
+    rep.table(&table);
+    rep.note(&format!(
         "paper: average in-framework time 76%; ours: {}",
         Table::pct(avg)
-    );
+    ));
+    rep.finish();
 }

@@ -4,16 +4,19 @@
 //! add-edge ... account for a large portion of the total execution time",
 //! Section 1).
 //!
-//! Usage: `fig01b_primitives [--scale 0.01]`
+//! Usage: `fig01b_primitives [--scale 0.01] [--emit <path>] [--quiet]`
 
 use graphbig::framework::trace::Region;
 use graphbig::profile::Table;
 use graphbig::workloads::Workload;
 use graphbig_bench::cpu_char::{figure_params, profile_workload};
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.01);
+    let mut rep = Reporter::new("fig01b_primitives");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let params = figure_params(scale);
     let shown = [
         Region::FindVertex,
@@ -50,6 +53,7 @@ fn main() {
         }
         table.row(row);
     }
-    println!("{}", table.render());
-    println!("traversal workloads live in find-vertex/neighbor-scan/property primitives; CompDyn in add/delete.");
+    rep.table(&table);
+    rep.note("traversal workloads live in find-vertex/neighbor-scan/property primitives; CompDyn in add/delete.");
+    rep.finish();
 }

@@ -1,11 +1,15 @@
 //! Figure 4: real-world use-case analysis — use-case count per workload
 //! (A) and the distribution of the 21 use cases over six categories (B).
 
+//! Usage: `fig04_use_cases [--emit <path>] [--quiet]`
+
 use graphbig::profile::Table;
 use graphbig::workloads::registry::USE_CASE_CATEGORIES;
 use graphbig::workloads::Workload;
+use graphbig_bench::harness::Reporter;
 
 fn main() {
+    let mut rep = Reporter::new("fig04_use_cases");
     let mut a = Table::new(
         "Figure 4(A): # of use cases (of 21) using each workload",
         &["workload", "use cases", "category", "computation type"],
@@ -19,7 +23,7 @@ fn main() {
             m.computation_type.to_string(),
         ]);
     }
-    println!("{}", a.render());
+    rep.table(&a);
 
     let mut b = Table::new(
         "Figure 4(B): distribution of the 21 use cases over categories",
@@ -28,6 +32,7 @@ fn main() {
     for (name, share) in USE_CASE_CATEGORIES {
         b.row(vec![name.to_string(), Table::pct(share)]);
     }
-    println!("{}", b.render());
-    println!("paper anchors: BFS used by 10 use cases (most), TC by 4 (least).");
+    rep.table(&b);
+    rep.note("paper anchors: BFS used by 10 use cases (most), TC by 4 (least).");
+    rep.finish();
 }

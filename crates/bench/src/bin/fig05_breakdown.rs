@@ -5,14 +5,18 @@
 //! Paper shape: backend dominates most workloads (>90% for kCore and GUp);
 //! CompProp workloads sit near 50% backend.
 //!
-//! Usage: `fig05_breakdown [--scale 0.03]`
+//! Usage: `fig05_breakdown [--scale 0.03] [--emit <path>] [--quiet]`
 
+use graphbig::machine::PerfCounters;
 use graphbig::profile::Table;
 use graphbig_bench::cpu_char::{figure_params, profile_suite};
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.03);
+    let mut rep = Reporter::new("fig05_breakdown");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let profiles = profile_suite(scale, &figure_params(scale));
     let mut table = Table::new(
         &format!("Figure 5: execution cycle breakdown (LDBC scale {scale})"),
@@ -31,6 +35,13 @@ fn main() {
             Table::pct(be),
         ]);
     }
-    println!("{}", table.render());
-    println!("paper shape: Backend >90% for kCore/GUp; CompProp ~50% backend.");
+    // The manifest carries the suite-wide aggregate counter readout.
+    let mut total = PerfCounters::default();
+    for p in &profiles {
+        total.merge(&p.counters);
+    }
+    total.export_metrics(rep.manifest_mut());
+    rep.table(&table);
+    rep.note("paper shape: Backend >90% for kCore/GUp; CompProp ~50% backend.");
+    rep.finish();
 }

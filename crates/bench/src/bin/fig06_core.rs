@@ -4,14 +4,17 @@
 //! Paper anchors: DTLB penalty avg 12.4% (CComp 21.1%, TC 3.9%, Gibbs 1%);
 //! ICache MPKI < 0.7 everywhere; branch miss rate < 5% except TC at 10.7%.
 //!
-//! Usage: `fig06_core [--scale 0.03]`
+//! Usage: `fig06_core [--scale 0.03] [--emit <path>] [--quiet]`
 
 use graphbig::profile::Table;
 use graphbig_bench::cpu_char::{figure_params, profile_suite};
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.03);
+    let mut rep = Reporter::new("fig06_core");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let profiles = profile_suite(scale, &figure_params(scale));
     let mut table = Table::new(
         &format!("Figure 6: DTLB penalty / ICache MPKI / branch miss (LDBC scale {scale})"),
@@ -41,6 +44,8 @@ fn main() {
         "".into(),
         "".into(),
     ]);
-    println!("{}", table.render());
-    println!("paper anchors: DTLB avg 12.4% (CComp 21.1, TC 3.9, Gibbs 1.0); ICache MPKI < 0.7; branch miss: TC 10.7%, others < 5%.");
+    rep.gauge("fig06.dtlb_penalty.avg", dtlb_sum / profiles.len() as f64);
+    rep.table(&table);
+    rep.note("paper anchors: DTLB avg 12.4% (CComp 21.1, TC 3.9, Gibbs 1.0); ICache MPKI < 0.7; branch miss: TC 10.7%, others < 5%.");
+    rep.finish();
 }

@@ -4,14 +4,17 @@
 //! CompProp tiny; CompDyn ranges 6.3–27.5 with GCons lowest (immediate
 //! reuse after insertion).
 //!
-//! Usage: `fig07_cache [--scale 0.03]`
+//! Usage: `fig07_cache [--scale 0.03] [--emit <path>] [--quiet]`
 
 use graphbig::profile::Table;
 use graphbig_bench::cpu_char::{figure_params, profile_suite};
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.03);
+    let mut rep = Reporter::new("fig07_cache");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let profiles = profile_suite(scale, &figure_params(scale));
     let mut table = Table::new(
         &format!("Figure 7: cache MPKI (LDBC scale {scale})"),
@@ -44,6 +47,8 @@ fn main() {
         Table::f(l3_sum / profiles.len() as f64),
         "".into(),
     ]);
-    println!("{}", table.render());
-    println!("paper anchors: L3 MPKI avg 48.77; DCentr 145.9; CComp 101.3; CompProp lowest; CompDyn 6.3-27.5.");
+    rep.gauge("fig07.l3_mpki.avg", l3_sum / profiles.len() as f64);
+    rep.table(&table);
+    rep.note("paper anchors: L3 MPKI avg 48.77; DCentr 145.9; CComp 101.3; CompProp lowest; CompDyn 6.3-27.5.");
+    rep.finish();
 }

@@ -3,15 +3,18 @@
 //! Paper shape: CompStruct has the highest MPKI/DTLB penalty and lowest
 //! IPC; CompProp the opposite; CompDyn sits between.
 //!
-//! Usage: `fig08_comptype [--scale 0.03]`
+//! Usage: `fig08_comptype [--scale 0.03] [--emit <path>] [--quiet]`
 
 use graphbig::framework::ComputationType;
 use graphbig::profile::Table;
 use graphbig_bench::cpu_char::{figure_params, profile_suite};
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.03);
+    let mut rep = Reporter::new("fig08_comptype");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let profiles = profile_suite(scale, &figure_params(scale));
     let mut table = Table::new(
         &format!("Figure 8: average behavior by computation type (LDBC scale {scale})"),
@@ -34,6 +37,7 @@ fn main() {
             Table::f(avg(&|c| c.ipc())),
         ]);
     }
-    println!("{}", table.render());
-    println!("paper shape: IPC CompProp > CompDyn > CompStruct; MPKI/DTLB highest for CompStruct.");
+    rep.table(&table);
+    rep.note("paper shape: IPC CompProp > CompDyn > CompStruct; MPKI/DTLB highest for CompStruct.");
+    rep.finish();
 }

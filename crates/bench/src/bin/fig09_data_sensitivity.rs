@@ -5,15 +5,17 @@
 //! Twitter graph has the worst DTLB penalty and mostly the lowest IPC;
 //! behavior is visibly data-dependent.
 //!
-//! Usage: `fig09_data_sensitivity [--scale 0.01]`
+//! Usage: `fig09_data_sensitivity [--scale 0.01] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::profile::Table;
 use graphbig_bench::cpu_char::{dataset_portable_workloads, figure_params, profile_workload};
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.01);
+    let mut rep = Reporter::new("fig09_data_sensitivity");
+    rep.param("scale", scale);
     let params = figure_params(scale);
     let mut l1 = Table::new(
         &format!("Figure 9a: L1D hit rate by dataset (scale {scale})"),
@@ -63,10 +65,11 @@ fn main() {
         tlb.row(tlb_row);
         ipc.row(ipc_row);
     }
-    println!("{}", l1.render());
-    println!("{}", tlb.render());
-    println!("{}", ipc.render());
-    println!(
-        "paper shape: high L1D hit rates except DCentr; twitter worst DTLB/IPC in most workloads."
+    rep.table(&l1);
+    rep.table(&tlb);
+    rep.table(&ipc);
+    rep.note(
+        "paper shape: high L1D hit rates except DCentr; twitter worst DTLB/IPC in most workloads.",
     );
+    rep.finish();
 }

@@ -4,15 +4,18 @@
 //! (MDR 0.87, high BDR); GColor/BCentr branch-heavy; CComp/TC low BDR with
 //! memory-side divergence only.
 //!
-//! Usage: `fig10_divergence [--scale 0.03]`
+//! Usage: `fig10_divergence [--scale 0.03] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::profile::Table;
 use graphbig_bench::gpu_char::profile_gpu_suite;
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.03);
+    let mut rep = Reporter::new("fig10_divergence");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let results = profile_gpu_suite(Dataset::Ldbc, scale);
     let mut table = Table::new(
         &format!("Figure 10: GPU branch/memory divergence (LDBC scale {scale})"),
@@ -27,14 +30,17 @@ fn main() {
             r.metrics.replayed_instructions.to_string(),
         ]);
     }
-    println!("{}", table.render());
-    let points: Vec<(f64, f64, &str)> = results
-        .iter()
-        .map(|r| (r.metrics.mdr, r.metrics.bdr, r.workload.short_name()))
-        .collect();
-    println!(
-        "{}",
-        graphbig::profile::report::scatter_plot(&points, 48, 14)
-    );
-    println!("paper shape: kCore low/low; DCentr high/high (MDR 0.87); GColor/BCentr high BDR; CComp/TC low BDR.");
+    rep.table(&table);
+    if !rep.is_quiet() {
+        let points: Vec<(f64, f64, &str)> = results
+            .iter()
+            .map(|r| (r.metrics.mdr, r.metrics.bdr, r.workload.short_name()))
+            .collect();
+        println!(
+            "{}",
+            graphbig::profile::report::scatter_plot(&points, 48, 14)
+        );
+    }
+    rep.note("paper shape: kCore low/low; DCentr high/high (MDR 0.87); GColor/BCentr high BDR; CComp/TC low BDR.");
+    rep.finish();
 }

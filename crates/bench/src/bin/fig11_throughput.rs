@@ -4,15 +4,18 @@
 //! DCentr 75.2 GB/s but atomics cap its IPC; TC reads only 2.0 GB/s yet
 //! posts the highest IPC.
 //!
-//! Usage: `fig11_throughput [--scale 0.03]`
+//! Usage: `fig11_throughput [--scale 0.03] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::profile::Table;
 use graphbig_bench::gpu_char::profile_gpu_suite;
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.03);
+    let mut rep = Reporter::new("fig11_throughput");
+    rep.param("scale", scale);
+    rep.dataset("LDBC");
     let results = profile_gpu_suite(Dataset::Ldbc, scale);
     let mut table = Table::new(
         &format!("Figure 11: GPU memory throughput and IPC (LDBC scale {scale})"),
@@ -35,8 +38,9 @@ fn main() {
             Table::f3(r.metrics.time_ms),
         ]);
     }
-    println!("{}", table.render());
-    println!(
-        "paper anchors: CComp 89.9 GB/s read (max); DCentr 75.2; TC 2.0 GB/s but highest IPC."
+    rep.table(&table);
+    rep.note(
+        "paper anchors: CComp 89.9 GB/s read (max); DCentr 75.2; TC 2.0 GB/s but highest IPC.",
     );
+    rep.finish();
 }

@@ -16,7 +16,7 @@
 //! the modeled cycles-over-efficiency estimate; BCentr has no parallel
 //! kernel yet and keeps the model.
 //!
-//! Usage: `fig12_speedup [--scale 0.01] [--measured] [--threads 16]`
+//! Usage: `fig12_speedup [--scale 0.01] [--measured] [--threads 16] [--emit <path>] [--quiet]`
 
 use std::time::Instant;
 
@@ -27,7 +27,7 @@ use graphbig::runtime::{ThreadPool, PAPER_CORES};
 use graphbig::workloads::{parallel, Workload};
 use graphbig_bench::cpu_char::{figure_params, profile_workload};
 use graphbig_bench::gpu_char::profile_gpu_workload;
-use graphbig_bench::harness::{scale_arg, threads_arg};
+use graphbig_bench::harness::{scale_arg, threads_arg, Reporter};
 
 /// Parallel efficiency of the 16-core CPU baseline, per workload class.
 ///
@@ -110,6 +110,10 @@ fn main() {
     let scale = scale_arg(0.01);
     let measured = std::env::args().any(|a| a == "--measured");
     let threads = threads_arg(PAPER_CORES);
+    let mut rep = Reporter::new("fig12_speedup");
+    rep.param("scale", scale);
+    rep.param("measured", measured);
+    rep.threads(threads);
     let pool = ThreadPool::new(threads);
     let params = figure_params(scale);
     let cpu_cfg = graphbig::machine::CpuConfig::xeon_e5();
@@ -155,6 +159,8 @@ fn main() {
         }
         table.row(row);
     }
-    println!("{}", table.render());
-    println!("paper shape: CComp largest (up to 121x), ~20x typical, TC/BFS/SPath smallest.");
+    rep.table(&table);
+    rep.note("paper shape: CComp largest (up to 121x), ~20x typical, TC/BFS/SPath smallest.");
+    pool.export_metrics(rep.manifest_mut());
+    rep.finish();
 }

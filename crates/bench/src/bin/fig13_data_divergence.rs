@@ -7,16 +7,18 @@
 //! (its degree imbalance involves many vertices, unlike Twitter's few
 //! extreme hubs).
 //!
-//! Usage: `fig13_data_divergence [--scale 0.01]`
+//! Usage: `fig13_data_divergence [--scale 0.01] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::profile::Table;
 use graphbig::workloads::Workload;
 use graphbig_bench::gpu_char::profile_gpu_workload;
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let scale = scale_arg(0.01);
+    let mut rep = Reporter::new("fig13_data_divergence");
+    rep.param("scale", scale);
     let mut bdr = Table::new(
         &format!("Figure 13a: BDR by dataset (scale {scale})"),
         &[
@@ -51,9 +53,10 @@ fn main() {
         bdr.row(b_row);
         mdr.row(m_row);
     }
-    println!("{}", bdr.render());
-    println!("{}", mdr.render());
-    println!(
-        "paper shape: CComp/TC/kCore stable BDR; roadnet lowest divergence; LDBC highest MDR."
+    rep.table(&bdr);
+    rep.table(&mdr);
+    rep.note(
+        "paper shape: CComp/TC/kCore stable BDR; roadnet lowest divergence; LDBC highest MDR.",
     );
+    rep.finish();
 }

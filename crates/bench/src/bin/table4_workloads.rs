@@ -1,9 +1,13 @@
 //! Table 4: the GraphBIG workload summary.
+//!
+//! Usage: `table4_workloads [--emit <path>] [--quiet]`
 
 use graphbig::profile::Table;
 use graphbig::workloads::Workload;
+use graphbig_bench::harness::Reporter;
 
 fn main() {
+    let mut rep = Reporter::new("table4_workloads");
     let mut table = Table::new(
         "Table 4: GraphBIG workload summary",
         &[
@@ -24,10 +28,16 @@ fn main() {
             if m.on_gpu { "yes" } else { "no" }.to_string(),
         ]);
     }
-    println!("{}", table.render());
-    println!(
+    rep.table(&table);
+    rep.counter("table4.workloads.cpu", Workload::ALL.len() as u64);
+    rep.counter(
+        "table4.workloads.gpu",
+        Workload::gpu_workloads().len() as u64,
+    );
+    rep.note(&format!(
         "{} CPU workloads, {} GPU workloads (paper: 12 CPU + Gibbs listed separately; 8 GPU).",
         Workload::ALL.len(),
         Workload::gpu_workloads().len()
-    );
+    ));
+    rep.finish();
 }

@@ -1,12 +1,12 @@
 //! Tables 5 and 7: dataset inventory (full-size and experiment sizes), and
 //! the measured statistics of this repository's scaled generators.
 //!
-//! Usage: `table5_datasets [--scale 0.01]`
+//! Usage: `table5_datasets [--scale 0.01] [--emit <path>] [--quiet]`
 
 use graphbig::datagen::Dataset;
 use graphbig::framework::prelude::GraphStats;
 use graphbig::profile::Table;
-use graphbig_bench::harness::scale_arg;
+use graphbig_bench::harness::{scale_arg, Reporter};
 
 fn main() {
     let mut t5 = Table::new(
@@ -22,8 +22,6 @@ fn main() {
             s.edges.to_string(),
         ]);
     }
-    println!("{}", t5.render());
-
     let mut t7 = Table::new(
         "Table 7: graph data in the experiments (paper sizes)",
         &["data set", "vertices", "edges"],
@@ -36,9 +34,11 @@ fn main() {
             s.edges.to_string(),
         ]);
     }
-    println!("{}", t7.render());
-
     let scale = scale_arg(0.01);
+    let mut rep = Reporter::new("table5_datasets");
+    rep.param("scale", scale);
+    rep.table(&t5);
+    rep.table(&t7);
     let mut gen = Table::new(
         &format!("Generated datasets at scale {scale}"),
         &[
@@ -62,5 +62,6 @@ fn main() {
             Table::f(s.degree_cv()),
         ]);
     }
-    println!("{}", gen.render());
+    rep.table(&gen);
+    rep.finish();
 }

@@ -1,10 +1,14 @@
 //! Table 6: the modeled test machines (CPU and GPU).
+//!
+//! Usage: `table6_machines [--emit <path>] [--quiet]`
 
 use graphbig::machine::CpuConfig;
 use graphbig::profile::Table;
 use graphbig::simt::GpuConfig;
+use graphbig_bench::harness::Reporter;
 
 fn main() {
+    let mut rep = Reporter::new("table6_machines");
     let cpu = CpuConfig::xeon_e5();
     let mut t = Table::new("Table 6: modeled CPU", &["parameter", "value"]);
     t.row(vec!["model".into(), cpu.name.clone()]);
@@ -46,7 +50,7 @@ fn main() {
         "memory latency".into(),
         format!("{} cycles", cpu.mem_latency),
     ]);
-    println!("{}", t.render());
+    rep.table(&t);
 
     let gpu = GpuConfig::tesla_k40();
     let mut g = Table::new("Table 6: modeled GPU", &["parameter", "value"]);
@@ -66,5 +70,6 @@ fn main() {
         "L2".into(),
         format!("{} KB / {}-way", gpu.l2_bytes / 1024, gpu.l2_ways),
     ]);
-    println!("{}", g.render());
+    rep.table(&g);
+    rep.finish();
 }

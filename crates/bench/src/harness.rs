@@ -1,4 +1,8 @@
-//! Shared command-line helpers for the figure/table binaries.
+//! Shared command-line helpers for the figure/table binaries, and the
+//! [`Reporter`] every binary funnels its output through.
+
+use graphbig::profile::Table;
+use graphbig::telemetry::{self, RunManifest};
 
 /// Parse `--scale <f64>` from argv; `default` otherwise.
 ///
@@ -25,6 +29,136 @@ pub fn arg_value(flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Whether a bare flag is present in argv.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// The uniform output funnel of every figure/table binary.
+///
+/// Construction parses the common flags all binaries share:
+///
+/// * `--emit <path>` — write the [`RunManifest`] JSON on [`finish`](Self::finish);
+/// * `--trace <path>` — write a Chrome `trace_event` JSON of the recorded
+///   spans (open in `chrome://tracing` or Perfetto);
+/// * `--quiet` — suppress the stdout tables/notes (they still land in the
+///   manifest).
+///
+/// Tables and notes pass through [`table`](Self::table) / [`note`](Self::note)
+/// instead of ad-hoc `println!`, so stdout rendering and the manifest stay
+/// in sync. `finish` snapshots the global metric registry (populated by the
+/// runtime and workloads during the run) and folds the span trace into the
+/// manifest before writing anything.
+pub struct Reporter {
+    manifest: RunManifest,
+    emit: Option<String>,
+    trace: Option<String>,
+    quiet: bool,
+}
+
+impl Reporter {
+    /// Start reporting for binary `bin`; enables span recording.
+    pub fn new(bin: &str) -> Reporter {
+        telemetry::enable();
+        let mut manifest = RunManifest::new(bin);
+        manifest.features = telemetry::compiled_features();
+        Reporter {
+            manifest,
+            emit: arg_value("--emit"),
+            trace: arg_value("--trace"),
+            quiet: has_flag("--quiet"),
+        }
+    }
+
+    /// Whether `--quiet` was passed.
+    pub fn is_quiet(&self) -> bool {
+        self.quiet
+    }
+
+    /// Record a run parameter (`scale`, `seed`, ...).
+    pub fn param(&mut self, key: &str, value: impl ToString) {
+        self.manifest.param(key, value);
+    }
+
+    /// Tag the run as single-workload.
+    pub fn workload(&mut self, name: &str) {
+        self.manifest.workload = Some(name.to_string());
+    }
+
+    /// Tag the run as single-dataset.
+    pub fn dataset(&mut self, name: &str) {
+        self.manifest.dataset = Some(name.to_string());
+    }
+
+    /// Record the worker thread count.
+    pub fn threads(&mut self, n: usize) {
+        self.manifest.threads = n as u64;
+    }
+
+    /// Direct access to the manifest — the sink for
+    /// `PerfCounters::export_metrics` / `ThreadPool::export_metrics`.
+    pub fn manifest_mut(&mut self) -> &mut RunManifest {
+        &mut self.manifest
+    }
+
+    /// Record a gauge metric straight into the manifest.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        use graphbig::telemetry::MetricSink;
+        self.manifest.gauge(name, value);
+    }
+
+    /// Record a counter metric straight into the manifest.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        use graphbig::telemetry::MetricSink;
+        self.manifest.counter(name, value);
+    }
+
+    /// Render `table` to stdout (unless `--quiet`) and add it to the
+    /// manifest.
+    pub fn table(&mut self, table: &Table) {
+        if !self.quiet {
+            println!("{}", table.render());
+        }
+        self.manifest.tables.push(table.to_data());
+    }
+
+    /// Print a remark (unless `--quiet`) and add it to the manifest.
+    pub fn note(&mut self, text: &str) {
+        if !self.quiet {
+            println!("{text}");
+        }
+        self.manifest.notes.push(text.to_string());
+    }
+
+    /// Snapshot metrics and spans, then write the `--trace` / `--emit`
+    /// outputs. Exits non-zero if a requested file cannot be written.
+    pub fn finish(mut self) {
+        for (name, value) in telemetry::metrics::global().snapshot() {
+            self.manifest.metrics.entry(name).or_insert(value);
+        }
+        let trace = telemetry::take_trace();
+        self.manifest.absorb_trace(&trace);
+        if let Some(path) = &self.trace {
+            if let Err(e) = telemetry::chrome::write_chrome_trace(&trace, path) {
+                eprintln!("error: cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            if !self.quiet {
+                eprintln!("chrome trace written to {path}");
+            }
+        }
+        if let Some(path) = &self.emit {
+            if let Err(e) = self.manifest.write_to(path) {
+                eprintln!("error: cannot write manifest to {path}: {e}");
+                std::process::exit(1);
+            }
+            if !self.quiet {
+                eprintln!("run manifest written to {path}");
+            }
+        }
+    }
 }
 
 /// Render one row of a fixed-width table.

@@ -26,9 +26,14 @@
 //! | `ablation_cache_sweep` | L3 capacity sweep over a recorded trace |
 //! | `ablation_ndp` | near-data-processing future-work model |
 //! | `diag_branch_sites` | per-site branch-miss diagnostic |
+//! | `graphbig-report` | diff/inspect/check `--emit` run manifests |
 //!
 //! All figure binaries accept `--scale <f>` (dataset size as a fraction of
-//! the paper's Table 7 experiment sizes).
+//! the paper's Table 7 experiment sizes) plus the common reporting flags
+//! parsed by [`harness::Reporter`]: `--emit <path>` (write a
+//! [`RunManifest`](graphbig::telemetry::RunManifest) JSON), `--trace
+//! <path>` (write a Chrome `trace_event` JSON of the recorded spans), and
+//! `--quiet` (suppress stdout tables; they still land in the manifest).
 
 pub mod cpu_char;
 pub mod gpu_char;

@@ -15,6 +15,8 @@
 //! * [`workloads`] — the 13 CPU workloads (Table 4)
 //! * [`gpu`] — the 8 GPU workloads
 //! * [`profile`] — reports and paper reference values
+//! * [`telemetry`] — spans, metrics, run manifests (the `telemetry`
+//!   feature compiles span recording into the runtime and workloads)
 //!
 //! ```
 //! use graphbig::prelude::*;
@@ -33,6 +35,7 @@ pub use graphbig_machine as machine;
 pub use graphbig_profile as profile;
 pub use graphbig_runtime as runtime;
 pub use graphbig_simt as simt;
+pub use graphbig_telemetry as telemetry;
 pub use graphbig_workloads as workloads;
 
 /// One-stop import for applications and examples.

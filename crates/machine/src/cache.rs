@@ -223,7 +223,7 @@ mod tests {
             c.access_line(l);
         }
         for l in 0..5000u64 {
-            assert!(c.access_line(l) || true); // no panics; stats consistent
+            c.access_line(l); // no panics; stats stay consistent
         }
         let s = c.stats();
         assert_eq!(s.accesses, 10_000);

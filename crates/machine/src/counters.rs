@@ -93,6 +93,51 @@ impl PerfCounters {
         self.loads + self.stores + self.atomics
     }
 
+    /// Serialize raw event counts and every paper-relevant derived metric
+    /// into `sink` under the `machine.*` schema. Raw counts go out as
+    /// counters, derived rates as gauges, so the run manifest carries the
+    /// same readout the figure tables print.
+    pub fn export_metrics(&self, sink: &mut dyn graphbig_telemetry::MetricSink) {
+        sink.counter("machine.core.instructions", self.instructions);
+        sink.counter("machine.core.loads", self.loads);
+        sink.counter("machine.core.stores", self.stores);
+        sink.counter("machine.core.atomics", self.atomics);
+        sink.counter("machine.core.branches", self.branches);
+        sink.counter("machine.branch.mispredictions", self.branch.mispredictions);
+        for (prefix, stats) in [
+            ("machine.l1d", &self.l1d),
+            ("machine.l2", &self.l2),
+            ("machine.l3", &self.l3),
+            ("machine.icache", &self.icache),
+        ] {
+            sink.counter(&format!("{prefix}.accesses"), stats.accesses);
+            sink.counter(&format!("{prefix}.misses"), stats.misses);
+        }
+        sink.counter("machine.dtlb.accesses", self.tlb.accesses);
+        sink.counter("machine.dtlb.l1_misses", self.tlb.l1_misses);
+        sink.counter("machine.dtlb.walks", self.tlb.walks);
+        sink.counter("machine.dtlb.penalty_cycles", self.tlb.penalty_cycles);
+        sink.gauge("machine.cycles.retiring", self.cycles.retiring);
+        sink.gauge(
+            "machine.cycles.bad_speculation",
+            self.cycles.bad_speculation,
+        );
+        sink.gauge("machine.cycles.frontend", self.cycles.frontend);
+        sink.gauge("machine.cycles.backend", self.cycles.backend);
+        sink.gauge("machine.cycles.total", self.total_cycles());
+        sink.gauge("machine.derived.l1d_mpki", self.l1d_mpki());
+        sink.gauge("machine.derived.l2_mpki", self.l2_mpki());
+        sink.gauge("machine.derived.l3_mpki", self.l3_mpki());
+        sink.gauge("machine.derived.icache_mpki", self.icache_mpki());
+        sink.gauge("machine.derived.l1d_hit_rate", self.l1d_hit_rate());
+        sink.gauge("machine.derived.branch_miss_rate", self.branch_miss_rate());
+        sink.gauge(
+            "machine.derived.dtlb_penalty_fraction",
+            self.dtlb_penalty_fraction(),
+        );
+        sink.gauge("machine.derived.ipc", self.ipc());
+    }
+
     /// Element-wise accumulation (merging per-thread counter sets).
     pub fn merge(&mut self, other: &PerfCounters) {
         self.instructions += other.instructions;
@@ -194,6 +239,24 @@ mod tests {
         // rates are unchanged by homogeneous merging
         assert!((a.branch_miss_rate() - s.branch_miss_rate()).abs() < 1e-12);
         assert!((a.ipc() - s.ipc()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_metrics_emits_machine_schema() {
+        let c = sample();
+        let mut sink: std::collections::BTreeMap<String, graphbig_telemetry::MetricValue> =
+            Default::default();
+        c.export_metrics(&mut sink);
+        use graphbig_telemetry::MetricValue;
+        assert_eq!(
+            sink["machine.core.instructions"],
+            MetricValue::Counter(10_000)
+        );
+        assert_eq!(sink["machine.l1d.misses"], MetricValue::Counter(400));
+        assert_eq!(sink["machine.derived.l1d_mpki"], MetricValue::Gauge(40.0));
+        assert_eq!(sink["machine.derived.ipc"], MetricValue::Gauge(c.ipc()),);
+        // Every name stays inside the machine.* namespace.
+        assert!(sink.keys().all(|k| k.starts_with("machine.")));
     }
 
     #[test]

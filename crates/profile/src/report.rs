@@ -97,6 +97,25 @@ impl Table {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("table serializes")
     }
+
+    /// Convert into the run-manifest table payload.
+    pub fn to_data(&self) -> graphbig_telemetry::TableData {
+        graphbig_telemetry::TableData {
+            title: self.title.clone(),
+            headers: self.headers.clone(),
+            rows: self.rows.clone(),
+        }
+    }
+
+    /// Rebuild a renderable table from manifest table data
+    /// (`graphbig-report --show` renders tables straight from a manifest).
+    pub fn from_data(data: &graphbig_telemetry::TableData) -> Table {
+        Table {
+            title: data.title.clone(),
+            headers: data.headers.clone(),
+            rows: data.rows.clone(),
+        }
+    }
 }
 
 /// Render labeled points as an ASCII scatter plot (the Figure 10/13
@@ -172,6 +191,16 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["headers"][1], "mpki");
         assert_eq!(v["rows"][1][0], "DCentr");
+    }
+
+    #[test]
+    fn table_data_round_trips() {
+        let t = sample();
+        let data = t.to_data();
+        assert_eq!(data.title, "Demo");
+        assert_eq!(data.headers, vec!["workload", "mpki"]);
+        let back = Table::from_data(&data);
+        assert_eq!(back.render(), t.render());
     }
 
     #[test]

@@ -37,11 +37,12 @@ where
         return;
     }
     let cursor = AtomicUsize::new(start);
-    pool.broadcast(|_worker| loop {
+    pool.broadcast(|worker| loop {
         let lo = cursor.fetch_add(grain, Ordering::Relaxed);
         if lo >= end {
             break;
         }
+        pool.stats().record_chunk(worker);
         let hi = (lo + grain).min(end);
         body(lo..hi);
     });
@@ -98,6 +99,7 @@ where
         if c >= chunks.len() {
             break;
         }
+        pool.stats().record_chunk(worker);
         body(worker, c, chunks[c].clone());
     });
 }

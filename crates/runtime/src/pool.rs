@@ -6,10 +6,12 @@
 //! enough to call inside iterative graph algorithms (level-synchronous BFS
 //! runs one region per frontier level).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Sender};
+use graphbig_telemetry::metrics::{HistogramSnapshot, MetricSink};
 use parking_lot::{Condvar, Mutex};
 
 /// Completion latch: counts worker finishes and wakes the submitting thread.
@@ -52,21 +54,80 @@ enum Msg {
     Exit,
 }
 
+/// Always-on lightweight pool accounting: broadcast regions, per-worker
+/// dynamic-scheduler chunk grabs, and per-worker busy time. A few relaxed
+/// atomics per region keep this cheap enough to leave unconditional; the
+/// numbers feed [`ThreadPool::export_metrics`] and the run manifest.
+#[derive(Debug)]
+pub struct PoolStats {
+    regions: AtomicU64,
+    chunks: Vec<AtomicU64>,
+    busy_us: Vec<AtomicU64>,
+    created: Instant,
+}
+
+impl PoolStats {
+    fn new(threads: usize) -> Self {
+        PoolStats {
+            regions: AtomicU64::new(0),
+            chunks: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            busy_us: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            created: Instant::now(),
+        }
+    }
+
+    /// Count one dynamic-scheduler chunk executed by `worker` (called by
+    /// the `parfor` loops).
+    #[inline]
+    pub fn record_chunk(&self, worker: usize) {
+        self.chunks[worker].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Broadcast regions executed so far.
+    pub fn regions(&self) -> u64 {
+        self.regions.load(Ordering::Relaxed)
+    }
+
+    /// Chunks executed by `worker` so far.
+    pub fn chunks_of(&self, worker: usize) -> u64 {
+        self.chunks[worker].load(Ordering::Relaxed)
+    }
+
+    /// Total chunks executed across all workers.
+    pub fn total_chunks(&self) -> u64 {
+        self.chunks.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Fraction of worker-seconds spent inside regions since pool
+    /// creation (1.0 = every worker busy the whole time).
+    pub fn utilization(&self) -> f64 {
+        let wall_us = self.created.elapsed().as_micros() as f64;
+        if wall_us <= 0.0 || self.busy_us.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.busy_us.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        (busy as f64 / (wall_us * self.busy_us.len() as f64)).min(1.0)
+    }
+}
+
 /// A fixed-size pool of long-lived workers executing SPMD regions.
 pub struct ThreadPool {
     senders: Vec<Sender<Msg>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    stats: Arc<PoolStats>,
 }
 
 impl ThreadPool {
     /// Spawn `threads` workers (at least one).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
+        let stats = Arc::new(PoolStats::new(threads));
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for worker_idx in 0..threads {
             let (tx, rx) = unbounded::<Msg>();
             senders.push(tx);
+            let stats = Arc::clone(&stats);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("graphbig-worker-{worker_idx}"))
@@ -74,7 +135,15 @@ impl ThreadPool {
                         while let Ok(msg) = rx.recv() {
                             match msg {
                                 Msg::Run(job, latch) => {
-                                    job(worker_idx);
+                                    let t0 = Instant::now();
+                                    {
+                                        let _region = graphbig_telemetry::span!("pool.region");
+                                        job(worker_idx);
+                                    }
+                                    stats.busy_us[worker_idx].fetch_add(
+                                        t0.elapsed().as_micros() as u64,
+                                        Ordering::Relaxed,
+                                    );
                                     latch.count_down();
                                 }
                                 Msg::Exit => break,
@@ -84,7 +153,48 @@ impl ThreadPool {
                     .expect("spawn worker thread"),
             );
         }
-        ThreadPool { senders, handles }
+        ThreadPool {
+            senders,
+            handles,
+            stats,
+        }
+    }
+
+    /// The pool's always-on accounting (regions, chunks, busy time).
+    #[inline]
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Serialize pool state into any [`MetricSink`] under the
+    /// `runtime.pool.*` schema: region/chunk counters, the chunk
+    /// distribution across workers as a log₂ histogram, and utilization.
+    pub fn export_metrics(&self, sink: &mut dyn MetricSink) {
+        let stats = self.stats();
+        sink.gauge("runtime.pool.threads", self.threads() as f64);
+        sink.counter("runtime.pool.regions", stats.regions());
+        sink.counter("runtime.pool.chunks", stats.total_chunks());
+        sink.gauge("runtime.pool.utilization", stats.utilization());
+        let mut buckets: std::collections::BTreeMap<u64, u64> = Default::default();
+        let mut sum = 0u64;
+        for w in 0..self.threads() {
+            let c = stats.chunks_of(w);
+            sum += c;
+            let le = if c == 0 {
+                1
+            } else {
+                1u64 << graphbig_telemetry::metrics::bucket_index(c).min(63)
+            };
+            *buckets.entry(le).or_default() += 1;
+        }
+        sink.histogram(
+            "runtime.pool.chunks_per_worker",
+            HistogramSnapshot {
+                count: self.threads() as u64,
+                sum,
+                buckets: buckets.into_iter().collect(),
+            },
+        );
     }
 
     /// Number of workers.
@@ -107,6 +217,7 @@ impl ThreadPool {
         unsafe impl Send for SendRef {}
         unsafe impl Sync for SendRef {}
 
+        self.stats.regions.fetch_add(1, Ordering::Relaxed);
         let latch = Arc::new(Latch::new(self.senders.len()));
         // SAFETY: lifetime erasure justified by the latch wait below.
         let f_erased: &'static (dyn Fn(usize) + Sync) =
@@ -183,6 +294,37 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_count_regions_and_export_schema() {
+        let pool = ThreadPool::new(3);
+        for _ in 0..5 {
+            pool.broadcast(|w| pool.stats().record_chunk(w));
+        }
+        assert_eq!(pool.stats().regions(), 5);
+        assert_eq!(pool.stats().total_chunks(), 15);
+        let mut sink: std::collections::BTreeMap<String, graphbig_telemetry::MetricValue> =
+            Default::default();
+        pool.export_metrics(&mut sink);
+        use graphbig_telemetry::MetricValue;
+        assert_eq!(sink["runtime.pool.regions"], MetricValue::Counter(5));
+        assert_eq!(sink["runtime.pool.chunks"], MetricValue::Counter(15));
+        assert_eq!(sink["runtime.pool.threads"], MetricValue::Gauge(3.0));
+        match &sink["runtime.pool.chunks_per_worker"] {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.sum, 15);
+                // every worker ran 5 chunks -> all in the [4, 8) bucket
+                assert_eq!(h.buckets, vec![(8, 3)]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        let util = match sink["runtime.pool.utilization"] {
+            MetricValue::Gauge(u) => u,
+            _ => unreachable!(),
+        };
+        assert!((0.0..=1.0).contains(&util));
     }
 
     #[test]

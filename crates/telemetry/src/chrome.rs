@@ -1,0 +1,141 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the JSON-object format (`{"traceEvents": [...]}`) that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: complete (`"ph": "X"`) events for spans, instant (`"ph": "i"`)
+//! events for markers, and `thread_name` metadata so each pool worker gets
+//! its own labeled track.
+
+use crate::json::{Json, ObjBuilder};
+use crate::span::{Event, Trace};
+
+/// Process id used for all events (one process, one track group).
+const PID: u64 = 1;
+
+fn args_json(args: &[(&'static str, f64)]) -> Json {
+    Json::Obj(
+        args.iter()
+            .map(|&(k, v)| (k.to_string(), Json::Num(v)))
+            .collect(),
+    )
+}
+
+fn event_json(e: &Event) -> Json {
+    let b = ObjBuilder::new()
+        .push("name", Json::Str(e.name.to_string()))
+        .push("cat", Json::Str(category(e.name).to_string()))
+        .push(
+            "ph",
+            Json::Str(if e.dur_us.is_some() { "X" } else { "i" }.into()),
+        )
+        .push("ts", Json::Num(e.ts_us as f64))
+        .push_opt("dur", e.dur_us.map(|d| Json::Num(d as f64)))
+        .push("pid", Json::Num(PID as f64))
+        .push("tid", Json::Num(e.tid as f64));
+    let b = if e.dur_us.is_none() {
+        // instant events need a scope; "t" = thread-scoped
+        b.push("s", Json::Str("t".into()))
+    } else {
+        b
+    };
+    b.push("args", args_json(&e.args)).build()
+}
+
+/// Category from the span name's first dotted segment
+/// (`bfs.level` → `bfs`), which Perfetto can filter on.
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// Render a trace as a Chrome `trace_event` JSON document.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut events: Vec<Json> = Vec::with_capacity(trace.events.len() + trace.threads.len());
+    for (tid, name) in &trace.threads {
+        events.push(
+            ObjBuilder::new()
+                .push("name", Json::Str("thread_name".into()))
+                .push("ph", Json::Str("M".into()))
+                .push("pid", Json::Num(PID as f64))
+                .push("tid", Json::Num(*tid as f64))
+                .push(
+                    "args",
+                    ObjBuilder::new()
+                        .push("name", Json::Str(name.clone()))
+                        .build(),
+                )
+                .build(),
+        );
+    }
+    events.extend(trace.events.iter().map(event_json));
+    ObjBuilder::new()
+        .push("traceEvents", Json::Arr(events))
+        .push("displayTimeUnit", Json::Str("ms".into()))
+        .build()
+        .to_compact()
+}
+
+/// Write a trace to `path` as Chrome trace JSON.
+pub fn write_chrome_trace(trace: &Trace, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, to_chrome_json(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                Event {
+                    name: "bfs.level",
+                    ts_us: 10,
+                    dur_us: Some(250),
+                    tid: 0,
+                    args: vec![("depth", 1.0), ("frontier", 64.0)],
+                },
+                Event {
+                    name: "bfs.switch",
+                    ts_us: 300,
+                    dur_us: None,
+                    tid: 2,
+                    args: vec![("scout", 9000.0)],
+                },
+            ],
+            threads: vec![(0, "main".into()), (2, "graphbig-worker-1".into())],
+        }
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_complete() {
+        let text = to_chrome_json(&sample());
+        let doc = parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 metadata + 2 events
+        assert_eq!(events.len(), 4);
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("main")
+        );
+        let level = &events[2];
+        assert_eq!(level.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(level.get("cat").unwrap().as_str(), Some("bfs"));
+        assert_eq!(level.get("dur").unwrap().as_u64(), Some(250));
+        assert_eq!(
+            level.get("args").unwrap().get("depth").unwrap().as_u64(),
+            Some(1)
+        );
+        let switch = &events[3];
+        assert_eq!(switch.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(switch.get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(switch.get("tid").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn empty_trace_still_loads() {
+        let doc = parse(&to_chrome_json(&Trace::default())).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

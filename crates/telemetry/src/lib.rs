@@ -1,0 +1,52 @@
+//! # graphbig-telemetry
+//!
+//! The workspace-wide observability layer: every run of the suite can be
+//! self-describing, machine-readable, and regression-diffable.
+//!
+//! Three pieces, one schema:
+//!
+//! * [`span`] — phase spans and instant events (`span!("bfs.level",
+//!   depth = 3)`) with monotonic timestamps and per-thread buffers;
+//!   [`chrome`] exports them as Chrome `trace_event` JSON that loads in
+//!   `chrome://tracing` / Perfetto with one track per pool worker.
+//!   **Zero-cost when disabled**: without the `spans` cargo feature the
+//!   recording path compiles to no-ops (downstream crates re-expose the
+//!   gate as their `telemetry` feature — default-on in `graphbig-bench`,
+//!   default-off in the framework/runtime crates); with the feature on, a
+//!   relaxed atomic load gates recording at runtime.
+//! * [`metrics`] — counters, gauges, and log₂-bucket histograms in a
+//!   name-keyed [`Registry`](metrics::Registry), with the
+//!   [`MetricSink`](metrics::MetricSink) trait as the common funnel: the
+//!   runtime's wall-clock metrics and the machine model's simulated
+//!   `PerfCounters` serialize into the same `subsystem.component.metric`
+//!   namespace.
+//! * [`manifest`] — the [`RunManifest`](manifest::RunManifest): one JSON
+//!   object per run carrying workload, dataset, params, git revision,
+//!   thread count, feature flags, the metrics snapshot, span summaries,
+//!   and result tables. `graphbig-report` diffs two manifests and CI
+//!   checks structure against a committed golden file.
+//!
+//! The crate is dependency-free; [`json`] is a small self-contained JSON
+//! reader/writer so emission works identically in every build environment.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod span;
+
+pub use manifest::{diff_metrics, structural_mismatches, RunManifest, SpanSummary, TableData};
+pub use metrics::{Counter, Histogram, MetricSink, MetricValue, Registry};
+pub use span::{disable, enable, enabled, instant, take_trace, SpanGuard, Trace};
+
+/// Feature flags compiled into this build of the telemetry layer, for
+/// manifest `features` lists.
+pub fn compiled_features() -> Vec<String> {
+    let mut f = Vec::new();
+    if cfg!(feature = "spans") {
+        f.push("telemetry".to_string());
+    }
+    f
+}

@@ -1,0 +1,357 @@
+//! Phase spans and instant events with per-thread buffers.
+//!
+//! The recording path is designed for graph-kernel hot loops:
+//!
+//! * a span is opened with [`span`] (or the [`span!`](crate::span!) macro,
+//!   which attaches numeric arguments) and records one complete event when
+//!   its guard drops — monotonic microsecond timestamps from one
+//!   process-wide epoch;
+//! * every thread appends to its *own* buffer (a thread-local `Vec` behind
+//!   an uncontended per-thread mutex, registered once in a global list), so
+//!   recording never contends across workers;
+//! * events are tagged with a small per-thread `tid` and the OS thread name
+//!   (`graphbig-worker-N` for pool workers), which become separate tracks
+//!   in the Chrome trace view;
+//! * with the `spans` cargo feature **off** (the default) everything in
+//!   this module compiles to no-ops and zero-sized guards; with it on, a
+//!   single relaxed atomic load gates recording at runtime (see
+//!   [`enable`]/[`enabled`]).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One recorded event: a completed span or an instant marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Static span name (e.g. `"bfs.level"`).
+    pub name: &'static str,
+    /// Microseconds since the process epoch.
+    pub ts_us: u64,
+    /// Span duration in microseconds; `None` for instant events.
+    pub dur_us: Option<u64>,
+    /// Small per-thread id (0 = first recording thread).
+    pub tid: u32,
+    /// Numeric arguments (`span!("x", depth = 3)` ⇒ `[("depth", 3.0)]`).
+    pub args: Vec<(&'static str, f64)>,
+}
+
+/// A collected trace: all events plus thread-name metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Every recorded event, in per-thread order.
+    pub events: Vec<Event>,
+    /// `(tid, thread name)` pairs for track labeling.
+    pub threads: Vec<(u32, String)>,
+}
+
+impl Trace {
+    /// Per-name summary: `(count, total span microseconds)` sorted by name.
+    pub fn summary(&self) -> Vec<(String, u64, u64)> {
+        let mut map: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+        for e in &self.events {
+            let entry = map.entry(e.name).or_default();
+            entry.0 += 1;
+            entry.1 += e.dur_us.unwrap_or(0);
+        }
+        map.into_iter()
+            .map(|(name, (count, us))| (name.to_string(), count, us))
+            .collect()
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process-wide monotonic epoch.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn span recording on (also fixes the epoch so timestamps are small).
+pub fn enable() {
+    epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn span recording off.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// True when spans are being recorded. Always false without the `spans`
+/// cargo feature (the recording path does not exist then).
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(feature = "spans") && ENABLED.load(Ordering::Relaxed)
+}
+
+#[cfg(feature = "spans")]
+mod recording {
+    use super::*;
+    use std::cell::RefCell;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::{Arc, Mutex};
+
+    /// One thread's shared, mutex-guarded event buffer.
+    type SharedBuf = Arc<Mutex<Vec<Event>>>;
+    /// (thread id, thread name, buffer) as registered with the collector.
+    type ThreadEntry = (u32, String, SharedBuf);
+
+    /// All per-thread buffers ever registered (buffers outlive threads so
+    /// worker events survive pool drops).
+    fn registry() -> &'static Mutex<Vec<ThreadEntry>> {
+        static REG: OnceLock<Mutex<Vec<ThreadEntry>>> = OnceLock::new();
+        REG.get_or_init(Default::default)
+    }
+
+    static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+    thread_local! {
+        static LOCAL: RefCell<Option<(u32, SharedBuf)>> = const { RefCell::new(None) };
+    }
+
+    fn with_local<R>(f: impl FnOnce(u32, &Mutex<Vec<Event>>) -> R) -> R {
+        LOCAL.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let (tid, buf) = slot.get_or_insert_with(|| {
+                let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+                let name = std::thread::current()
+                    .name()
+                    .unwrap_or("unnamed")
+                    .to_string();
+                let buf: SharedBuf = Arc::default();
+                registry()
+                    .lock()
+                    .unwrap()
+                    .push((tid, name, Arc::clone(&buf)));
+                (tid, buf)
+            });
+            f(*tid, buf)
+        })
+    }
+
+    pub(super) fn record(
+        event_name: &'static str,
+        ts_us: u64,
+        dur_us: Option<u64>,
+        args: Vec<(&'static str, f64)>,
+    ) {
+        with_local(|tid, buf| {
+            buf.lock().unwrap().push(Event {
+                name: event_name,
+                ts_us,
+                dur_us,
+                tid,
+                args,
+            });
+        });
+    }
+
+    pub(super) fn take() -> Trace {
+        let reg = registry().lock().unwrap();
+        let mut trace = Trace::default();
+        for (tid, name, buf) in reg.iter() {
+            let mut events = buf.lock().unwrap();
+            if !events.is_empty() {
+                trace.threads.push((*tid, name.clone()));
+                trace.events.append(&mut events);
+            }
+        }
+        trace
+    }
+}
+
+/// Live span payload: (name, start µs, args).
+#[cfg(feature = "spans")]
+type SpanData = (&'static str, u64, Vec<(&'static str, f64)>);
+
+/// Open guard for an in-flight span; records a complete event on drop.
+///
+/// Without the `spans` feature this is a zero-sized no-op type.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(feature = "spans")]
+    inner: Option<SpanData>,
+}
+
+impl SpanGuard {
+    /// Attach a numeric argument (no-op when disabled).
+    #[cfg(feature = "spans")]
+    #[inline]
+    pub fn arg(mut self, key: &'static str, value: f64) -> Self {
+        if let Some((_, _, args)) = self.inner.as_mut() {
+            args.push((key, value));
+        }
+        self
+    }
+
+    /// Attach a numeric argument (no-op when disabled).
+    #[cfg(not(feature = "spans"))]
+    #[inline]
+    pub fn arg(self, key: &'static str, value: f64) -> Self {
+        let _ = (key, value);
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "spans")]
+        if let Some((name, start, args)) = self.inner.take() {
+            recording::record(name, start, Some(now_us().saturating_sub(start)), args);
+        }
+    }
+}
+
+/// Open a span; the returned guard records its duration when dropped.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    #[cfg(feature = "spans")]
+    {
+        if enabled() {
+            return SpanGuard {
+                inner: Some((name, now_us(), Vec::new())),
+            };
+        }
+        SpanGuard { inner: None }
+    }
+    #[cfg(not(feature = "spans"))]
+    {
+        let _ = name;
+        SpanGuard {}
+    }
+}
+
+/// Record an instant event (zero duration) with arguments.
+#[inline]
+pub fn instant(name: &'static str, args: &[(&'static str, f64)]) {
+    #[cfg(feature = "spans")]
+    if enabled() {
+        recording::record(name, now_us(), None, args.to_vec());
+    }
+    #[cfg(not(feature = "spans"))]
+    let _ = (name, args);
+}
+
+/// Drain every thread's buffer into one [`Trace`] (empty without the
+/// `spans` feature). Threads that recorded nothing are omitted.
+pub fn take_trace() -> Trace {
+    #[cfg(feature = "spans")]
+    {
+        recording::take()
+    }
+    #[cfg(not(feature = "spans"))]
+    {
+        Trace::default()
+    }
+}
+
+/// Open a span with optional named numeric arguments.
+///
+/// ```
+/// let _level = graphbig_telemetry::span!("bfs.level", depth = 3, frontier = 128);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::span::span($name)$(.arg(stringify!($key), $value as f64))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests exercise the no-op path when built without the feature
+    // and the real path with `--features spans`; both must pass.
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        disable();
+        {
+            let _s = span("test.disabled");
+        }
+        instant("test.disabled.instant", &[("x", 1.0)]);
+        let t = take_trace();
+        assert!(t.events.iter().all(|e| !e.name.contains("disabled")));
+    }
+
+    #[cfg(feature = "spans")]
+    #[test]
+    fn enabled_spans_record_with_args_and_tid() {
+        enable();
+        {
+            let _s = crate::span!("test.level", depth = 2, frontier = 64);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        instant("test.switch", &[("scout", 10.0)]);
+        let from_worker = std::thread::Builder::new()
+            .name("test-worker".into())
+            .spawn(|| {
+                enable();
+                let _s = span("test.worker_side");
+            })
+            .unwrap();
+        from_worker.join().unwrap();
+        disable();
+        let t = take_trace();
+        let level = t.events.iter().find(|e| e.name == "test.level").unwrap();
+        assert!(level.dur_us.unwrap() >= 1000, "{level:?}");
+        assert_eq!(level.args, vec![("depth", 2.0), ("frontier", 64.0)]);
+        let sw = t.events.iter().find(|e| e.name == "test.switch").unwrap();
+        assert_eq!(sw.dur_us, None);
+        let worker = t
+            .events
+            .iter()
+            .find(|e| e.name == "test.worker_side")
+            .unwrap();
+        assert_ne!(worker.tid, level.tid);
+        assert!(t.threads.iter().any(|(_, n)| n == "test-worker"));
+        // Buffers were drained.
+        assert!(take_trace().events.is_empty());
+    }
+
+    #[test]
+    fn summary_aggregates_by_name() {
+        let t = Trace {
+            events: vec![
+                Event {
+                    name: "a",
+                    ts_us: 0,
+                    dur_us: Some(5),
+                    tid: 0,
+                    args: vec![],
+                },
+                Event {
+                    name: "a",
+                    ts_us: 9,
+                    dur_us: Some(7),
+                    tid: 1,
+                    args: vec![],
+                },
+                Event {
+                    name: "b",
+                    ts_us: 1,
+                    dur_us: None,
+                    tid: 0,
+                    args: vec![],
+                },
+            ],
+            threads: vec![],
+        };
+        assert_eq!(
+            t.summary(),
+            vec![("a".to_string(), 2, 12), ("b".to_string(), 1, 0)]
+        );
+    }
+}

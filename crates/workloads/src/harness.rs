@@ -77,6 +77,10 @@ pub fn run_traced<T: Tracer>(
         .filter(|&s| g.find_vertex(s).is_some())
         .or_else(|| g.vertex_ids().first().copied())
         .unwrap_or(0);
+    // Two nested phase spans: a uniform "harness.kernel" for cross-workload
+    // aggregation and the workload's short name for trace readability.
+    let _kernel = graphbig_telemetry::span!("harness.kernel", vertices = g.num_vertices());
+    let _named = graphbig_telemetry::span::span(w.short_name());
     match w {
         Workload::Bfs => {
             g.clear_prop(keys::STATUS);
@@ -97,6 +101,7 @@ pub fn run_traced<T: Tracer>(
             )
         }
         Workload::GCons => {
+            let prep = graphbig_telemetry::span::span("harness.prep");
             let n = g.num_vertices();
             let dense: std::collections::HashMap<VertexId, u64> = g
                 .vertex_ids()
@@ -108,6 +113,7 @@ pub fn run_traced<T: Tracer>(
                 .arcs()
                 .map(|(u, e)| (dense[&u], dense[&e.target], e.weight))
                 .collect();
+            drop(prep);
             let (_, r) = gcons::run_t(n, &edges, t);
             outcome(
                 w,
@@ -129,7 +135,10 @@ pub fn run_traced<T: Tracer>(
             )
         }
         Workload::TMorph => {
-            let dag = orient_to_dag(g);
+            let dag = {
+                let _prep = graphbig_telemetry::span::span("harness.prep");
+                orient_to_dag(g)
+            };
             let (_, r) = tmorph::run_t(&dag, t);
             outcome(
                 w,
@@ -187,7 +196,10 @@ pub fn run_traced<T: Tracer>(
             } else {
                 BayesConfig::with_vertices((1041.0 * params.gibbs_scale) as usize)
             };
-            let mut net = bayes::generate(&cfg);
+            let mut net = {
+                let _prep = graphbig_telemetry::span::span("harness.prep");
+                bayes::generate(&cfg)
+            };
             let r = gibbs::run_t(&mut net, params.gibbs_sweeps, params.seed, t);
             outcome(
                 w,

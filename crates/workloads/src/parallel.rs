@@ -35,6 +35,67 @@ const ALPHA: u64 = 15;
 /// the vertices (GAP's tuned default).
 const BETA: usize = 18;
 
+/// Traversal direction chosen for one level of [`bfs_dir_opt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelDir {
+    /// Out-edges of frontier vertices relaxed (queue frontier).
+    TopDown,
+    /// Unreached vertices scanned their in-edges for parents (bitmap frontier).
+    BottomUp,
+}
+
+/// One executed level of a direction-optimized traversal, with the
+/// heuristic's trigger values as they stood when the direction was chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelRecord {
+    /// Depth of the frontier entering this step.
+    pub depth: i64,
+    /// Direction the step executed in.
+    pub dir: LevelDir,
+    /// Vertices in the frontier entering the step.
+    pub frontier_len: usize,
+    /// Out-edge scout count (the alpha trigger's left side). During a
+    /// bottom-up phase this carries the value that triggered the switch —
+    /// the heuristic does not recompute it until the phase exits.
+    pub scout: u64,
+    /// Remaining unexplored-edge estimate (the alpha trigger's right side).
+    pub edges_to_check: u64,
+}
+
+/// Execution trajectory of one [`bfs_dir_opt`] run: every level with its
+/// direction and trigger values, plus the direction-switch counts. The
+/// trajectory is a pure function of the graph and source (the heuristic
+/// inputs are schedule-independent), so tests can check it against a
+/// reference simulation driven by sequential BFS level data.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirOptReport {
+    /// Per-level records in execution order.
+    pub levels: Vec<LevelRecord>,
+    /// Top-down -> bottom-up transitions (alpha trigger firings).
+    pub switches_to_bottom_up: u64,
+    /// Bottom-up -> top-down transitions (beta trigger firings) that
+    /// resumed traversal; a bottom-up phase that drains the frontier ends
+    /// the run and is not counted.
+    pub switches_to_top_down: u64,
+}
+
+impl DirOptReport {
+    /// Publish the trajectory into `reg` under the `bfs.*` metric schema:
+    /// per-level frontier occupancy as a log₂ histogram, level and
+    /// direction-switch counters.
+    pub fn publish(&self, reg: &graphbig_telemetry::Registry) {
+        let occupancy = reg.histogram("bfs.frontier.occupancy");
+        for record in &self.levels {
+            occupancy.record(record.frontier_len as u64);
+        }
+        reg.counter("bfs.levels").add(self.levels.len() as u64);
+        reg.counter("bfs.switches.to_bottom_up")
+            .add(self.switches_to_bottom_up);
+        reg.counter("bfs.switches.to_top_down")
+            .add(self.switches_to_top_down);
+    }
+}
+
 /// Reusable per-traversal state: one atomic level array sized once and
 /// reset between runs, so repeated traversals (benches, betweenness-style
 /// multi-source loops) allocate nothing after the first.
@@ -158,6 +219,7 @@ pub fn bfs_with_state(pool: &ThreadPool, csr: &Csr, source: u32, state: &mut Bfs
     let mut level = 0i64;
     let mut visited = 1u64;
     while !frontier.is_empty() {
+        let _lvl = graphbig_telemetry::span!("bfs.level", depth = level, frontier = frontier.len());
         top_down_step(pool, csr, levels, &frontier, level, &sink, &mut next);
         visited += next.len() as u64;
         std::mem::swap(&mut frontier, &mut next);
@@ -207,9 +269,23 @@ fn bottom_up_step(
 /// when the frontier collapses. Returns per-vertex levels (`-1` =
 /// unreached) and the visited count — identical output to [`bfs`].
 pub fn bfs_dir_opt(pool: &ThreadPool, bi: &BiCsr, source: u32) -> (Vec<i64>, u64) {
+    let (levels, visited, report) = bfs_dir_opt_reported(pool, bi, source);
+    report.publish(graphbig_telemetry::metrics::global());
+    (levels, visited)
+}
+
+/// [`bfs_dir_opt`] returning the full [`DirOptReport`] trajectory alongside
+/// the result, without touching the global metric registry — the variant
+/// tests and diagnostics use to inspect the heuristic in isolation.
+pub fn bfs_dir_opt_reported(
+    pool: &ThreadPool,
+    bi: &BiCsr,
+    source: u32,
+) -> (Vec<i64>, u64, DirOptReport) {
+    let mut report = DirOptReport::default();
     let n = bi.num_vertices();
     if n == 0 || source as usize >= n {
-        return (Vec::new(), 0);
+        return (Vec::new(), 0, report);
     }
     let m = bi.num_edges() as u64;
     let out = bi.out();
@@ -224,11 +300,33 @@ pub fn bfs_dir_opt(pool: &ThreadPool, bi: &BiCsr, source: u32) -> (Vec<i64>, u64
 
     while !frontier.is_empty() {
         if scout > edges_to_check / ALPHA {
+            report.switches_to_bottom_up += 1;
+            graphbig_telemetry::instant(
+                "bfs.switch",
+                &[
+                    ("to_bottom_up", 1.0),
+                    ("scout", scout as f64),
+                    ("edges_to_check", edges_to_check as f64),
+                ],
+            );
             // Bottom-up phase: stay here while the frontier is still growing
             // or still a large fraction of the graph.
             frontier.ensure_dense(n);
             loop {
                 let before = frontier.len();
+                report.levels.push(LevelRecord {
+                    depth: level,
+                    dir: LevelDir::BottomUp,
+                    frontier_len: before,
+                    scout,
+                    edges_to_check,
+                });
+                let _lvl = graphbig_telemetry::span!(
+                    "bfs.level",
+                    depth = level,
+                    frontier = before,
+                    dense = 1
+                );
                 let (bits, awake) = bottom_up_step(
                     pool,
                     bi,
@@ -250,8 +348,32 @@ pub fn bfs_dir_opt(pool: &ThreadPool, bi: &BiCsr, source: u32) -> (Vec<i64>, u64
             if let Frontier::Dense { bits, count } = frontier {
                 frontier = Frontier::from_bitmap(bits, count);
             }
+            if !frontier.is_empty() {
+                report.switches_to_top_down += 1;
+                graphbig_telemetry::instant(
+                    "bfs.switch",
+                    &[
+                        ("to_top_down", 1.0),
+                        ("frontier", frontier.len() as f64),
+                        ("beta_threshold", (n / BETA) as f64),
+                    ],
+                );
+            }
         } else {
+            report.levels.push(LevelRecord {
+                depth: level,
+                dir: LevelDir::TopDown,
+                frontier_len: frontier.len(),
+                scout,
+                edges_to_check,
+            });
             edges_to_check = edges_to_check.saturating_sub(scout);
+            let _lvl = graphbig_telemetry::span!(
+                "bfs.level",
+                depth = level,
+                frontier = frontier.len(),
+                dense = 0
+            );
             // The frontier may still be occupancy-dense even when the
             // heuristic picks top-down; materialize a queue in that case.
             let materialized;
@@ -275,6 +397,7 @@ pub fn bfs_dir_opt(pool: &ThreadPool, bi: &BiCsr, source: u32) -> (Vec<i64>, u64
     (
         levels.into_iter().map(|a| a.into_inner()).collect(),
         visited,
+        report,
     )
 }
 
@@ -795,5 +918,187 @@ mod tests {
         assert!(ccomp(&pool(), &csr).is_empty());
         assert!(kcore(&pool(), &csr).is_empty());
         assert_eq!(tc(&pool(), &csr), 0);
+    }
+
+    /// Replay the alpha/beta heuristic over per-depth frontier sizes and
+    /// scout counts taken from a sequential (one-thread, level-synchronous)
+    /// traversal — the schedule-free reference trajectory the parallel
+    /// direction-optimizer must reproduce exactly.
+    fn simulate_trajectory(bi: &BiCsr, seq_levels: &[i64]) -> DirOptReport {
+        let n = bi.num_vertices();
+        let out = bi.out();
+        let max_depth = seq_levels.iter().copied().max().unwrap_or(-1);
+        let mut report = DirOptReport::default();
+        if max_depth < 0 {
+            return report;
+        }
+        // size[d] / scout_at[d]: frontier occupancy and out-edge scout count
+        // of the depth-d frontier; one trailing empty slot for lookahead.
+        let depths = max_depth as usize + 2;
+        let mut size = vec![0usize; depths];
+        let mut scout_at = vec![0u64; depths];
+        for (v, &l) in seq_levels.iter().enumerate() {
+            if l >= 0 {
+                size[l as usize] += 1;
+                scout_at[l as usize] += out.degree(v as u32) as u64;
+            }
+        }
+        let mut edges_to_check = bi.num_edges() as u64;
+        let mut d = 0usize;
+        while size[d] > 0 {
+            let scout = scout_at[d];
+            if scout > edges_to_check / ALPHA {
+                report.switches_to_bottom_up += 1;
+                loop {
+                    let before = size[d];
+                    report.levels.push(LevelRecord {
+                        depth: d as i64,
+                        dir: LevelDir::BottomUp,
+                        frontier_len: before,
+                        scout,
+                        edges_to_check,
+                    });
+                    let awake = size[d + 1];
+                    d += 1;
+                    if awake == 0 || (awake < before && awake * BETA < n) {
+                        break;
+                    }
+                }
+                if size[d] > 0 {
+                    report.switches_to_top_down += 1;
+                }
+            } else {
+                report.levels.push(LevelRecord {
+                    depth: d as i64,
+                    dir: LevelDir::TopDown,
+                    frontier_len: size[d],
+                    scout,
+                    edges_to_check,
+                });
+                edges_to_check = edges_to_check.saturating_sub(scout);
+                d += 1;
+            }
+        }
+        report
+    }
+
+    #[test]
+    fn dir_opt_report_trivial_inputs_are_empty() {
+        let empty = BiCsr::directed(Csr::from_edges(0, &[]));
+        let (_, visited, report) = bfs_dir_opt_reported(&pool(), &empty, 0);
+        assert_eq!(visited, 0);
+        assert_eq!(report, DirOptReport::default());
+        // Out-of-range source: no traversal, no trajectory.
+        let (_, csr) = ldbc(50);
+        let bi = BiCsr::directed(csr);
+        let (_, visited, report) = bfs_dir_opt_reported(&pool(), &bi, 9999);
+        assert_eq!(visited, 0);
+        assert!(report.levels.is_empty());
+    }
+
+    #[test]
+    fn dir_opt_report_single_vertex_graph() {
+        // One vertex, no edges: exactly one top-down level, no switches.
+        let bi = BiCsr::directed(Csr::from_edges(1, &[]));
+        let (levels, visited, report) = bfs_dir_opt_reported(&pool(), &bi, 0);
+        assert_eq!(levels, vec![0]);
+        assert_eq!(visited, 1);
+        assert_eq!(report.levels.len(), 1);
+        assert_eq!(report.levels[0].dir, LevelDir::TopDown);
+        assert_eq!(report.levels[0].frontier_len, 1);
+        assert_eq!(report.levels[0].scout, 0);
+        assert_eq!(report.switches_to_bottom_up, 0);
+        assert_eq!(report.switches_to_top_down, 0);
+    }
+
+    #[test]
+    fn dir_opt_report_source_without_out_edges() {
+        // Edges exist elsewhere, but the source produces an empty frontier
+        // at level 0: the run records that single level and stops.
+        let edges = [(1u32, 2u32, 1.0f32), (2, 3, 1.0), (3, 1, 1.0)];
+        let bi = BiCsr::directed(Csr::from_edges(4, &edges));
+        let (levels, visited, report) = bfs_dir_opt_reported(&pool(), &bi, 0);
+        assert_eq!(visited, 1);
+        assert_eq!(levels, vec![0, -1, -1, -1]);
+        assert_eq!(report.levels.len(), 1);
+        assert_eq!(report.levels[0].dir, LevelDir::TopDown);
+        assert_eq!(report.switches_to_bottom_up, 0);
+        assert_eq!(report.switches_to_top_down, 0);
+    }
+
+    #[test]
+    fn dir_opt_trajectory_matches_reference_simulation() {
+        // The executed trajectory (directions, occupancy, trigger values,
+        // switch counters) must equal the alpha/beta rules replayed over
+        // sequential per-level data — including the dense->sparse switch
+        // back to top-down near the final levels.
+        let one = ThreadPool::new(1);
+        let mut saw_bottom_up = false;
+        let mut saw_switch_back = false;
+        for n in [64usize, 300, 900] {
+            let (_, csr) = ldbc(n);
+            let sym = csr.symmetrize();
+            for bi in [BiCsr::directed(csr), BiCsr::symmetric(sym)] {
+                let (seq_levels, _) = bfs(&one, bi.out(), 0);
+                let expected = simulate_trajectory(&bi, &seq_levels);
+                let (_, _, report) = bfs_dir_opt_reported(&pool(), &bi, 0);
+                assert_eq!(report, expected, "n={n}");
+                saw_bottom_up |= report.switches_to_bottom_up > 0;
+                saw_switch_back |= report.switches_to_top_down > 0;
+                // A switch back means a top-down level follows a bottom-up
+                // one in execution order.
+                if report.switches_to_top_down > 0 {
+                    let resumed = report
+                        .levels
+                        .windows(2)
+                        .any(|w| w[0].dir == LevelDir::BottomUp && w[1].dir == LevelDir::TopDown);
+                    assert!(resumed, "n={n}: counted a switch back but never resumed");
+                }
+            }
+        }
+        assert!(saw_bottom_up, "no graph ever triggered bottom-up");
+        assert!(saw_switch_back, "no graph ever switched back to top-down");
+    }
+
+    #[test]
+    fn dir_opt_report_is_thread_count_independent() {
+        let (_, csr) = ldbc(300);
+        let bi = BiCsr::directed(csr);
+        let one = ThreadPool::new(1);
+        let eight = ThreadPool::new(8);
+        let (_, _, a) = bfs_dir_opt_reported(&one, &bi, 0);
+        let (_, _, b) = bfs_dir_opt_reported(&eight, &bi, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dir_opt_publish_exports_bfs_schema() {
+        let (_, csr) = ldbc(300);
+        let bi = BiCsr::directed(csr);
+        let (_, _, report) = bfs_dir_opt_reported(&pool(), &bi, 0);
+        let reg = graphbig_telemetry::Registry::new();
+        report.publish(&reg);
+        let snap = reg.snapshot();
+        use graphbig_telemetry::MetricValue;
+        assert_eq!(
+            snap["bfs.levels"],
+            MetricValue::Counter(report.levels.len() as u64)
+        );
+        assert_eq!(
+            snap["bfs.switches.to_bottom_up"],
+            MetricValue::Counter(report.switches_to_bottom_up)
+        );
+        assert_eq!(
+            snap["bfs.switches.to_top_down"],
+            MetricValue::Counter(report.switches_to_top_down)
+        );
+        match &snap["bfs.frontier.occupancy"] {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, report.levels.len() as u64);
+                let occupancy_sum: u64 = report.levels.iter().map(|l| l.frontier_len as u64).sum();
+                assert_eq!(h.sum, occupancy_sum);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 }
