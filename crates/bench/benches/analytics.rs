@@ -1,10 +1,10 @@
 //! Wall-clock benchmarks of the analytics and social-analysis workloads
 //! (kCore, CComp, GColor, TC, Gibbs, DCentr, BCentr).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use graphbig::datagen::bayes::{self, BayesConfig};
 use graphbig::prelude::*;
 use graphbig::workloads::{bcentr, ccomp, dcentr, gcolor, gibbs, kcore, tc};
+use graphbig_bench::timing::{black_box, Runner};
 
 fn clone_graph(g: &PropertyGraph) -> PropertyGraph {
     let mut out = PropertyGraph::with_capacity(g.num_vertices());
@@ -17,16 +17,13 @@ fn clone_graph(g: &PropertyGraph) -> PropertyGraph {
     out
 }
 
-fn bench_analytics(c: &mut Criterion) {
+fn main() {
     let base = Dataset::Ldbc.generate_with_vertices(4_000);
-    let mut group = c.benchmark_group("analytics_ldbc4k");
-    group.sample_size(10);
+    let mut r = Runner::new("analytics_ldbc4k");
 
     macro_rules! wl {
         ($name:literal, $f:expr) => {
-            group.bench_function($name, |b| {
-                b.iter_batched(|| clone_graph(&base), $f, criterion::BatchSize::LargeInput)
-            });
+            r.bench_with_setup($name, || clone_graph(&base), $f);
         };
     }
     wl!("kcore", |mut g| black_box(kcore::run(&mut g)));
@@ -35,19 +32,11 @@ fn bench_analytics(c: &mut Criterion) {
     wl!("tc", |mut g| black_box(tc::run(&mut g)));
     wl!("dcentr", |mut g| black_box(dcentr::run(&mut g)));
     wl!("bcentr_8src", |mut g| black_box(bcentr::run(&mut g, 8)));
-    group.finish();
 
-    let mut group = c.benchmark_group("gibbs_munin");
-    group.sample_size(10);
-    group.bench_function("gibbs_3_sweeps", |b| {
-        b.iter_batched(
-            || bayes::generate(&BayesConfig::munin_like()),
-            |mut net| black_box(gibbs::run(&mut net, 3, 7)),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    r.bench_with_setup(
+        "gibbs_3_sweeps",
+        || bayes::generate(&BayesConfig::munin_like()),
+        |mut net| black_box(gibbs::run(&mut net, 3, 7)),
+    );
+    r.finish();
 }
-
-criterion_group!(benches, bench_analytics);
-criterion_main!(benches);

@@ -1,24 +1,19 @@
 //! Wall-clock benchmarks of the dataset generators (Table 5/7 families).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use graphbig::datagen::bayes::{self, BayesConfig};
 use graphbig::prelude::*;
+use graphbig_bench::timing::{black_box, Runner};
 
-fn bench_generators(c: &mut Criterion) {
+fn main() {
     let n = 10_000usize;
-    let mut group = c.benchmark_group("datagen_10k");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(n as u64));
+    let mut r = Runner::new("datagen_10k");
     for d in Dataset::ALL {
-        group.bench_function(d.short_name(), |b| {
-            b.iter(|| black_box(d.generate_with_vertices(n)))
+        r.bench(d.short_name(), || {
+            black_box(d.generate_with_vertices(n));
         });
     }
-    group.bench_function("munin_bayes_net", |b| {
-        b.iter(|| black_box(bayes::generate(&BayesConfig::munin_like())))
+    r.bench("munin_bayes_net", || {
+        black_box(bayes::generate(&BayesConfig::munin_like()));
     });
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_generators);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! Wall-clock benchmarks of the dynamic-graph workloads (GCons, GUp,
 //! TMorph) — the paper's CompDyn category.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use graphbig::prelude::*;
 use graphbig::workloads::harness::orient_to_dag;
 use graphbig::workloads::{gcons, gup, tmorph};
+use graphbig_bench::timing::{black_box, Runner};
 
-fn bench_dynamic(c: &mut Criterion) {
+fn main() {
     let base = Dataset::Ldbc.generate_with_vertices(4_000);
     let n = base.num_vertices();
     let dense: std::collections::HashMap<u64, u64> = base
@@ -20,33 +20,26 @@ fn bench_dynamic(c: &mut Criterion) {
         .map(|(u, e)| (dense[&u], dense[&e.target], e.weight))
         .collect();
 
-    let mut group = c.benchmark_group("dynamic");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(edges.len() as u64));
+    let mut r = Runner::new("dynamic");
 
-    group.bench_function("gcons_ldbc4k", |b| {
-        b.iter(|| black_box(gcons::run(n, &edges)))
+    r.bench("gcons_ldbc4k", || {
+        black_box(gcons::run(n, &edges));
     });
 
-    group.bench_function("gup_delete_10pct", |b| {
-        b.iter_batched(
-            || {
-                let (g, _) = gcons::run(n, &edges);
-                let victims = gup::pick_victims(&g, n / 10, 7);
-                (g, victims)
-            },
-            |(mut g, victims)| black_box(gup::run(&mut g, &victims)),
-            criterion::BatchSize::LargeInput,
-        )
+    r.bench_with_setup(
+        "gup_delete_10pct",
+        || {
+            let (g, _) = gcons::run(n, &edges);
+            let victims = gup::pick_victims(&g, n / 10, 7);
+            (g, victims)
+        },
+        |(mut g, victims)| black_box(gup::run(&mut g, &victims)),
+    );
+
+    let dag = orient_to_dag(&base);
+    r.bench("tmorph_ldbc4k", || {
+        black_box(tmorph::run(&dag));
     });
 
-    group.bench_function("tmorph_ldbc4k", |b| {
-        let dag = orient_to_dag(&base);
-        b.iter(|| black_box(tmorph::run(&dag)))
-    });
-
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_dynamic);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Wall-clock benchmarks of the framework primitives — the elementary
 //! operations that Figure 1 shows dominating execution time.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use graphbig::prelude::*;
+use graphbig_bench::timing::{black_box, Runner};
 
 fn build_graph(n: u64) -> PropertyGraph {
     let mut g = PropertyGraph::with_capacity(n as usize);
@@ -17,78 +17,58 @@ fn build_graph(n: u64) -> PropertyGraph {
     g
 }
 
-fn bench_primitives(c: &mut Criterion) {
+fn main() {
     let n = 10_000u64;
     let g = build_graph(n);
+    let mut r = Runner::new("framework");
 
-    let mut group = c.benchmark_group("framework");
-    group.throughput(Throughput::Elements(1));
-
-    group.bench_function("find_vertex", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i * 2654435761 + 1) % n;
-            black_box(g.find_vertex(black_box(i)));
-        })
+    let mut i = 0u64;
+    r.bench("find_vertex", || {
+        i = (i * 2654435761 + 1) % n;
+        black_box(g.find_vertex(black_box(i)));
     });
 
-    group.bench_function("has_edge", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i * 2654435761 + 1) % n;
-            black_box(g.has_edge(black_box(i), black_box((i + 3) % n)));
-        })
+    let mut i = 0u64;
+    r.bench("has_edge", || {
+        i = (i * 2654435761 + 1) % n;
+        black_box(g.has_edge(black_box(i), black_box((i + 3) % n)));
     });
 
-    group.bench_function("neighbor_scan", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i * 2654435761 + 1) % n;
-            let mut sum = 0u64;
-            for e in g.neighbors(i) {
-                sum = sum.wrapping_add(e.target);
-            }
-            black_box(sum)
-        })
+    let mut i = 0u64;
+    r.bench("neighbor_scan", || {
+        i = (i * 2654435761 + 1) % n;
+        let mut sum = 0u64;
+        for e in g.neighbors(i) {
+            sum = sum.wrapping_add(e.target);
+        }
+        black_box(sum);
     });
 
-    group.bench_function("add_delete_edge", |b| {
-        let mut g = build_graph(1_000);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i * 48271 + 1) % 1_000;
-            let to = (i + 17) % 1_000;
-            g.add_edge(i, to, 1.0).unwrap();
-            g.delete_edge(i, to).unwrap();
-        })
+    let mut small = build_graph(1_000);
+    let mut i = 0u64;
+    r.bench("add_delete_edge", || {
+        i = (i * 48271 + 1) % 1_000;
+        let to = (i + 17) % 1_000;
+        small.add_edge(i, to, 1.0).unwrap();
+        small.delete_edge(i, to).unwrap();
     });
 
-    group.bench_function("property_update", |b| {
-        let mut g = build_graph(1_000);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i * 48271 + 1) % 1_000;
-            g.set_vertex_prop(
+    let mut small = build_graph(1_000);
+    let mut i = 0u64;
+    r.bench("property_update", || {
+        i = (i * 48271 + 1) % 1_000;
+        small
+            .set_vertex_prop(
                 i,
                 graphbig::framework::property::keys::STATUS,
                 Property::Int(i as i64),
             )
             .unwrap();
-        })
     });
 
-    group.finish();
-
-    let mut group = c.benchmark_group("populate");
-    group.bench_function("csr_from_graph_10k", |b| {
-        b.iter(|| black_box(Csr::from_graph(&g)))
+    r.bench("csr_from_graph_10k", || {
+        black_box(Csr::from_graph(&g));
     });
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_primitives
+    r.finish();
 }
-criterion_main!(benches);

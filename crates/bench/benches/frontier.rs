@@ -5,17 +5,19 @@
 //! direction switch pays off on low-diameter, hub-heavy graphs where the
 //! middle levels sweep most of the edge set bottom-up); the Twitter
 //! generator checks the same effect on a power-law degree distribution.
-//! Baseline numbers live in `results/BENCH_frontier.json`.
+//! Baseline numbers live in `results/BENCH_frontier.json`; the hermetic
+//! (in-tree PRNG + std-sync) re-run lives in `results/BENCH_hermetic.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphbig::framework::csr::{BiCsr, Csr};
 use graphbig::prelude::*;
 use graphbig::workloads::parallel;
+use graphbig_bench::timing::{black_box, Runner};
 
-fn bench_frontier(c: &mut Criterion) {
+fn main() {
     let threads = std::thread::available_parallelism()
         .map(|p| p.get().min(8))
         .unwrap_or(4);
+    let mut r = Runner::new("frontier");
     for (name, dataset, n) in [
         ("ldbc_64k", Dataset::Ldbc, 1usize << 16),
         ("twitter_32k", Dataset::Twitter, 1usize << 15),
@@ -25,17 +27,12 @@ fn bench_frontier(c: &mut Criterion) {
         let bi = BiCsr::directed(csr.clone());
         let pool = ThreadPool::new(threads);
 
-        let mut group = c.benchmark_group(format!("frontier_{name}"));
-        group.sample_size(10);
-        group.bench_with_input(BenchmarkId::new("top_down", threads), &(), |b, _| {
-            b.iter(|| black_box(parallel::bfs(&pool, &csr, 0)))
+        r.bench(&format!("{name}/top_down/{threads}t"), || {
+            black_box(parallel::bfs(&pool, &csr, 0));
         });
-        group.bench_with_input(BenchmarkId::new("dir_opt", threads), &(), |b, _| {
-            b.iter(|| black_box(parallel::bfs_dir_opt(&pool, &bi, 0)))
+        r.bench(&format!("{name}/dir_opt/{threads}t"), || {
+            black_box(parallel::bfs_dir_opt(&pool, &bi, 0));
         });
-        group.finish();
     }
+    r.finish();
 }
-
-criterion_group!(benches, bench_frontier);
-criterion_main!(benches);

@@ -2,27 +2,23 @@
 //! replays the 8 GPU workloads (this is simulator throughput, not modeled
 //! GPU time — the modeled time is Figure 11's `time ms` column).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use graphbig::framework::csr::Csr;
 use graphbig::gpu::registry::{run_gpu_workload, GpuRunParams};
 use graphbig::prelude::*;
 use graphbig::workloads::Workload;
+use graphbig_bench::timing::{black_box, Runner};
 
-fn bench_gpu_model(c: &mut Criterion) {
+fn main() {
     let g = Dataset::Ldbc.generate_with_vertices(2_000);
     let csr = Csr::from_graph(&g);
     let cfg = GpuConfig::tesla_k40();
     let params = GpuRunParams::default();
 
-    let mut group = c.benchmark_group("simt_ldbc2k");
-    group.sample_size(10);
+    let mut r = Runner::new("simt_ldbc2k");
     for w in Workload::gpu_workloads() {
-        group.bench_function(w.short_name(), |b| {
-            b.iter(|| black_box(run_gpu_workload(w, &cfg, &csr, &params)))
+        r.bench(w.short_name(), || {
+            black_box(run_gpu_workload(w, &cfg, &csr, &params));
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_gpu_model);
-criterion_main!(benches);

@@ -2,48 +2,38 @@
 //! sequential framework counterparts — the multi-threaded side of the
 //! paper's 16-core runs.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphbig::framework::csr::Csr;
 use graphbig::prelude::*;
 use graphbig::workloads::parallel;
+use graphbig_bench::timing::{black_box, Runner};
 
-fn bench_parallel(c: &mut Criterion) {
+fn main() {
     let g = Dataset::Ldbc.generate_with_vertices(10_000);
     let csr = Csr::from_graph(&g);
     let mut sym = csr.symmetrize();
     sym.sort_adjacency();
 
-    let mut group = c.benchmark_group("parallel_bfs_10k");
-    group.sample_size(10);
+    let mut r = Runner::new("parallel");
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            let pool = ThreadPool::new(t);
-            b.iter(|| black_box(parallel::bfs(&pool, &csr, 0)))
+        let pool = ThreadPool::new(threads);
+        r.bench(&format!("bfs_10k/{threads}"), || {
+            black_box(parallel::bfs(&pool, &csr, 0));
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("parallel_tc_10k");
-    group.sample_size(10);
     for threads in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            let pool = ThreadPool::new(t);
-            b.iter(|| black_box(parallel::tc(&pool, &sym)))
+        let pool = ThreadPool::new(threads);
+        r.bench(&format!("tc_10k/{threads}"), || {
+            black_box(parallel::tc(&pool, &sym));
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("parallel_ccomp_10k");
-    group.sample_size(10);
+    let s = csr.symmetrize();
     for threads in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            let pool = ThreadPool::new(t);
-            let s = csr.symmetrize();
-            b.iter(|| black_box(parallel::ccomp(&pool, &s)))
+        let pool = ThreadPool::new(threads);
+        r.bench(&format!("ccomp_10k/{threads}"), || {
+            black_box(parallel::ccomp(&pool, &s));
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_parallel);
-criterion_main!(benches);

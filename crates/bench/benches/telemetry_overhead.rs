@@ -15,13 +15,13 @@
 //!
 //! Baseline numbers live in `results/BENCH_telemetry_overhead.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use graphbig::framework::csr::{BiCsr, Csr};
 use graphbig::prelude::*;
 use graphbig::telemetry;
 use graphbig::workloads::parallel;
+use graphbig_bench::timing::{black_box, Runner};
 
-fn bench_telemetry_overhead(c: &mut Criterion) {
+fn main() {
     let threads = std::thread::available_parallelism()
         .map(|p| p.get().min(8))
         .unwrap_or(4);
@@ -29,27 +29,20 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     let bi = BiCsr::directed(Csr::from_graph(&g));
     let pool = ThreadPool::new(threads);
 
-    let mut group = c.benchmark_group("telemetry_overhead_ldbc_64k");
-    group.sample_size(10);
+    let mut r = Runner::new("telemetry_overhead_ldbc_64k");
 
     telemetry::disable();
-    group.bench_function("bfs_dir_opt/runtime_off", |b| {
-        b.iter(|| black_box(parallel::bfs_dir_opt(&pool, &bi, 0)))
+    r.bench("bfs_dir_opt/runtime_off", || {
+        black_box(parallel::bfs_dir_opt(&pool, &bi, 0));
     });
 
     telemetry::enable();
-    group.bench_function("bfs_dir_opt/runtime_on", |b| {
-        b.iter(|| {
-            let r = black_box(parallel::bfs_dir_opt(&pool, &bi, 0));
-            // Drain per-thread buffers so memory stays flat across samples
-            // and each iteration pays the same recording cost.
-            drop(telemetry::take_trace());
-            r
-        })
+    r.bench("bfs_dir_opt/runtime_on", || {
+        black_box(parallel::bfs_dir_opt(&pool, &bi, 0));
+        // Drain per-thread buffers so memory stays flat across samples
+        // and each iteration pays the same recording cost.
+        drop(telemetry::take_trace());
     });
     telemetry::disable();
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_telemetry_overhead);
-criterion_main!(benches);

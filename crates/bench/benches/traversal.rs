@@ -1,41 +1,32 @@
 //! Wall-clock benchmarks of the traversal workloads (BFS, DFS, SPath) on
 //! the LDBC dataset — the paper's Table 4 "graph traversal" category.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use graphbig::prelude::*;
 use graphbig::workloads::{bfs, dfs, spath};
+use graphbig_bench::timing::{black_box, Runner};
 
-fn bench_traversal(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("traversal");
     for n in [2_000usize, 10_000] {
         let base = Dataset::Ldbc.generate_with_vertices(n);
-        let arcs = base.num_arcs() as u64;
-        let mut group = c.benchmark_group("traversal");
-        group.throughput(Throughput::Elements(arcs));
-        group.sample_size(20);
 
-        group.bench_with_input(BenchmarkId::new("bfs", n), &n, |b, _| {
-            b.iter_batched(
-                || base_clone(&base),
-                |mut g| black_box(bfs::run(&mut g, 0)),
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("dfs", n), &n, |b, _| {
-            b.iter_batched(
-                || base_clone(&base),
-                |mut g| black_box(dfs::run(&mut g, 0)),
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("spath", n), &n, |b, _| {
-            b.iter_batched(
-                || base_clone(&base),
-                |mut g| black_box(spath::run(&mut g, 0)),
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        group.finish();
+        r.bench_with_setup(
+            &format!("bfs/{n}"),
+            || base_clone(&base),
+            |mut g| black_box(bfs::run(&mut g, 0)),
+        );
+        r.bench_with_setup(
+            &format!("dfs/{n}"),
+            || base_clone(&base),
+            |mut g| black_box(dfs::run(&mut g, 0)),
+        );
+        r.bench_with_setup(
+            &format!("spath/{n}"),
+            || base_clone(&base),
+            |mut g| black_box(spath::run(&mut g, 0)),
+        );
     }
+    r.finish();
 }
 
 fn base_clone(g: &PropertyGraph) -> PropertyGraph {
@@ -48,6 +39,3 @@ fn base_clone(g: &PropertyGraph) -> PropertyGraph {
     }
     out
 }
-
-criterion_group!(benches, bench_traversal);
-criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! # graphbig-bench
 //!
-//! Figure/table regeneration binaries, ablation studies, and Criterion
-//! wall-clock benches. Shared harness helpers live here.
+//! Figure/table regeneration binaries, ablation studies, and the in-tree
+//! wall-clock benches (the [`timing`] median ± MAD loop — no criterion).
+//! Shared harness helpers live here.
 //!
 //! ## Binaries (`cargo run --release -p graphbig-bench --bin <name>`)
 //!
@@ -38,3 +39,4 @@
 pub mod cpu_char;
 pub mod gpu_char;
 pub mod harness;
+pub mod timing;

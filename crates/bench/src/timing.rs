@@ -1,0 +1,336 @@
+//! The in-tree wall-clock measurement loop: warmup, then `samples` timed
+//! batches, summarized as **median ± MAD** (median absolute deviation).
+//! This replaces `criterion` for the nine `harness = false` benches so the
+//! suite measures itself with zero external crates.
+//!
+//! The model is deliberately small:
+//!
+//! * [`Runner::bench`] auto-calibrates a batch size so each timed sample
+//!   runs for at least [`TARGET_SAMPLE`] (nanosecond-scale primitives get
+//!   thousands of iterations per sample; multi-millisecond workloads get
+//!   one), runs one untimed warmup batch, then records per-iteration times
+//!   for `samples` batches;
+//! * [`Runner::bench_with_setup`] rebuilds fresh input before every timed
+//!   call (the `iter_batched` pattern) with setup time excluded;
+//! * median/MAD are robust to the occasional scheduler hiccup that would
+//!   drag a mean — the same reason criterion reports medians.
+//!
+//! CLI (everything `cargo bench -- <args>` forwards):
+//!
+//! * `--filter <substr>` (or a bare argument) — run matching benches only;
+//! * `--samples <n>` — override every bench's sample count;
+//! * `--emit <path>` — write the results as JSON (the format of
+//!   `results/BENCH_*.json`);
+//! * `--bench` / `--quiet` — accepted and ignored (cargo passes `--bench`).
+
+use graphbig_json::{json_struct, ObjBuilder, ToJson};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock time one timed sample should cover; batches are
+/// sized so timer resolution is noise even for nanosecond operations.
+pub const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Default number of timed samples per bench.
+pub const DEFAULT_SAMPLES: usize = 15;
+
+/// Cap on the calibrated batch size.
+const MAX_ITERS: u64 = 10_000_000;
+
+/// Summary statistics of one bench, all in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full bench name (`suite/bench`).
+    pub name: String,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Median absolute deviation around the median.
+    pub mad_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean across samples.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample (1 for setup-per-call benches).
+    pub iters: u64,
+}
+
+json_struct!(BenchResult {
+    name,
+    median_ns,
+    mad_ns,
+    min_ns,
+    mean_ns,
+    samples,
+    iters
+});
+
+/// One bench target's runner: collects results, prints a line per bench,
+/// and optionally emits JSON on [`finish`](Runner::finish).
+pub struct Runner {
+    suite: String,
+    filter: Option<String>,
+    samples: usize,
+    emit: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// Parse the bench CLI and start a suite.
+    pub fn new(suite: &str) -> Runner {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        let mut samples = DEFAULT_SAMPLES;
+        let mut emit = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--filter" | "--emit" | "--samples" => {
+                    let flag = args[i].clone();
+                    i += 1;
+                    let Some(v) = args.get(i) else { break };
+                    match flag.as_str() {
+                        "--filter" => filter = Some(v.clone()),
+                        "--emit" => emit = Some(v.clone()),
+                        _ => samples = v.parse().unwrap_or(DEFAULT_SAMPLES),
+                    }
+                }
+                a if a.starts_with("--") => {} // --bench, --quiet, ...
+                bare => filter = Some(bare.to_string()),
+            }
+            i += 1;
+        }
+        Runner {
+            suite: suite.to_string(),
+            filter,
+            samples: samples.max(3),
+            emit,
+            results: Vec::new(),
+        }
+    }
+
+    fn full_name(&self, name: &str) -> String {
+        format!("{}/{}", self.suite, name)
+    }
+
+    fn skipped(&self, full: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !full.contains(f))
+    }
+
+    /// Measure `f` with auto-calibrated batching: suitable for anything
+    /// from nanosecond primitives to multi-millisecond workloads.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        let full = self.full_name(name);
+        if self.skipped(&full) {
+            return;
+        }
+        // calibration pass doubles as the first warmup iteration
+        let t = Instant::now();
+        f();
+        let once = t.elapsed();
+        let iters = if once >= TARGET_SAMPLE {
+            1
+        } else {
+            (TARGET_SAMPLE.as_nanos() as u64 / (once.as_nanos() as u64).max(1) + 1).min(MAX_ITERS)
+        };
+        // one untimed warmup batch
+        for _ in 0..iters {
+            f();
+        }
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(full, per_iter, iters);
+    }
+
+    /// Measure `f` on a fresh `setup()` output each sample; setup time is
+    /// excluded (the `iter_batched` pattern for consuming/mutating benches).
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> T,
+    ) {
+        let full = self.full_name(name);
+        if self.skipped(&full) {
+            return;
+        }
+        // warmup: one untimed run
+        black_box(f(setup()));
+        let mut per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            per_iter.push(t.elapsed().as_nanos() as f64);
+        }
+        self.record(full, per_iter, 1);
+    }
+
+    fn record(&mut self, name: String, mut per_iter: Vec<f64>, iters: u64) {
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = median_sorted(&per_iter);
+        let mut devs: Vec<f64> = per_iter.iter().map(|x| (x - median).abs()).collect();
+        devs.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            mad_ns: median_sorted(&devs),
+            median_ns: median,
+            min_ns: per_iter[0],
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            samples: per_iter.len(),
+            iters,
+            name,
+        };
+        println!(
+            "{:<44} median {:>10} \u{b1} {:>8} (MAD)  min {:>10}  [{} samples \u{d7} {} iters]",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.mad_ns),
+            fmt_ns(result.min_ns),
+            result.samples,
+            result.iters,
+        );
+        self.results.push(result);
+    }
+
+    /// Print the footer and write `--emit` JSON if requested.
+    pub fn finish(self) {
+        println!("{}: {} benches measured", self.suite, self.results.len());
+        if let Some(path) = &self.emit {
+            let doc = ObjBuilder::new()
+                .push("suite", self.suite.to_json())
+                .push("results", self.results.to_json())
+                .build();
+            if let Err(e) = std::fs::write(path, doc.to_pretty() + "\n") {
+                eprintln!("error: cannot write bench results to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("bench results written to {path}");
+        }
+    }
+
+    /// The measurements collected so far (used by tests).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Human-readable nanoseconds: `687 ns`, `12.4 µs`, `3.21 ms`, `1.08 s`.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} \u{b5}s", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_runner(samples: usize) -> Runner {
+        Runner {
+            suite: "t".into(),
+            filter: None,
+            samples,
+            emit: None,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn median_and_mad_are_robust_to_outliers() {
+        let mut r = quiet_runner(5);
+        r.record("t/x".into(), vec![10.0, 11.0, 12.0, 11.0, 500.0], 1);
+        let got = &r.results()[0];
+        assert_eq!(got.median_ns, 11.0);
+        assert_eq!(got.mad_ns, 1.0);
+        assert_eq!(got.min_ns, 10.0);
+        assert_eq!(got.samples, 5);
+    }
+
+    #[test]
+    fn bench_collects_requested_samples() {
+        let mut r = quiet_runner(4);
+        let mut calls = 0u64;
+        r.bench("count", || calls += 1);
+        assert_eq!(r.results().len(), 1);
+        assert_eq!(r.results()[0].samples, 4);
+        // calibration + warmup batch + 4 timed batches all ran the closure
+        assert!(calls > 5 * r.results()[0].iters);
+    }
+
+    #[test]
+    fn setup_variant_passes_fresh_input() {
+        let mut r = quiet_runner(3);
+        let mut next = 0u64;
+        r.bench_with_setup(
+            "fresh",
+            || {
+                next += 1;
+                next
+            },
+            |v| assert!(v > 0),
+        );
+        assert_eq!(next, 4); // warmup + 3 samples
+        assert_eq!(r.results()[0].iters, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut r = quiet_runner(3);
+        r.filter = Some("bfs".into());
+        r.bench("tc", || {});
+        r.bench("bfs_dir_opt", || {});
+        assert_eq!(r.results().len(), 1);
+        assert_eq!(r.results()[0].name, "t/bfs_dir_opt");
+    }
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_ns(687.0), "687 ns");
+        assert_eq!(fmt_ns(12_400.0), "12.40 \u{b5}s");
+        assert_eq!(fmt_ns(3_210_000.0), "3.21 ms");
+        assert_eq!(fmt_ns(1_080_000_000.0), "1.08 s");
+    }
+
+    #[test]
+    fn results_serialize_to_json() {
+        let r = BenchResult {
+            name: "t/x".into(),
+            median_ns: 11.0,
+            mad_ns: 1.0,
+            min_ns: 10.0,
+            mean_ns: 108.8,
+            samples: 5,
+            iters: 2,
+        };
+        let s = graphbig_json::to_pretty(&r);
+        let back: BenchResult = graphbig_json::from_str(&s).unwrap();
+        assert_eq!(back.name, "t/x");
+        assert_eq!(back.iters, 2);
+    }
+}

@@ -16,10 +16,9 @@
 //! * `STATUS` — the variable's arity as an integer;
 //! * `SAMPLE` — the current sampled state (initialized to 0).
 
+use crate::rng::Rng;
 use graphbig_framework::property::{keys, Property};
 use graphbig_framework::{PropertyGraph, VertexId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::dag::{self, DagConfig};
 
@@ -79,7 +78,7 @@ pub struct BayesNet {
 /// Generate a Bayesian network per `cfg`.
 pub fn generate(cfg: &BayesConfig) -> BayesNet {
     let n = cfg.vertices;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
 
     // 1. Structure: a layered DAG trimmed/padded to the exact edge count.
     let dag_cfg = DagConfig {

@@ -1,9 +1,8 @@
 //! Random layered DAG generator — the input of the TMorph workload
 //! ("generates an undirected moral graph from a directed-acyclic graph").
 
+use crate::rng::Rng;
 use graphbig_framework::PropertyGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::graph_from_edges;
 
@@ -48,7 +47,7 @@ pub fn generate_edges(cfg: &DagConfig) -> Vec<(u64, u64, f32)> {
     let layers = cfg.layers.clamp(2, n);
     let per_layer = n.div_ceil(layers);
     let layer_of = |v: usize| v / per_layer;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut edges = Vec::new();
     let mut parents: Vec<u64> = Vec::with_capacity(cfg.max_parents);
     for v in per_layer..n {

@@ -1,11 +1,10 @@
 //! Degree-distribution utilities shared by the topology generators.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Sample from a discrete power law `P(d) ∝ d^-alpha` on `[dmin, dmax]` via
 /// inverse-transform sampling of the continuous law, floored.
-pub fn power_law_degree(rng: &mut SmallRng, alpha: f64, dmin: usize, dmax: usize) -> usize {
+pub fn power_law_degree(rng: &mut Rng, alpha: f64, dmin: usize, dmax: usize) -> usize {
     debug_assert!(alpha > 1.0, "power law needs alpha > 1");
     debug_assert!(dmin >= 1 && dmax >= dmin);
     let u: f64 = rng.gen_range(0.0..1.0);
@@ -20,7 +19,7 @@ pub fn power_law_degree(rng: &mut SmallRng, alpha: f64, dmin: usize, dmax: usize
 /// the power law and then scaled stochastically so the sequence's mean is
 /// close to `target_mean`.
 pub fn degree_sequence(
-    rng: &mut SmallRng,
+    rng: &mut Rng,
     n: usize,
     alpha: f64,
     dmin: usize,
@@ -71,7 +70,7 @@ impl Zipf {
     }
 
     /// Draw one rank in `0..n`.
-    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+    pub fn sample(&self, rng: &mut Rng) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
         match self
             .cdf
@@ -97,10 +96,9 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     #[test]
@@ -156,8 +154,8 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        let mut a = SmallRng::seed_from_u64(7);
-        let mut b = SmallRng::seed_from_u64(7);
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
         let sa: Vec<usize> = (0..100)
             .map(|_| power_law_degree(&mut a, 2.1, 1, 50))
             .collect();

@@ -10,10 +10,9 @@
 //! * every vertex carries a rich `PAYLOAD` vector property (expression
 //!   levels / affinity profiles) and a `LABEL` naming its entity class.
 
+use crate::rng::Rng;
 use graphbig_framework::property::{keys, Property};
 use graphbig_framework::PropertyGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::graph_from_edges;
 
@@ -54,7 +53,7 @@ const CLASSES: [&str; 3] = ["gene", "chemical", "drug"];
 /// Generate the module-structured undirected graph with rich properties.
 pub fn generate(cfg: &GeneConfig) -> PropertyGraph {
     let mut g = graph_from_edges(cfg.vertices, &generate_edges(cfg), true);
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xfeed);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xfeed);
     let ids: Vec<u64> = g.vertex_ids().to_vec();
     for id in ids {
         let class = CLASSES[(id % 3) as usize];
@@ -75,7 +74,7 @@ pub fn generate_edges(cfg: &GeneConfig) -> Vec<(u64, u64, f32)> {
     if n < 2 {
         return Vec::new();
     }
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let msize = cfg.module_size.max(2);
     // `avg_degree` counts unique undirected edges per vertex (Table 7's
     // 12.2M/2M); each stored twice, total degree is 2x this.

@@ -9,10 +9,9 @@
 //!
 //! Vertices carry a `LABEL` property marking their side ("user"/"doc").
 
+use crate::rng::Rng;
 use graphbig_framework::property::{keys, Property};
 use graphbig_framework::PropertyGraph;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::degree::{power_law_degree, Zipf};
 use crate::graph_from_edges;
@@ -78,7 +77,7 @@ pub fn generate_edges(cfg: &KnowledgeConfig) -> Vec<(u64, u64, f32)> {
     }
     let users = cfg.num_users();
     let docs = cfg.num_docs();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let zipf = Zipf::new(docs, cfg.popularity_exponent);
     let m_target = (cfg.vertices as f64 * cfg.avg_degree) as usize;
     let mut edges = Vec::with_capacity(m_target);

@@ -15,9 +15,8 @@
 //! * a configurable mean degree, defaulting to the ≈28.8 edges/vertex of the
 //!   paper's LDBC-1M dataset (Table 7).
 
+use crate::rng::Rng;
 use graphbig_framework::PropertyGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::degree::degree_sequence;
 use crate::graph_from_edges;
@@ -64,7 +63,7 @@ pub fn generate_edges(cfg: &LdbcConfig) -> Vec<(u64, u64, f32)> {
     if n < 2 {
         return Vec::new();
     }
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let dmax = (n / 4).clamp(2, 10_000);
     let degrees = degree_sequence(&mut rng, n, cfg.alpha, 1, dmax, cfg.avg_degree);
 

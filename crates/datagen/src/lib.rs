@@ -31,11 +31,14 @@ pub mod edgelist;
 pub mod gene;
 pub mod knowledge;
 pub mod ldbc;
+pub mod prop;
 pub mod registry;
+pub mod rng;
 pub mod road;
 pub mod twitter;
 
 pub use registry::{Dataset, DatasetSpec};
+pub use rng::Rng;
 
 use graphbig_framework::PropertyGraph;
 

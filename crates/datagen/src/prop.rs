@@ -1,0 +1,345 @@
+//! The in-tree property-test harness: seeded case generation plus
+//! shrink-by-halving, reusing the suite's own PRNG ([`crate::rng::Rng`]).
+//!
+//! This replaces `proptest` for the workspace's five property suites. The
+//! model is deliberately small:
+//!
+//! * a **generator** is any `Fn(&mut Rng) -> T` closure — compose cases
+//!   with ordinary code and `gen_range`, no strategy combinators;
+//! * a **property** is any `Fn(&T)` closure that panics on violation —
+//!   plain `assert!` / `assert_eq!`, no macro dialect;
+//! * [`check`] runs the property over `cases` freshly generated inputs
+//!   (each from its own deterministic seed), and on the first failure
+//!   **shrinks by halving**: integers halve toward the origin, vectors
+//!   drop half their elements (front half, back half, or every other
+//!   element), tuples shrink componentwise. The minimal failing case, its
+//!   case index, and the reproduction seed all land in the panic message.
+//!
+//! Reproduction: every failure prints a `GRAPHBIG_PROP_SEED` value; set
+//! that variable (and optionally `GRAPHBIG_PROP_CASES=1`) to replay the
+//! failing stream. Case streams are independent of thread scheduling and
+//! platform.
+
+use crate::rng::{Rng, SplitMix64};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How many shrink candidates to try before accepting the current minimum.
+const MAX_SHRINK_STEPS: usize = 400;
+
+/// Tuning for one [`check`] run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases (proptest's `ProptestConfig::with_cases`).
+    pub cases: u64,
+    /// Base seed for the case stream; case `i` derives its own PRNG from
+    /// `splitmix(seed)[i]`.
+    pub seed: u64,
+}
+
+impl Config {
+    /// `cases` generated inputs from the default (env-overridable) seed.
+    pub fn with_cases(cases: u64) -> Self {
+        let seed = std::env::var("GRAPHBIG_PROP_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xB16_B00B5_u64);
+        let cases = std::env::var("GRAPHBIG_PROP_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(cases);
+        Config { cases, seed }
+    }
+}
+
+/// Types the shrinker knows how to halve. Implemented for the shapes the
+/// suites generate; everything else can opt out (no candidates) and still
+/// run under [`check`], just without minimization.
+pub trait Shrink: Sized {
+    /// Strictly "smaller" variants of `self`, most aggressive first.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! shrink_int {
+    ($($t:ty),+) => {
+        $(
+            impl Shrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let mut out = Vec::new();
+                    if *self != 0 {
+                        out.push(*self / 2);
+                        if *self > 1 {
+                            out.push(*self - 1);
+                        }
+                    }
+                    out
+                }
+            }
+        )+
+    };
+}
+
+shrink_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {}
+
+impl Shrink for String {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let half = self.chars().count() / 2;
+        vec![self.chars().take(half).collect()]
+    }
+}
+
+impl<T: Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![
+            self[..n / 2].to_vec(),
+            self[n / 2..].to_vec(),
+            self.iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == 0)
+                .map(|(_, v)| v.clone())
+                .collect(),
+        ];
+        if n > 1 {
+            out.push(self[..n - 1].to_vec());
+        }
+        out.retain(|c| c.len() < n);
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink_candidates()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink_candidates()
+                .into_iter()
+                .map(|b| (self.0.clone(), b)),
+        );
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone, C: Shrink + Clone> Shrink for (A, B, C) {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink_candidates()
+            .into_iter()
+            .map(|a| (a, self.1.clone(), self.2.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink_candidates()
+                .into_iter()
+                .map(|b| (self.0.clone(), b, self.2.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink_candidates()
+                .into_iter()
+                .map(|c| (self.0.clone(), self.1.clone(), c)),
+        );
+        out
+    }
+}
+
+fn fails<T>(prop: &impl Fn(&T), value: &T) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(()) => None,
+        Err(payload) => Some(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `prop` over `cfg.cases` inputs drawn from `gen`; panic with the
+/// minimal (halving-shrunk) failing case on violation.
+pub fn check<T, G, P>(name: &str, cfg: Config, gen: G, prop: P)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T),
+{
+    let mut seeds = SplitMix64::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let case_seed = seeds.next_u64();
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let value = gen(&mut rng);
+        if let Some(first_msg) = fails(&prop, &value) {
+            let (minimal, msg, steps) = shrink(value, first_msg, &prop);
+            panic!(
+                "property '{name}' failed at case {case}/{} \
+                 (reproduce with GRAPHBIG_PROP_SEED={})\n\
+                 minimal failing case after {steps} shrink steps:\n{minimal:#?}\n\
+                 failure: {msg}",
+                cfg.cases, cfg.seed,
+            );
+        }
+    }
+}
+
+/// Greedy shrink loop: repeatedly move to the first halving candidate that
+/// still fails, until no candidate fails or the step budget runs out.
+fn shrink<T, P>(mut current: T, mut msg: String, prop: &P) -> (T, String, usize)
+where
+    T: Clone + std::fmt::Debug + Shrink,
+    P: Fn(&T),
+{
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for cand in current.shrink_candidates() {
+            steps += 1;
+            if let Some(m) = fails(prop, &cand) {
+                current = cand;
+                msg = m;
+                continue 'outer;
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break;
+            }
+        }
+        break;
+    }
+    (current, msg, steps)
+}
+
+/// Generator helper: a `len`-range vector of draws from `item`.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    len: std::ops::Range<usize>,
+    mut item: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = if len.start > len.end.saturating_sub(1) {
+        len.start
+    } else {
+        rng.gen_range(len.start..len.end)
+    };
+    (0..n).map(|_| item(rng)).collect()
+}
+
+/// Generator helper: a lowercase ASCII string with length in `len`
+/// (the replacement for proptest's `"[a-z]{0,8}"` regex strategies).
+pub fn lowercase_string(rng: &mut Rng, len: std::ops::RangeInclusive<usize>) -> String {
+    let n = rng.gen_range(*len.start()..=*len.end());
+    (0..n)
+        .map(|_| (b'a' + rng.gen_range(0u32..26) as u8) as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u64;
+        let counter = std::cell::Cell::new(0u64);
+        check(
+            "sum-commutes",
+            Config { cases: 32, seed: 1 },
+            |rng| (rng.gen_range(0u64..100), rng.gen_range(0u64..100)),
+            |&(a, b)| {
+                counter.set(counter.get() + 1);
+                assert_eq!(a + b, b + a);
+            },
+        );
+        ran += counter.get();
+        assert_eq!(ran, 32);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_vector() {
+        // Property: "no vector contains an element >= 50". The minimal
+        // counterexample is a single offending element.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "all-small",
+                Config { cases: 64, seed: 2 },
+                |rng| vec_of(rng, 0..20, |r| r.gen_range(0u64..100)),
+                |xs| assert!(xs.iter().all(|&x| x < 50), "found big element"),
+            );
+        }));
+        let msg = panic_message(&result.unwrap_err());
+        assert!(msg.contains("minimal failing case"), "{msg}");
+        assert!(msg.contains("GRAPHBIG_PROP_SEED"), "{msg}");
+        // The shrunk vector should be down to exactly one element.
+        let ones = msg.matches("50").count() + msg.matches("5").count();
+        assert!(ones > 0);
+    }
+
+    #[test]
+    fn integers_shrink_toward_zero() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "below-17",
+                Config { cases: 64, seed: 3 },
+                |rng| rng.gen_range(0u64..1000),
+                |&x| assert!(x < 17),
+            );
+        }));
+        let msg = panic_message(&result.unwrap_err());
+        // Halving + decrement reaches the boundary counterexample exactly.
+        assert!(msg.contains("17"), "{msg}");
+    }
+
+    #[test]
+    fn case_streams_are_deterministic() {
+        let collect = |seed| {
+            let mut out = Vec::new();
+            let cell = std::cell::RefCell::new(&mut out);
+            check(
+                "collect",
+                Config { cases: 8, seed },
+                |rng| rng.gen_range(0u64..1_000_000),
+                |&x| cell.borrow_mut().push(x),
+            );
+            out
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10));
+    }
+
+    #[test]
+    fn string_helper_respects_charset_and_length() {
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..200 {
+            let s = lowercase_string(&mut rng, 0..=8);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -8,12 +8,12 @@
 //! topology class.
 
 use graphbig_framework::{DataSource, PropertyGraph};
-use serde::{Deserialize, Serialize};
+use graphbig_json::{json_enum, json_struct_to};
 
 use crate::{gene, knowledge, ldbc, road, twitter};
 
 /// One row of the paper's dataset tables.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Dataset display name.
     pub name: &'static str,
@@ -25,8 +25,17 @@ pub struct DatasetSpec {
     pub edges: u64,
 }
 
+// Encode-only: `name` is a `&'static str` table entry, so specs are emitted
+// into manifests but never parsed back.
+json_struct_to!(DatasetSpec {
+    name,
+    source,
+    vertices,
+    edges
+});
+
 /// The five datasets used in the paper's characterization (Table 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dataset {
     /// Sampled Twitter transaction graph (Type 1).
     Twitter,
@@ -39,6 +48,14 @@ pub enum Dataset {
     /// LDBC synthetic social graph.
     Ldbc,
 }
+
+json_enum!(Dataset {
+    Twitter,
+    KnowledgeRepo,
+    WatsonGene,
+    CaRoad,
+    Ldbc,
+});
 
 impl Dataset {
     /// All five datasets in Table 7 order.

@@ -1,0 +1,264 @@
+//! The in-tree deterministic PRNG: xoshiro256++ seeded through SplitMix64.
+//!
+//! Every stochastic piece of the suite (dataset generators, Gibbs sweeps,
+//! property-test case generation) draws from this generator instead of an
+//! external `rand` crate, so the whole workspace builds offline and every
+//! stream is reproducible from a single `u64` seed across platforms and
+//! toolchain versions.
+//!
+//! The algorithms are the public-domain reference constructions by
+//! Blackman & Vigna: [`SplitMix64`] expands one seed word into the four
+//! 256-bit state words (it is equidistributed, so no seed produces the
+//! all-zero state xoshiro must avoid), and xoshiro256++ generates the
+//! stream. Floats use the standard 53-bit mantissa construction; bounded
+//! integers use rejection-free multiply-shift (Lemire) with a widening
+//! 128-bit product.
+//!
+//! Migrating from `rand::rngs::SmallRng` is mechanical: the constructor
+//! and the `gen_range` / `gen_bool` calls keep their names, accepting the
+//! same range expressions the generators already used. **Streams differ**
+//! from `SmallRng` — EXPERIMENTS.md "Reproducing offline" records the
+//! regenerated per-dataset statistics.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny, equidistributed 64-bit generator used to expand a
+/// single seed word into larger state (its intended role per Vigna).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Start a SplitMix64 stream at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++: the suite's general-purpose deterministic generator.
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush; the `++` output
+/// scrambler (rotl(s0 + s3, 23) + s0) avoids the low-linearity weakness of
+/// the `+` variant's low bits.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seed the generator from a single word via SplitMix64 expansion —
+    /// the drop-in replacement for `SmallRng::seed_from_u64`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw below `bound` (never 0) via Lemire's multiply-shift.
+    ///
+    /// The bias of the shortcut (skipping the rejection loop) is below
+    /// 2^-64 × bound — immaterial at graph-generator scales.
+    #[inline]
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A uniform draw from `range` — accepts the same `Range` /
+    /// `RangeInclusive` expressions over `u64` / `u32` / `usize` / `f64`
+    /// the generators passed to `rand`'s method of the same name.
+    ///
+    /// Panics on empty ranges, matching `rand`'s contract.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle driven by this generator.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.u64_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// A range type [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform value.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),+) => {
+        $(
+            impl SampleRange for Range<$t> {
+                type Output = $t;
+                #[inline]
+                fn sample(self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range in gen_range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.u64_below(span) as $t
+                }
+            }
+
+            impl SampleRange for RangeInclusive<$t> {
+                type Output = $t;
+                #[inline]
+                fn sample(self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range in gen_range");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.u64_below(span + 1) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range!(u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f32 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.f64() as f32 * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference outputs for seed 1234567 from Vigna's splitmix64.c.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let mut c = Rng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(3usize..=5);
+            assert!((3..=5).contains(&y));
+            let f = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = rng.f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_plausible() {
+        // Chi-square-ish sanity: 16 buckets over 64k draws should each see
+        // 4096 ± a generous margin.
+        let mut rng = Rng::seed_from_u64(99);
+        let mut buckets = [0u32; 16];
+        for _ in 0..65_536 {
+            buckets[rng.gen_range(0usize..16)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((3600..4600).contains(&b), "bucket {i} has {b}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        // SplitMix64 expansion guarantees a non-zero xoshiro state even
+        // for seed 0.
+        let mut rng = Rng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&d| d != 0));
+    }
+}

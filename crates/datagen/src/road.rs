@@ -13,9 +13,8 @@
 //! * edge weights are Euclidean-ish road lengths, giving SPath a meaningful
 //!   metric.
 
+use crate::rng::Rng;
 use graphbig_framework::PropertyGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::graph_from_edges;
 
@@ -62,7 +61,7 @@ pub fn generate_edges(cfg: &RoadConfig) -> Vec<(u64, u64, f32)> {
         return Vec::new();
     }
     let side = cfg.side();
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut edges = Vec::with_capacity(n * 2);
     let index = |x: usize, y: usize| (y * side + x) as u64;
     for y in 0..side {
@@ -72,9 +71,9 @@ pub fn generate_edges(cfg: &RoadConfig) -> Vec<(u64, u64, f32)> {
                 continue;
             }
             // Road lengths vary a little around the unit grid spacing.
-            let mut road = |v: u64, len: f32, rng: &mut SmallRng| {
+            let mut road = |v: u64, len: f32, rng: &mut Rng| {
                 if (v as usize) < n {
-                    let w = len * rng.gen_range(0.8..1.2);
+                    let w = len * rng.gen_range(0.8f32..1.2);
                     edges.push((u, v, w));
                 }
             };

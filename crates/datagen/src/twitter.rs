@@ -9,9 +9,8 @@
 //! * small shortest-path lengths and one large connected component;
 //! * directed twit/retwit edges.
 
+use crate::rng::Rng;
 use graphbig_framework::PropertyGraph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::degree::{power_law_degree, Zipf};
 use crate::graph_from_edges;
@@ -55,7 +54,7 @@ pub fn generate_edges(cfg: &TwitterConfig) -> Vec<(u64, u64, f32)> {
     if n < 2 {
         return Vec::new();
     }
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let n_celebs = ((n as f64 * cfg.celebrity_fraction) as usize).clamp(1, n / 2);
     // Celebrity popularity itself is Zipf-distributed: celebrity 0 dwarfs
     // celebrity 100, producing the "few extreme hubs" profile.

@@ -1,74 +1,106 @@
 //! Property tests over the dataset generators: every family must keep its
 //! Table 2 class features and its Table 7 edge/vertex ratio at arbitrary
-//! scales and seeds.
+//! scales and seeds. On the in-tree harness (`graphbig_datagen::prop`),
+//! preserving the old proptest invariants and 12-case budget.
 
+use graphbig_datagen::prop::{check, Config};
 use graphbig_datagen::{registry::Dataset, road, twitter};
 use graphbig_framework::prelude::GraphStats;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn every_dataset_keeps_its_edge_ratio_at_any_scale(n in 600usize..6000) {
-        for d in Dataset::ALL {
-            let g = d.generate_with_vertices(n);
-            prop_assert_eq!(g.num_vertices(), n, "{}", d);
-            let spec = d.experiment_spec();
-            let want = spec.edges as f64 / spec.vertices as f64
-                * if d.is_undirected() { 2.0 } else { 1.0 };
-            let got = g.num_arcs() as f64 / g.num_vertices() as f64;
-            prop_assert!(
-                (got - want).abs() / want < 0.4,
-                "{}: ratio {} vs {}", d, got, want
-            );
-        }
-    }
-
-    #[test]
-    fn degree_variance_ordering_is_stable(n in 1500usize..5000) {
-        // Table 2: social graphs have high degree variance, road networks
-        // regular topology — the ordering must hold at any scale.
-        let cv = |d: Dataset| GraphStats::compute(&d.generate_with_vertices(n)).degree_cv();
-        let road = cv(Dataset::CaRoad);
-        let ldbc = cv(Dataset::Ldbc);
-        let twitter = cv(Dataset::Twitter);
-        prop_assert!(road < 1.0, "road cv {road}");
-        prop_assert!(ldbc > 2.0 * road, "ldbc {ldbc} vs road {road}");
-        prop_assert!(twitter > 2.0 * road, "twitter {twitter} vs road {road}");
-    }
-
-    #[test]
-    fn generators_are_seed_deterministic(n in 200usize..1200, seed in 0u64..50) {
-        let mut cfg = twitter::TwitterConfig::with_vertices(n);
-        cfg.seed = seed;
-        prop_assert_eq!(twitter::generate_edges(&cfg), twitter::generate_edges(&cfg));
-        let mut rcfg = road::RoadConfig::with_vertices(n);
-        rcfg.seed = seed;
-        prop_assert_eq!(road::generate_edges(&rcfg), road::generate_edges(&rcfg));
-    }
-
-    #[test]
-    fn all_generated_arcs_reference_live_vertices(n in 100usize..1500) {
-        for d in Dataset::ALL {
-            let g = d.generate_with_vertices(n);
-            for (u, e) in g.arcs() {
-                prop_assert!(g.find_vertex(u).is_some(), "{}: dangling src", d);
-                prop_assert!(g.find_vertex(e.target).is_some(), "{}: dangling dst", d);
+#[test]
+fn every_dataset_keeps_its_edge_ratio_at_any_scale() {
+    check(
+        "every_dataset_keeps_its_edge_ratio_at_any_scale",
+        Config::with_cases(12),
+        |rng| rng.gen_range(600usize..6000),
+        |&n| {
+            for d in Dataset::ALL {
+                let g = d.generate_with_vertices(n);
+                assert_eq!(g.num_vertices(), n, "{d}");
+                let spec = d.experiment_spec();
+                let want = spec.edges as f64 / spec.vertices as f64
+                    * if d.is_undirected() { 2.0 } else { 1.0 };
+                let got = g.num_arcs() as f64 / g.num_vertices() as f64;
+                assert!(
+                    (got - want).abs() / want < 0.4,
+                    "{d}: ratio {got} vs {want}"
+                );
             }
-        }
-    }
+        },
+    );
+}
 
-    #[test]
-    fn undirected_datasets_are_symmetric(n in 200usize..1500) {
-        for d in Dataset::ALL {
-            if !d.is_undirected() {
-                continue;
+#[test]
+fn degree_variance_ordering_is_stable() {
+    check(
+        "degree_variance_ordering_is_stable",
+        Config::with_cases(12),
+        |rng| rng.gen_range(1500usize..5000),
+        |&n| {
+            // Table 2: social graphs have high degree variance, road networks
+            // regular topology — the ordering must hold at any scale.
+            let cv = |d: Dataset| GraphStats::compute(&d.generate_with_vertices(n)).degree_cv();
+            let road = cv(Dataset::CaRoad);
+            let ldbc = cv(Dataset::Ldbc);
+            let twitter = cv(Dataset::Twitter);
+            assert!(road < 1.0, "road cv {road}");
+            assert!(ldbc > 2.0 * road, "ldbc {ldbc} vs road {road}");
+            assert!(twitter > 2.0 * road, "twitter {twitter} vs road {road}");
+        },
+    );
+}
+
+#[test]
+fn generators_are_seed_deterministic() {
+    check(
+        "generators_are_seed_deterministic",
+        Config::with_cases(12),
+        |rng| (rng.gen_range(200usize..1200), rng.gen_range(0u64..50)),
+        |&(n, seed)| {
+            let mut cfg = twitter::TwitterConfig::with_vertices(n);
+            cfg.seed = seed;
+            assert_eq!(twitter::generate_edges(&cfg), twitter::generate_edges(&cfg));
+            let mut rcfg = road::RoadConfig::with_vertices(n);
+            rcfg.seed = seed;
+            assert_eq!(road::generate_edges(&rcfg), road::generate_edges(&rcfg));
+        },
+    );
+}
+
+#[test]
+fn all_generated_arcs_reference_live_vertices() {
+    check(
+        "all_generated_arcs_reference_live_vertices",
+        Config::with_cases(12),
+        |rng| rng.gen_range(100usize..1500),
+        |&n| {
+            for d in Dataset::ALL {
+                let g = d.generate_with_vertices(n);
+                for (u, e) in g.arcs() {
+                    assert!(g.find_vertex(u).is_some(), "{d}: dangling src");
+                    assert!(g.find_vertex(e.target).is_some(), "{d}: dangling dst");
+                }
             }
-            let g = d.generate_with_vertices(n);
-            for (u, e) in g.arcs().take(2000) {
-                prop_assert!(g.has_edge(e.target, u), "{}: {}->{} one-way", d, u, e.target);
+        },
+    );
+}
+
+#[test]
+fn undirected_datasets_are_symmetric() {
+    check(
+        "undirected_datasets_are_symmetric",
+        Config::with_cases(12),
+        |rng| rng.gen_range(200usize..1500),
+        |&n| {
+            for d in Dataset::ALL {
+                if !d.is_undirected() {
+                    continue;
+                }
+                let g = d.generate_with_vertices(n);
+                for (u, e) in g.arcs().take(2000) {
+                    assert!(g.has_edge(e.target, u), "{d}: {u}->{} one-way", e.target);
+                }
             }
-        }
-    }
+        },
+    );
 }

@@ -4,18 +4,25 @@
 //! each edge" (Section 2). Edge-centric GPU kernels — TC and CComp in the
 //! paper, which partition work *by edge* to balance warps — iterate COO.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 use crate::csr::Csr;
 
 /// Edge-array representation: parallel `src`/`dst`/`weight` vectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Coo {
     src: Vec<u32>,
     dst: Vec<u32>,
     weights: Vec<f32>,
     num_vertices: usize,
 }
+
+json_struct!(Coo {
+    src,
+    dst,
+    weights,
+    num_vertices
+});
 
 impl Coo {
     /// Expand a CSR into its COO form (same dense vertex space, same edge

@@ -11,7 +11,8 @@
 //! indices back to external [`VertexId`]s and [`Csr::dense_of`] goes the
 //! other way.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::codec::{field, field_or_default, DecodeError, FromJson, ToJson};
+use graphbig_json::{json_struct, Json, ObjBuilder};
 
 use crate::error::{GraphError, Result};
 use crate::graph::PropertyGraph;
@@ -65,7 +66,7 @@ impl<'a> DenseLookup<'a> {
 }
 
 /// A static CSR view of a graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Csr {
     /// `row_offsets[u]..row_offsets[u+1]` indexes `col`/`weights` for dense
     /// vertex `u`; length `n + 1`.
@@ -80,8 +81,35 @@ pub struct Csr {
     id_map: Vec<(VertexId, u32)>,
     /// Edges whose target was not a live vertex, dropped during a lenient
     /// populating pass. Absent in snapshots written before this field existed.
-    #[serde(default)]
     dangling_skipped: u64,
+}
+
+impl ToJson for Csr {
+    fn to_json(&self) -> Json {
+        ObjBuilder::new()
+            .push("row_offsets", self.row_offsets.to_json())
+            .push("col", self.col.to_json())
+            .push("weights", self.weights.to_json())
+            .push("ids", self.ids.to_json())
+            .push("id_map", self.id_map.to_json())
+            .push("dangling_skipped", self.dangling_skipped.to_json())
+            .build()
+    }
+}
+
+impl FromJson for Csr {
+    fn from_json(v: &Json) -> std::result::Result<Self, DecodeError> {
+        Ok(Csr {
+            row_offsets: field(v, "row_offsets")?,
+            col: field(v, "col")?,
+            weights: field(v, "weights")?,
+            ids: field(v, "ids")?,
+            id_map: field(v, "id_map")?,
+            // `field_or_default` keeps the old `#[serde(default)]` tolerance
+            // for snapshots written before this field existed.
+            dangling_skipped: field_or_default(v, "dangling_skipped")?,
+        })
+    }
 }
 
 impl Csr {
@@ -363,12 +391,14 @@ impl Csr {
 /// *in*-edges of unvisited vertices looking for a visited parent. For
 /// symmetric graphs the two views coincide, so [`BiCsr::symmetric`] stores
 /// the adjacency once and serves it for both directions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BiCsr {
     out: Csr,
     /// `None` means the graph is symmetric and `out` doubles as the in-view.
     inc: Option<Csr>,
 }
+
+json_struct!(BiCsr { out, inc });
 
 impl BiCsr {
     /// Pair a directed CSR with its transpose (built here, O(n + m)).

@@ -7,7 +7,8 @@
 //! those shapes and [`PropertyMap`] stores them inline in the owning vertex
 //! structure — the defining trait of the vertex-centric representation.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::codec::{DecodeError, FromJson, ToJson};
+use graphbig_json::{json_struct, Json};
 
 use crate::error::{GraphError, Result};
 use crate::trace::{addr_of, Tracer};
@@ -47,7 +48,7 @@ pub mod keys {
 }
 
 /// A single property value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Property {
     /// Signed integer payload (status words, counters, labels).
     Int(i64),
@@ -104,6 +105,48 @@ impl Property {
     }
 }
 
+// Externally tagged encoding (`{"Int": 5}`), matching the layout the old
+// derive produced so snapshots and manifests keep their shape.
+impl ToJson for Property {
+    fn to_json(&self) -> Json {
+        let (tag, payload) = match self {
+            Property::Int(v) => ("Int", v.to_json()),
+            Property::Float(v) => ("Float", v.to_json()),
+            Property::Text(v) => ("Text", v.to_json()),
+            Property::Vector(v) => ("Vector", v.to_json()),
+        };
+        Json::Obj(vec![(tag.to_string(), payload)])
+    }
+}
+
+impl FromJson for Property {
+    fn from_json(v: &Json) -> std::result::Result<Self, DecodeError> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| DecodeError::new("expected single-key Property object"))?;
+        match obj {
+            [(tag, payload)] => match tag.as_str() {
+                "Int" => Ok(Property::Int(
+                    FromJson::from_json(payload).map_err(|e| e.in_field("Int"))?,
+                )),
+                "Float" => Ok(Property::Float(
+                    FromJson::from_json(payload).map_err(|e| e.in_field("Float"))?,
+                )),
+                "Text" => Ok(Property::Text(
+                    FromJson::from_json(payload).map_err(|e| e.in_field("Text"))?,
+                )),
+                "Vector" => Ok(Property::Vector(
+                    FromJson::from_json(payload).map_err(|e| e.in_field("Vector"))?,
+                )),
+                other => Err(DecodeError::new(format!(
+                    "unknown Property variant '{other}'"
+                ))),
+            },
+            _ => Err(DecodeError::new("expected single-key Property object")),
+        }
+    }
+}
+
 /// An inline key→value map, stored as a compact vector.
 ///
 /// Real property sets on graph elements are small (a few entries), so linear
@@ -111,10 +154,12 @@ impl Property {
 /// memory behavior we want to expose to tracers: reading a property touches
 /// the vertex's own heap block, giving the in-vertex locality the paper
 /// credits for CompProp's regular access pattern.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PropertyMap {
     entries: Vec<(PropertyKey, Property)>,
 }
+
+json_struct!(PropertyMap { entries });
 
 impl PropertyMap {
     /// Empty map (no allocation until first insert).

@@ -2,9 +2,11 @@
 //!
 //! Industrial graph stores persist and ship graphs; this module gives the
 //! framework a versioned binary format for [`PropertyGraph`] — topology,
-//! edge weights, and vertex/edge properties — built on `bytes`. The format
-//! is deliberately simple (length-prefixed sections, little-endian) rather
-//! than schema-evolving; it round-trips everything the suite produces.
+//! edge weights, and vertex/edge properties — with no buffer crate behind
+//! it: writing appends little-endian words to a `Vec<u8>`, reading walks a
+//! bounds-checked cursor. The format is deliberately simple
+//! (length-prefixed sections, little-endian) rather than schema-evolving;
+//! it round-trips everything the suite produces.
 //!
 //! ```
 //! use graphbig_framework::prelude::*;
@@ -19,8 +21,6 @@
 //! assert!(g2.has_edge(a, b));
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::error::{GraphError, Result};
 use crate::graph::PropertyGraph;
 use crate::property::{Property, PropertyMap};
@@ -34,9 +34,106 @@ const TAG_FLOAT: u8 = 1;
 const TAG_TEXT: u8 = 2;
 const TAG_VECTOR: u8 = 3;
 
+/// Append-only little-endian writer over a plain `Vec<u8>`.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Bounds-checked little-endian cursor over a snapshot byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(malformed("truncated snapshot"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u16_le(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_i64_le(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_f32_le(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_f64_le(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
 /// Serialize a graph to its binary snapshot.
-pub fn save(g: &PropertyGraph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + g.num_vertices() * 24 + g.num_arcs() * 16);
+pub fn save(g: &PropertyGraph) -> Vec<u8> {
+    let mut buf = Writer::with_capacity(64 + g.num_vertices() * 24 + g.num_arcs() * 16);
     buf.put_u32_le(MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u64_le(g.num_vertices() as u64);
@@ -54,31 +151,31 @@ pub fn save(g: &PropertyGraph) -> Bytes {
         buf.put_f32_le(e.weight);
         put_props(&mut buf, &e.props);
     }
-    buf.freeze()
+    buf.buf
 }
 
 /// Deserialize a binary snapshot.
 pub fn load(bytes: &[u8]) -> Result<PropertyGraph> {
-    let mut buf = bytes;
+    let mut buf = Reader::new(bytes);
     if buf.remaining() < 22 {
         return Err(malformed("snapshot too short"));
     }
-    if buf.get_u32_le() != MAGIC {
+    if buf.get_u32_le()? != MAGIC {
         return Err(malformed("bad magic"));
     }
-    let version = buf.get_u16_le();
+    let version = buf.get_u16_le()?;
     if version != VERSION {
         return Err(malformed(&format!("unsupported version {version}")));
     }
-    let n = buf.get_u64_le() as usize;
-    let m = buf.get_u64_le() as usize;
+    let n = buf.get_u64_le()? as usize;
+    let m = buf.get_u64_le()? as usize;
 
     let mut g = PropertyGraph::with_capacity(n);
     for _ in 0..n {
         if buf.remaining() < 8 {
             return Err(malformed("truncated vertex section"));
         }
-        let id = buf.get_u64_le();
+        let id = buf.get_u64_le()?;
         g.add_vertex_with_id(id)
             .map_err(|_| malformed(&format!("duplicate vertex {id}")))?;
         let props = get_props(&mut buf)?;
@@ -90,9 +187,9 @@ pub fn load(bytes: &[u8]) -> Result<PropertyGraph> {
         if buf.remaining() < 20 {
             return Err(malformed("truncated arc section"));
         }
-        let u = buf.get_u64_le();
-        let v: VertexId = buf.get_u64_le();
-        let w = buf.get_f32_le();
+        let u = buf.get_u64_le()?;
+        let v: VertexId = buf.get_u64_le()?;
+        let w = buf.get_f32_le()?;
         g.add_edge(u, v, w)?;
         let props = get_props(&mut buf)?;
         for (k, val) in props.iter() {
@@ -102,7 +199,7 @@ pub fn load(bytes: &[u8]) -> Result<PropertyGraph> {
     Ok(g)
 }
 
-fn put_props(buf: &mut BytesMut, props: &PropertyMap) {
+fn put_props(buf: &mut Writer, props: &PropertyMap) {
     buf.put_u32_le(props.len() as u32);
     for (k, v) in props.iter() {
         buf.put_u32_le(k);
@@ -131,44 +228,36 @@ fn put_props(buf: &mut BytesMut, props: &PropertyMap) {
     }
 }
 
-fn get_props(buf: &mut &[u8]) -> Result<PropertyMap> {
+fn get_props(buf: &mut Reader<'_>) -> Result<PropertyMap> {
     if buf.remaining() < 4 {
         return Err(malformed("truncated property count"));
     }
-    let count = buf.get_u32_le();
+    let count = buf.get_u32_le()?;
     let mut props = PropertyMap::new();
     for _ in 0..count {
         if buf.remaining() < 5 {
             return Err(malformed("truncated property header"));
         }
-        let key = buf.get_u32_le();
-        let tag = buf.get_u8();
+        let key = buf.get_u32_le()?;
+        let tag = buf.get_u8()?;
         let value = match tag {
-            TAG_INT => {
-                ensure(buf, 8)?;
-                Property::Int(buf.get_i64_le())
-            }
-            TAG_FLOAT => {
-                ensure(buf, 8)?;
-                Property::Float(buf.get_f64_le())
-            }
+            TAG_INT => Property::Int(buf.get_i64_le()?),
+            TAG_FLOAT => Property::Float(buf.get_f64_le()?),
             TAG_TEXT => {
-                ensure(buf, 4)?;
-                let len = buf.get_u32_le() as usize;
-                ensure(buf, len)?;
-                let s = std::str::from_utf8(&buf[..len])
+                let len = buf.get_u32_le()? as usize;
+                let s = std::str::from_utf8(buf.take(len)?)
                     .map_err(|_| malformed("invalid utf-8 in text property"))?
                     .to_string();
-                buf.advance(len);
                 Property::Text(s)
             }
             TAG_VECTOR => {
-                ensure(buf, 4)?;
-                let len = buf.get_u32_le() as usize;
-                ensure(buf, len * 8)?;
+                let len = buf.get_u32_le()? as usize;
+                if buf.remaining() < len.saturating_mul(8) {
+                    return Err(malformed("truncated property payload"));
+                }
                 let mut xs = Vec::with_capacity(len);
                 for _ in 0..len {
-                    xs.push(buf.get_f64_le());
+                    xs.push(buf.get_f64_le()?);
                 }
                 Property::Vector(xs)
             }
@@ -177,14 +266,6 @@ fn get_props(buf: &mut &[u8]) -> Result<PropertyMap> {
         props.set(key, value);
     }
     Ok(props)
-}
-
-fn ensure(buf: &&[u8], n: usize) -> Result<()> {
-    if buf.remaining() < n {
-        Err(malformed("truncated property payload"))
-    } else {
-        Ok(())
-    }
 }
 
 fn malformed(msg: &str) -> GraphError {
@@ -261,7 +342,7 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let g = rich_graph();
-        let mut bytes = save(&g).to_vec();
+        let mut bytes = save(&g);
         bytes[4] = 99; // version field
         assert!(load(&bytes).is_err());
     }

@@ -1,12 +1,12 @@
 //! Topology statistics used to check that generated datasets exhibit the
 //! Table 2 features of their data-source family.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 use crate::graph::PropertyGraph;
 
 /// Degree/topology summary of a graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphStats {
     /// Vertex count.
     pub num_vertices: usize,
@@ -25,6 +25,16 @@ pub struct GraphStats {
     /// out-degree in `[2^i, 2^(i+1))`; bucket 0 additionally holds degree 0.
     pub degree_histogram: Vec<usize>,
 }
+
+json_struct!(GraphStats {
+    num_vertices,
+    num_arcs,
+    min_degree,
+    max_degree,
+    avg_degree,
+    degree_variance,
+    degree_histogram
+});
 
 impl GraphStats {
     /// Compute stats over a dynamic graph.

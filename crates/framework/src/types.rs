@@ -1,6 +1,6 @@
 //! Core identifier types and the paper's two taxonomies (Tables 1 and 2).
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_enum;
 
 /// Identifier of a vertex in a [`crate::PropertyGraph`].
 ///
@@ -13,7 +13,7 @@ pub type VertexId = u64;
 ///
 /// Every workload in `graphbig-workloads` is tagged with one of these; the
 /// Figure 5–8 harnesses group results by this tag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ComputationType {
     /// Computation on the graph structure: irregular access pattern, heavy
     /// read accesses (e.g. BFS traversal).
@@ -44,6 +44,12 @@ impl ComputationType {
     ];
 }
 
+json_enum!(ComputationType {
+    CompStruct,
+    CompProp,
+    CompDyn,
+});
+
 impl std::fmt::Display for ComputationType {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.short_name())
@@ -51,7 +57,7 @@ impl std::fmt::Display for ComputationType {
 }
 
 /// Graph data sources, Table 2 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DataSource {
     /// Type 1: social/economic/political network — large connected
     /// components, small shortest-path lengths (e.g. the Twitter graph).
@@ -113,6 +119,14 @@ impl DataSource {
         DataSource::Synthetic,
     ];
 }
+
+json_enum!(DataSource {
+    Social,
+    Information,
+    Nature,
+    ManMade,
+    Synthetic,
+});
 
 impl std::fmt::Display for DataSource {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -8,14 +8,14 @@
 //! [`crate::index::VertexIndex`], so distinct vertices land on scattered
 //! heap addresses — the locality profile the paper measures.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 use crate::property::{Property, PropertyKey, PropertyMap};
 use crate::trace::{addr_of, Tracer};
 use crate::types::VertexId;
 
 /// An outgoing edge stored inside its source vertex.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Edge {
     /// Target vertex id.
     pub target: VertexId,
@@ -46,9 +46,15 @@ impl Edge {
     }
 }
 
+json_struct!(Edge {
+    target,
+    weight,
+    props
+});
+
 /// A vertex structure: id, properties, out-edge adjacency list, and the
 /// in-neighbor (parent) list needed for deletions and moralization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Vertex {
     /// Stable external id.
     pub id: VertexId,
@@ -64,6 +70,14 @@ pub struct Vertex {
     /// maintained by [`crate::graph::PropertyGraph`].
     pub(crate) order_idx: u32,
 }
+
+json_struct!(Vertex {
+    id,
+    props,
+    out,
+    parents,
+    order_idx
+});
 
 impl Vertex {
     /// Fresh vertex with no edges or properties.

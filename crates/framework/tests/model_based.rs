@@ -1,14 +1,17 @@
 //! Model-based property tests: the from-scratch substrates (vertex index,
 //! dynamic graph, snapshot format) checked against `std` reference models
-//! under arbitrary operation sequences.
+//! under arbitrary operation sequences — on the in-tree harness
+//! (`graphbig_datagen::prop`), preserving the old proptest invariants and
+//! case budgets (128 for the index, 96 for the graph model).
 
 use std::collections::{HashMap, HashSet};
 
+use graphbig_datagen::prop::{check, lowercase_string, Config, Shrink};
+use graphbig_datagen::rng::Rng;
 use graphbig_framework::index::VertexIndex;
 use graphbig_framework::prelude::*;
 use graphbig_framework::snapshot;
 use graphbig_framework::vertex::Vertex;
-use proptest::prelude::*;
 
 /// Operations on the vertex index.
 #[derive(Debug, Clone)]
@@ -18,52 +21,60 @@ enum IndexOp {
     Lookup(u64),
 }
 
-fn index_ops() -> impl Strategy<Value = Vec<IndexOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..200).prop_map(IndexOp::Insert),
-            (0u64..200).prop_map(IndexOp::Remove),
-            (0u64..200).prop_map(IndexOp::Lookup),
-        ],
-        0..400,
-    )
+impl Shrink for IndexOp {}
+
+fn index_ops(rng: &mut Rng) -> Vec<IndexOp> {
+    let n = rng.gen_range(0usize..400);
+    (0..n)
+        .map(|_| {
+            let id = rng.gen_range(0u64..200);
+            match rng.gen_range(0u32..3) {
+                0 => IndexOp::Insert(id),
+                1 => IndexOp::Remove(id),
+                _ => IndexOp::Lookup(id),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn vertex_index_behaves_like_a_hash_map(ops in index_ops()) {
-        let mut idx = VertexIndex::new();
-        let mut model: HashSet<u64> = HashSet::new();
-        for op in ops {
-            match op {
-                IndexOp::Insert(id) => {
-                    let ours = idx.insert(Box::new(Vertex::new(id))).is_ok();
-                    let model_ok = model.insert(id);
-                    prop_assert_eq!(ours, model_ok, "insert {}", id);
+#[test]
+fn vertex_index_behaves_like_a_hash_map() {
+    check(
+        "vertex_index_behaves_like_a_hash_map",
+        Config::with_cases(128),
+        index_ops,
+        |ops| {
+            let mut idx = VertexIndex::new();
+            let mut model: HashSet<u64> = HashSet::new();
+            for op in ops {
+                match *op {
+                    IndexOp::Insert(id) => {
+                        let ours = idx.insert(Box::new(Vertex::new(id))).is_ok();
+                        let model_ok = model.insert(id);
+                        assert_eq!(ours, model_ok, "insert {id}");
+                    }
+                    IndexOp::Remove(id) => {
+                        let ours = idx.remove(id).is_some();
+                        let model_ok = model.remove(&id);
+                        assert_eq!(ours, model_ok, "remove {id}");
+                    }
+                    IndexOp::Lookup(id) => {
+                        assert_eq!(idx.get(id).is_some(), model.contains(&id), "lookup {id}");
+                    }
                 }
-                IndexOp::Remove(id) => {
-                    let ours = idx.remove(id).is_some();
-                    let model_ok = model.remove(&id);
-                    prop_assert_eq!(ours, model_ok, "remove {}", id);
-                }
-                IndexOp::Lookup(id) => {
-                    prop_assert_eq!(idx.get(id).is_some(), model.contains(&id), "lookup {}", id);
-                }
+                assert_eq!(idx.len(), model.len());
             }
-            prop_assert_eq!(idx.len(), model.len());
-        }
-        // final sweep: every model element is found, iteration matches
-        for &id in &model {
-            prop_assert!(idx.get(id).is_some());
-        }
-        let mut seen: Vec<u64> = idx.iter().map(|v| v.id).collect();
-        seen.sort_unstable();
-        let mut want: Vec<u64> = model.into_iter().collect();
-        want.sort_unstable();
-        prop_assert_eq!(seen, want);
-    }
+            // final sweep: every model element is found, iteration matches
+            for &id in &model {
+                assert!(idx.get(id).is_some());
+            }
+            let mut seen: Vec<u64> = idx.iter().map(|v| v.id).collect();
+            seen.sort_unstable();
+            let mut want: Vec<u64> = model.into_iter().collect();
+            want.sort_unstable();
+            assert_eq!(seen, want);
+        },
+    );
 }
 
 /// Operations on the dynamic graph.
@@ -75,16 +86,18 @@ enum GraphOp {
     DeleteEdge(u64, u64),
 }
 
-fn graph_ops() -> impl Strategy<Value = Vec<GraphOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..60).prop_map(GraphOp::AddVertex),
-            (0u64..60).prop_map(GraphOp::DeleteVertex),
-            (0u64..60, 0u64..60).prop_map(|(a, b)| GraphOp::AddEdge(a, b)),
-            (0u64..60, 0u64..60).prop_map(|(a, b)| GraphOp::DeleteEdge(a, b)),
-        ],
-        0..300,
-    )
+impl Shrink for GraphOp {}
+
+fn graph_ops(rng: &mut Rng) -> Vec<GraphOp> {
+    let n = rng.gen_range(0usize..300);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => GraphOp::AddVertex(rng.gen_range(0u64..60)),
+            1 => GraphOp::DeleteVertex(rng.gen_range(0u64..60)),
+            2 => GraphOp::AddEdge(rng.gen_range(0u64..60), rng.gen_range(0u64..60)),
+            _ => GraphOp::DeleteEdge(rng.gen_range(0u64..60), rng.gen_range(0u64..60)),
+        })
+        .collect()
 }
 
 /// Reference model: adjacency as multiset of arcs.
@@ -94,102 +107,129 @@ struct ModelGraph {
     arcs: Vec<(u64, u64)>,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn property_graph_matches_reference_model() {
+    check(
+        "property_graph_matches_reference_model",
+        Config::with_cases(96),
+        graph_ops,
+        |ops| {
+            let mut g = PropertyGraph::new();
+            let mut m = ModelGraph::default();
+            for op in ops {
+                match *op {
+                    GraphOp::AddVertex(id) => {
+                        let ours = g.add_vertex_with_id(id).is_ok();
+                        let model_ok = m.vertices.insert(id);
+                        assert_eq!(ours, model_ok);
+                    }
+                    GraphOp::DeleteVertex(id) => {
+                        let ours = g.delete_vertex(id).is_ok();
+                        let model_ok = m.vertices.remove(&id);
+                        assert_eq!(ours, model_ok);
+                        if model_ok {
+                            m.arcs.retain(|&(a, b)| a != id && b != id);
+                        }
+                    }
+                    GraphOp::AddEdge(a, b) => {
+                        let ours = g.add_edge(a, b, 1.0).is_ok();
+                        let model_ok = m.vertices.contains(&a) && m.vertices.contains(&b);
+                        assert_eq!(ours, model_ok);
+                        if model_ok {
+                            m.arcs.push((a, b));
+                        }
+                    }
+                    GraphOp::DeleteEdge(a, b) => {
+                        let ours = g.delete_edge(a, b).is_ok();
+                        let pos = m.arcs.iter().position(|&(x, y)| x == a && y == b);
+                        assert_eq!(ours, pos.is_some());
+                        if let Some(p) = pos {
+                            m.arcs.swap_remove(p);
+                        }
+                    }
+                }
+                assert_eq!(g.num_vertices(), m.vertices.len());
+                assert_eq!(g.num_arcs(), m.arcs.len());
+            }
+            // arc multiset equality
+            let mut ours: Vec<(u64, u64)> = g.arcs().map(|(u, e)| (u, e.target)).collect();
+            let mut want = m.arcs.clone();
+            ours.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(ours, want);
+            // parent lists mirror arcs exactly
+            let mut parent_pairs: Vec<(u64, u64)> = Vec::new();
+            for &id in g.vertex_ids() {
+                for p in g.parents(id) {
+                    parent_pairs.push((p, id));
+                }
+            }
+            parent_pairs.sort_unstable();
+            let mut want2 = m.arcs.clone();
+            want2.sort_unstable();
+            assert_eq!(parent_pairs, want2);
+        },
+    );
+}
 
-    #[test]
-    fn property_graph_matches_reference_model(ops in graph_ops()) {
-        let mut g = PropertyGraph::new();
-        let mut m = ModelGraph::default();
-        for op in ops {
-            match op {
-                GraphOp::AddVertex(id) => {
-                    let ours = g.add_vertex_with_id(id).is_ok();
-                    let model_ok = m.vertices.insert(id);
-                    prop_assert_eq!(ours, model_ok);
-                }
-                GraphOp::DeleteVertex(id) => {
-                    let ours = g.delete_vertex(id).is_ok();
-                    let model_ok = m.vertices.remove(&id);
-                    prop_assert_eq!(ours, model_ok);
-                    if model_ok {
-                        m.arcs.retain(|&(a, b)| a != id && b != id);
+#[test]
+fn snapshot_round_trips_arbitrary_graphs() {
+    check(
+        "snapshot_round_trips_arbitrary_graphs",
+        Config::with_cases(96),
+        |rng| {
+            let ops = graph_ops(rng);
+            let n_labels = rng.gen_range(0usize..10);
+            let labels: Vec<String> = (0..n_labels)
+                .map(|_| lowercase_string(rng, 0..=8))
+                .collect();
+            (ops, labels)
+        },
+        |(ops, labels)| {
+            let mut g = PropertyGraph::new();
+            for op in ops {
+                match *op {
+                    GraphOp::AddVertex(id) => {
+                        let _ = g.add_vertex_with_id(id);
                     }
-                }
-                GraphOp::AddEdge(a, b) => {
-                    let ours = g.add_edge(a, b, 1.0).is_ok();
-                    let model_ok = m.vertices.contains(&a) && m.vertices.contains(&b);
-                    prop_assert_eq!(ours, model_ok);
-                    if model_ok {
-                        m.arcs.push((a, b));
+                    GraphOp::DeleteVertex(id) => {
+                        let _ = g.delete_vertex(id);
                     }
-                }
-                GraphOp::DeleteEdge(a, b) => {
-                    let ours = g.delete_edge(a, b).is_ok();
-                    let pos = m.arcs.iter().position(|&(x, y)| x == a && y == b);
-                    prop_assert_eq!(ours, pos.is_some());
-                    if let Some(p) = pos {
-                        m.arcs.swap_remove(p);
+                    GraphOp::AddEdge(a, b) => {
+                        let _ = g.add_edge(a, b, 1.5);
+                    }
+                    GraphOp::DeleteEdge(a, b) => {
+                        let _ = g.delete_edge(a, b);
                     }
                 }
             }
-            prop_assert_eq!(g.num_vertices(), m.vertices.len());
-            prop_assert_eq!(g.num_arcs(), m.arcs.len());
-        }
-        // arc multiset equality
-        let mut ours: Vec<(u64, u64)> = g.arcs().map(|(u, e)| (u, e.target)).collect();
-        let mut want = m.arcs.clone();
-        ours.sort_unstable();
-        want.sort_unstable();
-        prop_assert_eq!(ours, want);
-        // parent lists mirror arcs exactly
-        let mut parent_pairs: Vec<(u64, u64)> = Vec::new();
-        for &id in g.vertex_ids() {
-            for p in g.parents(id) {
-                parent_pairs.push((p, id));
+            for (i, label) in labels.iter().enumerate() {
+                let ids: Vec<u64> = g.vertex_ids().to_vec();
+                if let Some(&id) = ids.get(i) {
+                    g.set_vertex_prop(id, 9, Property::Text(label.clone()))
+                        .unwrap();
+                    g.set_vertex_prop(id, 10, Property::Vector(vec![i as f64; 3]))
+                        .unwrap();
+                }
             }
-        }
-        parent_pairs.sort_unstable();
-        let mut want2 = m.arcs;
-        want2.sort_unstable();
-        prop_assert_eq!(parent_pairs, want2);
-    }
-
-    #[test]
-    fn snapshot_round_trips_arbitrary_graphs(ops in graph_ops(), labels in proptest::collection::vec("[a-z]{0,8}", 0..10)) {
-        let mut g = PropertyGraph::new();
-        for op in ops {
-            match op {
-                GraphOp::AddVertex(id) => { let _ = g.add_vertex_with_id(id); }
-                GraphOp::DeleteVertex(id) => { let _ = g.delete_vertex(id); }
-                GraphOp::AddEdge(a, b) => { let _ = g.add_edge(a, b, 1.5); }
-                GraphOp::DeleteEdge(a, b) => { let _ = g.delete_edge(a, b); }
-            }
-        }
-        for (i, label) in labels.iter().enumerate() {
-            let ids: Vec<u64> = g.vertex_ids().to_vec();
-            if let Some(&id) = ids.get(i) {
-                g.set_vertex_prop(id, 9, Property::Text(label.clone())).unwrap();
-                g.set_vertex_prop(id, 10, Property::Vector(vec![i as f64; 3])).unwrap();
-            }
-        }
-        let bytes = snapshot::save(&g);
-        let g2 = snapshot::load(&bytes).unwrap();
-        prop_assert_eq!(g2.num_vertices(), g.num_vertices());
-        prop_assert_eq!(g2.num_arcs(), g.num_arcs());
-        let props = |gr: &PropertyGraph| -> HashMap<u64, Option<String>> {
-            gr.vertex_ids()
-                .iter()
-                .map(|&id| {
-                    (
-                        id,
-                        gr.get_vertex_prop(id, 9)
-                            .and_then(|p| p.as_text())
-                            .map(str::to_string),
-                    )
-                })
-                .collect()
-        };
-        prop_assert_eq!(props(&g2), props(&g));
-    }
+            let bytes = snapshot::save(&g);
+            let g2 = snapshot::load(&bytes).unwrap();
+            assert_eq!(g2.num_vertices(), g.num_vertices());
+            assert_eq!(g2.num_arcs(), g.num_arcs());
+            let props = |gr: &PropertyGraph| -> HashMap<u64, Option<String>> {
+                gr.vertex_ids()
+                    .iter()
+                    .map(|&id| {
+                        (
+                            id,
+                            gr.get_vertex_prop(id, 9)
+                                .and_then(|p| p.as_text())
+                                .map(str::to_string),
+                        )
+                    })
+                    .collect()
+            };
+            assert_eq!(props(&g2), props(&g));
+        },
+    );
 }

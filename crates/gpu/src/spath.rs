@@ -127,9 +127,8 @@ mod tests {
 
     #[test]
     fn matches_cpu_dijkstra_on_random_graph() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(21);
+        use graphbig_datagen::rng::Rng;
+        let mut rng = Rng::seed_from_u64(21);
         let n = 150usize;
         let mut edges = Vec::new();
         for _ in 0..700 {

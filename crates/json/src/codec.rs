@@ -1,0 +1,491 @@
+//! The [`ToJson`] / [`FromJson`] codec: the workspace's replacement for
+//! `serde::{Serialize, Deserialize}`.
+//!
+//! Types opt in with the [`json_struct!`](crate::json_struct) /
+//! [`json_enum!`](crate::json_enum) macros (invoked next to the type
+//! definition, so private fields stay private) or with hand-written impls
+//! for the few shapes that need custom encodings (payload-carrying enums,
+//! defaulted fields).
+//!
+//! Encoding conventions match what `serde_json` produced for the same
+//! derives, so previously committed artifacts keep parsing:
+//!
+//! * structs → objects with one member per field, in declaration order;
+//! * unit enums → the variant name as a string;
+//! * payload enums → externally tagged objects (`{"Int": 5}`);
+//! * tuples → fixed-length arrays;
+//! * `Option` → `null` or the payload;
+//! * non-finite floats → `null` on write, and `null` reads back as `NaN`
+//!   (the policy the telemetry manifests have always used).
+//!
+//! Integers are carried in `f64`, exact up to 2^53 — beyond every counter
+//! the suite produces.
+
+use crate::value::Json;
+use std::fmt;
+
+/// Serialize into a [`Json`] tree.
+pub trait ToJson {
+    /// The JSON encoding of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserialize from a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Decode `v`, reporting the first mismatch as a [`DecodeError`].
+    fn from_json(v: &Json) -> Result<Self, DecodeError>;
+}
+
+/// A decode mismatch: what was expected, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Dotted path from the document root to the offending node.
+    pub path: String,
+    /// What went wrong there.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// A root-level error (helpers prepend path segments as it bubbles up).
+    pub fn new(message: impl Into<String>) -> Self {
+        DecodeError {
+            path: String::from("$"),
+            message: message.into(),
+        }
+    }
+
+    /// Return the error with `segment` prepended to the path.
+    pub fn in_field(mut self, segment: &str) -> Self {
+        self.path = if self.path == "$" {
+            format!("$.{segment}")
+        } else {
+            format!("$.{segment}{}", &self.path[1..])
+        };
+        self
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON decode error at {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decode member `key` of object `v`.
+pub fn field<T: FromJson>(v: &Json, key: &str) -> Result<T, DecodeError> {
+    match v.get(key) {
+        Some(member) => T::from_json(member).map_err(|e| e.in_field(key)),
+        None => Err(DecodeError::new(format!("missing field '{key}'"))),
+    }
+}
+
+/// Decode member `key` of object `v`, falling back to `T::default()` when
+/// absent (the `#[serde(default)]` replacement for schema evolution).
+pub fn field_or_default<T: FromJson + Default>(v: &Json, key: &str) -> Result<T, DecodeError> {
+    match v.get(key) {
+        Some(member) => T::from_json(member).map_err(|e| e.in_field(key)),
+        None => Ok(T::default()),
+    }
+}
+
+/// Render any [`ToJson`] type as a compact JSON string.
+pub fn to_compact<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_compact()
+}
+
+/// Render any [`ToJson`] type as pretty-printed JSON.
+pub fn to_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_pretty()
+}
+
+/// Parse a JSON string straight into any [`FromJson`] type.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, DecodeError> {
+    let v = crate::value::parse(text).map_err(|e| DecodeError::new(e.to_string()))?;
+    T::from_json(&v)
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(DecodeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DecodeError::new("expected string"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v {
+            Json::Num(n) => Ok(*n),
+            // Non-finite floats are written as null; read them back as NaN.
+            Json::Null => Ok(f64::NAN),
+            other => Err(DecodeError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        f64::from_json(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty),+) => {
+        $(
+            impl ToJson for $t {
+                fn to_json(&self) -> Json {
+                    Json::Num(*self as f64)
+                }
+            }
+
+            impl FromJson for $t {
+                fn from_json(v: &Json) -> Result<Self, DecodeError> {
+                    let n = v
+                        .as_f64()
+                        .ok_or_else(|| DecodeError::new("expected integer"))?;
+                    if n.fract() != 0.0 {
+                        return Err(DecodeError::new(format!("expected integer, got {n}")));
+                    }
+                    if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                        return Err(DecodeError::new(format!(
+                            "integer {n} out of range for {}",
+                            stringify!($t)
+                        )));
+                    }
+                    Ok(n as $t)
+                }
+            }
+        )+
+    };
+}
+
+int_codec!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| DecodeError::new("expected array"))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T
+where
+    T: ?Sized,
+{
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((
+                A::from_json(a).map_err(|e| e.in_field("[0]"))?,
+                B::from_json(b).map_err(|e| e.in_field("[1]"))?,
+            )),
+            _ => Err(DecodeError::new("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, DecodeError> {
+        match v.as_arr() {
+            Some([a, b, c]) => Ok((
+                A::from_json(a).map_err(|e| e.in_field("[0]"))?,
+                B::from_json(b).map_err(|e| e.in_field("[1]"))?,
+                C::from_json(c).map_err(|e| e.in_field("[2]"))?,
+            )),
+            _ => Err(DecodeError::new("expected 3-element array")),
+        }
+    }
+}
+
+/// Implement [`ToJson`] and [`FromJson`] for a struct, one object member
+/// per listed field in declaration order (the `serde` derive convention).
+///
+/// Invoke next to the type definition so private fields resolve:
+///
+/// ```
+/// use graphbig_json::{json_struct, FromJson, ToJson};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Point {
+///     x: f64,
+///     y: f64,
+/// }
+/// json_struct!(Point { x, y });
+///
+/// let p = Point { x: 1.0, y: 2.0 };
+/// let round = Point::from_json(&p.to_json()).unwrap();
+/// assert_eq!(round, p);
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+
+        impl $crate::FromJson for $name {
+            fn from_json(v: &$crate::Json) -> ::core::result::Result<Self, $crate::DecodeError> {
+                Ok($name {
+                    $($field: $crate::codec::field(v, stringify!($field))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implement only [`ToJson`] for a struct — for types whose fields cannot
+/// be reconstructed from parsed text (e.g. `&'static str` metadata tables).
+#[macro_export]
+macro_rules! json_struct_to {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+/// Implement [`ToJson`] and [`FromJson`] for a unit-variant enum, encoded
+/// as the variant name string (the `serde` derive convention).
+#[macro_export]
+macro_rules! json_enum {
+    ($name:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $name {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $($name::$variant => $crate::Json::Str(stringify!($variant).to_string()),)+
+                }
+            }
+        }
+
+        impl $crate::FromJson for $name {
+            fn from_json(v: &$crate::Json) -> ::core::result::Result<Self, $crate::DecodeError> {
+                match v.as_str() {
+                    $(Some(stringify!($variant)) => Ok($name::$variant),)+
+                    Some(other) => Err($crate::DecodeError::new(format!(
+                        "unknown {} variant '{other}'",
+                        stringify!($name)
+                    ))),
+                    None => Err($crate::DecodeError::new(format!(
+                        "expected {} variant string",
+                        stringify!($name)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Default)]
+    struct Inner {
+        label: String,
+        weight: f32,
+    }
+    json_struct!(Inner { label, weight });
+
+    #[derive(Debug, PartialEq)]
+    struct Outer {
+        id: u64,
+        inner: Inner,
+        tags: Vec<String>,
+        maybe: Option<i64>,
+        pair: (u32, f64),
+    }
+    json_struct!(Outer {
+        id,
+        inner,
+        tags,
+        maybe,
+        pair
+    });
+
+    #[derive(Debug, PartialEq, Clone, Copy)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+    json_enum!(Kind { Alpha, Beta });
+
+    fn outer() -> Outer {
+        Outer {
+            id: 42,
+            inner: Inner {
+                label: "a \"quoted\"\nlabel".into(),
+                weight: 2.5,
+            },
+            tags: vec!["x".into(), "y".into()],
+            maybe: None,
+            pair: (7, 0.125),
+        }
+    }
+
+    #[test]
+    fn struct_round_trip_through_text() {
+        let v = outer();
+        let text = to_pretty(&v);
+        let back: Outer = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn enum_round_trip_uses_variant_names() {
+        assert_eq!(to_compact(&Kind::Alpha), "\"Alpha\"");
+        assert_eq!(from_str::<Kind>("\"Beta\"").unwrap(), Kind::Beta);
+        assert!(from_str::<Kind>("\"Gamma\"").is_err());
+    }
+
+    #[test]
+    fn missing_field_reports_path() {
+        let err = from_str::<Outer>("{\"id\": 1}").unwrap_err();
+        assert!(err.message.contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn nested_error_paths_point_at_the_node() {
+        let text = r#"{"id": 1, "inner": {"label": "x", "weight": "oops"},
+                       "tags": [], "maybe": null, "pair": [1, 2.0]}"#;
+        let err = from_str::<Outer>(text).unwrap_err();
+        assert_eq!(err.path, "$.inner.weight");
+    }
+
+    #[test]
+    fn defaulted_field_tolerates_absence() {
+        let v = crate::value::parse("{}").unwrap();
+        let inner: Inner = field_or_default(&v, "gone").unwrap();
+        assert_eq!(inner, Inner::default());
+    }
+
+    #[test]
+    fn option_and_nan_policy() {
+        assert_eq!(to_compact(&Option::<u64>::None), "null");
+        assert_eq!(to_compact(&Some(3u64)), "3");
+        // Non-finite writes null; null reads back as NaN.
+        assert_eq!(to_compact(&f64::INFINITY), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn integers_reject_fractions_and_overflow() {
+        assert!(from_str::<u32>("1.5").is_err());
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<u64>("-1").is_err());
+        assert_eq!(from_str::<i64>("-9007199254740992").unwrap(), -(1 << 53));
+    }
+}

@@ -1,0 +1,30 @@
+//! # graphbig-json
+//!
+//! The workspace's shared, dependency-free serialization layer.
+//!
+//! Grown out of the telemetry crate's hand-rolled JSON writer (which proved
+//! the pattern: machine-readable output that works in *every* build
+//! environment, including fully offline ones), this crate now carries:
+//!
+//! * [`Json`] — the document model, writer ([`Json::to_compact`] /
+//!   [`Json::to_pretty`]) and parser ([`parse`]);
+//! * [`ToJson`] / [`FromJson`] — the codec traits every serializable type
+//!   in the suite implements, replacing `serde::{Serialize, Deserialize}`;
+//! * [`json_struct!`] / [`json_enum!`] / [`json_struct_to!`] — macros that
+//!   generate the codec impls next to a type definition, mirroring what
+//!   `#[derive(Serialize, Deserialize)]` produced so committed artifacts
+//!   keep parsing.
+//!
+//! Everything is std-only by design: the tier-1 gate builds offline, and
+//! `scripts/check_hermetic.sh` enforces that no external crate sneaks back
+//! into the dependency graph.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod value;
+
+pub use codec::{
+    field, field_or_default, from_str, to_compact, to_pretty, DecodeError, FromJson, ToJson,
+};
+pub use value::{parse, Json, ObjBuilder, ParseError};

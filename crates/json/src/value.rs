@@ -1,11 +1,11 @@
 //! A small self-contained JSON value, writer, and parser.
 //!
-//! The telemetry layer must emit and *round-trip* machine-readable output
-//! (run manifests, Chrome traces) in every build environment, so it carries
-//! its own JSON implementation instead of depending on `serde_json`. The
-//! subset is complete for the manifest schema: objects preserve insertion
-//! order, numbers are `f64` (integers up to 2^53 survive exactly), and
-//! strings are escaped per RFC 8259.
+//! The workspace must emit and *round-trip* machine-readable output (run
+//! manifests, Chrome traces, reports, configs) in every build environment,
+//! so it carries its own JSON implementation instead of depending on
+//! `serde_json`. The subset is complete for everything the suite produces:
+//! objects preserve insertion order, numbers are `f64` (integers up to 2^53
+//! survive exactly), and strings are escaped per RFC 8259.
 
 use std::collections::BTreeMap;
 use std::fmt;

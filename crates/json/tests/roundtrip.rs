@@ -1,0 +1,141 @@
+//! Round-trip suite for the in-tree JSON layer: escape sequences, the
+//! non-finite-float policy, nested struct/enum codecs — and a pin against
+//! the committed `results/golden_fig05.json` manifest, so the codec that
+//! replaced serde provably still reads the artifacts serde wrote.
+
+use graphbig_json::{from_str, json_enum, json_struct, parse, to_compact, to_pretty, Json, ToJson};
+
+fn reparse(v: &Json) -> Json {
+    parse(&v.to_compact()).expect("writer output must reparse")
+}
+
+#[test]
+fn escape_sequences_round_trip() {
+    let cases = [
+        "plain",
+        "with \"quotes\" inside",
+        "back\\slash",
+        "line\nbreak\ttab\rreturn",
+        "control \u{1} \u{1f} chars",
+        "null byte \u{0} embedded",
+        "unicode: \u{e9}\u{4e2d}\u{6587} \u{1f600}",
+        "",
+    ];
+    for s in cases {
+        let json = s.to_json().to_compact();
+        let back = parse(&json).unwrap();
+        assert_eq!(back.as_str(), Some(s), "through {json}");
+    }
+}
+
+#[test]
+fn parser_accepts_standard_escapes() {
+    let v = parse(r#""aA\n\t\\\"\/\b\f\r""#).unwrap();
+    assert_eq!(v.as_str(), Some("aA\n\t\\\"/\u{8}\u{c}\r"));
+}
+
+#[test]
+fn non_finite_floats_write_null_and_read_nan() {
+    // Policy (inherited from the serde_json defaults the artifacts were
+    // written with): NaN and infinities serialize as null; null decodes
+    // back to NaN for floats.
+    assert_eq!(f64::NAN.to_json().to_compact(), "null");
+    assert_eq!(f64::INFINITY.to_json().to_compact(), "null");
+    assert_eq!(f64::NEG_INFINITY.to_json().to_compact(), "null");
+    let back: f64 = from_str("null").unwrap();
+    assert!(back.is_nan());
+    let finite: f64 = from_str("-2.5e3").unwrap();
+    assert_eq!(finite, -2500.0);
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Inner {
+    label: String,
+    weight: f64,
+    tags: Vec<String>,
+}
+
+json_struct!(Inner {
+    label,
+    weight,
+    tags
+});
+
+#[derive(Debug, Clone, PartialEq)]
+enum Kind {
+    Alpha,
+    Beta,
+}
+
+json_enum!(Kind { Alpha, Beta });
+
+#[derive(Debug, Clone, PartialEq)]
+struct Outer {
+    kind: Kind,
+    items: Vec<Inner>,
+    limit: Option<u64>,
+    counts: Vec<usize>,
+}
+
+json_struct!(Outer {
+    kind,
+    items,
+    limit,
+    counts
+});
+
+#[test]
+fn nested_structs_round_trip() {
+    let value = Outer {
+        kind: Kind::Beta,
+        items: vec![
+            Inner {
+                label: "first \"quoted\"".into(),
+                weight: 0.25,
+                tags: vec!["a".into(), "b\nc".into()],
+            },
+            Inner {
+                label: String::new(),
+                weight: -1.5e-3,
+                tags: Vec::new(),
+            },
+        ],
+        limit: None,
+        counts: vec![0, 1, usize::from(u16::MAX)],
+    };
+    for text in [to_compact(&value), to_pretty(&value)] {
+        let back: Outer = from_str(&text).unwrap();
+        assert_eq!(back, value, "through {text}");
+    }
+}
+
+#[test]
+fn unit_enums_encode_as_variant_strings() {
+    assert_eq!(to_compact(&Kind::Alpha), "\"Alpha\"");
+    let back: Kind = from_str("\"Beta\"").unwrap();
+    assert_eq!(back, Kind::Beta);
+    assert!(from_str::<Kind>("\"Gamma\"").is_err());
+}
+
+#[test]
+fn golden_manifest_parses_and_round_trips() {
+    // The golden manifest was committed before the serde -> graphbig-json
+    // migration; it must keep parsing, and writing it back out must be a
+    // fixed point (parse . write . parse = parse).
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/golden_fig05.json"
+    );
+    let text = std::fs::read_to_string(path).expect("committed golden manifest");
+    let v = parse(&text).expect("golden manifest parses");
+    assert_eq!(
+        v.get("schema").and_then(Json::as_str),
+        Some("graphbig.run_manifest/v1")
+    );
+    for key in ["bin", "features", "params", "metrics", "tables", "notes"] {
+        assert!(v.get(key).is_some(), "golden manifest key {key}");
+    }
+    assert_eq!(reparse(&v), v);
+    // pretty printing is also a fixed point
+    assert_eq!(parse(&v.to_pretty()).unwrap(), v);
+}

@@ -9,11 +9,11 @@
 //! chooser arbitrates — but neither side can learn TC's value-dependent
 //! compare outcomes.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::{json_enum, json_struct};
 
 /// Which prediction scheme to run (the tournament is the default; the
 /// single-component schemes exist for the predictor ablation study).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PredictorKind {
     /// Bimodal + gshare with a per-site chooser.
     #[default]
@@ -24,8 +24,14 @@ pub enum PredictorKind {
     Bimodal,
 }
 
+json_enum!(PredictorKind {
+    Tournament,
+    Gshare,
+    Bimodal,
+});
+
 /// Predictor geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchConfig {
     /// log2 of the pattern-history-table size.
     pub table_bits: u32,
@@ -34,6 +40,12 @@ pub struct BranchConfig {
     /// Prediction scheme.
     pub kind: PredictorKind,
 }
+
+json_struct!(BranchConfig {
+    table_bits,
+    history_bits,
+    kind,
+});
 
 impl Default for BranchConfig {
     fn default() -> Self {
@@ -46,13 +58,18 @@ impl Default for BranchConfig {
 }
 
 /// Branch statistics.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BranchStats {
     /// Conditional branches predicted.
     pub branches: u64,
     /// Mispredictions among `branches`.
     pub mispredictions: u64,
 }
+
+json_struct!(BranchStats {
+    branches,
+    mispredictions,
+});
 
 impl BranchStats {
     /// Miss rate in `[0, 1]`.

@@ -1,9 +1,9 @@
 //! Set-associative cache with LRU replacement, and a three-level hierarchy.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -13,6 +13,12 @@ pub struct CacheConfig {
     pub ways: usize,
 }
 
+json_struct!(CacheConfig {
+    size_bytes,
+    line_bytes,
+    ways,
+});
+
 impl CacheConfig {
     /// Number of sets implied by the geometry.
     pub fn sets(&self) -> usize {
@@ -21,13 +27,15 @@ impl CacheConfig {
 }
 
 /// Access statistics of one cache level.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses (reads + writes reaching this level).
     pub accesses: u64,
     /// Misses among `accesses`.
     pub misses: u64,
 }
+
+json_struct!(CacheStats { accesses, misses });
 
 impl CacheStats {
     /// Hit rate in `[0, 1]`; 1.0 for an untouched cache.

@@ -1,6 +1,6 @@
 //! The modeled CPU (Table 6's Xeon test machine).
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 use crate::branch::BranchConfig;
 use crate::cache::CacheConfig;
@@ -8,7 +8,7 @@ use crate::tlb::TlbConfig;
 
 /// Full machine description: geometry, latencies, and the analytical
 /// cycle-model factors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuConfig {
     /// Human-readable model name.
     pub name: String,
@@ -49,6 +49,28 @@ pub struct CpuConfig {
     /// Baseline frontend (fetch/decode bandwidth) cycles per instruction.
     pub frontend_base_cpi: f64,
 }
+
+json_struct!(CpuConfig {
+    name,
+    cores,
+    frequency_ghz,
+    issue_width,
+    l1d,
+    l2,
+    l3,
+    icache,
+    tlb,
+    branch,
+    l2_latency,
+    l3_latency,
+    mem_latency,
+    branch_penalty,
+    icache_penalty,
+    mlp_near,
+    mlp_far,
+    backend_base_cpi,
+    frontend_base_cpi,
+});
 
 impl CpuConfig {
     /// An Ivy-Bridge-class Xeon E5 approximating the paper's test machine:

@@ -1,7 +1,7 @@
 //! The "hardware counter" readout: raw event counts plus every derived
 //! metric the paper's Section 5.1 methodology lists for CPUs.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 use crate::branch::BranchStats;
 use crate::cache::CacheStats;
@@ -9,7 +9,7 @@ use crate::cycles::CycleBreakdown;
 use crate::tlb::TlbStats;
 
 /// Complete profiling result of one workload run on the core model.
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct PerfCounters {
     /// Retired instructions.
     pub instructions: u64,
@@ -36,6 +36,21 @@ pub struct PerfCounters {
     /// Top-down cycle breakdown.
     pub cycles: CycleBreakdown,
 }
+
+json_struct!(PerfCounters {
+    instructions,
+    loads,
+    stores,
+    atomics,
+    branches,
+    branch,
+    l1d,
+    l2,
+    l3,
+    icache,
+    tlb,
+    cycles,
+});
 
 impl PerfCounters {
     /// L1D misses per kilo-instruction (Figure 7).

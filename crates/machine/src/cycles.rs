@@ -16,12 +16,12 @@
 //! Fixed MLP divisors keep the model analytical; the workload-to-workload
 //! *differences* all come from the real traces.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 use crate::config::CpuConfig;
 
 /// Raw inputs to the cycle model.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CycleInputs {
     /// Retired instructions.
     pub instructions: u64,
@@ -39,8 +39,18 @@ pub struct CycleInputs {
     pub tlb_penalty_cycles: u64,
 }
 
+json_struct!(CycleInputs {
+    instructions,
+    branch_mispredictions,
+    icache_misses,
+    l2_hits,
+    l3_hits,
+    mem_accesses,
+    tlb_penalty_cycles,
+});
+
 /// The four-way breakdown plus totals.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct CycleBreakdown {
     /// Useful-work cycles.
     pub retiring: f64,
@@ -51,6 +61,13 @@ pub struct CycleBreakdown {
     /// Execution + memory stall cycles.
     pub backend: f64,
 }
+
+json_struct!(CycleBreakdown {
+    retiring,
+    bad_speculation,
+    frontend,
+    backend,
+});
 
 impl CycleBreakdown {
     /// Total modeled cycles.

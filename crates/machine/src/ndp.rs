@@ -11,12 +11,12 @@
 //! counter profile under that organization, answering "what would this
 //! trace cost near memory?" — the ablation the `ablation_ndp` binary prints.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 use crate::counters::PerfCounters;
 
 /// NDP organization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NdpConfig {
     /// Display name.
     pub name: String,
@@ -35,6 +35,16 @@ pub struct NdpConfig {
     pub scratch_hit_rate: f64,
 }
 
+json_struct!(NdpConfig {
+    name,
+    cores,
+    clock_ghz,
+    issue_width,
+    mem_latency,
+    mlp,
+    scratch_hit_rate,
+});
+
 impl NdpConfig {
     /// An HMC-class NDP configuration: one simple core per vault in the
     /// logic layer (32 vaults), short in-stack access path.
@@ -52,7 +62,7 @@ impl NdpConfig {
 }
 
 /// Modeled outcome of replaying a counter profile on the NDP unit.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NdpEstimate {
     /// Single-core NDP cycles.
     pub cycles: f64,
@@ -62,6 +72,12 @@ pub struct NdpEstimate {
     /// Memory-stall share of the cycles.
     pub memory_fraction: f64,
 }
+
+json_struct!(NdpEstimate {
+    cycles,
+    seconds,
+    memory_fraction,
+});
 
 /// Evaluate a measured workload profile under the NDP organization.
 ///

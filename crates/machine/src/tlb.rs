@@ -6,10 +6,10 @@
 //! (Figure 6). This model charges a small penalty for L1-TLB misses that hit
 //! the L2 TLB and a full page-walk penalty beyond it.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 /// TLB geometry and penalties.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TlbConfig {
     /// Page size in bytes (power of two).
     pub page_bytes: usize,
@@ -22,6 +22,14 @@ pub struct TlbConfig {
     /// Cycles charged for a full page walk.
     pub walk_cycles: u64,
 }
+
+json_struct!(TlbConfig {
+    page_bytes,
+    l1_entries,
+    l2_entries,
+    l2_hit_cycles,
+    walk_cycles,
+});
 
 impl Default for TlbConfig {
     fn default() -> Self {
@@ -37,7 +45,7 @@ impl Default for TlbConfig {
 }
 
 /// TLB statistics.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TlbStats {
     /// Translations requested.
     pub accesses: u64,
@@ -48,6 +56,13 @@ pub struct TlbStats {
     /// Total penalty cycles charged.
     pub penalty_cycles: u64,
 }
+
+json_struct!(TlbStats {
+    accesses,
+    l1_misses,
+    walks,
+    penalty_cycles,
+});
 
 /// Fully-associative LRU translation buffer (one level).
 #[derive(Debug, Clone)]

@@ -1,17 +1,20 @@
 //! Property tests over the CPU-model components: cache inclusion-style
 //! invariants against reference implementations, TLB/LRU laws, and cycle
-//! accounting consistency under arbitrary access streams.
+//! accounting consistency under arbitrary access streams — on the in-tree
+//! harness (`graphbig_datagen::prop`), preserving the old proptest
+//! invariants and 64-case budget.
 
+use graphbig_datagen::prop::{check, vec_of, Config};
+use graphbig_datagen::rng::Rng;
 use graphbig_framework::trace::Tracer;
 use graphbig_machine::branch::{BranchConfig, BranchPredictor};
 use graphbig_machine::cache::{Cache, CacheConfig, Hierarchy};
 use graphbig_machine::config::CpuConfig;
 use graphbig_machine::core::CoreModel;
 use graphbig_machine::tlb::{Tlb, TlbConfig};
-use proptest::prelude::*;
 
-fn addresses() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(0usize..(1 << 22), 1..2000)
+fn addresses(rng: &mut Rng) -> Vec<usize> {
+    vec_of(rng, 1..2000, |r| r.gen_range(0usize..(1 << 22)))
 }
 
 /// Reference fully-associative LRU over line addresses.
@@ -36,95 +39,160 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fully_associative_cache_matches_reference_lru(addrs in addresses()) {
-        // one set, 64 ways: the set-associative machinery degenerates to
-        // a fully-associative LRU, which must match the naive reference.
-        let cfg = CacheConfig { size_bytes: 64 * 64, line_bytes: 64, ways: 64 };
-        let mut cache = Cache::new(cfg);
-        let mut reference = RefLru { lines: Vec::new(), capacity: 64 };
-        for &a in &addrs {
-            let line = (a as u64) >> 6;
-            prop_assert_eq!(cache.access_line(line), reference.access(line));
-        }
-    }
-
-    #[test]
-    fn hierarchy_stats_are_consistent(addrs in addresses()) {
-        let small = CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 2 };
-        let mid = CacheConfig { size_bytes: 16 * 1024, line_bytes: 64, ways: 4 };
-        let big = CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, ways: 8 };
-        let mut h = Hierarchy::new(small, mid, big);
-        for &a in &addrs {
-            h.access(a, 8);
-        }
-        let (l1, l2, l3) = (h.l1d.stats(), h.l2.stats(), h.l3.stats());
-        // misses flow downward: each level's accesses equal the level above's misses
-        prop_assert_eq!(l2.accesses, l1.misses);
-        prop_assert_eq!(l3.accesses, l2.misses);
-        prop_assert!(l1.misses <= l1.accesses);
-        // a bigger cache can only hit more often on the same stream
-        prop_assert!(l3.misses <= l2.accesses);
-    }
-
-    #[test]
-    fn shrinking_a_cache_never_reduces_misses(addrs in addresses()) {
-        // LRU inclusion property: for the same stream, a cache with more
-        // ways (same sets) has no more misses.
-        let small = CacheConfig { size_bytes: 8 * 1024, line_bytes: 64, ways: 2 };
-        let large = CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 };
-        let mut a = Cache::new(small);
-        let mut b = Cache::new(large);
-        for &addr in &addrs {
-            let line = (addr as u64) >> 6;
-            a.access_line(line);
-            b.access_line(line);
-        }
-        prop_assert!(b.stats().misses <= a.stats().misses);
-    }
-
-    #[test]
-    fn tlb_penalty_equals_sum_of_returned_penalties(addrs in addresses()) {
-        let mut tlb = Tlb::new(TlbConfig::default());
-        let mut total = 0u64;
-        for &a in &addrs {
-            total += tlb.access(a);
-        }
-        prop_assert_eq!(tlb.stats().penalty_cycles, total);
-        prop_assert_eq!(tlb.stats().accesses, addrs.len() as u64);
-        prop_assert!(tlb.stats().walks <= tlb.stats().l1_misses);
-    }
-
-    #[test]
-    fn predictor_counts_every_branch(outcomes in proptest::collection::vec(any::<bool>(), 1..2000)) {
-        let mut p = BranchPredictor::new(BranchConfig::default());
-        for (i, &taken) in outcomes.iter().enumerate() {
-            p.predict_and_train(i % 37, taken);
-        }
-        let s = p.stats();
-        prop_assert_eq!(s.branches, outcomes.len() as u64);
-        prop_assert!(s.mispredictions <= s.branches);
-    }
-
-    #[test]
-    fn core_model_fractions_always_partition(addrs in addresses()) {
-        let mut core = CoreModel::new(CpuConfig::small());
-        for (i, &a) in addrs.iter().enumerate() {
-            match i % 4 {
-                0 => core.load(a, 8),
-                1 => core.store(a, 8),
-                2 => core.alu(3),
-                _ => core.branch(i, a % 3 == 0),
+#[test]
+fn fully_associative_cache_matches_reference_lru() {
+    check(
+        "fully_associative_cache_matches_reference_lru",
+        Config::with_cases(64),
+        addresses,
+        |addrs| {
+            // one set, 64 ways: the set-associative machinery degenerates to
+            // a fully-associative LRU, which must match the naive reference.
+            let cfg = CacheConfig {
+                size_bytes: 64 * 64,
+                line_bytes: 64,
+                ways: 64,
+            };
+            let mut cache = Cache::new(cfg);
+            let mut reference = RefLru {
+                lines: Vec::new(),
+                capacity: 64,
+            };
+            for &a in addrs {
+                let line = (a as u64) >> 6;
+                assert_eq!(cache.access_line(line), reference.access(line));
             }
-        }
-        let c = core.finish();
-        let (r, b, f, e) = c.cycles.fractions();
-        prop_assert!((r + b + f + e - 1.0).abs() < 1e-9);
-        prop_assert!(c.ipc() > 0.0 && c.ipc() <= 4.0);
-        prop_assert!(c.l1d_hit_rate() >= 0.0 && c.l1d_hit_rate() <= 1.0);
-        prop_assert!(c.dtlb_penalty_fraction() >= 0.0 && c.dtlb_penalty_fraction() < 1.0);
-    }
+        },
+    );
+}
+
+#[test]
+fn hierarchy_stats_are_consistent() {
+    check(
+        "hierarchy_stats_are_consistent",
+        Config::with_cases(64),
+        addresses,
+        |addrs| {
+            let small = CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 64,
+                ways: 2,
+            };
+            let mid = CacheConfig {
+                size_bytes: 16 * 1024,
+                line_bytes: 64,
+                ways: 4,
+            };
+            let big = CacheConfig {
+                size_bytes: 64 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            };
+            let mut h = Hierarchy::new(small, mid, big);
+            for &a in addrs {
+                h.access(a, 8);
+            }
+            let (l1, l2, l3) = (h.l1d.stats(), h.l2.stats(), h.l3.stats());
+            // misses flow downward: each level's accesses equal the level above's misses
+            assert_eq!(l2.accesses, l1.misses);
+            assert_eq!(l3.accesses, l2.misses);
+            assert!(l1.misses <= l1.accesses);
+            // a bigger cache can only hit more often on the same stream
+            assert!(l3.misses <= l2.accesses);
+        },
+    );
+}
+
+#[test]
+fn shrinking_a_cache_never_reduces_misses() {
+    check(
+        "shrinking_a_cache_never_reduces_misses",
+        Config::with_cases(64),
+        addresses,
+        |addrs| {
+            // LRU inclusion property: for the same stream, a cache with more
+            // ways (same sets) has no more misses.
+            let small = CacheConfig {
+                size_bytes: 8 * 1024,
+                line_bytes: 64,
+                ways: 2,
+            };
+            let large = CacheConfig {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            };
+            let mut a = Cache::new(small);
+            let mut b = Cache::new(large);
+            for &addr in addrs {
+                let line = (addr as u64) >> 6;
+                a.access_line(line);
+                b.access_line(line);
+            }
+            assert!(b.stats().misses <= a.stats().misses);
+        },
+    );
+}
+
+#[test]
+fn tlb_penalty_equals_sum_of_returned_penalties() {
+    check(
+        "tlb_penalty_equals_sum_of_returned_penalties",
+        Config::with_cases(64),
+        addresses,
+        |addrs| {
+            let mut tlb = Tlb::new(TlbConfig::default());
+            let mut total = 0u64;
+            for &a in addrs {
+                total += tlb.access(a);
+            }
+            assert_eq!(tlb.stats().penalty_cycles, total);
+            assert_eq!(tlb.stats().accesses, addrs.len() as u64);
+            assert!(tlb.stats().walks <= tlb.stats().l1_misses);
+        },
+    );
+}
+
+#[test]
+fn predictor_counts_every_branch() {
+    check(
+        "predictor_counts_every_branch",
+        Config::with_cases(64),
+        |rng| vec_of(rng, 1..2000, |r| r.gen_bool(0.5)),
+        |outcomes| {
+            let mut p = BranchPredictor::new(BranchConfig::default());
+            for (i, &taken) in outcomes.iter().enumerate() {
+                p.predict_and_train(i % 37, taken);
+            }
+            let s = p.stats();
+            assert_eq!(s.branches, outcomes.len() as u64);
+            assert!(s.mispredictions <= s.branches);
+        },
+    );
+}
+
+#[test]
+fn core_model_fractions_always_partition() {
+    check(
+        "core_model_fractions_always_partition",
+        Config::with_cases(64),
+        addresses,
+        |addrs| {
+            let mut core = CoreModel::new(CpuConfig::small());
+            for (i, &a) in addrs.iter().enumerate() {
+                match i % 4 {
+                    0 => core.load(a, 8),
+                    1 => core.store(a, 8),
+                    2 => core.alu(3),
+                    _ => core.branch(i, a % 3 == 0),
+                }
+            }
+            let c = core.finish();
+            let (r, b, f, e) = c.cycles.fractions();
+            assert!((r + b + f + e - 1.0).abs() < 1e-9);
+            assert!(c.ipc() > 0.0 && c.ipc() <= 4.0);
+            assert!(c.l1d_hit_rate() >= 0.0 && c.l1d_hit_rate() <= 1.0);
+            assert!(c.dtlb_penalty_fraction() >= 0.0 && c.dtlb_penalty_fraction() < 1.0);
+        },
+    );
 }

@@ -1,9 +1,9 @@
 //! Fixed-width ASCII tables and CSV/JSON export for figure regeneration.
 
-use serde::Serialize;
+use graphbig_json::json_struct;
 
 /// A simple column-oriented table builder.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Table {
     /// Table title printed above the header.
     pub title: String,
@@ -12,6 +12,12 @@ pub struct Table {
     /// Row-major cells.
     pub rows: Vec<Vec<String>>,
 }
+
+json_struct!(Table {
+    title,
+    headers,
+    rows
+});
 
 impl Table {
     /// New table with a title and headers.
@@ -95,7 +101,7 @@ impl Table {
 
     /// Render as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        graphbig_json::codec::to_pretty(self)
     }
 
     /// Convert into the run-manifest table payload.
@@ -188,9 +194,21 @@ mod tests {
     #[test]
     fn json_round_trips_shape() {
         let json = sample().to_json();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(v["headers"][1], "mpki");
-        assert_eq!(v["rows"][1][0], "DCentr");
+        let v = graphbig_json::parse(&json).unwrap();
+        assert_eq!(
+            v.get("headers").unwrap().as_arr().unwrap()[1].as_str(),
+            Some("mpki")
+        );
+        assert_eq!(
+            v.get("rows").unwrap().as_arr().unwrap()[1]
+                .as_arr()
+                .unwrap()[0]
+                .as_str(),
+            Some("DCentr")
+        );
+        let back: Table = graphbig_json::from_str(&json).unwrap();
+        assert_eq!(back.headers, sample().headers);
+        assert_eq!(back.rows, sample().rows);
     }
 
     #[test]

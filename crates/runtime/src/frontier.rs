@@ -21,7 +21,13 @@
 //! O(f log f) per-level vertex sort the first parallel BFS used.
 
 use graphbig_framework::bitmap::AtomicBitmap;
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a slot, shrugging off poison: slot state is a plain buffer list, so
+/// a panicking worker cannot leave it logically inconsistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A frontier goes dense past `universe / DENSE_FRACTION` members: at 5%
 /// occupancy the bitmap (n bits) is far smaller than the queue (32n bits
@@ -190,13 +196,13 @@ impl ChunkedSink {
 
     /// Check out a (possibly recycled) buffer for `worker` to fill.
     pub fn take_buffer(&self, worker: usize) -> Vec<u32> {
-        self.slots[worker].lock().spare.pop().unwrap_or_default()
+        lock(&self.slots[worker]).spare.pop().unwrap_or_default()
     }
 
     /// Commit `buf` as the segment for `chunk`. Empty buffers go straight
     /// back to the spare pool.
     pub fn commit(&self, worker: usize, chunk: usize, buf: Vec<u32>) {
-        let mut slot = self.slots[worker].lock();
+        let mut slot = lock(&self.slots[worker]);
         if buf.is_empty() {
             slot.spare.push(buf);
         } else {
@@ -209,7 +215,7 @@ impl ChunkedSink {
     pub fn drain_into(&self, out: &mut Vec<u32>) -> usize {
         let mut segments: Vec<(u32, Vec<u32>)> = Vec::new();
         for slot in &self.slots {
-            segments.append(&mut slot.lock().segments);
+            segments.append(&mut lock(slot).segments);
         }
         segments.sort_unstable_by_key(|&(c, _)| c);
         // Prefix-sum compaction: pre-size once, then copy each segment into
@@ -229,7 +235,7 @@ impl ChunkedSink {
         // Recycle buffers round-robin over the slots.
         for (k, (_, mut seg)) in segments.into_iter().enumerate() {
             seg.clear();
-            self.slots[k % self.slots.len()].lock().spare.push(seg);
+            lock(&self.slots[k % self.slots.len()]).spare.push(seg);
         }
         total
     }

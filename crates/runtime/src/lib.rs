@@ -10,10 +10,11 @@
 //! pool keeps one long-lived worker per requested core, which is the part
 //! that matters for the workloads' structure).
 //!
-//! Built from scratch on `crossbeam` channels and `std` atomics per the
-//! repository's from-scratch substrate rule; the design follows the
-//! guidance of *Rust Atomics and Locks* (acquire/release pairs around the
-//! job latch, condvar-backed waiting).
+//! Built from scratch on `std::sync::mpsc` channels, `std` mutexes/condvars
+//! and `std` atomics per the repository's from-scratch substrate rule — no
+//! external synchronization crates; the design follows the guidance of
+//! *Rust Atomics and Locks* (acquire/release pairs around the job latch,
+//! condvar-backed waiting).
 
 #![warn(missing_docs)]
 

@@ -120,8 +120,8 @@ where
     M: Fn(usize) -> A + Send + Sync,
     F: Fn(A, A) -> A + Send + Sync,
 {
-    let partials: Vec<parking_lot::Mutex<A>> = (0..pool.threads())
-        .map(|_| parking_lot::Mutex::new(identity.clone()))
+    let partials: Vec<std::sync::Mutex<A>> = (0..pool.threads())
+        .map(|_| std::sync::Mutex::new(identity.clone()))
         .collect();
     let grain = grain.max(1);
     let start = range.start;
@@ -140,13 +140,13 @@ where
                     local = fold(local, map(i));
                 }
             }
-            let mut slot = partials[worker].lock();
+            let mut slot = partials[worker].lock().unwrap_or_else(|e| e.into_inner());
             *slot = fold(slot.clone(), local);
         });
     }
     partials
         .into_iter()
-        .map(parking_lot::Mutex::into_inner)
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
         .fold(identity, fold)
 }
 
@@ -179,11 +179,11 @@ mod tests {
     #[test]
     fn chunks_partition_the_range() {
         let pool = ThreadPool::new(3);
-        let seen = parking_lot::Mutex::new(Vec::new());
+        let seen = std::sync::Mutex::new(Vec::new());
         parallel_for_chunks(&pool, 10..55, 10, |chunk| {
-            seen.lock().push(chunk);
+            seen.lock().unwrap().push(chunk);
         });
-        let mut chunks = seen.into_inner();
+        let mut chunks = seen.into_inner().unwrap();
         chunks.sort_by_key(|c| c.start);
         let mut expect_start = 10;
         for c in &chunks {

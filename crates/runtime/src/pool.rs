@@ -7,12 +7,11 @@
 //! runs one region per frontier level).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Sender};
 use graphbig_telemetry::metrics::{HistogramSnapshot, MetricSink};
-use parking_lot::{Condvar, Mutex};
 
 /// Completion latch: counts worker finishes and wakes the submitting thread.
 struct Latch {
@@ -34,15 +33,15 @@ impl Latch {
         // Release pairs with the Acquire in `wait`: everything the worker
         // wrote is visible to the waiter once it observes zero.
         if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
-            let _guard = self.mutex.lock();
+            let _guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
             self.condvar.notify_all();
         }
     }
 
     fn wait(&self) {
-        let mut guard = self.mutex.lock();
+        let mut guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
         while self.remaining.load(Ordering::Acquire) != 0 {
-            self.condvar.wait(&mut guard);
+            guard = self.condvar.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -125,7 +124,7 @@ impl ThreadPool {
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for worker_idx in 0..threads {
-            let (tx, rx) = unbounded::<Msg>();
+            let (tx, rx) = channel::<Msg>();
             senders.push(tx);
             let stats = Arc::clone(&stats);
             handles.push(

@@ -1,9 +1,9 @@
 //! The modeled GPU device.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 /// GPU device description used by the SIMT model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Device display name.
     pub name: String,
@@ -37,6 +37,21 @@ pub struct GpuConfig {
     /// serialize conflicting lanes).
     pub atomic_cycles: f64,
 }
+
+json_struct!(GpuConfig {
+    name,
+    warp_size,
+    sms,
+    issue_per_sm,
+    clock_ghz,
+    transaction_bytes,
+    peak_bandwidth_gbps,
+    transaction_cycles,
+    l2_bytes,
+    l2_ways,
+    l2_hit_cycles,
+    atomic_cycles,
+});
 
 impl GpuConfig {
     /// The paper's Tesla K40: 15 SMs, 288 GB/s, 128-byte transactions.

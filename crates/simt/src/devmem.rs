@@ -8,13 +8,13 @@
 //! the paper's best-achieving kernel (CComp) reads ≈90 GB/s of the K40's
 //! 288 GB/s peak.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 use crate::config::GpuConfig;
 use crate::warp::WarpStats;
 
 /// Modeled timing of one kernel (or a sequence of launches).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct Timing {
     /// Cycles the compute pipelines need.
     pub compute_cycles: f64,
@@ -25,6 +25,13 @@ pub struct Timing {
     /// Modeled total kernel cycles.
     pub total_cycles: f64,
 }
+
+json_struct!(Timing {
+    compute_cycles,
+    memory_cycles,
+    atomic_cycles,
+    total_cycles,
+});
 
 /// Evaluate the timing model for accumulated warp statistics.
 pub fn timing(cfg: &GpuConfig, s: &WarpStats) -> Timing {

@@ -1,13 +1,13 @@
 //! The `nvprof`-style readout: everything the paper's GPU figures plot.
 
-use serde::{Deserialize, Serialize};
+use graphbig_json::json_struct;
 
 use crate::config::GpuConfig;
 use crate::devmem::{timing, Timing};
 use crate::warp::WarpStats;
 
 /// Final metrics of a GPU workload run.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct GpuMetrics {
     /// Warp instructions issued.
     pub issued_instructions: u64,
@@ -36,6 +36,22 @@ pub struct GpuMetrics {
     /// Warps executed.
     pub warps: u64,
 }
+
+json_struct!(GpuMetrics {
+    issued_instructions,
+    replayed_instructions,
+    bdr,
+    mdr,
+    read_throughput_gbps,
+    write_throughput_gbps,
+    ipc,
+    cycles,
+    time_ms,
+    atomic_ops,
+    bytes_read,
+    bytes_written,
+    warps,
+});
 
 impl GpuMetrics {
     /// Derive the full readout from accumulated warp statistics.

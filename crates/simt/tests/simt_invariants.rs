@@ -1,98 +1,135 @@
 //! Property tests over the SIMT model: coalescing against a reference,
 //! divergence-metric bounds under arbitrary kernels, and timing-model
-//! monotonicity.
+//! monotonicity — on the in-tree harness (`graphbig_datagen::prop`),
+//! preserving the old proptest invariants and 128-case budget.
 
+use graphbig_datagen::prop::{check, vec_of, Config};
+use graphbig_datagen::rng::Rng;
 use graphbig_simt::coalesce::{transaction_blocks, transactions};
 use graphbig_simt::kernel::{launch, Device};
 use graphbig_simt::{GpuConfig, GpuMetrics, Lane};
-use proptest::prelude::*;
 
-fn access_lists() -> impl Strategy<Value = Vec<(u64, u32)>> {
-    proptest::collection::vec((0u64..(1 << 20), 1u32..64), 1..32)
+fn access_lists(rng: &mut Rng) -> Vec<(u64, u32)> {
+    vec_of(rng, 1..32, |r| {
+        (r.gen_range(0u64..(1 << 20)), r.gen_range(1u32..64))
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn coalescing_matches_reference_set() {
+    check(
+        "coalescing_matches_reference_set",
+        Config::with_cases(128),
+        access_lists,
+        |accesses| {
+            // reference: the set of 128-byte blocks touched
+            let mut reference: Vec<u64> = accesses
+                .iter()
+                .flat_map(|&(addr, bytes)| {
+                    let first = addr / 128;
+                    let last = (addr + bytes as u64 - 1) / 128;
+                    first..=last
+                })
+                .collect();
+            reference.sort_unstable();
+            reference.dedup();
+            assert_eq!(transaction_blocks(accesses, 128), reference);
+            assert_eq!(transactions(accesses, 128), reference.len());
+        },
+    );
+}
 
-    #[test]
-    fn coalescing_matches_reference_set(accesses in access_lists()) {
-        // reference: the set of 128-byte blocks touched
-        let mut reference: Vec<u64> = accesses
-            .iter()
-            .flat_map(|&(addr, bytes)| {
-                let first = addr / 128;
-                let last = (addr + bytes as u64 - 1) / 128;
-                first..=last
-            })
-            .collect();
-        reference.sort_unstable();
-        reference.dedup();
-        prop_assert_eq!(transaction_blocks(&accesses, 128), reference.clone());
-        prop_assert_eq!(transactions(&accesses, 128), reference.len());
-    }
+#[test]
+fn transactions_shrink_with_bigger_blocks() {
+    check(
+        "transactions_shrink_with_bigger_blocks",
+        Config::with_cases(128),
+        access_lists,
+        |accesses| {
+            let t128 = transactions(accesses, 128);
+            let t32 = transactions(accesses, 32);
+            assert!(t128 <= t32, "bigger blocks cannot need more transactions");
+        },
+    );
+}
 
-    #[test]
-    fn transactions_shrink_with_bigger_blocks(accesses in access_lists()) {
-        let t128 = transactions(&accesses, 128);
-        let t32 = transactions(&accesses, 32);
-        prop_assert!(t128 <= t32, "bigger blocks cannot need more transactions");
-    }
+#[test]
+fn metrics_bounded_for_arbitrary_kernels() {
+    check(
+        "metrics_bounded_for_arbitrary_kernels",
+        Config::with_cases(128),
+        |rng| {
+            (
+                vec_of(rng, 1..128, |r| r.gen_range(0usize..20)),
+                rng.gen_range(1u64..4096),
+            )
+        },
+        |(trips, stride)| {
+            let cfg = GpuConfig::tesla_k40();
+            let kernel = |tid: usize, lane: &mut Lane| {
+                for i in 0..trips[tid % trips.len()] {
+                    lane.alu(1);
+                    lane.load_addr(tid as u64 * stride + i as u64 * 4, 4);
+                    lane.branch(i % 2 == 0);
+                }
+            };
+            let stats = launch(&cfg, trips.len(), &kernel);
+            let m = GpuMetrics::from_stats(&cfg, &stats);
+            assert!((0.0..=1.0).contains(&m.bdr));
+            assert!((0.0..=1.0).contains(&m.mdr));
+            assert!(m.ipc <= cfg.issue_per_sm + 1e-12);
+            assert!(m.read_throughput_gbps <= cfg.peak_bandwidth_gbps);
+            assert!(stats.l2_hits <= stats.transactions);
+            assert!(stats.warps as usize <= trips.len().div_ceil(32).max(1));
+        },
+    );
+}
 
-    #[test]
-    fn metrics_bounded_for_arbitrary_kernels(
-        trips in proptest::collection::vec(0usize..20, 1..128),
-        stride in 1u64..4096,
-    ) {
-        let cfg = GpuConfig::tesla_k40();
-        let kernel = |tid: usize, lane: &mut Lane| {
-            for i in 0..trips[tid % trips.len()] {
-                lane.alu(1);
-                lane.load_addr(tid as u64 * stride + i as u64 * 4, 4);
-                lane.branch(i % 2 == 0);
+#[test]
+fn uniform_kernels_never_diverge() {
+    check(
+        "uniform_kernels_never_diverge",
+        Config::with_cases(128),
+        |rng| (rng.gen_range(1usize..16), rng.gen_range(32usize..256)),
+        |&(trip, threads)| {
+            let threads = (threads / 32) * 32; // full warps only
+            let cfg = GpuConfig::tesla_k40();
+            let kernel = |_tid: usize, lane: &mut Lane| {
+                for _ in 0..trip {
+                    lane.alu(2);
+                }
+            };
+            let stats = launch(&cfg, threads, &kernel);
+            assert_eq!(stats.bdr(32), 0.0);
+            assert_eq!(stats.mdr(), 0.0);
+        },
+    );
+}
+
+#[test]
+fn warm_l2_never_increases_dram_traffic() {
+    check(
+        "warm_l2_never_increases_dram_traffic",
+        Config::with_cases(128),
+        |rng| rng.gen_range(1usize..4),
+        |&reps| {
+            // replaying the same access stream on a warm device can only hit
+            // more: dram per launch is non-increasing
+            let cfg = GpuConfig::tesla_k40();
+            let data = vec![0u8; 64 * 1024];
+            let kernel = |tid: usize, lane: &mut Lane| {
+                lane.load(&data[(tid * 128) % data.len()], 4);
+            };
+            let mut dev = Device::new(cfg);
+            let mut last_dram = u64::MAX;
+            let mut prev_total = 0;
+            for _ in 0..reps {
+                dev.launch(256, &kernel);
+                let dram_now = dev.stats().dram_transactions() - prev_total;
+                assert!(dram_now <= last_dram);
+                last_dram = dram_now;
+                prev_total = dev.stats().dram_transactions();
             }
-        };
-        let stats = launch(&cfg, trips.len(), &kernel);
-        let m = GpuMetrics::from_stats(&cfg, &stats);
-        prop_assert!((0.0..=1.0).contains(&m.bdr));
-        prop_assert!((0.0..=1.0).contains(&m.mdr));
-        prop_assert!(m.ipc <= cfg.issue_per_sm + 1e-12);
-        prop_assert!(m.read_throughput_gbps <= cfg.peak_bandwidth_gbps);
-        prop_assert!(stats.l2_hits <= stats.transactions);
-        prop_assert!(stats.warps as usize <= trips.len().div_ceil(32).max(1));
-    }
-
-    #[test]
-    fn uniform_kernels_never_diverge(trip in 1usize..16, threads in 32usize..256) {
-        let threads = (threads / 32) * 32; // full warps only
-        let cfg = GpuConfig::tesla_k40();
-        let kernel = |_tid: usize, lane: &mut Lane| {
-            for _ in 0..trip {
-                lane.alu(2);
-            }
-        };
-        let stats = launch(&cfg, threads, &kernel);
-        prop_assert_eq!(stats.bdr(32), 0.0);
-        prop_assert_eq!(stats.mdr(), 0.0);
-    }
-
-    #[test]
-    fn warm_l2_never_increases_dram_traffic(reps in 1usize..4) {
-        // replaying the same access stream on a warm device can only hit
-        // more: dram per launch is non-increasing
-        let cfg = GpuConfig::tesla_k40();
-        let data = vec![0u8; 64 * 1024];
-        let kernel = |tid: usize, lane: &mut Lane| {
-            lane.load(&data[(tid * 128) % data.len()], 4);
-        };
-        let mut dev = Device::new(cfg);
-        let mut last_dram = u64::MAX;
-        let mut prev_total = 0;
-        for _ in 0..reps {
-            dev.launch(256, &kernel);
-            let dram_now = dev.stats().dram_transactions() - prev_total;
-            prop_assert!(dram_now <= last_dram);
-            last_dram = dram_now;
-            prev_total = dev.stats().dram_transactions();
-        }
-    }
+        },
+    );
 }

@@ -26,13 +26,16 @@
 //!   and result tables. `graphbig-report` diffs two manifests and CI
 //!   checks structure against a committed golden file.
 //!
-//! The crate is dependency-free; [`json`] is a small self-contained JSON
-//! reader/writer so emission works identically in every build environment.
+//! The crate pulls in nothing outside the workspace; [`json`] re-exports
+//! the in-tree `graphbig-json` crate (which grew out of this crate's
+//! hand-rolled writer) so emission works identically in every build
+//! environment.
 
 #![warn(missing_docs)]
 
+pub use graphbig_json as json;
+
 pub mod chrome;
-pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod span;

@@ -148,9 +148,8 @@ mod tests {
 
     #[test]
     fn coloring_is_valid_on_random_graph() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(3);
+        use graphbig_datagen::rng::Rng;
+        let mut rng = Rng::seed_from_u64(3);
         let n = 300u64;
         let mut edges = Vec::new();
         for _ in 0..900 {

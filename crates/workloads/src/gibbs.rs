@@ -9,11 +9,10 @@
 //! posts the suite's lowest MPKI and DTLB penalty (Figures 6–7).
 
 use graphbig_datagen::bayes::{cpt_block_offset, BayesNet};
+use graphbig_datagen::rng::Rng;
 use graphbig_framework::property::{keys, Property};
 use graphbig_framework::trace::{addr_of, NullTracer, Tracer};
 use graphbig_framework::VertexId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Outcome of a Gibbs run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +34,7 @@ pub fn run(net: &mut BayesNet, sweeps: usize, seed: u64) -> GibbsResult {
 /// Traced Gibbs sampling: `sweeps` full passes over the variables; current
 /// states live in the `SAMPLE` property.
 pub fn run_t<T: Tracer>(net: &mut BayesNet, sweeps: usize, seed: u64, t: &mut T) -> GibbsResult {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let ids: Vec<VertexId> = net.graph.vertex_ids().to_vec();
     let mut samples = 0u64;
     let mut flips = 0u64;

@@ -200,9 +200,8 @@ mod tests {
 
     #[test]
     fn core_invariant_holds_on_random_graph() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(11);
+        use graphbig_datagen::rng::Rng;
+        let mut rng = Rng::seed_from_u64(11);
         let n = 120u64;
         let mut edges = Vec::new();
         for _ in 0..400 {

@@ -2,10 +2,10 @@
 //! Figure 4 use-case analysis.
 
 use graphbig_framework::ComputationType;
-use serde::{Deserialize, Serialize};
+use graphbig_json::{json_enum, json_struct_to};
 
 /// High-level workload grouping of Table 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadCategory {
     /// Fundamental traversal operations.
     GraphTraversal,
@@ -16,6 +16,13 @@ pub enum WorkloadCategory {
     /// Centrality-style social analysis.
     SocialAnalysis,
 }
+
+json_enum!(WorkloadCategory {
+    GraphTraversal,
+    GraphUpdate,
+    GraphAnalytics,
+    SocialAnalysis,
+});
 
 impl WorkloadCategory {
     /// Display name matching the paper.
@@ -30,7 +37,7 @@ impl WorkloadCategory {
 }
 
 /// The 13 GraphBIG CPU workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Workload {
     /// Breadth-first search.
     Bfs,
@@ -61,7 +68,7 @@ pub enum Workload {
 }
 
 /// Static description of one workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadMeta {
     /// The workload.
     pub workload: Workload,
@@ -80,6 +87,34 @@ pub struct WorkloadMeta {
     /// Algorithm reference as given in Section 4.2.
     pub algorithm: &'static str,
 }
+
+json_enum!(Workload {
+    Bfs,
+    Dfs,
+    GCons,
+    GUp,
+    TMorph,
+    SPath,
+    KCore,
+    CComp,
+    GColor,
+    Tc,
+    Gibbs,
+    DCentr,
+    BCentr,
+});
+
+// Encode-only: the `&'static str` name/algorithm columns come from the
+// compiled-in Table 4, so metadata is emitted but never parsed back.
+json_struct_to!(WorkloadMeta {
+    workload,
+    short_name,
+    category,
+    computation_type,
+    use_cases,
+    on_gpu,
+    algorithm
+});
 
 impl Workload {
     /// All 13 workloads in the paper's figure order.

@@ -161,9 +161,8 @@ mod tests {
 
     #[test]
     fn matches_bellman_ford_on_random_graph() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(5);
+        use graphbig_datagen::rng::Rng;
+        let mut rng = Rng::seed_from_u64(5);
         let mut g = PropertyGraph::new();
         let n = 200u64;
         for _ in 0..n {
@@ -173,7 +172,7 @@ mod tests {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
             if u != v {
-                g.add_edge(u, v, rng.gen_range(0.1..5.0)).unwrap();
+                g.add_edge(u, v, rng.gen_range(0.1f32..5.0)).unwrap();
             }
         }
         let reference = bellman_ford_reference(&g, 0);

@@ -195,9 +195,8 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_graph() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(99);
+        use graphbig_datagen::rng::Rng;
+        let mut rng = Rng::seed_from_u64(99);
         let n = 60u64;
         let mut edges = Vec::new();
         for _ in 0..250 {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Hermetic-build gate: the workspace must build, test, and resolve with
+# ZERO packages from outside the repository.
+#
+# Two checks:
+#   1. `cargo metadata` over the locked dependency graph: every resolved
+#      package must be a `graphbig*` workspace member (path dependency).
+#   2. A from-clean-target `cargo build --locked --offline` of every
+#      target (libs, bins, tests, benches, examples): proves nothing in
+#      the build needs the network or a pre-populated registry cache.
+#
+# Usage: scripts/check_hermetic.sh [--fast]
+#   --fast skips the clean-target rebuild (check 2) for quick local runs;
+#   CI always runs both.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> check 1: dependency closure is workspace-only"
+META="$(mktemp)"
+cargo metadata --format-version 1 --locked --offline > "$META"
+python3 - "$META" <<'PY'
+import json, sys
+meta = json.load(open(sys.argv[1]))
+workspace = set(meta["workspace_members"])
+bad = []
+for pkg in meta["packages"]:
+    name, version, source = pkg["name"], pkg["version"], pkg.get("source")
+    if pkg["id"] not in workspace:
+        bad.append("%s %s (source: %s)" % (name, version, source))
+    elif source is not None:
+        bad.append("%s %s resolved from %s" % (name, version, source))
+if bad:
+    print("non-workspace packages in the dependency graph:")
+    for b in bad:
+        print("  -", b)
+    sys.exit(1)
+print("OK: %d packages, all workspace members" % len(meta["packages"]))
+PY
+rm -f "$META"
+
+echo "==> cargo tree (for the log)"
+cargo tree --locked --offline --workspace --edges normal,build,dev --depth 1
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "==> check 2 skipped (--fast)"
+  echo "HERMETIC OK (fast)"
+  exit 0
+fi
+
+echo "==> check 2: offline build from a clean target directory"
+CLEAN_TARGET="$(mktemp -d)"
+trap 'rm -rf "$CLEAN_TARGET"' EXIT
+CARGO_TARGET_DIR="$CLEAN_TARGET" cargo build --locked --offline --workspace --all-targets
+
+echo "HERMETIC OK"

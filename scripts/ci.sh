@@ -1,27 +1,28 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build, test, lint, format.
+# Tier-1 CI gate: build, test, lint, format — fully offline.
 #
-# Usage: scripts/ci.sh [--offline]
-#   --offline is forwarded to every cargo invocation (vendored/patched
-#   dependency environments).
+# The workspace has no external dependencies (see
+# scripts/check_hermetic.sh), so every cargo invocation runs with
+# --locked --offline: CI fails if a registry dependency or an
+# out-of-date Cargo.lock ever sneaks in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OFFLINE=()
-if [[ "${1:-}" == "--offline" ]]; then
-  OFFLINE=(--offline)
-fi
+CARGO_FLAGS=(--locked --offline)
 
 echo "==> cargo build --release"
-cargo build "${OFFLINE[@]}" --workspace --release
+cargo build "${CARGO_FLAGS[@]}" --workspace --release
 
 echo "==> cargo test -q"
-cargo test "${OFFLINE[@]}" --workspace -q
+cargo test "${CARGO_FLAGS[@]}" --workspace -q
 
 echo "==> cargo clippy -D warnings"
-cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
+cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
+
+echo "==> hermetic dependency check"
+scripts/check_hermetic.sh --fast
 
 echo "CI OK"
