@@ -4,18 +4,8 @@
 use graphbig::datagen::bayes::{self, BayesConfig};
 use graphbig::prelude::*;
 use graphbig::workloads::{bcentr, ccomp, dcentr, gcolor, gibbs, kcore, tc};
+use graphbig_bench::harness::clone_graph;
 use graphbig_bench::timing::{black_box, Runner};
-
-fn clone_graph(g: &PropertyGraph) -> PropertyGraph {
-    let mut out = PropertyGraph::with_capacity(g.num_vertices());
-    for &id in g.vertex_ids() {
-        out.add_vertex_with_id(id).unwrap();
-    }
-    for (u, e) in g.arcs() {
-        out.add_edge(u, e.target, e.weight).unwrap();
-    }
-    out
-}
 
 fn main() {
     let base = Dataset::Ldbc.generate_with_vertices(4_000);

@@ -1,0 +1,83 @@
+//! Serving-path benchmarks of the concurrent query engine on LDBC-64k:
+//! per-query latency for each priority lane, plus a full closed-loop
+//! mixed-traffic replay (the `results/BENCH_engine.json` artifact).
+//!
+//! Before timing anything, one replay is verified query-by-query against
+//! the sequential oracle — a benchmark of wrong answers is worthless.
+
+use graphbig::engine::traffic::{
+    generate_requests, run_mix, sequential_digests, verify_against_oracle,
+};
+use graphbig::engine::{Engine, EngineConfig, MixSpec, Query};
+use graphbig::framework::csr::Csr;
+use graphbig::prelude::*;
+use graphbig::workloads::Workload;
+use graphbig_bench::timing::{black_box, Runner};
+
+fn main() {
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(1 << 16));
+    let engine = Engine::new(
+        EngineConfig {
+            executors: 2,
+            pool_threads: 4,
+            ..EngineConfig::default()
+        },
+        csr,
+    );
+    let spec = MixSpec {
+        seed: 42,
+        requests: 100,
+        clients: 4,
+        point_weight: 60,
+        traversal_weight: 25,
+        analytics_weight: 15,
+        deadline_ms: None,
+    };
+
+    // Correctness gate: one replay, every completed result bit-compared to
+    // the same queries run sequentially.
+    let report = run_mix(&engine, &spec);
+    let snapshot = engine.store().snapshot();
+    let queries = generate_requests(&spec, snapshot.graph().num_vertices() as u32);
+    let oracle = sequential_digests(snapshot.graph(), engine.pool(), &queries);
+    let checked = verify_against_oracle(&report, &oracle)
+        .expect("concurrent replay must match the sequential oracle");
+    eprintln!("oracle: {checked} results verified on LDBC-64k");
+
+    let mut r = Runner::new("engine_ldbc64k");
+    r.bench("point/degree", || {
+        let t = engine.submit(Query::Degree { vertex: 12_345 }).unwrap();
+        black_box(t.wait());
+    });
+    r.bench("point/khop2", || {
+        let t = engine
+            .submit(Query::KHop {
+                source: 4_321,
+                hops: 2,
+            })
+            .unwrap();
+        black_box(t.wait());
+    });
+    r.bench("traversal/bfs", || {
+        let t = engine
+            .submit(Query::Run {
+                workload: Workload::Bfs,
+                source: 7,
+            })
+            .unwrap();
+        black_box(t.wait());
+    });
+    r.bench("analytics/ccomp", || {
+        let t = engine
+            .submit(Query::Run {
+                workload: Workload::CComp,
+                source: 0,
+            })
+            .unwrap();
+        black_box(t.wait());
+    });
+    r.bench("mix/100req_4cli", || {
+        black_box(run_mix(&engine, &spec));
+    });
+    r.finish();
+}

@@ -1,39 +1,39 @@
 //! Wall-clock benchmarks of the parallel CPU variants against their
 //! sequential framework counterparts — the multi-threaded side of the
 //! paper's 16-core runs.
+//!
+//! Dispatch goes through [`service::run_service`], the same uniform entry
+//! point the query engine serves from: one [`ServiceGraph`] precomputes
+//! the directed/symmetric CSR views every kernel needs, instead of each
+//! bench re-deriving (and re-sorting) its own.
 
 use graphbig::framework::csr::Csr;
 use graphbig::prelude::*;
-use graphbig::workloads::parallel;
+use graphbig::runtime::CancelToken;
+use graphbig::workloads::service::{self, ServiceGraph};
+use graphbig::workloads::Workload;
 use graphbig_bench::timing::{black_box, Runner};
 
 fn main() {
     let g = Dataset::Ldbc.generate_with_vertices(10_000);
-    let csr = Csr::from_graph(&g);
-    let mut sym = csr.symmetrize();
-    sym.sort_adjacency();
+    let sg = ServiceGraph::build(Csr::from_graph(&g));
+    let never = CancelToken::never();
 
     let mut r = Runner::new("parallel");
     for threads in [1usize, 2, 4, 8] {
         let pool = ThreadPool::new(threads);
         r.bench(&format!("bfs_10k/{threads}"), || {
-            black_box(parallel::bfs(&pool, &csr, 0));
+            black_box(service::run_service(Workload::Bfs, &pool, &sg, 0, &never).unwrap());
         });
     }
 
-    for threads in [1usize, 4] {
-        let pool = ThreadPool::new(threads);
-        r.bench(&format!("tc_10k/{threads}"), || {
-            black_box(parallel::tc(&pool, &sym));
-        });
-    }
-
-    let s = csr.symmetrize();
-    for threads in [1usize, 4] {
-        let pool = ThreadPool::new(threads);
-        r.bench(&format!("ccomp_10k/{threads}"), || {
-            black_box(parallel::ccomp(&pool, &s));
-        });
+    for workload in [Workload::Tc, Workload::CComp] {
+        for threads in [1usize, 4] {
+            let pool = ThreadPool::new(threads);
+            r.bench(&format!("{}_10k/{threads}", workload.short_name()), || {
+                black_box(service::run_service(workload, &pool, &sg, 0, &never).unwrap());
+            });
+        }
     }
     r.finish();
 }

@@ -3,6 +3,7 @@
 
 use graphbig::prelude::*;
 use graphbig::workloads::{bfs, dfs, spath};
+use graphbig_bench::harness::clone_graph;
 use graphbig_bench::timing::{black_box, Runner};
 
 fn main() {
@@ -12,30 +13,19 @@ fn main() {
 
         r.bench_with_setup(
             &format!("bfs/{n}"),
-            || base_clone(&base),
+            || clone_graph(&base),
             |mut g| black_box(bfs::run(&mut g, 0)),
         );
         r.bench_with_setup(
             &format!("dfs/{n}"),
-            || base_clone(&base),
+            || clone_graph(&base),
             |mut g| black_box(dfs::run(&mut g, 0)),
         );
         r.bench_with_setup(
             &format!("spath/{n}"),
-            || base_clone(&base),
+            || clone_graph(&base),
             |mut g| black_box(spath::run(&mut g, 0)),
         );
     }
     r.finish();
-}
-
-fn base_clone(g: &PropertyGraph) -> PropertyGraph {
-    let mut out = PropertyGraph::with_capacity(g.num_vertices());
-    for &id in g.vertex_ids() {
-        out.add_vertex_with_id(id).unwrap();
-    }
-    for (u, e) in g.arcs() {
-        out.add_edge(u, e.target, e.weight).unwrap();
-    }
-    out
 }

@@ -1,8 +1,25 @@
 //! Shared command-line helpers for the figure/table binaries, and the
 //! [`Reporter`] every binary funnels its output through.
 
+use graphbig::framework::graph::PropertyGraph;
 use graphbig::profile::Table;
 use graphbig::telemetry::{self, RunManifest};
+
+/// Deep-copy a property graph (vertices, then arcs with weights).
+///
+/// The mutating sequential workloads consume their input, so the
+/// `bench_with_setup` benches rebuild a fresh graph per sample; this is the
+/// one shared copy helper instead of a private clone in every bench file.
+pub fn clone_graph(g: &PropertyGraph) -> PropertyGraph {
+    let mut out = PropertyGraph::with_capacity(g.num_vertices());
+    for &id in g.vertex_ids() {
+        out.add_vertex_with_id(id).unwrap();
+    }
+    for (u, e) in g.arcs() {
+        out.add_edge(u, e.target, e.weight).unwrap();
+    }
+    out
+}
 
 /// Parse `--scale <f64>` from argv; `default` otherwise.
 ///

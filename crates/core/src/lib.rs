@@ -13,6 +13,7 @@
 //! * [`simt`] — GPU model (warp divergence, coalescing, throughput)
 //! * [`runtime`] — thread pool, parallel-for, barrier
 //! * [`workloads`] — the 13 CPU workloads (Table 4)
+//! * [`engine`] — sharded, admission-controlled concurrent query engine
 //! * [`gpu`] — the 8 GPU workloads
 //! * [`profile`] — reports and paper reference values
 //! * [`telemetry`] — spans, metrics, run manifests (the `telemetry`
@@ -29,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub use graphbig_datagen as datagen;
+pub use graphbig_engine as engine;
 pub use graphbig_framework as framework;
 pub use graphbig_gpu as gpu;
 pub use graphbig_machine as machine;

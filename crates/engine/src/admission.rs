@@ -1,0 +1,251 @@
+//! Admission control: bounded queue depth plus an in-flight cost budget.
+//!
+//! Every query carries an abstract cost (see
+//! [`Workload::cost_estimate`](graphbig_workloads::Workload::cost_estimate));
+//! the controller admits it only while (a) the submission queue has room
+//! and (b) the admitted-but-unfinished cost stays under the budget.
+//! Rejection is synchronous and carries a typed [`RejectReason`], so an
+//! overloaded engine sheds load at the front door in microseconds instead
+//! of letting queues grow without bound — the difference between a p999
+//! and a timeout under the mixed traffic the serving benchmarks replay.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded submission queue is at capacity.
+    QueueFull {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// Configured capacity.
+        limit: usize,
+    },
+    /// Admitting this query would push in-flight cost over the budget.
+    CostBudget {
+        /// Cost already admitted and unfinished.
+        in_flight: u64,
+        /// This query's estimated cost.
+        requested: u64,
+        /// Configured budget.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, limit } => {
+                write!(f, "queue full ({depth}/{limit})")
+            }
+            RejectReason::CostBudget {
+                in_flight,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "cost budget exceeded ({in_flight} in flight + {requested} requested > {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// Lock-free admission state: queued-query count and admitted cost.
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_queue: usize,
+    max_cost: u64,
+    queued: AtomicUsize,
+    in_flight_cost: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller admitting at most `max_queue` waiting queries and
+    /// `max_cost` total in-flight cost.
+    pub fn new(max_queue: usize, max_cost: u64) -> Self {
+        AdmissionController {
+            max_queue: max_queue.max(1),
+            max_cost: max_cost.max(1),
+            queued: AtomicUsize::new(0),
+            in_flight_cost: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to admit a query of `cost`. On success the cost is reserved and
+    /// the queue slot taken; the caller must later pair this with
+    /// [`AdmissionController::on_start`] (when the query leaves the queue)
+    /// and [`AdmissionController::on_finish`] (when it completes or is
+    /// cancelled).
+    pub fn try_admit(&self, cost: u64) -> Result<(), RejectReason> {
+        // Reserve cost first via CAS so concurrent submitters never
+        // over-commit the budget.
+        let mut current = self.in_flight_cost.load(Ordering::Relaxed);
+        loop {
+            let proposed = current.saturating_add(cost);
+            if proposed > self.max_cost {
+                return Err(RejectReason::CostBudget {
+                    in_flight: current,
+                    requested: cost,
+                    limit: self.max_cost,
+                });
+            }
+            match self.in_flight_cost.compare_exchange_weak(
+                current,
+                proposed,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+        // Then take a queue slot, rolling back the cost on failure.
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed);
+        if depth >= self.max_queue {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            self.in_flight_cost.fetch_sub(cost, Ordering::Relaxed);
+            return Err(RejectReason::QueueFull {
+                depth,
+                limit: self.max_queue,
+            });
+        }
+        Ok(())
+    }
+
+    /// The query left the queue and began executing.
+    pub fn on_start(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The query finished (completed, cancelled, or deadline-missed):
+    /// release its reserved cost.
+    pub fn on_finish(&self, cost: u64) {
+        self.in_flight_cost.fetch_sub(cost, Ordering::Relaxed);
+    }
+
+    /// Queries currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Cost admitted and not yet finished.
+    pub fn in_flight_cost(&self) -> u64 {
+        self.in_flight_cost.load(Ordering::Relaxed)
+    }
+
+    /// Configured queue capacity.
+    pub fn max_queue(&self) -> usize {
+        self.max_queue
+    }
+
+    /// Configured cost budget.
+    pub fn max_cost(&self) -> u64 {
+        self.max_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_budget_rejects_and_rolls_back() {
+        let ac = AdmissionController::new(10, 100);
+        assert!(ac.try_admit(60).is_ok());
+        assert_eq!(ac.in_flight_cost(), 60);
+        match ac.try_admit(50) {
+            Err(RejectReason::CostBudget {
+                in_flight,
+                requested,
+                limit,
+            }) => {
+                assert_eq!((in_flight, requested, limit), (60, 50, 100));
+            }
+            other => panic!("expected cost rejection, got {other:?}"),
+        }
+        // Rejection must not leak reservations.
+        assert_eq!(ac.in_flight_cost(), 60);
+        assert_eq!(ac.queued(), 1);
+        // Finishing the first frees budget for the second.
+        ac.on_start();
+        ac.on_finish(60);
+        assert!(ac.try_admit(50).is_ok());
+        assert_eq!(ac.in_flight_cost(), 50);
+    }
+
+    #[test]
+    fn queue_full_rejects_and_rolls_back_cost() {
+        let ac = AdmissionController::new(2, 1_000_000);
+        assert!(ac.try_admit(1).is_ok());
+        assert!(ac.try_admit(1).is_ok());
+        match ac.try_admit(1) {
+            Err(RejectReason::QueueFull { depth, limit }) => {
+                assert_eq!((depth, limit), (2, 2));
+            }
+            other => panic!("expected queue rejection, got {other:?}"),
+        }
+        assert_eq!(ac.queued(), 2, "failed admit must release its slot");
+        assert_eq!(ac.in_flight_cost(), 2, "failed admit must release its cost");
+        // Draining the queue reopens it.
+        ac.on_start();
+        assert!(ac.try_admit(1).is_ok());
+    }
+
+    #[test]
+    fn lifecycle_accounting_balances() {
+        let ac = AdmissionController::new(4, 1000);
+        for _ in 0..3 {
+            ac.try_admit(100).unwrap();
+        }
+        assert_eq!((ac.queued(), ac.in_flight_cost()), (3, 300));
+        for _ in 0..3 {
+            ac.on_start();
+        }
+        assert_eq!((ac.queued(), ac.in_flight_cost()), (0, 300));
+        for _ in 0..3 {
+            ac.on_finish(100);
+        }
+        assert_eq!((ac.queued(), ac.in_flight_cost()), (0, 0));
+    }
+
+    #[test]
+    fn oversized_single_query_is_rejected_even_when_idle() {
+        let ac = AdmissionController::new(8, 100);
+        assert!(matches!(
+            ac.try_admit(101),
+            Err(RejectReason::CostBudget { in_flight: 0, .. })
+        ));
+        assert!(ac.try_admit(100).is_ok(), "exactly the budget fits");
+    }
+
+    #[test]
+    fn concurrent_admits_never_overcommit() {
+        use std::sync::Arc;
+        let ac = Arc::new(AdmissionController::new(1_000_000, 50));
+        let admitted: usize = (0..8)
+            .map(|_| {
+                let ac = Arc::clone(&ac);
+                std::thread::spawn(move || (0..100).filter(|_| ac.try_admit(10).is_ok()).count())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum();
+        assert_eq!(admitted, 5, "budget 50 admits exactly five cost-10 queries");
+        assert_eq!(ac.in_flight_cost(), 50);
+    }
+
+    #[test]
+    fn reject_reasons_render() {
+        let q = RejectReason::QueueFull { depth: 4, limit: 4 };
+        let c = RejectReason::CostBudget {
+            in_flight: 90,
+            requested: 20,
+            limit: 100,
+        };
+        assert_eq!(q.to_string(), "queue full (4/4)");
+        assert!(c.to_string().contains("90 in flight + 20 requested > 100"));
+    }
+}

@@ -1,0 +1,280 @@
+//! `graphbig-serve`: closed-loop serving benchmark for the query engine.
+//!
+//! Loads (or generates) a dataset, stands up an [`Engine`], replays a
+//! seeded multi-tenant request mix ([`MixSpec`]) closed-loop, and reports
+//! throughput plus per-class p50/p99/p999 latency. With `--oracle` every
+//! completed concurrent result is cross-checked against the same queries
+//! run sequentially; any mismatch exits non-zero.
+//!
+//! ```text
+//! graphbig-serve --vertices 65536 --clients 4 --requests 400 --oracle \
+//!     --emit results/engine_run.json
+//! graphbig-serve --mix traffic/smoke_200.json --oracle --quiet
+//! ```
+//!
+//! Flags: `--dataset <short-name>` (default `ldbc`), `--vertices N`,
+//! `--mix <path>` (a [`MixSpec`] JSON file; overrides the request-shape
+//! flags), `--requests`, `--clients`, `--seed`, `--point-weight`,
+//! `--traversal-weight`, `--analytics-weight`, `--deadline-ms`,
+//! `--executors`, `--pool-threads`, `--queue-capacity`, `--cost-budget`
+//! (0 = unlimited), `--shards`, `--oracle`, `--emit <path>`, `--quiet`.
+//!
+//! This binary intentionally does not depend on `graphbig-bench` (which
+//! depends on the engine through `graphbig`), so it carries its own tiny
+//! flag parsing and builds the [`RunManifest`] directly.
+
+use std::process::ExitCode;
+
+use graphbig_datagen::Dataset;
+use graphbig_engine::traffic::{
+    generate_requests, run_mix, sequential_digests, verify_against_oracle,
+};
+use graphbig_engine::{Engine, EngineConfig, MixSpec, TrafficReport};
+use graphbig_framework::csr::Csr;
+use graphbig_telemetry::{self as telemetry, MetricSink, RunManifest, TableData};
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parsed_arg<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    arg_value(flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+fn load_mix() -> Result<MixSpec, String> {
+    if let Some(path) = arg_value("--mix") {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read mix file {path}: {e}"))?;
+        return graphbig_json::from_str(&text)
+            .map_err(|e| format!("cannot parse mix file {path}: {e}"));
+    }
+    let defaults = MixSpec::default();
+    Ok(MixSpec {
+        seed: parsed_arg("--seed", defaults.seed),
+        requests: parsed_arg("--requests", defaults.requests),
+        clients: parsed_arg("--clients", defaults.clients),
+        point_weight: parsed_arg("--point-weight", defaults.point_weight),
+        traversal_weight: parsed_arg("--traversal-weight", defaults.traversal_weight),
+        analytics_weight: parsed_arg("--analytics-weight", defaults.analytics_weight),
+        deadline_ms: arg_value("--deadline-ms").and_then(|v| v.parse().ok()),
+    })
+}
+
+fn latency_table(report: &TrafficReport) -> TableData {
+    TableData {
+        title: "Traffic mix latency by class".into(),
+        headers: [
+            "class",
+            "completed",
+            "missed",
+            "cancelled",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "max_us",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: report
+            .classes
+            .iter()
+            .map(|c| {
+                vec![
+                    c.class.name().to_string(),
+                    c.completed.to_string(),
+                    c.deadline_missed.to_string(),
+                    c.cancelled.to_string(),
+                    c.p50_us.to_string(),
+                    c.p99_us.to_string(),
+                    c.p999_us.to_string(),
+                    c.max_us.to_string(),
+                ]
+            })
+            .collect(),
+    }
+}
+
+fn render(table: &TableData) -> String {
+    let mut widths: Vec<usize> = table.headers.iter().map(String::len).collect();
+    for row in &table.rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = format!("{}\n", table.title);
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(&table.headers));
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    telemetry::enable();
+    let quiet = has_flag("--quiet");
+    let dataset_name = arg_value("--dataset").unwrap_or_else(|| "ldbc".to_string());
+    let Some(dataset) = Dataset::ALL
+        .iter()
+        .copied()
+        .find(|d| d.short_name() == dataset_name)
+    else {
+        eprintln!(
+            "error: unknown dataset {dataset_name}; known: {}",
+            Dataset::ALL
+                .iter()
+                .map(|d| d.short_name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let vertices: usize = parsed_arg("--vertices", 1usize << 16);
+    let spec = match load_mix() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cost_budget: u64 = parsed_arg("--cost-budget", 0u64);
+    let cfg = EngineConfig {
+        executors: parsed_arg("--executors", 2usize),
+        pool_threads: parsed_arg("--pool-threads", 4usize),
+        queue_capacity: parsed_arg("--queue-capacity", 64usize),
+        cost_budget: if cost_budget == 0 {
+            u64::MAX
+        } else {
+            cost_budget
+        },
+        default_deadline: None,
+        shards: parsed_arg("--shards", 8usize),
+    };
+
+    if !quiet {
+        eprintln!("generating {dataset_name} with {vertices} vertices...");
+    }
+    let csr = Csr::from_graph(&dataset.generate_with_vertices(vertices));
+    let engine = Engine::new(cfg.clone(), csr);
+    if !quiet {
+        eprintln!(
+            "serving {} requests from {} clients (weights {}/{}/{}, deadline {:?} ms)...",
+            spec.requests,
+            spec.clients,
+            spec.point_weight,
+            spec.traversal_weight,
+            spec.analytics_weight,
+            spec.deadline_ms
+        );
+    }
+    let report = run_mix(&engine, &spec);
+
+    let mut oracle_checked = None;
+    if has_flag("--oracle") {
+        let snapshot = engine.store().snapshot();
+        let queries = generate_requests(&spec, snapshot.graph().num_vertices() as u32);
+        let oracle = sequential_digests(snapshot.graph(), engine.pool(), &queries);
+        match verify_against_oracle(&report, &oracle) {
+            Ok(checked) => {
+                oracle_checked = Some(checked);
+                if !quiet {
+                    eprintln!("oracle: {checked} completed results verified bit-identical");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: oracle mismatch: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let table = latency_table(&report);
+    if !quiet {
+        println!("{}", render(&table));
+        println!(
+            "admitted {}/{} (queue-full {}, cost-budget {}), {:.0} completed/s over {:.1} ms",
+            report.admitted,
+            report.total_requests,
+            report.rejected_queue_full,
+            report.rejected_cost_budget,
+            report.throughput_rps,
+            report.wall_us as f64 / 1000.0
+        );
+    }
+
+    if let Some(path) = arg_value("--emit") {
+        let mut manifest = RunManifest::new("graphbig-serve");
+        manifest.dataset = Some(dataset_name.clone());
+        manifest.threads = cfg.pool_threads as u64;
+        manifest.features = telemetry::compiled_features();
+        manifest.param("vertices", vertices);
+        manifest.param("seed", spec.seed);
+        manifest.param("requests", spec.requests);
+        manifest.param("clients", spec.clients);
+        manifest.param(
+            "weights",
+            format!(
+                "{}/{}/{}",
+                spec.point_weight, spec.traversal_weight, spec.analytics_weight
+            ),
+        );
+        manifest.param(
+            "deadline_ms",
+            spec.deadline_ms
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "none".into()),
+        );
+        manifest.param("executors", cfg.executors);
+        manifest.param("queue_capacity", cfg.queue_capacity);
+        manifest.param("cost_budget", cost_budget);
+        manifest.param("shards", cfg.shards);
+        manifest.param(
+            "oracle_checked",
+            oracle_checked
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "off".into()),
+        );
+        for class in &report.classes {
+            let name = class.class.name();
+            manifest.gauge(&format!("engine.p50_us.{name}"), class.p50_us as f64);
+            manifest.gauge(&format!("engine.p99_us.{name}"), class.p99_us as f64);
+            manifest.gauge(&format!("engine.p999_us.{name}"), class.p999_us as f64);
+        }
+        manifest.gauge("engine.throughput_rps", report.throughput_rps);
+        manifest.gauge("engine.wall_us", report.wall_us as f64);
+        engine.pool().export_metrics(&mut manifest);
+        for (name, value) in telemetry::metrics::global().snapshot() {
+            manifest.metrics.entry(name).or_insert(value);
+        }
+        manifest.absorb_trace(&telemetry::take_trace());
+        manifest.tables.push(table);
+        if let Err(e) = manifest.write_to(&path) {
+            eprintln!("error: cannot write manifest to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("run manifest written to {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,728 @@
+//! The concurrent query engine: priority lanes, executors, deadlines.
+//!
+//! Submission is synchronous admission control ([`Engine::submit`] returns
+//! `Err(RejectReason)` immediately when over budget); admitted queries park
+//! in one of three priority lanes (point < traversal < analytics, served
+//! cheapest-first so point lookups never wait behind an analytics run) and
+//! a small crew of executor threads drains them. Heavy kernels run on one
+//! shared [`ThreadPool`] — the pool's per-worker channels serialize
+//! concurrent broadcasts from different executors, so analytics queries
+//! interleave at parallel-region granularity instead of fighting over
+//! threads. Every query gets a [`CancelToken`] (optionally carrying a
+//! deadline); kernels poll it at superstep boundaries, so a deadline miss
+//! cancels the query instead of completing it late.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use graphbig_framework::csr::Csr;
+use graphbig_runtime::{CancelToken, ThreadPool};
+use graphbig_telemetry::metrics::{Counter, Histogram, Registry};
+use graphbig_workloads::service::{self, ServiceError, ServiceOutput};
+use graphbig_workloads::{CostClass, Workload};
+
+use crate::admission::{AdmissionController, RejectReason};
+use crate::shard::ShardedGraph;
+use crate::store::{EpochSnapshot, GraphStore};
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Executor threads draining the lanes (each runs point queries inline
+    /// and drives pool-parallel kernels for the heavy classes).
+    pub executors: usize,
+    /// Workers in the shared kernel thread pool.
+    pub pool_threads: usize,
+    /// Bounded submission-queue capacity (across all lanes).
+    pub queue_capacity: usize,
+    /// In-flight cost budget (units of [`Workload::cost_estimate`]).
+    pub cost_budget: u64,
+    /// Deadline applied by [`Engine::submit`] when the caller sets none.
+    pub default_deadline: Option<Duration>,
+    /// Shard count for the graph store's partitions.
+    pub shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            executors: 2,
+            pool_threads: 4,
+            queue_capacity: 64,
+            cost_budget: u64::MAX,
+            default_deadline: None,
+            shards: 8,
+        }
+    }
+}
+
+/// One query against the current epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Point lookup: (out-degree, in-degree) of a vertex.
+    Degree {
+        /// Dense vertex id.
+        vertex: u32,
+    },
+    /// Point lookup: distinct vertices within `hops` steps of `source`.
+    KHop {
+        /// Dense root vertex id.
+        source: u32,
+        /// Maximum traversal depth.
+        hops: u32,
+    },
+    /// A registry workload through [`service::run_service`].
+    Run {
+        /// The workload to execute.
+        workload: Workload,
+        /// Root vertex for traversal-rooted kernels (ignored by others).
+        source: u32,
+    },
+}
+
+impl Query {
+    /// The priority lane / latency class this query bills to.
+    pub fn class(&self) -> CostClass {
+        match self {
+            Query::Degree { .. } | Query::KHop { .. } => CostClass::Point,
+            Query::Run { workload, .. } => workload.cost_class(),
+        }
+    }
+
+    /// Abstract admission cost on a graph with `n` vertices and `m` edges.
+    pub fn cost(&self, n: u64, m: u64) -> u64 {
+        match self {
+            Query::Degree { .. } => 1,
+            Query::KHop { hops, .. } => {
+                // Expected neighborhood size: avg-degree^hops, capped at
+                // one full traversal.
+                let avg = (m / n.max(1)).max(1);
+                avg.saturating_pow((*hops).min(8))
+                    .min(n.saturating_add(m))
+                    .max(1)
+            }
+            Query::Run { workload, .. } => workload.cost_estimate(n, m),
+        }
+    }
+}
+
+/// Successful payload of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// Out/in degree of the requested vertex (zeros when out of range).
+    Degree {
+        /// Out-degree.
+        out: u32,
+        /// In-degree.
+        inc: u32,
+    },
+    /// Distinct vertices within the requested hop bound.
+    KHop(u64),
+    /// A workload kernel's typed output.
+    Workload(ServiceOutput),
+}
+
+impl QueryOutput {
+    /// Comparable 64-bit fingerprint (see [`ServiceOutput::digest`]).
+    pub fn digest(&self) -> u64 {
+        match self {
+            QueryOutput::Degree { out, inc } => {
+                0x9e37_79b9_7f4a_7c15u64 ^ ((*out as u64) << 32 | *inc as u64)
+            }
+            QueryOutput::KHop(c) => 0x2545_f491_4f6c_dd1du64 ^ c,
+            QueryOutput::Workload(o) => o.digest(),
+        }
+    }
+}
+
+/// Terminal state of an admitted query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryStatus {
+    /// Ran to completion.
+    Completed(QueryOutput),
+    /// The deadline passed before or during execution; partial work was
+    /// abandoned, never returned.
+    DeadlineExceeded,
+    /// Explicitly cancelled (or shed during engine shutdown).
+    Cancelled,
+    /// The workload has no serving entry point.
+    Unsupported(Workload),
+}
+
+/// What the engine hands back for one admitted query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// Epoch the query ran (or would have run) against.
+    pub epoch: u64,
+    /// Latency class it billed to.
+    pub class: CostClass,
+    /// Terminal status.
+    pub status: QueryStatus,
+    /// Microseconds spent queued before an executor picked it up.
+    pub queue_us: u64,
+    /// Microseconds spent executing (0 if never started).
+    pub exec_us: u64,
+}
+
+/// Handle to one admitted query.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<QueryResponse>,
+    token: CancelToken,
+}
+
+impl Ticket {
+    /// Request cancellation; the query's kernel observes it at its next
+    /// superstep boundary.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Block until the engine responds. Every admitted query receives
+    /// exactly one response, even across engine shutdown.
+    pub fn wait(self) -> QueryResponse {
+        self.rx.recv().expect("engine always responds to a ticket")
+    }
+}
+
+struct Job {
+    query: Query,
+    class: CostClass,
+    cost: u64,
+    snapshot: Arc<EpochSnapshot>,
+    token: CancelToken,
+    enqueued: Instant,
+    tx: Sender<QueryResponse>,
+}
+
+struct Lanes {
+    queues: [VecDeque<Job>; 3],
+    shutdown: bool,
+}
+
+impl Lanes {
+    fn pop(&mut self) -> Option<Job> {
+        self.queues.iter_mut().find_map(|q| q.pop_front())
+    }
+}
+
+struct Shared {
+    lanes: Mutex<Lanes>,
+    available: Condvar,
+    admission: AdmissionController,
+}
+
+fn lock(m: &Mutex<Lanes>) -> MutexGuard<'_, Lanes> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Per-class and engine-wide metric handles, created eagerly in
+/// [`Engine::with_registry`] so every run manifest carries the same metric
+/// key set regardless of which events actually occurred (the golden
+/// structural check depends on this).
+#[derive(Clone)]
+struct EngineMetrics {
+    submitted: Counter,
+    rejected_queue: Counter,
+    rejected_cost: Counter,
+    deadline_missed: Counter,
+    cancelled: Counter,
+    unsupported: Counter,
+    completed: [Counter; 3],
+    latency_us: [Histogram; 3],
+    queue_us: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(reg: &Registry) -> Self {
+        let class_counter = |c: CostClass| reg.counter(&format!("engine.completed.{}", c.name()));
+        let class_hist = |c: CostClass| reg.histogram(&format!("engine.latency_us.{}", c.name()));
+        EngineMetrics {
+            submitted: reg.counter("engine.submitted"),
+            rejected_queue: reg.counter("engine.rejected.queue_full"),
+            rejected_cost: reg.counter("engine.rejected.cost_budget"),
+            deadline_missed: reg.counter("engine.deadline_missed"),
+            cancelled: reg.counter("engine.cancelled"),
+            unsupported: reg.counter("engine.unsupported"),
+            completed: [
+                class_counter(CostClass::Point),
+                class_counter(CostClass::Traversal),
+                class_counter(CostClass::Analytics),
+            ],
+            latency_us: [
+                class_hist(CostClass::Point),
+                class_hist(CostClass::Traversal),
+                class_hist(CostClass::Analytics),
+            ],
+            queue_us: reg.histogram("engine.queue_us"),
+        }
+    }
+}
+
+fn lane(class: CostClass) -> usize {
+    match class {
+        CostClass::Point => 0,
+        CostClass::Traversal => 1,
+        CostClass::Analytics => 2,
+    }
+}
+
+/// The serving engine: graph store + admission + executors.
+pub struct Engine {
+    store: GraphStore,
+    pool: Arc<ThreadPool>,
+    shared: Arc<Shared>,
+    metrics: EngineMetrics,
+    default_deadline: Option<Duration>,
+    shards: usize,
+    executors: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// An engine serving `csr` with metrics in the process-wide registry.
+    pub fn new(cfg: EngineConfig, csr: Csr) -> Self {
+        Self::with_registry(cfg, csr, graphbig_telemetry::metrics::global())
+    }
+
+    /// An engine with metrics in a caller-owned registry (tests, benches).
+    pub fn with_registry(cfg: EngineConfig, csr: Csr, reg: &Registry) -> Self {
+        let graph = ShardedGraph::build(csr, cfg.shards);
+        let store = GraphStore::new(graph);
+        let pool = Arc::new(ThreadPool::new(cfg.pool_threads));
+        let shared = Arc::new(Shared {
+            lanes: Mutex::new(Lanes {
+                queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            admission: AdmissionController::new(cfg.queue_capacity, cfg.cost_budget),
+        });
+        let metrics = EngineMetrics::new(reg);
+        let executors = (0..cfg.executors.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let pool = Arc::clone(&pool);
+                let metrics = metrics.clone();
+                std::thread::Builder::new()
+                    .name(format!("graphbig-executor-{i}"))
+                    .spawn(move || executor_loop(&shared, &pool, &metrics))
+                    .expect("spawn executor thread")
+            })
+            .collect();
+        Engine {
+            store,
+            pool,
+            shared,
+            metrics,
+            default_deadline: cfg.default_deadline,
+            shards: cfg.shards,
+            executors,
+        }
+    }
+
+    /// Submit with the configured default deadline (if any).
+    pub fn submit(&self, query: Query) -> Result<Ticket, RejectReason> {
+        self.submit_with_deadline(query, self.default_deadline)
+    }
+
+    /// Submit with an explicit per-query deadline (`None` = no deadline).
+    /// Returns synchronously with a rejection when admission fails.
+    pub fn submit_with_deadline(
+        &self,
+        query: Query,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, RejectReason> {
+        let snapshot = self.store.snapshot();
+        let (n, m) = (
+            snapshot.graph().num_vertices() as u64,
+            snapshot.graph().num_edges() as u64,
+        );
+        let class = query.class();
+        let cost = query.cost(n, m);
+        if let Err(reason) = self.shared.admission.try_admit(cost) {
+            match reason {
+                RejectReason::QueueFull { .. } => self.metrics.rejected_queue.inc(),
+                RejectReason::CostBudget { .. } => self.metrics.rejected_cost.inc(),
+            }
+            return Err(reason);
+        }
+        self.metrics.submitted.inc();
+        let token = match deadline {
+            Some(d) => CancelToken::with_timeout(d),
+            None => CancelToken::new(),
+        };
+        let (tx, rx) = channel();
+        let job = Job {
+            query,
+            class,
+            cost,
+            snapshot,
+            token: token.clone(),
+            enqueued: Instant::now(),
+            tx,
+        };
+        lock(&self.shared.lanes).queues[lane(class)].push_back(job);
+        self.shared.available.notify_one();
+        Ok(Ticket { rx, token })
+    }
+
+    /// Publish a new graph as the next epoch (resharded with the engine's
+    /// shard count). In-flight queries keep the epoch they were admitted
+    /// under.
+    pub fn publish(&self, csr: Csr) -> u64 {
+        self.store.publish(ShardedGraph::build(csr, self.shards))
+    }
+
+    /// The epoch store (snapshots, epoch numbers, byte-level publish).
+    pub fn store(&self) -> &GraphStore {
+        &self.store
+    }
+
+    /// The shared kernel pool (the sequential oracle reuses it so engine
+    /// and oracle run the exact same kernel configuration).
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// The admission controller's live counters.
+    pub fn admission(&self) -> &AdmissionController {
+        &self.shared.admission
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        {
+            let mut lanes = lock(&self.shared.lanes);
+            lanes.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics) {
+    loop {
+        let (job, draining) = {
+            let mut lanes = lock(&shared.lanes);
+            loop {
+                if let Some(j) = lanes.pop() {
+                    break (Some(j), lanes.shutdown);
+                }
+                if lanes.shutdown {
+                    break (None, true);
+                }
+                lanes = shared
+                    .available
+                    .wait(lanes)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+        shared.admission.on_start();
+        let queue_us = job.enqueued.elapsed().as_micros() as u64;
+        metrics.queue_us.record(queue_us);
+        let lane_idx = lane(job.class);
+        let exec_start = Instant::now();
+        let status = if draining {
+            // Engine shutting down: shed the query without running it.
+            QueryStatus::Cancelled
+        } else if job.token.is_cancelled() {
+            // Fired while queued — never start doomed work.
+            if job.token.deadline_passed() {
+                QueryStatus::DeadlineExceeded
+            } else {
+                QueryStatus::Cancelled
+            }
+        } else {
+            run_query(&job, pool)
+        };
+        let exec_us = exec_start.elapsed().as_micros() as u64;
+        match &status {
+            QueryStatus::Completed(_) => {
+                metrics.completed[lane_idx].inc();
+                metrics.latency_us[lane_idx].record(queue_us + exec_us);
+            }
+            QueryStatus::DeadlineExceeded => metrics.deadline_missed.inc(),
+            QueryStatus::Cancelled => metrics.cancelled.inc(),
+            QueryStatus::Unsupported(_) => metrics.unsupported.inc(),
+        }
+        shared.admission.on_finish(job.cost);
+        let response = QueryResponse {
+            epoch: job.snapshot.epoch(),
+            class: job.class,
+            status,
+            queue_us,
+            exec_us,
+        };
+        // A dropped ticket just means nobody is waiting; not an error.
+        let _ = job.tx.send(response);
+    }
+}
+
+fn run_query(job: &Job, pool: &ThreadPool) -> QueryStatus {
+    let graph = job.snapshot.graph();
+    match job.query {
+        // Point queries run inline on the executor thread: waking the pool
+        // would cost more than the lookup.
+        Query::Degree { vertex } => {
+            let (out, inc) = graph.degree(vertex).unwrap_or((0, 0));
+            QueryStatus::Completed(QueryOutput::Degree { out, inc })
+        }
+        Query::KHop { source, hops } => {
+            QueryStatus::Completed(QueryOutput::KHop(graph.k_hop(source, hops)))
+        }
+        Query::Run { workload, source } => {
+            match service::run_service(workload, pool, graph.service(), source, &job.token) {
+                Ok(output) => QueryStatus::Completed(QueryOutput::Workload(output)),
+                Err(ServiceError::Cancelled) => {
+                    if job.token.deadline_passed() {
+                        QueryStatus::DeadlineExceeded
+                    } else {
+                        QueryStatus::Cancelled
+                    }
+                }
+                Err(ServiceError::Unsupported(w)) => QueryStatus::Unsupported(w),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphbig_datagen::Dataset;
+
+    fn csr(n: usize) -> Csr {
+        Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(n))
+    }
+
+    fn quiet_cfg() -> EngineConfig {
+        EngineConfig {
+            pool_threads: 2,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn point_and_analytics_queries_complete() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(quiet_cfg(), csr(200), &reg);
+        let t1 = engine.submit(Query::Degree { vertex: 0 }).unwrap();
+        let t2 = engine
+            .submit(Query::Run {
+                workload: Workload::CComp,
+                source: 0,
+            })
+            .unwrap();
+        let r1 = t1.wait();
+        let r2 = t2.wait();
+        assert_eq!(r1.epoch, 1);
+        assert_eq!(r1.class, CostClass::Point);
+        assert!(matches!(
+            r1.status,
+            QueryStatus::Completed(QueryOutput::Degree { .. })
+        ));
+        assert_eq!(r2.class, CostClass::Analytics);
+        assert!(matches!(
+            r2.status,
+            QueryStatus::Completed(QueryOutput::Workload(ServiceOutput::Labels(_)))
+        ));
+        let snap = reg.snapshot();
+        use graphbig_telemetry::MetricValue;
+        assert_eq!(snap["engine.submitted"], MetricValue::Counter(2));
+        assert_eq!(snap["engine.completed.point"], MetricValue::Counter(1));
+        assert_eq!(snap["engine.completed.analytics"], MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn cost_budget_rejection_is_synchronous_and_counted() {
+        let reg = Registry::new();
+        let cfg = EngineConfig {
+            cost_budget: 1, // only Degree-class queries fit
+            ..quiet_cfg()
+        };
+        let engine = Engine::with_registry(cfg, csr(100), &reg);
+        let err = engine
+            .submit(Query::Run {
+                workload: Workload::KCore,
+                source: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, RejectReason::CostBudget { .. }), "{err}");
+        // A cost-1 point query still gets through.
+        let t = engine.submit(Query::Degree { vertex: 1 }).unwrap();
+        assert!(matches!(t.wait().status, QueryStatus::Completed(_)));
+        let snap = reg.snapshot();
+        use graphbig_telemetry::MetricValue;
+        assert_eq!(snap["engine.rejected.cost_budget"], MetricValue::Counter(1));
+        assert_eq!(snap["engine.submitted"], MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_instead_of_completing() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(quiet_cfg(), csr(300), &reg);
+        let t = engine
+            .submit_with_deadline(
+                Query::Run {
+                    workload: Workload::CComp,
+                    source: 0,
+                },
+                Some(Duration::ZERO),
+            )
+            .unwrap();
+        let r = t.wait();
+        assert_eq!(r.status, QueryStatus::DeadlineExceeded);
+        use graphbig_telemetry::MetricValue;
+        assert_eq!(
+            reg.snapshot()["engine.deadline_missed"],
+            MetricValue::Counter(1)
+        );
+        // Budget is released even for missed queries.
+        assert_eq!(engine.admission().in_flight_cost(), 0);
+    }
+
+    #[test]
+    fn explicit_cancel_reports_cancelled() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(quiet_cfg(), csr(100), &reg);
+        let t = engine
+            .submit(Query::Run {
+                workload: Workload::SPath,
+                source: 0,
+            })
+            .unwrap();
+        t.cancel();
+        let r = t.wait();
+        // Depending on timing the cancel lands before or during execution;
+        // either way the query must not complete... unless it already
+        // finished before the cancel arrived, which tiny graphs allow.
+        match r.status {
+            QueryStatus::Cancelled | QueryStatus::Completed(_) => {}
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_workload_is_reported_not_hung() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(quiet_cfg(), csr(50), &reg);
+        let t = engine
+            .submit(Query::Run {
+                workload: Workload::Gibbs,
+                source: 0,
+            })
+            .unwrap();
+        assert_eq!(t.wait().status, QueryStatus::Unsupported(Workload::Gibbs));
+    }
+
+    #[test]
+    fn publish_moves_new_queries_to_new_epoch() {
+        let engine = Engine::with_registry(quiet_cfg(), csr(64), &Registry::new());
+        let t1 = engine.submit(Query::Degree { vertex: 0 }).unwrap();
+        assert_eq!(engine.publish(csr(128)), 2);
+        let t2 = engine.submit(Query::Degree { vertex: 0 }).unwrap();
+        assert_eq!(t1.wait().epoch, 1);
+        assert_eq!(t2.wait().epoch, 2);
+    }
+
+    #[test]
+    fn accounting_balances_after_mixed_load() {
+        let reg = Registry::new();
+        let cfg = EngineConfig {
+            queue_capacity: 4,
+            ..quiet_cfg()
+        };
+        let engine = Engine::with_registry(cfg, csr(150), &reg);
+        let mut tickets = Vec::new();
+        let mut sent = 0u64;
+        let mut rejected = 0u64;
+        for i in 0..50u32 {
+            let q = match i % 3 {
+                0 => Query::Degree { vertex: i % 150 },
+                1 => Query::KHop {
+                    source: i % 150,
+                    hops: 2,
+                },
+                _ => Query::Run {
+                    workload: Workload::CComp,
+                    source: 0,
+                },
+            };
+            match engine.submit(q) {
+                Ok(t) => {
+                    sent += 1;
+                    tickets.push(t);
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+        let responses: Vec<QueryResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(responses.len() as u64, sent);
+        assert_eq!(sent + rejected, 50);
+        assert_eq!(engine.admission().in_flight_cost(), 0);
+        assert_eq!(engine.admission().queued(), 0);
+        let completed = responses
+            .iter()
+            .filter(|r| matches!(r.status, QueryStatus::Completed(_)))
+            .count() as u64;
+        assert_eq!(completed, sent, "no deadline was set, all must complete");
+    }
+
+    #[test]
+    fn shutdown_sheds_queued_queries_with_responses() {
+        let reg = Registry::new();
+        let cfg = EngineConfig {
+            executors: 1,
+            pool_threads: 1,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::with_registry(cfg, csr(400), &reg);
+        // Stack up slow analytics; drop the engine before they all run.
+        let tickets: Vec<Ticket> = (0..8)
+            .filter_map(|_| {
+                engine
+                    .submit(Query::Run {
+                        workload: Workload::KCore,
+                        source: 0,
+                    })
+                    .ok()
+            })
+            .collect();
+        drop(engine);
+        for t in tickets {
+            let r = t.wait();
+            assert!(
+                matches!(r.status, QueryStatus::Completed(_) | QueryStatus::Cancelled),
+                "shutdown must complete or shed, got {:?}",
+                r.status
+            );
+        }
+    }
+
+    #[test]
+    fn query_cost_scales_with_class() {
+        let (n, m) = (1000u64, 8000u64);
+        let degree = Query::Degree { vertex: 0 }.cost(n, m);
+        let khop = Query::KHop { source: 0, hops: 2 }.cost(n, m);
+        let bfs = Query::Run {
+            workload: Workload::Bfs,
+            source: 0,
+        }
+        .cost(n, m);
+        let heavy = Query::Run {
+            workload: Workload::CComp,
+            source: 0,
+        }
+        .cost(n, m);
+        assert_eq!(degree, 1);
+        assert!(degree <= khop && khop <= bfs && bfs < heavy);
+    }
+}

@@ -1,0 +1,35 @@
+//! A sharded, admission-controlled graph query engine.
+//!
+//! GraphBIG frames graph *serving* — many concurrent queries of wildly
+//! different cost hitting one graph — as a first-class industrial use case
+//! alongside offline analytics. This crate reproduces that setting on the
+//! GraphBIG-RS stack:
+//!
+//! - [`shard`]: degree-balanced partitioning of a CSR snapshot into
+//!   contiguous [`CsrShard`]s with per-shard stats, plus the point queries
+//!   (degree, k-hop) that run against a single shard window.
+//! - [`store`]: the epoch-versioned [`GraphStore`] — queries pin an
+//!   immutable `Arc<EpochSnapshot>` while a writer publishes new epochs.
+//! - [`admission`]: bounded queue + in-flight cost budget with typed,
+//!   synchronous [`RejectReason`]s.
+//! - [`engine`]: the [`Engine`] itself — priority lanes (point queries
+//!   never queue behind analytics), executor threads over one shared
+//!   kernel pool, cooperative deadlines/cancellation, per-class latency
+//!   metrics in the telemetry registry.
+//! - [`traffic`]: seeded multi-tenant request mixes, the closed-loop
+//!   driver behind the `graphbig-serve` binary and `benches/engine.rs`,
+//!   and the sequential oracle that cross-checks every concurrent result.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod engine;
+pub mod shard;
+pub mod store;
+pub mod traffic;
+
+pub use admission::{AdmissionController, RejectReason};
+pub use engine::{Engine, EngineConfig, Query, QueryOutput, QueryResponse, QueryStatus, Ticket};
+pub use shard::{CsrShard, ShardedGraph};
+pub use store::{EpochSnapshot, GraphStore};
+pub use traffic::{MixSpec, TrafficReport};

@@ -1,0 +1,495 @@
+//! Seeded multi-tenant traffic mixes and the closed-loop driver.
+//!
+//! A [`MixSpec`] describes a reproducible request stream: a seed, a request
+//! count, a client count, and per-class weights. [`generate_requests`]
+//! expands it into a concrete query list (one deterministic PRNG stream,
+//! independent of how many clients later replay it), and [`run_mix`]
+//! replays that list closed-loop — each client thread submits its share in
+//! order and waits for every response before sending the next — collecting
+//! exact per-class p50/p99/p999 latencies into a [`TrafficReport`].
+//!
+//! Correctness is never sampled away: [`sequential_digests`] runs the same
+//! query list one at a time (no concurrency, no deadlines) and
+//! [`verify_against_oracle`] demands every concurrently *completed* result
+//! be bit-identical to its sequential twin.
+
+use std::time::{Duration, Instant};
+
+use graphbig_datagen::rng::Rng;
+use graphbig_json::json_struct;
+use graphbig_runtime::{CancelToken, ThreadPool};
+use graphbig_workloads::service::{self, ServiceError};
+use graphbig_workloads::{CostClass, Workload};
+
+use crate::engine::{Engine, Query, QueryOutput, QueryResponse, QueryStatus};
+use crate::shard::ShardedGraph;
+
+/// A reproducible multi-tenant request mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixSpec {
+    /// PRNG seed; the request list is a pure function of `(seed, requests,
+    /// weights, n)`.
+    pub seed: u64,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Closed-loop client threads replaying the stream.
+    pub clients: usize,
+    /// Relative weight of point queries (degree, k-hop).
+    pub point_weight: u32,
+    /// Relative weight of traversal queries (BFS).
+    pub traversal_weight: u32,
+    /// Relative weight of analytics queries (ccomp, kcore, spath).
+    pub analytics_weight: u32,
+    /// Per-request deadline in milliseconds (`null` = none).
+    pub deadline_ms: Option<u64>,
+}
+
+json_struct!(MixSpec {
+    seed,
+    requests,
+    clients,
+    point_weight,
+    traversal_weight,
+    analytics_weight,
+    deadline_ms
+});
+
+impl Default for MixSpec {
+    fn default() -> Self {
+        MixSpec {
+            seed: 42,
+            requests: 200,
+            clients: 2,
+            point_weight: 60,
+            traversal_weight: 25,
+            analytics_weight: 15,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Expand a mix into its concrete query list for a graph with `n`
+/// vertices. One PRNG stream, consumed in request order — the list does
+/// not depend on `spec.clients`, so the same mix replayed at different
+/// concurrency levels issues identical queries.
+pub fn generate_requests(spec: &MixSpec, n: u32) -> Vec<Query> {
+    let mut rng = Rng::seed_from_u64(spec.seed);
+    let total = (spec.point_weight + spec.traversal_weight + spec.analytics_weight).max(1) as u64;
+    let n = n.max(1);
+    (0..spec.requests)
+        .map(|_| {
+            let roll = rng.u64_below(total) as u32;
+            let source = rng.u64_below(n as u64) as u32;
+            if roll < spec.point_weight {
+                if rng.gen_bool(0.5) {
+                    Query::Degree { vertex: source }
+                } else {
+                    Query::KHop { source, hops: 2 }
+                }
+            } else if roll < spec.point_weight + spec.traversal_weight {
+                Query::Run {
+                    workload: Workload::Bfs,
+                    source,
+                }
+            } else {
+                let workload = match rng.u64_below(3) {
+                    0 => Workload::CComp,
+                    1 => Workload::KCore,
+                    _ => Workload::SPath,
+                };
+                Query::Run { workload, source }
+            }
+        })
+        .collect()
+}
+
+/// Per-latency-class results of one mix replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// The class these stats cover.
+    pub class: CostClass,
+    /// Queries that ran to completion.
+    pub completed: u64,
+    /// Queries cancelled by their deadline.
+    pub deadline_missed: u64,
+    /// Queries cancelled explicitly or shed at shutdown.
+    pub cancelled: u64,
+    /// Median end-to-end latency (queue + exec) in microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency in microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile latency in microseconds.
+    pub p999_us: u64,
+    /// Worst observed latency in microseconds.
+    pub max_us: u64,
+}
+
+/// Outcome of replaying one [`MixSpec`] against an [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficReport {
+    /// Requests in the mix (admitted + rejected).
+    pub total_requests: usize,
+    /// Requests that passed admission control.
+    pub admitted: u64,
+    /// Rejections due to a full submission queue.
+    pub rejected_queue_full: u64,
+    /// Rejections due to the in-flight cost budget.
+    pub rejected_cost_budget: u64,
+    /// Admitted queries whose workload has no serving entry point.
+    pub unsupported: u64,
+    /// Wall-clock time of the whole replay in microseconds.
+    pub wall_us: u64,
+    /// Completed queries per second of wall time.
+    pub throughput_rps: f64,
+    /// Stats for every class, in `CostClass::ALL` order.
+    pub classes: Vec<ClassStats>,
+    /// `(request index, digest)` for every completed query, ascending by
+    /// index — the concurrent side of the oracle comparison.
+    pub completed_digests: Vec<(usize, u64)>,
+}
+
+impl TrafficReport {
+    /// Stats for one class (always present).
+    pub fn class(&self, c: CostClass) -> &ClassStats {
+        self.classes
+            .iter()
+            .find(|s| s.class == c)
+            .expect("report covers every class")
+    }
+}
+
+/// Exact percentile from an unsorted latency sample (nearest-rank).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+enum Outcome {
+    Rejected(crate::admission::RejectReason),
+    Response(QueryResponse, Option<u64>),
+}
+
+/// Replay `spec` against `engine` closed-loop and collect the report.
+///
+/// Client `c` of `spec.clients` submits requests `i` with
+/// `i % clients == c`, in order, waiting for each response before the
+/// next submission — the standard closed-loop model, so offered load
+/// scales with the client count and rejected requests are *not* retried.
+pub fn run_mix(engine: &Engine, spec: &MixSpec) -> TrafficReport {
+    let n = engine.store().snapshot().graph().num_vertices() as u32;
+    let queries = generate_requests(spec, n);
+    let clients = spec.clients.max(1);
+    let deadline = spec.deadline_ms.map(Duration::from_millis);
+    let start = Instant::now();
+    let mut outcomes: Vec<(usize, Outcome)> = std::thread::scope(|scope| {
+        let queries = &queries;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (i, q) in queries.iter().enumerate() {
+                        if i % clients != c {
+                            continue;
+                        }
+                        let submitted = match deadline {
+                            Some(d) => engine.submit_with_deadline(*q, Some(d)),
+                            None => engine.submit(*q),
+                        };
+                        match submitted {
+                            Ok(ticket) => {
+                                let response = ticket.wait();
+                                let digest = match &response.status {
+                                    QueryStatus::Completed(o) => Some(o.digest()),
+                                    _ => None,
+                                };
+                                out.push((i, Outcome::Response(response, digest)));
+                            }
+                            Err(reason) => out.push((i, Outcome::Rejected(reason))),
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_us = start.elapsed().as_micros().max(1) as u64;
+    outcomes.sort_by_key(|(i, _)| *i);
+
+    let mut admitted = 0u64;
+    let mut rejected_queue_full = 0u64;
+    let mut rejected_cost_budget = 0u64;
+    let mut unsupported = 0u64;
+    let mut completed_digests = Vec::new();
+    let mut latencies: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut completed = [0u64; 3];
+    let mut missed = [0u64; 3];
+    let mut cancelled = [0u64; 3];
+    for (i, outcome) in &outcomes {
+        match outcome {
+            Outcome::Rejected(crate::admission::RejectReason::QueueFull { .. }) => {
+                rejected_queue_full += 1;
+            }
+            Outcome::Rejected(crate::admission::RejectReason::CostBudget { .. }) => {
+                rejected_cost_budget += 1;
+            }
+            Outcome::Response(r, digest) => {
+                admitted += 1;
+                let lane = CostClass::ALL
+                    .iter()
+                    .position(|c| *c == r.class)
+                    .expect("known class");
+                match &r.status {
+                    QueryStatus::Completed(_) => {
+                        completed[lane] += 1;
+                        latencies[lane].push(r.queue_us + r.exec_us);
+                        completed_digests.push((*i, digest.expect("completed has digest")));
+                    }
+                    QueryStatus::DeadlineExceeded => missed[lane] += 1,
+                    QueryStatus::Cancelled => cancelled[lane] += 1,
+                    QueryStatus::Unsupported(_) => unsupported += 1,
+                }
+            }
+        }
+    }
+    let classes = CostClass::ALL
+        .iter()
+        .enumerate()
+        .map(|(lane, &class)| {
+            latencies[lane].sort_unstable();
+            let s = &latencies[lane];
+            ClassStats {
+                class,
+                completed: completed[lane],
+                deadline_missed: missed[lane],
+                cancelled: cancelled[lane],
+                p50_us: percentile(s, 0.50),
+                p99_us: percentile(s, 0.99),
+                p999_us: percentile(s, 0.999),
+                max_us: s.last().copied().unwrap_or(0),
+            }
+        })
+        .collect();
+    let total_completed: u64 = completed.iter().sum();
+    TrafficReport {
+        total_requests: queries.len(),
+        admitted,
+        rejected_queue_full,
+        rejected_cost_budget,
+        unsupported,
+        wall_us,
+        throughput_rps: total_completed as f64 * 1_000_000.0 / wall_us as f64,
+        classes,
+        completed_digests,
+    }
+}
+
+/// Run every query sequentially (one at a time, no deadline) against
+/// `graph` and return its digest — `None` where the workload is not
+/// servable. This is the oracle the concurrent replay is checked against.
+pub fn sequential_digests(
+    graph: &ShardedGraph,
+    pool: &ThreadPool,
+    queries: &[Query],
+) -> Vec<Option<u64>> {
+    let never = CancelToken::never();
+    queries
+        .iter()
+        .map(|q| match *q {
+            Query::Degree { vertex } => {
+                let (out, inc) = graph.degree(vertex).unwrap_or((0, 0));
+                Some(QueryOutput::Degree { out, inc }.digest())
+            }
+            Query::KHop { source, hops } => {
+                Some(QueryOutput::KHop(graph.k_hop(source, hops)).digest())
+            }
+            Query::Run { workload, source } => {
+                match service::run_service(workload, pool, graph.service(), source, &never) {
+                    Ok(o) => Some(QueryOutput::Workload(o).digest()),
+                    Err(ServiceError::Unsupported(_)) => None,
+                    Err(ServiceError::Cancelled) => {
+                        unreachable!("never token cannot cancel")
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Check every completed concurrent result against the sequential oracle.
+/// Returns the number of results verified, or a description of the first
+/// mismatch.
+pub fn verify_against_oracle(
+    report: &TrafficReport,
+    oracle: &[Option<u64>],
+) -> Result<u64, String> {
+    let mut checked = 0u64;
+    for &(idx, digest) in &report.completed_digests {
+        match oracle.get(idx) {
+            Some(Some(expected)) if *expected == digest => checked += 1,
+            Some(Some(expected)) => {
+                return Err(format!(
+                    "request {idx}: concurrent digest {digest:#018x} != sequential {expected:#018x}"
+                ));
+            }
+            Some(None) => {
+                return Err(format!(
+                    "request {idx}: completed concurrently but oracle deems it unsupported"
+                ));
+            }
+            None => return Err(format!("request {idx}: outside oracle range")),
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use graphbig_datagen::Dataset;
+    use graphbig_framework::csr::Csr;
+    use graphbig_telemetry::metrics::Registry;
+
+    fn csr(n: usize) -> Csr {
+        Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(n))
+    }
+
+    #[test]
+    fn mix_spec_round_trips_through_json() {
+        let spec = MixSpec {
+            seed: 7,
+            requests: 50,
+            clients: 3,
+            point_weight: 10,
+            traversal_weight: 5,
+            analytics_weight: 1,
+            deadline_ms: Some(250),
+        };
+        let text = graphbig_json::to_pretty(&spec);
+        let back: MixSpec = graphbig_json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+        // `null` deadline parses as None.
+        let none: MixSpec = graphbig_json::from_str(
+            r#"{"seed":1,"requests":2,"clients":1,"point_weight":1,
+                "traversal_weight":1,"analytics_weight":1,"deadline_ms":null}"#,
+        )
+        .unwrap();
+        assert_eq!(none.deadline_ms, None);
+    }
+
+    #[test]
+    fn request_generation_is_seeded_and_weighted() {
+        let spec = MixSpec {
+            requests: 400,
+            ..MixSpec::default()
+        };
+        let a = generate_requests(&spec, 1000);
+        let b = generate_requests(&spec, 1000);
+        assert_eq!(a, b, "same seed, same stream");
+        let other = generate_requests(
+            &MixSpec {
+                seed: 43,
+                ..spec.clone()
+            },
+            1000,
+        );
+        assert_ne!(a, other, "different seed, different stream");
+        let classes: Vec<usize> = CostClass::ALL
+            .iter()
+            .map(|c| a.iter().filter(|q| q.class() == *c).count())
+            .collect();
+        // 60/25/15 weights over 400 requests: every class is represented
+        // and point queries dominate.
+        assert!(classes.iter().all(|&c| c > 0), "{classes:?}");
+        assert!(
+            classes[0] > classes[1] && classes[0] > classes[2],
+            "{classes:?}"
+        );
+    }
+
+    #[test]
+    fn closed_loop_mix_matches_sequential_oracle() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(
+            EngineConfig {
+                pool_threads: 2,
+                ..EngineConfig::default()
+            },
+            csr(400),
+            &reg,
+        );
+        let spec = MixSpec {
+            requests: 60,
+            clients: 3,
+            ..MixSpec::default()
+        };
+        let report = run_mix(&engine, &spec);
+        assert_eq!(report.total_requests, 60);
+        assert_eq!(
+            report.admitted, 60,
+            "closed-loop at 3 clients cannot overflow a 64-deep queue"
+        );
+        let snapshot = engine.store().snapshot();
+        let queries = generate_requests(&spec, snapshot.graph().num_vertices() as u32);
+        let oracle = sequential_digests(snapshot.graph(), engine.pool(), &queries);
+        let checked = verify_against_oracle(&report, &oracle).expect("no mismatches");
+        assert_eq!(checked, report.completed_digests.len() as u64);
+        assert_eq!(checked, 60, "no deadline set: everything completes");
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let sorted: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&sorted, 0.50), 500);
+        assert_eq!(percentile(&sorted, 0.99), 990);
+        assert_eq!(percentile(&sorted, 0.999), 999);
+        assert_eq!(percentile(&sorted, 1.0), 1000);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn report_counts_balance() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(
+            EngineConfig {
+                pool_threads: 2,
+                queue_capacity: 2,
+                cost_budget: 5_000,
+                ..EngineConfig::default()
+            },
+            csr(600),
+            &reg,
+        );
+        let spec = MixSpec {
+            requests: 80,
+            clients: 4,
+            deadline_ms: Some(2_000),
+            ..MixSpec::default()
+        };
+        let report = run_mix(&engine, &spec);
+        let outcomes: u64 = report
+            .classes
+            .iter()
+            .map(|c| c.completed + c.deadline_missed + c.cancelled)
+            .sum::<u64>()
+            + report.unsupported;
+        assert_eq!(outcomes, report.admitted);
+        assert_eq!(
+            report.admitted + report.rejected_queue_full + report.rejected_cost_budget,
+            report.total_requests as u64
+        );
+        // Whatever did complete must match the oracle even under shedding.
+        let snapshot = engine.store().snapshot();
+        let queries = generate_requests(&spec, snapshot.graph().num_vertices() as u32);
+        let oracle = sequential_digests(snapshot.graph(), engine.pool(), &queries);
+        verify_against_oracle(&report, &oracle).expect("no mismatches");
+    }
+}

@@ -72,6 +72,16 @@ impl AtomicBitmap {
         }
     }
 
+    /// Clear every bit through exclusive access — plain stores instead of
+    /// atomic ones, so the optimizer can vectorize the sweep. This is the
+    /// between-queries reuse path: a kernel that keeps its bitmap across
+    /// runs calls `reset` instead of allocating a fresh [`AtomicBitmap`].
+    pub fn reset(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+
     /// Clear the words fully covering the bit range `lo..hi` (both rounded
     /// out to word boundaries). Intended for parallel clears where each
     /// worker owns a cache-line-aligned slice.
@@ -203,6 +213,26 @@ mod tests {
         assert_eq!(got, vec![100, 300]);
         b.clear_range(64, 320);
         assert_eq!(b.to_vec(), vec![10]);
+    }
+
+    #[test]
+    fn reset_clears_in_place_without_reallocating() {
+        let mut b = AtomicBitmap::new(1024);
+        for i in (0..1024).step_by(7) {
+            b.set(i);
+        }
+        let words_ptr = b.words.as_ptr();
+        b.reset();
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.len(), 1024);
+        assert_eq!(
+            b.words.as_ptr(),
+            words_ptr,
+            "reset must reuse the existing word storage"
+        );
+        // Still fully usable after reset.
+        assert!(b.set(512));
+        assert_eq!(b.to_vec(), vec![512]);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Cooperative cancellation for long-running kernels.
+//!
+//! A [`CancelToken`] combines an explicit cancellation flag (shared through
+//! an `Arc`, so any holder can cancel the others) with an optional wall-clock
+//! deadline. Kernels poll [`CancelToken::check`] at frontier-level
+//! boundaries — between supersteps, never inside the tight per-edge loops —
+//! so cancellation costs one relaxed load plus one `Instant::now` per level
+//! and a cancelled query abandons at most one level of work.
+//!
+//! The serving engine (`crates/engine`) hands every admitted query a token
+//! carrying its deadline; dropping a request or missing the deadline turns
+//! into an `Err(Cancelled)` from the kernel instead of a completed result.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The error a cancellable kernel returns when its token fired. Carries no
+/// payload: the caller that owns the token knows whether the cause was an
+/// explicit cancel or a deadline (see [`CancelToken::deadline_passed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("query cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A cloneable cancellation handle: an atomic flag shared across clones plus
+/// an optional deadline fixed at construction.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline that cancels only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that can never fire — the zero-cost way to run a cancellable
+    /// kernel unconditionally (the non-cancellable public wrappers use it).
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// A token that also fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::default(),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token firing `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Request cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True when [`CancelToken::cancel`] was called on any clone (ignores
+    /// the deadline).
+    pub fn cancel_requested(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True when the deadline exists and has passed.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True when the token has fired for either reason.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel_requested() || self.deadline_passed()
+    }
+
+    /// The polling call kernels place at superstep boundaries.
+    #[inline]
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.cancel_requested());
+        assert_eq!(t.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_fires_without_cancel() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.deadline_passed());
+        assert!(t.is_cancelled());
+        assert!(!t.cancel_requested(), "deadline is not an explicit cancel");
+    }
+
+    #[test]
+    fn future_deadline_stays_live() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_some());
+    }
+
+    #[test]
+    fn never_token_survives_everything_but_cancel() {
+        let t = CancelToken::never();
+        assert!(t.check().is_ok());
+        t.cancel();
+        assert!(t.check().is_err());
+    }
+}

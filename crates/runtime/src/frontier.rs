@@ -137,6 +137,19 @@ impl Frontier {
         }
     }
 
+    /// Empty the frontier in place, keeping the current representation's
+    /// allocation (queue capacity / bitmap words) so repeated queries on the
+    /// same graph reuse buffers instead of reallocating per run.
+    pub fn reset(&mut self) {
+        match self {
+            Frontier::Sparse(q) => q.clear(),
+            Frontier::Dense { bits, count } => {
+                bits.reset();
+                *count = 0;
+            }
+        }
+    }
+
     /// Membership test; O(1) dense, O(len) sparse.
     pub fn contains(&self, v: u32) -> bool {
         match self {
@@ -283,6 +296,41 @@ mod tests {
         let mut seen = Vec::new();
         f.for_each(|v| seen.push(v));
         assert_eq!(seen, vec![4, 9]);
+    }
+
+    #[test]
+    fn reset_keeps_sparse_capacity() {
+        let mut f = Frontier::from_queue(vec![3, 1, 2], 1000);
+        let (ptr, cap) = match &f {
+            Frontier::Sparse(q) => (q.as_ptr(), q.capacity()),
+            _ => unreachable!(),
+        };
+        f.reset();
+        assert!(f.is_empty());
+        match &f {
+            Frontier::Sparse(q) => {
+                assert_eq!(q.capacity(), cap, "reset must not shrink the queue");
+                assert_eq!(q.as_ptr(), ptr, "reset must not reallocate the queue");
+            }
+            _ => panic!("reset must preserve the sparse representation"),
+        }
+    }
+
+    #[test]
+    fn reset_reuses_dense_words() {
+        let q: Vec<u32> = (0..100).collect();
+        let mut f = Frontier::from_queue(q, 1000);
+        assert!(f.is_dense());
+        let ptr: *const AtomicBitmap = f.as_dense().unwrap();
+        f.reset();
+        assert!(f.is_empty());
+        let bits = f.as_dense().expect("reset must stay dense");
+        assert_eq!(
+            ptr, bits as *const AtomicBitmap,
+            "reset must clear the existing bitmap in place"
+        );
+        assert_eq!(bits.count(), 0);
+        assert_eq!(bits.len(), 1000, "universe size survives reset");
     }
 
     #[test]

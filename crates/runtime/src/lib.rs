@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod cancel;
 pub mod frontier;
 pub mod parfor;
 pub mod pool;
 
 pub use barrier::Barrier;
+pub use cancel::{CancelToken, Cancelled};
 pub use frontier::{ChunkedSink, Frontier};
 pub use pool::ThreadPool;
 

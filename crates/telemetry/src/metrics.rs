@@ -119,6 +119,29 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) as the exclusive upper bound of
+    /// the bucket holding the rank-`⌈q·count⌉` observation — a conservative
+    /// (never under-reporting) estimate, which is the right bias for latency
+    /// SLOs. Returns 0 when the histogram is empty.
+    ///
+    /// Because buckets are log₂-sized, the reported value is at most 2× the
+    /// true quantile; the engine additionally publishes exact percentiles
+    /// computed from raw latency samples for its committed benchmarks.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(le, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return le;
+            }
+        }
+        self.buckets.last().map(|&(le, _)| le).unwrap_or(0)
+    }
 }
 
 /// A point-in-time metric value, the unit of the manifest schema.
@@ -362,6 +385,72 @@ mod tests {
             vec![(1, 1), (2, 1), (4, 2), (1024, 1), (2048, 1)]
         );
         assert!((s.mean() - 1930.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_pins_p50_p99_for_uniform_1_to_100() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Cumulative bucket counts: le2:1, le4:3, le8:7, le16:15, le32:31,
+        // le64:63, le128:100. The true p50 (50) lies in [32, 64) -> 64; the
+        // true p99 (99) lies in [64, 128) -> 128.
+        assert_eq!(s.quantile(0.5), 64);
+        assert_eq!(s.quantile(0.99), 128);
+        assert_eq!(s.quantile(0.999), 128);
+        assert_eq!(s.quantile(1.0), 128);
+        // q=0 clamps to rank 1 -> the bucket of the minimum value.
+        assert_eq!(s.quantile(0.0), 2);
+        // Conservative bias: the log2 bound never under-reports the truth.
+        for (q, exact) in [(0.5, 50), (0.9, 90), (0.99, 99)] {
+            assert!(s.quantile(q) >= exact);
+            assert!(s.quantile(q) <= 2 * exact.max(1));
+        }
+    }
+
+    #[test]
+    fn quantile_degenerate_distributions() {
+        // All observations equal -> every quantile is that bucket's bound.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(7);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), 8);
+        }
+        // All zeros -> the zero bucket's bound of 1.
+        let hz = Histogram::default();
+        for _ in 0..10 {
+            hz.record(0);
+        }
+        assert_eq!(hz.snapshot().quantile(0.99), 1);
+        // Empty histogram -> 0.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+        // Single observation -> its bucket at every q.
+        let h1 = Histogram::default();
+        h1.record(1000);
+        assert_eq!(h1.snapshot().quantile(0.5), 1024);
+        assert_eq!(h1.snapshot().quantile(0.001), 1024);
+    }
+
+    #[test]
+    fn quantile_skewed_tail() {
+        // 990 fast observations (value 3) and 10 slow ones (value 5000):
+        // p50/p99 stay in the fast bucket, p999 lands in the tail bucket.
+        let h = Histogram::default();
+        for _ in 0..990 {
+            h.record(3);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 4);
+        assert_eq!(s.quantile(0.99), 4);
+        assert_eq!(s.quantile(0.999), 8192);
     }
 
     #[test]

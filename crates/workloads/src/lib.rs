@@ -32,14 +32,15 @@ pub mod harness;
 pub mod kcore;
 pub mod parallel;
 pub mod registry;
+pub mod service;
 pub mod spath;
 pub mod tc;
 pub mod tmorph;
 
-pub use registry::{Workload, WorkloadCategory, WorkloadMeta};
+pub use registry::{CostClass, Workload, WorkloadCategory, WorkloadMeta};
 
 /// Common imports for workload users.
 pub mod prelude {
     pub use crate::harness::{run_traced, RunOutcome, RunParams};
-    pub use crate::registry::{Workload, WorkloadCategory, WorkloadMeta};
+    pub use crate::registry::{CostClass, Workload, WorkloadCategory, WorkloadMeta};
 }

@@ -19,8 +19,8 @@ use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, Ordering};
 
 use graphbig_framework::bitmap::AtomicBitmap;
 use graphbig_framework::csr::{BiCsr, Csr};
-use graphbig_runtime::frontier::{ChunkedSink, Frontier};
-use graphbig_runtime::{parfor, ThreadPool};
+use graphbig_runtime::frontier::{should_be_dense, ChunkedSink, Frontier};
+use graphbig_runtime::{parfor, CancelToken, Cancelled, ThreadPool};
 
 /// Target edge weight per scheduling chunk: large enough to amortize the
 /// cursor fetch_add, small enough that a hub vertex doesn't serialize a
@@ -210,6 +210,21 @@ pub fn bfs(pool: &ThreadPool, csr: &Csr, source: u32) -> (Vec<i64>, u64) {
 /// [`bfs`] against caller-owned [`BfsState`]; reuses the level allocation
 /// across calls. Returns the visited count; levels stay in `state`.
 pub fn bfs_with_state(pool: &ThreadPool, csr: &Csr, source: u32, state: &mut BfsState) -> u64 {
+    bfs_with_state_cancellable(pool, csr, source, state, &CancelToken::never())
+        .expect("never token cannot cancel")
+}
+
+/// [`bfs_with_state`] with cooperative cancellation: the token is polled
+/// once per frontier level, so a fired token abandons at most one level of
+/// work. `state` is left partially written on cancellation and must be
+/// reset by the next run (which [`bfs_with_state`] does unconditionally).
+pub fn bfs_with_state_cancellable(
+    pool: &ThreadPool,
+    csr: &Csr,
+    source: u32,
+    state: &mut BfsState,
+    cancel: &CancelToken,
+) -> Result<u64, Cancelled> {
     state.reset(pool);
     let levels = &state.levels;
     levels[source as usize].store(0, Ordering::Relaxed);
@@ -219,13 +234,14 @@ pub fn bfs_with_state(pool: &ThreadPool, csr: &Csr, source: u32, state: &mut Bfs
     let mut level = 0i64;
     let mut visited = 1u64;
     while !frontier.is_empty() {
+        cancel.check()?;
         let _lvl = graphbig_telemetry::span!("bfs.level", depth = level, frontier = frontier.len());
         top_down_step(pool, csr, levels, &frontier, level, &sink, &mut next);
         visited += next.len() as u64;
         std::mem::swap(&mut frontier, &mut next);
         level += 1;
     }
-    visited
+    Ok(visited)
 }
 
 /// One bottom-up step: every unreached vertex scans its *in*-edges for a
@@ -282,10 +298,22 @@ pub fn bfs_dir_opt_reported(
     bi: &BiCsr,
     source: u32,
 ) -> (Vec<i64>, u64, DirOptReport) {
+    bfs_dir_opt_cancellable(pool, bi, source, &CancelToken::never())
+        .expect("never token cannot cancel")
+}
+
+/// [`bfs_dir_opt_reported`] with cooperative cancellation, polled at every
+/// level boundary in both traversal directions.
+pub fn bfs_dir_opt_cancellable(
+    pool: &ThreadPool,
+    bi: &BiCsr,
+    source: u32,
+    cancel: &CancelToken,
+) -> Result<(Vec<i64>, u64, DirOptReport), Cancelled> {
     let mut report = DirOptReport::default();
     let n = bi.num_vertices();
     if n == 0 || source as usize >= n {
-        return (Vec::new(), 0, report);
+        return Ok((Vec::new(), 0, report));
     }
     let m = bi.num_edges() as u64;
     let out = bi.out();
@@ -299,6 +327,7 @@ pub fn bfs_dir_opt_reported(
     let mut next_queue: Vec<u32> = Vec::new();
 
     while !frontier.is_empty() {
+        cancel.check()?;
         if scout > edges_to_check / ALPHA {
             report.switches_to_bottom_up += 1;
             graphbig_telemetry::instant(
@@ -313,6 +342,7 @@ pub fn bfs_dir_opt_reported(
             // or still a large fraction of the graph.
             frontier.ensure_dense(n);
             loop {
+                cancel.check()?;
                 let before = frontier.len();
                 report.levels.push(LevelRecord {
                     depth: level,
@@ -394,11 +424,11 @@ pub fn bfs_dir_opt_reported(
         .iter()
         .filter(|l| l.load(Ordering::Relaxed) >= 0)
         .count() as u64;
-    (
+    Ok((
         levels.into_iter().map(|a| a.into_inner()).collect(),
         visited,
         report,
-    )
+    ))
 }
 
 /// Parallel degree centrality over a CSR (using out-degree + in-degree via
@@ -432,15 +462,34 @@ pub fn dcentr(pool: &ThreadPool, csr: &Csr) -> Vec<f64> {
 /// converge to the per-component minimum — a unique fixed point, hence
 /// deterministic for any schedule.
 pub fn ccomp(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
+    ccomp_cancellable(pool, csr, &CancelToken::never()).expect("never token cannot cancel")
+}
+
+/// [`ccomp`] with cooperative cancellation, polled once per propagation
+/// round. Round bitmaps cycle through a one-deep spare pool ([`AtomicBitmap::reset`]),
+/// so steady-state rounds allocate nothing.
+pub fn ccomp_cancellable(
+    pool: &ThreadPool,
+    csr: &Csr,
+    cancel: &CancelToken,
+) -> Result<Vec<u32>, Cancelled> {
     let n = csr.num_vertices();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     // Round 0: every vertex is active.
     let mut frontier = Frontier::from_queue((0..n as u32).collect(), n);
+    let mut spare: Option<AtomicBitmap> = None;
     while !frontier.is_empty() {
-        let next = AtomicBitmap::new(n);
+        cancel.check()?;
+        let next = match spare.take() {
+            Some(mut b) => {
+                b.reset();
+                b
+            }
+            None => AtomicBitmap::new(n),
+        };
         let awake = AtomicU64::new(0);
         let relax = |u: u32, local_awake: &mut u64| {
             let lu = labels[u as usize].load(Ordering::Relaxed);
@@ -477,9 +526,22 @@ pub fn ccomp(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
                 });
             }
         }
-        frontier = Frontier::from_bitmap(next, awake.into_inner() as usize);
+        // Build the next frontier the way `Frontier::from_bitmap` would,
+        // but recycle whichever bitmap falls out of use (the one dropped by
+        // a dense->sparse conversion, or the previous round's dense one).
+        let count = awake.into_inner() as usize;
+        let produced = if should_be_dense(count, n) {
+            Frontier::Dense { bits: next, count }
+        } else {
+            let queue = next.to_vec();
+            spare = Some(next);
+            Frontier::Sparse(queue)
+        };
+        if let Frontier::Dense { bits, .. } = std::mem::replace(&mut frontier, produced) {
+            spare.get_or_insert(bits);
+        }
     }
-    labels.into_iter().map(|a| a.into_inner()).collect()
+    Ok(labels.into_iter().map(|a| a.into_inner()).collect())
 }
 
 /// Parallel k-core decomposition over a **symmetrized, deduplicated** CSR
@@ -494,9 +556,19 @@ pub fn ccomp(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
 /// level's next wave. Core numbers are a graph invariant, so the output is
 /// deterministic for any schedule.
 pub fn kcore(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
+    kcore_cancellable(pool, csr, &CancelToken::never()).expect("never token cannot cancel")
+}
+
+/// [`kcore`] with cooperative cancellation, polled once per peel level and
+/// once per wave inside a level.
+pub fn kcore_cancellable(
+    pool: &ThreadPool,
+    csr: &Csr,
+    cancel: &CancelToken,
+) -> Result<Vec<u32>, Cancelled> {
     let n = csr.num_vertices();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     const UNPEELED: u32 = u32::MAX;
     let deg: Vec<AtomicU32> = (0..n)
@@ -509,6 +581,7 @@ pub fn kcore(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
     let mut frontier: Vec<u32> = Vec::new();
     let mut next: Vec<u32> = Vec::new();
     while remaining > 0 {
+        cancel.check()?;
         // Seed this level: alive vertices whose degree has reached k.
         // (Alive vertices always have degree >= k here, see the clamp.)
         let chunks = parfor::weighted_chunks(n, CHUNK_WEIGHT, |_| 1);
@@ -545,6 +618,7 @@ pub fn kcore(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
         }
         // Peel waves at this k until no more degrees collapse to k.
         while !frontier.is_empty() {
+            cancel.check()?;
             remaining -= frontier.len();
             let chunks = parfor::weighted_chunks(frontier.len(), CHUNK_WEIGHT, |i| {
                 csr.degree(frontier[i]) as u64 + 1
@@ -576,22 +650,34 @@ pub fn kcore(pool: &ThreadPool, csr: &Csr) -> Vec<u32> {
         }
         k += 1;
     }
-    core.into_iter().map(|a| a.into_inner()).collect()
+    Ok(core.into_iter().map(|a| a.into_inner()).collect())
 }
 
 /// Parallel SSSP via round-synchronous Bellman-Ford relaxation (the
 /// shared-memory analogue of the GPU kernel); returns per-vertex distances
 /// (`f32::INFINITY` = unreached).
 pub fn spath(pool: &ThreadPool, csr: &Csr, source: u32) -> Vec<f32> {
+    spath_cancellable(pool, csr, source, &CancelToken::never()).expect("never token cannot cancel")
+}
+
+/// [`spath`] with cooperative cancellation, polled once per relaxation
+/// round.
+pub fn spath_cancellable(
+    pool: &ThreadPool,
+    csr: &Csr,
+    source: u32,
+    cancel: &CancelToken,
+) -> Result<Vec<f32>, Cancelled> {
     let n = csr.num_vertices();
     if n == 0 || source as usize >= n {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let dist: Vec<AtomicU32> = (0..n)
         .map(|_| AtomicU32::new(f32::INFINITY.to_bits()))
         .collect();
     dist[source as usize].store(0f32.to_bits(), Ordering::Relaxed);
     for _round in 0..n {
+        cancel.check()?;
         let changed = AtomicU64::new(0);
         parfor::parallel_for(pool, 0..n, 128, |u| {
             let du = f32::from_bits(dist[u].load(Ordering::Relaxed));
@@ -611,9 +697,10 @@ pub fn spath(pool: &ThreadPool, csr: &Csr, source: u32) -> Vec<f32> {
             break;
         }
     }
-    dist.into_iter()
+    Ok(dist
+        .into_iter()
         .map(|a| f32::from_bits(a.into_inner()))
-        .collect()
+        .collect())
 }
 
 /// Parallel Luby–Jones coloring over a (symmetrized) CSR; identical colors
@@ -864,6 +951,61 @@ mod tests {
         assert_eq!(v0, v2);
         assert_eq!(first, again);
         assert_eq!((first, v0), bfs(&p, &csr, 0));
+    }
+
+    #[test]
+    fn repeated_queries_reuse_allocations() {
+        let (_, csr) = ldbc(200);
+        let p = pool();
+        let mut state = BfsState::new(csr.num_vertices());
+        bfs_with_state(&p, &csr, 0, &mut state);
+        let levels_ptr = state.levels.as_ptr();
+        for source in [3u32, 7, 0, 11] {
+            bfs_with_state(&p, &csr, source, &mut state);
+            assert_eq!(
+                state.levels.as_ptr(),
+                levels_ptr,
+                "BfsState must reuse its level array across queries"
+            );
+        }
+    }
+
+    #[test]
+    fn cancellable_kernels_bail_on_fired_token() {
+        let (_, csr) = ldbc(200);
+        let p = pool();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut state = BfsState::new(csr.num_vertices());
+        assert_eq!(
+            bfs_with_state_cancellable(&p, &csr, 0, &mut state, &token),
+            Err(Cancelled)
+        );
+        let bi = BiCsr::directed(csr.clone());
+        assert!(bfs_dir_opt_cancellable(&p, &bi, 0, &token).is_err());
+        let sym = csr.symmetrize();
+        assert_eq!(ccomp_cancellable(&p, &sym, &token), Err(Cancelled));
+        assert_eq!(kcore_cancellable(&p, &sym, &token), Err(Cancelled));
+        assert_eq!(spath_cancellable(&p, &csr, 0, &token), Err(Cancelled));
+    }
+
+    #[test]
+    fn cancellable_kernels_match_plain_with_live_token() {
+        let (_, csr) = ldbc(250);
+        let p = pool();
+        let live = CancelToken::new();
+        let sym = csr.symmetrize();
+        assert_eq!(ccomp_cancellable(&p, &sym, &live).unwrap(), ccomp(&p, &sym));
+        assert_eq!(kcore_cancellable(&p, &sym, &live).unwrap(), kcore(&p, &sym));
+        assert_eq!(
+            spath_cancellable(&p, &csr, 0, &live).unwrap(),
+            spath(&p, &csr, 0)
+        );
+        let bi = BiCsr::directed(csr.clone());
+        let (levels, visited, _) = bfs_dir_opt_cancellable(&p, &bi, 0, &live).unwrap();
+        let (want_levels, want_visited) = bfs(&p, &csr, 0);
+        assert_eq!(levels, want_levels);
+        assert_eq!(visited, want_visited);
     }
 
     #[test]

@@ -36,6 +36,40 @@ impl WorkloadCategory {
     }
 }
 
+/// Serving-cost class of a workload, used by the query engine's admission
+/// control and priority lanes. The classes order by expected work: a point
+/// query touches O(degree) edges, a traversal touches each edge at most
+/// once, and analytics kernels make several passes over the whole graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CostClass {
+    /// O(degree) neighborhood lookups (k-hop, degree centrality).
+    Point,
+    /// Single-pass whole-graph traversals (BFS, DFS).
+    Traversal,
+    /// Multi-pass iterative kernels (components, cores, paths, …).
+    Analytics,
+}
+
+json_enum!(CostClass {
+    Point,
+    Traversal,
+    Analytics
+});
+
+impl CostClass {
+    /// All classes, cheapest first (priority-lane order).
+    pub const ALL: [CostClass; 3] = [CostClass::Point, CostClass::Traversal, CostClass::Analytics];
+
+    /// Lowercase label used in metric names (`engine.latency_us.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::Point => "point",
+            CostClass::Traversal => "traversal",
+            CostClass::Analytics => "analytics",
+        }
+    }
+}
+
 /// The 13 GraphBIG CPU workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Workload {
@@ -86,6 +120,8 @@ pub struct WorkloadMeta {
     pub on_gpu: bool,
     /// Algorithm reference as given in Section 4.2.
     pub algorithm: &'static str,
+    /// Serving-cost class for the query engine's lanes and admission.
+    pub cost_class: CostClass,
 }
 
 json_enum!(Workload {
@@ -113,7 +149,8 @@ json_struct_to!(WorkloadMeta {
     computation_type,
     use_cases,
     on_gpu,
-    algorithm
+    algorithm,
+    cost_class
 });
 
 impl Workload {
@@ -204,6 +241,30 @@ impl Workload {
             use_cases,
             on_gpu,
             algorithm,
+            cost_class: self.cost_class(),
+        }
+    }
+
+    /// Serving-cost class: degree centrality is an O(degree)-per-vertex
+    /// point lookup, BFS/DFS are single-pass traversals, everything else
+    /// iterates to a fixpoint or rebuilds structure (analytics).
+    pub fn cost_class(self) -> CostClass {
+        match self {
+            Workload::DCentr => CostClass::Point,
+            Workload::Bfs | Workload::Dfs => CostClass::Traversal,
+            _ => CostClass::Analytics,
+        }
+    }
+
+    /// Abstract admission-control cost of one run over a graph with `n`
+    /// vertices and `m` directed edges, in "touched element" units: point
+    /// queries read one adjacency list, traversals touch `n + m` elements
+    /// once, analytics kernels make a small constant number of full passes.
+    pub fn cost_estimate(self, n: u64, m: u64) -> u64 {
+        match self.cost_class() {
+            CostClass::Point => n.max(1),
+            CostClass::Traversal => n.saturating_add(m).max(1),
+            CostClass::Analytics => 4u64.saturating_mul(n.saturating_add(m)).max(1),
         }
     }
 
@@ -296,6 +357,35 @@ mod tests {
         for w in [Workload::GCons, Workload::GUp, Workload::TMorph] {
             assert_eq!(w.meta().computation_type, CompDyn);
         }
+    }
+
+    #[test]
+    fn cost_classes_order_by_estimate() {
+        let (n, m) = (1000u64, 8000u64);
+        let point = Workload::DCentr.cost_estimate(n, m);
+        let traversal = Workload::Bfs.cost_estimate(n, m);
+        let analytics = Workload::CComp.cost_estimate(n, m);
+        assert!(point < traversal && traversal < analytics);
+        assert_eq!(point, n);
+        assert_eq!(traversal, n + m);
+        assert_eq!(analytics, 4 * (n + m));
+        // Estimates never degenerate to 0 (admission math divides by them).
+        for w in Workload::ALL {
+            assert!(w.cost_estimate(0, 0) >= 1);
+        }
+    }
+
+    #[test]
+    fn every_workload_has_a_cost_class() {
+        for class in CostClass::ALL {
+            assert!(Workload::ALL.iter().any(|w| w.cost_class() == class));
+        }
+        assert_eq!(Workload::Bfs.meta().cost_class, CostClass::Traversal);
+        assert_eq!(Workload::DCentr.meta().cost_class, CostClass::Point);
+        assert_eq!(Workload::KCore.meta().cost_class, CostClass::Analytics);
+        assert_eq!(CostClass::Point.name(), "point");
+        assert_eq!(CostClass::Traversal.name(), "traversal");
+        assert_eq!(CostClass::Analytics.name(), "analytics");
     }
 
     #[test]

@@ -25,4 +25,10 @@ cargo fmt --all --check
 echo "==> hermetic dependency check"
 scripts/check_hermetic.sh --fast
 
+echo "==> engine serving smoke (LDBC-4k, 200-request mix, sequential oracle)"
+cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --bin graphbig-serve -- \
+  --vertices 4096 --mix traffic/smoke_200.json --oracle --quiet --emit /tmp/engine_smoke.json
+cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-bench --bin graphbig-report -- \
+  --check results/golden_engine.json /tmp/engine_smoke.json
+
 echo "CI OK"
