@@ -11,7 +11,8 @@
 //!   -only comparison (same bin, metric names/kinds, table count/headers;
 //!   values free to differ). Exit 1 listing every mismatch. CI runs this
 //!   against a committed golden manifest so schema drift is caught without
-//!   pinning timing-dependent numbers.
+//!   pinning timing-dependent numbers. One value IS checked: a candidate
+//!   whose `chaos.invariants.violations` counter is non-zero fails.
 //! * `graphbig-report --show <manifest.json>` — render a manifest back to
 //!   human-readable form: header fields, tables, metrics, span summary.
 //!
@@ -100,7 +101,22 @@ fn show(path: &str) {
 fn check(golden_path: &str, candidate_path: &str) {
     let golden = load(golden_path);
     let candidate = load(candidate_path);
-    let problems = structural_mismatches(&golden, &candidate);
+    let mut problems = structural_mismatches(&golden, &candidate);
+    // Values are free to differ structurally — except the chaos invariant
+    // verdict, which is pass/fail by construction: a candidate carrying
+    // violations is broken no matter how its schema looks.
+    if let Some(MetricValue::Counter(v)) = candidate.metrics.get("chaos.invariants.violations") {
+        if *v > 0 {
+            problems.push(format!(
+                "candidate reports {v} chaos invariant violation(s)"
+            ));
+            for note in &candidate.notes {
+                if note.starts_with("chaos invariant violated") {
+                    problems.push(format!("  {note}"));
+                }
+            }
+        }
+    }
     if problems.is_empty() {
         println!(
             "ok: {candidate_path} is structurally compatible with {golden_path} \

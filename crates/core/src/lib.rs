@@ -18,6 +18,8 @@
 //! * [`profile`] — reports and paper reference values
 //! * [`telemetry`] — spans, metrics, run manifests (the `telemetry`
 //!   feature compiles span recording into the runtime and workloads)
+//! * [`chaos`] — deterministic fault-injection failpoints (the `chaos`
+//!   feature compiles injection sites into the runtime and engine)
 //!
 //! ```
 //! use graphbig::prelude::*;
@@ -29,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub use graphbig_chaos as chaos;
 pub use graphbig_datagen as datagen;
 pub use graphbig_engine as engine;
 pub use graphbig_framework as framework;

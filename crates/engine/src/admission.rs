@@ -114,6 +114,16 @@ impl AdmissionController {
         Ok(())
     }
 
+    /// Undo a successful [`AdmissionController::try_admit`] whose query was
+    /// never enqueued — release both the queue slot and the reserved cost.
+    /// The chaos spurious-rejection failpoint uses this so an injected
+    /// `QueueFull`/`CostBudget` leaves the counters exactly as a real
+    /// rejection would.
+    pub fn cancel_admit(&self, cost: u64) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+        self.in_flight_cost.fetch_sub(cost, Ordering::Relaxed);
+    }
+
     /// The query left the queue and began executing.
     pub fn on_start(&self) {
         self.queued.fetch_sub(1, Ordering::Relaxed);

@@ -17,7 +17,10 @@
 //! flags), `--requests`, `--clients`, `--seed`, `--point-weight`,
 //! `--traversal-weight`, `--analytics-weight`, `--deadline-ms`,
 //! `--executors`, `--pool-threads`, `--queue-capacity`, `--cost-budget`
-//! (0 = unlimited), `--shards`, `--oracle`, `--emit <path>`, `--quiet`.
+//! (0 = unlimited), `--shards`, `--oracle`, `--emit <path>`, `--quiet`,
+//! `--faults <path>` (a `FaultPlan` JSON file — replay the mix under
+//! deterministic fault injection and sweep the chaos invariants; needs a
+//! build with the `chaos` feature to actually inject).
 //!
 //! This binary intentionally does not depend on `graphbig-bench` (which
 //! depends on the engine through `graphbig`), so it carries its own tiny
@@ -25,11 +28,12 @@
 
 use std::process::ExitCode;
 
+use graphbig_chaos::{self as chaos, FaultPlan};
 use graphbig_datagen::Dataset;
 use graphbig_engine::traffic::{
-    generate_requests, run_mix, sequential_digests, verify_against_oracle,
+    generate_requests, run_chaos_mix, sequential_digests, verify_against_oracle,
 };
-use graphbig_engine::{Engine, EngineConfig, MixSpec, TrafficReport};
+use graphbig_engine::{check_chaos_invariants, Engine, EngineConfig, MixSpec, TrafficReport};
 use graphbig_framework::csr::Csr;
 use graphbig_telemetry::{self as telemetry, MetricSink, RunManifest, TableData};
 
@@ -70,6 +74,15 @@ fn load_mix() -> Result<MixSpec, String> {
     })
 }
 
+fn load_faults() -> Result<FaultPlan, String> {
+    let Some(path) = arg_value("--faults") else {
+        return Ok(FaultPlan::none());
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read fault plan {path}: {e}"))?;
+    graphbig_json::from_str(&text).map_err(|e| format!("cannot parse fault plan {path}: {e}"))
+}
+
 fn latency_table(report: &TrafficReport) -> TableData {
     TableData {
         title: "Traffic mix latency by class".into(),
@@ -78,6 +91,7 @@ fn latency_table(report: &TrafficReport) -> TableData {
             "completed",
             "missed",
             "cancelled",
+            "failed",
             "p50_us",
             "p99_us",
             "p999_us",
@@ -95,6 +109,7 @@ fn latency_table(report: &TrafficReport) -> TableData {
                     c.completed.to_string(),
                     c.deadline_missed.to_string(),
                     c.cancelled.to_string(),
+                    c.failed.to_string(),
                     c.p50_us.to_string(),
                     c.p99_us.to_string(),
                     c.p999_us.to_string(),
@@ -157,6 +172,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let plan = match load_faults() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !plan.is_empty() {
+        if chaos::compiled() {
+            chaos::install_quiet_panic_hook();
+        } else {
+            eprintln!(
+                "warning: --faults given but failpoints are compiled out; \
+                 rebuild with `--features chaos` to inject (plan ignored)"
+            );
+        }
+    }
     let cost_budget: u64 = parsed_arg("--cost-budget", 0u64);
     let cfg = EngineConfig {
         executors: parsed_arg("--executors", 2usize),
@@ -187,14 +219,21 @@ fn main() -> ExitCode {
             spec.deadline_ms
         );
     }
-    let report = run_mix(&engine, &spec);
+    let report = run_chaos_mix(&engine, &spec, &plan);
 
-    let mut oracle_checked = None;
+    let mut oracle_digests = None;
     if has_flag("--oracle") {
         let snapshot = engine.store().snapshot();
         let queries = generate_requests(&spec, snapshot.graph().num_vertices() as u32);
-        let oracle = sequential_digests(snapshot.graph(), engine.pool(), &queries);
-        match verify_against_oracle(&report, &oracle) {
+        oracle_digests = Some(sequential_digests(
+            snapshot.graph(),
+            engine.pool(),
+            &queries,
+        ));
+    }
+    let mut oracle_checked = None;
+    if let Some(oracle) = &oracle_digests {
+        match verify_against_oracle(&report, oracle) {
             Ok(checked) => {
                 oracle_checked = Some(checked);
                 if !quiet {
@@ -208,18 +247,43 @@ fn main() -> ExitCode {
         }
     }
 
+    // The post-mix invariant sweep. The global registry is fresh for this
+    // engine + mix pair (one mix per process), so the metric-balance checks
+    // are exact — with or without an armed fault plan.
+    let invariants = check_chaos_invariants(
+        &engine,
+        &report,
+        oracle_digests.as_deref(),
+        telemetry::metrics::global(),
+    );
+    if !invariants.ok() {
+        eprintln!("error: chaos invariants violated:\n{}", invariants.render());
+    } else if !quiet && !plan.is_empty() {
+        eprintln!("chaos invariants:\n{}", invariants.render());
+    }
+
     let table = latency_table(&report);
     if !quiet {
         println!("{}", render(&table));
         println!(
-            "admitted {}/{} (queue-full {}, cost-budget {}), {:.0} completed/s over {:.1} ms",
+            "admitted {}/{} (queue-full {}, cost-budget {}, retries {}), \
+             {:.0} completed/s over {:.1} ms",
             report.admitted,
             report.total_requests,
             report.rejected_queue_full,
             report.rejected_cost_budget,
+            report.retries,
             report.throughput_rps,
             report.wall_us as f64 / 1000.0
         );
+        if !report.fault_fired.is_empty() {
+            let fired: Vec<String> = report
+                .fault_fired
+                .iter()
+                .map(|(label, count)| format!("{label} x{count}"))
+                .collect();
+            println!("faults fired: {}", fired.join(", "));
+        }
     }
 
     if let Some(path) = arg_value("--emit") {
@@ -227,6 +291,9 @@ fn main() -> ExitCode {
         manifest.dataset = Some(dataset_name.clone());
         manifest.threads = cfg.pool_threads as u64;
         manifest.features = telemetry::compiled_features();
+        if chaos::compiled() {
+            manifest.features.push("chaos".into());
+        }
         manifest.param("vertices", vertices);
         manifest.param("seed", spec.seed);
         manifest.param("requests", spec.requests);
@@ -254,6 +321,18 @@ fn main() -> ExitCode {
                 .map(|c| c.to_string())
                 .unwrap_or_else(|| "off".into()),
         );
+        manifest.param(
+            "faults",
+            arg_value("--faults").unwrap_or_else(|| "none".into()),
+        );
+        if !plan.is_empty() {
+            manifest.param("fault_seed", plan.seed);
+            manifest.param("fault_max_retries", plan.max_retries);
+        }
+        for (label, count) in &report.fault_fired {
+            manifest.counter(&format!("chaos.fired.{label}"), *count);
+        }
+        invariants.write_to_manifest(&mut manifest);
         for class in &report.classes {
             let name = class.class.name();
             manifest.gauge(&format!("engine.p50_us.{name}"), class.p50_us as f64);
@@ -276,5 +355,9 @@ fn main() -> ExitCode {
             eprintln!("run manifest written to {path}");
         }
     }
-    ExitCode::SUCCESS
+    if invariants.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

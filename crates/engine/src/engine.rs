@@ -13,10 +13,12 @@
 //! cancels the query instead of completing it late.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use graphbig_chaos::{self as chaos, FaultAction};
 use graphbig_framework::csr::Csr;
 use graphbig_runtime::{CancelToken, ThreadPool};
 use graphbig_telemetry::metrics::{Counter, Histogram, Registry};
@@ -149,6 +151,10 @@ pub enum QueryStatus {
     Cancelled,
     /// The workload has no serving entry point.
     Unsupported(Workload),
+    /// The kernel panicked; the panic was caught at the executor boundary,
+    /// only this query failed, and the engine keeps serving. Carries the
+    /// panic message.
+    Failed(String),
 }
 
 /// What the engine hands back for one admitted query.
@@ -187,6 +193,35 @@ impl Ticket {
     }
 }
 
+/// One-shot response channel. Exactly one of the paths that can terminate a
+/// query (executor completion, shutdown shedding, drain-on-drop) wins the
+/// CAS and sends; any loser is counted in `engine.double_resolve` instead
+/// of delivering a second response. This is what makes "every ticket
+/// resolved exactly once" a checkable invariant rather than a convention.
+struct Resolver {
+    tx: Sender<QueryResponse>,
+    done: AtomicBool,
+}
+
+impl Resolver {
+    fn new(tx: Sender<QueryResponse>) -> Self {
+        Resolver {
+            tx,
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn resolve(&self, metrics: &EngineMetrics, response: QueryResponse) {
+        if self.done.swap(true, Ordering::AcqRel) {
+            metrics.double_resolve.inc();
+            return;
+        }
+        metrics.resolved.inc();
+        // A dropped ticket just means nobody is waiting; not an error.
+        let _ = self.tx.send(response);
+    }
+}
+
 struct Job {
     query: Query,
     class: CostClass,
@@ -194,7 +229,10 @@ struct Job {
     snapshot: Arc<EpochSnapshot>,
     token: CancelToken,
     enqueued: Instant,
-    tx: Sender<QueryResponse>,
+    /// Chaos request key (also the token's chaos key); auto-assigned for
+    /// untagged submissions.
+    tag: u64,
+    resolver: Resolver,
 }
 
 struct Lanes {
@@ -230,6 +268,9 @@ struct EngineMetrics {
     deadline_missed: Counter,
     cancelled: Counter,
     unsupported: Counter,
+    failed: Counter,
+    resolved: Counter,
+    double_resolve: Counter,
     completed: [Counter; 3],
     latency_us: [Histogram; 3],
     queue_us: Histogram,
@@ -246,6 +287,9 @@ impl EngineMetrics {
             deadline_missed: reg.counter("engine.deadline_missed"),
             cancelled: reg.counter("engine.cancelled"),
             unsupported: reg.counter("engine.unsupported"),
+            failed: reg.counter("engine.failed"),
+            resolved: reg.counter("engine.resolved"),
+            double_resolve: reg.counter("engine.double_resolve"),
             completed: [
                 class_counter(CostClass::Point),
                 class_counter(CostClass::Traversal),
@@ -277,8 +321,14 @@ pub struct Engine {
     metrics: EngineMetrics,
     default_deadline: Option<Duration>,
     shards: usize,
+    auto_tag: AtomicU64,
     executors: Vec<std::thread::JoinHandle<()>>,
 }
+
+/// Auto-assigned chaos tags live above any tag the traffic driver hands
+/// out (`attempt << 32 | request_idx`), so direct `submit` calls never
+/// collide with a driven request's fault decisions.
+const AUTO_TAG_BASE: u64 = 1 << 48;
 
 impl Engine {
     /// An engine serving `csr` with metrics in the process-wide registry.
@@ -318,6 +368,7 @@ impl Engine {
             metrics,
             default_deadline: cfg.default_deadline,
             shards: cfg.shards,
+            auto_tag: AtomicU64::new(0),
             executors,
         }
     }
@@ -334,6 +385,19 @@ impl Engine {
         query: Query,
         deadline: Option<Duration>,
     ) -> Result<Ticket, RejectReason> {
+        let tag = AUTO_TAG_BASE | self.auto_tag.fetch_add(1, Ordering::Relaxed);
+        self.submit_tagged(query, deadline, tag)
+    }
+
+    /// Submit with an explicit deadline and chaos request key. The traffic
+    /// driver tags every request `attempt << 32 | request_idx`, making every
+    /// failpoint decision for it a pure function of the fault-plan seed.
+    pub fn submit_tagged(
+        &self,
+        query: Query,
+        deadline: Option<Duration>,
+        tag: u64,
+    ) -> Result<Ticket, RejectReason> {
         let snapshot = self.store.snapshot();
         let (n, m) = (
             snapshot.graph().num_vertices() as u64,
@@ -348,11 +412,37 @@ impl Engine {
             }
             return Err(reason);
         }
+        // Failpoint `engine.admit`: force a spurious rejection *after* a
+        // successful admission (rolling the reservation back so the
+        // controller's books look exactly like a real rejection), or delay.
+        if let Some(fault) = chaos::failpoint!("engine.admit", tag) {
+            match fault.action {
+                FaultAction::RejectQueueFull => {
+                    self.shared.admission.cancel_admit(cost);
+                    self.metrics.rejected_queue.inc();
+                    return Err(RejectReason::QueueFull {
+                        depth: self.shared.admission.queued(),
+                        limit: self.shared.admission.max_queue(),
+                    });
+                }
+                FaultAction::RejectCostBudget => {
+                    self.shared.admission.cancel_admit(cost);
+                    self.metrics.rejected_cost.inc();
+                    return Err(RejectReason::CostBudget {
+                        in_flight: self.shared.admission.in_flight_cost(),
+                        requested: cost,
+                        limit: self.shared.admission.max_cost(),
+                    });
+                }
+                _ => {}
+            }
+        }
         self.metrics.submitted.inc();
         let token = match deadline {
             Some(d) => CancelToken::with_timeout(d),
             None => CancelToken::new(),
-        };
+        }
+        .with_chaos_key(tag);
         let (tx, rx) = channel();
         let job = Job {
             query,
@@ -361,7 +451,8 @@ impl Engine {
             snapshot,
             token: token.clone(),
             enqueued: Instant::now(),
-            tx,
+            tag,
+            resolver: Resolver::new(tx),
         };
         lock(&self.shared.lanes).queues[lane(class)].push_back(job);
         self.shared.available.notify_one();
@@ -372,7 +463,27 @@ impl Engine {
     /// shard count). In-flight queries keep the epoch they were admitted
     /// under.
     pub fn publish(&self, csr: Csr) -> u64 {
+        let _ = chaos::failpoint!("engine.publish");
         self.store.publish(ShardedGraph::build(csr, self.shards))
+    }
+
+    /// Republish the current graph under a new epoch number without
+    /// rebuilding shards — the chaos driver's cheap mid-mix epoch bump.
+    pub fn republish(&self) -> u64 {
+        let _ = chaos::failpoint!("engine.publish");
+        self.store.republish()
+    }
+
+    /// Executor threads still running (the chaos invariant "no executor
+    /// thread lost to a panic" compares this against
+    /// [`Engine::executor_count`]).
+    pub fn alive_executors(&self) -> usize {
+        self.executors.iter().filter(|h| !h.is_finished()).count()
+    }
+
+    /// Configured executor thread count.
+    pub fn executor_count(&self) -> usize {
+        self.executors.len()
     }
 
     /// The epoch store (snapshots, epoch numbers, byte-level publish).
@@ -402,6 +513,28 @@ impl Drop for Engine {
         for h in self.executors.drain(..) {
             let _ = h.join();
         }
+        // Backstop: if any job is still queued after the executors exited
+        // (only possible if an executor died outside its panic guard),
+        // resolve it here so no ticket ever hangs. The Resolver CAS makes
+        // this race-free against any response an executor already sent.
+        let mut lanes = lock(&self.shared.lanes);
+        for queue in lanes.queues.iter_mut() {
+            while let Some(job) = queue.pop_front() {
+                self.shared.admission.on_start();
+                self.shared.admission.on_finish(job.cost);
+                self.metrics.cancelled.inc();
+                job.resolver.resolve(
+                    &self.metrics,
+                    QueryResponse {
+                        epoch: job.snapshot.epoch(),
+                        class: job.class,
+                        status: QueryStatus::Cancelled,
+                        queue_us: job.enqueued.elapsed().as_micros() as u64,
+                        exec_us: 0,
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -429,10 +562,22 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics) {
         let queue_us = job.enqueued.elapsed().as_micros() as u64;
         metrics.queue_us.record(queue_us);
         let lane_idx = lane(job.class);
+        // Failpoint `engine.dequeue`: force a terminal status before the
+        // kernel runs (deadline expiry / cancellation), or delay pickup.
+        let forced = match chaos::failpoint!("engine.dequeue", job.tag) {
+            Some(fault) => match fault.action {
+                FaultAction::DeadlineExpire => Some(QueryStatus::DeadlineExceeded),
+                FaultAction::Cancel => Some(QueryStatus::Cancelled),
+                _ => None,
+            },
+            None => None,
+        };
         let exec_start = Instant::now();
         let status = if draining {
             // Engine shutting down: shed the query without running it.
             QueryStatus::Cancelled
+        } else if let Some(forced) = forced {
+            forced
         } else if job.token.is_cancelled() {
             // Fired while queued — never start doomed work.
             if job.token.deadline_passed() {
@@ -441,7 +586,7 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics) {
                 QueryStatus::Cancelled
             }
         } else {
-            run_query(&job, pool)
+            run_guarded(&job, pool)
         };
         let exec_us = exec_start.elapsed().as_micros() as u64;
         match &status {
@@ -452,6 +597,7 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics) {
             QueryStatus::DeadlineExceeded => metrics.deadline_missed.inc(),
             QueryStatus::Cancelled => metrics.cancelled.inc(),
             QueryStatus::Unsupported(_) => metrics.unsupported.inc(),
+            QueryStatus::Failed(_) => metrics.failed.inc(),
         }
         shared.admission.on_finish(job.cost);
         let response = QueryResponse {
@@ -461,8 +607,43 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics) {
             queue_us,
             exec_us,
         };
-        // A dropped ticket just means nobody is waiting; not an error.
-        let _ = job.tx.send(response);
+        job.resolver.resolve(metrics, response);
+    }
+}
+
+/// Run the query inside a panic guard. A kernel panic — injected via the
+/// `engine.run.pre`/`engine.run.post`/`runtime.cancel.check` failpoints, or
+/// a genuine bug surfacing through `ThreadPool::broadcast`'s re-throw —
+/// terminates *this query* with [`QueryStatus::Failed`]; the executor
+/// thread, the pool workers, and every other query keep going.
+fn run_guarded(job: &Job, pool: &ThreadPool) -> QueryStatus {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(fault) = chaos::failpoint!("engine.run.pre", job.tag) {
+            if fault.is_panic() {
+                panic!("{} at engine.run.pre", chaos::PANIC_MSG);
+            }
+        }
+        let status = run_query(job, pool);
+        if let Some(fault) = chaos::failpoint!("engine.run.post", job.tag) {
+            if fault.is_panic() {
+                panic!("{} at engine.run.post", chaos::PANIC_MSG);
+            }
+        }
+        status
+    }));
+    match result {
+        Ok(status) => status,
+        Err(payload) => QueryStatus::Failed(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -19,17 +19,22 @@
 //! - [`traffic`]: seeded multi-tenant request mixes, the closed-loop
 //!   driver behind the `graphbig-serve` binary and `benches/engine.rs`,
 //!   and the sequential oracle that cross-checks every concurrent result.
+//! - [`invariants`]: the post-chaos sweep proving the engine state and
+//!   metrics are exactly consistent after a fault-injected mix
+//!   (`run_chaos_mix` + a `FaultPlan` from `graphbig-chaos`).
 
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod engine;
+pub mod invariants;
 pub mod shard;
 pub mod store;
 pub mod traffic;
 
 pub use admission::{AdmissionController, RejectReason};
 pub use engine::{Engine, EngineConfig, Query, QueryOutput, QueryResponse, QueryStatus, Ticket};
+pub use invariants::{check_chaos_invariants, InvariantCheck, InvariantReport};
 pub use shard::{CsrShard, ShardedGraph};
 pub use store::{EpochSnapshot, GraphStore};
 pub use traffic::{MixSpec, TrafficReport};

@@ -15,10 +15,12 @@ use graphbig_framework::snapshot;
 
 use crate::shard::ShardedGraph;
 
-/// One immutable published graph version.
+/// One immutable published graph version. The graph itself is behind its
+/// own `Arc` so a republish ([`GraphStore::republish`]) can stamp a new
+/// epoch onto the same graph without copying shards.
 pub struct EpochSnapshot {
     epoch: u64,
-    graph: ShardedGraph,
+    graph: Arc<ShardedGraph>,
 }
 
 impl EpochSnapshot {
@@ -42,7 +44,10 @@ impl GraphStore {
     /// A store whose first epoch (1) is `graph`.
     pub fn new(graph: ShardedGraph) -> Self {
         GraphStore {
-            current: Mutex::new(Arc::new(EpochSnapshot { epoch: 1, graph })),
+            current: Mutex::new(Arc::new(EpochSnapshot {
+                epoch: 1,
+                graph: Arc::new(graph),
+            })),
         }
     }
 
@@ -57,6 +62,21 @@ impl GraphStore {
     pub fn publish(&self, graph: ShardedGraph) -> u64 {
         let mut current = self.current.lock().unwrap_or_else(|e| e.into_inner());
         let epoch = current.epoch + 1;
+        *current = Arc::new(EpochSnapshot {
+            epoch,
+            graph: Arc::new(graph),
+        });
+        epoch
+    }
+
+    /// Republish the *current* graph under a new epoch number — a pure
+    /// version bump sharing the existing shards. The chaos driver uses this
+    /// to exercise mid-mix epoch transitions without paying a reshard;
+    /// queries admitted before the bump keep their old epoch number.
+    pub fn republish(&self) -> u64 {
+        let mut current = self.current.lock().unwrap_or_else(|e| e.into_inner());
+        let epoch = current.epoch + 1;
+        let graph = Arc::clone(&current.graph);
         *current = Arc::new(EpochSnapshot { epoch, graph });
         epoch
     }
@@ -100,6 +120,17 @@ mod tests {
         assert_eq!(old.epoch(), 1);
         assert_eq!(old.graph().num_vertices(), 64);
         assert_eq!(store.snapshot().graph().num_vertices(), 128);
+    }
+
+    #[test]
+    fn republish_bumps_epoch_and_shares_the_graph() {
+        let store = GraphStore::new(graph(64));
+        let before = store.snapshot();
+        assert_eq!(store.republish(), 2);
+        let after = store.snapshot();
+        assert_eq!(after.epoch(), 2);
+        // Same shards, new version: the graphs are literally shared.
+        assert!(std::ptr::eq(before.graph(), after.graph()));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use std::time::{Duration, Instant};
 
+use graphbig_chaos::{self as chaos, FaultAction, FaultPlan};
 use graphbig_datagen::rng::Rng;
 use graphbig_json::json_struct;
 use graphbig_runtime::{CancelToken, ThreadPool};
@@ -114,6 +115,8 @@ pub struct ClassStats {
     pub deadline_missed: u64,
     /// Queries cancelled explicitly or shed at shutdown.
     pub cancelled: u64,
+    /// Queries whose kernel panicked (caught at the executor boundary).
+    pub failed: u64,
     /// Median end-to-end latency (queue + exec) in microseconds.
     pub p50_us: u64,
     /// 99th percentile latency in microseconds.
@@ -137,6 +140,10 @@ pub struct TrafficReport {
     pub rejected_cost_budget: u64,
     /// Admitted queries whose workload has no serving entry point.
     pub unsupported: u64,
+    /// Resubmissions after a rejection (0 unless a [`FaultPlan`] enables
+    /// retry). Rejection counts above are *final* outcomes only; the
+    /// engine-side `engine.rejected.*` counters see finals + retries.
+    pub retries: u64,
     /// Wall-clock time of the whole replay in microseconds.
     pub wall_us: u64,
     /// Completed queries per second of wall time.
@@ -146,6 +153,9 @@ pub struct TrafficReport {
     /// `(request index, digest)` for every completed query, ascending by
     /// index — the concurrent side of the oracle comparison.
     pub completed_digests: Vec<(usize, u64)>,
+    /// Fired-fault counts (`<site>.<action>`, count) captured before the
+    /// plan was disarmed. Empty for plain [`run_mix`] replays.
+    pub fault_fired: Vec<(String, u64)>,
 }
 
 impl TrafficReport {
@@ -179,47 +189,107 @@ enum Outcome {
 /// next submission — the standard closed-loop model, so offered load
 /// scales with the client count and rejected requests are *not* retried.
 pub fn run_mix(engine: &Engine, spec: &MixSpec) -> TrafficReport {
+    drive_mix(engine, spec, &FaultPlan::none())
+}
+
+/// Disarms the process-wide fault plan even if the drive panics.
+struct DisarmGuard;
+
+impl Drop for DisarmGuard {
+    fn drop(&mut self) {
+        chaos::disarm();
+    }
+}
+
+/// Replay `spec` under an armed [`FaultPlan`]: every failpoint decision is
+/// keyed by `attempt << 32 | request_idx`, and a rejected submission is
+/// retried up to `plan.max_retries` times with capped exponential backoff
+/// plus seeded jitter. The plan is disarmed before returning — chaos runs
+/// are process-serial — so the sequential oracle always runs injection-free.
+pub fn run_chaos_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport {
+    let _guard = if plan.is_empty() {
+        None
+    } else {
+        chaos::arm(plan);
+        Some(DisarmGuard)
+    };
+    let mut report = drive_mix(engine, spec, plan);
+    report.fault_fired = chaos::fired_counts();
+    report
+}
+
+fn drive_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport {
     let n = engine.store().snapshot().graph().num_vertices() as u32;
     let queries = generate_requests(spec, n);
     let clients = spec.clients.max(1);
     let deadline = spec.deadline_ms.map(Duration::from_millis);
     let start = Instant::now();
-    let mut outcomes: Vec<(usize, Outcome)> = std::thread::scope(|scope| {
+    let per_client: Vec<(Vec<(usize, Outcome)>, u64)> = std::thread::scope(|scope| {
         let queries = &queries;
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(
+                        plan.seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut retries = 0u64;
                     let mut out = Vec::new();
                     for (i, q) in queries.iter().enumerate() {
                         if i % clients != c {
                             continue;
                         }
-                        let submitted = match deadline {
-                            Some(d) => engine.submit_with_deadline(*q, Some(d)),
-                            None => engine.submit(*q),
-                        };
-                        match submitted {
-                            Ok(ticket) => {
-                                let response = ticket.wait();
-                                let digest = match &response.status {
-                                    QueryStatus::Completed(o) => Some(o.digest()),
-                                    _ => None,
-                                };
-                                out.push((i, Outcome::Response(response, digest)));
+                        let mut attempt = 0u64;
+                        let outcome = loop {
+                            let tag = (attempt << 32) | i as u64;
+                            // Failpoint `traffic.republish`: bump the epoch
+                            // from the driver mid-mix before submitting.
+                            if let Some(fault) = chaos::failpoint!("traffic.republish", tag) {
+                                if fault.action == FaultAction::Republish {
+                                    engine.republish();
+                                }
                             }
-                            Err(reason) => out.push((i, Outcome::Rejected(reason))),
-                        }
+                            match engine.submit_tagged(*q, deadline, tag) {
+                                Ok(ticket) => {
+                                    let response = ticket.wait();
+                                    let digest = match &response.status {
+                                        QueryStatus::Completed(o) => Some(o.digest()),
+                                        _ => None,
+                                    };
+                                    break Outcome::Response(response, digest);
+                                }
+                                Err(reason) => {
+                                    if attempt >= plan.max_retries {
+                                        break Outcome::Rejected(reason);
+                                    }
+                                    retries += 1;
+                                    let exp = plan
+                                        .backoff_base_us
+                                        .saturating_mul(1u64 << attempt.min(20))
+                                        .min(plan.backoff_cap_us.max(plan.backoff_base_us));
+                                    let jitter = rng.u64_below(exp / 2 + 1);
+                                    std::thread::sleep(Duration::from_micros(exp + jitter));
+                                    attempt += 1;
+                                }
+                            }
+                        };
+                        out.push((i, outcome));
                     }
-                    out
+                    (out, retries)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("client thread panicked"))
+            .map(|h| h.join().expect("client thread panicked"))
             .collect()
     });
     let wall_us = start.elapsed().as_micros().max(1) as u64;
+    let mut retries = 0u64;
+    let mut outcomes: Vec<(usize, Outcome)> = Vec::with_capacity(queries.len());
+    for (client_outcomes, client_retries) in per_client {
+        retries += client_retries;
+        outcomes.extend(client_outcomes);
+    }
     outcomes.sort_by_key(|(i, _)| *i);
 
     let mut admitted = 0u64;
@@ -231,6 +301,7 @@ pub fn run_mix(engine: &Engine, spec: &MixSpec) -> TrafficReport {
     let mut completed = [0u64; 3];
     let mut missed = [0u64; 3];
     let mut cancelled = [0u64; 3];
+    let mut failed = [0u64; 3];
     for (i, outcome) in &outcomes {
         match outcome {
             Outcome::Rejected(crate::admission::RejectReason::QueueFull { .. }) => {
@@ -254,6 +325,7 @@ pub fn run_mix(engine: &Engine, spec: &MixSpec) -> TrafficReport {
                     QueryStatus::DeadlineExceeded => missed[lane] += 1,
                     QueryStatus::Cancelled => cancelled[lane] += 1,
                     QueryStatus::Unsupported(_) => unsupported += 1,
+                    QueryStatus::Failed(_) => failed[lane] += 1,
                 }
             }
         }
@@ -269,6 +341,7 @@ pub fn run_mix(engine: &Engine, spec: &MixSpec) -> TrafficReport {
                 completed: completed[lane],
                 deadline_missed: missed[lane],
                 cancelled: cancelled[lane],
+                failed: failed[lane],
                 p50_us: percentile(s, 0.50),
                 p99_us: percentile(s, 0.99),
                 p999_us: percentile(s, 0.999),
@@ -283,10 +356,12 @@ pub fn run_mix(engine: &Engine, spec: &MixSpec) -> TrafficReport {
         rejected_queue_full,
         rejected_cost_budget,
         unsupported,
+        retries,
         wall_us,
         throughput_rps: total_completed as f64 * 1_000_000.0 / wall_us as f64,
         classes,
         completed_digests,
+        fault_fired: Vec::new(),
     }
 }
 
@@ -478,7 +553,7 @@ mod tests {
         let outcomes: u64 = report
             .classes
             .iter()
-            .map(|c| c.completed + c.deadline_missed + c.cancelled)
+            .map(|c| c.completed + c.deadline_missed + c.cancelled + c.failed)
             .sum::<u64>()
             + report.unsupported;
         assert_eq!(outcomes, report.admitted);

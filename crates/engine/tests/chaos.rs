@@ -1,0 +1,408 @@
+//! Seeded chaos matrix: FaultPlans × mixes, all invariants checked.
+//!
+//! Only compiled with the `chaos` feature (`cargo test -p graphbig-engine
+//! --features chaos`; the default workspace test sweep also enables it via
+//! `graphbig-bench`). The armed fault plan is process-global, so every test
+//! takes `SERIAL` — chaos runs are process-serial by design.
+#![cfg(feature = "chaos")]
+
+use std::sync::{Mutex, MutexGuard, Once};
+
+use graphbig_chaos::{self as chaos, FaultAction, FaultPlan, FaultSpec, Trigger};
+use graphbig_datagen::Dataset;
+use graphbig_engine::traffic::{generate_requests, run_chaos_mix, sequential_digests, MixSpec};
+use graphbig_engine::{check_chaos_invariants, Engine, EngineConfig, Query, QueryStatus};
+use graphbig_framework::csr::Csr;
+use graphbig_telemetry::metrics::{MetricValue, Registry};
+use graphbig_workloads::Workload;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+static QUIET: Once = Once::new();
+
+fn serial() -> MutexGuard<'static, ()> {
+    QUIET.call_once(chaos::install_quiet_panic_hook);
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn engine(n: usize, reg: &Registry) -> Engine {
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(n));
+    Engine::with_registry(
+        EngineConfig {
+            executors: 2,
+            pool_threads: 2,
+            ..EngineConfig::default()
+        },
+        csr,
+        reg,
+    )
+}
+
+fn fault(site: &str, trigger: Trigger, action: FaultAction) -> FaultSpec {
+    FaultSpec {
+        site: site.to_string(),
+        trigger,
+        action,
+        p: 0.0,
+        n: 0,
+        schedule: Vec::new(),
+        delay_us: 0,
+    }
+}
+
+fn plan(seed: u64, faults: Vec<FaultSpec>) -> FaultPlan {
+    FaultPlan {
+        seed,
+        max_retries: 3,
+        backoff_base_us: 50,
+        backoff_cap_us: 400,
+        faults,
+    }
+}
+
+/// The schedule-independent outcome of a run: per-class outcome counts,
+/// the admission tally, retries, and every completed digest. Latency
+/// percentiles are deliberately excluded — they are timing, not outcome.
+type Tally = (
+    Vec<(u64, u64, u64, u64)>,
+    u64,
+    u64,
+    u64,
+    u64,
+    Vec<(usize, u64)>,
+);
+
+fn tally(report: &graphbig_engine::TrafficReport) -> Tally {
+    (
+        report
+            .classes
+            .iter()
+            .map(|c| (c.completed, c.deadline_missed, c.cancelled, c.failed))
+            .collect(),
+        report.admitted,
+        report.rejected_queue_full,
+        report.rejected_cost_budget,
+        report.retries,
+        report.completed_digests.clone(),
+    )
+}
+
+/// Run a chaotic mix, check every invariant (including the oracle), and
+/// panic with the rendered report on any violation.
+fn run_checked(
+    engine: &Engine,
+    spec: &MixSpec,
+    plan: &FaultPlan,
+    reg: &Registry,
+) -> graphbig_engine::TrafficReport {
+    let report = run_chaos_mix(engine, spec, plan);
+    assert!(
+        !chaos::is_armed(),
+        "run_chaos_mix must disarm before returning"
+    );
+    let snapshot = engine.store().snapshot();
+    let queries = generate_requests(spec, snapshot.graph().num_vertices() as u32);
+    let oracle = sequential_digests(snapshot.graph(), engine.pool(), &queries);
+    let inv = check_chaos_invariants(engine, &report, Some(&oracle), reg);
+    assert!(inv.ok(), "invariants violated:\n{}", inv.render());
+    report
+}
+
+#[test]
+fn reject_storm_retries_and_stays_consistent() {
+    let _g = serial();
+    let mut storm = fault(
+        "engine.admit",
+        Trigger::Probability,
+        FaultAction::RejectQueueFull,
+    );
+    storm.p = 0.4;
+    let mut budget = fault(
+        "engine.admit",
+        Trigger::Probability,
+        FaultAction::RejectCostBudget,
+    );
+    budget.p = 0.1;
+    let plan = plan(11, vec![storm, budget]);
+    let spec = MixSpec {
+        requests: 60,
+        clients: 3,
+        ..MixSpec::default()
+    };
+    let reg = Registry::new();
+    let eng = engine(300, &reg);
+    let report = run_checked(&eng, &spec, &plan, &reg);
+    assert!(
+        report.retries > 0,
+        "p=0.5 combined storm must force retries"
+    );
+    // p=0.4/0.1 with only 3 retries: some requests exhaust their budget.
+    assert!(
+        report.rejected_queue_full + report.rejected_cost_budget > 0,
+        "some requests should exhaust retries"
+    );
+    assert!(
+        report.admitted > 0,
+        "retries must get most requests through"
+    );
+}
+
+#[test]
+fn deadline_storm_is_replayable_from_the_seed() {
+    let _g = serial();
+    let mut storm = fault(
+        "engine.dequeue",
+        Trigger::EveryNth,
+        FaultAction::DeadlineExpire,
+    );
+    storm.n = 4;
+    let plan = plan(5, vec![storm]);
+    let spec = MixSpec {
+        requests: 48,
+        clients: 2,
+        ..MixSpec::default()
+    };
+    let run = || {
+        let reg = Registry::new();
+        let eng = engine(300, &reg);
+        tally(&run_checked(&eng, &spec, &plan, &reg))
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed, same outcome tally and digests");
+    let missed: u64 = first.0.iter().map(|c| c.1).sum();
+    assert_eq!(missed, 12, "every 4th of 48 requests expires at dequeue");
+}
+
+#[test]
+fn kernel_panic_marks_only_that_query_failed_and_engine_keeps_serving() {
+    let _g = serial();
+    let mut bomb = fault("engine.run.pre", Trigger::Schedule, FaultAction::Panic);
+    bomb.schedule = vec![1, 3, 7];
+    let plan = plan(3, vec![bomb]);
+    let spec = MixSpec {
+        requests: 20,
+        clients: 2,
+        ..MixSpec::default()
+    };
+    let reg = Registry::new();
+    let eng = engine(300, &reg);
+    let report = run_checked(&eng, &spec, &plan, &reg);
+    let failed: u64 = report.classes.iter().map(|c| c.failed).sum();
+    assert_eq!(failed, 3, "exactly the scheduled requests fail");
+    let completed: u64 = report.classes.iter().map(|c| c.completed).sum();
+    assert_eq!(completed, 17, "every other request completes normally");
+    // Regression: the engine survives kernel panics — no executor died and
+    // a fresh query still completes.
+    assert_eq!(eng.alive_executors(), eng.executor_count());
+    let r = eng.submit(Query::Degree { vertex: 0 }).unwrap().wait();
+    assert!(matches!(r.status, QueryStatus::Completed(_)));
+    assert_eq!(
+        reg.snapshot()["engine.failed"],
+        MetricValue::Counter(3),
+        "failed counter matches"
+    );
+}
+
+#[test]
+fn panic_inside_a_parallel_kernel_is_contained() {
+    let _g = serial();
+    // Cancel-check panics fire inside running kernels on the executor
+    // thread; pool workers and the executor must both survive.
+    let mut bomb = fault(
+        "runtime.cancel.check",
+        Trigger::Probability,
+        FaultAction::Panic,
+    );
+    bomb.p = 0.3;
+    let plan = plan(17, vec![bomb]);
+    let spec = MixSpec {
+        requests: 24,
+        clients: 2,
+        point_weight: 0,
+        traversal_weight: 50,
+        analytics_weight: 50,
+        ..MixSpec::default()
+    };
+    let reg = Registry::new();
+    let eng = engine(400, &reg);
+    let report = run_checked(&eng, &spec, &plan, &reg);
+    let failed: u64 = report.classes.iter().map(|c| c.failed).sum();
+    assert!(
+        failed > 0,
+        "p=0.3 over 24 kernel queries must hit something"
+    );
+    assert_eq!(eng.alive_executors(), eng.executor_count());
+}
+
+#[test]
+fn republish_during_mix_preserves_oracle_equality() {
+    let _g = serial();
+    let mut bump = fault(
+        "traffic.republish",
+        Trigger::EveryNth,
+        FaultAction::Republish,
+    );
+    bump.n = 7;
+    let plan = plan(23, vec![bump]);
+    let spec = MixSpec {
+        requests: 42,
+        clients: 3,
+        ..MixSpec::default()
+    };
+    let reg = Registry::new();
+    let eng = engine(300, &reg);
+    let report = run_checked(&eng, &spec, &plan, &reg);
+    assert!(
+        eng.store().epoch() > 1,
+        "mid-mix republishes must bump the epoch"
+    );
+    let completed: u64 = report.classes.iter().map(|c| c.completed).sum();
+    assert_eq!(completed, 42, "republish is not an error path");
+}
+
+#[test]
+fn forced_cancellation_storm_is_deterministic() {
+    let _g = serial();
+    let mut storm = fault(
+        "runtime.cancel.check",
+        Trigger::Probability,
+        FaultAction::Cancel,
+    );
+    storm.p = 0.5;
+    let plan = plan(29, vec![storm]);
+    let spec = MixSpec {
+        requests: 24,
+        clients: 2,
+        point_weight: 0,
+        traversal_weight: 50,
+        analytics_weight: 50,
+        ..MixSpec::default()
+    };
+    let run = || {
+        let reg = Registry::new();
+        let eng = engine(300, &reg);
+        tally(&run_checked(&eng, &spec, &plan, &reg))
+    };
+    let first = run();
+    assert_eq!(first, run(), "token-keyed cancel decisions are replayable");
+    let cancelled: u64 = first.0.iter().map(|c| c.2).sum();
+    assert!(cancelled > 0, "p=0.5 must cancel some kernels");
+}
+
+#[test]
+fn seeded_matrix_of_plans_times_mixes_holds_every_invariant() {
+    let _g = serial();
+    let mut reject = fault(
+        "engine.admit",
+        Trigger::Probability,
+        FaultAction::RejectQueueFull,
+    );
+    reject.p = 0.3;
+    let mut expire = fault(
+        "engine.dequeue",
+        Trigger::EveryNth,
+        FaultAction::DeadlineExpire,
+    );
+    expire.n = 5;
+    let mut bombs = fault("engine.run.pre", Trigger::Probability, FaultAction::Panic);
+    bombs.p = 0.08;
+    let mut bump = fault(
+        "traffic.republish",
+        Trigger::EveryNth,
+        FaultAction::Republish,
+    );
+    bump.n = 9;
+    let mut cancel = fault(
+        "runtime.cancel.check",
+        Trigger::Probability,
+        FaultAction::Cancel,
+    );
+    cancel.p = 0.15;
+    let mut slow = fault("engine.dequeue", Trigger::Probability, FaultAction::Delay);
+    slow.p = 0.2;
+    slow.delay_us = 300;
+    let plans = [
+        plan(101, vec![reject.clone()]),
+        plan(102, vec![expire.clone()]),
+        plan(103, vec![bombs.clone()]),
+        plan(104, vec![bump.clone()]),
+        plan(105, vec![reject, expire, bombs, bump, cancel, slow]),
+    ];
+    let mixes = [
+        MixSpec {
+            requests: 30,
+            clients: 2,
+            ..MixSpec::default()
+        },
+        MixSpec {
+            requests: 24,
+            clients: 3,
+            point_weight: 10,
+            traversal_weight: 30,
+            analytics_weight: 60,
+            ..MixSpec::default()
+        },
+    ];
+    for (pi, plan) in plans.iter().enumerate() {
+        for (mi, spec) in mixes.iter().enumerate() {
+            let reg = Registry::new();
+            let eng = engine(250, &reg);
+            let report = run_chaos_mix(&eng, spec, plan);
+            let snapshot = eng.store().snapshot();
+            let queries = generate_requests(spec, snapshot.graph().num_vertices() as u32);
+            let oracle = sequential_digests(snapshot.graph(), eng.pool(), &queries);
+            let inv = check_chaos_invariants(&eng, &report, Some(&oracle), &reg);
+            assert!(
+                inv.ok(),
+                "plan {pi} × mix {mi} violated invariants:\n{}",
+                inv.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn shutdown_drain_never_double_resolves_tickets() {
+    let _g = serial();
+    // Slow every dequeue so queued analytics are still pending when the
+    // engine drops — the shutdown shed and the drain backstop both race to
+    // resolve them, and the one-shot CAS must let exactly one win.
+    let mut slow = fault("engine.dequeue", Trigger::Always, FaultAction::Delay);
+    slow.delay_us = 2_000;
+    let plan = plan(31, vec![slow]);
+    chaos::arm(&plan);
+    let reg = Registry::new();
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(400));
+    let eng = Engine::with_registry(
+        EngineConfig {
+            executors: 1,
+            pool_threads: 1,
+            ..EngineConfig::default()
+        },
+        csr,
+        &reg,
+    );
+    let tickets: Vec<_> = (0..10)
+        .filter_map(|_| {
+            eng.submit(Query::Run {
+                workload: Workload::KCore,
+                source: 0,
+            })
+            .ok()
+        })
+        .collect();
+    let submitted = tickets.len() as u64;
+    drop(eng);
+    chaos::disarm();
+    for t in tickets {
+        let r = t.wait();
+        assert!(
+            matches!(r.status, QueryStatus::Completed(_) | QueryStatus::Cancelled),
+            "shutdown must complete or shed, got {:?}",
+            r.status
+        );
+    }
+    let snap = reg.snapshot();
+    assert_eq!(snap["engine.resolved"], MetricValue::Counter(submitted));
+    assert_eq!(snap["engine.double_resolve"], MetricValue::Counter(0));
+}

@@ -31,10 +31,26 @@ impl std::error::Error for Cancelled {}
 
 /// A cloneable cancellation handle: an atomic flag shared across clones plus
 /// an optional deadline fixed at construction.
-#[derive(Debug, Clone, Default)]
+///
+/// Tokens also carry an optional *chaos key* identifying the request at the
+/// `runtime.cancel.check` failpoint. Tokens without a key (the default —
+/// including [`CancelToken::never`], which the sequential oracle uses) are
+/// immune to injection even while a fault plan is armed.
+#[derive(Debug, Clone)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
     deadline: Option<Instant>,
+    key: u64,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken {
+            flag: Arc::default(),
+            deadline: None,
+            key: graphbig_chaos::NO_KEY,
+        }
+    }
 }
 
 impl CancelToken {
@@ -52,9 +68,21 @@ impl CancelToken {
     /// A token that also fires once `deadline` passes.
     pub fn with_deadline(deadline: Instant) -> Self {
         CancelToken {
-            flag: Arc::default(),
             deadline: Some(deadline),
+            ..Self::default()
         }
+    }
+
+    /// Tag this token with a chaos request key; the `runtime.cancel.check`
+    /// failpoint uses it to decide deterministically whether to inject.
+    pub fn with_chaos_key(mut self, key: u64) -> Self {
+        self.key = key;
+        self
+    }
+
+    /// The chaos key ([`graphbig_chaos::NO_KEY`] when untagged).
+    pub fn chaos_key(&self) -> u64 {
+        self.key
     }
 
     /// A token firing `timeout` from now.
@@ -89,8 +117,27 @@ impl CancelToken {
     }
 
     /// The polling call kernels place at superstep boundaries.
+    ///
+    /// Under an armed fault plan, the `runtime.cancel.check` failpoint may
+    /// delay here, force a cancellation (`Cancel` / `DeadlineExpire` both
+    /// set the shared flag so every later check agrees), or panic — kernels
+    /// run on the executor thread at superstep boundaries, where the
+    /// engine's panic guard converts that into a `Failed` status.
     #[inline]
     pub fn check(&self) -> Result<(), Cancelled> {
+        if let Some(fault) = graphbig_chaos::failpoint!("runtime.cancel.check", self.key) {
+            use graphbig_chaos::FaultAction;
+            match fault.action {
+                FaultAction::Cancel | FaultAction::DeadlineExpire => {
+                    self.cancel();
+                    return Err(Cancelled);
+                }
+                FaultAction::Panic => {
+                    panic!("{} at runtime.cancel.check", graphbig_chaos::PANIC_MSG)
+                }
+                _ => {}
+            }
+        }
         if self.is_cancelled() {
             Err(Cancelled)
         } else {

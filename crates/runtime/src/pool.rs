@@ -6,6 +6,7 @@
 //! enough to call inside iterative graph algorithms (level-synchronous BFS
 //! runs one region per frontier level).
 
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -14,10 +15,14 @@ use std::time::Instant;
 use graphbig_telemetry::metrics::{HistogramSnapshot, MetricSink};
 
 /// Completion latch: counts worker finishes and wakes the submitting thread.
+/// A panic inside a region job is caught by the worker, parked in `payload`,
+/// and re-thrown on the broadcasting thread after the region completes — a
+/// worker panic must never hang the latch or kill the pool.
 struct Latch {
     remaining: AtomicUsize,
     mutex: Mutex<()>,
     condvar: Condvar,
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl Latch {
@@ -26,7 +31,21 @@ impl Latch {
             remaining: AtomicUsize::new(count),
             mutex: Mutex::new(()),
             condvar: Condvar::new(),
+            payload: Mutex::new(None),
         }
+    }
+
+    /// Park the first panic payload for the waiter; later ones are dropped.
+    fn poison(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert(payload);
+    }
+
+    fn take_poison(&self) -> Option<Box<dyn Any + Send>> {
+        self.payload
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
     }
 
     fn count_down(&self) {
@@ -60,6 +79,7 @@ enum Msg {
 #[derive(Debug)]
 pub struct PoolStats {
     regions: AtomicU64,
+    worker_panics: AtomicU64,
     chunks: Vec<AtomicU64>,
     busy_us: Vec<AtomicU64>,
     created: Instant,
@@ -69,10 +89,17 @@ impl PoolStats {
     fn new(threads: usize) -> Self {
         PoolStats {
             regions: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             chunks: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             busy_us: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             created: Instant::now(),
         }
+    }
+
+    /// Panics caught inside region jobs (each is re-thrown on the
+    /// broadcasting thread; the worker itself survives).
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
     }
 
     /// Count one dynamic-scheduler chunk executed by `worker` (called by
@@ -135,9 +162,19 @@ impl ThreadPool {
                             match msg {
                                 Msg::Run(job, latch) => {
                                     let t0 = Instant::now();
-                                    {
-                                        let _region = graphbig_telemetry::span!("pool.region");
-                                        job(worker_idx);
+                                    // A panicking job must not kill the
+                                    // worker or strand the latch: catch,
+                                    // park the payload, and let `broadcast`
+                                    // re-throw it on the caller's thread.
+                                    let result = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            let _region = graphbig_telemetry::span!("pool.region");
+                                            job(worker_idx);
+                                        }),
+                                    );
+                                    if let Err(payload) = result {
+                                        stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                                        latch.poison(payload);
                                     }
                                     stats.busy_us[worker_idx].fetch_add(
                                         t0.elapsed().as_micros() as u64,
@@ -173,6 +210,7 @@ impl ThreadPool {
         sink.gauge("runtime.pool.threads", self.threads() as f64);
         sink.counter("runtime.pool.regions", stats.regions());
         sink.counter("runtime.pool.chunks", stats.total_chunks());
+        sink.counter("runtime.pool.worker_panics", stats.worker_panics());
         sink.gauge("runtime.pool.utilization", stats.utilization());
         let mut buckets: std::collections::BTreeMap<u64, u64> = Default::default();
         let mut sum = 0u64;
@@ -204,10 +242,23 @@ impl ThreadPool {
 
     /// Run `f(worker_index)` on every worker simultaneously and wait for all
     /// of them to finish (an SPMD region).
+    ///
+    /// If any worker's job panics, the first panic payload is re-thrown here
+    /// on the broadcasting thread *after* the region has fully completed —
+    /// the workers themselves survive and the pool stays usable.
+    ///
+    /// # Panics
+    /// Re-throws the first panic raised inside `f`, and panics under the
+    /// chaos `runtime.pool.region` failpoint when a `Panic` fault fires.
     pub fn broadcast<F>(&self, f: F)
     where
         F: Fn(usize) + Send + Sync,
     {
+        if let Some(fault) = graphbig_chaos::failpoint!("runtime.pool.region") {
+            if fault.is_panic() {
+                panic!("{} at runtime.pool.region", graphbig_chaos::PANIC_MSG);
+            }
+        }
         // The channel's job type is 'static, but callers want to borrow
         // stack state. Erase the closure's lifetime and rely on the latch:
         // `broadcast` does not return until every worker has finished, so
@@ -229,6 +280,9 @@ impl ThreadPool {
                 .expect("worker channel open");
         }
         latch.wait();
+        if let Some(payload) = latch.take_poison() {
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -324,6 +378,42 @@ mod tests {
             _ => unreachable!(),
         };
         assert!((0.0..=1.0).contains(&util));
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(3);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(|idx| {
+                if idx == 1 {
+                    std::panic::panic_any("region job exploded");
+                }
+            });
+        }))
+        .expect_err("broadcast must re-throw the worker panic");
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "region job exploded");
+        assert_eq!(pool.stats().worker_panics(), 1);
+        // Workers survived: the next region runs on all of them.
+        let hits = AtomicU64::new(0);
+        pool.broadcast(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn every_worker_panicking_still_releases_the_latch() {
+        let pool = ThreadPool::new(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(|_| panic!("all down"));
+        }));
+        assert!(caught.is_err());
+        assert_eq!(pool.stats().worker_panics(), 4);
+        let hits = AtomicU64::new(0);
+        pool.broadcast(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -31,4 +31,11 @@ cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --bin graphbig-serve 
 cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-bench --bin graphbig-report -- \
   --check results/golden_engine.json /tmp/engine_smoke.json
 
+echo "==> chaos smoke (same mix under the committed fault plan, oracle + invariants)"
+cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --features chaos --bin graphbig-serve -- \
+  --vertices 4096 --mix traffic/smoke_200.json --faults traffic/faults_smoke.json \
+  --oracle --quiet --emit /tmp/chaos_smoke.json
+cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-bench --bin graphbig-report -- \
+  --check results/golden_chaos.json /tmp/chaos_smoke.json
+
 echo "CI OK"
