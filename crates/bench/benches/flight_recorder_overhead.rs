@@ -1,0 +1,78 @@
+//! Flight-recorder overhead benchmark: the always-on claim, measured.
+//!
+//! The flight recorder has no feature gate — every build records lifecycle
+//! events into per-thread rings. This bench prices that decision on the
+//! heaviest per-event producer: a traced kernel (direction-optimizing BFS
+//! over LDBC at 2^16 vertices) whose cancel token carries a request id, so
+//! every cooperative cancel check drops a `kernel_step` event.
+//!
+//! * `recorder_on` — recording (the production default): each event is
+//!   four relaxed stores plus a release bump of the ring head.
+//! * `recorder_paused` — the runtime gate closed: one relaxed load per
+//!   event site, the floor the recording path is compared against.
+//!
+//! Pass `--assert-overhead-pct=N` to exit non-zero when the median
+//! `recorder_on` time exceeds `recorder_paused` by more than N% — CI pins
+//! this at 5%. Baseline numbers live in
+//! `results/BENCH_flight_recorder.json`.
+
+use graphbig::framework::csr::{BiCsr, Csr};
+use graphbig::prelude::*;
+use graphbig::runtime::CancelToken;
+use graphbig::telemetry::recorder;
+use graphbig::workloads::parallel;
+use graphbig_bench::timing::{black_box, Runner};
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4);
+    let g = Dataset::Ldbc.generate_with_vertices(1usize << 16);
+    let bi = BiCsr::directed(Csr::from_graph(&g));
+    let pool = ThreadPool::new(threads);
+
+    let mut r = Runner::new("flight_recorder_overhead_ldbc_64k");
+
+    recorder::resume();
+    r.bench("bfs_dir_opt/recorder_on", || {
+        let token = CancelToken::new().with_trace_id(recorder::next_request_id());
+        black_box(parallel::bfs_dir_opt_cancellable(&pool, &bi, 0, &token).unwrap());
+    });
+
+    recorder::pause();
+    r.bench("bfs_dir_opt/recorder_paused", || {
+        let token = CancelToken::new().with_trace_id(recorder::next_request_id());
+        black_box(parallel::bfs_dir_opt_cancellable(&pool, &bi, 0, &token).unwrap());
+    });
+    recorder::resume();
+
+    let limit: Option<f64> = std::env::args()
+        .find_map(|a| a.strip_prefix("--assert-overhead-pct=").map(str::to_owned))
+        .and_then(|v| v.parse().ok());
+    if let Some(limit) = limit {
+        let median = |suffix: &str| {
+            r.results()
+                .iter()
+                .find(|b| b.name.ends_with(suffix))
+                .map(|b| b.median_ns)
+        };
+        match (median("recorder_on"), median("recorder_paused")) {
+            (Some(on), Some(paused)) if paused > 0.0 => {
+                let pct = (on - paused) / paused * 100.0;
+                eprintln!(
+                    "flight recorder overhead: {pct:.2}% \
+                     (on {on:.0} ns vs paused {paused:.0} ns, limit {limit}%)"
+                );
+                if pct > limit {
+                    eprintln!("error: flight recorder overhead exceeds {limit}%");
+                    std::process::exit(1);
+                }
+            }
+            _ => {
+                eprintln!("error: --assert-overhead-pct needs both benches (check --filter)");
+                std::process::exit(1);
+            }
+        }
+    }
+    r.finish();
+}

@@ -61,6 +61,10 @@ pub enum FaultAction {
     /// Traffic driver: republish the current snapshot as a new epoch
     /// mid-mix.
     Republish,
+    /// Engine resolve path: deliver the response twice, violating the
+    /// resolved-once invariant on purpose (exercises the invariant sweep
+    /// and the flight-recorder failure dump).
+    DoubleResolve,
 }
 
 json_enum!(FaultAction {
@@ -70,7 +74,8 @@ json_enum!(FaultAction {
     DeadlineExpire,
     Cancel,
     Panic,
-    Republish
+    Republish,
+    DoubleResolve
 });
 
 /// How a [`FaultSpec`] decides whether to fire for a given key.
@@ -238,6 +243,7 @@ pub fn compiled() -> bool {
 #[cfg(feature = "failpoints")]
 mod armed {
     use super::{decides, Fault, FaultAction, FaultPlan, NO_KEY};
+    use graphbig_telemetry::recorder;
     use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Mutex;
@@ -310,6 +316,16 @@ mod armed {
                 continue;
             }
             armed.fired[idx].fetch_add(1, Ordering::Relaxed);
+            // Flight-record the fire with the triggering request key, so a
+            // failure dump correlates injected faults with the requests
+            // they hit. Off the hot path: only reached when a fault fires.
+            recorder::record_full(
+                recorder::EventKind::FaultFired,
+                recorder::NO_LANE,
+                recorder::intern(site),
+                key,
+                idx as u64,
+            );
             if spec.action == FaultAction::Delay {
                 let us = spec.delay_us;
                 drop(slot);

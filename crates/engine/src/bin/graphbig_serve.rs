@@ -22,11 +22,23 @@
 //! deterministic fault injection and sweep the chaos invariants; needs a
 //! build with the `chaos` feature to actually inject).
 //!
+//! Observability flags: `--stats-interval <ms>` prints a structured
+//! stats snapshot line (schema `graphbig.stats/v1`: queue depth,
+//! in-flight cost, per-lane sliding-window p50/p99/p999 + EWMA) to stdout
+//! at that cadence while the mix runs, plus once before and once after;
+//! `--trace <path>` exports the flight recorder's request lifecycles as
+//! Chrome `trace_event` JSON; `--flight-dump <path>` overrides where the
+//! always-on flight recorder auto-dumps on an invariant violation, a
+//! non-injected panic, or an oracle mismatch.
+//!
 //! This binary intentionally does not depend on `graphbig-bench` (which
 //! depends on the engine through `graphbig`), so it carries its own tiny
 //! flag parsing and builds the [`RunManifest`] directly.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use graphbig_chaos::{self as chaos, FaultPlan};
 use graphbig_datagen::Dataset;
@@ -35,7 +47,8 @@ use graphbig_engine::traffic::{
 };
 use graphbig_engine::{check_chaos_invariants, Engine, EngineConfig, MixSpec, TrafficReport};
 use graphbig_framework::csr::Csr;
-use graphbig_telemetry::{self as telemetry, MetricSink, RunManifest, TableData};
+use graphbig_telemetry::recorder;
+use graphbig_telemetry::{self as telemetry, MetricSink, MetricValue, RunManifest, TableData};
 
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -120,6 +133,68 @@ fn latency_table(report: &TrafficReport) -> TableData {
     }
 }
 
+/// Per-stage latency breakdown built from the `engine.stage_us.*`
+/// histograms the engine records eagerly (admit and resolve are
+/// lane-agnostic; queue and exec split by cost class).
+fn stage_table(snap: &BTreeMap<String, MetricValue>) -> TableData {
+    let mut rows = Vec::new();
+    {
+        let mut push = |stage: &str, class: &str, name: String| {
+            if let Some(MetricValue::Histogram(h)) = snap.get(&name) {
+                rows.push(vec![
+                    stage.to_string(),
+                    class.to_string(),
+                    h.count.to_string(),
+                    h.quantile(0.50).to_string(),
+                    h.quantile(0.99).to_string(),
+                    format!("{:.1}", h.mean()),
+                ]);
+            }
+        };
+        push("admit", "all", "engine.stage_us.admit".into());
+        for class in ["point", "traversal", "analytics"] {
+            push("queue", class, format!("engine.stage_us.queue.{class}"));
+        }
+        for class in ["point", "traversal", "analytics"] {
+            push("exec", class, format!("engine.stage_us.exec.{class}"));
+        }
+        push("resolve", "all", "engine.stage_us.resolve".into());
+    }
+    TableData {
+        title: "Per-stage latency breakdown (us)".into(),
+        headers: ["stage", "class", "count", "p50_us", "p99_us", "mean_us"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows,
+    }
+}
+
+/// Dump the flight recorder on any non-injected panic, then delegate to
+/// the previous hook. Chaos-injected kernel panics are routine during a
+/// fault-plan replay and are left to the quiet hook.
+fn install_dump_panic_hook() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.starts_with(chaos::PANIC_MSG))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.starts_with(chaos::PANIC_MSG))
+            })
+            .unwrap_or(false);
+        if !injected {
+            if let Some(path) = recorder::auto_dump("panic") {
+                eprintln!("flight recorder dumped to {path}");
+            }
+        }
+        prev(info);
+    }));
+}
+
 fn render(table: &TableData) -> String {
     let mut widths: Vec<usize> = table.headers.iter().map(String::len).collect();
     for row in &table.rows {
@@ -147,6 +222,10 @@ fn render(table: &TableData) -> String {
 
 fn main() -> ExitCode {
     telemetry::enable();
+    if let Some(path) = arg_value("--flight-dump") {
+        recorder::set_auto_dump_path(&path);
+    }
+    install_dump_panic_hook();
     let quiet = has_flag("--quiet");
     let dataset_name = arg_value("--dataset").unwrap_or_else(|| "ldbc".to_string());
     let Some(dataset) = Dataset::ALL
@@ -219,7 +298,39 @@ fn main() -> ExitCode {
             spec.deadline_ms
         );
     }
-    let report = run_chaos_mix(&engine, &spec, &plan);
+    let stats_interval: u64 = parsed_arg("--stats-interval", 0u64);
+    let report = if stats_interval == 0 {
+        run_chaos_mix(&engine, &spec, &plan)
+    } else {
+        // One snapshot line before traffic, one at each interval while the
+        // mix runs, and one after it drains (printed below).
+        println!("{}", engine.stats_snapshot().to_json_line());
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let engine = &engine;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut since_last_ms = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    since_last_ms += 20;
+                    if since_last_ms >= stats_interval {
+                        println!("{}", engine.stats_snapshot().to_json_line());
+                        since_last_ms = 0;
+                    }
+                }
+            });
+            let report = run_chaos_mix(engine, &spec, &plan);
+            stop.store(true, Ordering::Relaxed);
+            report
+        })
+    };
+    if stats_interval > 0 {
+        println!("{}", engine.stats_snapshot().to_json_line());
+    }
+    // Publish the sliding-window SLO gauges the mix just filled, so the
+    // manifest (and any later registry reader) sees `engine.window.*`.
+    engine.slo().publish(telemetry::metrics::global());
 
     let mut oracle_digests = None;
     if has_flag("--oracle") {
@@ -242,6 +353,9 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("error: oracle mismatch: {e}");
+                if let Some(path) = recorder::auto_dump("oracle-mismatch") {
+                    eprintln!("flight recorder dumped to {path}");
+                }
                 return ExitCode::FAILURE;
             }
         }
@@ -283,6 +397,17 @@ fn main() -> ExitCode {
                 .map(|(label, count)| format!("{label} x{count}"))
                 .collect();
             println!("faults fired: {}", fired.join(", "));
+        }
+    }
+
+    if let Some(path) = arg_value("--trace") {
+        let trace = recorder::to_trace(&recorder::snapshot());
+        if let Err(e) = telemetry::chrome::write_chrome_trace(&trace, &path) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("request-lifecycle trace written to {path}");
         }
     }
 
@@ -341,12 +466,18 @@ fn main() -> ExitCode {
         }
         manifest.gauge("engine.throughput_rps", report.throughput_rps);
         manifest.gauge("engine.wall_us", report.wall_us as f64);
+        let flight = recorder::snapshot();
+        manifest.counter("recorder.captured", flight.events.len() as u64);
+        manifest.counter("recorder.evicted", flight.evicted);
         engine.pool().export_metrics(&mut manifest);
-        for (name, value) in telemetry::metrics::global().snapshot() {
+        let global_snap = telemetry::metrics::global().snapshot();
+        let stages = stage_table(&global_snap);
+        for (name, value) in global_snap {
             manifest.metrics.entry(name).or_insert(value);
         }
         manifest.absorb_trace(&telemetry::take_trace());
         manifest.tables.push(table);
+        manifest.tables.push(stages);
         if let Err(e) = manifest.write_to(&path) {
             eprintln!("error: cannot write manifest to {path}: {e}");
             return ExitCode::FAILURE;

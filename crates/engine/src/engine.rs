@@ -22,11 +22,13 @@ use graphbig_chaos::{self as chaos, FaultAction};
 use graphbig_framework::csr::Csr;
 use graphbig_runtime::{CancelToken, ThreadPool};
 use graphbig_telemetry::metrics::{Counter, Histogram, Registry};
+use graphbig_telemetry::recorder::{self, EventKind};
 use graphbig_workloads::service::{self, ServiceError, ServiceOutput};
 use graphbig_workloads::{CostClass, Workload};
 
 use crate::admission::{AdmissionController, RejectReason};
 use crate::shard::ShardedGraph;
+use crate::slo::{self, SloTracker, StatsSnapshot};
 use crate::store::{EpochSnapshot, GraphStore};
 
 /// Engine sizing knobs.
@@ -160,6 +162,9 @@ pub enum QueryStatus {
 /// What the engine hands back for one admitted query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResponse {
+    /// Process-unique request id minted at admission (flight-recorder
+    /// lifecycle events for this query carry the same id).
+    pub request_id: u64,
     /// Epoch the query ran (or would have run) against.
     pub epoch: u64,
     /// Latency class it billed to.
@@ -177,12 +182,20 @@ pub struct QueryResponse {
 pub struct Ticket {
     rx: Receiver<QueryResponse>,
     token: CancelToken,
+    request_id: u64,
 }
 
 impl Ticket {
+    /// The request id minted at admission (matches
+    /// [`QueryResponse::request_id`] and the flight-recorder events).
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
     /// Request cancellation; the query's kernel observes it at its next
     /// superstep boundary.
     pub fn cancel(&self) {
+        recorder::record(EventKind::CancelRequest, self.request_id, 0);
         self.token.cancel();
     }
 
@@ -190,6 +203,17 @@ impl Ticket {
     /// exactly one response, even across engine shutdown.
     pub fn wait(self) -> QueryResponse {
         self.rx.recv().expect("engine always responds to a ticket")
+    }
+}
+
+/// Compact status code for flight-recorder `run`/`resolve` event args.
+fn status_code(status: &QueryStatus) -> u64 {
+    match status {
+        QueryStatus::Completed(_) => 0,
+        QueryStatus::DeadlineExceeded => 1,
+        QueryStatus::Cancelled => 2,
+        QueryStatus::Unsupported(_) => 3,
+        QueryStatus::Failed(_) => 4,
     }
 }
 
@@ -214,9 +238,16 @@ impl Resolver {
     fn resolve(&self, metrics: &EngineMetrics, response: QueryResponse) {
         if self.done.swap(true, Ordering::AcqRel) {
             metrics.double_resolve.inc();
+            recorder::record(EventKind::DoubleResolve, response.request_id, 0);
             return;
         }
         metrics.resolved.inc();
+        recorder::record_lane(
+            EventKind::Resolve,
+            lane(response.class) as u8,
+            response.request_id,
+            status_code(&response.status),
+        );
         // A dropped ticket just means nobody is waiting; not an error.
         let _ = self.tx.send(response);
     }
@@ -232,6 +263,8 @@ struct Job {
     /// Chaos request key (also the token's chaos key); auto-assigned for
     /// untagged submissions.
     tag: u64,
+    /// Flight-recorder request id minted at admission.
+    request_id: u64,
     resolver: Resolver,
 }
 
@@ -274,12 +307,22 @@ struct EngineMetrics {
     completed: [Counter; 3],
     latency_us: [Histogram; 3],
     queue_us: Histogram,
+    /// Per-stage latency decomposition: queue-wait and execution per class,
+    /// plus engine-wide admission and resolve cost. These feed the
+    /// "Per-stage latency breakdown" manifest table.
+    stage_queue_us: [Histogram; 3],
+    stage_exec_us: [Histogram; 3],
+    stage_admit_us: Histogram,
+    stage_resolve_us: Histogram,
 }
 
 impl EngineMetrics {
     fn new(reg: &Registry) -> Self {
         let class_counter = |c: CostClass| reg.counter(&format!("engine.completed.{}", c.name()));
         let class_hist = |c: CostClass| reg.histogram(&format!("engine.latency_us.{}", c.name()));
+        let stage_hist = |stage: &str, c: CostClass| {
+            reg.histogram(&format!("engine.stage_us.{stage}.{}", c.name()))
+        };
         EngineMetrics {
             submitted: reg.counter("engine.submitted"),
             rejected_queue: reg.counter("engine.rejected.queue_full"),
@@ -301,6 +344,18 @@ impl EngineMetrics {
                 class_hist(CostClass::Analytics),
             ],
             queue_us: reg.histogram("engine.queue_us"),
+            stage_queue_us: [
+                stage_hist("queue", CostClass::Point),
+                stage_hist("queue", CostClass::Traversal),
+                stage_hist("queue", CostClass::Analytics),
+            ],
+            stage_exec_us: [
+                stage_hist("exec", CostClass::Point),
+                stage_hist("exec", CostClass::Traversal),
+                stage_hist("exec", CostClass::Analytics),
+            ],
+            stage_admit_us: reg.histogram("engine.stage_us.admit"),
+            stage_resolve_us: reg.histogram("engine.stage_us.resolve"),
         }
     }
 }
@@ -319,6 +374,7 @@ pub struct Engine {
     pool: Arc<ThreadPool>,
     shared: Arc<Shared>,
     metrics: EngineMetrics,
+    slo: SloTracker,
     default_deadline: Option<Duration>,
     shards: usize,
     auto_tag: AtomicU64,
@@ -350,14 +406,16 @@ impl Engine {
             admission: AdmissionController::new(cfg.queue_capacity, cfg.cost_budget),
         });
         let metrics = EngineMetrics::new(reg);
+        let slo = SloTracker::new();
         let executors = (0..cfg.executors.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let pool = Arc::clone(&pool);
                 let metrics = metrics.clone();
+                let slo = slo.clone();
                 std::thread::Builder::new()
                     .name(format!("graphbig-executor-{i}"))
-                    .spawn(move || executor_loop(&shared, &pool, &metrics))
+                    .spawn(move || executor_loop(&shared, &pool, &metrics, &slo))
                     .expect("spawn executor thread")
             })
             .collect();
@@ -366,6 +424,7 @@ impl Engine {
             pool,
             shared,
             metrics,
+            slo,
             default_deadline: cfg.default_deadline,
             shards: cfg.shards,
             auto_tag: AtomicU64::new(0),
@@ -398,17 +457,29 @@ impl Engine {
         deadline: Option<Duration>,
         tag: u64,
     ) -> Result<Ticket, RejectReason> {
+        let admit_start = Instant::now();
+        let request_id = recorder::next_request_id();
         let snapshot = self.store.snapshot();
         let (n, m) = (
             snapshot.graph().num_vertices() as u64,
             snapshot.graph().num_edges() as u64,
         );
         let class = query.class();
+        let lane_idx = lane(class) as u8;
         let cost = query.cost(n, m);
+        // Lifecycle: `admit` opens the request's story; the arg carries the
+        // chaos tag so fault_fired events (keyed by tag) correlate back.
+        recorder::record_lane(EventKind::Admit, lane_idx, request_id, tag);
         if let Err(reason) = self.shared.admission.try_admit(cost) {
             match reason {
-                RejectReason::QueueFull { .. } => self.metrics.rejected_queue.inc(),
-                RejectReason::CostBudget { .. } => self.metrics.rejected_cost.inc(),
+                RejectReason::QueueFull { .. } => {
+                    self.metrics.rejected_queue.inc();
+                    recorder::record_lane(EventKind::Reject, lane_idx, request_id, 0);
+                }
+                RejectReason::CostBudget { .. } => {
+                    self.metrics.rejected_cost.inc();
+                    recorder::record_lane(EventKind::Reject, lane_idx, request_id, 1);
+                }
             }
             return Err(reason);
         }
@@ -420,6 +491,7 @@ impl Engine {
                 FaultAction::RejectQueueFull => {
                     self.shared.admission.cancel_admit(cost);
                     self.metrics.rejected_queue.inc();
+                    recorder::record_lane(EventKind::Reject, lane_idx, request_id, 0);
                     return Err(RejectReason::QueueFull {
                         depth: self.shared.admission.queued(),
                         limit: self.shared.admission.max_queue(),
@@ -428,6 +500,7 @@ impl Engine {
                 FaultAction::RejectCostBudget => {
                     self.shared.admission.cancel_admit(cost);
                     self.metrics.rejected_cost.inc();
+                    recorder::record_lane(EventKind::Reject, lane_idx, request_id, 1);
                     return Err(RejectReason::CostBudget {
                         in_flight: self.shared.admission.in_flight_cost(),
                         requested: cost,
@@ -442,7 +515,8 @@ impl Engine {
             Some(d) => CancelToken::with_timeout(d),
             None => CancelToken::new(),
         }
-        .with_chaos_key(tag);
+        .with_chaos_key(tag)
+        .with_trace_id(request_id);
         let (tx, rx) = channel();
         let job = Job {
             query,
@@ -452,11 +526,22 @@ impl Engine {
             token: token.clone(),
             enqueued: Instant::now(),
             tag,
+            request_id,
             resolver: Resolver::new(tx),
         };
+        // `enqueue` is recorded before the push so an executor's `dequeue`
+        // can never precede it in the event stream.
+        recorder::record_lane(EventKind::Enqueue, lane_idx, request_id, cost);
         lock(&self.shared.lanes).queues[lane(class)].push_back(job);
         self.shared.available.notify_one();
-        Ok(Ticket { rx, token })
+        self.metrics
+            .stage_admit_us
+            .record(admit_start.elapsed().as_micros() as u64);
+        Ok(Ticket {
+            rx,
+            token,
+            request_id,
+        })
     }
 
     /// Publish a new graph as the next epoch (resharded with the engine's
@@ -501,6 +586,22 @@ impl Engine {
     pub fn admission(&self) -> &AdmissionController {
         &self.shared.admission
     }
+
+    /// The live sliding-window SLO tracker the executors feed.
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
+    }
+
+    /// A point-in-time serving snapshot: queue depth, in-flight cost, and
+    /// the per-lane window stats (the `--stats-interval` line's payload).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            t_ms: slo::now_ms(),
+            queue_depth: self.shared.admission.queued() as u64,
+            in_flight_cost: self.shared.admission.in_flight_cost(),
+            lanes: (0..3).map(|l| self.slo.lane_stats(l)).collect(),
+        }
+    }
 }
 
 impl Drop for Engine {
@@ -523,13 +624,26 @@ impl Drop for Engine {
                 self.shared.admission.on_start();
                 self.shared.admission.on_finish(job.cost);
                 self.metrics.cancelled.inc();
+                let queue_us = job.enqueued.elapsed().as_micros() as u64;
+                // Backstop sheds still get a full lifecycle in the flight
+                // recorder (dequeue -> run(cancelled) -> resolve), so the
+                // exactly-once-per-stage invariant holds on every path.
+                let lane_idx = lane(job.class) as u8;
+                recorder::record_lane(EventKind::Dequeue, lane_idx, job.request_id, queue_us);
+                recorder::record_lane(
+                    EventKind::Run,
+                    lane_idx,
+                    job.request_id,
+                    status_code(&QueryStatus::Cancelled),
+                );
                 job.resolver.resolve(
                     &self.metrics,
                     QueryResponse {
+                        request_id: job.request_id,
                         epoch: job.snapshot.epoch(),
                         class: job.class,
                         status: QueryStatus::Cancelled,
-                        queue_us: job.enqueued.elapsed().as_micros() as u64,
+                        queue_us,
                         exec_us: 0,
                     },
                 );
@@ -538,7 +652,7 @@ impl Drop for Engine {
     }
 }
 
-fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics) {
+fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics, slo: &SloTracker) {
     loop {
         let (job, draining) = {
             let mut lanes = lock(&shared.lanes);
@@ -562,6 +676,8 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics) {
         let queue_us = job.enqueued.elapsed().as_micros() as u64;
         metrics.queue_us.record(queue_us);
         let lane_idx = lane(job.class);
+        metrics.stage_queue_us[lane_idx].record(queue_us);
+        recorder::record_lane(EventKind::Dequeue, lane_idx as u8, job.request_id, queue_us);
         // Failpoint `engine.dequeue`: force a terminal status before the
         // kernel runs (deadline expiry / cancellation), or delay pickup.
         let forced = match chaos::failpoint!("engine.dequeue", job.tag) {
@@ -589,10 +705,18 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics) {
             run_guarded(&job, pool)
         };
         let exec_us = exec_start.elapsed().as_micros() as u64;
+        metrics.stage_exec_us[lane_idx].record(exec_us);
+        recorder::record_lane(
+            EventKind::Run,
+            lane_idx as u8,
+            job.request_id,
+            status_code(&status),
+        );
         match &status {
             QueryStatus::Completed(_) => {
                 metrics.completed[lane_idx].inc();
                 metrics.latency_us[lane_idx].record(queue_us + exec_us);
+                slo.record(lane_idx, slo::query_key(&job.query), queue_us + exec_us);
             }
             QueryStatus::DeadlineExceeded => metrics.deadline_missed.inc(),
             QueryStatus::Cancelled => metrics.cancelled.inc(),
@@ -601,13 +725,28 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics) {
         }
         shared.admission.on_finish(job.cost);
         let response = QueryResponse {
+            request_id: job.request_id,
             epoch: job.snapshot.epoch(),
             class: job.class,
             status,
             queue_us,
             exec_us,
         };
+        // Failpoint `engine.resolve`: a `DoubleResolve` fault delivers the
+        // response twice — the second attempt loses the one-shot CAS and
+        // trips the resolved-once invariant, exercising the failure dump.
+        let double = matches!(
+            chaos::failpoint!("engine.resolve", job.tag),
+            Some(f) if f.action == FaultAction::DoubleResolve
+        );
+        let resolve_start = Instant::now();
+        if double {
+            job.resolver.resolve(metrics, response.clone());
+        }
         job.resolver.resolve(metrics, response);
+        metrics
+            .stage_resolve_us
+            .record(resolve_start.elapsed().as_micros() as u64);
     }
 }
 

@@ -212,7 +212,17 @@ pub fn check_chaos_invariants(
         },
     });
 
-    InvariantReport { checks }
+    let report = InvariantReport { checks };
+    if !report.ok() {
+        // A violated invariant is exactly the moment the last-N-events
+        // story matters: dump the always-on flight recorder so the failure
+        // ships with every request's per-stage lifecycle attached.
+        match graphbig_telemetry::recorder::auto_dump("invariant-violation") {
+            Some(path) => eprintln!("invariant violation: flight recorder dumped to {path}"),
+            None => eprintln!("invariant violation: flight recorder dump failed"),
+        }
+    }
+    report
 }
 
 #[cfg(test)]

@@ -21,7 +21,16 @@
 //!   and the sequential oracle that cross-checks every concurrent result.
 //! - [`invariants`]: the post-chaos sweep proving the engine state and
 //!   metrics are exactly consistent after a fault-injected mix
-//!   (`run_chaos_mix` + a `FaultPlan` from `graphbig-chaos`).
+//!   (`run_chaos_mix` + a `FaultPlan` from `graphbig-chaos`). A failed
+//!   sweep auto-dumps the always-on flight recorder.
+//! - [`slo`]: live sliding-window latency stats ([`SloTracker`]) behind
+//!   the `engine.window.*` gauges and the `--stats-interval` snapshot
+//!   line — the observed-latency feed for SLO-aware adaptive serving.
+//!
+//! Every request carries a process-unique id minted at admission and
+//! threaded through admission → enqueue → dequeue → run → resolve; each
+//! stage drops a compact event into the telemetry crate's always-on
+//! flight recorder, so failures come with the full per-request story.
 
 #![warn(missing_docs)]
 
@@ -29,6 +38,7 @@ pub mod admission;
 pub mod engine;
 pub mod invariants;
 pub mod shard;
+pub mod slo;
 pub mod store;
 pub mod traffic;
 
@@ -36,5 +46,6 @@ pub use admission::{AdmissionController, RejectReason};
 pub use engine::{Engine, EngineConfig, Query, QueryOutput, QueryResponse, QueryStatus, Ticket};
 pub use invariants::{check_chaos_invariants, InvariantCheck, InvariantReport};
 pub use shard::{CsrShard, ShardedGraph};
+pub use slo::{LaneStats, SloTracker, StatsSnapshot, STATS_SCHEMA};
 pub use store::{EpochSnapshot, GraphStore};
 pub use traffic::{MixSpec, TrafficReport};

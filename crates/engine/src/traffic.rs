@@ -262,6 +262,13 @@ fn drive_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport
                                         break Outcome::Rejected(reason);
                                     }
                                     retries += 1;
+                                    // Flight-record the resubmission, keyed
+                                    // by the failed attempt's chaos tag.
+                                    graphbig_telemetry::recorder::record(
+                                        graphbig_telemetry::recorder::EventKind::Retry,
+                                        tag,
+                                        attempt,
+                                    );
                                     let exp = plan
                                         .backoff_base_us
                                         .saturating_mul(1u64 << attempt.min(20))

@@ -1,0 +1,385 @@
+//! Trace-correlation coverage for the request lifecycle.
+//!
+//! Every admitted request id minted at admission must appear **exactly
+//! once per lifecycle stage** (admit → enqueue → dequeue → run → resolve)
+//! in the always-on flight recorder — on the completed path and on every
+//! failure path: rejected, deadline-exceeded, cancelled, unsupported, and
+//! (with the `chaos` feature) kernel-failed. The chaos-gated tests also
+//! prove the two correlation stories the recorder exists for: fault fires
+//! tagged with the triggering request, and an invariant violation dumping
+//! the full per-stage story of the affected request.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use graphbig_datagen::Dataset;
+use graphbig_engine::{Engine, EngineConfig, Query, QueryStatus};
+use graphbig_framework::csr::Csr;
+use graphbig_telemetry::metrics::Registry;
+use graphbig_telemetry::recorder::{self, EventKind, RecorderEvent};
+use graphbig_workloads::Workload;
+
+/// The flight recorder is process-global (and so is chaos arming in the
+/// gated tests below), so every test in this file takes one gate and the
+/// assertions filter snapshots by freshly-minted request ids.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn engine(n: usize, cfg: EngineConfig, reg: &Registry) -> Engine {
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(n));
+    Engine::with_registry(cfg, csr, reg)
+}
+
+fn quiet_cfg() -> EngineConfig {
+    EngineConfig {
+        pool_threads: 2,
+        ..EngineConfig::default()
+    }
+}
+
+fn events_for(rid: u64) -> Vec<RecorderEvent> {
+    let mut evs: Vec<RecorderEvent> = recorder::snapshot()
+        .events
+        .into_iter()
+        .filter(|e| e.id == rid)
+        .collect();
+    evs.sort_by_key(|e| e.ts_us);
+    evs
+}
+
+fn count(evs: &[RecorderEvent], kind: EventKind) -> usize {
+    evs.iter().filter(|e| e.kind == kind).count()
+}
+
+fn arg_of(evs: &[RecorderEvent], kind: EventKind) -> u64 {
+    evs.iter()
+        .find(|e| e.kind == kind)
+        .unwrap_or_else(|| panic!("missing {} event", kind.name()))
+        .arg
+}
+
+fn ts_of(evs: &[RecorderEvent], kind: EventKind) -> u64 {
+    evs.iter()
+        .find(|e| e.kind == kind)
+        .unwrap_or_else(|| panic!("missing {} event", kind.name()))
+        .ts_us
+}
+
+const STAGES: [EventKind; 5] = [
+    EventKind::Admit,
+    EventKind::Enqueue,
+    EventKind::Dequeue,
+    EventKind::Run,
+    EventKind::Resolve,
+];
+
+/// Assert the five lifecycle stages each appear exactly once for `rid`,
+/// in causal order, with the expected status code on run and resolve.
+fn assert_full_lifecycle(rid: u64, status_code: u64) -> Vec<RecorderEvent> {
+    let evs = events_for(rid);
+    for kind in STAGES {
+        assert_eq!(
+            count(&evs, kind),
+            1,
+            "request {rid}: stage {} must appear exactly once in {evs:?}",
+            kind.name()
+        );
+    }
+    assert_eq!(
+        count(&evs, EventKind::Reject),
+        0,
+        "admitted, never rejected"
+    );
+    assert_eq!(arg_of(&evs, EventKind::Run), status_code);
+    assert_eq!(arg_of(&evs, EventKind::Resolve), status_code);
+    for pair in STAGES.windows(2) {
+        assert!(
+            ts_of(&evs, pair[0]) <= ts_of(&evs, pair[1]),
+            "request {rid}: {} must not precede {}",
+            pair[1].name(),
+            pair[0].name()
+        );
+    }
+    evs
+}
+
+#[test]
+fn completed_requests_log_every_stage_exactly_once() {
+    let _g = gate();
+    let reg = Registry::new();
+    let eng = engine(300, quiet_cfg(), &reg);
+    let t_point = eng.submit(Query::Degree { vertex: 0 }).unwrap();
+    let t_analytics = eng
+        .submit(Query::Run {
+            workload: Workload::CComp,
+            source: 0,
+        })
+        .unwrap();
+    let (rid_point, rid_analytics) = (t_point.request_id(), t_analytics.request_id());
+    let r1 = t_point.wait();
+    let r2 = t_analytics.wait();
+    assert!(matches!(r1.status, QueryStatus::Completed(_)));
+    assert!(matches!(r2.status, QueryStatus::Completed(_)));
+    assert_eq!(r1.request_id, rid_point, "ticket and response agree");
+    assert_eq!(r2.request_id, rid_analytics);
+
+    let point = assert_full_lifecycle(rid_point, 0);
+    let analytics = assert_full_lifecycle(rid_analytics, 0);
+    // Stage events carry the priority lane the request billed to.
+    for e in point.iter().filter(|e| STAGES.contains(&e.kind)) {
+        assert_eq!(e.lane, 0, "point queries ride lane 0");
+    }
+    for e in analytics.iter().filter(|e| STAGES.contains(&e.kind)) {
+        assert_eq!(e.lane, 2, "analytics queries ride lane 2");
+    }
+    // A serviced kernel additionally marks where execution entered it.
+    assert_eq!(count(&analytics, EventKind::KernelStart), 1);
+}
+
+#[test]
+fn deadline_exceeded_requests_still_log_the_full_lifecycle() {
+    let _g = gate();
+    let reg = Registry::new();
+    let eng = engine(300, quiet_cfg(), &reg);
+    let t = eng
+        .submit_with_deadline(
+            Query::Run {
+                workload: Workload::CComp,
+                source: 0,
+            },
+            Some(Duration::ZERO),
+        )
+        .unwrap();
+    let rid = t.request_id();
+    assert_eq!(t.wait().status, QueryStatus::DeadlineExceeded);
+    assert_full_lifecycle(rid, 1);
+}
+
+#[test]
+fn cancelled_requests_log_the_cancel_and_the_full_lifecycle() {
+    let _g = gate();
+    let reg = Registry::new();
+    // One executor: park it behind a heavy analytics query so the victim
+    // is still queued when the cancel lands.
+    let eng = engine(
+        3000,
+        EngineConfig {
+            executors: 1,
+            ..quiet_cfg()
+        },
+        &reg,
+    );
+    let blocker = eng
+        .submit(Query::Run {
+            workload: Workload::KCore,
+            source: 0,
+        })
+        .unwrap();
+    let victim = eng
+        .submit(Query::Run {
+            workload: Workload::SPath,
+            source: 0,
+        })
+        .unwrap();
+    let rid = victim.request_id();
+    victim.cancel();
+    let r = victim.wait();
+    let _ = blocker.wait();
+    // The cancel usually lands while queued; a fast blocker can let the
+    // victim start (or even finish) first. Either way the lifecycle is
+    // exactly-once and the cancel request itself is on record.
+    let code = match r.status {
+        QueryStatus::Cancelled => 2,
+        QueryStatus::Completed(_) => 0,
+        other => panic!("unexpected status {other:?}"),
+    };
+    let evs = assert_full_lifecycle(rid, code);
+    assert_eq!(count(&evs, EventKind::CancelRequest), 1);
+}
+
+#[test]
+fn unsupported_requests_resolve_with_the_unsupported_code() {
+    let _g = gate();
+    let reg = Registry::new();
+    let eng = engine(50, quiet_cfg(), &reg);
+    let t = eng
+        .submit(Query::Run {
+            workload: Workload::Gibbs,
+            source: 0,
+        })
+        .unwrap();
+    let rid = t.request_id();
+    assert_eq!(t.wait().status, QueryStatus::Unsupported(Workload::Gibbs));
+    assert_full_lifecycle(rid, 3);
+}
+
+#[test]
+fn rejected_requests_log_admit_and_reject_and_nothing_else() {
+    let _g = gate();
+    let reg = Registry::new();
+    let eng = engine(
+        100,
+        EngineConfig {
+            cost_budget: 1, // only Degree-class queries fit
+            ..quiet_cfg()
+        },
+        &reg,
+    );
+    let before: std::collections::HashSet<u64> =
+        recorder::snapshot().events.iter().map(|e| e.id).collect();
+    eng.submit(Query::Run {
+        workload: Workload::KCore,
+        source: 0,
+    })
+    .unwrap_err();
+    // The rejected submit returns no ticket, so recover its id from the
+    // snapshot diff: exactly one fresh cost-budget reject must appear.
+    let fresh: Vec<RecorderEvent> = recorder::snapshot()
+        .events
+        .into_iter()
+        .filter(|e| e.kind == EventKind::Reject && e.arg == 1 && !before.contains(&e.id))
+        .collect();
+    assert_eq!(fresh.len(), 1, "exactly one new cost-budget rejection");
+    let evs = events_for(fresh[0].id);
+    assert_eq!(count(&evs, EventKind::Admit), 1);
+    assert_eq!(count(&evs, EventKind::Reject), 1);
+    assert_eq!(
+        evs.len(),
+        2,
+        "a rejected request has no post-admission stages: {evs:?}"
+    );
+}
+
+#[cfg(feature = "chaos")]
+mod chaos_paths {
+    use super::*;
+    use graphbig_chaos::{self as chaos, FaultAction, FaultPlan, FaultSpec, Trigger};
+    use graphbig_engine::check_chaos_invariants;
+    use graphbig_engine::traffic::{run_chaos_mix, MixSpec};
+    use std::sync::Once;
+
+    static QUIET: Once = Once::new();
+
+    fn chaos_gate() -> MutexGuard<'static, ()> {
+        QUIET.call_once(chaos::install_quiet_panic_hook);
+        gate()
+    }
+
+    fn scheduled(site: &str, action: FaultAction, schedule: Vec<u64>) -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            max_retries: 0,
+            backoff_base_us: 0,
+            backoff_cap_us: 0,
+            faults: vec![FaultSpec {
+                site: site.to_string(),
+                trigger: Trigger::Schedule,
+                action,
+                p: 0.0,
+                n: 0,
+                schedule,
+                delay_us: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn failed_requests_log_the_lifecycle_and_the_fault_that_killed_them() {
+        let _g = chaos_gate();
+        let reg = Registry::new();
+        let eng = engine(300, quiet_cfg(), &reg);
+        // `Trigger::Schedule` fires for the listed chaos keys, so tag the
+        // request with a key the plan names.
+        let tag = 0xFEEDu64;
+        chaos::arm(&scheduled("engine.run.pre", FaultAction::Panic, vec![tag]));
+        let t = eng
+            .submit_tagged(
+                Query::Run {
+                    workload: Workload::CComp,
+                    source: 0,
+                },
+                None,
+                tag,
+            )
+            .unwrap();
+        let rid = t.request_id();
+        let r = t.wait();
+        chaos::disarm();
+        assert!(matches!(r.status, QueryStatus::Failed(_)), "{:?}", r.status);
+        let evs = assert_full_lifecycle(rid, 4);
+        // The admit event carries the chaos tag, tying the request id to
+        // the key fault_fired events are recorded under.
+        assert_eq!(arg_of(&evs, EventKind::Admit), tag);
+        let fires: Vec<RecorderEvent> = recorder::snapshot()
+            .events
+            .into_iter()
+            .filter(|e| e.kind == EventKind::FaultFired && e.id == tag)
+            .collect();
+        assert_eq!(fires.len(), 1, "one fault fired for this request");
+        assert_eq!(
+            recorder::label(fires[0].code).as_deref(),
+            Some("engine.run.pre"),
+            "fault event names the failpoint site"
+        );
+    }
+
+    #[test]
+    fn invariant_violation_dumps_the_affected_requests_full_lifecycle() {
+        let _g = chaos_gate();
+        let dump = std::env::temp_dir().join("graphbig_lifecycle_violation.json");
+        let dump = dump.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&dump);
+        recorder::set_auto_dump_path(&dump);
+
+        let reg = Registry::new();
+        let eng = engine(300, quiet_cfg(), &reg);
+        let plan = scheduled("engine.resolve", FaultAction::DoubleResolve, vec![3]);
+        let spec = MixSpec {
+            requests: 8,
+            clients: 1,
+            ..MixSpec::default()
+        };
+        let report = run_chaos_mix(&eng, &spec, &plan);
+        let inv = check_chaos_invariants(&eng, &report, None, &reg);
+        assert!(!inv.ok(), "a double resolve must trip resolved_once");
+
+        let text = std::fs::read_to_string(&dump).expect("violation must auto-dump");
+        let doc = graphbig_telemetry::json::parse(&text).expect("dump is valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some("graphbig.flight_recorder/v1")
+        );
+        assert_eq!(
+            doc.get("reason").and_then(|s| s.as_str()),
+            Some("invariant-violation")
+        );
+        let events = doc
+            .get("events")
+            .and_then(|e| e.as_arr())
+            .expect("dump carries events");
+        let affected: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some("double_resolve"))
+            .filter_map(|e| e.get("id").and_then(|i| i.as_u64()))
+            .collect();
+        assert!(
+            !affected.is_empty(),
+            "dump names the double-resolved request"
+        );
+        for rid in affected {
+            for stage in ["admit", "enqueue", "dequeue", "run", "resolve"] {
+                let hits = events
+                    .iter()
+                    .filter(|e| {
+                        e.get("id").and_then(|i| i.as_u64()) == Some(rid)
+                            && e.get("kind").and_then(|k| k.as_str()) == Some(stage)
+                    })
+                    .count();
+                assert_eq!(hits, 1, "request {rid}: dump has one {stage} event");
+            }
+        }
+    }
+}

@@ -36,11 +36,18 @@ impl std::error::Error for Cancelled {}
 /// `runtime.cancel.check` failpoint. Tokens without a key (the default —
 /// including [`CancelToken::never`], which the sequential oracle uses) are
 /// immune to injection even while a fault plan is armed.
+///
+/// Independently of the chaos key, a token can carry a *trace id* (the
+/// engine's request id): when set, every [`CancelToken::check`] drops a
+/// `kernel_step` event into the always-on flight recorder, so a failure
+/// dump shows how far inside the kernel a request got. Untraced tokens
+/// (id 0, the default) record nothing.
 #[derive(Debug, Clone)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
     deadline: Option<Instant>,
     key: u64,
+    trace_id: u64,
 }
 
 impl Default for CancelToken {
@@ -49,6 +56,7 @@ impl Default for CancelToken {
             flag: Arc::default(),
             deadline: None,
             key: graphbig_chaos::NO_KEY,
+            trace_id: 0,
         }
     }
 }
@@ -83,6 +91,18 @@ impl CancelToken {
     /// The chaos key ([`graphbig_chaos::NO_KEY`] when untagged).
     pub fn chaos_key(&self) -> u64 {
         self.key
+    }
+
+    /// Tag this token with the engine's request id for flight recording;
+    /// 0 (the default) means untraced.
+    pub fn with_trace_id(mut self, id: u64) -> Self {
+        self.trace_id = id;
+        self
+    }
+
+    /// The flight-recorder trace id (0 when untraced).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// A token firing `timeout` from now.
@@ -125,6 +145,10 @@ impl CancelToken {
     /// engine's panic guard converts that into a `Failed` status.
     #[inline]
     pub fn check(&self) -> Result<(), Cancelled> {
+        if self.trace_id != 0 {
+            use graphbig_telemetry::recorder;
+            recorder::record(recorder::EventKind::KernelStep, self.trace_id, 0);
+        }
         if let Some(fault) = graphbig_chaos::failpoint!("runtime.cancel.check", self.key) {
             use graphbig_chaos::FaultAction;
             match fault.action {

@@ -26,6 +26,13 @@
 //!   and result tables. `graphbig-report` diffs two manifests and CI
 //!   checks structure against a committed golden file.
 //!
+//! Two serving-side additions ride on the same schema: [`recorder`], the
+//! **always-on flight recorder** (no cargo feature — lock-free per-thread
+//! rings of compact request-lifecycle events, dumped as JSON on failure),
+//! and [`window`], sliding-window latency estimators
+//! ([`WindowedHistogram`](window::WindowedHistogram) + [`Ewma`](window::Ewma))
+//! behind the engine's live `engine.window.*` SLO stats.
+//!
 //! The crate pulls in nothing outside the workspace; [`json`] re-exports
 //! the in-tree `graphbig-json` crate (which grew out of this crate's
 //! hand-rolled writer) so emission works identically in every build
@@ -38,11 +45,14 @@ pub use graphbig_json as json;
 pub mod chrome;
 pub mod manifest;
 pub mod metrics;
+pub mod recorder;
 pub mod span;
+pub mod window;
 
 pub use manifest::{diff_metrics, structural_mismatches, RunManifest, SpanSummary, TableData};
 pub use metrics::{Counter, Histogram, MetricSink, MetricValue, Registry};
 pub use span::{disable, enable, enabled, instant, take_trace, SpanGuard, Trace};
+pub use window::{Ewma, WindowedHistogram};
 
 /// Feature flags compiled into this build of the telemetry layer, for
 /// manifest `features` lists.

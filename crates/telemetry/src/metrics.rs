@@ -76,6 +76,19 @@ impl Histogram {
         inner.sum.fetch_add(value, Ordering::Relaxed);
     }
 
+    /// Reset every bucket to zero (used by sliding-window estimators when
+    /// a window slice expires). Not atomic with respect to concurrent
+    /// `record` calls: an observation racing a reset may land in either
+    /// the old or the new window, which sliding windows tolerate.
+    pub fn reset(&self) {
+        let inner = &self.0;
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum.store(0, Ordering::Relaxed);
+    }
+
     /// Snapshot the current bucket contents.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &self.0;
@@ -120,14 +133,22 @@ impl HistogramSnapshot {
         }
     }
 
-    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) as the exclusive upper bound of
-    /// the bucket holding the rank-`⌈q·count⌉` observation — a conservative
-    /// (never under-reporting) estimate, which is the right bias for latency
-    /// SLOs. Returns 0 when the histogram is empty.
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`), linearly interpolated within the
+    /// log₂ bucket holding the rank-`⌈q·count⌉` observation: the rank's
+    /// fractional position inside the bucket is mapped across `(lower, le]`
+    /// (rounding up), so a rank at the very end of a bucket still reports
+    /// the old conservative bound `le`. Returns 0 when the histogram is
+    /// empty, and 0 for ranks inside the zero bucket (which holds only
+    /// zeros).
     ///
-    /// Because buckets are log₂-sized, the reported value is at most 2× the
-    /// true quantile; the engine additionally publishes exact percentiles
-    /// computed from raw latency samples for its committed benchmarks.
+    /// Interpolation halves the systematic upper-bound bias of plain
+    /// bucket-bound reporting; the estimate can now land on either side of
+    /// the true quantile, but stays within the log₂ resolution in both
+    /// directions — strictly above `lower = le/2` and at most `le`, while
+    /// the true value lies in `[lower, le)`, so estimate and truth are
+    /// always within 2× of each other. The engine additionally publishes
+    /// exact percentiles computed from raw latency samples for its
+    /// committed benchmarks.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -135,12 +156,31 @@ impl HistogramSnapshot {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for &(le, c) in &self.buckets {
-            seen += c;
-            if seen >= rank {
-                return le;
+            if seen + c >= rank {
+                if le <= 1 {
+                    // The zero bucket holds only zeros.
+                    return 0;
+                }
+                let lower = le / 2;
+                let into = rank - seen; // 1..=c
+                return lower + ((le - lower) as f64 * into as f64 / c as f64).ceil() as u64;
             }
+            seen += c;
         }
         self.buckets.last().map(|&(le, _)| le).unwrap_or(0)
+    }
+
+    /// Fold another snapshot into this one (bucket-wise sum), used to merge
+    /// the live slices of a sliding-window histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for &(le, c) in &other.buckets {
+            match self.buckets.binary_search_by_key(&le, |&(b, _)| b) {
+                Ok(i) => self.buckets[i].1 += c,
+                Err(i) => self.buckets.insert(i, (le, c)),
+            }
+        }
     }
 }
 
@@ -395,41 +435,61 @@ mod tests {
         }
         let s = h.snapshot();
         // Cumulative bucket counts: le2:1, le4:3, le8:7, le16:15, le32:31,
-        // le64:63, le128:100. The true p50 (50) lies in [32, 64) -> 64; the
-        // true p99 (99) lies in [64, 128) -> 128.
-        assert_eq!(s.quantile(0.5), 64);
-        assert_eq!(s.quantile(0.99), 128);
+        // le64:63, le128:100. The true p50 (50) is rank 50, the 19th of 32
+        // observations in (32, 64] -> 32 + ceil(32*19/32) = 51; p99 (rank
+        // 99) is the 36th of 37 in (64, 128] -> 64 + ceil(64*36/37) = 127.
+        assert_eq!(s.quantile(0.5), 51);
+        assert_eq!(s.quantile(0.99), 127);
         assert_eq!(s.quantile(0.999), 128);
         assert_eq!(s.quantile(1.0), 128);
-        // q=0 clamps to rank 1 -> the bucket of the minimum value.
+        // q=0 clamps to rank 1 -> interpolates inside the minimum's bucket.
         assert_eq!(s.quantile(0.0), 2);
-        // Conservative bias: the log2 bound never under-reports the truth.
-        for (q, exact) in [(0.5, 50), (0.9, 90), (0.99, 99)] {
-            assert!(s.quantile(q) >= exact);
-            assert!(s.quantile(q) <= 2 * exact.max(1));
+        // Interpolation keeps the estimate within log2 resolution of the
+        // truth, in both directions.
+        for (q, exact) in [(0.5, 50u64), (0.9, 90), (0.99, 99)] {
+            assert!(s.quantile(q) > exact / 2, "q={q}: {}", s.quantile(q));
+            assert!(
+                s.quantile(q) <= 2 * exact.max(1),
+                "q={q}: {}",
+                s.quantile(q)
+            );
+        }
+        // For this uniform distribution interpolation is much tighter than
+        // the 2x bound: within 50% of the truth at every checked quantile
+        // (the old bucket-bound estimate missed p50 by 28%).
+        for (q, exact) in [(0.5, 50u64), (0.9, 90), (0.99, 99)] {
+            let est = s.quantile(q);
+            assert!(est.abs_diff(exact) * 2 <= exact, "q={q}: {est} vs {exact}");
         }
     }
 
     #[test]
     fn quantile_degenerate_distributions() {
-        // All observations equal -> every quantile is that bucket's bound.
+        // All observations equal (100 x 7, bucket (4, 8]): quantiles sweep
+        // the bucket interior with rank, staying within log2 resolution of
+        // the true value 7, and q=1.0 still reports the full bound.
         let h = Histogram::default();
         for _ in 0..100 {
             h.record(7);
         }
         let s = h.snapshot();
         for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
-            assert_eq!(s.quantile(q), 8);
+            let est = s.quantile(q);
+            assert!((5..=8).contains(&est), "q={q}: {est}");
         }
-        // All zeros -> the zero bucket's bound of 1.
+        assert_eq!(s.quantile(0.5), 6);
+        assert_eq!(s.quantile(1.0), 8);
+        // All zeros -> 0 (the zero bucket holds only zeros; the old
+        // bucket-bound estimate reported 1 here).
         let hz = Histogram::default();
         for _ in 0..10 {
             hz.record(0);
         }
-        assert_eq!(hz.snapshot().quantile(0.99), 1);
+        assert_eq!(hz.snapshot().quantile(0.99), 0);
         // Empty histogram -> 0.
         assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
-        // Single observation -> its bucket at every q.
+        // Single observation -> the full interpolation step lands on the
+        // bucket bound at every q.
         let h1 = Histogram::default();
         h1.record(1000);
         assert_eq!(h1.snapshot().quantile(0.5), 1024);
@@ -450,7 +510,34 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.quantile(0.5), 4);
         assert_eq!(s.quantile(0.99), 4);
-        assert_eq!(s.quantile(0.999), 8192);
+        // p999 (rank 999) is the 9th of 10 tail observations in
+        // (4096, 8192] -> 4096 + ceil(4096*9/10) = 7783, much closer to the
+        // true 5000 than the old bucket bound of 8192.
+        assert_eq!(s.quantile(0.999), 7783);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_buckets() {
+        let a = Histogram::default();
+        for v in [1, 3, 900] {
+            a.record(v);
+        }
+        let b = Histogram::default();
+        for v in [3, 0, 2000] {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.sum, 2907);
+        assert_eq!(
+            merged.buckets,
+            vec![(1, 1), (2, 1), (4, 2), (1024, 1), (2048, 1)]
+        );
+        // Merging an empty snapshot is a no-op.
+        let before = merged.clone();
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, before);
     }
 
     #[test]

@@ -185,6 +185,15 @@ pub fn run_service(
     source: u32,
     cancel: &CancelToken,
 ) -> Result<ServiceOutput, ServiceError> {
+    if cancel.trace_id() != 0 {
+        use graphbig_telemetry::recorder;
+        let widx = Workload::ALL.iter().position(|&x| x == w).unwrap_or(0);
+        recorder::record(
+            recorder::EventKind::KernelStart,
+            cancel.trace_id(),
+            widx as u64,
+        );
+    }
     match w {
         Workload::Bfs => {
             let (levels, _, _) = parallel::bfs_dir_opt_cancellable(pool, g.bi(), source, cancel)?;

@@ -38,4 +38,30 @@ cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --features chaos --bi
 cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-bench --bin graphbig-report -- \
   --check results/golden_chaos.json /tmp/chaos_smoke.json
 
+echo "==> live SLO stats line (structure check on the graphbig.stats/v1 snapshot)"
+cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --bin graphbig-serve -- \
+  --vertices 4096 --mix traffic/smoke_200.json --stats-interval 50 --quiet \
+  > /tmp/stats_lines.txt
+grep -m1 '"schema":"graphbig.stats/v1"' /tmp/stats_lines.txt > /tmp/stats_line.json
+for key in t_ms queue_depth in_flight_cost lanes p50_us p99_us p999_us ewma_us; do
+  grep -q "\"$key\"" /tmp/stats_line.json || { echo "stats line missing key: $key"; exit 1; }
+done
+
+echo "==> flight recorder violation drill (injected double resolve must fail + dump)"
+rm -f /tmp/flight_violation.json
+if cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --features chaos --bin graphbig-serve -- \
+  --vertices 4096 --mix traffic/smoke_200.json --faults traffic/faults_violation.json \
+  --quiet --flight-dump /tmp/flight_violation.json; then
+  echo "error: a double-resolve fault plan must exit non-zero"
+  exit 1
+fi
+for kind in double_resolve admit enqueue dequeue run resolve; do
+  grep -q "\"$kind\"" /tmp/flight_violation.json \
+    || { echo "flight dump missing $kind events"; exit 1; }
+done
+
+echo "==> flight recorder overhead (dir-opt BFS LDBC-64k, <=5% over paused)"
+cargo bench "${CARGO_FLAGS[@]}" -p graphbig-bench --bench flight_recorder_overhead -- \
+  --assert-overhead-pct=5 --emit /tmp/flight_overhead.json
+
 echo "CI OK"
