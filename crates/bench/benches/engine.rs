@@ -1,9 +1,16 @@
 //! Serving-path benchmarks of the concurrent query engine on LDBC-64k:
-//! per-query latency for each priority lane, plus a full closed-loop
-//! mixed-traffic replay (the `results/BENCH_engine.json` artifact).
+//! per-query latency for each priority lane, a full closed-loop
+//! mixed-traffic replay, and the repeated-hot-request pair that measures
+//! what the epoch-keyed result cache buys (the `results/BENCH_engine.json`
+//! artifact).
 //!
-//! Before timing anything, one replay is verified query-by-query against
-//! the sequential oracle — a benchmark of wrong answers is worthless.
+//! The lane benches run with the cache *off* so they keep measuring the
+//! kernel path; the `hot/*` benches measure the same hot k-hop query with
+//! the cache off and on — the on/off p50 ratio is the cache's headline.
+//!
+//! Before timing anything, replays are verified query-by-query against
+//! the sequential oracle — in both cache modes, because a benchmark of
+//! wrong answers is worthless.
 
 use graphbig::engine::traffic::{
     generate_requests, run_mix, sequential_digests, verify_against_oracle,
@@ -20,6 +27,15 @@ fn main() {
         EngineConfig {
             executors: 2,
             pool_threads: 4,
+            cache_capacity: 0, // lane benches time the kernel path
+            ..EngineConfig::default()
+        },
+        csr.clone(),
+    );
+    let cached = Engine::new(
+        EngineConfig {
+            executors: 2,
+            pool_threads: 4,
             ..EngineConfig::default()
         },
         csr,
@@ -32,17 +48,33 @@ fn main() {
         traversal_weight: 25,
         analytics_weight: 15,
         deadline_ms: None,
+        ..MixSpec::default()
+    };
+    // The repeated-hot-request mix: every source drawn from 4 hot
+    // vertices, point-heavy — serving traffic the cache was built for.
+    let hot_spec = MixSpec {
+        hot_sources: Some(4),
+        point_weight: 90,
+        traversal_weight: 8,
+        analytics_weight: 2,
+        ..spec.clone()
     };
 
-    // Correctness gate: one replay, every completed result bit-compared to
-    // the same queries run sequentially.
-    let report = run_mix(&engine, &spec);
-    let snapshot = engine.store().snapshot();
-    let queries = generate_requests(&spec, snapshot.graph().num_vertices() as u32);
-    let oracle = sequential_digests(snapshot.graph(), engine.pool(), &queries);
-    let checked = verify_against_oracle(&report, &oracle)
-        .expect("concurrent replay must match the sequential oracle");
-    eprintln!("oracle: {checked} results verified on LDBC-64k");
+    // Correctness gate: one replay per engine/spec pair, every completed
+    // result bit-compared to the same queries run sequentially.
+    for (eng, s, label) in [
+        (&engine, &spec, "uniform cache-off"),
+        (&engine, &hot_spec, "hot cache-off"),
+        (&cached, &hot_spec, "hot cache-on"),
+    ] {
+        let report = run_mix(eng, s);
+        let snapshot = eng.store().snapshot();
+        let queries = generate_requests(s, snapshot.graph().num_vertices() as u32);
+        let oracle = sequential_digests(snapshot.graph(), eng.pool(), &queries);
+        let checked = verify_against_oracle(&report, &oracle)
+            .expect("concurrent replay must match the sequential oracle");
+        eprintln!("oracle ({label}): {checked} results verified on LDBC-64k");
+    }
 
     let mut r = Runner::new("engine_ldbc64k");
     r.bench("point/degree", || {
@@ -78,6 +110,40 @@ fn main() {
     });
     r.bench("mix/100req_4cli", || {
         black_box(run_mix(&engine, &spec));
+    });
+    // The cache's headline: the same hot 2-hop point query, cache off vs
+    // on. The on-path should be an order of magnitude cheaper once the 4
+    // hot entries are resident. Sources sit in the same dense
+    // neighborhood as the `point/khop2` bench so the uncached cost is a
+    // real 2-hop expansion, not a leaf's empty frontier.
+    let hot = [4_321, 4_322, 4_323, 4_324u32];
+    let mut i = 0usize;
+    r.bench("hot/khop2_cache_off", || {
+        let t = engine
+            .submit(Query::KHop {
+                source: hot[i % hot.len()],
+                hops: 2,
+            })
+            .unwrap();
+        i += 1;
+        black_box(t.wait());
+    });
+    let mut j = 0usize;
+    r.bench("hot/khop2_cache_on", || {
+        let t = cached
+            .submit(Query::KHop {
+                source: hot[j % hot.len()],
+                hops: 2,
+            })
+            .unwrap();
+        j += 1;
+        black_box(t.wait());
+    });
+    r.bench("hot/mix_cache_off", || {
+        black_box(run_mix(&engine, &hot_spec));
+    });
+    r.bench("hot/mix_cache_on", || {
+        black_box(run_mix(&cached, &hot_spec));
     });
     r.finish();
 }

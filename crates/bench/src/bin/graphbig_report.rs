@@ -11,8 +11,10 @@
 //!   -only comparison (same bin, metric names/kinds, table count/headers;
 //!   values free to differ). Exit 1 listing every mismatch. CI runs this
 //!   against a committed golden manifest so schema drift is caught without
-//!   pinning timing-dependent numbers. One value IS checked: a candidate
-//!   whose `chaos.invariants.violations` counter is non-zero fails.
+//!   pinning timing-dependent numbers. Two values ARE checked: a
+//!   candidate whose `chaos.invariants.violations` or `slo.violations`
+//!   counter is non-zero fails — schema drift and SLO regressions (a
+//!   p999 past its target) are both gate-worthy.
 //! * `graphbig-report --show <manifest.json>` — render a manifest back to
 //!   human-readable form: header fields, tables, metrics, span summary.
 //!
@@ -112,6 +114,18 @@ fn check(golden_path: &str, candidate_path: &str) {
             ));
             for note in &candidate.notes {
                 if note.starts_with("chaos invariant violated") {
+                    problems.push(format!("  {note}"));
+                }
+            }
+        }
+    }
+    // Likewise the SLO verdict: a candidate that missed a declared p99 or
+    // p999 target is a latency regression, not a schema difference.
+    if let Some(MetricValue::Counter(v)) = candidate.metrics.get("slo.violations") {
+        if *v > 0 {
+            problems.push(format!("candidate reports {v} SLO violation(s)"));
+            for note in &candidate.notes {
+                if note.starts_with("slo violated") {
                     problems.push(format!("  {note}"));
                 }
             }

@@ -61,6 +61,11 @@ pub enum FaultAction {
     /// Traffic driver: republish the current snapshot as a new epoch
     /// mid-mix.
     Republish,
+    /// Engine result-cache insert path: store a corrupted output so a
+    /// later cache hit serves a wrong answer. The sequential-oracle digest
+    /// comparison must flag the run — proving the oracle actually guards
+    /// the cache path, not just the compute path.
+    CorruptCache,
     /// Engine resolve path: deliver the response twice, violating the
     /// resolved-once invariant on purpose (exercises the invariant sweep
     /// and the flight-recorder failure dump).
@@ -75,7 +80,8 @@ json_enum!(FaultAction {
     Cancel,
     Panic,
     Republish,
-    DoubleResolve
+    DoubleResolve,
+    CorruptCache
 });
 
 /// How a [`FaultSpec`] decides whether to fire for a given key.

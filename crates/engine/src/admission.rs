@@ -78,13 +78,21 @@ impl AdmissionController {
     /// [`AdmissionController::on_start`] (when the query leaves the queue)
     /// and [`AdmissionController::on_finish`] (when it completes or is
     /// cancelled).
+    ///
+    /// A completely idle controller (`in_flight_cost == 0`) admits *any*
+    /// cost, even one exceeding the budget — the "always admit when empty"
+    /// rule. Without it a single query whose estimate tops `max_cost`
+    /// (e.g. an Analytics kernel on a large graph) would be rejected
+    /// forever, a livelock no amount of waiting cures. While the oversized
+    /// query is in flight everything else still sees a full budget and is
+    /// rejected, so over-commitment is bounded by one query.
     pub fn try_admit(&self, cost: u64) -> Result<(), RejectReason> {
         // Reserve cost first via CAS so concurrent submitters never
         // over-commit the budget.
         let mut current = self.in_flight_cost.load(Ordering::Relaxed);
         loop {
             let proposed = current.saturating_add(cost);
-            if proposed > self.max_cost {
+            if current != 0 && proposed > self.max_cost {
                 return Err(RejectReason::CostBudget {
                     in_flight: current,
                     requested: cost,
@@ -221,13 +229,34 @@ mod tests {
     }
 
     #[test]
-    fn oversized_single_query_is_rejected_even_when_idle() {
+    fn oversized_query_is_admitted_when_idle() {
+        // Regression: a query whose single cost exceeds the budget used to
+        // be rejected even on a completely idle controller — a permanent
+        // livelock for e.g. Analytics kernels on large graphs.
         let ac = AdmissionController::new(8, 100);
+        assert!(ac.try_admit(101).is_ok(), "idle controller admits any cost");
+        assert_eq!(ac.in_flight_cost(), 101);
+        // While the oversized query is in flight, everything else is over
+        // budget and sheds normally.
         assert!(matches!(
-            ac.try_admit(101),
-            Err(RejectReason::CostBudget { in_flight: 0, .. })
+            ac.try_admit(1),
+            Err(RejectReason::CostBudget { in_flight: 101, .. })
         ));
+        // Once it finishes the controller behaves classically again.
+        ac.on_start();
+        ac.on_finish(101);
         assert!(ac.try_admit(100).is_ok(), "exactly the budget fits");
+    }
+
+    #[test]
+    fn oversized_query_is_rejected_when_busy() {
+        let ac = AdmissionController::new(8, 100);
+        assert!(ac.try_admit(10).is_ok());
+        assert!(
+            matches!(ac.try_admit(101), Err(RejectReason::CostBudget { .. })),
+            "the always-admit rule applies only to an idle controller"
+        );
+        assert_eq!(ac.in_flight_cost(), 10, "rejection must not leak cost");
     }
 
     #[test]

@@ -16,11 +16,24 @@
 //! `--mix <path>` (a [`MixSpec`] JSON file; overrides the request-shape
 //! flags), `--requests`, `--clients`, `--seed`, `--point-weight`,
 //! `--traversal-weight`, `--analytics-weight`, `--deadline-ms`,
-//! `--executors`, `--pool-threads`, `--queue-capacity`, `--cost-budget`
-//! (0 = unlimited), `--shards`, `--oracle`, `--emit <path>`, `--quiet`,
-//! `--faults <path>` (a `FaultPlan` JSON file — replay the mix under
-//! deterministic fault injection and sweep the chaos invariants; needs a
-//! build with the `chaos` feature to actually inject).
+//! `--hot-sources N` (fold every source into a pool of N hot vertices),
+//! `--khop-hops N`, `--executors`, `--pool-threads`, `--queue-capacity`,
+//! `--cost-budget` (0 = unlimited), `--shards`, `--oracle`,
+//! `--emit <path>`, `--quiet`, `--faults <path>` (a `FaultPlan` JSON
+//! file — replay the mix under deterministic fault injection and sweep
+//! the chaos invariants; needs a build with the `chaos` feature to
+//! actually inject).
+//!
+//! Adaptive-serving flags: `--cache-capacity N` (epoch-keyed result
+//! cache entries; 0 disables), `--no-adaptive` (charge static cost
+//! estimates instead of feedback-corrected ones), `--aging-limit N`
+//! (dequeues a starving lower lane may be skipped before it is served
+//! first; 0 = strict priority), `--slo <path>` (a [`SloSpec`] JSON file
+//! with per-class p99/p999 targets in microseconds; overrides the mix
+//! file's `slo` member). Targets are stamped onto every stats line and
+//! checked against the exact end-of-run latencies — the verdict lands in
+//! the manifest as `slo.checked`/`slo.violations`, which
+//! `graphbig-report --check` gates on.
 //!
 //! Observability flags: `--stats-interval <ms>` prints a structured
 //! stats snapshot line (schema `graphbig.stats/v1`: queue depth,
@@ -43,9 +56,11 @@ use std::time::Duration;
 use graphbig_chaos::{self as chaos, FaultPlan};
 use graphbig_datagen::Dataset;
 use graphbig_engine::traffic::{
-    generate_requests, run_chaos_mix, sequential_digests, verify_against_oracle,
+    evaluate_slo, generate_requests, run_chaos_mix, sequential_digests, verify_against_oracle,
 };
-use graphbig_engine::{check_chaos_invariants, Engine, EngineConfig, MixSpec, TrafficReport};
+use graphbig_engine::{
+    check_chaos_invariants, Engine, EngineConfig, MixSpec, SloSpec, TrafficReport,
+};
 use graphbig_framework::csr::Csr;
 use graphbig_telemetry::recorder;
 use graphbig_telemetry::{self as telemetry, MetricSink, MetricValue, RunManifest, TableData};
@@ -69,22 +84,35 @@ fn has_flag(flag: &str) -> bool {
 }
 
 fn load_mix() -> Result<MixSpec, String> {
-    if let Some(path) = arg_value("--mix") {
+    let mut spec = if let Some(path) = arg_value("--mix") {
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read mix file {path}: {e}"))?;
-        return graphbig_json::from_str(&text)
-            .map_err(|e| format!("cannot parse mix file {path}: {e}"));
+        graphbig_json::from_str(&text).map_err(|e| format!("cannot parse mix file {path}: {e}"))?
+    } else {
+        let defaults = MixSpec::default();
+        MixSpec {
+            seed: parsed_arg("--seed", defaults.seed),
+            requests: parsed_arg("--requests", defaults.requests),
+            clients: parsed_arg("--clients", defaults.clients),
+            point_weight: parsed_arg("--point-weight", defaults.point_weight),
+            traversal_weight: parsed_arg("--traversal-weight", defaults.traversal_weight),
+            analytics_weight: parsed_arg("--analytics-weight", defaults.analytics_weight),
+            deadline_ms: arg_value("--deadline-ms").and_then(|v| v.parse().ok()),
+            hot_sources: arg_value("--hot-sources").and_then(|v| v.parse().ok()),
+            khop_hops: parsed_arg("--khop-hops", defaults.khop_hops),
+            slo: None,
+        }
+    };
+    // An explicit `--slo <path>` beats the mix file's inline `slo` member.
+    if let Some(path) = arg_value("--slo") {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read slo spec {path}: {e}"))?;
+        spec.slo = Some(
+            graphbig_json::from_str::<SloSpec>(&text)
+                .map_err(|e| format!("cannot parse slo spec {path}: {e}"))?,
+        );
     }
-    let defaults = MixSpec::default();
-    Ok(MixSpec {
-        seed: parsed_arg("--seed", defaults.seed),
-        requests: parsed_arg("--requests", defaults.requests),
-        clients: parsed_arg("--clients", defaults.clients),
-        point_weight: parsed_arg("--point-weight", defaults.point_weight),
-        traversal_weight: parsed_arg("--traversal-weight", defaults.traversal_weight),
-        analytics_weight: parsed_arg("--analytics-weight", defaults.analytics_weight),
-        deadline_ms: arg_value("--deadline-ms").and_then(|v| v.parse().ok()),
-    })
+    Ok(spec)
 }
 
 fn load_faults() -> Result<FaultPlan, String> {
@@ -269,6 +297,7 @@ fn main() -> ExitCode {
         }
     }
     let cost_budget: u64 = parsed_arg("--cost-budget", 0u64);
+    let cfg_defaults = EngineConfig::default();
     let cfg = EngineConfig {
         executors: parsed_arg("--executors", 2usize),
         pool_threads: parsed_arg("--pool-threads", 4usize),
@@ -280,6 +309,9 @@ fn main() -> ExitCode {
         },
         default_deadline: None,
         shards: parsed_arg("--shards", 8usize),
+        adaptive_costs: !has_flag("--no-adaptive"),
+        cache_capacity: parsed_arg("--cache-capacity", cfg_defaults.cache_capacity),
+        lane_aging_limit: parsed_arg("--aging-limit", cfg_defaults.lane_aging_limit),
     };
 
     if !quiet {
@@ -299,23 +331,32 @@ fn main() -> ExitCode {
         );
     }
     let stats_interval: u64 = parsed_arg("--stats-interval", 0u64);
+    // Every stats line carries the per-lane SLO targets (0 = none), so a
+    // live reader can compare window quantiles against targets in place.
+    let slo_spec = spec.slo.unwrap_or_default();
+    let stats_line = |engine: &Engine| {
+        let mut snap = engine.stats_snapshot();
+        snap.apply_slo(&slo_spec);
+        snap.to_json_line()
+    };
     let report = if stats_interval == 0 {
         run_chaos_mix(&engine, &spec, &plan)
     } else {
         // One snapshot line before traffic, one at each interval while the
         // mix runs, and one after it drains (printed below).
-        println!("{}", engine.stats_snapshot().to_json_line());
+        println!("{}", stats_line(&engine));
         let stop = AtomicBool::new(false);
         std::thread::scope(|s| {
             let engine = &engine;
             let stop = &stop;
+            let stats_line = &stats_line;
             s.spawn(move || {
                 let mut since_last_ms = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(20));
                     since_last_ms += 20;
                     if since_last_ms >= stats_interval {
-                        println!("{}", engine.stats_snapshot().to_json_line());
+                        println!("{}", stats_line(engine));
                         since_last_ms = 0;
                     }
                 }
@@ -326,7 +367,7 @@ fn main() -> ExitCode {
         })
     };
     if stats_interval > 0 {
-        println!("{}", engine.stats_snapshot().to_json_line());
+        println!("{}", stats_line(&engine));
     }
     // Publish the sliding-window SLO gauges the mix just filled, so the
     // manifest (and any later registry reader) sees `engine.window.*`.
@@ -374,6 +415,19 @@ fn main() -> ExitCode {
         eprintln!("error: chaos invariants violated:\n{}", invariants.render());
     } else if !quiet && !plan.is_empty() {
         eprintln!("chaos invariants:\n{}", invariants.render());
+    }
+
+    // End-of-run SLO verdict over the *exact* latencies (not the sliding
+    // window). A miss does not change this binary's exit code — the gate
+    // lives in `graphbig-report --check`, which fails any manifest whose
+    // `slo.violations` counter is nonzero.
+    let slo_verdict = evaluate_slo(&report, &slo_spec);
+    if slo_spec.any() {
+        if !slo_verdict.ok() {
+            eprintln!("SLO targets missed:\n{}", slo_verdict.render());
+        } else if !quiet {
+            eprintln!("SLO targets:\n{}", slo_verdict.render());
+        }
     }
 
     let table = latency_table(&report);
@@ -440,6 +494,16 @@ fn main() -> ExitCode {
         manifest.param("queue_capacity", cfg.queue_capacity);
         manifest.param("cost_budget", cost_budget);
         manifest.param("shards", cfg.shards);
+        manifest.param("cache_capacity", cfg.cache_capacity);
+        manifest.param("adaptive_costs", cfg.adaptive_costs);
+        manifest.param("aging_limit", cfg.lane_aging_limit);
+        manifest.param(
+            "hot_sources",
+            spec.hot_sources
+                .map(|h| h.to_string())
+                .unwrap_or_else(|| "none".into()),
+        );
+        manifest.param("khop_hops", spec.khop_hops);
         manifest.param(
             "oracle_checked",
             oracle_checked
@@ -458,6 +522,8 @@ fn main() -> ExitCode {
             manifest.counter(&format!("chaos.fired.{label}"), *count);
         }
         invariants.write_to_manifest(&mut manifest);
+        slo_verdict.write_to_manifest(&slo_spec, &mut manifest);
+        manifest.gauge("engine.lane.max_skip", engine.max_lane_skip() as f64);
         for class in &report.classes {
             let name = class.class.name();
             manifest.gauge(&format!("engine.p50_us.{name}"), class.p50_us as f64);

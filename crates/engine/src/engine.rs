@@ -27,6 +27,7 @@ use graphbig_workloads::service::{self, ServiceError, ServiceOutput};
 use graphbig_workloads::{CostClass, Workload};
 
 use crate::admission::{AdmissionController, RejectReason};
+use crate::cache::ResultCache;
 use crate::shard::ShardedGraph;
 use crate::slo::{self, SloTracker, StatsSnapshot};
 use crate::store::{EpochSnapshot, GraphStore};
@@ -47,6 +48,15 @@ pub struct EngineConfig {
     pub default_deadline: Option<Duration>,
     /// Shard count for the graph store's partitions.
     pub shards: usize,
+    /// Scale static cost estimates by the feedback model's observed
+    /// correction factor at admission (see [`SloTracker::correction`]).
+    pub adaptive_costs: bool,
+    /// Total entries in the epoch-keyed result cache (0 disables caching).
+    pub cache_capacity: usize,
+    /// Dequeues a non-empty lower-priority lane tolerates being passed
+    /// over before it is served ahead of higher-priority lanes (0 =
+    /// strict priority, lower lanes can starve under a point-query storm).
+    pub lane_aging_limit: u64,
 }
 
 impl Default for EngineConfig {
@@ -58,12 +68,16 @@ impl Default for EngineConfig {
             cost_budget: u64::MAX,
             default_deadline: None,
             shards: 8,
+            adaptive_costs: true,
+            cache_capacity: 1024,
+            lane_aging_limit: 32,
         }
     }
 }
 
-/// One query against the current epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One query against the current epoch. `Hash` covers the shape and every
+/// parameter, so `(epoch, Query)` is a sound result-cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Query {
     /// Point lookup: (out-degree, in-degree) of a vertex.
     Degree {
@@ -256,7 +270,11 @@ impl Resolver {
 struct Job {
     query: Query,
     class: CostClass,
+    /// Budget cost actually charged (the feedback-adjusted estimate).
     cost: u64,
+    /// Unscaled `Query::cost` estimate — the denominator the feedback
+    /// model calibrates against.
+    static_cost: u64,
     snapshot: Arc<EpochSnapshot>,
     token: CancelToken,
     enqueued: Instant,
@@ -268,14 +286,52 @@ struct Job {
     resolver: Resolver,
 }
 
+/// Pick the lane to serve next. Strict priority (lowest index first)
+/// except that any occupied lane whose skip counter has reached `limit`
+/// is served ahead of everything else (lowest such index on ties) — the
+/// aging rule that keeps an analytics queue moving under a point-query
+/// storm. `limit == 0` disables aging. Pure so the policy is unit-testable
+/// without an engine.
+fn select_lane(occupied: [bool; 3], skips: [u64; 3], limit: u64) -> Option<usize> {
+    if limit > 0 {
+        if let Some(aged) = (0..3).find(|&l| occupied[l] && skips[l] >= limit) {
+            return Some(aged);
+        }
+    }
+    (0..3).find(|&l| occupied[l])
+}
+
 struct Lanes {
     queues: [VecDeque<Job>; 3],
+    /// Consecutive times each lane was occupied yet passed over. Serving a
+    /// lane resets its counter; lanes below the served one age by one.
+    skips: [u64; 3],
+    /// High-water mark of any skip counter — the starvation invariant
+    /// bounds this by `aging_limit + 1`.
+    max_skip: u64,
+    aging_limit: u64,
     shutdown: bool,
 }
 
 impl Lanes {
-    fn pop(&mut self) -> Option<Job> {
-        self.queues.iter_mut().find_map(|q| q.pop_front())
+    /// Pop the next job under the aging policy. The flag reports whether
+    /// the job was served out of strict priority order (an "aged" serve).
+    fn pop(&mut self) -> Option<(Job, bool)> {
+        let occupied = [
+            !self.queues[0].is_empty(),
+            !self.queues[1].is_empty(),
+            !self.queues[2].is_empty(),
+        ];
+        let served = select_lane(occupied, self.skips, self.aging_limit)?;
+        let aged = occupied.iter().take(served).any(|&o| o);
+        for (l, &occ) in occupied.iter().enumerate().skip(served + 1) {
+            if occ {
+                self.skips[l] += 1;
+                self.max_skip = self.max_skip.max(self.skips[l]);
+            }
+        }
+        self.skips[served] = 0;
+        Some((self.queues[served].pop_front().unwrap(), aged))
     }
 }
 
@@ -283,6 +339,7 @@ struct Shared {
     lanes: Mutex<Lanes>,
     available: Condvar,
     admission: AdmissionController,
+    cache: ResultCache,
 }
 
 fn lock(m: &Mutex<Lanes>) -> MutexGuard<'_, Lanes> {
@@ -314,6 +371,11 @@ struct EngineMetrics {
     stage_exec_us: [Histogram; 3],
     stage_admit_us: Histogram,
     stage_resolve_us: Histogram,
+    cache_hit: Counter,
+    cache_miss: Counter,
+    cache_evict: Counter,
+    /// Dequeues that served an aged lane ahead of a higher-priority one.
+    lane_aged: Counter,
 }
 
 impl EngineMetrics {
@@ -356,6 +418,10 @@ impl EngineMetrics {
             ],
             stage_admit_us: reg.histogram("engine.stage_us.admit"),
             stage_resolve_us: reg.histogram("engine.stage_us.resolve"),
+            cache_hit: reg.counter("engine.cache.hit"),
+            cache_miss: reg.counter("engine.cache.miss"),
+            cache_evict: reg.counter("engine.cache.evict"),
+            lane_aged: reg.counter("engine.lane.aged"),
         }
     }
 }
@@ -377,6 +443,8 @@ pub struct Engine {
     slo: SloTracker,
     default_deadline: Option<Duration>,
     shards: usize,
+    adaptive_costs: bool,
+    lane_aging_limit: u64,
     auto_tag: AtomicU64,
     executors: Vec<std::thread::JoinHandle<()>>,
 }
@@ -397,15 +465,24 @@ impl Engine {
         let graph = ShardedGraph::build(csr, cfg.shards);
         let store = GraphStore::new(graph);
         let pool = Arc::new(ThreadPool::new(cfg.pool_threads));
+        let metrics = EngineMetrics::new(reg);
         let shared = Arc::new(Shared {
             lanes: Mutex::new(Lanes {
                 queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                skips: [0; 3],
+                max_skip: 0,
+                aging_limit: cfg.lane_aging_limit,
                 shutdown: false,
             }),
             available: Condvar::new(),
             admission: AdmissionController::new(cfg.queue_capacity, cfg.cost_budget),
+            cache: ResultCache::new(
+                cfg.cache_capacity,
+                metrics.cache_hit.clone(),
+                metrics.cache_miss.clone(),
+                metrics.cache_evict.clone(),
+            ),
         });
-        let metrics = EngineMetrics::new(reg);
         let slo = SloTracker::new();
         let executors = (0..cfg.executors.max(1))
             .map(|i| {
@@ -427,6 +504,8 @@ impl Engine {
             slo,
             default_deadline: cfg.default_deadline,
             shards: cfg.shards,
+            adaptive_costs: cfg.adaptive_costs,
+            lane_aging_limit: cfg.lane_aging_limit,
             auto_tag: AtomicU64::new(0),
             executors,
         }
@@ -466,10 +545,22 @@ impl Engine {
         );
         let class = query.class();
         let lane_idx = lane(class) as u8;
-        let cost = query.cost(n, m);
+        let static_cost = query.cost(n, m);
+        // Feedback cost model: charge the budget what this key has been
+        // *observed* to cost relative to the global calibration, not what
+        // the static formula guesses. Bounded by the correction clamp, so
+        // an adjusted cost is always within [1/4, 4]x the static one.
+        let cost = if self.adaptive_costs {
+            self.slo.adaptive_cost(slo::query_key(&query), static_cost)
+        } else {
+            static_cost
+        };
         // Lifecycle: `admit` opens the request's story; the arg carries the
         // chaos tag so fault_fired events (keyed by tag) correlate back.
         recorder::record_lane(EventKind::Admit, lane_idx, request_id, tag);
+        if cost != static_cost {
+            recorder::record_lane(EventKind::CostAdjust, lane_idx, request_id, cost);
+        }
         if let Err(reason) = self.shared.admission.try_admit(cost) {
             match reason {
                 RejectReason::QueueFull { .. } => {
@@ -522,6 +613,7 @@ impl Engine {
             query,
             class,
             cost,
+            static_cost,
             snapshot,
             token: token.clone(),
             enqueued: Instant::now(),
@@ -549,14 +641,20 @@ impl Engine {
     /// under.
     pub fn publish(&self, csr: Csr) -> u64 {
         let _ = chaos::failpoint!("engine.publish");
-        self.store.publish(ShardedGraph::build(csr, self.shards))
+        let epoch = self.store.publish(ShardedGraph::build(csr, self.shards));
+        // Epoch keying already makes old entries unreachable; the sweep
+        // reclaims their memory promptly.
+        self.shared.cache.invalidate();
+        epoch
     }
 
     /// Republish the current graph under a new epoch number without
     /// rebuilding shards — the chaos driver's cheap mid-mix epoch bump.
     pub fn republish(&self) -> u64 {
         let _ = chaos::failpoint!("engine.publish");
-        self.store.republish()
+        let epoch = self.store.republish();
+        self.shared.cache.invalidate();
+        epoch
     }
 
     /// Executor threads still running (the chaos invariant "no executor
@@ -590,6 +688,23 @@ impl Engine {
     /// The live sliding-window SLO tracker the executors feed.
     pub fn slo(&self) -> &SloTracker {
         &self.slo
+    }
+
+    /// Entries currently in the result cache (0 when caching is disabled).
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// High-water mark of any lane's consecutive skip count. The aging
+    /// starvation invariant bounds this by
+    /// [`Engine::lane_aging_limit`]` + 1`.
+    pub fn max_lane_skip(&self) -> u64 {
+        lock(&self.shared.lanes).max_skip
+    }
+
+    /// The configured aging limit (0 = strict priority).
+    pub fn lane_aging_limit(&self) -> u64 {
+        self.lane_aging_limit
     }
 
     /// A point-in-time serving snapshot: queue depth, in-flight cost, and
@@ -657,7 +772,10 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics, sl
         let (job, draining) = {
             let mut lanes = lock(&shared.lanes);
             loop {
-                if let Some(j) = lanes.pop() {
+                if let Some((j, aged)) = lanes.pop() {
+                    if aged {
+                        metrics.lane_aged.inc();
+                    }
                     break (Some(j), lanes.shutdown);
                 }
                 if lanes.shutdown {
@@ -702,7 +820,7 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics, sl
                 QueryStatus::Cancelled
             }
         } else {
-            run_guarded(&job, pool)
+            run_guarded(&job, pool, &shared.cache)
         };
         let exec_us = exec_start.elapsed().as_micros() as u64;
         metrics.stage_exec_us[lane_idx].record(exec_us);
@@ -716,7 +834,13 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics, sl
             QueryStatus::Completed(_) => {
                 metrics.completed[lane_idx].inc();
                 metrics.latency_us[lane_idx].record(queue_us + exec_us);
-                slo.record(lane_idx, slo::query_key(&job.query), queue_us + exec_us);
+                let key = slo::query_key(&job.query);
+                slo.record(lane_idx, key, queue_us + exec_us);
+                // Feed the feedback cost model with what execution
+                // actually cost relative to the static estimate. Cache
+                // hits count too — a hot cached key genuinely is cheap,
+                // and its correction should drift toward the floor.
+                slo.observe_cost(key, job.static_cost, exec_us);
             }
             QueryStatus::DeadlineExceeded => metrics.deadline_missed.inc(),
             QueryStatus::Cancelled => metrics.cancelled.inc(),
@@ -755,14 +879,14 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics, sl
 /// a genuine bug surfacing through `ThreadPool::broadcast`'s re-throw —
 /// terminates *this query* with [`QueryStatus::Failed`]; the executor
 /// thread, the pool workers, and every other query keep going.
-fn run_guarded(job: &Job, pool: &ThreadPool) -> QueryStatus {
+fn run_guarded(job: &Job, pool: &ThreadPool, cache: &ResultCache) -> QueryStatus {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if let Some(fault) = chaos::failpoint!("engine.run.pre", job.tag) {
             if fault.is_panic() {
                 panic!("{} at engine.run.pre", chaos::PANIC_MSG);
             }
         }
-        let status = run_query(job, pool);
+        let status = run_query(job, pool, cache);
         if let Some(fault) = chaos::failpoint!("engine.run.post", job.tag) {
             if fault.is_panic() {
                 panic!("{} at engine.run.post", chaos::PANIC_MSG);
@@ -786,7 +910,42 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn run_query(job: &Job, pool: &ThreadPool) -> QueryStatus {
+/// Chaos cache poisoning: the corrupted entry a firing
+/// [`FaultAction::CorruptCache`] stores in place of the real output. Any
+/// later hit serves a wrong answer whose digest cannot match the
+/// sequential oracle's — the drill that proves the oracle guards the
+/// cache path.
+fn corrupted(output: &QueryOutput) -> QueryOutput {
+    QueryOutput::KHop(output.digest() ^ 0xBAD_CAC4E)
+}
+
+fn run_query(job: &Job, pool: &ThreadPool, cache: &ResultCache) -> QueryStatus {
+    let epoch = job.snapshot.epoch();
+    // Serve from the epoch-keyed cache first: identical query + identical
+    // epoch = bit-identical output, so a hit skips the kernel entirely
+    // while the response (and its digest) stays exactly what a fresh run
+    // would produce.
+    if let Some(output) = cache.get(epoch, &job.query) {
+        recorder::record_lane(
+            EventKind::CacheHit,
+            lane(job.class) as u8,
+            job.request_id,
+            epoch,
+        );
+        return QueryStatus::Completed(output);
+    }
+    let status = run_query_uncached(job, pool);
+    if let QueryStatus::Completed(output) = &status {
+        let stored = match chaos::failpoint!("engine.cache.insert", job.tag) {
+            Some(f) if f.action == FaultAction::CorruptCache => corrupted(output),
+            _ => output.clone(),
+        };
+        cache.insert(epoch, job.query, stored);
+    }
+    status
+}
+
+fn run_query_uncached(job: &Job, pool: &ThreadPool) -> QueryStatus {
     let graph = job.snapshot.graph();
     match job.query {
         // Point queries run inline on the executor thread: waking the pool
@@ -869,6 +1028,9 @@ mod tests {
             ..quiet_cfg()
         };
         let engine = Engine::with_registry(cfg, csr(100), &reg);
+        // Occupy the whole budget so the engine is busy (an idle engine
+        // now admits any cost — see the admission livelock regression).
+        engine.admission().try_admit(1).unwrap();
         let err = engine
             .submit(Query::Run {
                 workload: Workload::KCore,
@@ -876,13 +1038,36 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, RejectReason::CostBudget { .. }), "{err}");
-        // A cost-1 point query still gets through.
+        // Releasing the budget lets a cost-1 point query through.
+        engine.admission().on_start();
+        engine.admission().on_finish(1);
         let t = engine.submit(Query::Degree { vertex: 1 }).unwrap();
         assert!(matches!(t.wait().status, QueryStatus::Completed(_)));
         let snap = reg.snapshot();
         use graphbig_telemetry::MetricValue;
         assert_eq!(snap["engine.rejected.cost_budget"], MetricValue::Counter(1));
         assert_eq!(snap["engine.submitted"], MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn oversized_query_completes_on_an_idle_engine() {
+        // End-to-end form of the admission livelock regression: KCore's
+        // estimate dwarfs a budget of 1, but an idle engine must still
+        // serve it rather than reject it forever.
+        let reg = Registry::new();
+        let cfg = EngineConfig {
+            cost_budget: 1,
+            ..quiet_cfg()
+        };
+        let engine = Engine::with_registry(cfg, csr(100), &reg);
+        let t = engine
+            .submit(Query::Run {
+                workload: Workload::KCore,
+                source: 0,
+            })
+            .unwrap();
+        assert!(matches!(t.wait().status, QueryStatus::Completed(_)));
+        assert_eq!(engine.admission().in_flight_cost(), 0);
     }
 
     #[test]
@@ -1025,6 +1210,132 @@ mod tests {
                 r.status
             );
         }
+    }
+
+    #[test]
+    fn select_lane_ages_starving_lanes() {
+        let all = [true, true, true];
+        // Strict priority while nobody has aged out.
+        assert_eq!(select_lane(all, [0, 0, 0], 4), Some(0));
+        assert_eq!(select_lane([false, true, true], [0, 0, 0], 4), Some(1));
+        assert_eq!(select_lane([false, false, false], [9, 9, 9], 4), None);
+        // A lane at the limit is served ahead of higher priorities.
+        assert_eq!(select_lane(all, [0, 0, 4], 4), Some(2));
+        assert_eq!(select_lane(all, [0, 4, 4], 4), Some(1), "lowest aged wins");
+        // An empty lane never ages into service.
+        assert_eq!(select_lane([true, false, true], [0, 9, 0], 4), Some(0));
+        // Limit 0 = aging off: strict priority no matter the counters.
+        assert_eq!(select_lane(all, [0, 99, 99], 0), Some(0));
+    }
+
+    #[test]
+    fn lane_skip_counts_are_bounded_by_the_aging_limit() {
+        // Model a point-query storm directly on the Lanes state machine:
+        // lane 0 never empties, lane 2 holds a steady backlog. Without
+        // aging lane 2 would starve forever; with it, lane 2 is served at
+        // least once every `limit + 1` dequeues and its skip counter never
+        // passes `limit + 1`.
+        let limit = 4u64;
+        let mut lanes = Lanes {
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            skips: [0; 3],
+            max_skip: 0,
+            aging_limit: limit,
+            shutdown: false,
+        };
+        let stub = |class: CostClass| {
+            let (tx, _rx) = channel();
+            Job {
+                query: Query::Degree { vertex: 0 },
+                class,
+                cost: 1,
+                static_cost: 1,
+                snapshot: GraphStore::new(ShardedGraph::build(
+                    Csr::from_graph(&graphbig_datagen::Dataset::Ldbc.generate_with_vertices(8)),
+                    2,
+                ))
+                .snapshot(),
+                token: CancelToken::new(),
+                enqueued: Instant::now(),
+                tag: 0,
+                request_id: 0,
+                resolver: Resolver::new(tx),
+            }
+        };
+        let mut analytics_served = 0u64;
+        for round in 0..100 {
+            lanes.queues[0].push_back(stub(CostClass::Point));
+            if lanes.queues[2].is_empty() {
+                lanes.queues[2].push_back(stub(CostClass::Analytics));
+            }
+            let (job, aged) = lanes.pop().unwrap();
+            if job.class == CostClass::Analytics {
+                analytics_served += 1;
+                assert!(aged, "analytics only gets served via aging here");
+            }
+            assert!(
+                lanes.max_skip <= limit + 1,
+                "round {round}: skip {} exceeds bound",
+                lanes.max_skip
+            );
+        }
+        assert!(
+            analytics_served >= 100 / (limit + 2),
+            "lane 2 starved: served {analytics_served} of 100"
+        );
+    }
+
+    #[test]
+    fn cache_serves_identical_results_and_publish_invalidates() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(quiet_cfg(), csr(200), &reg);
+        let q = Query::KHop { source: 3, hops: 2 };
+        let first = engine.submit(q).unwrap().wait();
+        let QueryStatus::Completed(ref cold) = first.status else {
+            panic!("{:?}", first.status);
+        };
+        assert!(engine.cache_len() >= 1);
+        let second = engine.submit(q).unwrap().wait();
+        let QueryStatus::Completed(ref hot) = second.status else {
+            panic!("{:?}", second.status);
+        };
+        assert_eq!(cold, hot, "cache hit must be bit-identical");
+        assert_eq!(cold.digest(), hot.digest());
+        use graphbig_telemetry::MetricValue;
+        assert_eq!(reg.snapshot()["engine.cache.hit"], MetricValue::Counter(1));
+        // Publishing a *different* graph must not serve stale results.
+        engine.publish(csr(300));
+        assert_eq!(engine.cache_len(), 0, "publish sweeps the cache");
+        let fresh = engine.submit(q).unwrap().wait();
+        let QueryStatus::Completed(ref post) = fresh.status else {
+            panic!("{:?}", fresh.status);
+        };
+        assert_ne!(
+            cold.digest(),
+            post.digest(),
+            "a 200- vs 300-vertex graph must answer differently"
+        );
+        let snap = reg.snapshot();
+        assert!(matches!(snap["engine.cache.evict"], MetricValue::Counter(n) if n >= 1));
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let reg = Registry::new();
+        let cfg = EngineConfig {
+            cache_capacity: 0,
+            ..quiet_cfg()
+        };
+        let engine = Engine::with_registry(cfg, csr(100), &reg);
+        let q = Query::Degree { vertex: 5 };
+        let a = engine.submit(q).unwrap().wait();
+        let b = engine.submit(q).unwrap().wait();
+        assert_eq!(a.status, b.status, "identical answers either way");
+        use graphbig_telemetry::MetricValue;
+        let snap = reg.snapshot();
+        assert_eq!(snap["engine.cache.hit"], MetricValue::Counter(0));
+        assert_eq!(snap["engine.cache.miss"], MetricValue::Counter(0));
+        assert_eq!(engine.cache_len(), 0);
     }
 
     #[test]

@@ -212,6 +212,27 @@ pub fn check_chaos_invariants(
         },
     });
 
+    // 6. Lane aging bounds starvation: no lane's consecutive-skip counter
+    //    ever passed `aging_limit + 1` (the +1 covers one extra skip while
+    //    another already-aged lane is served first). With aging disabled
+    //    (limit 0) strict priority makes no bound claim.
+    let limit = engine.lane_aging_limit();
+    let max_skip = engine.max_lane_skip();
+    checks.push(InvariantCheck {
+        name: "lane_starvation",
+        held: limit == 0 || max_skip <= limit + 1,
+        detail: format!("max lane skip {max_skip} vs aging limit {limit}"),
+    });
+
+    // 7. Cache accounting: every hit is a completed query, so hits can
+    //    never exceed completions.
+    let hits = counter(&snap, "engine.cache.hit");
+    checks.push(InvariantCheck {
+        name: "cache_consistent",
+        held: hits <= m_completed,
+        detail: format!("{hits} cache hits vs {m_completed} completions"),
+    });
+
     let report = InvariantReport { checks };
     if !report.ok() {
         // A violated invariant is exactly the moment the last-N-events
@@ -255,13 +276,13 @@ mod tests {
         let inv = check_chaos_invariants(&engine, &report, Some(&oracle), &reg);
         assert!(inv.ok(), "{}", inv.render());
         assert_eq!(inv.violations(), 0);
-        assert_eq!(inv.checks.len(), 5);
+        assert_eq!(inv.checks.len(), 7);
 
         let mut manifest = RunManifest::new("test");
         inv.write_to_manifest(&mut manifest);
         assert_eq!(
             manifest.metrics["chaos.invariants.checked"],
-            MetricValue::Counter(5)
+            MetricValue::Counter(7)
         );
         assert_eq!(
             manifest.metrics["chaos.invariants.violations"],

@@ -11,7 +11,12 @@
 //! - [`store`]: the epoch-versioned [`GraphStore`] — queries pin an
 //!   immutable `Arc<EpochSnapshot>` while a writer publishes new epochs.
 //! - [`admission`]: bounded queue + in-flight cost budget with typed,
-//!   synchronous [`RejectReason`]s.
+//!   synchronous [`RejectReason`]s. Budget charges run through the
+//!   feedback cost model ([`SloTracker::correction`](slo::SloTracker)),
+//!   which scales static estimates by observed per-key latency.
+//! - [`cache`]: the epoch-keyed [`ResultCache`] — repeated hot requests
+//!   are served bit-identically without re-running the kernel, and a
+//!   publish makes every stale entry unreachable by construction.
 //! - [`engine`]: the [`Engine`] itself — priority lanes (point queries
 //!   never queue behind analytics), executor threads over one shared
 //!   kernel pool, cooperative deadlines/cancellation, per-class latency
@@ -35,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cache;
 pub mod engine;
 pub mod invariants;
 pub mod shard;
@@ -43,9 +49,10 @@ pub mod store;
 pub mod traffic;
 
 pub use admission::{AdmissionController, RejectReason};
+pub use cache::ResultCache;
 pub use engine::{Engine, EngineConfig, Query, QueryOutput, QueryResponse, QueryStatus, Ticket};
 pub use invariants::{check_chaos_invariants, InvariantCheck, InvariantReport};
 pub use shard::{CsrShard, ShardedGraph};
-pub use slo::{LaneStats, SloTracker, StatsSnapshot, STATS_SCHEMA};
+pub use slo::{ClassSlo, LaneStats, SloSpec, SloTracker, StatsSnapshot, STATS_SCHEMA};
 pub use store::{EpochSnapshot, GraphStore};
 pub use traffic::{MixSpec, TrafficReport};

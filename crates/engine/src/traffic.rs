@@ -17,13 +17,14 @@ use std::time::{Duration, Instant};
 
 use graphbig_chaos::{self as chaos, FaultAction, FaultPlan};
 use graphbig_datagen::rng::Rng;
-use graphbig_json::json_struct;
 use graphbig_runtime::{CancelToken, ThreadPool};
+use graphbig_telemetry::{MetricSink, RunManifest};
 use graphbig_workloads::service::{self, ServiceError};
 use graphbig_workloads::{CostClass, Workload};
 
 use crate::engine::{Engine, Query, QueryOutput, QueryResponse, QueryStatus};
 use crate::shard::ShardedGraph;
+use crate::slo::SloSpec;
 
 /// A reproducible multi-tenant request mix.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,17 +44,61 @@ pub struct MixSpec {
     pub analytics_weight: u32,
     /// Per-request deadline in milliseconds (`null` = none).
     pub deadline_ms: Option<u64>,
+    /// Draw every source/vertex from a pool of this many hot vertices
+    /// instead of uniformly over the graph (`null` = uniform). Small pools
+    /// model the repeated-hot-request traffic internet services see — and
+    /// are what makes the result cache earn its keep.
+    pub hot_sources: Option<u32>,
+    /// Hop bound for generated k-hop point queries (default 2).
+    pub khop_hops: u32,
+    /// Per-class latency targets checked end-of-run (`null` = unchecked).
+    pub slo: Option<SloSpec>,
 }
 
-json_struct!(MixSpec {
-    seed,
-    requests,
-    clients,
-    point_weight,
-    traversal_weight,
-    analytics_weight,
-    deadline_ms
-});
+// Hand-written codec instead of `json_struct!`: the three newest members
+// (`hot_sources`, `khop_hops`, `slo`) must default when absent so every
+// pre-existing mix file keeps parsing — and keeps generating the exact
+// same request stream.
+impl graphbig_json::ToJson for MixSpec {
+    fn to_json(&self) -> graphbig_json::Json {
+        graphbig_json::Json::Obj(vec![
+            ("seed".to_string(), self.seed.to_json()),
+            ("requests".to_string(), self.requests.to_json()),
+            ("clients".to_string(), self.clients.to_json()),
+            ("point_weight".to_string(), self.point_weight.to_json()),
+            (
+                "traversal_weight".to_string(),
+                self.traversal_weight.to_json(),
+            ),
+            (
+                "analytics_weight".to_string(),
+                self.analytics_weight.to_json(),
+            ),
+            ("deadline_ms".to_string(), self.deadline_ms.to_json()),
+            ("hot_sources".to_string(), self.hot_sources.to_json()),
+            ("khop_hops".to_string(), self.khop_hops.to_json()),
+            ("slo".to_string(), self.slo.to_json()),
+        ])
+    }
+}
+
+impl graphbig_json::FromJson for MixSpec {
+    fn from_json(v: &graphbig_json::Json) -> Result<Self, graphbig_json::DecodeError> {
+        use graphbig_json::codec::{field, field_or_default};
+        Ok(MixSpec {
+            seed: field(v, "seed")?,
+            requests: field(v, "requests")?,
+            clients: field(v, "clients")?,
+            point_weight: field(v, "point_weight")?,
+            traversal_weight: field(v, "traversal_weight")?,
+            analytics_weight: field(v, "analytics_weight")?,
+            deadline_ms: field_or_default(v, "deadline_ms")?,
+            hot_sources: field_or_default(v, "hot_sources")?,
+            khop_hops: field_or_default::<Option<u32>>(v, "khop_hops")?.unwrap_or(2),
+            slo: field_or_default(v, "slo")?,
+        })
+    }
+}
 
 impl Default for MixSpec {
     fn default() -> Self {
@@ -65,6 +110,9 @@ impl Default for MixSpec {
             traversal_weight: 25,
             analytics_weight: 15,
             deadline_ms: None,
+            hot_sources: None,
+            khop_hops: 2,
+            slo: None,
         }
     }
 }
@@ -72,20 +120,28 @@ impl Default for MixSpec {
 /// Expand a mix into its concrete query list for a graph with `n`
 /// vertices. One PRNG stream, consumed in request order — the list does
 /// not depend on `spec.clients`, so the same mix replayed at different
-/// concurrency levels issues identical queries.
+/// concurrency levels issues identical queries. A `hot_sources` pool
+/// folds every source into `[0, pool)` *after* the uniform draw, so the
+/// draw sequence (and therefore every other request in the stream) is
+/// unchanged by the pool size.
 pub fn generate_requests(spec: &MixSpec, n: u32) -> Vec<Query> {
     let mut rng = Rng::seed_from_u64(spec.seed);
     let total = (spec.point_weight + spec.traversal_weight + spec.analytics_weight).max(1) as u64;
     let n = n.max(1);
+    let pool = spec.hot_sources.map(|h| h.clamp(1, n));
+    let hops = spec.khop_hops.max(1);
     (0..spec.requests)
         .map(|_| {
             let roll = rng.u64_below(total) as u32;
-            let source = rng.u64_below(n as u64) as u32;
+            let mut source = rng.u64_below(n as u64) as u32;
+            if let Some(pool) = pool {
+                source %= pool;
+            }
             if roll < spec.point_weight {
                 if rng.gen_bool(0.5) {
                     Query::Degree { vertex: source }
                 } else {
-                    Query::KHop { source, hops: 2 }
+                    Query::KHop { source, hops }
                 }
             } else if roll < spec.point_weight + spec.traversal_weight {
                 Query::Run {
@@ -168,13 +224,133 @@ impl TrafficReport {
     }
 }
 
-/// Exact percentile from an unsorted latency sample (nearest-rank).
+/// One latency target a finished mix failed to meet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloViolation {
+    /// The latency class the target applied to.
+    pub class: CostClass,
+    /// Which quantile missed (`"p99"` or `"p999"`).
+    pub quantile: &'static str,
+    /// The observed latency in microseconds.
+    pub observed_us: u64,
+    /// The target it had to stay under.
+    pub target_us: u64,
+}
+
+/// The end-of-run verdict of a [`SloSpec`] against a [`TrafficReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SloReport {
+    /// Number of `(class, quantile)` targets checked.
+    pub checked: u64,
+    /// Every target that was missed.
+    pub violations: Vec<SloViolation>,
+}
+
+impl SloReport {
+    /// True when every checked target was met.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Publish the `slo.*` section: a `checked`/`violations` counter pair
+    /// (the latter is what `graphbig-report --check` gates on), one
+    /// target gauge per checked quantile, and a note per violation.
+    pub fn write_to_manifest(&self, spec: &SloSpec, manifest: &mut RunManifest) {
+        manifest.counter("slo.checked", self.checked);
+        manifest.counter("slo.violations", self.violations.len() as u64);
+        for (lane, class) in CostClass::ALL.iter().enumerate() {
+            if let Some(target) = spec.for_lane(lane) {
+                let key = class.name();
+                manifest.gauge(&format!("slo.target.p99_us.{key}"), target.p99_us as f64);
+                manifest.gauge(&format!("slo.target.p999_us.{key}"), target.p999_us as f64);
+            }
+        }
+        for v in &self.violations {
+            manifest.notes.push(format!(
+                "slo violated: {} {} observed {}us > target {}us",
+                v.class.name(),
+                v.quantile,
+                v.observed_us,
+                v.target_us
+            ));
+        }
+    }
+
+    /// One line per violation, for terminal output.
+    pub fn render(&self) -> String {
+        if self.ok() {
+            return format!("  ok  all {} SLO targets met", self.checked);
+        }
+        self.violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "  MISS {} {} — observed {}us > target {}us",
+                    v.class.name(),
+                    v.quantile,
+                    v.observed_us,
+                    v.target_us
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Check every target in `spec` against the exact end-to-end latencies in
+/// `report`. A class with no completed queries trivially meets its
+/// targets (its percentiles are 0); a zero target is "no target" and is
+/// not counted as checked.
+pub fn evaluate_slo(report: &TrafficReport, spec: &SloSpec) -> SloReport {
+    let mut out = SloReport::default();
+    for (lane, class) in CostClass::ALL.iter().enumerate() {
+        let Some(target) = spec.for_lane(lane) else {
+            continue;
+        };
+        let stats = report.class(*class);
+        for (quantile, observed, target_us) in [
+            ("p99", stats.p99_us, target.p99_us),
+            ("p999", stats.p999_us, target.p999_us),
+        ] {
+            if target_us == 0 {
+                continue;
+            }
+            out.checked += 1;
+            if observed > target_us {
+                out.violations.push(SloViolation {
+                    class: *class,
+                    quantile,
+                    observed_us: observed,
+                    target_us,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Exact percentile from a sorted latency sample, linearly interpolated
+/// between the two order statistics straddling rank `q·(n-1)` and rounded
+/// to the nearest microsecond.
+///
+/// This is the raw-sample analogue of
+/// [`HistogramSnapshot::quantile`](graphbig_telemetry::HistogramSnapshot::quantile)'s
+/// within-bucket interpolation: both estimators move smoothly with `q`
+/// instead of jumping between elements, so the exact report and the
+/// sliding-window gauges agree in definition. The old nearest-rank rule
+/// could make p999 snap to the same element as p99 on small samples (and
+/// its `ceil` ranking was one rounding error away from indexing past the
+/// end); interpolation keeps quantiles monotone in `q`, always in range,
+/// and distinct whenever the straddled order statistics differ.
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    let h = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = (h.floor() as usize).min(sorted.len() - 1);
+    let hi = (lo + 1).min(sorted.len() - 1);
+    let frac = h - lo as f64;
+    (sorted[lo] as f64 + frac * (sorted[hi] as f64 - sorted[lo] as f64)).round() as u64
 }
 
 enum Outcome {
@@ -453,6 +629,16 @@ mod tests {
             traversal_weight: 5,
             analytics_weight: 1,
             deadline_ms: Some(250),
+            hot_sources: Some(16),
+            khop_hops: 3,
+            slo: Some(crate::slo::SloSpec {
+                point: Some(crate::slo::ClassSlo {
+                    p99_us: 700,
+                    p999_us: 3_000,
+                }),
+                traversal: None,
+                analytics: None,
+            }),
         };
         let text = graphbig_json::to_pretty(&spec);
         let back: MixSpec = graphbig_json::from_str(&text).unwrap();
@@ -464,6 +650,142 @@ mod tests {
         )
         .unwrap();
         assert_eq!(none.deadline_ms, None);
+    }
+
+    #[test]
+    fn old_mix_files_parse_with_defaulted_new_fields() {
+        // Exactly the seven fields every pre-existing mix file carries —
+        // must still parse, with the new knobs at their defaults.
+        let old: MixSpec = graphbig_json::from_str(
+            r#"{"seed":9,"requests":30,"clients":2,"point_weight":60,
+                "traversal_weight":25,"analytics_weight":15,"deadline_ms":100}"#,
+        )
+        .unwrap();
+        assert_eq!(old.hot_sources, None);
+        assert_eq!(old.khop_hops, 2);
+        assert_eq!(old.slo, None);
+        // And the defaulted spec generates the exact same stream as the
+        // pre-extension generator did (hops hardcoded to 2, uniform
+        // sources): pin it against a spec that spells the defaults out.
+        let explicit = MixSpec {
+            hot_sources: None,
+            khop_hops: 2,
+            slo: Some(crate::slo::SloSpec::default()),
+            ..old.clone()
+        };
+        assert_eq!(
+            generate_requests(&old, 500),
+            generate_requests(&explicit, 500)
+        );
+    }
+
+    #[test]
+    fn hot_sources_folds_without_changing_the_draw_sequence() {
+        let uniform = MixSpec {
+            requests: 200,
+            ..MixSpec::default()
+        };
+        let hot = MixSpec {
+            hot_sources: Some(8),
+            ..uniform.clone()
+        };
+        let a = generate_requests(&uniform, 1000);
+        let b = generate_requests(&hot, 1000);
+        assert_eq!(a.len(), b.len());
+        for (qa, qb) in a.iter().zip(&b) {
+            // Same class and workload at every position — only the source
+            // vertex is folded into the hot pool.
+            assert_eq!(qa.class(), qb.class());
+            let source = |q: &Query| match q {
+                Query::Degree { vertex } => *vertex,
+                Query::KHop { source, .. } => *source,
+                Query::Run { source, .. } => *source,
+            };
+            assert!(source(qb) < 8, "folded into the pool");
+            assert_eq!(source(qa) % 8, source(qb));
+        }
+        // khop_hops is threaded into generated k-hop queries.
+        let deep = generate_requests(
+            &MixSpec {
+                khop_hops: 4,
+                ..uniform.clone()
+            },
+            1000,
+        );
+        assert!(deep
+            .iter()
+            .all(|q| !matches!(q, Query::KHop { hops, .. } if *hops != 4)));
+    }
+
+    #[test]
+    fn slo_evaluation_checks_targets_and_reports_misses() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(
+            EngineConfig {
+                pool_threads: 2,
+                ..EngineConfig::default()
+            },
+            csr(300),
+            &reg,
+        );
+        let spec = MixSpec {
+            requests: 40,
+            ..MixSpec::default()
+        };
+        let report = run_mix(&engine, &spec);
+
+        // Generous targets: everything passes.
+        let loose = crate::slo::SloSpec {
+            point: Some(crate::slo::ClassSlo {
+                p99_us: u64::MAX,
+                p999_us: u64::MAX,
+            }),
+            traversal: None,
+            analytics: None,
+        };
+        let verdict = evaluate_slo(&report, &loose);
+        assert_eq!(verdict.checked, 2);
+        assert!(verdict.ok(), "{}", verdict.render());
+
+        // 1us targets: any class that completed work must miss.
+        let tight = crate::slo::SloSpec {
+            point: Some(crate::slo::ClassSlo {
+                p99_us: 1,
+                p999_us: 1,
+            }),
+            traversal: None,
+            analytics: None,
+        };
+        let verdict = evaluate_slo(&report, &tight);
+        assert_eq!(verdict.checked, 2);
+        assert!(!verdict.ok());
+        assert_eq!(verdict.violations.len(), 2);
+        assert_eq!(verdict.violations[0].quantile, "p99");
+        assert!(verdict.render().contains("MISS point p999"));
+
+        // Manifest section: counters, target gauges, one note per miss.
+        let mut manifest = RunManifest::new("test");
+        verdict.write_to_manifest(&tight, &mut manifest);
+        assert_eq!(
+            manifest.metrics["slo.checked"],
+            graphbig_telemetry::metrics::MetricValue::Counter(2)
+        );
+        assert_eq!(
+            manifest.metrics["slo.violations"],
+            graphbig_telemetry::metrics::MetricValue::Counter(2)
+        );
+        assert_eq!(
+            manifest.metrics["slo.target.p99_us.point"],
+            graphbig_telemetry::metrics::MetricValue::Gauge(1.0)
+        );
+        assert!(!manifest.metrics.contains_key("slo.target.p99_us.traversal"));
+        assert_eq!(manifest.notes.len(), 2);
+        assert!(manifest.notes[0].contains("slo violated: point p99"));
+
+        // A zero target is "no target": nothing checked, nothing missed.
+        let empty = evaluate_slo(&report, &crate::slo::SloSpec::default());
+        assert_eq!(empty.checked, 0);
+        assert!(empty.ok());
     }
 
     #[test]
@@ -527,14 +849,43 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_exact_nearest_rank() {
-        let sorted: Vec<u64> = (1..=1000).collect();
-        assert_eq!(percentile(&sorted, 0.50), 500);
-        assert_eq!(percentile(&sorted, 0.99), 990);
-        assert_eq!(percentile(&sorted, 0.999), 999);
-        assert_eq!(percentile(&sorted, 1.0), 1000);
+    fn percentiles_are_interpolated_and_pinned() {
+        // 10-sample vector: small enough that nearest-rank used to collapse
+        // p99 and p999 onto max ambiguously; interpolation pins them.
+        let ten: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&ten, 0.50), 6); // 5.5 rounds half-up
+        assert_eq!(percentile(&ten, 0.99), 10); // 9.91 -> 10
+        assert_eq!(percentile(&ten, 0.999), 10);
+        // 100-sample vector.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 0.50), 51);
+        assert_eq!(percentile(&hundred, 0.99), 99); // 99.01 -> 99
+        assert_eq!(percentile(&hundred, 0.999), 100); // 99.901 -> 100
+                                                      // 1000-sample vector: p99 and p999 are now distinct interior
+                                                      // points, not snapped bucket ends.
+        let thousand: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&thousand, 0.50), 501);
+        assert_eq!(percentile(&thousand, 0.99), 990);
+        assert_eq!(percentile(&thousand, 0.999), 999);
+        assert_eq!(percentile(&thousand, 1.0), 1000);
+        // Degenerate inputs stay in range.
         assert_eq!(percentile(&[], 0.5), 0);
         assert_eq!(percentile(&[7], 0.999), 7);
+        assert_eq!(percentile(&[3, 9], 0.999), 9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let sample: Vec<u64> = (0..137).map(|i| i * i % 1000).collect();
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        let mut last = 0;
+        for i in 0..=1000 {
+            let v = percentile(&sorted, i as f64 / 1000.0);
+            assert!(v >= last, "quantile dipped at q={}", i as f64 / 1000.0);
+            last = v;
+        }
+        assert!(percentile(&sorted, 0.999) >= percentile(&sorted, 0.99));
     }
 
     #[test]

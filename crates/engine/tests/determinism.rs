@@ -51,6 +51,7 @@ fn any_concurrent_mix_is_bit_identical_to_sequential() {
                 traversal_weight: tw as u32,
                 analytics_weight: aw as u32,
                 deadline_ms: None,
+                ..MixSpec::default()
             };
             let reg = Registry::new();
             let engine = Engine::with_registry(
@@ -136,6 +137,10 @@ fn cost_budget_rejects_heavy_queries_while_serving_cheap_ones() {
         csr(500),
         &reg,
     );
+    // Occupy one cost unit so the engine is not idle: the oversized-query
+    // escape hatch only fires when in-flight cost is zero.
+    engine.admission().try_admit(1).expect("trivial admit");
+    engine.admission().on_start();
     let err = engine
         .submit(Query::Run {
             workload: Workload::KCore,
@@ -148,6 +153,7 @@ fn cost_budget_rejects_heavy_queries_while_serving_cheap_ones() {
     );
     let t = engine.submit(Query::Degree { vertex: 3 }).unwrap();
     assert!(matches!(t.wait().status, QueryStatus::Completed(_)));
+    engine.admission().on_finish(1);
     assert_eq!(
         reg.snapshot()["engine.rejected.cost_budget"],
         MetricValue::Counter(1)

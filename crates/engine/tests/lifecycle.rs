@@ -230,11 +230,16 @@ fn rejected_requests_log_admit_and_reject_and_nothing_else() {
     );
     let before: std::collections::HashSet<u64> =
         recorder::snapshot().events.iter().map(|e| e.id).collect();
+    // Fill the budget so the oversized submit hits a *busy* engine — an
+    // idle one would admit it via the empty-engine escape hatch.
+    eng.admission().try_admit(1).expect("fits the budget");
+    eng.admission().on_start();
     eng.submit(Query::Run {
         workload: Workload::KCore,
         source: 0,
     })
     .unwrap_err();
+    eng.admission().on_finish(1);
     // The rejected submit returns no ticket, so recover its id from the
     // snapshot diff: exactly one fresh cost-budget reject must appear.
     let fresh: Vec<RecorderEvent> = recorder::snapshot()

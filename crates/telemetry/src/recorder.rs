@@ -83,6 +83,12 @@ pub enum EventKind {
     KernelStart = 11,
     /// A cancellable kernel passed a superstep boundary.
     KernelStep = 12,
+    /// The feedback cost model scaled a request's static cost estimate
+    /// (arg = adjusted cost actually charged against the budget).
+    CostAdjust = 13,
+    /// The request was answered from the epoch-keyed result cache
+    /// (arg = snapshot epoch the cached entry was computed under).
+    CacheHit = 14,
 }
 
 impl EventKind {
@@ -101,6 +107,8 @@ impl EventKind {
             EventKind::FaultFired => "fault_fired",
             EventKind::KernelStart => "kernel_start",
             EventKind::KernelStep => "kernel_step",
+            EventKind::CostAdjust => "cost_adjust",
+            EventKind::CacheHit => "cache_hit",
         }
     }
 
@@ -119,6 +127,8 @@ impl EventKind {
             10 => FaultFired,
             11 => KernelStart,
             12 => KernelStep,
+            13 => CostAdjust,
+            14 => CacheHit,
             _ => return None,
         })
     }

@@ -123,7 +123,19 @@ impl Ewma {
 
     /// Fold in one observation.
     pub fn observe(&self, value: u64) {
-        let v = value as f64;
+        self.observe_f64(value as f64);
+    }
+
+    /// Fold in one floating-point observation (ratios, correction factors).
+    ///
+    /// Non-finite samples are rejected outright: NaN is the estimator's
+    /// "unset" sentinel, so folding in a genuinely non-finite observation
+    /// (a zero-duration division, a poisoned sample) would silently reset
+    /// the average instead of perturbing it. Rejected samples do not count.
+    pub fn observe_f64(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
@@ -177,6 +189,25 @@ mod tests {
         }
         assert!((e.value() - 200.0).abs() < 1.0, "{}", e.value());
         assert_eq!(e.count(), 21);
+    }
+
+    #[test]
+    fn ewma_rejects_non_finite_samples() {
+        let e = Ewma::new(0.5);
+        e.observe_f64(f64::NAN);
+        e.observe_f64(f64::INFINITY);
+        e.observe_f64(f64::NEG_INFINITY);
+        assert_eq!(e.count(), 0, "rejected samples do not count");
+        assert_eq!(e.value(), 0.0, "estimator still unset");
+        e.observe(100);
+        assert_eq!(e.value(), 100.0);
+        // Regression: a NaN after real observations must not reset the
+        // level back to "unset" (NaN is the internal sentinel).
+        e.observe_f64(f64::NAN);
+        assert_eq!(e.value(), 100.0, "level survives a poisoned sample");
+        assert_eq!(e.count(), 1);
+        e.observe_f64(0.5);
+        assert!((e.value() - 50.25).abs() < 1e-9, "{}", e.value());
     }
 
     #[test]

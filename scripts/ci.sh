@@ -43,9 +43,27 @@ cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --bin graphbig-serve 
   --vertices 4096 --mix traffic/smoke_200.json --stats-interval 50 --quiet \
   > /tmp/stats_lines.txt
 grep -m1 '"schema":"graphbig.stats/v1"' /tmp/stats_lines.txt > /tmp/stats_line.json
-for key in t_ms queue_depth in_flight_cost lanes p50_us p99_us p999_us ewma_us; do
+for key in t_ms queue_depth in_flight_cost lanes p50_us p99_us p999_us ewma_us \
+           p99_target_us p999_target_us; do
   grep -q "\"$key\"" /tmp/stats_line.json || { echo "stats line missing key: $key"; exit 1; }
 done
+
+echo "==> cache-coherence drill (hot mix, mid-mix republishes, sequential oracle)"
+cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --features chaos --bin graphbig-serve -- \
+  --vertices 4096 --mix traffic/hot_200.json --faults traffic/faults_republish.json \
+  --oracle --quiet --emit /tmp/cache_drill.json
+grep -q '"engine.cache.hit"' /tmp/cache_drill.json \
+  || { echo "cache drill produced no cache-hit counter"; exit 1; }
+
+echo "==> SLO gate drill (1us targets must fail graphbig-report --check)"
+cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --bin graphbig-serve -- \
+  --vertices 4096 --mix traffic/smoke_200.json --slo traffic/slo_tight.json \
+  --oracle --quiet --emit /tmp/slo_regressed.json
+if cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-bench --bin graphbig-report -- \
+  --check results/golden_engine.json /tmp/slo_regressed.json; then
+  echo "error: a manifest with missed SLO targets must fail --check"
+  exit 1
+fi
 
 echo "==> flight recorder violation drill (injected double resolve must fail + dump)"
 rm -f /tmp/flight_violation.json
