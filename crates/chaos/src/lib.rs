@@ -70,6 +70,11 @@ pub enum FaultAction {
     /// resolved-once invariant on purpose (exercises the invariant sweep
     /// and the flight-recorder failure dump).
     DoubleResolve,
+    /// Overlay read path: answer a point query from the base snapshot
+    /// alone, ignoring the delta overlay — a stale read. The
+    /// rebuild-from-scratch oracle must flag the run, proving it guards
+    /// the overlay path and not just the base kernels.
+    StaleRead,
 }
 
 json_enum!(FaultAction {
@@ -81,7 +86,8 @@ json_enum!(FaultAction {
     Panic,
     Republish,
     DoubleResolve,
-    CorruptCache
+    CorruptCache,
+    StaleRead
 });
 
 /// How a [`FaultSpec`] decides whether to fire for a given key.

@@ -15,14 +15,24 @@
 //! Flags: `--dataset <short-name>` (default `ldbc`), `--vertices N`,
 //! `--mix <path>` (a [`MixSpec`] JSON file; overrides the request-shape
 //! flags), `--requests`, `--clients`, `--seed`, `--point-weight`,
-//! `--traversal-weight`, `--analytics-weight`, `--deadline-ms`,
-//! `--hot-sources N` (fold every source into a pool of N hot vertices),
-//! `--khop-hops N`, `--executors`, `--pool-threads`, `--queue-capacity`,
-//! `--cost-budget` (0 = unlimited), `--shards`, `--oracle`,
-//! `--emit <path>`, `--quiet`, `--faults <path>` (a `FaultPlan` JSON
-//! file — replay the mix under deterministic fault injection and sweep
-//! the chaos invariants; needs a build with the `chaos` feature to
-//! actually inject).
+//! `--traversal-weight`, `--analytics-weight`, `--write-weight` (edge
+//! mutations in the mix; 0 = pure-read), `--write-delete-percent`,
+//! `--deadline-ms`, `--hot-sources N` (fold every source into a pool of
+//! N hot vertices), `--khop-hops N`, `--executors`, `--pool-threads`,
+//! `--queue-capacity`, `--cost-budget` (0 = unlimited), `--shards`,
+//! `--compact-threshold N` (buffered overlay edges that wake the
+//! background compactor; 0 = manual only), `--oracle`, `--emit <path>`,
+//! `--quiet`, `--faults <path>` (a `FaultPlan` JSON file — replay the
+//! mix under deterministic fault injection and sweep the chaos
+//! invariants; needs a build with the `chaos` feature to actually
+//! inject).
+//!
+//! With `--oracle` on a pure-read mix, every completed result is checked
+//! bit-identical against a sequential replay. On a mix with writes the
+//! per-request check gives way to the final-state check: the engine's
+//! live graph (mid-overlay, and again after a forced compaction) must
+//! digest-identical to a single-threaded sequential replay of the same
+//! write stream over the starting snapshot.
 //!
 //! Adaptive-serving flags: `--cache-capacity N` (epoch-keyed result
 //! cache entries; 0 disables), `--no-adaptive` (charge static cost
@@ -56,7 +66,8 @@ use std::time::Duration;
 use graphbig_chaos::{self as chaos, FaultPlan};
 use graphbig_datagen::Dataset;
 use graphbig_engine::traffic::{
-    evaluate_slo, generate_requests, run_chaos_mix, sequential_digests, verify_against_oracle,
+    evaluate_slo, generate_ops, generate_requests, live_engine_digest, mutation_oracle_digest,
+    run_chaos_mix, sequential_digests, verify_against_oracle,
 };
 use graphbig_engine::{
     check_chaos_invariants, Engine, EngineConfig, MixSpec, SloSpec, TrafficReport,
@@ -97,6 +108,11 @@ fn load_mix() -> Result<MixSpec, String> {
             point_weight: parsed_arg("--point-weight", defaults.point_weight),
             traversal_weight: parsed_arg("--traversal-weight", defaults.traversal_weight),
             analytics_weight: parsed_arg("--analytics-weight", defaults.analytics_weight),
+            write_weight: parsed_arg("--write-weight", defaults.write_weight),
+            write_delete_percent: parsed_arg(
+                "--write-delete-percent",
+                defaults.write_delete_percent,
+            ),
             deadline_ms: arg_value("--deadline-ms").and_then(|v| v.parse().ok()),
             hot_sources: arg_value("--hot-sources").and_then(|v| v.parse().ok()),
             khop_hops: parsed_arg("--khop-hops", defaults.khop_hops),
@@ -180,10 +196,10 @@ fn stage_table(snap: &BTreeMap<String, MetricValue>) -> TableData {
             }
         };
         push("admit", "all", "engine.stage_us.admit".into());
-        for class in ["point", "traversal", "analytics"] {
+        for class in ["point", "traversal", "analytics", "write"] {
             push("queue", class, format!("engine.stage_us.queue.{class}"));
         }
-        for class in ["point", "traversal", "analytics"] {
+        for class in ["point", "traversal", "analytics", "write"] {
             push("exec", class, format!("engine.stage_us.exec.{class}"));
         }
         push("resolve", "all", "engine.stage_us.resolve".into());
@@ -312,6 +328,7 @@ fn main() -> ExitCode {
         adaptive_costs: !has_flag("--no-adaptive"),
         cache_capacity: parsed_arg("--cache-capacity", cfg_defaults.cache_capacity),
         lane_aging_limit: parsed_arg("--aging-limit", cfg_defaults.lane_aging_limit),
+        compact_threshold: parsed_arg("--compact-threshold", cfg_defaults.compact_threshold),
     };
 
     if !quiet {
@@ -321,15 +338,19 @@ fn main() -> ExitCode {
     let engine = Engine::new(cfg.clone(), csr);
     if !quiet {
         eprintln!(
-            "serving {} requests from {} clients (weights {}/{}/{}, deadline {:?} ms)...",
+            "serving {} requests from {} clients (weights {}/{}/{}/{}, deadline {:?} ms)...",
             spec.requests,
             spec.clients,
             spec.point_weight,
             spec.traversal_weight,
             spec.analytics_weight,
+            spec.write_weight,
             spec.deadline_ms
         );
     }
+    // Pinned before any traffic: writes resolve against this snapshot, and
+    // the write oracle replays against it after the mix drains.
+    let base_snapshot = engine.store().snapshot();
     let stats_interval: u64 = parsed_arg("--stats-interval", 0u64);
     // Every stats line carries the per-lane SLO targets (0 = none), so a
     // live reader can compare window quantiles against targets in place.
@@ -374,14 +395,43 @@ fn main() -> ExitCode {
     engine.slo().publish(telemetry::metrics::global());
 
     let mut oracle_digests = None;
+    let mut mutation_oracle = "off";
     if has_flag("--oracle") {
-        let snapshot = engine.store().snapshot();
-        let queries = generate_requests(&spec, snapshot.graph().num_vertices() as u32);
-        oracle_digests = Some(sequential_digests(
-            snapshot.graph(),
-            engine.pool(),
-            &queries,
-        ));
+        if spec.write_weight == 0 {
+            // Pure-read mix: every completed result has a sequential twin.
+            let queries = generate_requests(&spec, base_snapshot.graph().num_vertices() as u32);
+            oracle_digests = Some(sequential_digests(
+                base_snapshot.graph(),
+                engine.pool(),
+                &queries,
+            ));
+        } else {
+            // Writes in the mix: per-request read digests depend on the
+            // interleaving, so the check becomes final-state equivalence —
+            // mid-overlay, then again after a forced compaction.
+            let ops = generate_ops(&spec, base_snapshot.graph().num_vertices() as u32);
+            let expected = mutation_oracle_digest(base_snapshot.graph(), &ops);
+            let mid = live_engine_digest(&engine);
+            engine.compact();
+            let folded = live_engine_digest(&engine);
+            if mid != expected || folded != expected {
+                eprintln!(
+                    "error: mutation oracle mismatch: sequential replay {expected:#018x}, \
+                     mid-overlay {mid:#018x}, post-compaction {folded:#018x}"
+                );
+                if let Some(path) = recorder::auto_dump("oracle-mismatch") {
+                    eprintln!("flight recorder dumped to {path}");
+                }
+                return ExitCode::FAILURE;
+            }
+            mutation_oracle = "ok";
+            if !quiet {
+                eprintln!(
+                    "oracle: live graph matches sequential write replay \
+                     ({expected:#018x}), mid-overlay and post-compaction"
+                );
+            }
+        }
     }
     let mut oracle_checked = None;
     if let Some(oracle) = &oracle_digests {
@@ -400,6 +450,25 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    // Let any in-flight background fold finish its bookkeeping before the
+    // metric-balance sweep: the compactor publishes under the write lock
+    // but stamps its completion counter just after, so a sweep taken in
+    // that window would see started > completed.
+    let quiesce_deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = telemetry::metrics::global().snapshot();
+        let get = |name: &str| match snap.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        if get("engine.compact.started") == get("engine.compact.completed")
+            || std::time::Instant::now() > quiesce_deadline
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
 
     // The post-mix invariant sweep. The global registry is fresh for this
@@ -480,10 +549,13 @@ fn main() -> ExitCode {
         manifest.param(
             "weights",
             format!(
-                "{}/{}/{}",
-                spec.point_weight, spec.traversal_weight, spec.analytics_weight
+                "{}/{}/{}/{}",
+                spec.point_weight, spec.traversal_weight, spec.analytics_weight, spec.write_weight
             ),
         );
+        manifest.param("write_delete_percent", spec.write_delete_percent);
+        manifest.param("compact_threshold", cfg.compact_threshold);
+        manifest.param("mutation_oracle", mutation_oracle);
         manifest.param(
             "deadline_ms",
             spec.deadline_ms

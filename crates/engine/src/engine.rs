@@ -2,15 +2,23 @@
 //!
 //! Submission is synchronous admission control ([`Engine::submit`] returns
 //! `Err(RejectReason)` immediately when over budget); admitted queries park
-//! in one of three priority lanes (point < traversal < analytics, served
-//! cheapest-first so point lookups never wait behind an analytics run) and
-//! a small crew of executor threads drains them. Heavy kernels run on one
-//! shared [`ThreadPool`] — the pool's per-worker channels serialize
-//! concurrent broadcasts from different executors, so analytics queries
-//! interleave at parallel-region granularity instead of fighting over
-//! threads. Every query gets a [`CancelToken`] (optionally carrying a
+//! in one of four priority lanes (point < traversal < analytics < write,
+//! served cheapest-first so point lookups never wait behind an analytics
+//! run) and a small crew of executor threads drains them. Heavy kernels
+//! run on one shared [`ThreadPool`] — the pool's per-worker channels
+//! serialize concurrent broadcasts from different executors, so analytics
+//! queries interleave at parallel-region granularity instead of fighting
+//! over threads. Every query gets a [`CancelToken`] (optionally carrying a
 //! deadline); kernels poll it at superstep boundaries, so a deadline miss
 //! cancels the query instead of completing it late.
+//!
+//! The live write path rides alongside: [`Engine::mutate`] folds a batch
+//! into the [`MutationBuffer`]'s copy-on-write overlay (billed through
+//! admission under the `write` cost class, synchronously — mutations never
+//! queue behind reads), point queries and kernels read *base + overlay*,
+//! and a background compactor ([`Engine::compact`]) materializes the
+//! overlay into a fresh CSR published as a new epoch while in-flight
+//! queries keep their pinned snapshot.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,10 +32,11 @@ use graphbig_runtime::{CancelToken, ThreadPool};
 use graphbig_telemetry::metrics::{Counter, Histogram, Registry};
 use graphbig_telemetry::recorder::{self, EventKind};
 use graphbig_workloads::service::{self, ServiceError, ServiceOutput};
-use graphbig_workloads::{CostClass, Workload};
+use graphbig_workloads::{parallel, CostClass, Workload};
 
 use crate::admission::{AdmissionController, RejectReason};
 use crate::cache::ResultCache;
+use crate::delta::{DeltaOverlay, IncrementalCComp, Mutation, MutationBuffer, MutationReceipt};
 use crate::shard::ShardedGraph;
 use crate::slo::{self, SloTracker, StatsSnapshot};
 use crate::store::{EpochSnapshot, GraphStore};
@@ -57,6 +66,10 @@ pub struct EngineConfig {
     /// over before it is served ahead of higher-priority lanes (0 =
     /// strict priority, lower lanes can starve under a point-query storm).
     pub lane_aging_limit: u64,
+    /// Overlay edge-insert count at which the background compactor folds
+    /// the delta overlay into a freshly published epoch. 0 disables the
+    /// compactor thread (compaction happens only via [`Engine::compact`]).
+    pub compact_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -71,12 +84,13 @@ impl Default for EngineConfig {
             adaptive_costs: true,
             cache_capacity: 1024,
             lane_aging_limit: 32,
+            compact_threshold: 4096,
         }
     }
 }
 
 /// One query against the current epoch. `Hash` covers the shape and every
-/// parameter, so `(epoch, Query)` is a sound result-cache key.
+/// parameter, so `(epoch, delta-seq, Query)` is a sound result-cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Query {
     /// Point lookup: (out-degree, in-degree) of a vertex.
@@ -292,20 +306,20 @@ struct Job {
 /// aging rule that keeps an analytics queue moving under a point-query
 /// storm. `limit == 0` disables aging. Pure so the policy is unit-testable
 /// without an engine.
-fn select_lane(occupied: [bool; 3], skips: [u64; 3], limit: u64) -> Option<usize> {
+fn select_lane(occupied: [bool; 4], skips: [u64; 4], limit: u64) -> Option<usize> {
     if limit > 0 {
-        if let Some(aged) = (0..3).find(|&l| occupied[l] && skips[l] >= limit) {
+        if let Some(aged) = (0..4).find(|&l| occupied[l] && skips[l] >= limit) {
             return Some(aged);
         }
     }
-    (0..3).find(|&l| occupied[l])
+    (0..4).find(|&l| occupied[l])
 }
 
 struct Lanes {
-    queues: [VecDeque<Job>; 3],
+    queues: [VecDeque<Job>; 4],
     /// Consecutive times each lane was occupied yet passed over. Serving a
     /// lane resets its counter; lanes below the served one age by one.
-    skips: [u64; 3],
+    skips: [u64; 4],
     /// High-water mark of any skip counter — the starvation invariant
     /// bounds this by `aging_limit + 1`.
     max_skip: u64,
@@ -321,6 +335,7 @@ impl Lanes {
             !self.queues[0].is_empty(),
             !self.queues[1].is_empty(),
             !self.queues[2].is_empty(),
+            !self.queues[3].is_empty(),
         ];
         let served = select_lane(occupied, self.skips, self.aging_limit)?;
         let aged = occupied.iter().take(served).any(|&o| o);
@@ -340,9 +355,31 @@ struct Shared {
     available: Condvar,
     admission: AdmissionController,
     cache: ResultCache,
+    /// The live write path's copy-on-write delta overlay buffer.
+    buffer: MutationBuffer,
+    /// Serializes the writers — mutate, compact, publish, republish — so
+    /// `buffer.current().epoch() == store.epoch()` holds outside writer
+    /// critical sections. Lock order: `write_lock` before the store's
+    /// internal lock; the buffer's own mutex is a leaf.
+    write_lock: Mutex<()>,
+    /// Memoized materialization of one `(epoch, delta-seq)` overlay: a
+    /// burst of workload queries (or the compactor) against the same
+    /// overlay version pays the base+overlay fold exactly once.
+    materialized: Mutex<Option<(u64, u64, Arc<ShardedGraph>)>>,
+    /// Incremental connected-components state, seeded once per epoch.
+    inc_ccomp: Mutex<Option<(u64, IncrementalCComp)>>,
+    /// Background-compactor doorbell: `(work_pending, shutdown)`.
+    compact_doorbell: (Mutex<(bool, bool)>, Condvar),
+    shards: usize,
 }
 
 fn lock(m: &Mutex<Lanes>) -> MutexGuard<'_, Lanes> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Poison-tolerant lock for the write-path mutexes (a panicking kernel
+/// must not wedge every later mutation or compaction).
+fn lockp<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -361,14 +398,14 @@ struct EngineMetrics {
     failed: Counter,
     resolved: Counter,
     double_resolve: Counter,
-    completed: [Counter; 3],
-    latency_us: [Histogram; 3],
+    completed: [Counter; 4],
+    latency_us: [Histogram; 4],
     queue_us: Histogram,
     /// Per-stage latency decomposition: queue-wait and execution per class,
     /// plus engine-wide admission and resolve cost. These feed the
     /// "Per-stage latency breakdown" manifest table.
-    stage_queue_us: [Histogram; 3],
-    stage_exec_us: [Histogram; 3],
+    stage_queue_us: [Histogram; 4],
+    stage_exec_us: [Histogram; 4],
     stage_admit_us: Histogram,
     stage_resolve_us: Histogram,
     cache_hit: Counter,
@@ -376,6 +413,15 @@ struct EngineMetrics {
     cache_evict: Counter,
     /// Dequeues that served an aged lane ahead of a higher-priority one.
     lane_aged: Counter,
+    /// Mutation batches applied (each bumps the overlay delta-seq once).
+    mutations: Counter,
+    /// Compactions entered / finished — the chaos invariant sweep requires
+    /// these to balance after every mix.
+    compact_started: Counter,
+    compact_completed: Counter,
+    /// Time the write path was blocked while a compaction folded the
+    /// overlay under the write lock (the "compaction pause").
+    compact_pause_us: Histogram,
 }
 
 impl EngineMetrics {
@@ -399,22 +445,26 @@ impl EngineMetrics {
                 class_counter(CostClass::Point),
                 class_counter(CostClass::Traversal),
                 class_counter(CostClass::Analytics),
+                class_counter(CostClass::Write),
             ],
             latency_us: [
                 class_hist(CostClass::Point),
                 class_hist(CostClass::Traversal),
                 class_hist(CostClass::Analytics),
+                class_hist(CostClass::Write),
             ],
             queue_us: reg.histogram("engine.queue_us"),
             stage_queue_us: [
                 stage_hist("queue", CostClass::Point),
                 stage_hist("queue", CostClass::Traversal),
                 stage_hist("queue", CostClass::Analytics),
+                stage_hist("queue", CostClass::Write),
             ],
             stage_exec_us: [
                 stage_hist("exec", CostClass::Point),
                 stage_hist("exec", CostClass::Traversal),
                 stage_hist("exec", CostClass::Analytics),
+                stage_hist("exec", CostClass::Write),
             ],
             stage_admit_us: reg.histogram("engine.stage_us.admit"),
             stage_resolve_us: reg.histogram("engine.stage_us.resolve"),
@@ -422,6 +472,10 @@ impl EngineMetrics {
             cache_miss: reg.counter("engine.cache.miss"),
             cache_evict: reg.counter("engine.cache.evict"),
             lane_aged: reg.counter("engine.lane.aged"),
+            mutations: reg.counter("engine.mutations"),
+            compact_started: reg.counter("engine.compact.started"),
+            compact_completed: reg.counter("engine.compact.completed"),
+            compact_pause_us: reg.histogram("engine.compact.pause_us"),
         }
     }
 }
@@ -431,12 +485,16 @@ fn lane(class: CostClass) -> usize {
         CostClass::Point => 0,
         CostClass::Traversal => 1,
         CostClass::Analytics => 2,
+        CostClass::Write => 3,
     }
 }
 
-/// The serving engine: graph store + admission + executors.
+/// Index of the write lane (mutations bill here without queueing).
+const WRITE_LANE: usize = 3;
+
+/// The serving engine: graph store + admission + executors + write path.
 pub struct Engine {
-    store: GraphStore,
+    store: Arc<GraphStore>,
     pool: Arc<ThreadPool>,
     shared: Arc<Shared>,
     metrics: EngineMetrics,
@@ -445,8 +503,10 @@ pub struct Engine {
     shards: usize,
     adaptive_costs: bool,
     lane_aging_limit: u64,
+    compact_threshold: usize,
     auto_tag: AtomicU64,
     executors: Vec<std::thread::JoinHandle<()>>,
+    compactor: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Auto-assigned chaos tags live above any tag the traffic driver hands
@@ -463,13 +523,19 @@ impl Engine {
     /// An engine with metrics in a caller-owned registry (tests, benches).
     pub fn with_registry(cfg: EngineConfig, csr: Csr, reg: &Registry) -> Self {
         let graph = ShardedGraph::build(csr, cfg.shards);
-        let store = GraphStore::new(graph);
+        let base_n = graph.num_vertices() as u32;
+        let store = Arc::new(GraphStore::new(graph));
         let pool = Arc::new(ThreadPool::new(cfg.pool_threads));
         let metrics = EngineMetrics::new(reg);
         let shared = Arc::new(Shared {
             lanes: Mutex::new(Lanes {
-                queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-                skips: [0; 3],
+                queues: [
+                    VecDeque::new(),
+                    VecDeque::new(),
+                    VecDeque::new(),
+                    VecDeque::new(),
+                ],
+                skips: [0; 4],
                 max_skip: 0,
                 aging_limit: cfg.lane_aging_limit,
                 shutdown: false,
@@ -482,6 +548,12 @@ impl Engine {
                 metrics.cache_miss.clone(),
                 metrics.cache_evict.clone(),
             ),
+            buffer: MutationBuffer::new(1, base_n),
+            write_lock: Mutex::new(()),
+            materialized: Mutex::new(None),
+            inc_ccomp: Mutex::new(None),
+            compact_doorbell: (Mutex::new((false, false)), Condvar::new()),
+            shards: cfg.shards,
         });
         let slo = SloTracker::new();
         let executors = (0..cfg.executors.max(1))
@@ -496,6 +568,16 @@ impl Engine {
                     .expect("spawn executor thread")
             })
             .collect();
+        let compactor = (cfg.compact_threshold > 0).then(|| {
+            let store = Arc::clone(&store);
+            let shared = Arc::clone(&shared);
+            let metrics = metrics.clone();
+            let threshold = cfg.compact_threshold;
+            std::thread::Builder::new()
+                .name("graphbig-compactor".to_string())
+                .spawn(move || compactor_loop(&store, &shared, &metrics, threshold))
+                .expect("spawn compactor thread")
+        });
         Engine {
             store,
             pool,
@@ -506,8 +588,10 @@ impl Engine {
             shards: cfg.shards,
             adaptive_costs: cfg.adaptive_costs,
             lane_aging_limit: cfg.lane_aging_limit,
+            compact_threshold: cfg.compact_threshold,
             auto_tag: AtomicU64::new(0),
             executors,
+            compactor,
         }
     }
 
@@ -638,10 +722,15 @@ impl Engine {
 
     /// Publish a new graph as the next epoch (resharded with the engine's
     /// shard count). In-flight queries keep the epoch they were admitted
-    /// under.
+    /// under. Any buffered mutations against the *old* graph are
+    /// discarded: the caller is replacing the dataset wholesale.
     pub fn publish(&self, csr: Csr) -> u64 {
         let _ = chaos::failpoint!("engine.publish");
-        let epoch = self.store.publish(ShardedGraph::build(csr, self.shards));
+        let graph = ShardedGraph::build(csr, self.shards);
+        let base_n = graph.num_vertices() as u32;
+        let _w = lockp(&self.shared.write_lock);
+        let epoch = self.store.publish(graph);
+        self.shared.buffer.reset(epoch, base_n);
         // Epoch keying already makes old entries unreachable; the sweep
         // reclaims their memory promptly.
         self.shared.cache.invalidate();
@@ -650,11 +739,111 @@ impl Engine {
 
     /// Republish the current graph under a new epoch number without
     /// rebuilding shards — the chaos driver's cheap mid-mix epoch bump.
+    /// The delta overlay follows the graph to the new epoch with its
+    /// contents intact (same base, new version number).
     pub fn republish(&self) -> u64 {
         let _ = chaos::failpoint!("engine.publish");
+        let _w = lockp(&self.shared.write_lock);
         let epoch = self.store.republish();
+        self.shared.buffer.retarget(epoch);
         self.shared.cache.invalidate();
         epoch
+    }
+
+    /// Apply a batch of mutations to the delta overlay. Synchronous on the
+    /// caller's thread: the batch is billed through admission under the
+    /// `write` cost class (one unit per mutation), folded into a fresh
+    /// overlay version in one atomic step, and visible to every query
+    /// admitted afterwards. Returns the receipt carrying the new
+    /// delta-seq.
+    pub fn mutate(&self, batch: &[Mutation]) -> Result<MutationReceipt, RejectReason> {
+        let tag = AUTO_TAG_BASE | self.auto_tag.fetch_add(1, Ordering::Relaxed);
+        self.mutate_tagged(batch, tag)
+    }
+
+    /// [`Engine::mutate`] with an explicit chaos request key (the traffic
+    /// driver tags writes exactly like reads, so failpoint decisions stay
+    /// a pure function of the fault-plan seed).
+    pub fn mutate_tagged(
+        &self,
+        batch: &[Mutation],
+        tag: u64,
+    ) -> Result<MutationReceipt, RejectReason> {
+        let start = Instant::now();
+        let request_id = recorder::next_request_id();
+        let cost = (batch.len() as u64).max(1);
+        recorder::record_lane(EventKind::Admit, WRITE_LANE as u8, request_id, tag);
+        if let Err(reason) = self.shared.admission.try_admit(cost) {
+            match reason {
+                RejectReason::QueueFull { .. } => {
+                    self.metrics.rejected_queue.inc();
+                    recorder::record_lane(EventKind::Reject, WRITE_LANE as u8, request_id, 0);
+                }
+                RejectReason::CostBudget { .. } => {
+                    self.metrics.rejected_cost.inc();
+                    recorder::record_lane(EventKind::Reject, WRITE_LANE as u8, request_id, 1);
+                }
+            }
+            return Err(reason);
+        }
+        self.metrics.submitted.inc();
+        self.shared.admission.on_start();
+        // Failpoint `engine.mutate`: delay inside the write path, widening
+        // the compaction-vs-mutation race window under chaos.
+        let _ = chaos::failpoint!("engine.mutate", tag);
+        let receipt = {
+            let _w = lockp(&self.shared.write_lock);
+            let snap = self.store.snapshot();
+            // A publish that bypassed the engine (direct store access)
+            // orphans the overlay; rebase on the live epoch rather than
+            // feeding a future compaction a stale base.
+            if self.shared.buffer.current().epoch() != snap.epoch() {
+                self.shared
+                    .buffer
+                    .reset(snap.epoch(), snap.graph().num_vertices() as u32);
+            }
+            self.shared.buffer.apply(snap.graph(), batch)
+        };
+        self.shared.admission.on_finish(cost);
+        let us = start.elapsed().as_micros() as u64;
+        recorder::record_lane(EventKind::Mutate, WRITE_LANE as u8, request_id, receipt.seq);
+        self.metrics.mutations.inc();
+        self.metrics.completed[WRITE_LANE].inc();
+        self.metrics.latency_us[WRITE_LANE].record(us);
+        self.metrics.stage_exec_us[WRITE_LANE].record(us);
+        self.metrics.resolved.inc();
+        self.slo.record(WRITE_LANE, "write", us);
+        if self.compact_threshold > 0
+            && self.shared.buffer.current().overlay_edges() >= self.compact_threshold
+        {
+            let (doorbell, cv) = &self.shared.compact_doorbell;
+            lockp(doorbell).0 = true;
+            cv.notify_one();
+        }
+        Ok(receipt)
+    }
+
+    /// Fold the current delta overlay into a fresh sharded CSR and publish
+    /// it as a new epoch; the overlay resets onto the new epoch with its
+    /// sequence counter intact. In-flight queries keep their pinned
+    /// snapshots. Returns the epoch serving reads afterwards (unchanged
+    /// when the overlay was already empty). Safe to call concurrently with
+    /// mutations, queries, and itself.
+    pub fn compact(&self) -> u64 {
+        compact_inner(&self.store, &self.shared, &self.metrics)
+    }
+
+    /// The overlay's current delta sequence number. Bumps once per applied
+    /// mutation batch and is never reused across compactions or
+    /// publishes — `(epoch, delta_seq)` names one exact graph state.
+    pub fn delta_seq(&self) -> u64 {
+        self.shared.buffer.current().seq()
+    }
+
+    /// The current delta overlay (size, epoch, and digest accessors for
+    /// tests, stats lines, and the serve binary's write-path report).
+    pub fn overlay(&self) -> Arc<DeltaOverlay> {
+        self.shared.buffer.current()
     }
 
     /// Executor threads still running (the chaos invariant "no executor
@@ -714,13 +903,21 @@ impl Engine {
             t_ms: slo::now_ms(),
             queue_depth: self.shared.admission.queued() as u64,
             in_flight_cost: self.shared.admission.in_flight_cost(),
-            lanes: (0..3).map(|l| self.slo.lane_stats(l)).collect(),
+            lanes: (0..4).map(|l| self.slo.lane_stats(l)).collect(),
         }
     }
 }
 
 impl Drop for Engine {
     fn drop(&mut self) {
+        {
+            let (doorbell, cv) = &self.shared.compact_doorbell;
+            lockp(doorbell).1 = true;
+            cv.notify_all();
+        }
+        if let Some(h) = self.compactor.take() {
+            let _ = h.join();
+        }
         {
             let mut lanes = lock(&self.shared.lanes);
             lanes.shutdown = true;
@@ -820,7 +1017,7 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics, sl
                 QueryStatus::Cancelled
             }
         } else {
-            run_guarded(&job, pool, &shared.cache)
+            run_guarded(&job, pool, shared)
         };
         let exec_us = exec_start.elapsed().as_micros() as u64;
         metrics.stage_exec_us[lane_idx].record(exec_us);
@@ -879,14 +1076,14 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics, sl
 /// a genuine bug surfacing through `ThreadPool::broadcast`'s re-throw —
 /// terminates *this query* with [`QueryStatus::Failed`]; the executor
 /// thread, the pool workers, and every other query keep going.
-fn run_guarded(job: &Job, pool: &ThreadPool, cache: &ResultCache) -> QueryStatus {
+fn run_guarded(job: &Job, pool: &ThreadPool, shared: &Shared) -> QueryStatus {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if let Some(fault) = chaos::failpoint!("engine.run.pre", job.tag) {
             if fault.is_panic() {
                 panic!("{} at engine.run.pre", chaos::PANIC_MSG);
             }
         }
-        let status = run_query(job, pool, cache);
+        let status = run_query(job, pool, shared);
         if let Some(fault) = chaos::failpoint!("engine.run.post", job.tag) {
             if fault.is_panic() {
                 panic!("{} at engine.run.post", chaos::PANIC_MSG);
@@ -919,13 +1116,23 @@ fn corrupted(output: &QueryOutput) -> QueryOutput {
     QueryOutput::KHop(output.digest() ^ 0xBAD_CAC4E)
 }
 
-fn run_query(job: &Job, pool: &ThreadPool, cache: &ResultCache) -> QueryStatus {
+fn run_query(job: &Job, pool: &ThreadPool, shared: &Shared) -> QueryStatus {
     let epoch = job.snapshot.epoch();
-    // Serve from the epoch-keyed cache first: identical query + identical
-    // epoch = bit-identical output, so a hit skips the kernel entirely
-    // while the response (and its digest) stays exactly what a fresh run
-    // would produce.
-    if let Some(output) = cache.get(epoch, &job.query) {
+    let ov = shared.buffer.current();
+    if ov.epoch() != epoch {
+        // A publish or compaction raced this job between admission and
+        // execution: the live overlay no longer describes this job's
+        // pinned base. Serve the pinned snapshot as-is and bypass the
+        // cache — no (epoch, delta-seq) key names this transitional view.
+        return run_query_uncached(job, pool, shared, None);
+    }
+    let seq = ov.seq();
+    // Serve from the (epoch, delta-seq)-keyed cache first: identical query
+    // + identical graph state = bit-identical output, so a hit skips the
+    // kernel entirely while the response (and its digest) stays exactly
+    // what a fresh run would produce. Any mutation bumps the delta-seq,
+    // making every entry cached against the older overlay unreachable.
+    if let Some(output) = shared.cache.get(epoch, seq, &job.query) {
         recorder::record_lane(
             EventKind::CacheHit,
             lane(job.class) as u8,
@@ -934,31 +1141,59 @@ fn run_query(job: &Job, pool: &ThreadPool, cache: &ResultCache) -> QueryStatus {
         );
         return QueryStatus::Completed(output);
     }
-    let status = run_query_uncached(job, pool);
+    let overlay = if ov.is_empty() { None } else { Some(&*ov) };
+    let status = run_query_uncached(job, pool, shared, overlay);
     if let QueryStatus::Completed(output) = &status {
         let stored = match chaos::failpoint!("engine.cache.insert", job.tag) {
             Some(f) if f.action == FaultAction::CorruptCache => corrupted(output),
             _ => output.clone(),
         };
-        cache.insert(epoch, job.query, stored);
+        shared.cache.insert(epoch, seq, job.query, stored);
     }
     status
 }
 
-fn run_query_uncached(job: &Job, pool: &ThreadPool) -> QueryStatus {
+fn run_query_uncached(
+    job: &Job,
+    pool: &ThreadPool,
+    shared: &Shared,
+    overlay: Option<&DeltaOverlay>,
+) -> QueryStatus {
     let graph = job.snapshot.graph();
+    // Failpoint `engine.overlay.read`: a `StaleRead` fault drops the
+    // overlay from this read and serves the stale base — the drill that
+    // proves the rebuild oracle catches a broken overlay-read path.
+    let overlay = match overlay {
+        Some(ov) => match chaos::failpoint!("engine.overlay.read", job.tag) {
+            Some(f) if f.action == FaultAction::StaleRead => None,
+            _ => Some(ov),
+        },
+        None => None,
+    };
     match job.query {
         // Point queries run inline on the executor thread: waking the pool
         // would cost more than the lookup.
         Query::Degree { vertex } => {
-            let (out, inc) = graph.degree(vertex).unwrap_or((0, 0));
+            let (out, inc) = match overlay {
+                Some(ov) => ov.degree(graph, vertex),
+                None => graph.degree(vertex),
+            }
+            .unwrap_or((0, 0));
             QueryStatus::Completed(QueryOutput::Degree { out, inc })
         }
         Query::KHop { source, hops } => {
-            QueryStatus::Completed(QueryOutput::KHop(graph.k_hop(source, hops)))
+            let count = match overlay {
+                Some(ov) => ov.k_hop(graph, source, hops),
+                None => graph.k_hop(source, hops),
+            };
+            QueryStatus::Completed(QueryOutput::KHop(count))
         }
         Query::Run { workload, source } => {
-            match service::run_service(workload, pool, graph.service(), source, &job.token) {
+            let served = match overlay {
+                None => service::run_service(workload, pool, graph.service(), source, &job.token),
+                Some(ov) => run_overlay_service(job, pool, shared, ov, workload, source),
+            };
+            match served {
                 Ok(output) => QueryStatus::Completed(QueryOutput::Workload(output)),
                 Err(ServiceError::Cancelled) => {
                     if job.token.deadline_passed() {
@@ -971,6 +1206,171 @@ fn run_query_uncached(job: &Job, pool: &ThreadPool) -> QueryStatus {
             }
         }
     }
+}
+
+/// Serve a workload query against base + overlay. Connected components on
+/// an insert-only ("clean") overlay goes through the incremental
+/// union-find kernel; everything else recomputes on the memoized
+/// materialized graph.
+fn run_overlay_service(
+    job: &Job,
+    pool: &ThreadPool,
+    shared: &Shared,
+    ov: &DeltaOverlay,
+    workload: Workload,
+    source: u32,
+) -> Result<ServiceOutput, ServiceError> {
+    if workload == Workload::CComp && !ov.dirty() {
+        if let Some(labels) = incremental_ccomp(pool, shared, job, ov)? {
+            return Ok(ServiceOutput::Labels(labels));
+        }
+    }
+    let graph = materialized_for(shared, &job.snapshot, ov);
+    service::run_service(workload, pool, graph.service(), source, &job.token)
+}
+
+/// Advance the per-epoch incremental connected-components state to this
+/// overlay's insert log and return the labels. `None` when the shared
+/// state has already advanced past this overlay's log (an older in-flight
+/// view must recompute — union-find cannot rewind).
+fn incremental_ccomp(
+    pool: &ThreadPool,
+    shared: &Shared,
+    job: &Job,
+    ov: &DeltaOverlay,
+) -> Result<Option<Vec<u32>>, ServiceError> {
+    let mut guard = lockp(&shared.inc_ccomp);
+    let needs_seed = !matches!(&*guard, Some((e, _)) if *e == ov.epoch());
+    if needs_seed {
+        // Seed once per epoch with a full pool run over the base graph;
+        // every later clean-overlay CComp is a cheap union of the new
+        // insert-log suffix instead of a whole-graph recompute.
+        let base =
+            parallel::ccomp_cancellable(pool, job.snapshot.graph().service().sym(), &job.token)?;
+        *guard = Some((ov.epoch(), IncrementalCComp::new(&base)));
+    }
+    let (_, inc) = guard.as_mut().expect("state seeded above");
+    if inc.applied() > ov.insert_log().len() {
+        return Ok(None);
+    }
+    inc.advance(ov.insert_log());
+    Ok(Some(inc.labels(ov.n_total() as usize)))
+}
+
+/// The memoized materialization of `(epoch, delta-seq)` — base + overlay
+/// folded into a real sharded CSR, shared by every workload query and by
+/// the compactor so one overlay version pays the fold exactly once.
+fn materialized_for(shared: &Shared, snap: &EpochSnapshot, ov: &DeltaOverlay) -> Arc<ShardedGraph> {
+    let mut memo = lockp(&shared.materialized);
+    if let Some((e, s, g)) = &*memo {
+        if *e == ov.epoch() && *s == ov.seq() {
+            return Arc::clone(g);
+        }
+    }
+    let g = Arc::new(ov.materialize(snap.graph(), shared.shards));
+    *memo = Some((ov.epoch(), ov.seq(), Arc::clone(&g)));
+    g
+}
+
+/// Background compaction worker: waits on the doorbell the write path
+/// rings when the overlay crosses the configured threshold, folds, and
+/// re-checks (mutations landing mid-fold may already warrant another
+/// pass).
+fn compactor_loop(store: &GraphStore, shared: &Shared, metrics: &EngineMetrics, threshold: usize) {
+    let (doorbell, cv) = &shared.compact_doorbell;
+    loop {
+        {
+            let mut state = lockp(doorbell);
+            while !state.0 && !state.1 {
+                state = cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            if state.1 {
+                return;
+            }
+            state.0 = false;
+        }
+        compact_inner(store, shared, metrics);
+        if shared.buffer.current().overlay_edges() >= threshold {
+            lockp(doorbell).0 = true;
+        }
+    }
+}
+
+/// Fold the current overlay into a fresh sharded CSR and publish it as a
+/// new epoch. Materialization runs *off* the write lock (mutations keep
+/// landing); publication retries optimistically and only falls back to
+/// folding under the lock — the measured "compaction pause" — when writers
+/// keep winning the race. Returns the serving epoch (unchanged when there
+/// was nothing to fold).
+fn compact_inner(store: &GraphStore, shared: &Shared, metrics: &EngineMetrics) -> u64 {
+    let ov0 = shared.buffer.current();
+    if ov0.is_empty() {
+        return store.epoch();
+    }
+    metrics.compact_started.inc();
+    recorder::record(EventKind::CompactStart, ov0.epoch(), ov0.seq());
+    let _ = chaos::failpoint!("engine.compact.pre");
+    let mut attempts = 0;
+    let epoch = loop {
+        attempts += 1;
+        if attempts > 3 {
+            // Writers keep beating us to the buffer: fold while holding
+            // the write lock. This is the stop-the-world pause the bench
+            // reports; the optimistic path below keeps it rare.
+            let _w = lockp(&shared.write_lock);
+            let snap = store.snapshot();
+            let cur = shared.buffer.current();
+            if cur.is_empty() {
+                break 0;
+            }
+            let pause = Instant::now();
+            let graph = Arc::new(cur.materialize(snap.graph(), shared.shards));
+            break publish_folded(store, shared, metrics, graph, pause);
+        }
+        let snap = store.snapshot();
+        let cur = shared.buffer.current();
+        if cur.is_empty() {
+            break 0; // another writer already folded or replaced the graph
+        }
+        if cur.epoch() != snap.epoch() {
+            continue; // raced a publish; re-grab a consistent pair
+        }
+        let graph = materialized_for(shared, &snap, &cur);
+        let pause = Instant::now();
+        let _w = lockp(&shared.write_lock);
+        if shared.buffer.current().seq() == cur.seq() && store.epoch() == snap.epoch() {
+            break publish_folded(store, shared, metrics, graph, pause);
+        }
+        // A batch landed while we materialized; retry with the fresh log.
+    };
+    let _ = chaos::failpoint!("engine.compact.post");
+    recorder::record(EventKind::CompactEnd, ov0.epoch(), epoch);
+    metrics.compact_completed.inc();
+    if epoch == 0 {
+        store.epoch()
+    } else {
+        epoch
+    }
+}
+
+/// Publish an already-folded graph as the next epoch, reset the overlay
+/// onto it (sequence counter preserved), and sweep the cache. The caller
+/// holds the write lock; `pause` marks when the write path stalled.
+fn publish_folded(
+    store: &GraphStore,
+    shared: &Shared,
+    metrics: &EngineMetrics,
+    graph: Arc<ShardedGraph>,
+    pause: Instant,
+) -> u64 {
+    let n_total = graph.num_vertices() as u32;
+    let epoch = store.publish_shared(graph);
+    shared.buffer.reset(epoch, n_total);
+    shared.cache.invalidate();
+    metrics
+        .compact_pause_us
+        .record(pause.elapsed().as_micros() as u64);
+    epoch
 }
 
 #[cfg(test)]
@@ -1214,18 +1614,27 @@ mod tests {
 
     #[test]
     fn select_lane_ages_starving_lanes() {
-        let all = [true, true, true];
+        let all = [true, true, true, true];
         // Strict priority while nobody has aged out.
-        assert_eq!(select_lane(all, [0, 0, 0], 4), Some(0));
-        assert_eq!(select_lane([false, true, true], [0, 0, 0], 4), Some(1));
-        assert_eq!(select_lane([false, false, false], [9, 9, 9], 4), None);
+        assert_eq!(select_lane(all, [0; 4], 4), Some(0));
+        assert_eq!(select_lane([false, true, true, false], [0; 4], 4), Some(1));
+        assert_eq!(select_lane([false; 4], [9; 4], 4), None);
         // A lane at the limit is served ahead of higher priorities.
-        assert_eq!(select_lane(all, [0, 0, 4], 4), Some(2));
-        assert_eq!(select_lane(all, [0, 4, 4], 4), Some(1), "lowest aged wins");
+        assert_eq!(select_lane(all, [0, 0, 4, 0], 4), Some(2));
+        assert_eq!(
+            select_lane(all, [0, 4, 4, 0], 4),
+            Some(1),
+            "lowest aged wins"
+        );
+        // The write lane ages into service like any other.
+        assert_eq!(select_lane(all, [0, 0, 0, 4], 4), Some(3));
         // An empty lane never ages into service.
-        assert_eq!(select_lane([true, false, true], [0, 9, 0], 4), Some(0));
+        assert_eq!(
+            select_lane([true, false, true, false], [0, 9, 0, 9], 4),
+            Some(0)
+        );
         // Limit 0 = aging off: strict priority no matter the counters.
-        assert_eq!(select_lane(all, [0, 99, 99], 0), Some(0));
+        assert_eq!(select_lane(all, [0, 99, 99, 99], 0), Some(0));
     }
 
     #[test]
@@ -1237,8 +1646,13 @@ mod tests {
         // passes `limit + 1`.
         let limit = 4u64;
         let mut lanes = Lanes {
-            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-            skips: [0; 3],
+            queues: [
+                VecDeque::new(),
+                VecDeque::new(),
+                VecDeque::new(),
+                VecDeque::new(),
+            ],
+            skips: [0; 4],
             max_skip: 0,
             aging_limit: limit,
             shutdown: false,
@@ -1355,5 +1769,171 @@ mod tests {
         .cost(n, m);
         assert_eq!(degree, 1);
         assert!(degree <= khop && khop <= bfs && bfs < heavy);
+    }
+
+    fn manual_compaction_cfg() -> EngineConfig {
+        EngineConfig {
+            compact_threshold: 0,
+            ..quiet_cfg()
+        }
+    }
+
+    #[test]
+    fn mutations_read_through_the_overlay_and_compaction_preserves_them() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(manual_compaction_cfg(), csr(64), &reg);
+        let before = engine.submit(Query::Degree { vertex: 0 }).unwrap().wait();
+        let QueryStatus::Completed(QueryOutput::Degree { out: out0, .. }) = before.status else {
+            panic!("{:?}", before.status);
+        };
+        // A new vertex (id 64) plus an edge to it from vertex 0.
+        let receipt = engine
+            .mutate(&[
+                Mutation::AddVertex,
+                Mutation::AddEdge {
+                    u: 0,
+                    v: 64,
+                    w: 1.0,
+                },
+            ])
+            .unwrap();
+        assert_eq!((receipt.epoch, receipt.seq, receipt.applied), (1, 1, 2));
+        let during = engine.submit(Query::Degree { vertex: 0 }).unwrap().wait();
+        let QueryStatus::Completed(QueryOutput::Degree { out: out1, .. }) = during.status else {
+            panic!("{:?}", during.status);
+        };
+        assert_eq!(out1, out0 + 1, "reads must see the overlay insert");
+        // Compaction folds the overlay into epoch 2; the read sticks.
+        assert_eq!(engine.compact(), 2);
+        assert!(engine.overlay().is_empty());
+        assert_eq!(engine.delta_seq(), 1, "delta-seq survives compaction");
+        let after = engine.submit(Query::Degree { vertex: 0 }).unwrap().wait();
+        assert_eq!(after.epoch, 2);
+        let QueryStatus::Completed(QueryOutput::Degree { out: out2, .. }) = after.status else {
+            panic!("{:?}", after.status);
+        };
+        assert_eq!(out2, out0 + 1);
+        use graphbig_telemetry::MetricValue;
+        let snap = reg.snapshot();
+        assert_eq!(snap["engine.mutations"], MetricValue::Counter(1));
+        assert_eq!(snap["engine.completed.write"], MetricValue::Counter(1));
+        assert_eq!(snap["engine.compact.started"], MetricValue::Counter(1));
+        assert_eq!(snap["engine.compact.completed"], MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn mutation_moves_the_cache_to_a_new_delta_seq() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(manual_compaction_cfg(), csr(100), &reg);
+        let q = Query::Degree { vertex: 7 };
+        let a = engine.submit(q).unwrap().wait();
+        let _warm = engine.submit(q).unwrap().wait();
+        use graphbig_telemetry::MetricValue;
+        assert_eq!(reg.snapshot()["engine.cache.hit"], MetricValue::Counter(1));
+        // A mutation bumps the delta-seq: same epoch, new key — the entry
+        // cached at seq 0 must be unreachable, not served stale.
+        engine
+            .mutate(&[
+                Mutation::AddVertex,
+                Mutation::AddEdge {
+                    u: 7,
+                    v: 100,
+                    w: 1.0,
+                },
+            ])
+            .unwrap();
+        let c = engine.submit(q).unwrap().wait();
+        assert_eq!(
+            reg.snapshot()["engine.cache.hit"],
+            MetricValue::Counter(1),
+            "the pre-mutation entry must not hit"
+        );
+        let d = engine.submit(q).unwrap().wait();
+        assert_eq!(
+            reg.snapshot()["engine.cache.hit"],
+            MetricValue::Counter(2),
+            "the post-mutation entry caches at the new delta-seq"
+        );
+        assert_eq!(c.status, d.status, "hit is bit-identical");
+        let QueryStatus::Completed(QueryOutput::Degree { out: oa, .. }) = a.status else {
+            panic!("{:?}", a.status);
+        };
+        let QueryStatus::Completed(QueryOutput::Degree { out: oc, .. }) = c.status else {
+            panic!("{:?}", c.status);
+        };
+        assert_eq!(oc, oa + 1);
+    }
+
+    #[test]
+    fn incremental_ccomp_over_the_overlay_matches_materialized_recompute() {
+        let cfg = EngineConfig {
+            cache_capacity: 0,
+            ..manual_compaction_cfg()
+        };
+        let engine = Engine::with_registry(cfg, csr(120), &Registry::new());
+        let q = Query::Run {
+            workload: Workload::CComp,
+            source: 0,
+        };
+        // Bridge two far-apart vertices through a fresh one: a clean
+        // (insert-only) overlay, so the incremental union-find path serves
+        // this query.
+        engine
+            .mutate(&[
+                Mutation::AddVertex,
+                Mutation::AddEdge {
+                    u: 3,
+                    v: 120,
+                    w: 1.0,
+                },
+                Mutation::AddEdge {
+                    u: 90,
+                    v: 120,
+                    w: 1.0,
+                },
+            ])
+            .unwrap();
+        let inc = engine.submit(q).unwrap().wait();
+        let QueryStatus::Completed(ref inc_out) = inc.status else {
+            panic!("{:?}", inc.status);
+        };
+        // The same logical graph served from the compacted CSR must agree
+        // bit-for-bit.
+        engine.compact();
+        let full = engine.submit(q).unwrap().wait();
+        let QueryStatus::Completed(ref full_out) = full.status else {
+            panic!("{:?}", full.status);
+        };
+        assert_eq!(inc_out.digest(), full_out.digest());
+    }
+
+    #[test]
+    fn background_compactor_folds_the_overlay_past_the_threshold() {
+        let cfg = EngineConfig {
+            compact_threshold: 4,
+            ..quiet_cfg()
+        };
+        let engine = Engine::with_registry(cfg, csr(64), &Registry::new());
+        engine.mutate(&[Mutation::AddVertex]).unwrap();
+        for u in 0..6u32 {
+            engine
+                .mutate(&[Mutation::AddEdge { u, v: 64, w: 1.0 }])
+                .unwrap();
+        }
+        // The compactor folds asynchronously; wait for the epoch to move.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while engine.store().epoch() == 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            engine.store().epoch() >= 2,
+            "compactor never folded the overlay"
+        );
+        // All six inserts survive, wherever the compaction boundary fell.
+        let r = engine.submit(Query::Degree { vertex: 64 }).unwrap().wait();
+        let QueryStatus::Completed(QueryOutput::Degree { inc, .. }) = r.status else {
+            panic!("{:?}", r.status);
+        };
+        assert_eq!(inc, 6);
     }
 }

@@ -169,7 +169,7 @@ pub fn check_chaos_invariants(
     });
 
     // 5. engine.* metrics consistent with the outcome tally.
-    let m_completed: u64 = ["point", "traversal", "analytics"]
+    let m_completed: u64 = ["point", "traversal", "analytics", "write"]
         .iter()
         .map(|c| counter(&snap, &format!("engine.completed.{c}")))
         .sum();
@@ -233,6 +233,27 @@ pub fn check_chaos_invariants(
         detail: format!("{hits} cache hits vs {m_completed} completions"),
     });
 
+    // 8. Write-path accounting: the delta sequence number advances exactly
+    //    once per applied batch, so the mutation counter and the buffer's
+    //    sequence must agree (both survive compaction untouched).
+    let mutations = counter(&snap, "engine.mutations");
+    let seq = engine.delta_seq();
+    checks.push(InvariantCheck {
+        name: "mutations_sequenced",
+        held: mutations == seq,
+        detail: format!("{mutations} mutation batches vs delta-seq {seq}"),
+    });
+
+    // 9. Compaction lifecycle: every started fold finished (published or
+    //    yielded) — a mismatch means the compactor died mid-fold.
+    let c_started = counter(&snap, "engine.compact.started");
+    let c_completed = counter(&snap, "engine.compact.completed");
+    checks.push(InvariantCheck {
+        name: "compaction_balanced",
+        held: c_started == c_completed,
+        detail: format!("{c_started} compactions started, {c_completed} completed"),
+    });
+
     let report = InvariantReport { checks };
     if !report.ok() {
         // A violated invariant is exactly the moment the last-N-events
@@ -276,13 +297,13 @@ mod tests {
         let inv = check_chaos_invariants(&engine, &report, Some(&oracle), &reg);
         assert!(inv.ok(), "{}", inv.render());
         assert_eq!(inv.violations(), 0);
-        assert_eq!(inv.checks.len(), 7);
+        assert_eq!(inv.checks.len(), 9);
 
         let mut manifest = RunManifest::new("test");
         inv.write_to_manifest(&mut manifest);
         assert_eq!(
             manifest.metrics["chaos.invariants.checked"],
-            MetricValue::Counter(7)
+            MetricValue::Counter(9)
         );
         assert_eq!(
             manifest.metrics["chaos.invariants.violations"],

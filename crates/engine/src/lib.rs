@@ -14,9 +14,15 @@
 //!   synchronous [`RejectReason`]s. Budget charges run through the
 //!   feedback cost model ([`SloTracker::correction`](slo::SloTracker)),
 //!   which scales static estimates by observed per-key latency.
-//! - [`cache`]: the epoch-keyed [`ResultCache`] — repeated hot requests
-//!   are served bit-identically without re-running the kernel, and a
-//!   publish makes every stale entry unreachable by construction.
+//! - [`cache`]: the `(epoch, delta-seq)`-keyed [`ResultCache`] — repeated
+//!   hot requests are served bit-identically without re-running the
+//!   kernel, and both a publish and a mutation make every stale entry
+//!   unreachable by construction.
+//! - [`delta`]: the live write path — a concurrent [`MutationBuffer`]
+//!   folding batches into copy-on-write [`DeltaOverlay`]s that point
+//!   queries read alongside the base CSR, plus the incremental
+//!   connected-components kernel and the materialization step background
+//!   compaction publishes as a new epoch.
 //! - [`engine`]: the [`Engine`] itself — priority lanes (point queries
 //!   never queue behind analytics), executor threads over one shared
 //!   kernel pool, cooperative deadlines/cancellation, per-class latency
@@ -41,6 +47,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod delta;
 pub mod engine;
 pub mod invariants;
 pub mod shard;
@@ -50,6 +57,9 @@ pub mod traffic;
 
 pub use admission::{AdmissionController, RejectReason};
 pub use cache::ResultCache;
+pub use delta::{
+    structural_digest, DeltaOverlay, IncrementalCComp, Mutation, MutationBuffer, MutationReceipt,
+};
 pub use engine::{Engine, EngineConfig, Query, QueryOutput, QueryResponse, QueryStatus, Ticket};
 pub use invariants::{check_chaos_invariants, InvariantCheck, InvariantReport};
 pub use shard::{CsrShard, ShardedGraph};

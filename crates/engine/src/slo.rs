@@ -108,7 +108,7 @@ impl LaneWindow {
 }
 
 struct Inner {
-    lanes: [LaneWindow; 3],
+    lanes: [LaneWindow; 4],
     /// Per-workload-key windows. The key set is fixed at construction —
     /// every query shape the engine can serve — so published metric names
     /// never depend on traffic.
@@ -153,7 +153,12 @@ impl SloTracker {
             .collect();
         SloTracker {
             inner: Arc::new(Inner {
-                lanes: [LaneWindow::new(), LaneWindow::new(), LaneWindow::new()],
+                lanes: [
+                    LaneWindow::new(),
+                    LaneWindow::new(),
+                    LaneWindow::new(),
+                    LaneWindow::new(),
+                ],
                 workloads,
                 unit: Ewma::new(FEEDBACK_ALPHA),
                 costs,
@@ -233,7 +238,7 @@ impl SloTracker {
     /// `count` / `p50_us` / `p99_us` / `p999_us` / `ewma_us`, and per
     /// workload key `p99_us` / `ewma_us`.
     pub fn publish(&self, reg: &Registry) {
-        for lane in 0..3 {
+        for lane in 0..4 {
             let s = self.lane_stats(lane);
             let base = format!("engine.window.{}", s.class.name());
             reg.set_gauge(&format!("{base}.count"), s.count as f64);
@@ -297,6 +302,8 @@ pub struct SloSpec {
     pub traversal: Option<ClassSlo>,
     /// Targets for the Analytics lane.
     pub analytics: Option<ClassSlo>,
+    /// Targets for the Write lane (mutation batches).
+    pub write: Option<ClassSlo>,
 }
 
 impl graphbig_json::ToJson for SloSpec {
@@ -305,6 +312,7 @@ impl graphbig_json::ToJson for SloSpec {
             ("point".to_string(), self.point.to_json()),
             ("traversal".to_string(), self.traversal.to_json()),
             ("analytics".to_string(), self.analytics.to_json()),
+            ("write".to_string(), self.write.to_json()),
         ])
     }
 }
@@ -317,23 +325,29 @@ impl graphbig_json::FromJson for SloSpec {
             point: graphbig_json::codec::field_or_default(v, "point")?,
             traversal: graphbig_json::codec::field_or_default(v, "traversal")?,
             analytics: graphbig_json::codec::field_or_default(v, "analytics")?,
+            write: graphbig_json::codec::field_or_default(v, "write")?,
         })
     }
 }
 
 impl SloSpec {
-    /// The targets for a lane index (0 point, 1 traversal, 2 analytics).
+    /// The targets for a lane index (0 point, 1 traversal, 2 analytics,
+    /// 3 write).
     pub fn for_lane(&self, lane: usize) -> Option<ClassSlo> {
         match lane {
             0 => self.point,
             1 => self.traversal,
-            _ => self.analytics,
+            2 => self.analytics,
+            _ => self.write,
         }
     }
 
     /// True when at least one class declares a target.
     pub fn any(&self) -> bool {
-        self.point.is_some() || self.traversal.is_some() || self.analytics.is_some()
+        self.point.is_some()
+            || self.traversal.is_some()
+            || self.analytics.is_some()
+            || self.write.is_some()
     }
 }
 
@@ -348,7 +362,8 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     /// Cost units currently admitted and not yet finished.
     pub in_flight_cost: u64,
-    /// Window stats per lane, in lane order (point, traversal, analytics).
+    /// Window stats per lane, in lane order (point, traversal, analytics,
+    /// write).
     pub lanes: Vec<LaneStats>,
 }
 
@@ -461,6 +476,7 @@ mod tests {
         assert!(quiet_keys.contains(&"engine.window.traversal.ewma_us".to_string()));
         assert!(quiet_keys.contains(&"engine.window.analytics.ccomp.p99_us".to_string()));
         assert!(quiet_keys.contains(&"engine.window.point.degree.ewma_us".to_string()));
+        assert!(quiet_keys.contains(&"engine.window.write.p99_us".to_string()));
     }
 
     #[test]
@@ -471,7 +487,7 @@ mod tests {
             t_ms: now_ms(),
             queue_depth: 3,
             in_flight_cost: 17,
-            lanes: (0..3).map(|l| t.lane_stats(l)).collect(),
+            lanes: (0..4).map(|l| t.lane_stats(l)).collect(),
         };
         let line = snap.to_json_line();
         assert!(!line.contains('\n'));
@@ -480,7 +496,8 @@ mod tests {
         assert_eq!(doc.get("queue_depth").unwrap().as_u64(), Some(3));
         assert_eq!(doc.get("in_flight_cost").unwrap().as_u64(), Some(17));
         let lanes = doc.get("lanes").unwrap().as_arr().unwrap();
-        assert_eq!(lanes.len(), 3);
+        assert_eq!(lanes.len(), 4);
+        assert_eq!(lanes[3].get("class").unwrap().as_str(), Some("write"));
         assert_eq!(lanes[0].get("class").unwrap().as_str(), Some("point"));
         assert_eq!(lanes[0].get("count").unwrap().as_u64(), Some(1));
         for field in [
@@ -572,7 +589,7 @@ mod tests {
             t_ms: 0,
             queue_depth: 0,
             in_flight_cost: 0,
-            lanes: (0..3).map(|l| t.lane_stats(l)).collect(),
+            lanes: (0..4).map(|l| t.lane_stats(l)).collect(),
         };
         snap.apply_slo(&SloSpec {
             point: Some(ClassSlo {
@@ -581,6 +598,10 @@ mod tests {
             }),
             traversal: None,
             analytics: None,
+            write: Some(ClassSlo {
+                p99_us: 900,
+                p999_us: 0,
+            }),
         });
         let doc = graphbig_telemetry::json::parse(&snap.to_json_line()).unwrap();
         let lanes = doc.get("lanes").unwrap().as_arr().unwrap();
@@ -591,5 +612,6 @@ mod tests {
             Some(0),
             "undeclared class renders target 0"
         );
+        assert_eq!(lanes[3].get("p99_target_us").unwrap().as_u64(), Some(900));
     }
 }

@@ -60,12 +60,16 @@ impl GraphStore {
     /// Publish `graph` as the next epoch; returns the new epoch number.
     /// Queries already running keep their old snapshot until they finish.
     pub fn publish(&self, graph: ShardedGraph) -> u64 {
+        self.publish_shared(Arc::new(graph))
+    }
+
+    /// [`GraphStore::publish`] for a graph that is already behind an
+    /// `Arc` — the compactor publishes its memoized materialization
+    /// without cloning shards even while readers still hold it.
+    pub fn publish_shared(&self, graph: Arc<ShardedGraph>) -> u64 {
         let mut current = self.current.lock().unwrap_or_else(|e| e.into_inner());
         let epoch = current.epoch + 1;
-        *current = Arc::new(EpochSnapshot {
-            epoch,
-            graph: Arc::new(graph),
-        });
+        *current = Arc::new(EpochSnapshot { epoch, graph });
         epoch
     }
 
@@ -83,12 +87,21 @@ impl GraphStore {
 
     /// Publish a new epoch from serialized [`framework snapshot
     /// bytes`](graphbig_framework::snapshot), resharded into `num_shards`.
+    ///
+    /// Decode failures are wrapped with the input length, so a truncated
+    /// upload reports *where* it ran out ("need N bytes at offset X") and
+    /// how much was received, instead of an opaque loader failure.
     pub fn publish_snapshot_bytes(
         &self,
         bytes: &[u8],
         num_shards: usize,
     ) -> Result<u64, graphbig_framework::error::GraphError> {
-        let g = snapshot::load(bytes)?;
+        let g = snapshot::load(bytes).map_err(|e| {
+            graphbig_framework::error::GraphError::MalformedInput(format!(
+                "publish_snapshot_bytes: cannot decode {}-byte snapshot: {e}",
+                bytes.len()
+            ))
+        })?;
         let csr = Csr::from_graph(&g);
         Ok(self.publish(ShardedGraph::build(csr, num_shards)))
     }
@@ -146,5 +159,26 @@ mod tests {
         // Corrupt bytes are rejected without changing the epoch.
         assert!(store.publish_snapshot_bytes(&[1, 2, 3], 3).is_err());
         assert_eq!(store.epoch(), 2);
+    }
+
+    #[test]
+    fn truncated_snapshot_bytes_report_offset_and_length() {
+        let store = GraphStore::new(graph(32));
+        let g = Dataset::Ldbc.generate_with_vertices(96);
+        let bytes = snapshot::save(&g);
+        let cut = bytes.len() / 2;
+        let err = store
+            .publish_snapshot_bytes(&bytes[..cut], 3)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains(&format!("{cut}-byte snapshot")),
+            "error must state how many bytes arrived: {err}"
+        );
+        assert!(
+            err.contains("truncated") && err.contains("at offset"),
+            "error must carry the loader's offset context: {err}"
+        );
+        assert_eq!(store.epoch(), 1, "a failed publish must not bump the epoch");
     }
 }

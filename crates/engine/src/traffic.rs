@@ -12,6 +12,15 @@
 //! query list one at a time (no concurrency, no deadlines) and
 //! [`verify_against_oracle`] demands every concurrently *completed* result
 //! be bit-identical to its sequential twin.
+//!
+//! Mixes may also carry *writes* (`write_weight > 0`): the generator draws
+//! symbolic [`WriteOp`]s that [`resolve_write`] turns into concrete edge
+//! mutations against the drive-start base snapshot. Resolved targets are
+//! disjoint-or-idempotent, so the final edge set is independent of client
+//! interleaving and of when the compactor folds — which is exactly what
+//! [`mutation_oracle_digest`] checks: a sequential single-threaded replay
+//! of the same writes must digest-identical to the engine's live state
+//! ([`live_engine_digest`]), mid-overlay or post-compaction alike.
 
 use std::time::{Duration, Instant};
 
@@ -42,6 +51,13 @@ pub struct MixSpec {
     pub traversal_weight: u32,
     /// Relative weight of analytics queries (ccomp, kcore, spath).
     pub analytics_weight: u32,
+    /// Relative weight of write ops (edge insert/delete). Defaults to 0 —
+    /// a pure-read mix whose request stream is byte-identical to what the
+    /// pre-write generator produced, so every old mix file is unchanged.
+    pub write_weight: u32,
+    /// Of the write ops, the percentage that delete a base edge instead of
+    /// inserting a new one (default 25).
+    pub write_delete_percent: u32,
     /// Per-request deadline in milliseconds (`null` = none).
     pub deadline_ms: Option<u64>,
     /// Draw every source/vertex from a pool of this many hot vertices
@@ -55,10 +71,10 @@ pub struct MixSpec {
     pub slo: Option<SloSpec>,
 }
 
-// Hand-written codec instead of `json_struct!`: the three newest members
-// (`hot_sources`, `khop_hops`, `slo`) must default when absent so every
-// pre-existing mix file keeps parsing — and keeps generating the exact
-// same request stream.
+// Hand-written codec instead of `json_struct!`: the newest members
+// (`write_weight`, `write_delete_percent`, `hot_sources`, `khop_hops`,
+// `slo`) must default when absent so every pre-existing mix file keeps
+// parsing — and keeps generating the exact same request stream.
 impl graphbig_json::ToJson for MixSpec {
     fn to_json(&self) -> graphbig_json::Json {
         graphbig_json::Json::Obj(vec![
@@ -73,6 +89,11 @@ impl graphbig_json::ToJson for MixSpec {
             (
                 "analytics_weight".to_string(),
                 self.analytics_weight.to_json(),
+            ),
+            ("write_weight".to_string(), self.write_weight.to_json()),
+            (
+                "write_delete_percent".to_string(),
+                self.write_delete_percent.to_json(),
             ),
             ("deadline_ms".to_string(), self.deadline_ms.to_json()),
             ("hot_sources".to_string(), self.hot_sources.to_json()),
@@ -92,6 +113,9 @@ impl graphbig_json::FromJson for MixSpec {
             point_weight: field(v, "point_weight")?,
             traversal_weight: field(v, "traversal_weight")?,
             analytics_weight: field(v, "analytics_weight")?,
+            write_weight: field_or_default(v, "write_weight")?,
+            write_delete_percent: field_or_default::<Option<u32>>(v, "write_delete_percent")?
+                .unwrap_or(25),
             deadline_ms: field_or_default(v, "deadline_ms")?,
             hot_sources: field_or_default(v, "hot_sources")?,
             khop_hops: field_or_default::<Option<u32>>(v, "khop_hops")?.unwrap_or(2),
@@ -109,6 +133,8 @@ impl Default for MixSpec {
             point_weight: 60,
             traversal_weight: 25,
             analytics_weight: 15,
+            write_weight: 0,
+            write_delete_percent: 25,
             deadline_ms: None,
             hot_sources: None,
             khop_hops: 2,
@@ -117,16 +143,56 @@ impl Default for MixSpec {
     }
 }
 
-/// Expand a mix into its concrete query list for a graph with `n`
-/// vertices. One PRNG stream, consumed in request order — the list does
-/// not depend on `spec.clients`, so the same mix replayed at different
-/// concurrency levels issues identical queries. A `hot_sources` pool
-/// folds every source into `[0, pool)` *after* the uniform draw, so the
-/// draw sequence (and therefore every other request in the stream) is
-/// unchanged by the pool size.
-pub fn generate_requests(spec: &MixSpec, n: u32) -> Vec<Query> {
+/// A seeded write drawn by the generator. Targets are *symbolic* — a
+/// source vertex plus a salt — and only become a concrete mutation batch
+/// when [`resolve_write`] pins them against the drive-start base
+/// snapshot. That makes the resolved batch a pure function of `(op,
+/// base)`: it does not depend on client interleaving, on how many writes
+/// landed first, or on where the compactor folded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert an out-edge of `u`; the destination is probed from `salt`
+    /// over non-base, non-self pairs.
+    Insert {
+        /// Source vertex (folded modulo `n` at resolve time).
+        u: u32,
+        /// Seeded draw that picks the probe start for the destination.
+        salt: u64,
+    },
+    /// Delete the `salt % out_degree(u)`-th base out-edge of `u` (no-op
+    /// batch when `u` has no base out-edges).
+    Delete {
+        /// Source vertex (folded modulo `n` at resolve time).
+        u: u32,
+        /// Seeded draw that picks which base out-edge dies.
+        salt: u64,
+    },
+}
+
+/// One generated request: a read query or a write op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MixOp {
+    /// A point/traversal/analytics query, checked per-request against the
+    /// sequential oracle in read-only mixes.
+    Read(Query),
+    /// An edge mutation, checked end-of-run against
+    /// [`mutation_oracle_digest`].
+    Write(WriteOp),
+}
+
+/// Expand a mix into its concrete op list for a graph with `n` vertices.
+/// One PRNG stream, consumed in request order — the list does not depend
+/// on `spec.clients`, so the same mix replayed at different concurrency
+/// levels issues identical ops. A `hot_sources` pool folds every source
+/// into `[0, pool)` *after* the uniform draw, so the draw sequence (and
+/// therefore every other request in the stream) is unchanged by the pool
+/// size. Write ops draw *extra* PRNG values (a salt and the delete/insert
+/// split), but only on rolls that land in the write band — a
+/// `write_weight` of 0 consumes exactly the historical draw sequence.
+pub fn generate_ops(spec: &MixSpec, n: u32) -> Vec<MixOp> {
     let mut rng = Rng::seed_from_u64(spec.seed);
-    let total = (spec.point_weight + spec.traversal_weight + spec.analytics_weight).max(1) as u64;
+    let read_total = spec.point_weight + spec.traversal_weight + spec.analytics_weight;
+    let total = (read_total + spec.write_weight).max(1) as u64;
     let n = n.max(1);
     let pool = spec.hot_sources.map(|h| h.clamp(1, n));
     let hops = spec.khop_hops.max(1);
@@ -138,26 +204,130 @@ pub fn generate_requests(spec: &MixSpec, n: u32) -> Vec<Query> {
                 source %= pool;
             }
             if roll < spec.point_weight {
-                if rng.gen_bool(0.5) {
+                MixOp::Read(if rng.gen_bool(0.5) {
                     Query::Degree { vertex: source }
                 } else {
                     Query::KHop { source, hops }
-                }
+                })
             } else if roll < spec.point_weight + spec.traversal_weight {
-                Query::Run {
+                MixOp::Read(Query::Run {
                     workload: Workload::Bfs,
                     source,
-                }
-            } else {
+                })
+            } else if roll < read_total {
                 let workload = match rng.u64_below(3) {
                     0 => Workload::CComp,
                     1 => Workload::KCore,
                     _ => Workload::SPath,
                 };
-                Query::Run { workload, source }
+                MixOp::Read(Query::Run { workload, source })
+            } else {
+                let salt = rng.next_u64();
+                MixOp::Write(
+                    if rng.u64_below(100) < spec.write_delete_percent.min(100) as u64 {
+                        WriteOp::Delete { u: source, salt }
+                    } else {
+                        WriteOp::Insert { u: source, salt }
+                    },
+                )
             }
         })
         .collect()
+}
+
+/// The read-only view of [`generate_ops`]: write ops are dropped. For a
+/// mix with `write_weight == 0` this is the full stream and is
+/// byte-identical to what the pre-write generator produced.
+pub fn generate_requests(spec: &MixSpec, n: u32) -> Vec<Query> {
+    generate_ops(spec, n)
+        .into_iter()
+        .filter_map(|op| match op {
+            MixOp::Read(q) => Some(q),
+            MixOp::Write(_) => None,
+        })
+        .collect()
+}
+
+/// Pin a symbolic write against `base` into a concrete mutation batch.
+///
+/// Deletes target only base edges; inserts probe (linearly from
+/// `salt % n`) for the first non-self pair *not* in the base, with a
+/// weight that is a pure hash of the pair. Base pairs and probed pairs
+/// are therefore disjoint, and two ops resolving to the same pair carry
+/// identical mutations — so every resolved stream is commutative and
+/// idempotent over the overlay's set semantics: any interleaving, with
+/// compaction folding at any point, reaches the same final edge set.
+pub fn resolve_write(base: &ShardedGraph, op: WriteOp) -> Vec<crate::delta::Mutation> {
+    use crate::delta::Mutation;
+    let n = base.num_vertices() as u32;
+    if n == 0 {
+        return Vec::new();
+    }
+    match op {
+        WriteOp::Delete { u, salt } => {
+            let u = u % n;
+            let row = base.service().out().neighbors(u);
+            if row.is_empty() {
+                return Vec::new();
+            }
+            let v = row[(salt % row.len() as u64) as usize];
+            vec![Mutation::RemoveEdge { u, v }]
+        }
+        WriteOp::Insert { u, salt } => {
+            let u = u % n;
+            let row = base.service().out().neighbors(u);
+            let mut v = (salt % n as u64) as u32;
+            for _ in 0..n {
+                if v != u && !row.contains(&v) {
+                    return vec![Mutation::AddEdge {
+                        u,
+                        v,
+                        w: synthetic_weight(u, v),
+                    }];
+                }
+                v = (v + 1) % n;
+            }
+            Vec::new()
+        }
+    }
+}
+
+/// Deterministic weight for a generated insert: a pure hash of the edge
+/// pair, so re-resolving (or re-applying) the same pair always writes the
+/// same weight.
+fn synthetic_weight(u: u32, v: u32) -> f32 {
+    let h = (((u as u64) << 32) | v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    1.0 + (h >> 40) as f32 / 65_536.0
+}
+
+/// The write-path oracle: replay every write in `ops` sequentially,
+/// single-threaded, through a fresh [`MutationBuffer`] over `base`, and
+/// digest the result. Because resolved writes commute, this must equal
+/// [`live_engine_digest`] after any concurrent replay of the same mix —
+/// whether the engine is still mid-overlay or the compactor already
+/// folded.
+pub fn mutation_oracle_digest(base: &ShardedGraph, ops: &[MixOp]) -> u64 {
+    let buffer = crate::delta::MutationBuffer::new(1, base.num_vertices() as u32);
+    for op in ops {
+        if let MixOp::Write(w) = op {
+            buffer.apply(base, &resolve_write(base, *w));
+        }
+    }
+    buffer.current().live_digest(base)
+}
+
+/// Structural digest of the engine's *current* graph state: the live
+/// overlay view when mutations are still buffered, the published epoch's
+/// graph otherwise. Comparable with [`mutation_oracle_digest`] and with
+/// [`crate::delta::structural_digest`] of any rebuilt-from-scratch graph.
+pub fn live_engine_digest(engine: &Engine) -> u64 {
+    let snap = engine.store().snapshot();
+    let ov = engine.overlay();
+    if ov.epoch() == snap.epoch() && !ov.is_empty() {
+        ov.live_digest(snap.graph())
+    } else {
+        crate::delta::structural_digest(snap.graph())
+    }
 }
 
 /// Per-latency-class results of one mix replay.
@@ -206,8 +376,9 @@ pub struct TrafficReport {
     pub throughput_rps: f64,
     /// Stats for every class, in `CostClass::ALL` order.
     pub classes: Vec<ClassStats>,
-    /// `(request index, digest)` for every completed query, ascending by
-    /// index — the concurrent side of the oracle comparison.
+    /// `(request index, digest)` for every completed *read*, ascending by
+    /// index — the concurrent side of the per-request oracle comparison.
+    /// Writes carry no digest; their check is [`mutation_oracle_digest`].
     pub completed_digests: Vec<(usize, u64)>,
     /// Fired-fault counts (`<site>.<action>`, count) captured before the
     /// plan was disarmed. Empty for plain [`run_mix`] replays.
@@ -356,6 +527,8 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 enum Outcome {
     Rejected(crate::admission::RejectReason),
     Response(QueryResponse, Option<u64>),
+    /// A write batch applied synchronously, with its end-to-end latency.
+    Applied(u64),
 }
 
 /// Replay `spec` against `engine` closed-loop and collect the report.
@@ -395,13 +568,17 @@ pub fn run_chaos_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> Traff
 }
 
 fn drive_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport {
-    let n = engine.store().snapshot().graph().num_vertices() as u32;
-    let queries = generate_requests(spec, n);
+    // The base snapshot every write in this drive resolves against. Held
+    // for the whole replay so compaction mid-mix cannot change what a
+    // later op means.
+    let base = engine.store().snapshot();
+    let ops = generate_ops(spec, base.graph().num_vertices() as u32);
     let clients = spec.clients.max(1);
     let deadline = spec.deadline_ms.map(Duration::from_millis);
     let start = Instant::now();
     let per_client: Vec<(Vec<(usize, Outcome)>, u64)> = std::thread::scope(|scope| {
-        let queries = &queries;
+        let ops = &ops;
+        let base = &base;
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
@@ -410,10 +587,14 @@ fn drive_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport
                     );
                     let mut retries = 0u64;
                     let mut out = Vec::new();
-                    for (i, q) in queries.iter().enumerate() {
+                    for (i, op) in ops.iter().enumerate() {
                         if i % clients != c {
                             continue;
                         }
+                        let batch = match op {
+                            MixOp::Write(w) => resolve_write(base.graph(), *w),
+                            MixOp::Read(_) => Vec::new(),
+                        };
                         let mut attempt = 0u64;
                         let outcome = loop {
                             let tag = (attempt << 32) | i as u64;
@@ -424,15 +605,26 @@ fn drive_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport
                                     engine.republish();
                                 }
                             }
-                            match engine.submit_tagged(*q, deadline, tag) {
-                                Ok(ticket) => {
-                                    let response = ticket.wait();
-                                    let digest = match &response.status {
-                                        QueryStatus::Completed(o) => Some(o.digest()),
-                                        _ => None,
-                                    };
-                                    break Outcome::Response(response, digest);
+                            let submitted = match op {
+                                MixOp::Read(q) => {
+                                    engine.submit_tagged(*q, deadline, tag).map(|ticket| {
+                                        let response = ticket.wait();
+                                        let digest = match &response.status {
+                                            QueryStatus::Completed(o) => Some(o.digest()),
+                                            _ => None,
+                                        };
+                                        Outcome::Response(response, digest)
+                                    })
                                 }
+                                MixOp::Write(_) => {
+                                    let t0 = Instant::now();
+                                    engine.mutate_tagged(&batch, tag).map(|_receipt| {
+                                        Outcome::Applied(t0.elapsed().as_micros().max(1) as u64)
+                                    })
+                                }
+                            };
+                            match submitted {
+                                Ok(outcome) => break outcome,
                                 Err(reason) => {
                                     if attempt >= plan.max_retries {
                                         break Outcome::Rejected(reason);
@@ -468,7 +660,7 @@ fn drive_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport
     });
     let wall_us = start.elapsed().as_micros().max(1) as u64;
     let mut retries = 0u64;
-    let mut outcomes: Vec<(usize, Outcome)> = Vec::with_capacity(queries.len());
+    let mut outcomes: Vec<(usize, Outcome)> = Vec::with_capacity(ops.len());
     for (client_outcomes, client_retries) in per_client {
         retries += client_retries;
         outcomes.extend(client_outcomes);
@@ -480,11 +672,12 @@ fn drive_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport
     let mut rejected_cost_budget = 0u64;
     let mut unsupported = 0u64;
     let mut completed_digests = Vec::new();
-    let mut latencies: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    let mut completed = [0u64; 3];
-    let mut missed = [0u64; 3];
-    let mut cancelled = [0u64; 3];
-    let mut failed = [0u64; 3];
+    let mut latencies: [Vec<u64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut completed = [0u64; 4];
+    let mut missed = [0u64; 4];
+    let mut cancelled = [0u64; 4];
+    let mut failed = [0u64; 4];
+    const WRITE_LANE: usize = 3;
     for (i, outcome) in &outcomes {
         match outcome {
             Outcome::Rejected(crate::admission::RejectReason::QueueFull { .. }) => {
@@ -492,6 +685,11 @@ fn drive_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport
             }
             Outcome::Rejected(crate::admission::RejectReason::CostBudget { .. }) => {
                 rejected_cost_budget += 1;
+            }
+            Outcome::Applied(us) => {
+                admitted += 1;
+                completed[WRITE_LANE] += 1;
+                latencies[WRITE_LANE].push(*us);
             }
             Outcome::Response(r, digest) => {
                 admitted += 1;
@@ -534,7 +732,7 @@ fn drive_mix(engine: &Engine, spec: &MixSpec, plan: &FaultPlan) -> TrafficReport
         .collect();
     let total_completed: u64 = completed.iter().sum();
     TrafficReport {
-        total_requests: queries.len(),
+        total_requests: ops.len(),
         admitted,
         rejected_queue_full,
         rejected_cost_budget,
@@ -628,6 +826,8 @@ mod tests {
             point_weight: 10,
             traversal_weight: 5,
             analytics_weight: 1,
+            write_weight: 4,
+            write_delete_percent: 40,
             deadline_ms: Some(250),
             hot_sources: Some(16),
             khop_hops: 3,
@@ -638,6 +838,10 @@ mod tests {
                 }),
                 traversal: None,
                 analytics: None,
+                write: Some(crate::slo::ClassSlo {
+                    p99_us: 900,
+                    p999_us: 0,
+                }),
             }),
         };
         let text = graphbig_json::to_pretty(&spec);
@@ -664,12 +868,17 @@ mod tests {
         assert_eq!(old.hot_sources, None);
         assert_eq!(old.khop_hops, 2);
         assert_eq!(old.slo, None);
+        assert_eq!(old.write_weight, 0, "old files stay pure-read");
+        assert_eq!(old.write_delete_percent, 25);
         // And the defaulted spec generates the exact same stream as the
         // pre-extension generator did (hops hardcoded to 2, uniform
-        // sources): pin it against a spec that spells the defaults out.
+        // sources, no write band): pin it against a spec that spells the
+        // defaults out.
         let explicit = MixSpec {
             hot_sources: None,
             khop_hops: 2,
+            write_weight: 0,
+            write_delete_percent: 25,
             slo: Some(crate::slo::SloSpec::default()),
             ..old.clone()
         };
@@ -677,6 +886,11 @@ mod tests {
             generate_requests(&old, 500),
             generate_requests(&explicit, 500)
         );
+        // With write_weight 0 the op stream is all reads — the read view
+        // *is* the stream, position for position.
+        let ops = generate_ops(&old, 500);
+        assert_eq!(ops.len(), old.requests);
+        assert!(ops.iter().all(|op| matches!(op, MixOp::Read(_))));
     }
 
     #[test]
@@ -742,6 +956,7 @@ mod tests {
             }),
             traversal: None,
             analytics: None,
+            write: None,
         };
         let verdict = evaluate_slo(&report, &loose);
         assert_eq!(verdict.checked, 2);
@@ -755,6 +970,7 @@ mod tests {
             }),
             traversal: None,
             analytics: None,
+            write: None,
         };
         let verdict = evaluate_slo(&report, &tight);
         assert_eq!(verdict.checked, 2);
@@ -809,9 +1025,10 @@ mod tests {
             .iter()
             .map(|c| a.iter().filter(|q| q.class() == *c).count())
             .collect();
-        // 60/25/15 weights over 400 requests: every class is represented
-        // and point queries dominate.
-        assert!(classes.iter().all(|&c| c > 0), "{classes:?}");
+        // 60/25/15/0 weights over 400 requests: every read class is
+        // represented, no writes are drawn, and point queries dominate.
+        assert!(classes[..3].iter().all(|&c| c > 0), "{classes:?}");
+        assert_eq!(classes[3], 0, "write_weight 0 draws no writes");
         assert!(
             classes[0] > classes[1] && classes[0] > classes[2],
             "{classes:?}"
@@ -924,5 +1141,90 @@ mod tests {
         let queries = generate_requests(&spec, snapshot.graph().num_vertices() as u32);
         let oracle = sequential_digests(snapshot.graph(), engine.pool(), &queries);
         verify_against_oracle(&report, &oracle).expect("no mismatches");
+    }
+
+    #[test]
+    fn resolved_writes_are_deterministic_and_order_independent() {
+        let g = crate::shard::ShardedGraph::build(csr(200), 4);
+        let spec = MixSpec {
+            requests: 300,
+            write_weight: 50,
+            point_weight: 30,
+            traversal_weight: 15,
+            analytics_weight: 5,
+            ..MixSpec::default()
+        };
+        let ops = generate_ops(&spec, 200);
+        let writes: Vec<WriteOp> = ops
+            .iter()
+            .filter_map(|op| match op {
+                MixOp::Write(w) => Some(*w),
+                MixOp::Read(_) => None,
+            })
+            .collect();
+        assert!(writes.len() > 50, "write band drew {} ops", writes.len());
+        assert!(
+            writes.iter().any(|w| matches!(w, WriteOp::Delete { .. }))
+                && writes.iter().any(|w| matches!(w, WriteOp::Insert { .. })),
+            "both delete and insert ops are drawn"
+        );
+        for w in &writes {
+            assert_eq!(resolve_write(&g, *w), resolve_write(&g, *w));
+        }
+        // Forward and reverse application orders converge on one digest —
+        // the property the concurrent driver leans on.
+        let forward = crate::delta::MutationBuffer::new(1, g.num_vertices() as u32);
+        let reverse = crate::delta::MutationBuffer::new(1, g.num_vertices() as u32);
+        for w in &writes {
+            forward.apply(&g, &resolve_write(&g, *w));
+        }
+        for w in writes.iter().rev() {
+            reverse.apply(&g, &resolve_write(&g, *w));
+        }
+        let fwd = forward.current().live_digest(&g);
+        assert_eq!(fwd, reverse.current().live_digest(&g));
+        assert_eq!(fwd, mutation_oracle_digest(&g, &ops));
+        assert_ne!(
+            fwd,
+            crate::delta::structural_digest(&g),
+            "the write stream actually changed the graph"
+        );
+    }
+
+    #[test]
+    fn mixed_mix_converges_on_the_mutation_oracle() {
+        let reg = Registry::new();
+        let engine = Engine::with_registry(
+            EngineConfig {
+                pool_threads: 2,
+                ..EngineConfig::default()
+            },
+            csr(300),
+            &reg,
+        );
+        let base = engine.store().snapshot();
+        let spec = MixSpec {
+            requests: 120,
+            clients: 4,
+            write_weight: 30,
+            ..MixSpec::default()
+        };
+        let ops = generate_ops(&spec, base.graph().num_vertices() as u32);
+        let expected = mutation_oracle_digest(base.graph(), &ops);
+        let report = run_mix(&engine, &spec);
+        // Every op resolves: reads and writes both count toward admission.
+        assert_eq!(report.admitted, 120);
+        let writes = report.class(CostClass::Write);
+        assert!(writes.completed > 0, "the mix applied writes");
+        assert!(writes.p50_us > 0, "write latencies are recorded");
+        // Mid-overlay state matches the sequential oracle...
+        assert_eq!(live_engine_digest(&engine), expected);
+        // ...and so does the post-compaction epoch.
+        engine.compact();
+        assert_eq!(live_engine_digest(&engine), expected);
+        assert_eq!(
+            crate::delta::structural_digest(engine.store().snapshot().graph()),
+            expected
+        );
     }
 }

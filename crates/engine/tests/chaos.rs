@@ -406,3 +406,165 @@ fn shutdown_drain_never_double_resolves_tickets() {
     assert_eq!(snap["engine.resolved"], MetricValue::Counter(submitted));
     assert_eq!(snap["engine.double_resolve"], MetricValue::Counter(0));
 }
+
+#[test]
+fn compaction_delay_mid_mix_holds_invariants_and_logs_the_lifecycle() {
+    let _g = serial();
+    use graphbig_engine::traffic::{generate_ops, live_engine_digest, mutation_oracle_digest};
+    // Stretch every fold with a pre-materialize delay so queries and
+    // mutations land inside the compaction window, then drive a
+    // write-heavy mix against a low fold threshold.
+    let mut slow_fold = fault("engine.compact.pre", Trigger::Always, FaultAction::Delay);
+    slow_fold.delay_us = 3_000;
+    let mut slow_write = fault("engine.mutate", Trigger::Probability, FaultAction::Delay);
+    slow_write.p = 0.2;
+    slow_write.delay_us = 200;
+    let plan = plan(41, vec![slow_fold, slow_write]);
+    let spec = MixSpec {
+        seed: 6,
+        requests: 500,
+        clients: 4,
+        point_weight: 45,
+        traversal_weight: 5,
+        analytics_weight: 0,
+        write_weight: 50,
+        ..MixSpec::default()
+    };
+    let reg = Registry::new();
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(300));
+    let eng = Engine::with_registry(
+        EngineConfig {
+            executors: 2,
+            pool_threads: 2,
+            compact_threshold: 64,
+            ..EngineConfig::default()
+        },
+        csr,
+        &reg,
+    );
+    let base = eng.store().snapshot();
+    let ops = generate_ops(&spec, base.graph().num_vertices() as u32);
+    let expected = mutation_oracle_digest(base.graph(), &ops);
+    let report = run_chaos_mix(&eng, &spec, &plan);
+    assert!(
+        report
+            .fault_fired
+            .iter()
+            .any(|(label, n)| label.starts_with("engine.compact.pre") && *n > 0),
+        "the fold delay must have fired: {:?}",
+        report.fault_fired
+    );
+    // Let in-flight folds drain, then sweep every invariant — including
+    // compaction lifecycle balance and mutation sequencing.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let snap = reg.snapshot();
+        let started = match snap.get("engine.compact.started") {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        let completed = match snap.get("engine.compact.completed") {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        if started == completed && started > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "compactor never folded or never finished ({started}/{completed})"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let inv = check_chaos_invariants(&eng, &report, None, &reg);
+    assert!(inv.ok(), "invariants violated:\n{}", inv.render());
+    // Races notwithstanding, the final state equals the sequential oracle.
+    assert_eq!(live_engine_digest(&eng), expected);
+    // The flight recorder captured the compaction lifecycle.
+    use graphbig_telemetry::recorder::{self, EventKind};
+    let events = recorder::snapshot().events;
+    let starts = events
+        .iter()
+        .filter(|e| e.kind == EventKind::CompactStart)
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| e.kind == EventKind::CompactEnd)
+        .count();
+    assert!(starts > 0, "CompactStart events recorded");
+    assert!(ends > 0, "CompactEnd events recorded");
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Mutate),
+        "Mutate events recorded"
+    );
+}
+
+#[test]
+fn stale_read_injection_is_caught_by_the_rebuild_oracle() {
+    let _g = serial();
+    use graphbig_engine::traffic::{resolve_write, WriteOp};
+    use graphbig_engine::QueryOutput;
+    let reg = Registry::new();
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(200));
+    let eng = Engine::with_registry(
+        EngineConfig {
+            executors: 2,
+            pool_threads: 2,
+            // No cache: a stale read must not be able to hide behind (or
+            // poison) a cached entry while the drill compares views.
+            cache_capacity: 0,
+            compact_threshold: 0,
+            ..EngineConfig::default()
+        },
+        csr,
+        &reg,
+    );
+    let base = eng.store().snapshot();
+    let degree_of = |eng: &Engine| {
+        let r = eng.submit(Query::Degree { vertex: 0 }).unwrap().wait();
+        match r.status {
+            QueryStatus::Completed(QueryOutput::Degree { out, .. }) => out,
+            other => panic!("degree query failed: {other:?}"),
+        }
+    };
+    let before = degree_of(&eng);
+    // A guaranteed-fresh edge out of vertex 0, via the same resolution the
+    // traffic driver uses.
+    let batch = resolve_write(base.graph(), WriteOp::Insert { u: 0, salt: 0 });
+    assert_eq!(batch.len(), 1);
+    eng.mutate(&batch).unwrap();
+    let overlay_view = degree_of(&eng);
+    assert_eq!(overlay_view, before + 1, "overlay read sees the insert");
+
+    // Inject StaleRead at every overlay read: the engine silently serves
+    // the pinned base instead of the overlay.
+    let drop_overlay = fault(
+        "engine.overlay.read",
+        Trigger::Always,
+        FaultAction::StaleRead,
+    );
+    chaos::arm(&plan(51, vec![drop_overlay]));
+    let stale_view = degree_of(&eng);
+    let fired = chaos::fired_counts();
+    chaos::disarm();
+    assert!(
+        fired
+            .iter()
+            .any(|(label, n)| label.starts_with("engine.overlay.read") && *n > 0),
+        "the stale-read fault must have fired: {fired:?}"
+    );
+    assert_eq!(stale_view, before, "injection served the stale base");
+
+    // The rebuild oracle catches it: a graph rebuilt from scratch with the
+    // same mutation disagrees with the injected answer — exactly the
+    // mismatch a digest comparison would flag.
+    let rebuilt = eng.overlay().materialize(base.graph(), 4);
+    let (rebuilt_out, _) = rebuilt.degree(0).unwrap();
+    assert_eq!(rebuilt_out, before + 1);
+    assert_ne!(
+        stale_view, rebuilt_out,
+        "stale read diverges from the rebuild oracle"
+    );
+    // With the fault disarmed the engine agrees with the oracle again.
+    assert_eq!(degree_of(&eng), rebuilt_out);
+}

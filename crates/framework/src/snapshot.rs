@@ -79,26 +79,36 @@ impl Writer {
     }
 }
 
-/// Bounds-checked little-endian cursor over a snapshot byte slice.
+/// Bounds-checked little-endian cursor over a snapshot byte slice. Tracks
+/// the consumed offset so every truncation error can say exactly where the
+/// input ran out, not just that it did.
 struct Reader<'a> {
     buf: &'a [u8],
+    pos: usize,
 }
 
 impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Self {
-        Reader { buf }
+        Reader { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
-        self.buf.len()
+    /// Fail with offset/length context unless `n` more bytes are available.
+    fn need(&self, n: usize, what: &str) -> Result<()> {
+        if self.buf.len() < n {
+            return Err(malformed(&format!(
+                "truncated {what}: need {n} bytes at offset {}, {} remaining",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        Ok(())
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.buf.len() < n {
-            return Err(malformed("truncated snapshot"));
-        }
+        self.need(n, "input")?;
         let (head, tail) = self.buf.split_at(n);
         self.buf = tail;
+        self.pos += n;
         Ok(head)
     }
 
@@ -157,9 +167,7 @@ pub fn save(g: &PropertyGraph) -> Vec<u8> {
 /// Deserialize a binary snapshot.
 pub fn load(bytes: &[u8]) -> Result<PropertyGraph> {
     let mut buf = Reader::new(bytes);
-    if buf.remaining() < 22 {
-        return Err(malformed("snapshot too short"));
-    }
+    buf.need(22, "header")?;
     if buf.get_u32_le()? != MAGIC {
         return Err(malformed("bad magic"));
     }
@@ -171,10 +179,8 @@ pub fn load(bytes: &[u8]) -> Result<PropertyGraph> {
     let m = buf.get_u64_le()? as usize;
 
     let mut g = PropertyGraph::with_capacity(n);
-    for _ in 0..n {
-        if buf.remaining() < 8 {
-            return Err(malformed("truncated vertex section"));
-        }
+    for i in 0..n {
+        buf.need(8, &format!("vertex section (vertex {i} of {n})"))?;
         let id = buf.get_u64_le()?;
         g.add_vertex_with_id(id)
             .map_err(|_| malformed(&format!("duplicate vertex {id}")))?;
@@ -183,10 +189,8 @@ pub fn load(bytes: &[u8]) -> Result<PropertyGraph> {
             g.set_vertex_prop(id, k, v.clone()).expect("vertex exists");
         }
     }
-    for _ in 0..m {
-        if buf.remaining() < 20 {
-            return Err(malformed("truncated arc section"));
-        }
+    for i in 0..m {
+        buf.need(20, &format!("arc section (arc {i} of {m})"))?;
         let u = buf.get_u64_le()?;
         let v: VertexId = buf.get_u64_le()?;
         let w = buf.get_f32_le()?;
@@ -229,15 +233,11 @@ fn put_props(buf: &mut Writer, props: &PropertyMap) {
 }
 
 fn get_props(buf: &mut Reader<'_>) -> Result<PropertyMap> {
-    if buf.remaining() < 4 {
-        return Err(malformed("truncated property count"));
-    }
+    buf.need(4, "property count")?;
     let count = buf.get_u32_le()?;
     let mut props = PropertyMap::new();
     for _ in 0..count {
-        if buf.remaining() < 5 {
-            return Err(malformed("truncated property header"));
-        }
+        buf.need(5, "property header")?;
         let key = buf.get_u32_le()?;
         let tag = buf.get_u8()?;
         let value = match tag {
@@ -252,9 +252,7 @@ fn get_props(buf: &mut Reader<'_>) -> Result<PropertyMap> {
             }
             TAG_VECTOR => {
                 let len = buf.get_u32_le()? as usize;
-                if buf.remaining() < len.saturating_mul(8) {
-                    return Err(malformed("truncated property payload"));
-                }
+                buf.need(len.saturating_mul(8), "property payload")?;
                 let mut xs = Vec::with_capacity(len);
                 for _ in 0..len {
                     xs.push(buf.get_f64_le()?);
@@ -337,6 +335,23 @@ mod tests {
         for cut in [6usize, 23, bytes.len() / 2, bytes.len() - 1] {
             assert!(load(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
+    }
+
+    #[test]
+    fn truncation_errors_carry_offset_and_length_context() {
+        let g = rich_graph();
+        let bytes = save(&g);
+        for cut in [6usize, 23, bytes.len() / 2, bytes.len() - 1] {
+            let msg = load(&bytes[..cut]).unwrap_err().to_string();
+            assert!(msg.contains("truncated"), "cut {cut}: {msg}");
+            assert!(
+                msg.contains("at offset") && msg.contains("remaining"),
+                "cut {cut} must name where the input ran out: {msg}"
+            );
+        }
+        // A cut mid-vertex-section names the vertex it died on.
+        let msg = load(&bytes[..23]).unwrap_err().to_string();
+        assert!(msg.contains("vertex"), "{msg}");
     }
 
     #[test]

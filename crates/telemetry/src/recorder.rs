@@ -89,6 +89,15 @@ pub enum EventKind {
     /// The request was answered from the epoch-keyed result cache
     /// (arg = snapshot epoch the cached entry was computed under).
     CacheHit = 14,
+    /// A mutation batch was applied to the write buffer (id = request id,
+    /// arg = the delta-sequence number it advanced the overlay to).
+    Mutate = 15,
+    /// The background compactor began folding the overlay into a fresh CSR
+    /// (arg = the delta-sequence number being compacted).
+    CompactStart = 16,
+    /// Compaction published a new epoch and reset the overlay (arg = the
+    /// new epoch), or gave up on a contended attempt (arg = 0).
+    CompactEnd = 17,
 }
 
 impl EventKind {
@@ -109,6 +118,9 @@ impl EventKind {
             EventKind::KernelStep => "kernel_step",
             EventKind::CostAdjust => "cost_adjust",
             EventKind::CacheHit => "cache_hit",
+            EventKind::Mutate => "mutate",
+            EventKind::CompactStart => "compact_start",
+            EventKind::CompactEnd => "compact_end",
         }
     }
 
@@ -129,6 +141,9 @@ impl EventKind {
             12 => KernelStep,
             13 => CostAdjust,
             14 => CacheHit,
+            15 => Mutate,
+            16 => CompactStart,
+            17 => CompactEnd,
             _ => return None,
         })
     }
@@ -141,7 +156,8 @@ pub struct RecorderEvent {
     pub ts_us: u64,
     /// What happened.
     pub kind: EventKind,
-    /// Priority lane (0 point, 1 traversal, 2 analytics) or [`NO_LANE`].
+    /// Priority lane (0 point, 1 traversal, 2 analytics, 3 write) or
+    /// [`NO_LANE`].
     pub lane: u8,
     /// Interned label code (see [`label`]); 0 = none.
     pub code: u16,
@@ -449,7 +465,7 @@ pub fn to_trace(snap: &RecorderSnapshot) -> Trace {
     trace
 }
 
-const LANE_NAMES: [&str; 3] = ["point", "traversal", "analytics"];
+const LANE_NAMES: [&str; 4] = ["point", "traversal", "analytics", "write"];
 
 /// Render a snapshot as the dump JSON document.
 pub fn to_json(snap: &RecorderSnapshot, reason: &str) -> String {

@@ -48,17 +48,28 @@ pub enum CostClass {
     Traversal,
     /// Multi-pass iterative kernels (components, cores, paths, …).
     Analytics,
+    /// Structural mutations (graph updates, topology morphing): O(degree)
+    /// buffer appends plus the amortized compaction they eventually fund.
+    Write,
 }
 
 json_enum!(CostClass {
     Point,
     Traversal,
-    Analytics
+    Analytics,
+    Write
 });
 
 impl CostClass {
-    /// All classes, cheapest first (priority-lane order).
-    pub const ALL: [CostClass; 3] = [CostClass::Point, CostClass::Traversal, CostClass::Analytics];
+    /// All classes in priority-lane order. The read classes stay cheapest
+    /// first (lanes 0–2, exactly as before Write existed); the write lane
+    /// is appended last so adding it never renumbered a read lane.
+    pub const ALL: [CostClass; 4] = [
+        CostClass::Point,
+        CostClass::Traversal,
+        CostClass::Analytics,
+        CostClass::Write,
+    ];
 
     /// Lowercase label used in metric names (`engine.latency_us.<name>`).
     pub fn name(self) -> &'static str {
@@ -66,6 +77,7 @@ impl CostClass {
             CostClass::Point => "point",
             CostClass::Traversal => "traversal",
             CostClass::Analytics => "analytics",
+            CostClass::Write => "write",
         }
     }
 }
@@ -246,12 +258,14 @@ impl Workload {
     }
 
     /// Serving-cost class: degree centrality is an O(degree)-per-vertex
-    /// point lookup, BFS/DFS are single-pass traversals, everything else
-    /// iterates to a fixpoint or rebuilds structure (analytics).
+    /// point lookup, BFS/DFS are single-pass traversals, the dynamic-graph
+    /// workloads (vertex deletion, topology morphing) are structural
+    /// writes, and everything else iterates to a fixpoint (analytics).
     pub fn cost_class(self) -> CostClass {
         match self {
             Workload::DCentr => CostClass::Point,
             Workload::Bfs | Workload::Dfs => CostClass::Traversal,
+            Workload::GUp | Workload::TMorph => CostClass::Write,
             _ => CostClass::Analytics,
         }
     }
@@ -265,6 +279,9 @@ impl Workload {
             CostClass::Point => n.max(1),
             CostClass::Traversal => n.saturating_add(m).max(1),
             CostClass::Analytics => 4u64.saturating_mul(n.saturating_add(m)).max(1),
+            // A mutation batch touches one adjacency list plus its share of
+            // the eventual compaction — point-like, not traversal-like.
+            CostClass::Write => (n / 2).max(1),
         }
     }
 
@@ -365,10 +382,13 @@ mod tests {
         let point = Workload::DCentr.cost_estimate(n, m);
         let traversal = Workload::Bfs.cost_estimate(n, m);
         let analytics = Workload::CComp.cost_estimate(n, m);
+        let write = Workload::GUp.cost_estimate(n, m);
         assert!(point < traversal && traversal < analytics);
+        assert!(write <= point, "a buffered mutation is at most point-cheap");
         assert_eq!(point, n);
         assert_eq!(traversal, n + m);
         assert_eq!(analytics, 4 * (n + m));
+        assert_eq!(write, n / 2);
         // Estimates never degenerate to 0 (admission math divides by them).
         for w in Workload::ALL {
             assert!(w.cost_estimate(0, 0) >= 1);
@@ -383,9 +403,18 @@ mod tests {
         assert_eq!(Workload::Bfs.meta().cost_class, CostClass::Traversal);
         assert_eq!(Workload::DCentr.meta().cost_class, CostClass::Point);
         assert_eq!(Workload::KCore.meta().cost_class, CostClass::Analytics);
+        assert_eq!(Workload::GUp.meta().cost_class, CostClass::Write);
+        assert_eq!(Workload::TMorph.meta().cost_class, CostClass::Write);
         assert_eq!(CostClass::Point.name(), "point");
         assert_eq!(CostClass::Traversal.name(), "traversal");
         assert_eq!(CostClass::Analytics.name(), "analytics");
+        assert_eq!(CostClass::Write.name(), "write");
+        // Appending Write must never renumber a read lane — the engine's
+        // lane indices, metric arrays, and recorder lane bytes rely on it.
+        assert_eq!(
+            &CostClass::ALL[..3],
+            &[CostClass::Point, CostClass::Traversal, CostClass::Analytics]
+        );
     }
 
     #[test]

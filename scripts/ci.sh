@@ -38,6 +38,17 @@ cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --features chaos --bi
 cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-bench --bin graphbig-report -- \
   --check results/golden_chaos.json /tmp/chaos_smoke.json
 
+echo "==> mutation drill (LDBC-4k mixed read/write mix, rebuild oracle, slow compaction)"
+cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --features chaos --bin graphbig-serve -- \
+  --vertices 4096 --mix traffic/mutate_200.json --faults traffic/faults_compact.json \
+  --compact-threshold 40 --oracle --quiet --emit /tmp/mutation_drill.json
+for key in '"mutation_oracle"' '"engine.mutations"' '"engine.compact.started"' \
+           '"engine.completed.write"' '"chaos.invariants.mutations_sequenced"' \
+           '"chaos.invariants.compaction_balanced"'; do
+  grep -q "$key" /tmp/mutation_drill.json \
+    || { echo "mutation drill manifest missing $key"; exit 1; }
+done
+
 echo "==> live SLO stats line (structure check on the graphbig.stats/v1 snapshot)"
 cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --bin graphbig-serve -- \
   --vertices 4096 --mix traffic/smoke_200.json --stats-interval 50 --quiet \
