@@ -38,7 +38,10 @@
 //! cache entries; 0 disables), `--no-adaptive` (charge static cost
 //! estimates instead of feedback-corrected ones), `--aging-limit N`
 //! (dequeues a starving lower lane may be skipped before it is served
-//! first; 0 = strict priority), `--slo <path>` (a [`SloSpec`] JSON file
+//! first; 0 = strict priority), `--batch-max N` (requests coalesced into
+//! one shared-traversal batch; 1 disables) with `--batch-window-us N`
+//! (how long an executor holds a batch open for late joiners; 0 drains
+//! only what is already queued), `--slo <path>` (a [`SloSpec`] JSON file
 //! with per-class p99/p999 targets in microseconds; overrides the mix
 //! file's `slo` member). Targets are stamped onto every stats line and
 //! checked against the exact end-of-run latencies — the verdict lands in
@@ -329,6 +332,8 @@ fn main() -> ExitCode {
         cache_capacity: parsed_arg("--cache-capacity", cfg_defaults.cache_capacity),
         lane_aging_limit: parsed_arg("--aging-limit", cfg_defaults.lane_aging_limit),
         compact_threshold: parsed_arg("--compact-threshold", cfg_defaults.compact_threshold),
+        batch_max: parsed_arg("--batch-max", cfg_defaults.batch_max),
+        batch_window_us: parsed_arg("--batch-window-us", cfg_defaults.batch_window_us),
     };
 
     if !quiet {
@@ -569,6 +574,8 @@ fn main() -> ExitCode {
         manifest.param("cache_capacity", cfg.cache_capacity);
         manifest.param("adaptive_costs", cfg.adaptive_costs);
         manifest.param("aging_limit", cfg.lane_aging_limit);
+        manifest.param("batch_max", cfg.batch_max);
+        manifest.param("batch_window_us", cfg.batch_window_us);
         manifest.param(
             "hot_sources",
             spec.hot_sources

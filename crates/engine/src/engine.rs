@@ -32,9 +32,10 @@ use graphbig_runtime::{CancelToken, ThreadPool};
 use graphbig_telemetry::metrics::{Counter, Histogram, Registry};
 use graphbig_telemetry::recorder::{self, EventKind};
 use graphbig_workloads::service::{self, ServiceError, ServiceOutput};
-use graphbig_workloads::{parallel, CostClass, Workload};
+use graphbig_workloads::{msbfs, parallel, CostClass, Workload};
 
 use crate::admission::{AdmissionController, RejectReason};
+use crate::batch::{self, BatchKind};
 use crate::cache::ResultCache;
 use crate::delta::{DeltaOverlay, IncrementalCComp, Mutation, MutationBuffer, MutationReceipt};
 use crate::shard::ShardedGraph;
@@ -70,6 +71,14 @@ pub struct EngineConfig {
     /// the delta overlay into a freshly published epoch. 0 disables the
     /// compactor thread (compaction happens only via [`Engine::compact`]).
     pub compact_threshold: usize,
+    /// Maximum queued requests an executor coalesces into one shared batch
+    /// (BFS batches are additionally capped at the MS-BFS lane width, 64).
+    /// 0 or 1 disables coalescing entirely.
+    pub batch_max: usize,
+    /// Microseconds an executor holds a freshly-dequeued batchable request
+    /// open for late joiners before running the batch. 0 (the default)
+    /// coalesces only what is already queued and never adds latency.
+    pub batch_window_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +94,8 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             lane_aging_limit: 32,
             compact_threshold: 4096,
+            batch_max: 64,
+            batch_window_us: 0,
         }
     }
 }
@@ -371,6 +382,10 @@ struct Shared {
     /// Background-compactor doorbell: `(work_pending, shutdown)`.
     compact_doorbell: (Mutex<(bool, bool)>, Condvar),
     shards: usize,
+    /// Batch coalescing cap (see [`EngineConfig::batch_max`]).
+    batch_max: usize,
+    /// Batch formation window (see [`EngineConfig::batch_window_us`]).
+    batch_window_us: u64,
 }
 
 fn lock(m: &Mutex<Lanes>) -> MutexGuard<'_, Lanes> {
@@ -422,6 +437,13 @@ struct EngineMetrics {
     /// Time the write path was blocked while a compaction folded the
     /// overlay under the write lock (the "compaction pause").
     compact_pause_us: Histogram,
+    /// Requests sharing each coalesced batch (recorded once per formed
+    /// batch of size >= 2; a distribution hugging 1 means coalescing never
+    /// engages).
+    batch_size: Histogram,
+    /// Microseconds an executor spent draining and (optionally) waiting
+    /// for batch mates between dequeue and kernel start.
+    batch_coalesce_us: Histogram,
 }
 
 impl EngineMetrics {
@@ -476,6 +498,8 @@ impl EngineMetrics {
             compact_started: reg.counter("engine.compact.started"),
             compact_completed: reg.counter("engine.compact.completed"),
             compact_pause_us: reg.histogram("engine.compact.pause_us"),
+            batch_size: reg.histogram("engine.batch.size"),
+            batch_coalesce_us: reg.histogram("engine.batch.coalesce_us"),
         }
     }
 }
@@ -554,6 +578,8 @@ impl Engine {
             inc_ccomp: Mutex::new(None),
             compact_doorbell: (Mutex::new((false, false)), Condvar::new()),
             shards: cfg.shards,
+            batch_max: cfg.batch_max,
+            batch_window_us: cfg.batch_window_us,
         });
         let slo = SloTracker::new();
         let executors = (0..cfg.executors.max(1))
@@ -987,87 +1013,515 @@ fn executor_loop(shared: &Shared, pool: &ThreadPool, metrics: &EngineMetrics, sl
         let Some(job) = job else {
             return;
         };
-        shared.admission.on_start();
-        let queue_us = job.enqueued.elapsed().as_micros() as u64;
-        metrics.queue_us.record(queue_us);
-        let lane_idx = lane(job.class);
-        metrics.stage_queue_us[lane_idx].record(queue_us);
-        recorder::record_lane(EventKind::Dequeue, lane_idx as u8, job.request_id, queue_us);
-        // Failpoint `engine.dequeue`: force a terminal status before the
-        // kernel runs (deadline expiry / cancellation), or delay pickup.
-        let forced = match chaos::failpoint!("engine.dequeue", job.tag) {
-            Some(fault) => match fault.action {
-                FaultAction::DeadlineExpire => Some(QueryStatus::DeadlineExceeded),
-                FaultAction::Cancel => Some(QueryStatus::Cancelled),
-                _ => None,
-            },
-            None => None,
-        };
-        let exec_start = Instant::now();
-        let status = if draining {
-            // Engine shutting down: shed the query without running it.
-            QueryStatus::Cancelled
-        } else if let Some(forced) = forced {
-            forced
-        } else if job.token.is_cancelled() {
-            // Fired while queued — never start doomed work.
-            if job.token.deadline_passed() {
-                QueryStatus::DeadlineExceeded
-            } else {
-                QueryStatus::Cancelled
+        // Shared-traversal batching: coalesce compatible queued requests
+        // behind this one and run a single shared kernel for all of them.
+        // Only on the live path — a draining engine sheds queries instead.
+        if !draining && shared.batch_max > 1 {
+            if let Some(kind) = batch::kind_of(&job.query) {
+                let opened = Instant::now();
+                let mates = form_batch(shared, &job, kind);
+                if !mates.is_empty() {
+                    run_batch(
+                        kind,
+                        job,
+                        mates,
+                        opened.elapsed(),
+                        pool,
+                        shared,
+                        metrics,
+                        slo,
+                    );
+                    continue;
+                }
             }
+        }
+        execute_single(job, draining, pool, shared, metrics, slo);
+    }
+}
+
+/// The unbatched per-job execution path (also the fallback when a
+/// batchable job finds no compatible mates queued).
+fn execute_single(
+    job: Job,
+    draining: bool,
+    pool: &ThreadPool,
+    shared: &Shared,
+    metrics: &EngineMetrics,
+    slo: &SloTracker,
+) {
+    shared.admission.on_start();
+    let queue_us = job.enqueued.elapsed().as_micros() as u64;
+    metrics.queue_us.record(queue_us);
+    let lane_idx = lane(job.class);
+    metrics.stage_queue_us[lane_idx].record(queue_us);
+    recorder::record_lane(EventKind::Dequeue, lane_idx as u8, job.request_id, queue_us);
+    // Failpoint `engine.dequeue`: force a terminal status before the
+    // kernel runs (deadline expiry / cancellation), or delay pickup.
+    let forced = match chaos::failpoint!("engine.dequeue", job.tag) {
+        Some(fault) => match fault.action {
+            FaultAction::DeadlineExpire => Some(QueryStatus::DeadlineExceeded),
+            FaultAction::Cancel => Some(QueryStatus::Cancelled),
+            _ => None,
+        },
+        None => None,
+    };
+    let exec_start = Instant::now();
+    let status = if draining {
+        // Engine shutting down: shed the query without running it.
+        QueryStatus::Cancelled
+    } else if let Some(forced) = forced {
+        forced
+    } else if job.token.is_cancelled() {
+        // Fired while queued — never start doomed work.
+        if job.token.deadline_passed() {
+            QueryStatus::DeadlineExceeded
         } else {
-            run_guarded(&job, pool, shared)
+            QueryStatus::Cancelled
+        }
+    } else {
+        run_guarded(&job, pool, shared)
+    };
+    let exec_us = exec_start.elapsed().as_micros() as u64;
+    finish_job(job, queue_us, status, exec_us, shared, metrics, slo);
+}
+
+/// Terminal bookkeeping shared by the single path and every batch member:
+/// exec-stage metrics, the `Run` event, per-status counters and SLO feed,
+/// admission release, the `engine.resolve` / `engine.batch.fanout`
+/// failpoints, then the one-shot resolve.
+fn finish_job(
+    job: Job,
+    queue_us: u64,
+    status: QueryStatus,
+    exec_us: u64,
+    shared: &Shared,
+    metrics: &EngineMetrics,
+    slo: &SloTracker,
+) {
+    let lane_idx = lane(job.class);
+    metrics.stage_exec_us[lane_idx].record(exec_us);
+    recorder::record_lane(
+        EventKind::Run,
+        lane_idx as u8,
+        job.request_id,
+        status_code(&status),
+    );
+    match &status {
+        QueryStatus::Completed(_) => {
+            metrics.completed[lane_idx].inc();
+            metrics.latency_us[lane_idx].record(queue_us + exec_us);
+            let key = slo::query_key(&job.query);
+            slo.record(lane_idx, key, queue_us + exec_us);
+            // Feed the feedback cost model with what execution
+            // actually cost relative to the static estimate. Cache
+            // hits count too — a hot cached key genuinely is cheap,
+            // and its correction should drift toward the floor.
+            slo.observe_cost(key, job.static_cost, exec_us);
+        }
+        QueryStatus::DeadlineExceeded => metrics.deadline_missed.inc(),
+        QueryStatus::Cancelled => metrics.cancelled.inc(),
+        QueryStatus::Unsupported(_) => metrics.unsupported.inc(),
+        QueryStatus::Failed(_) => metrics.failed.inc(),
+    }
+    shared.admission.on_finish(job.cost);
+    let response = QueryResponse {
+        request_id: job.request_id,
+        epoch: job.snapshot.epoch(),
+        class: job.class,
+        status,
+        queue_us,
+        exec_us,
+    };
+    // Failpoint `engine.resolve` (and its batch twin
+    // `engine.batch.fanout`): a `DoubleResolve` fault delivers the
+    // response twice — the second attempt loses the one-shot CAS and
+    // trips the resolved-once invariant, exercising the failure dump.
+    // Both sites are always evaluated so a plan's fire counts stay
+    // independent of which one matches.
+    let resolve_double = matches!(
+        chaos::failpoint!("engine.resolve", job.tag),
+        Some(f) if f.action == FaultAction::DoubleResolve
+    );
+    let fanout_double = matches!(
+        chaos::failpoint!("engine.batch.fanout", job.tag),
+        Some(f) if f.action == FaultAction::DoubleResolve
+    );
+    let resolve_start = Instant::now();
+    if resolve_double || fanout_double {
+        job.resolver.resolve(metrics, response.clone());
+    }
+    job.resolver.resolve(metrics, response);
+    metrics
+        .stage_resolve_us
+        .record(resolve_start.elapsed().as_micros() as u64);
+}
+
+/// A batch member between dequeue bookkeeping and terminal resolution.
+struct Pending {
+    job: Job,
+    queue_us: u64,
+    /// Terminal status decided at formation time (forced fault, cancelled
+    /// while queued) — the member skips the shared kernel.
+    forced: Option<QueryStatus>,
+}
+
+/// Drain jobs compatible with `leader` from its lane (FIFO order
+/// preserved). Members must share the leader's batch kind and epoch, and
+/// the batch stops growing if the live overlay's `(epoch, delta-seq)`
+/// moves mid-window — one batch executes against exactly one graph state.
+/// With `batch_window_us == 0` this coalesces only what is already queued
+/// and never waits.
+fn form_batch(shared: &Shared, leader: &Job, kind: BatchKind) -> Vec<Job> {
+    let cap = match kind {
+        BatchKind::Bfs => shared.batch_max.min(msbfs::MSBFS_LANES),
+        BatchKind::Point => shared.batch_max,
+    };
+    if cap <= 1 {
+        return Vec::new();
+    }
+    let epoch = leader.snapshot.epoch();
+    let ov = shared.buffer.current();
+    let state = (ov.epoch(), ov.seq());
+    let lane_idx = lane(leader.class);
+    let window = Duration::from_micros(shared.batch_window_us);
+    let opened = Instant::now();
+    let mut mates: Vec<Job> = Vec::new();
+    loop {
+        {
+            let mut lanes = lock(&shared.lanes);
+            if lanes.shutdown {
+                break;
+            }
+            let queue = &mut lanes.queues[lane_idx];
+            let mut i = 0;
+            while i < queue.len() && mates.len() + 1 < cap {
+                let compatible = batch::kind_of(&queue[i].query) == Some(kind)
+                    && queue[i].snapshot.epoch() == epoch;
+                if compatible {
+                    mates.push(queue.remove(i).expect("index is in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if mates.len() + 1 >= cap || shared.batch_window_us == 0 {
+            break;
+        }
+        let elapsed = opened.elapsed();
+        if elapsed >= window {
+            break;
+        }
+        let cur = shared.buffer.current();
+        if (cur.epoch(), cur.seq()) != state {
+            break; // a mutation moved the graph state: close the batch
+        }
+        std::thread::sleep((window - elapsed).min(Duration::from_micros(50)));
+    }
+    mates
+}
+
+/// Execute a coalesced batch: batch metrics and the leader's `BatchStart`
+/// event, per-member dequeue bookkeeping, then the kind-specific shared
+/// execution. Every member keeps its own full lifecycle (admit/enqueue/
+/// dequeue/run/resolve exactly once), deadline, and cancellation.
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    kind: BatchKind,
+    leader: Job,
+    mates: Vec<Job>,
+    coalesce: Duration,
+    pool: &ThreadPool,
+    shared: &Shared,
+    metrics: &EngineMetrics,
+    slo: &SloTracker,
+) {
+    let leader_rid = leader.request_id;
+    let lane_idx = lane(leader.class) as u8;
+    let size = 1 + mates.len();
+    metrics.batch_size.record(size as u64);
+    metrics
+        .batch_coalesce_us
+        .record(coalesce.as_micros() as u64);
+    recorder::record_lane(EventKind::BatchStart, lane_idx, leader_rid, size as u64);
+    let members: Vec<Job> = std::iter::once(leader).chain(mates).collect();
+    let pendings = batch_preflight(members, leader_rid, shared, metrics);
+    match kind {
+        BatchKind::Bfs => run_bfs_batch(pendings, pool, shared, metrics, slo),
+        BatchKind::Point => run_point_batch(pendings, pool, shared, metrics, slo),
+    }
+}
+
+/// Per-member dequeue bookkeeping for a coalesced batch: exactly the
+/// single-path sequence (admission start, queue-stage metrics, `Dequeue`
+/// event, the `engine.dequeue` failpoint, the cancelled-while-queued
+/// pre-check) plus the batch-only pieces — a `BatchJoin` event tying each
+/// follower to the leader, and the `engine.batch.form` failpoint, which
+/// can expire or cancel one member at formation time without touching the
+/// rest of the batch.
+fn batch_preflight(
+    members: Vec<Job>,
+    leader_rid: u64,
+    shared: &Shared,
+    metrics: &EngineMetrics,
+) -> Vec<Pending> {
+    members
+        .into_iter()
+        .enumerate()
+        .map(|(i, job)| {
+            shared.admission.on_start();
+            let queue_us = job.enqueued.elapsed().as_micros() as u64;
+            metrics.queue_us.record(queue_us);
+            let lane_idx = lane(job.class);
+            metrics.stage_queue_us[lane_idx].record(queue_us);
+            recorder::record_lane(EventKind::Dequeue, lane_idx as u8, job.request_id, queue_us);
+            if i > 0 {
+                recorder::record_lane(
+                    EventKind::BatchJoin,
+                    lane_idx as u8,
+                    job.request_id,
+                    leader_rid,
+                );
+            }
+            let forced_by = |fault: Option<chaos::Fault>| match fault {
+                Some(f) => match f.action {
+                    FaultAction::DeadlineExpire => Some(QueryStatus::DeadlineExceeded),
+                    FaultAction::Cancel => Some(QueryStatus::Cancelled),
+                    _ => None,
+                },
+                None => None,
+            };
+            let mut forced = forced_by(chaos::failpoint!("engine.dequeue", job.tag));
+            if forced.is_none() {
+                forced = forced_by(chaos::failpoint!("engine.batch.form", job.tag));
+            }
+            if forced.is_none() && job.token.is_cancelled() {
+                forced = Some(if job.token.deadline_passed() {
+                    QueryStatus::DeadlineExceeded
+                } else {
+                    QueryStatus::Cancelled
+                });
+            }
+            Pending {
+                job,
+                queue_us,
+                forced,
+            }
+        })
+        .collect()
+}
+
+/// Shard-grouped point sweep: members sort by (shard index, vertex) so the
+/// sweep walks each shard's slice of the CSR once instead of hopping
+/// between shards per request, then each member runs through the exact
+/// single-query path (cache, overlay, panic guard) in that order. The
+/// batching win is pure access locality — every result is identical to
+/// running that member alone.
+fn run_point_batch(
+    mut pendings: Vec<Pending>,
+    pool: &ThreadPool,
+    shared: &Shared,
+    metrics: &EngineMetrics,
+    slo: &SloTracker,
+) {
+    // All members share one epoch, so one snapshot's shard map orders all.
+    let snapshot = Arc::clone(&pendings[0].job.snapshot);
+    batch::shard_sweep_order(
+        &mut pendings,
+        |p| batch::point_vertex(&p.job.query),
+        |v| snapshot.graph().shard_of(v).map(|s| s.index()),
+    );
+    for mut p in pendings {
+        let exec_start = Instant::now();
+        let status = match p.forced.take() {
+            Some(forced) => forced,
+            None => run_guarded(&p.job, pool, shared),
         };
         let exec_us = exec_start.elapsed().as_micros() as u64;
-        metrics.stage_exec_us[lane_idx].record(exec_us);
-        recorder::record_lane(
-            EventKind::Run,
-            lane_idx as u8,
-            job.request_id,
-            status_code(&status),
-        );
-        match &status {
-            QueryStatus::Completed(_) => {
-                metrics.completed[lane_idx].inc();
-                metrics.latency_us[lane_idx].record(queue_us + exec_us);
-                let key = slo::query_key(&job.query);
-                slo.record(lane_idx, key, queue_us + exec_us);
-                // Feed the feedback cost model with what execution
-                // actually cost relative to the static estimate. Cache
-                // hits count too — a hot cached key genuinely is cheap,
-                // and its correction should drift toward the floor.
-                slo.observe_cost(key, job.static_cost, exec_us);
+        finish_job(p.job, p.queue_us, status, exec_us, shared, metrics, slo);
+    }
+}
+
+/// Shared multi-source BFS execution: resolve forced and cache-hit members
+/// up front, then run every remaining member as one bit-lane of a single
+/// [`msbfs::msbfs_cancellable`] pass. Per-lane output is bit-identical to
+/// the single-source kernel, so fanned-out results (and the cache entries
+/// they leave behind) match what each member would have produced alone.
+fn run_bfs_batch(
+    pendings: Vec<Pending>,
+    pool: &ThreadPool,
+    shared: &Shared,
+    metrics: &EngineMetrics,
+    slo: &SloTracker,
+) {
+    let snapshot = Arc::clone(&pendings[0].job.snapshot);
+    let epoch = snapshot.epoch();
+    let ov = shared.buffer.current();
+    // Cacheable only while the live overlay still describes this batch's
+    // epoch — the same transitional-view rule as `run_query`.
+    let cache_key = (ov.epoch() == epoch).then(|| (epoch, ov.seq()));
+    let mut runnable: Vec<Pending> = Vec::new();
+    for mut p in pendings {
+        if let Some(status) = p.forced.take() {
+            finish_job(p.job, p.queue_us, status, 0, shared, metrics, slo);
+            continue;
+        }
+        if let Some((e, s)) = cache_key {
+            if let Some(output) = shared.cache.get(e, s, &p.job.query) {
+                recorder::record_lane(
+                    EventKind::CacheHit,
+                    lane(p.job.class) as u8,
+                    p.job.request_id,
+                    e,
+                );
+                let status = QueryStatus::Completed(output);
+                finish_job(p.job, p.queue_us, status, 0, shared, metrics, slo);
+                continue;
             }
-            QueryStatus::DeadlineExceeded => metrics.deadline_missed.inc(),
-            QueryStatus::Cancelled => metrics.cancelled.inc(),
-            QueryStatus::Unsupported(_) => metrics.unsupported.inc(),
-            QueryStatus::Failed(_) => metrics.failed.inc(),
         }
-        shared.admission.on_finish(job.cost);
-        let response = QueryResponse {
-            request_id: job.request_id,
-            epoch: job.snapshot.epoch(),
-            class: job.class,
-            status,
-            queue_us,
-            exec_us,
+        // `engine.run.pre` parity with the single path's guard: an
+        // injected panic here fails exactly one member, never the batch.
+        let pre = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(fault) = chaos::failpoint!("engine.run.pre", p.job.tag) {
+                if fault.is_panic() {
+                    panic!("{} at engine.run.pre", chaos::PANIC_MSG);
+                }
+            }
+        }));
+        if let Err(payload) = pre {
+            let status = QueryStatus::Failed(panic_message(payload.as_ref()));
+            finish_job(p.job, p.queue_us, status, 0, shared, metrics, slo);
+            continue;
+        }
+        runnable.push(p);
+    }
+    if runnable.is_empty() {
+        return;
+    }
+    let use_overlay = cache_key.is_some() && !ov.is_empty();
+    // `engine.overlay.read` parity: when an overlay would be applied, a
+    // `StaleRead` fault drops it for that member only. Stale members leave
+    // the shared pass and run alone against the stale base — exactly what
+    // the single path serves under the same fault.
+    let mut stale: Vec<Pending> = Vec::new();
+    if use_overlay {
+        let mut kept = Vec::with_capacity(runnable.len());
+        for p in runnable {
+            let is_stale = matches!(
+                chaos::failpoint!("engine.overlay.read", p.job.tag),
+                Some(f) if f.action == FaultAction::StaleRead
+            );
+            if is_stale {
+                stale.push(p);
+            } else {
+                kept.push(p);
+            }
+        }
+        runnable = kept;
+    }
+    for p in stale {
+        let exec_start = Instant::now();
+        let status = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_query_uncached(&p.job, pool, shared, None)
+        })) {
+            Ok(status) => status,
+            Err(payload) => QueryStatus::Failed(panic_message(payload.as_ref())),
         };
-        // Failpoint `engine.resolve`: a `DoubleResolve` fault delivers the
-        // response twice — the second attempt loses the one-shot CAS and
-        // trips the resolved-once invariant, exercising the failure dump.
-        let double = matches!(
-            chaos::failpoint!("engine.resolve", job.tag),
-            Some(f) if f.action == FaultAction::DoubleResolve
-        );
-        let resolve_start = Instant::now();
-        if double {
-            job.resolver.resolve(metrics, response.clone());
+        // Single-path parity: the stale result still lands in the cache
+        // under the live key (that is the drill — the oracle catches it).
+        if let (Some((e, s)), QueryStatus::Completed(output)) = (cache_key, &status) {
+            if shared.cache.enabled() {
+                let stored = match chaos::failpoint!("engine.cache.insert", p.job.tag) {
+                    Some(f) if f.action == FaultAction::CorruptCache => corrupted(output),
+                    _ => output.clone(),
+                };
+                shared.cache.insert(e, s, p.job.query, stored);
+            }
         }
-        job.resolver.resolve(metrics, response);
-        metrics
-            .stage_resolve_us
-            .record(resolve_start.elapsed().as_micros() as u64);
+        let exec_us = exec_start.elapsed().as_micros() as u64;
+        finish_job(p.job, p.queue_us, status, exec_us, shared, metrics, slo);
+    }
+    if runnable.is_empty() {
+        return;
+    }
+    // One graph for the whole pass: the memoized base+overlay
+    // materialization when an overlay is live, the pinned base otherwise.
+    let materialized;
+    let service = if use_overlay {
+        materialized = materialized_for(shared, &snapshot, &ov);
+        materialized.service()
+    } else {
+        snapshot.graph().service()
+    };
+    // Traced members get the same `KernelStart` marker `run_service`
+    // would have recorded (arg = Bfs's index in the workload registry).
+    let bfs_index = Workload::ALL
+        .iter()
+        .position(|&w| w == Workload::Bfs)
+        .unwrap_or(0) as u64;
+    for p in &runnable {
+        if p.job.token.trace_id() != 0 {
+            recorder::record(EventKind::KernelStart, p.job.token.trace_id(), bfs_index);
+        }
+    }
+    let sources: Vec<u32> = runnable
+        .iter()
+        .map(|p| batch::point_vertex(&p.job.query))
+        .collect();
+    let tokens: Vec<&CancelToken> = runnable.iter().map(|p| &p.job.token).collect();
+    let exec_start = Instant::now();
+    let kernel = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        msbfs::msbfs_dir_opt_cancellable(pool, service.bi(), &sources, &tokens)
+    }));
+    let exec_us = exec_start.elapsed().as_micros() as u64;
+    match kernel {
+        Err(payload) => {
+            // A genuine kernel panic fails every lane still in the pass —
+            // the shared-fate cost of sharing one kernel. The executor and
+            // every other query keep going, same as the single-path guard.
+            let msg = panic_message(payload.as_ref());
+            for p in runnable {
+                let status = QueryStatus::Failed(msg.clone());
+                finish_job(p.job, p.queue_us, status, exec_us, shared, metrics, slo);
+            }
+        }
+        Ok(results) => {
+            for (p, result) in runnable.into_iter().zip(results) {
+                let status = match result {
+                    Ok(levels) => {
+                        QueryStatus::Completed(QueryOutput::Workload(ServiceOutput::Levels(levels)))
+                    }
+                    Err(_) => {
+                        if p.job.token.deadline_passed() {
+                            QueryStatus::DeadlineExceeded
+                        } else {
+                            QueryStatus::Cancelled
+                        }
+                    }
+                };
+                // `engine.run.post` parity, contained per member.
+                let status = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(fault) = chaos::failpoint!("engine.run.post", p.job.tag) {
+                        if fault.is_panic() {
+                            panic!("{} at engine.run.post", chaos::PANIC_MSG);
+                        }
+                    }
+                    status
+                })) {
+                    Ok(status) => status,
+                    Err(payload) => QueryStatus::Failed(panic_message(payload.as_ref())),
+                };
+                if let (Some((e, s)), QueryStatus::Completed(output)) = (cache_key, &status) {
+                    if shared.cache.enabled() {
+                        let stored = match chaos::failpoint!("engine.cache.insert", p.job.tag) {
+                            Some(f) if f.action == FaultAction::CorruptCache => corrupted(output),
+                            _ => output.clone(),
+                        };
+                        shared.cache.insert(e, s, p.job.query, stored);
+                    }
+                }
+                finish_job(p.job, p.queue_us, status, exec_us, shared, metrics, slo);
+            }
+        }
     }
 }
 
@@ -1143,12 +1597,17 @@ fn run_query(job: &Job, pool: &ThreadPool, shared: &Shared) -> QueryStatus {
     }
     let overlay = if ov.is_empty() { None } else { Some(&*ov) };
     let status = run_query_uncached(job, pool, shared, overlay);
+    // The clone feeding the store is skipped outright when the cache is
+    // off (`cache_capacity: 0`) — a benchmark or test that disables the
+    // cache should not pay a per-result deep copy for nothing.
     if let QueryStatus::Completed(output) = &status {
-        let stored = match chaos::failpoint!("engine.cache.insert", job.tag) {
-            Some(f) if f.action == FaultAction::CorruptCache => corrupted(output),
-            _ => output.clone(),
-        };
-        shared.cache.insert(epoch, seq, job.query, stored);
+        if shared.cache.enabled() {
+            let stored = match chaos::failpoint!("engine.cache.insert", job.tag) {
+                Some(f) if f.action == FaultAction::CorruptCache => corrupted(output),
+                _ => output.clone(),
+            };
+            shared.cache.insert(epoch, seq, job.query, stored);
+        }
     }
     status
 }

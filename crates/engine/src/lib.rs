@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+mod batch;
 pub mod cache;
 pub mod delta;
 pub mod engine;

@@ -1,0 +1,288 @@
+//! Batch-equivalence suite: coalesced MS-BFS vs the sequential oracle.
+//!
+//! The batcher's whole contract is *transparency* — a request that rode a
+//! shared 64-lane pass must be indistinguishable (digest-level) from the
+//! same request run alone. These tests pin that contract at both layers:
+//!
+//! * **Kernel**: for seeded random graphs and source sets, every lane of
+//!   [`msbfs`] is bit-identical to the [`parallel::bfs`] per-source
+//!   oracle — including duplicate sources, out-of-range sources, and the
+//!   boundary batch sizes 1, 63, 64, and 65 (the last straddling two
+//!   passes).
+//! * **Engine**: a queued BFS storm through the coalescing executor path
+//!   fans results back to individual tickets whose digests match a
+//!   sequential [`service::run_service`] replay, while the flight
+//!   recorder shows the `BatchStart`/`BatchJoin` lifecycle and the
+//!   `engine.batch.*` metrics land in the registry.
+
+use graphbig_datagen::prop::{self, Config};
+use graphbig_datagen::rng::Rng;
+use graphbig_datagen::Dataset;
+use graphbig_engine::{Engine, EngineConfig, Query, QueryOutput, QueryStatus, Ticket};
+use graphbig_framework::csr::Csr;
+use graphbig_runtime::{CancelToken, ThreadPool};
+use graphbig_telemetry::metrics::Registry;
+use graphbig_telemetry::recorder::{self, EventKind};
+use graphbig_workloads::msbfs::{msbfs, MSBFS_LANES};
+use graphbig_workloads::service::{self, ServiceOutput};
+use graphbig_workloads::{parallel, Workload};
+
+/// A seeded random directed graph: `n` vertices, ~`2n` distinct non-loop
+/// edges (the same shape the metamorphic suite uses).
+fn random_edges(rng: &mut Rng) -> (usize, Vec<(u32, u32, f32)>) {
+    let n = 8 + rng.u64_below(120) as usize;
+    let target = 2 * n;
+    let mut seen = std::collections::BTreeSet::new();
+    let mut edges = Vec::new();
+    for _ in 0..4 * target {
+        if edges.len() >= target {
+            break;
+        }
+        let u = rng.u64_below(n as u64) as u32;
+        let v = rng.u64_below(n as u64) as u32;
+        if u == v || !seen.insert((u, v)) {
+            continue;
+        }
+        edges.push((u, v, 1.0));
+    }
+    (n, edges)
+}
+
+fn digest(levels: &[i64]) -> u64 {
+    ServiceOutput::Levels(levels.to_vec()).digest()
+}
+
+#[test]
+fn every_lane_of_a_batched_pass_matches_the_sequential_oracle() {
+    let pool = ThreadPool::new(4);
+    prop::check(
+        "msbfs_batch_equivalence",
+        Config::with_cases(10),
+        |rng: &mut Rng| rng.next_u64(),
+        |&seed: &u64| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let (n, edges) = random_edges(&mut rng);
+            let csr = Csr::from_edges(n, &edges);
+            let lanes = 1 + rng.u64_below(MSBFS_LANES as u64) as usize;
+            let sources: Vec<u32> = (0..lanes)
+                .map(|_| {
+                    // ~1 in 8 sources lands out of range; in-range draws
+                    // collide into duplicates on small graphs.
+                    if rng.u64_below(8) == 0 {
+                        n as u32 + rng.u64_below(9) as u32
+                    } else {
+                        rng.u64_below(n as u64) as u32
+                    }
+                })
+                .collect();
+            let batched = msbfs(&pool, &csr, &sources);
+            assert_eq!(batched.len(), sources.len());
+            // The direction-optimized pass (what the engine runs) must be
+            // bit-identical to the push-only pass on every lane.
+            let bi = graphbig_framework::csr::BiCsr::directed(csr.clone());
+            assert_eq!(
+                graphbig_workloads::msbfs::msbfs_dir_opt(&pool, &bi, &sources),
+                batched,
+                "pull phase perturbed a lane"
+            );
+            for (l, &s) in sources.iter().enumerate() {
+                let (solo, _) = parallel::bfs(&pool, &csr, s);
+                assert_eq!(
+                    digest(&batched[l]),
+                    digest(&solo),
+                    "lane {l}/{lanes} (source {s}) digest diverged from the oracle"
+                );
+                assert_eq!(batched[l], solo, "lane {l} levels diverged bitwise");
+            }
+        },
+    );
+}
+
+#[test]
+fn boundary_batch_sizes_match_the_oracle() {
+    let pool = ThreadPool::new(2);
+    let n = 300u32;
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(n as usize));
+    // 1 = degenerate batch, 63/64 = the lane-width boundary, 65 = two
+    // passes. Sources spread over 0..320 so a few are out of range; an
+    // explicit duplicate rides every batch big enough to hold one.
+    for lanes in [1usize, 63, 64, 65] {
+        let mut sources: Vec<u32> = (0..lanes).map(|i| (i as u32 * 97 + 250) % 320).collect();
+        if lanes >= 4 {
+            sources[3] = sources[0];
+        }
+        let batched = msbfs(&pool, &csr, &sources);
+        for (l, &s) in sources.iter().enumerate() {
+            let (solo, _) = parallel::bfs(&pool, &csr, s);
+            if s >= n {
+                assert!(solo.is_empty(), "oracle contract changed");
+                assert!(batched[l].is_empty(), "out-of-range lane {l} not empty");
+            }
+            assert_eq!(
+                digest(&batched[l]),
+                digest(&solo),
+                "batch size {lanes}, lane {l} (source {s}) diverged"
+            );
+        }
+        if lanes >= 4 {
+            assert_eq!(batched[3], batched[0], "duplicate lanes must agree");
+        }
+    }
+}
+
+#[test]
+fn cancelling_one_lane_mid_pass_leaves_every_other_lane_exact() {
+    use graphbig_workloads::msbfs::msbfs_cancellable;
+    let pool = ThreadPool::new(2);
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(500));
+    let sources: Vec<u32> = (0..16u32).map(|i| i * 29 % 500).collect();
+    let tokens: Vec<CancelToken> = sources.iter().map(|_| CancelToken::new()).collect();
+    tokens[5].cancel();
+    tokens[11].cancel();
+    let refs: Vec<&CancelToken> = tokens.iter().collect();
+    let out = msbfs_cancellable(&pool, &csr, &sources, &refs);
+    for (l, &s) in sources.iter().enumerate() {
+        if l == 5 || l == 11 {
+            assert!(out[l].is_err(), "fired lane {l} must retire cancelled");
+        } else {
+            let (solo, _) = parallel::bfs(&pool, &csr, s);
+            assert_eq!(
+                out[l].as_ref().expect("live lane completes"),
+                &solo,
+                "lane {l} perturbed by a neighbour's cancellation"
+            );
+        }
+    }
+}
+
+/// Drive a queued BFS storm through the engine's coalescing path and
+/// check every fanned-out ticket against the sequential oracle.
+#[test]
+fn engine_fans_batched_results_back_to_tickets_bit_identical() {
+    let reg = Registry::new();
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(2000));
+    let oracle_graph = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(2000));
+    let engine = Engine::with_registry(
+        EngineConfig {
+            executors: 1,
+            pool_threads: 2,
+            cache_capacity: 0, // force every request through a kernel
+            queue_capacity: 256,
+            ..EngineConfig::default()
+        },
+        csr,
+        &reg,
+    );
+    // Distinct sources plus two out-of-range ones: the whole set queues
+    // behind the single executor, so coalescing must engage.
+    let queries: Vec<Query> = (0..40u32)
+        .map(|i| Query::Run {
+            workload: Workload::Bfs,
+            source: if i >= 38 { 5000 + i } else { i * 37 % 2000 },
+        })
+        .collect();
+    let tickets: Vec<(Query, Ticket)> = queries
+        .iter()
+        .map(|&q| (q, engine.submit(q).expect("admitted")))
+        .collect();
+    let pool = engine.pool().clone();
+    let service_graph = graphbig_workloads::service::ServiceGraph::build(oracle_graph);
+    let mut rids = Vec::new();
+    for (query, ticket) in tickets {
+        rids.push(ticket.request_id());
+        let response = ticket.wait();
+        let QueryStatus::Completed(output) = response.status else {
+            panic!("BFS request did not complete: {:?}", response.status);
+        };
+        let Query::Run { source, .. } = query else {
+            unreachable!()
+        };
+        let oracle = service::run_service(
+            Workload::Bfs,
+            &pool,
+            &service_graph,
+            source,
+            &CancelToken::never(),
+        )
+        .expect("oracle run");
+        assert_eq!(
+            output.digest(),
+            QueryOutput::Workload(oracle).digest(),
+            "batched result for source {source} diverged from sequential oracle"
+        );
+    }
+    // The coalescing actually happened: batch metrics recorded, and the
+    // flight recorder shows a leader with joiners pointing at it.
+    let sizes = reg.histogram("engine.batch.size").snapshot();
+    assert!(sizes.count >= 1, "no batch ever formed");
+    assert!(
+        sizes.quantile(1.0) >= 2,
+        "formed batches must have >= 2 members"
+    );
+    let events = recorder::snapshot().events;
+    let starts: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::BatchStart && rids.contains(&e.id))
+        .map(|e| e.id)
+        .collect();
+    let joins: Vec<(u64, u64)> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::BatchJoin && rids.contains(&e.id))
+        .map(|e| (e.id, e.arg))
+        .collect();
+    assert!(!starts.is_empty(), "no BatchStart recorded");
+    assert!(!joins.is_empty(), "no BatchJoin recorded");
+    for (rid, leader) in &joins {
+        assert!(
+            starts.contains(leader),
+            "request {rid} joined leader {leader} with no BatchStart"
+        );
+    }
+    // Per-request lifecycle stays exactly-once under batching.
+    for rid in rids {
+        for kind in [EventKind::Dequeue, EventKind::Run, EventKind::Resolve] {
+            let n = events
+                .iter()
+                .filter(|e| e.kind == kind && e.id == rid)
+                .count();
+            assert_eq!(n, 1, "request {rid}: {} seen {n} times", kind.name());
+        }
+    }
+}
+
+/// `batch_max: 1` disables coalescing outright — same results, no batch
+/// metrics, no batch lifecycle events.
+#[test]
+fn batch_max_one_disables_coalescing() {
+    let reg = Registry::new();
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(500));
+    let engine = Engine::with_registry(
+        EngineConfig {
+            executors: 1,
+            pool_threads: 2,
+            cache_capacity: 0,
+            batch_max: 1,
+            ..EngineConfig::default()
+        },
+        csr,
+        &reg,
+    );
+    let tickets: Vec<Ticket> = (0..12u32)
+        .map(|i| {
+            engine
+                .submit(Query::Run {
+                    workload: Workload::Bfs,
+                    source: i * 17 % 500,
+                })
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        assert!(matches!(t.wait().status, QueryStatus::Completed(_)));
+    }
+    assert_eq!(
+        reg.histogram("engine.batch.size").snapshot().count,
+        0,
+        "batching disabled yet a batch formed"
+    );
+}

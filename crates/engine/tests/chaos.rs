@@ -568,3 +568,188 @@ fn stale_read_injection_is_caught_by_the_rebuild_oracle() {
     // With the fault disarmed the engine agrees with the oracle again.
     assert_eq!(degree_of(&eng), rebuilt_out);
 }
+
+/// A plan with `Trigger::Schedule` faults keyed to explicit chaos tags.
+fn scheduled_plan(faults: Vec<(&str, FaultAction, Vec<u64>)>) -> FaultPlan {
+    plan(
+        11,
+        faults
+            .into_iter()
+            .map(|(site, action, schedule)| {
+                let mut f = fault(site, Trigger::Schedule, action);
+                f.schedule = schedule;
+                f
+            })
+            .collect(),
+    )
+}
+
+/// Park the single executor behind a heavy analytics query so everything
+/// submitted afterwards is still queued when the executor frees up — the
+/// deterministic way to force a coalesced batch.
+fn stall(engine: &Engine) -> graphbig_engine::Ticket {
+    engine
+        .submit(Query::Run {
+            workload: Workload::KCore,
+            source: 0,
+        })
+        .expect("stall query admitted")
+}
+
+#[test]
+fn mid_batch_cancel_or_expiry_resolves_only_its_own_ticket() {
+    let _g = serial();
+    let reg = Registry::new();
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(2000));
+    let eng = Engine::with_registry(
+        EngineConfig {
+            executors: 1,
+            pool_threads: 2,
+            queue_capacity: 128,
+            ..EngineConfig::default()
+        },
+        csr,
+        &reg,
+    );
+    // `engine.batch.form` fires at formation time for exactly two members:
+    // one cancelled, one deadline-expired. Every other lane of the same
+    // shared pass must complete untouched.
+    chaos::arm(&scheduled_plan(vec![
+        ("engine.batch.form", FaultAction::Cancel, vec![103]),
+        ("engine.batch.form", FaultAction::DeadlineExpire, vec![105]),
+    ]));
+    let blocker = stall(&eng);
+    let tickets: Vec<(u64, graphbig_engine::Ticket)> = (100u64..112)
+        .map(|tag| {
+            let t = eng
+                .submit_tagged(
+                    Query::Run {
+                        workload: Workload::Bfs,
+                        source: (tag as u32 - 100) * 41 % 2000,
+                    },
+                    None,
+                    tag,
+                )
+                .expect("admitted");
+            (tag, t)
+        })
+        .collect();
+    let _ = blocker.wait();
+    for (tag, ticket) in tickets {
+        let r = ticket.wait();
+        match tag {
+            103 => assert_eq!(r.status, QueryStatus::Cancelled, "tag 103"),
+            105 => assert_eq!(r.status, QueryStatus::DeadlineExceeded, "tag 105"),
+            _ => assert!(
+                matches!(r.status, QueryStatus::Completed(_)),
+                "tag {tag}: a neighbour's mid-batch fault leaked: {:?}",
+                r.status
+            ),
+        }
+    }
+    let fired = chaos::fired_counts();
+    chaos::disarm();
+    // Exactly-once held across the fan-out: no ticket was resolved twice.
+    assert_eq!(
+        reg.snapshot()["engine.double_resolve"],
+        MetricValue::Counter(0)
+    );
+    for label in [
+        "engine.batch.form.Cancel",
+        "engine.batch.form.DeadlineExpire",
+    ] {
+        assert!(
+            fired.iter().any(|(l, n)| l == label && *n == 1),
+            "{label} must fire exactly once: {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn fanout_double_resolve_is_absorbed_by_the_one_shot_resolver() {
+    let _g = serial();
+    let reg = Registry::new();
+    let csr = Csr::from_graph(&Dataset::Ldbc.generate_with_vertices(2000));
+    let eng = Engine::with_registry(
+        EngineConfig {
+            executors: 1,
+            pool_threads: 2,
+            ..EngineConfig::default()
+        },
+        csr,
+        &reg,
+    );
+    chaos::arm(&scheduled_plan(vec![(
+        "engine.batch.fanout",
+        FaultAction::DoubleResolve,
+        vec![204],
+    )]));
+    let blocker = stall(&eng);
+    let tickets: Vec<graphbig_engine::Ticket> = (200u64..208)
+        .map(|tag| {
+            eng.submit_tagged(
+                Query::Run {
+                    workload: Workload::Bfs,
+                    source: (tag as u32 - 200) * 59 % 2000,
+                },
+                None,
+                tag,
+            )
+            .expect("admitted")
+        })
+        .collect();
+    let _ = blocker.wait();
+    for t in tickets {
+        // Every ticket — including the double-resolved one — receives
+        // exactly one response; the second delivery loses the CAS.
+        assert!(matches!(t.wait().status, QueryStatus::Completed(_)));
+    }
+    let fired = chaos::fired_counts();
+    chaos::disarm();
+    assert_eq!(
+        reg.snapshot()["engine.double_resolve"],
+        MetricValue::Counter(1),
+        "the injected fan-out double resolve is counted, not delivered"
+    );
+    assert!(
+        fired
+            .iter()
+            .any(|(l, n)| l == "engine.batch.fanout.DoubleResolve" && *n == 1),
+        "the fan-out fault must fire exactly once: {fired:?}"
+    );
+}
+
+#[test]
+fn bfs_heavy_mix_under_batch_faults_holds_every_invariant() {
+    let _g = serial();
+    // The batch fault plan from the issue: formation-time cancels raining
+    // on a BFS-heavy mix with enough concurrent clients that coalescing is
+    // constantly engaged. All nine invariants — including the sequential
+    // oracle over every completed digest and resolved-exactly-once — must
+    // hold.
+    let mut form = fault(
+        "engine.batch.form",
+        Trigger::Probability,
+        FaultAction::Cancel,
+    );
+    form.p = 0.3;
+    let plan = plan(23, vec![form]);
+    let spec = MixSpec {
+        requests: 60,
+        clients: 8,
+        point_weight: 20,
+        traversal_weight: 70,
+        analytics_weight: 10,
+        ..MixSpec::default()
+    };
+    let reg = Registry::new();
+    let eng = engine(2000, &reg);
+    let report = run_checked(&eng, &spec, &plan, &reg);
+    let completed: u64 = report.classes.iter().map(|c| c.completed).sum();
+    assert!(completed > 0, "the mix must still make progress");
+    // Coalescing engaged under fire: batches formed and were measured.
+    assert!(
+        reg.histogram("engine.batch.size").snapshot().count >= 1,
+        "no batch formed during a BFS-heavy 8-client mix"
+    );
+}

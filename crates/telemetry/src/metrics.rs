@@ -612,4 +612,55 @@ mod tests {
         reg.counter("m");
         reg.histogram("m");
     }
+
+    /// Merging per-lane stage histograms must be lossless at the bucket
+    /// level: the merged snapshot reports exactly the quantiles of the
+    /// combined stream recorded into one histogram, and both stay within
+    /// the documented 2x log2-resolution bound of the true sample p99.
+    #[test]
+    fn merged_histograms_report_the_unmerged_streams_p99() {
+        // Four "lanes" with deliberately different latency shapes, like
+        // the per-class stage histograms the engine merges for reporting.
+        let lanes: Vec<Vec<u64>> = vec![
+            (1..=400).map(|i| i % 97 + 1).collect(),
+            (1..=300).map(|i| (i * i) % 1500 + 10).collect(),
+            (1..=200).map(|i| i * 40).collect(), // the heavy tail
+            vec![0; 50],                         // an idle lane: all zeros
+        ];
+        let combined = Histogram::default();
+        let mut merged = HistogramSnapshot::default();
+        let mut samples: Vec<u64> = Vec::new();
+        for lane in &lanes {
+            let h = Histogram::default();
+            for &v in lane {
+                h.record(v);
+                combined.record(v);
+                samples.push(v);
+            }
+            merged.merge(&h.snapshot());
+        }
+        let reference = combined.snapshot();
+        assert_eq!(merged.count, reference.count);
+        assert_eq!(merged.sum, reference.sum);
+        assert_eq!(
+            merged.buckets, reference.buckets,
+            "merge must be bucket-lossless"
+        );
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(
+                merged.quantile(q),
+                reference.quantile(q),
+                "q={q}: merged quantile diverged from the unmerged stream"
+            );
+        }
+        // Both stay within the documented 2x of the true sample p99.
+        samples.sort_unstable();
+        let rank = ((0.99 * samples.len() as f64).ceil() as usize).max(1);
+        let true_p99 = samples[rank - 1];
+        let est = merged.quantile(0.99);
+        assert!(
+            est >= true_p99 / 2 && est <= true_p99 * 2,
+            "merged p99 {est} outside 2x of true sample p99 {true_p99}"
+        );
+    }
 }

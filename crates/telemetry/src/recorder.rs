@@ -98,6 +98,13 @@ pub enum EventKind {
     /// Compaction published a new epoch and reset the overlay (arg = the
     /// new epoch), or gave up on a contended attempt (arg = 0).
     CompactEnd = 17,
+    /// An executor formed a coalesced batch behind this request (the batch
+    /// leader; arg = number of requests sharing the kernel, including the
+    /// leader).
+    BatchStart = 18,
+    /// The request was drained from its lane into another request's batch
+    /// (arg = the leader's request id).
+    BatchJoin = 19,
 }
 
 impl EventKind {
@@ -121,6 +128,8 @@ impl EventKind {
             EventKind::Mutate => "mutate",
             EventKind::CompactStart => "compact_start",
             EventKind::CompactEnd => "compact_end",
+            EventKind::BatchStart => "batch_start",
+            EventKind::BatchJoin => "batch_join",
         }
     }
 
@@ -144,6 +153,8 @@ impl EventKind {
             15 => Mutate,
             16 => CompactStart,
             17 => CompactEnd,
+            18 => BatchStart,
+            19 => BatchJoin,
             _ => return None,
         })
     }

@@ -30,6 +30,7 @@ pub mod gibbs;
 pub mod gup;
 pub mod harness;
 pub mod kcore;
+pub mod msbfs;
 pub mod parallel;
 pub mod registry;
 pub mod service;

@@ -84,47 +84,53 @@ pub enum ServiceOutput {
 }
 
 impl ServiceOutput {
-    /// FNV-1a over the output's canonical little-endian byte stream —
-    /// bit-exact, so two runs digest equal iff their outputs are identical
-    /// (floats compared by bit pattern).
+    /// FNV-1a-style mix over the output's canonical little-endian u64
+    /// stream — bit-exact, so two runs digest equal iff their outputs are
+    /// identical (floats compared by bit pattern). One multiply per
+    /// element, not per byte: a serving mix digests every verified
+    /// response, and the byte-at-a-time loop was a measurable fixed cost
+    /// per request on large outputs (one word per vertex).
     pub fn digest(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
+        let mut eat = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(PRIME);
+            // FNV's multiply alone mixes low bits upward only; fold the
+            // high half back so per-word (vs per-byte) eating still
+            // diffuses every input bit into the final value.
+            h ^= h >> 29;
         };
+        let mut tag = |t: &[u8; 8]| eat(u64::from_le_bytes(*t));
         match self {
             ServiceOutput::Levels(v) => {
-                eat(b"levels");
-                v.iter().for_each(|x| eat(&x.to_le_bytes()));
+                tag(b"levels\0\0");
+                v.iter().for_each(|&x| eat(x as u64));
             }
             ServiceOutput::Labels(v) => {
-                eat(b"labels");
-                v.iter().for_each(|x| eat(&x.to_le_bytes()));
+                tag(b"labels\0\0");
+                v.iter().for_each(|&x| eat(x as u64));
             }
             ServiceOutput::Cores(v) => {
-                eat(b"cores");
-                v.iter().for_each(|x| eat(&x.to_le_bytes()));
+                tag(b"cores\0\0\0");
+                v.iter().for_each(|&x| eat(x as u64));
             }
             ServiceOutput::Distances(v) => {
-                eat(b"dist");
-                v.iter().for_each(|x| eat(&x.to_bits().to_le_bytes()));
+                tag(b"dist\0\0\0\0");
+                v.iter().for_each(|&x| eat(x.to_bits() as u64));
             }
             ServiceOutput::Scores(v) => {
-                eat(b"scores");
-                v.iter().for_each(|x| eat(&x.to_bits().to_le_bytes()));
+                tag(b"scores\0\0");
+                v.iter().for_each(|&x| eat(x.to_bits()));
             }
             ServiceOutput::Count(c) => {
-                eat(b"count");
-                eat(&c.to_le_bytes());
+                tag(b"count\0\0\0");
+                eat(*c);
             }
             ServiceOutput::Colors(v) => {
-                eat(b"colors");
-                v.iter().for_each(|x| eat(&x.to_le_bytes()));
+                tag(b"colors\0\0");
+                v.iter().for_each(|&x| eat(x as u64));
             }
         }
         h

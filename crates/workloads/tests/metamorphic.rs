@@ -169,3 +169,86 @@ fn vertex_relabeling_permutes_every_output() {
         },
     );
 }
+
+/// Batch-composition invariance: coalescing sources into one MS-BFS pass
+/// must commute with both metamorphic relations. An edge-order shuffle
+/// leaves every *batched* lane digest bit-identical, exactly as it does
+/// the unbatched kernel — and each lane always equals its unbatched twin,
+/// so batching cannot smuggle in an order dependence of its own.
+#[test]
+fn edge_order_shuffle_leaves_batched_lane_digests_bit_identical() {
+    use graphbig_workloads::msbfs::{msbfs, MSBFS_LANES};
+    let pool = ThreadPool::new(2);
+    prop::check(
+        "batched_edge_order_shuffle",
+        Config::with_cases(10),
+        |rng: &mut Rng| rng.next_u64(),
+        |&seed: &u64| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let (n, edges) = random_edges(&mut rng);
+            let base = Csr::from_edges(n, &edges);
+            let mut shuffled_edges = edges.clone();
+            rng.shuffle(&mut shuffled_edges);
+            let shuffled = Csr::from_edges(n, &shuffled_edges);
+            let lanes = 1 + rng.u64_below(MSBFS_LANES as u64) as usize;
+            let sources: Vec<u32> = (0..lanes).map(|_| rng.u64_below(n as u64) as u32).collect();
+            let a = msbfs(&pool, &base, &sources);
+            let b = msbfs(&pool, &shuffled, &sources);
+            for (l, &s) in sources.iter().enumerate() {
+                let da = ServiceOutput::Levels(a[l].clone()).digest();
+                let db = ServiceOutput::Levels(b[l].clone()).digest();
+                assert_eq!(
+                    da, db,
+                    "lane {l} (source {s}): batched digest changed under edge-order shuffle"
+                );
+                let (solo, _) = graphbig_workloads::parallel::bfs(&pool, &base, s);
+                assert_eq!(
+                    da,
+                    ServiceOutput::Levels(solo).digest(),
+                    "lane {l} (source {s}): batched digest diverged from unbatched"
+                );
+            }
+        },
+    );
+}
+
+/// Relabeling equivariance for the batched kernel: applying a vertex
+/// permutation π to the graph and to every source maps each lane's levels
+/// through π — the same equivariance the unbatched kernel satisfies.
+#[test]
+fn vertex_relabeling_permutes_every_batched_lane() {
+    use graphbig_workloads::msbfs::{msbfs, MSBFS_LANES};
+    let pool = ThreadPool::new(2);
+    prop::check(
+        "batched_vertex_relabeling",
+        Config::with_cases(10),
+        |rng: &mut Rng| rng.next_u64(),
+        |&seed: &u64| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let (n, edges) = random_edges(&mut rng);
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            rng.shuffle(&mut perm);
+            let relabeled_edges: Vec<(u32, u32, f32)> = edges
+                .iter()
+                .map(|&(u, v, w)| (perm[u as usize], perm[v as usize], w))
+                .collect();
+            let base = Csr::from_edges(n, &edges);
+            let relabeled = Csr::from_edges(n, &relabeled_edges);
+            let lanes = 1 + rng.u64_below(MSBFS_LANES as u64) as usize;
+            let sources: Vec<u32> = (0..lanes).map(|_| rng.u64_below(n as u64) as u32).collect();
+            let mapped: Vec<u32> = sources.iter().map(|&s| perm[s as usize]).collect();
+            let a = msbfs(&pool, &base, &sources);
+            let b = msbfs(&pool, &relabeled, &mapped);
+            for l in 0..lanes {
+                for v in 0..n {
+                    assert_eq!(
+                        a[l][v], b[l][perm[v] as usize],
+                        "lane {l}: level of vertex {v} not permutation-equivariant"
+                    );
+                }
+                let (solo, _) = graphbig_workloads::parallel::bfs(&pool, &base, sources[l]);
+                assert_eq!(a[l], solo, "lane {l}: batched diverged from unbatched");
+            }
+        },
+    );
+}

@@ -66,6 +66,14 @@ cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --features chaos --bi
 grep -q '"engine.cache.hit"' /tmp/cache_drill.json \
   || { echo "cache drill produced no cache-hit counter"; exit 1; }
 
+echo "==> shared-traversal batching drill (BFS-heavy mix, coalesced MS-BFS, sequential oracle)"
+cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --bin graphbig-serve -- \
+  --vertices 4096 --mix traffic/batch_heavy.json --oracle --quiet --emit /tmp/batch_drill.json
+for key in '"engine.batch.size"' '"engine.batch.coalesce_us"' '"batch_max"'; do
+  grep -q "$key" /tmp/batch_drill.json \
+    || { echo "batching drill manifest missing $key"; exit 1; }
+done
+
 echo "==> SLO gate drill (1us targets must fail graphbig-report --check)"
 cargo run "${CARGO_FLAGS[@]}" --release -p graphbig-engine --bin graphbig-serve -- \
   --vertices 4096 --mix traffic/smoke_200.json --slo traffic/slo_tight.json \
